@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the circuit-level simulator: transient cost per
+//! simulated nanosecond for small ROSC arrays, and the phase-readout path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msropm_circuit::CircuitArray;
+use msropm_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuit_transient_1ns");
+    group.sample_size(10);
+    for side in [2usize, 3, 4] {
+        let g = generators::kings_graph_square(side);
+        let array = CircuitArray::builder(&g).build();
+        let mut rng = StdRng::seed_from_u64(1);
+        let state0 = array.random_state(&mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(g.num_nodes()),
+            &g.num_nodes(),
+            |b, _| {
+                b.iter(|| {
+                    let mut state = state0.clone();
+                    array.run(&mut state, 0.0, 1.0, 1e-3);
+                    std::hint::black_box(state)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_readout(c: &mut Criterion) {
+    let g = generators::path_graph(2);
+    let array = CircuitArray::builder(&g).build();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut state = array.random_state(&mut rng);
+    array.run(&mut state, 0.0, 10.0, 1e-3);
+    c.bench_function("circuit_phase_readout", |b| {
+        b.iter(|| {
+            std::hint::black_box(msropm_circuit::readout::measure_phase_at(
+                &array, &state, 0, 10.0, 4.0, 1e-3,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_transient, bench_readout);
+criterion_main!(benches);

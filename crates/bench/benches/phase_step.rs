@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the phase-macromodel hot loop: one
+//! right-hand-side evaluation and one full annealing window for each paper
+//! problem size. This measures the scaling behaviour that lets the
+//! macromodel handle the 2116-node array the paper simulates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msropm_graph::generators;
+use msropm_ode::system::OdeSystem;
+use msropm_osc::PhaseNetwork;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_eval");
+    for side in [7usize, 20, 32, 46] {
+        let g = generators::kings_graph_square(side);
+        let net = PhaseNetwork::builder(&g).coupling_strength(1.0).build();
+        let mut rng = StdRng::seed_from_u64(1);
+        let phases = net.random_phases(&mut rng);
+        let mut dydt = vec![0.0; phases.len()];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(g.num_nodes()),
+            &g.num_nodes(),
+            |b, _| {
+                b.iter(|| {
+                    net.eval(0.0, std::hint::black_box(&phases), &mut dydt);
+                    std::hint::black_box(&dydt);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_anneal_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anneal_1ns");
+    group.sample_size(10);
+    for side in [7usize, 20, 32] {
+        let g = generators::kings_graph_square(side);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(g.num_nodes()),
+            &g.num_nodes(),
+            |b, _| {
+                let mut net = PhaseNetwork::builder(&g)
+                    .coupling_strength(1.0)
+                    .noise(0.18)
+                    .build();
+                let mut rng = StdRng::seed_from_u64(2);
+                let mut phases = net.random_phases(&mut rng);
+                b.iter(|| {
+                    net.anneal(&mut phases, 1.0, 0.01, &mut rng);
+                    std::hint::black_box(&phases);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_anneal_window);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the CDCL baseline: exact 4-coloring of the
+//! paper benchmarks (the Table 1 accuracy denominator) and classic hard
+//! instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msropm_graph::generators;
+use msropm_sat::encode::solve_k_coloring;
+use msropm_sat::{Lit, Solver};
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_4coloring");
+    group.sample_size(10);
+    for side in [7usize, 20] {
+        let g = generators::kings_graph_square(side);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(g.num_nodes()),
+            &g.num_nodes(),
+            |b, _| {
+                b.iter(|| {
+                    let coloring = solve_k_coloring(&g, 4).expect("4-colorable");
+                    std::hint::black_box(coloring)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_pigeonhole_unsat");
+    group.sample_size(10);
+    for n in [6usize, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let holes = n - 1;
+                let mut s = Solver::new();
+                let vs = s.new_vars(n * holes);
+                let p = |i: usize, h: usize| vs[i * holes + h];
+                for i in 0..n {
+                    let clause: Vec<Lit> = (0..holes).map(|h| p(i, h).positive()).collect();
+                    s.add_clause(&clause);
+                }
+                for h in 0..holes {
+                    for i in 0..n {
+                        for j in (i + 1)..n {
+                            s.add_clause(&[p(i, h).negative(), p(j, h).negative()]);
+                        }
+                    }
+                }
+                std::hint::black_box(s.solve())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring, bench_pigeonhole);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks of end-to-end solvers on the 49-node benchmark:
+//! the MSROPM (full 60 ns schedule), the single-stage ROIM, the 3-SHIL
+//! ROPM, and the software baselines (SA, tabu).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msropm_core::baselines::{Ropm3, SimulatedAnnealingColoring, TabuMaxCut};
+use msropm_core::{Msropm, MsropmConfig};
+use msropm_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_solvers(c: &mut Criterion) {
+    let g = generators::kings_graph(7, 7);
+    let mut group = c.benchmark_group("solve_49_node");
+    group.sample_size(10);
+
+    group.bench_function("msropm_4color", |b| {
+        let mut machine = Msropm::new(&g, MsropmConfig::paper_default());
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| std::hint::black_box(machine.solve(&mut rng)))
+    });
+
+    group.bench_function("roim_maxcut", |b| {
+        let mut machine = Msropm::new(&g, MsropmConfig::paper_default().with_num_colors(2));
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| std::hint::black_box(machine.solve(&mut rng)))
+    });
+
+    group.bench_function("ropm3_3color", |b| {
+        let ropm = Ropm3::new(MsropmConfig::paper_default());
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| std::hint::black_box(ropm.solve(&g, &mut rng)))
+    });
+
+    group.bench_function("simulated_annealing", |b| {
+        let sa = SimulatedAnnealingColoring::new(4, 300);
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| std::hint::black_box(sa.solve(&g, &mut rng)))
+    });
+
+    group.bench_function("tabu_maxcut", |b| {
+        let tabu = TabuMaxCut::new(1000, 10);
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| std::hint::black_box(tabu.solve(&g, &mut rng)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

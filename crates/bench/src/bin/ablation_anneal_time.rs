@@ -1,0 +1,51 @@
+//! Ablation: annealing-window duration sweep.
+//!
+//! §4.1: the 20 ns annealing windows are "empirically determined to be
+//! enough for the phases to reach \[a\] nondiscretized, contended ground
+//! state". This sweep shows accuracy saturating around that duration —
+//! the empirical basis the paper alludes to.
+
+use msropm_bench::{paper_benchmark, Options, Table};
+use msropm_core::{Msropm, MsropmConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = Options::from_env();
+    let bench = paper_benchmark(if opts.quick { 7 } else { 20 });
+    let g = &bench.graph;
+    let iters = opts.iters.min(16);
+
+    let mut table = Table::new(vec!["t_anneal (ns)", "total (ns)", "best acc", "mean acc"]);
+    for t_anneal in [1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0] {
+        let config = MsropmConfig {
+            t_anneal,
+            ..MsropmConfig::paper_default()
+        };
+        let mut accs = Vec::new();
+        for i in 0..iters {
+            let mut rng = StdRng::seed_from_u64(opts.seed + i as u64);
+            let mut m = Msropm::new(g, config);
+            accs.push(m.solve(&mut rng).coloring.accuracy(g));
+        }
+        let s = msropm_graph::metrics::Summary::of(&accs).expect("iterations exist");
+        table.row(vec![
+            format!("{t_anneal}"),
+            format!("{}", config.total_time_ns()),
+            format!("{:.3}", s.max),
+            format!("{:.3}", s.mean),
+        ]);
+    }
+
+    println!("\n== Ablation: annealing window ({}-node) ==", g.num_nodes());
+    println!("{}", table.render());
+    println!(
+        "expected shape: accuracy rises steeply below ~10 ns and saturates near the\n\
+         paper's empirically chosen 20 ns window; doubling beyond that buys little."
+    );
+
+    let path = opts.out_path("ablation_anneal_time.csv");
+    let file = std::fs::File::create(&path).expect("create CSV");
+    table.write_csv(file).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,96 @@
+//! Ablation (beyond paper): graceful degradation under defective rings.
+//!
+//! A fabricated oscillator array has yield loss: some rings never start
+//! (`L_EN` effectively stuck low). A dead ring freezes at an arbitrary
+//! phase, reads out an arbitrary color, and stops relaying coupling
+//! information. This sweep kills a random fraction of oscillators and
+//! measures how 4-coloring accuracy degrades — the fault-tolerance story
+//! a fabric like the paper's ref \[7\]/\[8\] arrays would need.
+
+use msropm_bench::{paper_benchmark, Options, Table};
+use msropm_core::{Msropm, MsropmConfig};
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = Options::from_env();
+    let bench = paper_benchmark(if opts.quick { 7 } else { 20 });
+    let g = &bench.graph;
+    let n = g.num_nodes();
+    let iters = opts.iters.min(12);
+
+    let mut table = Table::new(vec![
+        "dead fraction",
+        "dead rings",
+        "best acc",
+        "mean acc",
+        "acc on live subgraph (mean)",
+    ]);
+
+    for &fraction in &[0.0, 0.01, 0.02, 0.05, 0.10, 0.20] {
+        let dead_count = (fraction * n as f64).round() as usize;
+        let mut accs = Vec::new();
+        let mut live_accs = Vec::new();
+        for i in 0..iters {
+            let mut rng = StdRng::seed_from_u64(opts.seed + i as u64);
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(&mut rng);
+            let dead: Vec<usize> = order[..dead_count].to_vec();
+
+            let mut machine = Msropm::new(g, MsropmConfig::paper_default());
+            for &d in &dead {
+                machine.set_oscillator_enabled(d, false);
+            }
+            let sol = machine.solve(&mut rng);
+            accs.push(sol.coloring.accuracy(g));
+
+            // Accuracy restricted to edges between live oscillators: what
+            // the functional part of the fabric achieves.
+            let is_dead = {
+                let mut v = vec![false; n];
+                for &d in &dead {
+                    v[d] = true;
+                }
+                v
+            };
+            let (mut live_edges, mut live_ok) = (0usize, 0usize);
+            for (_, u, v) in g.edges() {
+                if !is_dead[u.index()] && !is_dead[v.index()] {
+                    live_edges += 1;
+                    if sol.coloring.color(u) != sol.coloring.color(v) {
+                        live_ok += 1;
+                    }
+                }
+            }
+            live_accs.push(if live_edges == 0 {
+                1.0
+            } else {
+                live_ok as f64 / live_edges as f64
+            });
+        }
+        let s = msropm_graph::metrics::Summary::of(&accs).expect("iterations exist");
+        let ls = msropm_graph::metrics::Summary::of(&live_accs).expect("iterations exist");
+        table.row(vec![
+            format!("{fraction:.2}"),
+            dead_count.to_string(),
+            format!("{:.3}", s.max),
+            format!("{:.3}", s.mean),
+            format!("{:.3}", ls.mean),
+        ]);
+    }
+
+    println!("\n== Ablation: defective-ring tolerance ({}-node fabric) ==", n);
+    println!("{}", table.render());
+    println!(
+        "reading: dead rings cost roughly their incident-edge fraction of raw\n\
+         accuracy (their colors are stuck at arbitrary values), while the live\n\
+         subgraph keeps near-nominal quality — the annealing routes around the\n\
+         frozen phases rather than being corrupted by them."
+    );
+
+    let path = opts.out_path("ablation_failures.csv");
+    let file = std::fs::File::create(&path).expect("create CSV");
+    table.write_csv(file).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,54 @@
+//! Ablation: annealing phase-noise sweep.
+//!
+//! Phase noise (jitter) is the machine's only source of stochastic
+//! exploration: with none, the deterministic gradient flow gets stuck in
+//! the nearest local minimum; with too much, the couplings cannot hold an
+//! ordering. This sweep quantifies both failure directions, plus the
+//! solution-diversity effect noise has on the Fig. 5(c) Hamming spread.
+
+use msropm_bench::{paper_benchmark, Options, Table};
+use msropm_core::{CutReference, ExperimentRunner, MsropmConfig};
+
+fn main() {
+    let opts = Options::from_env();
+    let bench = paper_benchmark(if opts.quick { 7 } else { 20 });
+    let g = &bench.graph;
+    let iters = opts.iters.min(16);
+
+    let mut table = Table::new(vec![
+        "noise (rad/sqrt-ns)",
+        "best acc",
+        "mean acc",
+        "mean Hamming dist",
+    ]);
+    for sigma in [0.0, 0.05, 0.1, 0.18, 0.3, 0.6, 1.2, 2.4] {
+        let config = MsropmConfig::paper_default().with_noise(sigma);
+        let report = ExperimentRunner::new(config)
+            .iterations(iters)
+            .base_seed(opts.seed)
+            .cut_reference(CutReference::Value(bench.best_cut))
+            .run(g);
+        let s = report.accuracy_summary();
+        let ham = msropm_graph::metrics::Summary::of(&report.hamming_distances())
+            .map_or(0.0, |h| h.mean);
+        table.row(vec![
+            format!("{sigma}"),
+            format!("{:.3}", report.best_accuracy()),
+            format!("{:.3}", s.mean),
+            format!("{:.3}", ham),
+        ]);
+    }
+
+    println!("\n== Ablation: annealing noise ({}-node) ==", g.num_nodes());
+    println!("{}", table.render());
+    println!(
+        "expected shape: a moderate noise level maximizes accuracy (escaping local\n\
+         minima without destroying ordering); Hamming spread grows with noise,\n\
+         connecting this knob to the Fig. 5(c) diversity observation."
+    );
+
+    let path = opts.out_path("ablation_noise.csv");
+    let file = std::fs::File::create(&path).expect("create CSV");
+    table.write_csv(file).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

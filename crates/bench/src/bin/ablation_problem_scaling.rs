@@ -1,0 +1,75 @@
+//! Ablation: scaling with problem size.
+//!
+//! §4.1: *"Computation cycles of the MSROPM are allocated predetermined
+//! durations regardless of the problem size"* (near-constant machine time
+//! through natural parallelization) while *"power consumption ... scal\[es\]
+//! linearly with increasing problem sizes."* This sweep quantifies both,
+//! plus the TTS(99%) figure of merit for reaching 97%-quality solutions.
+
+use msropm_bench::{paper_benchmark, Options, Table};
+use msropm_core::analysis::{success_probability, time_to_solution_ns};
+use msropm_core::{CutReference, ExperimentRunner, MsropmConfig};
+
+fn main() {
+    let opts = Options::from_env();
+    let sides: Vec<usize> = if opts.quick {
+        vec![5, 7, 10]
+    } else {
+        vec![5, 7, 10, 14, 20, 28, 38, 46]
+    };
+
+    let mut table = Table::new(vec![
+        "nodes",
+        "edges",
+        "machine ns/iter",
+        "best acc",
+        "mean acc",
+        "P(acc>=0.97)",
+        "TTS99(0.97)",
+        "power (mW)",
+        "wall ms/iter",
+    ]);
+
+    for side in sides {
+        let bench = paper_benchmark(side);
+        let g = &bench.graph;
+        eprintln!("scaling: {}-node problem...", g.num_nodes());
+        let wall0 = std::time::Instant::now();
+        let report = ExperimentRunner::new(MsropmConfig::paper_default())
+            .iterations(opts.iters)
+            .base_seed(opts.seed)
+            .cut_reference(CutReference::Value(bench.best_cut))
+            .run(g);
+        let wall_per_iter = wall0.elapsed().as_secs_f64() * 1e3 / opts.iters as f64;
+
+        let p97 = success_probability(&report, 0.97);
+        let tts = time_to_solution_ns(&report, 0.97, 0.99);
+        let s = report.accuracy_summary();
+        let power = msropm_core::power::paper_power_estimate(g);
+        table.row(vec![
+            g.num_nodes().to_string(),
+            g.num_edges().to_string(),
+            format!("{:.0}", report.time_per_iteration_ns),
+            format!("{:.3}", report.best_accuracy()),
+            format!("{:.3}", s.mean),
+            format!("{p97:.2}"),
+            tts.map_or("inf".to_string(), |t| format!("{t:.0} ns")),
+            format!("{:.1}", power.total_mw()),
+            format!("{wall_per_iter:.1}"),
+        ]);
+    }
+
+    println!("\n== Scaling with problem size ==");
+    println!("{}", table.render());
+    println!(
+        "claims quantified: machine time is a constant 60 ns per iteration at every\n\
+         size (column 3) — the oscillator array parallelizes naturally — while model\n\
+         power grows linearly (column 8) and only the simulator's wall-clock cost\n\
+         grows with size (column 9)."
+    );
+
+    let path = opts.out_path("ablation_problem_scaling.csv");
+    let file = std::fs::File::create(&path).expect("create CSV");
+    table.write_csv(file).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

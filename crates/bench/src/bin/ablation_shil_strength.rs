@@ -1,0 +1,66 @@
+//! Ablation: SHIL injection-strength sweep.
+//!
+//! §2.3: *"SHIL injection below a certain level of strength cannot
+//! discretize the ROSC phases and deforms the ROSC waveforms when \[it\]
+//! exceeds a certain level of strength."* In the phase model the analogue
+//! of waveform deformation is premature quenching: a SHIL much stronger
+//! than the couplings freezes phases before the couplings can order them.
+//! This sweep measures discretization quality (max lock error) and final
+//! accuracy across strengths.
+
+use msropm_bench::{paper_benchmark, Options, Table};
+use msropm_core::{Msropm, MsropmConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = Options::from_env();
+    let bench = paper_benchmark(if opts.quick { 7 } else { 20 });
+    let g = &bench.graph;
+    let iters = opts.iters.min(16);
+
+    let mut table = Table::new(vec![
+        "Ks (rad/ns)",
+        "best acc",
+        "mean acc",
+        "mean lock error (rad)",
+    ]);
+    for ks in [0.0, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0] {
+        let config = MsropmConfig::paper_default().with_shil_strength(ks);
+        let mut accs = Vec::new();
+        let mut lock_errs = Vec::new();
+        for i in 0..iters {
+            let mut rng = StdRng::seed_from_u64(opts.seed + i as u64);
+            let mut m = Msropm::new(g, config);
+            let sol = m.solve(&mut rng);
+            accs.push(sol.coloring.accuracy(g));
+            lock_errs.push(
+                sol.stages
+                    .iter()
+                    .map(|s| s.max_lock_error)
+                    .fold(0.0f64, f64::max),
+            );
+        }
+        let s = msropm_graph::metrics::Summary::of(&accs).expect("iterations exist");
+        let le = msropm_graph::metrics::Summary::of(&lock_errs).expect("iterations exist");
+        table.row(vec![
+            format!("{ks}"),
+            format!("{:.3}", s.max),
+            format!("{:.3}", s.mean),
+            format!("{:.3}", le.mean),
+        ]);
+    }
+
+    println!("\n== Ablation: SHIL strength (problem: {}-node) ==", g.num_nodes());
+    println!("{}", table.render());
+    println!(
+        "expected shape (paper sec. 2.3): weak SHIL fails to discretize (large lock\n\
+         error, unreliable readout); strong SHIL locks phases before coupling-driven\n\
+         ordering completes, costing accuracy. The working region sits in between."
+    );
+
+    let path = opts.out_path("ablation_shil_strength.csv");
+    let file = std::fs::File::create(&path).expect("create CSV");
+    table.write_csv(file).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

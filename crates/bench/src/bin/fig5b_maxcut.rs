@@ -1,0 +1,71 @@
+//! Regenerates Fig. 5(b): stage-1 max-cut accuracy over iterations, plus
+//! the §4.1 observation that stage-1 accuracy correlates positively with
+//! the final 4-coloring accuracy.
+//!
+//! Writes `fig5b_<nodes>.csv` with both series per problem.
+
+use msropm_bench::{paper_benchmark, paper_sides, Options, Table};
+use msropm_core::{CutReference, ExperimentRunner, MsropmConfig};
+use std::io::Write;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut summary = Table::new(vec![
+        "problem",
+        "best cut acc",
+        "mean cut acc",
+        "worst cut acc",
+        "corr(stage1, final)",
+    ]);
+
+    for side in paper_sides(opts.quick) {
+        let bench = paper_benchmark(side);
+        let nodes = bench.graph.num_nodes();
+        eprintln!("fig5b: solving {nodes}-node problem ({} iterations)...", opts.iters);
+        let report = ExperimentRunner::new(MsropmConfig::paper_default())
+            .iterations(opts.iters)
+            .base_seed(opts.seed)
+            .cut_reference(CutReference::Value(bench.best_cut))
+            .run(&bench.graph);
+
+        let s1 = report.stage1_accuracies();
+        let acc = report.accuracies();
+        println!("\n== {nodes}-node problem: stage-1 max-cut accuracy per iteration ==");
+        println!("(normalized to best-known cut = {})", report.cut_reference);
+        for (i, a) in s1.iter().enumerate() {
+            println!("iter {i:2}: cut {:.4}  final {:.4}", a, acc[i]);
+        }
+        let stats = msropm_graph::metrics::Summary::of(&s1).expect("iterations exist");
+        let corr = report.stage1_final_correlation();
+        println!(
+            "summary: best={:.4} mean={:.4} worst={:.4}; correlation with final accuracy: {}",
+            stats.max,
+            stats.mean,
+            stats.min,
+            corr.map_or("n/a".to_string(), |r| format!("{r:+.3}"))
+        );
+
+        summary.row(vec![
+            format!("{nodes}-node"),
+            format!("{:.3}", stats.max),
+            format!("{:.3}", stats.mean),
+            format!("{:.3}", stats.min),
+            corr.map_or("n/a".to_string(), |r| format!("{r:+.3}")),
+        ]);
+
+        let path = opts.out_path(&format!("fig5b_{nodes}.csv"));
+        let mut file = std::fs::File::create(&path).expect("create CSV");
+        writeln!(file, "iteration,stage1_accuracy,final_accuracy").expect("write CSV");
+        for (i, (c, f)) in s1.iter().zip(&acc).enumerate() {
+            writeln!(file, "{i},{c},{f}").expect("write CSV");
+        }
+        eprintln!("wrote {}", path.display());
+    }
+
+    println!("\n== Fig. 5(b) summary ==");
+    println!("{}", summary.render());
+    println!(
+        "paper: stage-1 accuracies lie in the 0.8-1.0 band and correlate positively\n\
+         with final accuracy (sec. 4.1); the correlation column reproduces that claim."
+    );
+}

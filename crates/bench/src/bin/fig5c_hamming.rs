@@ -1,0 +1,61 @@
+//! Regenerates Fig. 5(c): histograms of pairwise Hamming distances between
+//! the solutions of the 40 iterations, showing solution diversity.
+//!
+//! Writes `fig5c_<nodes>.csv` with the histogram per problem.
+
+use msropm_bench::{paper_benchmark, paper_sides, Options};
+use msropm_core::{CutReference, ExperimentRunner, MsropmConfig};
+use std::io::Write;
+
+const BINS: usize = 20;
+
+fn main() {
+    let opts = Options::from_env();
+
+    for side in paper_sides(opts.quick) {
+        let bench = paper_benchmark(side);
+        let nodes = bench.graph.num_nodes();
+        eprintln!("fig5c: solving {nodes}-node problem ({} iterations)...", opts.iters);
+        let report = ExperimentRunner::new(MsropmConfig::paper_default())
+            .iterations(opts.iters)
+            .base_seed(opts.seed)
+            .cut_reference(CutReference::Value(bench.best_cut))
+            .run(&bench.graph);
+
+        let distances = report.hamming_distances();
+        let hist = report.hamming_histogram(BINS);
+        let stats = msropm_graph::metrics::Summary::of(&distances).expect("pairs exist");
+        println!("\n== {nodes}-node problem: pairwise Hamming distances ({} pairs) ==", distances.len());
+        println!(
+            "mean={:.3} std={:.3} min={:.3} max={:.3}",
+            stats.mean, stats.std_dev, stats.min, stats.max
+        );
+        let peak = hist.iter().copied().max().unwrap_or(1).max(1);
+        for (b, &count) in hist.iter().enumerate() {
+            let lo = b as f64 / BINS as f64;
+            let hi = (b + 1) as f64 / BINS as f64;
+            let bar = "#".repeat(count * 50 / peak);
+            println!("[{lo:.2},{hi:.2}) {count:4} {bar}");
+        }
+
+        let path = opts.out_path(&format!("fig5c_{nodes}.csv"));
+        let mut file = std::fs::File::create(&path).expect("create CSV");
+        writeln!(file, "bin_low,bin_high,count").expect("write CSV");
+        for (b, &count) in hist.iter().enumerate() {
+            writeln!(
+                file,
+                "{},{},{count}",
+                b as f64 / BINS as f64,
+                (b + 1) as f64 / BINS as f64
+            )
+            .expect("write CSV");
+        }
+        eprintln!("wrote {}", path.display());
+    }
+
+    println!(
+        "\npaper Fig. 5(c): solutions with similar accuracy remain far apart in Hamming\n\
+         distance (increasingly so at larger sizes), evidencing the probabilistic search;\n\
+         the histograms above reproduce that spread."
+    );
+}

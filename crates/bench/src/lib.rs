@@ -1,0 +1,30 @@
+//! Shared harness code for regenerating every table and figure of the
+//! MSROPM paper.
+//!
+//! Each `src/bin/*` binary regenerates one artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig2_stages` | Fig. 2 — divide-and-color walkthrough |
+//! | `fig3_waveforms` | Fig. 3 — circuit-level stage waveforms (CSV) |
+//! | `fig5a_accuracy` | Fig. 5(a) — 4-coloring accuracy per iteration |
+//! | `fig5b_maxcut` | Fig. 5(b) — stage-1 max-cut accuracy + correlation |
+//! | `fig5c_hamming` | Fig. 5(c) — pairwise Hamming-distance histograms |
+//! | `table1_stats` | Table 1 — search space, power, top accuracy |
+//! | `table2_comparison` | Table 2 — comparison vs re-implemented baselines |
+//! | `ablation_*` | beyond-paper sweeps of the §2.3 tuning knobs |
+//!
+//! All binaries accept `--quick` (reduced sizes/iterations, for smoke
+//! tests), `--iters N` and `--out DIR` (CSV output directory, default
+//! `paper_results/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod options;
+pub mod problems;
+pub mod tables;
+
+pub use options::Options;
+pub use problems::{paper_benchmark, paper_sides, Benchmark};
+pub use tables::Table;

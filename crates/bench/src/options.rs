@@ -1,0 +1,146 @@
+//! Minimal command-line handling shared by the figure/table binaries.
+
+use std::path::PathBuf;
+
+/// Options common to all harness binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Reduced problem sizes and iteration counts (CI smoke mode).
+    pub quick: bool,
+    /// Iterations per problem (paper: 40).
+    pub iters: usize,
+    /// Output directory for CSV artifacts.
+    pub out_dir: PathBuf,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            quick: false,
+            iters: 40,
+            out_dir: PathBuf::from("paper_results"),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `std::env::args` style arguments (everything after argv\[0\]).
+    ///
+    /// Recognized: `--quick`, `--iters N`, `--out DIR`, `--seed S`.
+    /// Unknown arguments cause an error message listing valid flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut opts = Options::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    opts.quick = true;
+                    if opts.iters == 40 {
+                        opts.iters = 8;
+                    }
+                }
+                "--iters" => {
+                    let v = it.next().ok_or("--iters requires a value")?;
+                    opts.iters = v
+                        .parse()
+                        .map_err(|_| format!("invalid --iters value {v:?}"))?;
+                    if opts.iters == 0 {
+                        return Err("--iters must be >= 1".to_string());
+                    }
+                }
+                "--out" => {
+                    let v = it.next().ok_or("--out requires a value")?;
+                    opts.out_dir = PathBuf::from(v);
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed requires a value")?;
+                    opts.seed = v
+                        .parse()
+                        .map_err(|_| format!("invalid --seed value {v:?}"))?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown argument {other:?}; valid: --quick --iters N --out DIR --seed S"
+                    ))
+                }
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses from the process environment, exiting with a message on
+    /// malformed input.
+    pub fn from_env() -> Self {
+        match Options::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Creates `out_dir` (if needed) and returns the path of `name` in it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn out_path(&self, name: &str) -> PathBuf {
+        std::fs::create_dir_all(&self.out_dir).expect("create output directory");
+        self.out_dir.join(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert!(!o.quick);
+        assert_eq!(o.iters, 40);
+        assert_eq!(o.out_dir, PathBuf::from("paper_results"));
+    }
+
+    #[test]
+    fn quick_reduces_iterations() {
+        let o = parse(&["--quick"]).unwrap();
+        assert!(o.quick);
+        assert_eq!(o.iters, 8);
+    }
+
+    #[test]
+    fn explicit_iters_wins_over_quick() {
+        let o = parse(&["--iters", "12", "--quick"]).unwrap();
+        assert_eq!(o.iters, 12);
+        let o2 = parse(&["--quick", "--iters", "12"]).unwrap();
+        assert_eq!(o2.iters, 12);
+    }
+
+    #[test]
+    fn out_and_seed() {
+        let o = parse(&["--out", "/tmp/x", "--seed", "99"]).unwrap();
+        assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(o.seed, 99);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--iters"]).is_err());
+        assert!(parse(&["--iters", "zero"]).is_err());
+        assert!(parse(&["--iters", "0"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! The paper's benchmark problems.
+//!
+//! §4: "custom 4-coloring problems in King's graph topology are generated
+//! in different sizes ... 49, 400, 1024, and 2116 nodes with all edges
+//! active (8 edges per node)".
+
+use msropm_graph::{generators, Graph};
+
+/// One benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Board side (nodes = side²).
+    pub side: usize,
+    /// The King's graph.
+    pub graph: Graph,
+    /// Best-known max-cut value (the row-stripe construction, proven
+    /// optimal at small sizes by branch and bound — see `msropm-sat`).
+    pub best_cut: usize,
+}
+
+/// The paper's four board sides (49, 400, 1024, 2116 nodes).
+pub const PAPER_SIDES: [usize; 4] = [7, 20, 32, 46];
+
+/// Board sides used by figure binaries: the paper plots 49/400/1024 in
+/// Fig. 5 and adds 2116 in Table 1.
+pub fn paper_sides(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![7]
+    } else {
+        vec![7, 20, 32]
+    }
+}
+
+/// Builds the benchmark for a given board side.
+pub fn paper_benchmark(side: usize) -> Benchmark {
+    let graph = generators::kings_graph_square(side);
+    let best_cut = msropm_graph::cut::kings_stripe_cut(side, side).cut_value(&graph);
+    Benchmark {
+        side,
+        graph,
+        best_cut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_sizes_match_paper() {
+        for (side, nodes) in PAPER_SIDES.iter().zip([49usize, 400, 1024, 2116]) {
+            let b = paper_benchmark(*side);
+            assert_eq!(b.graph.num_nodes(), nodes);
+            assert!(b.best_cut > 0);
+        }
+    }
+
+    #[test]
+    fn quick_mode_uses_smallest() {
+        assert_eq!(paper_sides(true), vec![7]);
+        assert_eq!(paper_sides(false), vec![7, 20, 32]);
+    }
+
+    #[test]
+    fn stripe_cut_is_best_known() {
+        // Cross-check the stored normalizer against the formula.
+        let b = paper_benchmark(7);
+        let expected = (7 - 1) * 7 + 2 * (7 - 1) * (7 - 1); // vertical+diagonal
+        assert_eq!(b.best_cut, expected);
+    }
+}

@@ -1,0 +1,156 @@
+//! Plain-text table rendering and CSV output for the harness binaries.
+
+use std::io::Write;
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use msropm_bench::Table;
+///
+/// let mut t = Table::new(vec!["graph", "accuracy"]);
+/// t.row(vec!["49-node".to_string(), "1.00".to_string()]);
+/// let text = t.render();
+/// assert!(text.contains("49-node"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for c in 0..ncols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[c];
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[c] - cell.len()));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_csv<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(writer, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes a named series (one value per line with its index) as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_series_csv<W: Write>(
+    mut writer: W,
+    index_name: &str,
+    value_name: &str,
+    values: &[f64],
+) -> std::io::Result<()> {
+    writeln!(writer, "{index_name},{value_name}")?;
+    for (i, v) in values.iter().enumerate() {
+        writeln!(writer, "{i},{v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_alignment() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["xxx".into(), "y".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a  "));
+        assert!(lines[2].starts_with("xxx"));
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_rejected() {
+        Table::new(vec!["a"]).row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(vec!["k", "v"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "k,v\n1,2\n");
+    }
+
+    #[test]
+    fn series_csv() {
+        let mut buf = Vec::new();
+        write_series_csv(&mut buf, "iter", "acc", &[0.5, 1.0]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "iter,acc\n0,0.5\n1,1\n");
+    }
+}

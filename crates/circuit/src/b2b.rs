@@ -1,0 +1,118 @@
+//! Gated back-to-back (B2B) inverter coupling branches — Fig. 4(b).
+//!
+//! A B2B cell places two anti-parallel inverters between corresponding
+//! nodes of two rings. Each inverter drives its far node with the inversion
+//! of its near node, so the pair pushes the rings toward **opposite**
+//! phases — the paper's negative coupling (`J < 0` in Fig. 1). The whole
+//! cell sits behind an enable gate (`G_EN`/`L_EN`/`P_EN`).
+
+use crate::inverter::Inverter;
+use crate::tech::Technology;
+
+/// A back-to-back inverter coupling between two circuit nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct B2bCoupling {
+    inverter: Inverter,
+    enabled: bool,
+}
+
+impl B2bCoupling {
+    /// Creates a coupling whose inverters have `strength` × unit widths.
+    ///
+    /// The paper tunes this strength: too weak and the array fails to order
+    /// before the SHIL window; too strong and coupling halts oscillation
+    /// (§2.3). Typical working values are 0.05–0.3 of a unit inverter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strength <= 0`.
+    pub fn new(tech: Technology, strength: f64) -> Self {
+        B2bCoupling {
+            inverter: Inverter::with_strength(tech, strength),
+            enabled: true,
+        }
+    }
+
+    /// Enables/disables the cell.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Returns `true` if the cell conducts.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Coupling-inverter strength relative to a unit inverter.
+    pub fn strength(&self) -> f64 {
+        self.inverter.strength
+    }
+
+    /// Currents injected into node A and node B (`(i_a, i_b)`) given their
+    /// voltages. Zero when disabled.
+    pub fn currents(&self, va: f64, vb: f64) -> (f64, f64) {
+        if !self.enabled {
+            return (0.0, 0.0);
+        }
+        // Inverter driven by B injects into A, and vice versa.
+        let ia = self.inverter.output_current(vb, va);
+        let ib = self.inverter.output_current(va, vb);
+        (ia, ib)
+    }
+
+    /// Supply current drawn by the cell (for power accounting).
+    pub fn supply_current(&self, va: f64, vb: f64) -> f64 {
+        if !self.enabled {
+            return 0.0;
+        }
+        self.inverter.supply_current(vb, va) + self.inverter.supply_current(va, vb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> B2bCoupling {
+        B2bCoupling::new(Technology::default(), 0.2)
+    }
+
+    #[test]
+    fn pushes_nodes_apart() {
+        let c = cell();
+        // Both nodes high: each inverter sees a high input and pulls its far
+        // node low — both currents negative (discharging).
+        let (ia, ib) = c.currents(0.9, 0.9);
+        assert!(ia < 0.0 && ib < 0.0);
+        // Both low: both pulled high.
+        let (ia, ib) = c.currents(0.1, 0.1);
+        assert!(ia > 0.0 && ib > 0.0);
+        // Opposite rails: the cell reinforces the difference.
+        let (ia, ib) = c.currents(0.95, 0.05);
+        assert!(ia > 0.0, "high node pushed higher by low far node");
+        assert!(ib < 0.0, "low node pushed lower by high far node");
+    }
+
+    #[test]
+    fn disabled_cell_conducts_nothing() {
+        let mut c = cell();
+        c.set_enabled(false);
+        assert!(!c.is_enabled());
+        assert_eq!(c.currents(1.0, 0.0), (0.0, 0.0));
+        assert_eq!(c.supply_current(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn symmetric_in_node_exchange() {
+        let c = cell();
+        let (ia, ib) = c.currents(0.3, 0.8);
+        let (ib2, ia2) = c.currents(0.8, 0.3);
+        assert!((ia - ia2).abs() < 1e-15);
+        assert!((ib - ib2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn strength_recorded() {
+        assert!((cell().strength() - 0.2).abs() < 1e-15);
+    }
+}

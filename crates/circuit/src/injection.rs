@@ -1,0 +1,206 @@
+//! SHIL injection: a PMOS device gated by a 2f (or 3f) clock — Fig. 4(a).
+//!
+//! When the SHIL clock drives the PMOS gate low, the device conducts and
+//! pulls the oscillator node toward VDD. Because the perturbation repeats
+//! `m` times per oscillation period, the oscillator can only lock with its
+//! phase in one of `m` positions relative to the clock — sub-harmonic
+//! injection locking. Phase-shifting the clock shifts those positions: the
+//! mechanism behind SHIL 1 vs SHIL 2 (paper Fig. 2(d)).
+
+use crate::tech::Technology;
+
+/// A square SHIL clock: frequency multiple `m` of the oscillator frequency
+/// `f0_ghz`, phase shift `psi` (radians of the *oscillator* cycle times
+/// `m`, i.e. the phase of the injected waveform itself), and duty cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShilWave {
+    /// Injection order: 2 for binarization, 3 for 3-phase (ref \[14\]).
+    pub order: u32,
+    /// Oscillator fundamental frequency in GHz.
+    pub f0_ghz: f64,
+    /// Phase of the injected clock, radians in `[0, 2π)`; SHIL 2 uses `π`
+    /// ("180° out of phase with SHIL 1").
+    pub psi: f64,
+    /// Fraction of the injection period during which the PMOS conducts.
+    pub duty: f64,
+}
+
+impl ShilWave {
+    /// SHIL 1 of the paper: order 2, in phase with the reference.
+    pub fn shil1(f0_ghz: f64) -> Self {
+        ShilWave {
+            order: 2,
+            f0_ghz,
+            psi: 0.0,
+            duty: 0.25,
+        }
+    }
+
+    /// SHIL 2 of the paper: order 2, 180° out of phase with SHIL 1.
+    pub fn shil2(f0_ghz: f64) -> Self {
+        ShilWave {
+            order: 2,
+            f0_ghz,
+            psi: std::f64::consts::PI,
+            duty: 0.25,
+        }
+    }
+
+    /// Returns `true` if the clock holds the PMOS on at time `t_ns`.
+    ///
+    /// The conduction window is centred on the peaks of
+    /// `cos(2π·m·f0·t − ψ)`, so the phase-domain locking term is
+    /// `−Ks·sin(m·θ − ψ)` with stable phases `(ψ + 2πk)/m` — matching
+    /// `msropm-osc`.
+    pub fn is_conducting(&self, t_ns: f64) -> bool {
+        let m = self.order as f64;
+        let cycle = (m * self.f0_ghz * t_ns - self.psi / std::f64::consts::TAU).rem_euclid(1.0);
+        // Window centred on cycle phase 0.
+        cycle < self.duty / 2.0 || cycle > 1.0 - self.duty / 2.0
+    }
+
+    /// Injection period in ns (`1 / (m·f0)`).
+    pub fn period_ns(&self) -> f64 {
+        1.0 / (self.order as f64 * self.f0_ghz)
+    }
+}
+
+/// The per-oscillator SHIL injector: a PMOS pull-up gated by one of two
+/// (or more) SHIL clocks through the `SHIL_SEL` multiplexer, all behind
+/// `SHIL_EN`.
+#[derive(Debug, Clone)]
+pub struct ShilSignal {
+    tech: Technology,
+    /// Available SHIL clocks (the paper uses two).
+    waves: Vec<ShilWave>,
+    /// Injection conductance of the PMOS when conducting, siemens.
+    pub g_inject: f64,
+}
+
+impl ShilSignal {
+    /// Creates an injector with the given clocks and injection conductance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waves` is empty or `g_inject < 0`.
+    pub fn new(tech: Technology, waves: Vec<ShilWave>, g_inject: f64) -> Self {
+        assert!(!waves.is_empty(), "need at least one SHIL clock");
+        assert!(g_inject >= 0.0, "injection conductance must be non-negative");
+        ShilSignal {
+            tech,
+            waves,
+            g_inject,
+        }
+    }
+
+    /// The paper's two-clock configuration (SHIL 1 + SHIL 2) at `f0_ghz`.
+    pub fn paper_pair(tech: Technology, f0_ghz: f64, g_inject: f64) -> Self {
+        ShilSignal::new(
+            tech,
+            vec![ShilWave::shil1(f0_ghz), ShilWave::shil2(f0_ghz)],
+            g_inject,
+        )
+    }
+
+    /// Number of selectable clocks.
+    pub fn num_waves(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// The selected wave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `select` is out of range.
+    pub fn wave(&self, select: usize) -> &ShilWave {
+        &self.waves[select]
+    }
+
+    /// Current injected into a node at voltage `v` at time `t_ns`, when the
+    /// multiplexer selects clock `select`. Zero while the clock holds the
+    /// PMOS off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `select` is out of range.
+    pub fn current(&self, select: usize, t_ns: f64, v: f64) -> f64 {
+        if self.waves[select].is_conducting(t_ns) {
+            self.g_inject * (self.tech.vdd - v)
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn shil_clock_runs_at_twice_f0() {
+        let w = ShilWave::shil1(1.3);
+        assert!((w.period_ns() - 1.0 / 2.6).abs() < 1e-12);
+        let w3 = ShilWave {
+            order: 3,
+            ..ShilWave::shil1(1.0)
+        };
+        assert!((w3.period_ns() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_cycle_fraction_of_time_conducting() {
+        let w = ShilWave::shil1(1.0);
+        let samples = 100_000;
+        let t_end = 50.0;
+        let on = (0..samples)
+            .filter(|&k| w.is_conducting(t_end * k as f64 / samples as f64))
+            .count();
+        let frac = on as f64 / samples as f64;
+        assert!((frac - 0.25).abs() < 0.01, "duty fraction {frac}");
+    }
+
+    #[test]
+    fn shil2_windows_shifted_by_half_injection_period() {
+        let f0 = 1.0;
+        let w1 = ShilWave::shil1(f0);
+        let w2 = ShilWave::shil2(f0);
+        // psi = pi shifts the window by (pi/2pi) = half an injection cycle.
+        let shift = 0.5 * w1.period_ns();
+        for k in 0..1000 {
+            let t = 0.003 * k as f64;
+            assert_eq!(
+                w1.is_conducting(t),
+                w2.is_conducting(t + shift),
+                "mismatch at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn injector_pulls_toward_vdd_only_when_conducting() {
+        let tech = Technology::default();
+        let inj = ShilSignal::paper_pair(tech, 1.0, 1e-4);
+        assert_eq!(inj.num_waves(), 2);
+        // t=0 is the centre of SHIL1's window.
+        assert!(inj.current(0, 0.0, 0.3) > 0.0);
+        // At VDD no current flows even when conducting.
+        assert!(inj.current(0, 0.0, tech.vdd).abs() < 1e-18);
+        // Off-window: zero.
+        let quarter = 0.25 * inj.wave(0).period_ns();
+        assert_eq!(inj.current(0, quarter, 0.3), 0.0);
+    }
+
+    #[test]
+    fn selected_wave_properties() {
+        let inj = ShilSignal::paper_pair(Technology::default(), 1.3, 1e-4);
+        assert_eq!(inj.wave(0).psi, 0.0);
+        assert!((inj.wave(1).psi - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SHIL clock")]
+    fn empty_waves_rejected() {
+        ShilSignal::new(Technology::default(), vec![], 1e-4);
+    }
+}

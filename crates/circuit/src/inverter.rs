@@ -1,0 +1,160 @@
+//! The behavioural CMOS inverter: the primitive cell of every block.
+//!
+//! Modelled as a smooth conductance divider: the input voltage steers a
+//! pull-up conductance `g_p(V_in)` to VDD and a pull-down `g_n(V_in)` to
+//! ground, so the output node obeys
+//!
+//! ```text
+//! C dV_out/dt = g_p(V_in)·(VDD − V_out) − g_n(V_in)·V_out
+//! ```
+//!
+//! with logistic steering `g_p = G_P·σ((VM−V_in)/VS)`,
+//! `g_n = G_N·σ((V_in−VM)/VS)`. This captures the three behaviours the
+//! Potts machine depends on: regenerative switching (ring oscillation),
+//! current injection summing at nodes (coupling and SHIL), and asymmetric
+//! rise/fall from the 4:1 sizing (2nd-harmonic SHIL susceptibility).
+
+use crate::tech::Technology;
+
+/// A behavioural CMOS inverter in a given technology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Inverter {
+    tech: Technology,
+    /// Strength multiplier (1.0 = unit inverter); B2B coupling cells use
+    /// fractions of a unit inverter.
+    pub strength: f64,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Inverter {
+    /// A unit-strength inverter.
+    pub fn new(tech: Technology) -> Self {
+        Inverter {
+            tech,
+            strength: 1.0,
+        }
+    }
+
+    /// An inverter scaled by `strength` (device widths × strength).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strength <= 0`.
+    pub fn with_strength(tech: Technology, strength: f64) -> Self {
+        assert!(strength > 0.0, "inverter strength must be positive");
+        Inverter { tech, strength }
+    }
+
+    /// Technology of this cell.
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Pull-up conductance at input voltage `vin` (siemens).
+    pub fn g_pull_up(&self, vin: f64) -> f64 {
+        self.strength * self.tech.gp * sigmoid((self.tech.vm - vin) / self.tech.vs)
+    }
+
+    /// Pull-down conductance at input voltage `vin` (siemens).
+    pub fn g_pull_down(&self, vin: f64) -> f64 {
+        self.strength * self.tech.gn * sigmoid((vin - self.tech.vm) / self.tech.vs)
+    }
+
+    /// Current delivered *into* the output node (amperes) for the given
+    /// input and output voltages.
+    pub fn output_current(&self, vin: f64, vout: f64) -> f64 {
+        self.g_pull_up(vin) * (self.tech.vdd - vout) - self.g_pull_down(vin) * vout
+    }
+
+    /// DC transfer: the output voltage at which [`Inverter::output_current`]
+    /// vanishes for a held input.
+    pub fn dc_output(&self, vin: f64) -> f64 {
+        let gp = self.g_pull_up(vin);
+        let gn = self.g_pull_down(vin);
+        gp * self.tech.vdd / (gp + gn)
+    }
+
+    /// The supply current drawn while producing `output_current` — used by
+    /// the transient power integrator. Only the pull-up path draws from
+    /// VDD.
+    pub fn supply_current(&self, vin: f64, vout: f64) -> f64 {
+        self.g_pull_up(vin) * (self.tech.vdd - vout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv() -> Inverter {
+        Inverter::new(Technology::default())
+    }
+
+    #[test]
+    fn dc_transfer_inverts() {
+        let i = inv();
+        let vdd = i.tech().vdd;
+        // Input low -> output ~VDD; input high -> output ~0.
+        assert!(i.dc_output(0.0) > 0.98 * vdd);
+        assert!(i.dc_output(vdd) < 0.02 * vdd);
+        // Monotone decreasing.
+        let mut prev = i.dc_output(0.0);
+        for k in 1..=20 {
+            let v = i.dc_output(vdd * k as f64 / 20.0);
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn switching_threshold_is_skewed_low() {
+        // With gp = 4 gn the transfer crosses VDD/2 at an input *above* vm,
+        // but the steering midpoint vm itself sits below VDD/2.
+        let i = inv();
+        assert!(i.tech().vm < 0.5);
+        // At vin = vm, pull-up is 4x pull-down: output well above VDD/2.
+        assert!(i.dc_output(i.tech().vm) > 0.5);
+    }
+
+    #[test]
+    fn output_current_signs() {
+        let i = inv();
+        // Low input, low output: charging (positive into node).
+        assert!(i.output_current(0.0, 0.1) > 0.0);
+        // High input, high output: discharging.
+        assert!(i.output_current(1.0, 0.9) < 0.0);
+        // At the DC point the current is ~0.
+        let v = i.dc_output(0.3);
+        assert!(i.output_current(0.3, v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strength_scales_current() {
+        let t = Technology::default();
+        let unit = Inverter::new(t);
+        let double = Inverter::with_strength(t, 2.0);
+        let weak = Inverter::with_strength(t, 0.25);
+        let (vin, vout) = (0.2, 0.5);
+        assert!((double.output_current(vin, vout) - 2.0 * unit.output_current(vin, vout)).abs() < 1e-15);
+        assert!((weak.output_current(vin, vout) - 0.25 * unit.output_current(vin, vout)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn supply_current_nonnegative() {
+        let i = inv();
+        for vin in [0.0, 0.3, 0.6, 1.0] {
+            for vout in [0.0, 0.5, 1.0] {
+                assert!(i.supply_current(vin, vout) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strength must be positive")]
+    fn zero_strength_rejected() {
+        Inverter::with_strength(Technology::default(), 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Behavioural circuit-level simulator for the MSROPM reproduction — the
+//! substitute for the paper's 65 nm GP CMOS + SPICE environment.
+//!
+//! # What is modelled
+//!
+//! The paper's Fig. 4 hardware, at the level that matters for phase-domain
+//! computation:
+//!
+//! - [`tech`]: technology parameters (1 V supply, node capacitances, drive
+//!   conductances with the paper's 4:1 PMOS:NMOS skew that enables
+//!   2nd-order SHIL susceptibility) and frequency calibration.
+//! - [`inverter`]: a smooth conductance-divider CMOS inverter model
+//!   (`dV/dt = [g_p(V_in)(VDD−V) − g_n(V_in)V]/C`), the cell from which
+//!   rings, couplings and injectors are built.
+//! - [`rosc`]: the 11-stage ring oscillator block with its enable gate,
+//!   calibrated to the paper's 1.3 GHz.
+//! - [`b2b`]: gated back-to-back-inverter coupling branches (negative /
+//!   phase-repulsive coupling).
+//! - [`injection`]: the PMOS SHIL injector driven by a 2f (or 3f) square
+//!   wave with programmable phase shift, plus the SHIL_SEL multiplexer.
+//! - [`netlist`]: the full oscillator-array circuit as one ODE system,
+//!   with `G_EN`/`L_EN`/`P_EN`/`SHIL_EN`/`SHIL_SEL` controls.
+//! - [`readout`]: the DFF + 4-reference phase sampler of Fig. 4(c) and
+//!   zero-crossing phase measurement.
+//! - [`power`]: an activity-based CV²f power model calibrated against
+//!   Table 1, plus a transient supply-current integrator for small arrays.
+//!
+//! # Why this fidelity level
+//!
+//! The computation the paper reports lives in the *phases* of coupled
+//! oscillators. A smooth stage-level nonlinear ODE reproduces oscillation,
+//! injection locking, SHIL phase discretization and coupling-induced
+//! anti-phase ordering — the behaviours every claim rests on — while
+//! remaining integrable for thousands of nodes with the in-workspace RK4.
+//! Absolute delays/powers are calibrated, not predicted, and the workspace
+//! records paper-vs-measured values in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod b2b;
+pub mod injection;
+pub mod inverter;
+pub mod netlist;
+pub mod power;
+pub mod readout;
+pub mod rosc;
+pub mod tech;
+
+pub use injection::{ShilSignal, ShilWave};
+pub use inverter::Inverter;
+pub use netlist::{CircuitArray, CircuitArrayBuilder};
+pub use power::{PowerBreakdown, PowerModel};
+pub use readout::{measure_phase, DffPhaseSampler, ReferenceBank};
+pub use rosc::RingOscillator;
+pub use tech::Technology;

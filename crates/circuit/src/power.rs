@@ -1,0 +1,273 @@
+//! Power estimation: activity-based CV²f model + transient measurement.
+//!
+//! Table 1 of the paper reports average power of 9.4/60.3/146.1/283.4 mW
+//! for the 49/400/1024/2116-node problems, "scaling linearly with
+//! increasing problem sizes". Two models are provided:
+//!
+//! - [`PowerModel::from_technology`]: a physics-based estimate
+//!   (`P_ring = N_stages·C·VDD²·f` per ring plus coupling and control
+//!   terms) — predicts the scaling *shape* from first principles;
+//! - [`PowerModel::calibrated_to_paper`]: the same three-term affine model
+//!   with coefficients least-squares fitted to the paper's four Table-1
+//!   points — used when regenerating Table 1, with the fit residuals
+//!   reported in EXPERIMENTS.md.
+
+use crate::netlist::CircuitArray;
+use crate::tech::Technology;
+
+/// Decomposed power estimate, all in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Ring-oscillator dynamic power.
+    pub oscillators_mw: f64,
+    /// B2B coupling power.
+    pub couplings_mw: f64,
+    /// Control, clocking and readout overhead.
+    pub control_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power in milliwatts.
+    pub fn total_mw(&self) -> f64 {
+        self.oscillators_mw + self.couplings_mw + self.control_mw
+    }
+}
+
+/// The affine activity model `P(N, E) = fixed + per_node·N + per_edge·E`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Fixed overhead (clock generation, bias, readout), mW.
+    pub fixed_mw: f64,
+    /// Per-oscillator power, mW.
+    pub per_node_mw: f64,
+    /// Per-coupling power, mW.
+    pub per_edge_mw: f64,
+}
+
+/// The paper's Table-1 data points: (nodes, edges, average power mW) for
+/// the four King's-graph benchmarks (edges = 2(n−1)(2n−1) for side n).
+pub const PAPER_TABLE1_POWER: [(usize, usize, f64); 4] = [
+    (49, 156, 9.4),
+    (400, 1482, 60.3),
+    (1024, 3906, 146.1),
+    (2116, 8190, 283.4),
+];
+
+impl PowerModel {
+    /// Physics-based model from technology parameters: each ring node
+    /// switches at `f0`, each active coupling cell burns a fraction of a
+    /// ring stage, and control overhead is folded into `fixed_mw = 0`
+    /// (reported separately by the calibrated model).
+    pub fn from_technology(
+        tech: &Technology,
+        num_stages: usize,
+        f0_ghz: f64,
+        coupling_strength: f64,
+    ) -> Self {
+        let f0 = f0_ghz * 1e9;
+        let p_node_w = num_stages as f64 * tech.node_switch_energy() * f0;
+        // A coupling cell contains two inverters of `coupling_strength`
+        // relative width, switching at f0 with ~50% activity.
+        let p_edge_w = 2.0 * coupling_strength * tech.node_switch_energy() * f0 * 0.5;
+        PowerModel {
+            fixed_mw: 0.0,
+            per_node_mw: p_node_w * 1e3,
+            per_edge_mw: p_edge_w * 1e3,
+        }
+    }
+
+    /// Least-squares fit of the affine model to the paper's four Table-1
+    /// points (see [`PAPER_TABLE1_POWER`]).
+    ///
+    /// Only the **total** is calibrated. The individual coefficients are
+    /// not separately physical: on square King's graphs the edge count is
+    /// an affine function of `N` and `√N`, so the `[1, N, E]` basis is
+    /// nearly collinear and the fit may assign a negative per-edge
+    /// coefficient. Use [`PowerModel::from_technology`] when a physically
+    /// decomposed estimate matters; use this model to reproduce Table 1's
+    /// totals (residual < 6% at all four points).
+    pub fn calibrated_to_paper() -> Self {
+        let pts = PAPER_TABLE1_POWER;
+        // Normal equations for [1, N, E] basis.
+        let mut ata = [[0.0f64; 3]; 3];
+        let mut atb = [0.0f64; 3];
+        for &(n, e, p) in &pts {
+            let row = [1.0, n as f64, e as f64];
+            for i in 0..3 {
+                for j in 0..3 {
+                    ata[i][j] += row[i] * row[j];
+                }
+                atb[i] += row[i] * p;
+            }
+        }
+        let x = solve3(ata, atb);
+        PowerModel {
+            fixed_mw: x[0],
+            per_node_mw: x[1],
+            per_edge_mw: x[2],
+        }
+    }
+
+    /// Estimates the power of an `num_nodes`-oscillator array with
+    /// `num_edges` active couplings.
+    pub fn estimate(&self, num_nodes: usize, num_edges: usize) -> PowerBreakdown {
+        PowerBreakdown {
+            oscillators_mw: self.per_node_mw * num_nodes as f64,
+            couplings_mw: self.per_edge_mw * num_edges as f64,
+            control_mw: self.fixed_mw,
+        }
+    }
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination with partial
+/// pivoting.
+///
+/// # Panics
+///
+/// Panics if the system is singular.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
+    for col in 0..3 {
+        // Pivot.
+        let pivot = (col..3)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
+            .expect("rows remain");
+        assert!(a[pivot][col].abs() > 1e-12, "singular system");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..3 {
+            let f = a[row][col] / a[col][col];
+            for k in col..3 {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0f64; 3];
+    for row in (0..3).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..3 {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    x
+}
+
+/// Measures average power (watts) of a transient by integrating
+/// `VDD · I_supply(t)` over `window_ns` starting at absolute time `t0`.
+/// The input state is advanced in place (callers usually measure over a
+/// window they would simulate anyway).
+pub fn transient_average_power(
+    array: &CircuitArray,
+    state: &mut [f64],
+    t0: f64,
+    window_ns: f64,
+    dt: f64,
+) -> f64 {
+    let vdd = array.tech().vdd;
+    let mut energy_j = 0.0; // integral of v*i dt
+    let mut prev_t = t0;
+    let mut prev_i = array.supply_current(t0, state);
+    array.run_observed(state, t0, window_ns, dt, |t, y| {
+        let i = array.supply_current(t, y);
+        // Trapezoidal rule; time is in ns.
+        energy_j += 0.5 * (i + prev_i) * (t - prev_t) * 1e-9 * vdd;
+        prev_t = t;
+        prev_i = i;
+    });
+    energy_j / (window_ns * 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msropm_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn calibrated_fit_reproduces_table1() {
+        let m = PowerModel::calibrated_to_paper();
+        for &(n, e, p) in &PAPER_TABLE1_POWER {
+            let est = m.estimate(n, e).total_mw();
+            let rel = (est - p).abs() / p;
+            assert!(
+                rel < 0.06,
+                "fit error {rel:.3} at n={n}: {est:.1} vs {p} mW"
+            );
+        }
+    }
+
+    #[test]
+    fn calibrated_coefficients_are_physical() {
+        let m = PowerModel::calibrated_to_paper();
+        assert!(m.per_node_mw > 0.0, "per-node power must be positive");
+        assert!(m.fixed_mw.abs() < 10.0, "fixed overhead stays small");
+    }
+
+    #[test]
+    fn physics_model_positive_and_linear() {
+        let tech = Technology::calibrated(11, 1.3);
+        let m = PowerModel::from_technology(&tech, 11, 1.3, 0.15);
+        let p1 = m.estimate(49, 156).total_mw();
+        let p2 = m.estimate(98, 312).total_mw();
+        assert!(p1 > 0.0);
+        assert!((p2 / p1 - 2.0).abs() < 1e-9, "pure linear scaling");
+    }
+
+    #[test]
+    fn physics_model_same_order_as_paper() {
+        // The behavioural node capacitance is calibrated to frequency, not
+        // power, so only the order of magnitude is expected to agree.
+        let tech = Technology::calibrated(11, 1.3);
+        let m = PowerModel::from_technology(&tech, 11, 1.3, 0.15);
+        let est = m.estimate(49, 156).total_mw();
+        assert!(est > 0.9 && est < 400.0, "49-node estimate {est} mW");
+    }
+
+    #[test]
+    fn solve3_known_system() {
+        // x + y + z = 6; 2y + 5z = -4; 2x + 5y - z = 27 -> (5, 3, -2).
+        let a = [[1.0, 1.0, 1.0], [0.0, 2.0, 5.0], [2.0, 5.0, -1.0]];
+        let b = [6.0, -4.0, 27.0];
+        let x = solve3(a, b);
+        assert!((x[0] - 5.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        assert!((x[2] + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_power_positive_and_scales() {
+        let g1 = generators::path_graph(1);
+        let a1 = CircuitArray::builder(&g1).build();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s1 = a1.random_state(&mut rng);
+        a1.run(&mut s1, 0.0, 5.0, 1e-3);
+        let p1 = transient_average_power(&a1, &mut s1, 5.0, 4.0, 1e-3);
+        assert!(p1 > 0.0);
+
+        let g3 = generators::path_graph(3);
+        let mut a3 = CircuitArray::builder(&g3).build();
+        a3.set_all_edges_enabled(false);
+        let mut s3 = a3.random_state(&mut rng);
+        a3.run(&mut s3, 0.0, 5.0, 1e-3);
+        let p3 = transient_average_power(&a3, &mut s3, 5.0, 4.0, 1e-3);
+        // Three independent rings draw ~3x one ring.
+        assert!((p3 / p1 - 3.0).abs() < 0.25, "ratio {}", p3 / p1);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = PowerBreakdown {
+            oscillators_mw: 1.0,
+            couplings_mw: 0.5,
+            control_mw: 0.25,
+        };
+        assert!((b.total_mw() - 1.75).abs() < 1e-12);
+    }
+}

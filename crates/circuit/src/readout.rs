@@ -1,0 +1,343 @@
+//! Phase measurement and the DFF/reference-bank sampler of Fig. 4(c).
+//!
+//! Under SHIL, locked phases are absolute w.r.t. the reference clock
+//! (paper §3.3), so a bank of DFFs clocked by the oscillator output and fed
+//! by `N` pulse-shaped reference signals produces a one-hot phase code:
+//! at the oscillator's rising edge exactly one reference is high.
+
+use crate::netlist::CircuitArray;
+use std::f64::consts::TAU;
+
+/// Measures the phase of oscillator `osc` by simulating a copy of `state`
+/// forward from absolute time `t0` for `window_ns` and timing the rising
+/// VDD/2 crossings of its output node.
+///
+/// The returned phase `θ ∈ [0, 2π)` follows the `square(2πf₀t + θ)`
+/// convention: a rising crossing at `t_c` means `θ ≡ −2πf₀t_c (mod 2π)`.
+/// Returns `None` if the node does not cross twice within the window (ring
+/// disabled or halted).
+///
+/// The input `state` is not modified.
+pub fn measure_phase(
+    array: &CircuitArray,
+    state: &[f64],
+    osc: usize,
+    window_ns: f64,
+    dt: f64,
+) -> Option<f64> {
+    measure_phase_at(array, state, osc, 0.0, window_ns, dt)
+}
+
+/// Like [`measure_phase`] but resuming from absolute time `t0` (needed when
+/// SHIL clocks are active, since they are absolute-time waveforms).
+pub fn measure_phase_at(
+    array: &CircuitArray,
+    state: &[f64],
+    osc: usize,
+    t0: f64,
+    window_ns: f64,
+    dt: f64,
+) -> Option<f64> {
+    let node = array.output_node(osc);
+    let half = array.tech().vdd / 2.0;
+    let mut y = state.to_vec();
+    let mut crossings: Vec<f64> = Vec::new();
+    let mut prev_v = y[node];
+    let mut prev_t = t0;
+    array.run_observed(&mut y, t0, window_ns, dt, |t, y| {
+        let v = y[node];
+        if prev_v < half && v >= half && t > t0 {
+            let frac = (half - prev_v) / (v - prev_v);
+            crossings.push(prev_t + frac * (t - prev_t));
+        }
+        prev_v = v;
+        prev_t = t;
+    });
+    if crossings.len() < 2 {
+        return None;
+    }
+    let t_c = crossings[0];
+    Some((-TAU * array.f0_ghz() * t_c).rem_euclid(TAU))
+}
+
+/// Measures the *relative* phase `θ_a − θ_b ∈ [0, 2π)` of two oscillators
+/// using the measured oscillation period rather than the nominal frequency,
+/// so the result is immune to free-running frequency offsets.
+///
+/// Returns `None` if either oscillator fails to produce two rising
+/// crossings within the window.
+pub fn measure_relative_phase(
+    array: &CircuitArray,
+    state: &[f64],
+    osc_a: usize,
+    osc_b: usize,
+    t0: f64,
+    window_ns: f64,
+    dt: f64,
+) -> Option<f64> {
+    let node_a = array.output_node(osc_a);
+    let node_b = array.output_node(osc_b);
+    let half = array.tech().vdd / 2.0;
+    let mut y = state.to_vec();
+    let mut cross_a: Vec<f64> = Vec::new();
+    let mut cross_b: Vec<f64> = Vec::new();
+    let mut prev_a = y[node_a];
+    let mut prev_b = y[node_b];
+    let mut prev_t = t0;
+    array.run_observed(&mut y, t0, window_ns, dt, |t, y| {
+        if t > t0 {
+            let va = y[node_a];
+            if prev_a < half && va >= half {
+                cross_a.push(prev_t + (half - prev_a) / (va - prev_a) * (t - prev_t));
+            }
+            let vb = y[node_b];
+            if prev_b < half && vb >= half {
+                cross_b.push(prev_t + (half - prev_b) / (vb - prev_b) * (t - prev_t));
+            }
+        }
+        prev_a = y[node_a];
+        prev_b = y[node_b];
+        prev_t = t;
+    });
+    if cross_a.len() < 2 || cross_b.len() < 2 {
+        return None;
+    }
+    let period = (cross_a[cross_a.len() - 1] - cross_a[0]) / (cross_a.len() - 1) as f64;
+    // B lagging A in edge time = A leading in phase.
+    let dt_edges = cross_b[0] - cross_a[0];
+    Some((TAU * dt_edges / period).rem_euclid(TAU))
+}
+
+/// A bank of `N` reference pulse signals whose high windows tile the
+/// oscillation cycle, one per Potts phase target (paper Fig. 4(c) uses
+/// `N = 4` for 4-coloring).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReferenceBank {
+    f0_ghz: f64,
+    num_phases: usize,
+    /// Global calibration offset (radians): rotates all windows to align
+    /// with the physical SHIL lock positions.
+    offset: f64,
+}
+
+impl ReferenceBank {
+    /// Creates a bank of `num_phases` references for oscillators at
+    /// `f0_ghz`, with phase windows centred at `2πk/N + offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_phases == 0` or `f0_ghz <= 0`.
+    pub fn new(f0_ghz: f64, num_phases: usize, offset: f64) -> Self {
+        assert!(num_phases >= 1, "need at least one reference");
+        assert!(f0_ghz > 0.0, "frequency must be positive");
+        ReferenceBank {
+            f0_ghz,
+            num_phases,
+            offset,
+        }
+    }
+
+    /// Number of reference signals (= number of representable colors).
+    pub fn num_phases(&self) -> usize {
+        self.num_phases
+    }
+
+    /// Returns `true` if reference `k` is high at time `t_ns`: its window
+    /// covers oscillator phases within `±π/N` of the target `2πk/N+offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= num_phases`.
+    pub fn is_high(&self, k: usize, t_ns: f64) -> bool {
+        assert!(k < self.num_phases, "reference index out of range");
+        // An oscillator of phase θ has rising edges where f0·t ≡ −θ/2π.
+        // Window k covers the edge times of phases near θ_k.
+        let theta_k = TAU * k as f64 / self.num_phases as f64 + self.offset;
+        let center = (-theta_k / TAU).rem_euclid(1.0);
+        let pos = (self.f0_ghz * t_ns).rem_euclid(1.0);
+        let d = (pos - center).rem_euclid(1.0);
+        let d = d.min(1.0 - d);
+        d < 0.5 / self.num_phases as f64
+    }
+
+    /// The one-hot sample of all references at time `t_ns`: index of the
+    /// unique high reference (tiling windows guarantee uniqueness except on
+    /// boundaries, resolved toward the lower index).
+    pub fn sample(&self, t_ns: f64) -> usize {
+        for k in 0..self.num_phases {
+            if self.is_high(k, t_ns) {
+                return k;
+            }
+        }
+        // Boundary case: the half-open windows can exclude an exact edge;
+        // fall back to nearest center.
+        let pos = (self.f0_ghz * t_ns).rem_euclid(1.0);
+        (0..self.num_phases)
+            .min_by(|&a, &b| {
+                let da = self.center_distance(a, pos);
+                let db = self.center_distance(b, pos);
+                da.partial_cmp(&db).expect("distances are finite")
+            })
+            .expect("at least one reference")
+    }
+
+    fn center_distance(&self, k: usize, pos: f64) -> f64 {
+        let theta_k = TAU * k as f64 / self.num_phases as f64 + self.offset;
+        let center = (-theta_k / TAU).rem_euclid(1.0);
+        let d = (pos - center).rem_euclid(1.0);
+        d.min(1.0 - d)
+    }
+}
+
+/// The full phase-readout path: measure the oscillator's rising edge, then
+/// sample the reference bank at that instant — one DFF per reference, data
+/// = reference, clock = oscillator output (Fig. 4(c)).
+#[derive(Debug, Clone)]
+pub struct DffPhaseSampler {
+    bank: ReferenceBank,
+    window_ns: f64,
+    dt: f64,
+}
+
+impl DffPhaseSampler {
+    /// Creates a sampler using `bank`, observing each oscillator for
+    /// `window_ns` with step `dt`.
+    pub fn new(bank: ReferenceBank, window_ns: f64, dt: f64) -> Self {
+        DffPhaseSampler {
+            bank,
+            window_ns,
+            dt,
+        }
+    }
+
+    /// Reference bank in use.
+    pub fn bank(&self) -> &ReferenceBank {
+        &self.bank
+    }
+
+    /// Reads the color code of oscillator `osc` at absolute time `t0`:
+    /// `Some(k)` where `k` is the one-hot reference index at the
+    /// oscillator's rising edge, or `None` if the oscillator is not
+    /// toggling.
+    pub fn read_color(
+        &self,
+        array: &CircuitArray,
+        state: &[f64],
+        osc: usize,
+        t0: f64,
+    ) -> Option<usize> {
+        let node = array.output_node(osc);
+        let half = array.tech().vdd / 2.0;
+        let mut y = state.to_vec();
+        let mut edge_time: Option<f64> = None;
+        let mut prev_v = y[node];
+        let mut prev_t = t0;
+        array.run_observed(&mut y, t0, self.window_ns, self.dt, |t, y| {
+            let v = y[node];
+            if edge_time.is_none() && prev_v < half && v >= half && t > t0 {
+                let frac = (half - prev_v) / (v - prev_v);
+                edge_time = Some(prev_t + frac * (t - prev_t));
+            }
+            prev_v = v;
+            prev_t = t;
+        });
+        edge_time.map(|t_c| self.bank.sample(t_c))
+    }
+
+    /// Reads all oscillators (see [`DffPhaseSampler::read_color`]).
+    pub fn read_all(&self, array: &CircuitArray, state: &[f64], t0: f64) -> Vec<Option<usize>> {
+        (0..array.num_oscillators())
+            .map(|osc| self.read_color(array, state, osc, t0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msropm_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reference_windows_tile_the_cycle() {
+        let bank = ReferenceBank::new(1.3, 4, 0.0);
+        let period = 1.0 / 1.3;
+        let samples = 4000;
+        let mut counts = [0usize; 4];
+        for i in 0..samples {
+            let t = period * i as f64 / samples as f64;
+            let high: Vec<usize> = (0..4).filter(|&k| bank.is_high(k, t)).collect();
+            assert!(high.len() <= 1, "windows must not overlap at t={t}");
+            if let Some(&k) = high.first() {
+                counts[k] += 1;
+            }
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / samples as f64;
+            assert!((frac - 0.25).abs() < 0.01, "ref {k} covers {frac}");
+        }
+    }
+
+    #[test]
+    fn sample_classifies_phase_targets() {
+        let f0 = 1.0;
+        let bank = ReferenceBank::new(f0, 4, 0.0);
+        // An oscillator with phase theta_k has a rising edge at
+        // t = -theta_k / (2 pi f0) (mod period); sampling there yields k.
+        for k in 0..4 {
+            let theta = TAU * k as f64 / 4.0;
+            let t_edge = (-theta / TAU / f0).rem_euclid(1.0 / f0);
+            assert_eq!(bank.sample(t_edge), k, "phase target {k}");
+        }
+    }
+
+    #[test]
+    fn offset_rotates_windows() {
+        let f0 = 1.0;
+        let offset = 0.3;
+        let bank = ReferenceBank::new(f0, 4, offset);
+        let theta = TAU / 4.0 + offset;
+        let t_edge = (-theta / TAU / f0).rem_euclid(1.0 / f0);
+        assert_eq!(bank.sample(t_edge), 1);
+    }
+
+    #[test]
+    fn measured_phase_matches_reference_classification() {
+        // Free-running ring: measure its phase, then check the DFF sampler
+        // classifies consistently with the measured phase's bucket.
+        let g = generators::path_graph(1);
+        let array = crate::netlist::CircuitArray::builder(&g).build();
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut state = array.random_state(&mut rng);
+        array.run(&mut state, 0.0, 10.0, 1e-3);
+        let phase = measure_phase(&array, &state, 0, 8.0, 1e-3).expect("oscillates");
+        let bank = ReferenceBank::new(array.f0_ghz(), 4, 0.0);
+        let sampler = DffPhaseSampler::new(bank, 8.0, 1e-3);
+        let color = sampler.read_color(&array, &state, 0, 0.0).expect("readable");
+        // The color bucket must contain the measured phase (within half a
+        // window of slack for frequency mismatch over the window).
+        let bucket_center = TAU * color as f64 / 4.0;
+        let d = (phase - bucket_center).rem_euclid(TAU);
+        let d = d.min(TAU - d);
+        assert!(d < TAU / 4.0 + 0.3, "phase {phase} vs bucket {color}");
+    }
+
+    #[test]
+    fn dead_oscillator_reads_none() {
+        let g = generators::path_graph(1);
+        let mut array = crate::netlist::CircuitArray::builder(&g).build();
+        array.set_oscillator_enabled(0, false);
+        let state = vec![0.0; array.state_dim()];
+        let bank = ReferenceBank::new(array.f0_ghz(), 4, 0.0);
+        let sampler = DffPhaseSampler::new(bank, 5.0, 1e-3);
+        assert_eq!(sampler.read_color(&array, &state, 0, 0.0), None);
+        assert_eq!(measure_phase(&array, &state, 0, 5.0, 1e-3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference index out of range")]
+    fn bad_reference_index() {
+        ReferenceBank::new(1.0, 4, 0.0).is_high(4, 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Technology parameters for the behavioural 65 nm-like models.
+
+/// Electrical parameters of the (behavioural) technology node.
+///
+/// Defaults approximate the paper's 65 nm GP process at 1 V: an 11-stage
+/// ring built from these inverters free-runs near 1.3 GHz after
+/// [`Technology::calibrated`] adjusts the node capacitance.
+///
+/// The PMOS:NMOS strength ratio defaults to the paper's 4:1 sizing, which
+/// skews the switching threshold and gives the ring its 2nd-order SHIL
+/// susceptibility (paper §3.3, ref \[24\]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Peak pull-down (NMOS) conductance, siemens.
+    pub gn: f64,
+    /// Peak pull-up (PMOS) conductance, siemens.
+    pub gp: f64,
+    /// Inverter switching threshold, volts.
+    pub vm: f64,
+    /// Transition sharpness, volts (smaller = more ideal switch).
+    pub vs: f64,
+    /// Node capacitance, farads.
+    pub c_node: f64,
+    /// Weak leak conductance to ground used when a block is disabled,
+    /// siemens.
+    pub g_leak: f64,
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        // Base values chosen so the *shape* is CMOS-like; c_node is then
+        // calibrated so an 11-stage ring hits the paper's 1.3 GHz.
+        Technology {
+            vdd: 1.0,
+            gn: 0.8e-3,
+            gp: 3.2e-3, // 4:1 PMOS:NMOS sizing (paper sec. 3.3)
+            vm: 0.42,   // skewed below VDD/2 by the strong PMOS
+            vs: 0.09,
+            c_node: 12e-15,
+            g_leak: 5e-6,
+        }
+    }
+}
+
+impl Technology {
+    /// The default technology with `c_node` rescaled so that an
+    /// `num_stages`-ring free-runs at `target_ghz`.
+    ///
+    /// Calibration is measurement-based: the node ODE is linear in `1/C`,
+    /// so the oscillation frequency is *exactly* proportional to `1/C`. One
+    /// transient measurement of the default ring therefore pins the scale,
+    /// and the returned technology hits the target to within the crossing
+    /// interpolation error (≪ 1%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_ghz <= 0` or `num_stages` is even or < 3.
+    pub fn calibrated(num_stages: usize, target_ghz: f64) -> Self {
+        assert!(target_ghz > 0.0, "target frequency must be positive");
+        assert!(
+            num_stages >= 3 && num_stages % 2 == 1,
+            "ring needs an odd stage count >= 3"
+        );
+        let mut tech = Technology::default();
+        // First pass: analytic estimate gets within tens of percent.
+        let f_analytic = tech.estimate_ring_frequency(num_stages);
+        tech.c_node *= f_analytic / (target_ghz * 1e9);
+        // Second pass: measure the actual transient period and rescale
+        // using the exact f ∝ 1/C law.
+        let ring = crate::rosc::RingOscillator::new(tech, num_stages);
+        let t_target_ns = 1.0 / target_ghz;
+        let f_measured_ghz = ring
+            .measure_frequency_ghz(40.0 * t_target_ns, 8)
+            .expect("default ring must oscillate during calibration");
+        tech.c_node *= f_measured_ghz / target_ghz;
+        tech
+    }
+
+    /// Analytic small-model estimate of the free-running ring frequency in
+    /// Hz (used for calibration; transient tests measure the real value).
+    pub fn estimate_ring_frequency(&self, num_stages: usize) -> f64 {
+        // Per-stage delay ~ time for the output to swing between the
+        // thresholds under the weaker device; the swing-limiting device
+        // dominates. Use the RC of the mean conductance with an empirical
+        // 0.69 (ln 2) factor.
+        let g_mean = 2.0 * self.gp * self.gn / (self.gp + self.gn);
+        let t_stage = std::f64::consts::LN_2 * self.c_node / g_mean;
+        1.0 / (2.0 * num_stages as f64 * t_stage)
+    }
+
+    /// Dynamic switching energy of one node per full period: `C·VDD²`
+    /// (charge up + discharge counts once in CV² accounting), joules.
+    pub fn node_switch_energy(&self) -> f64 {
+        self.c_node * self.vdd * self.vdd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_cmos_like() {
+        let t = Technology::default();
+        assert_eq!(t.vdd, 1.0);
+        assert!((t.gp / t.gn - 4.0).abs() < 1e-12, "4:1 sizing");
+        assert!(t.vm < t.vdd / 2.0 + 0.05, "threshold skewed by strong PMOS");
+    }
+
+    #[test]
+    fn calibration_scales_capacitance() {
+        let t13 = Technology::calibrated(11, 1.3);
+        // Higher target -> smaller capacitance, exactly inverse.
+        let t26 = Technology::calibrated(11, 2.6);
+        assert!(t26.c_node < t13.c_node);
+        assert!((t13.c_node / t26.c_node - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn calibration_hits_target_frequency() {
+        let t = Technology::calibrated(11, 1.3);
+        let ring = crate::rosc::RingOscillator::new(t, 11);
+        let f = ring.measure_frequency_ghz(20.0, 8).expect("oscillates");
+        assert!(
+            (f - 1.3).abs() / 1.3 < 0.01,
+            "measured {f} GHz, target 1.3 GHz"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd stage count")]
+    fn even_stage_count_rejected() {
+        Technology::calibrated(10, 1.3);
+    }
+
+    #[test]
+    fn switch_energy_positive() {
+        let t = Technology::default();
+        assert!(t.node_switch_energy() > 0.0);
+        assert!((t.node_switch_energy() - t.c_node).abs() < 1e-18, "VDD=1 => E=C");
+    }
+}

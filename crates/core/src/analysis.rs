@@ -1,0 +1,135 @@
+//! Success-probability and time-to-solution analysis.
+//!
+//! Ising/Potts machines are probabilistic: the paper runs 40 iterations
+//! and keeps the best (§4). The standard figure of merit for such solvers
+//! is **TTS(q)** — the expected wall time to reach a target quality at
+//! confidence `q`, `TTS = t_iter · ln(1−q)/ln(1−p)` where `p` is the
+//! per-iteration success probability. This module estimates `p` and `TTS`
+//! from an [`ExperimentReport`], enabling principled comparisons against
+//! the literature rows of Table 2 (which report raw per-run times).
+
+use crate::runner::ExperimentReport;
+
+/// Fraction of iterations whose final accuracy reached `threshold`.
+pub fn success_probability(report: &ExperimentReport, threshold: f64) -> f64 {
+    let hits = report
+        .outcomes
+        .iter()
+        .filter(|o| o.accuracy >= threshold)
+        .count();
+    hits as f64 / report.outcomes.len() as f64
+}
+
+/// Time-to-solution at confidence `confidence` for target accuracy
+/// `threshold`, in nanoseconds of machine time.
+///
+/// Returns `None` when no iteration succeeded (TTS undefined/infinite).
+/// When every iteration succeeds, the answer is one iteration time.
+///
+/// # Panics
+///
+/// Panics if `confidence` is not in `(0, 1)`.
+pub fn time_to_solution_ns(
+    report: &ExperimentReport,
+    threshold: f64,
+    confidence: f64,
+) -> Option<f64> {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let p = success_probability(report, threshold);
+    if p == 0.0 {
+        return None;
+    }
+    if p >= 1.0 {
+        return Some(report.time_per_iteration_ns);
+    }
+    let repeats = ((1.0 - confidence).ln() / (1.0 - p).ln()).max(1.0);
+    Some(report.time_per_iteration_ns * repeats)
+}
+
+/// The accuracy threshold reached by at least `fraction` of iterations
+/// (an empirical quantile of solution quality; `fraction = 0.5` is the
+/// median accuracy).
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1]` or the report is empty.
+pub fn accuracy_quantile(report: &ExperimentReport, fraction: f64) -> f64 {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    let mut acc = report.accuracies();
+    assert!(!acc.is_empty(), "report has no iterations");
+    acc.sort_by(|a, b| b.partial_cmp(a).expect("accuracies are finite"));
+    let k = ((fraction * acc.len() as f64).ceil() as usize).clamp(1, acc.len());
+    acc[k - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::IterationOutcome;
+    use msropm_graph::Coloring;
+
+    fn fake_report(accuracies: &[f64]) -> ExperimentReport {
+        ExperimentReport {
+            outcomes: accuracies
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| IterationOutcome {
+                    iteration: i,
+                    seed: i as u64,
+                    coloring: Coloring::from_indices([0]),
+                    accuracy: a,
+                    stage1_cut: 0,
+                    stage1_accuracy: a,
+                })
+                .collect(),
+            cut_reference: 1,
+            time_per_iteration_ns: 60.0,
+        }
+    }
+
+    #[test]
+    fn success_probability_counts_hits() {
+        let r = fake_report(&[1.0, 0.9, 0.95, 0.8]);
+        assert_eq!(success_probability(&r, 1.0), 0.25);
+        assert_eq!(success_probability(&r, 0.9), 0.75);
+        assert_eq!(success_probability(&r, 0.0), 1.0);
+    }
+
+    #[test]
+    fn tts_formula() {
+        // p = 0.5, q = 0.99: repeats = ln(0.01)/ln(0.5) ~ 6.64.
+        let r = fake_report(&[1.0, 0.5]);
+        let tts = time_to_solution_ns(&r, 1.0, 0.99).expect("p > 0");
+        assert!((tts - 60.0 * (0.01f64).ln() / (0.5f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tts_edge_cases() {
+        let all = fake_report(&[1.0, 1.0]);
+        assert_eq!(time_to_solution_ns(&all, 1.0, 0.99), Some(60.0));
+        let none = fake_report(&[0.5, 0.6]);
+        assert_eq!(time_to_solution_ns(&none, 0.99, 0.99), None);
+        // At least one repeat even for generous confidence.
+        let r = fake_report(&[1.0, 1.0, 0.0, 0.0]);
+        let tts = time_to_solution_ns(&r, 1.0, 0.1).expect("p > 0");
+        assert!(tts >= 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in (0, 1)")]
+    fn bad_confidence_rejected() {
+        let r = fake_report(&[1.0]);
+        let _ = time_to_solution_ns(&r, 1.0, 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let r = fake_report(&[0.9, 1.0, 0.8, 0.7]);
+        assert_eq!(accuracy_quantile(&r, 0.25), 1.0);
+        assert_eq!(accuracy_quantile(&r, 0.5), 0.9);
+        assert_eq!(accuracy_quantile(&r, 1.0), 0.7);
+    }
+}

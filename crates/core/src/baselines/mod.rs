@@ -1,0 +1,21 @@
+//! Baseline solvers for the Table-2 comparison.
+//!
+//! - [`Ropm3`]: a single-stage 3-SHIL ring-oscillator Potts machine solving
+//!   3-coloring — the architecture of the paper's ref \[14\], against which
+//!   the multi-stage approach is compared.
+//! - [`RoimMaxCut`]: a single-stage oscillator Ising machine solving
+//!   max-cut (the paper's refs \[8\]/\[9\] class of machines).
+//! - [`SimulatedAnnealingColoring`]: classical SA on the Potts Hamiltonian,
+//!   the standard software baseline.
+//! - [`TabuMaxCut`]: tabu search for max-cut (the quality baseline used by
+//!   ref \[8\], also the default large-graph cut reference here).
+
+mod roim;
+mod ropm3;
+mod sa;
+mod tabu;
+
+pub use roim::RoimMaxCut;
+pub use ropm3::Ropm3;
+pub use sa::SimulatedAnnealingColoring;
+pub use tabu::TabuMaxCut;

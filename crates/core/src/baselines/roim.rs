@@ -1,0 +1,100 @@
+//! Single-stage ring-oscillator Ising machine (ROIM) for max-cut.
+//!
+//! The class of machine in the paper's refs \[7\]/\[8\]: couplings anneal the
+//! array, one SHIL binarizes, the readout is a 2-partition. Implemented as
+//! a 2-color [`Msropm`], which degenerates to exactly that schedule — the
+//! multi-stage machine is a strict superset of the ROIM.
+
+use crate::config::MsropmConfig;
+use crate::machine::Msropm;
+use msropm_graph::{Cut, Graph};
+use rand::Rng;
+
+/// A single-stage oscillator Ising machine solving max-cut.
+#[derive(Debug, Clone)]
+pub struct RoimMaxCut {
+    config: MsropmConfig,
+}
+
+impl RoimMaxCut {
+    /// Creates a ROIM with the given dynamics; `config.num_colors` is
+    /// forced to 2 (one stage).
+    pub fn new(config: MsropmConfig) -> Self {
+        RoimMaxCut {
+            config: config.with_num_colors(2),
+        }
+    }
+
+    /// The paper-default dynamics.
+    pub fn paper_default() -> Self {
+        RoimMaxCut::new(MsropmConfig::paper_default().with_num_colors(2))
+    }
+
+    /// Time per run (ns): one stage of init + anneal + lock (30 ns with
+    /// paper timings).
+    pub fn time_per_run_ns(&self) -> f64 {
+        self.config.total_time_ns()
+    }
+
+    /// Runs one annealing cycle and returns the resulting cut.
+    pub fn solve<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> Cut {
+        let mut machine = Msropm::with_frequency_spread(g, self.config, rng);
+        let sol = machine.solve(rng);
+        sol.stages[0].partition.clone()
+    }
+
+    /// Runs `iterations` cycles and returns the best cut found.
+    pub fn solve_best_of<R: Rng + ?Sized>(&self, g: &Graph, iterations: usize, rng: &mut R) -> Cut {
+        assert!(iterations > 0, "need at least one iteration");
+        let mut best: Option<(usize, Cut)> = None;
+        for _ in 0..iterations {
+            let cut = self.solve(g, rng);
+            let v = cut.cut_value(g);
+            if best.as_ref().is_none_or(|(bv, _)| v > *bv) {
+                best = Some((v, cut));
+            }
+        }
+        best.expect("at least one iteration ran").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msropm_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fast() -> RoimMaxCut {
+        RoimMaxCut::new(MsropmConfig {
+            dt: 0.02,
+            ..MsropmConfig::paper_default()
+        })
+    }
+
+    #[test]
+    fn single_stage_timing_is_30ns() {
+        let roim = RoimMaxCut::paper_default();
+        assert!((roim.time_per_run_ns() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cuts_bipartite_graph_fully() {
+        let g = generators::complete_bipartite(4, 4);
+        let roim = fast();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cut = roim.solve_best_of(&g, 5, &mut rng);
+        assert_eq!(cut.cut_value(&g), g.num_edges());
+    }
+
+    #[test]
+    fn near_optimal_on_small_kings() {
+        let g = generators::kings_graph(4, 4);
+        let (_, exact) = msropm_graph::cut::exact_max_cut_bruteforce(&g);
+        let roim = fast();
+        let mut rng = StdRng::seed_from_u64(6);
+        let cut = roim.solve_best_of(&g, 8, &mut rng);
+        let ratio = cut.cut_value(&g) as f64 / exact as f64;
+        assert!(ratio >= 0.9, "ROIM quality {ratio}");
+    }
+}

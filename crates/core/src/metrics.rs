@@ -1,0 +1,66 @@
+//! Quality metrics used by the paper's evaluation (§4).
+
+use msropm_graph::{Coloring, Graph};
+
+/// The paper's 4-coloring accuracy: fraction of properly colored edges
+/// (delegates to [`Coloring::accuracy`]; re-exported here so experiment
+/// code reads like the paper).
+pub fn coloring_accuracy(coloring: &Coloring, g: &Graph) -> f64 {
+    coloring.accuracy(g)
+}
+
+/// Stage-1 (max-cut) accuracy: achieved cut size normalized by the
+/// reference (exact or best-known) cut size — the Fig. 5(b) metric.
+///
+/// # Panics
+///
+/// Panics if `reference == 0`.
+pub fn max_cut_accuracy(cut_value: usize, reference: usize) -> f64 {
+    assert!(reference > 0, "cut reference must be positive");
+    cut_value as f64 / reference as f64
+}
+
+/// Table 1's "search space" label: `K^N` possible spin states.
+pub fn search_space_label(num_colors: usize, num_nodes: usize) -> String {
+    format!("{num_colors}^{num_nodes}")
+}
+
+/// log10 of the search-space size `K^N` (Table 1 comparison aid; the raw
+/// number overflows for every paper benchmark).
+pub fn search_space_log10(num_colors: usize, num_nodes: usize) -> f64 {
+    num_nodes as f64 * (num_colors as f64).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msropm_graph::generators;
+
+    #[test]
+    fn accuracy_delegation() {
+        let g = generators::path_graph(3);
+        let c = Coloring::from_indices([0, 1, 0]);
+        assert_eq!(coloring_accuracy(&c, &g), 1.0);
+    }
+
+    #[test]
+    fn maxcut_accuracy_ratio() {
+        assert_eq!(max_cut_accuracy(90, 100), 0.9);
+        assert_eq!(max_cut_accuracy(100, 100), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference must be positive")]
+    fn zero_reference_rejected() {
+        max_cut_accuracy(1, 0);
+    }
+
+    #[test]
+    fn search_space_formatting() {
+        // Table 1 rows: 4^49, 4^400, 4^1024, 4^2116.
+        assert_eq!(search_space_label(4, 49), "4^49");
+        assert_eq!(search_space_label(4, 2116), "4^2116");
+        assert!((search_space_log10(4, 49) - 49.0 * 4f64.log10()).abs() < 1e-12);
+        assert!(search_space_log10(4, 2116) > 1273.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Power estimation for experiment reports (Table 1's power column).
+
+use msropm_circuit::{PowerBreakdown, PowerModel};
+use msropm_graph::Graph;
+
+/// Estimates the average power of running `g` on the MSROPM using the
+/// Table-1-calibrated model (see
+/// [`msropm_circuit::PowerModel::calibrated_to_paper`]).
+pub fn paper_power_estimate(g: &Graph) -> PowerBreakdown {
+    PowerModel::calibrated_to_paper().estimate(g.num_nodes(), g.num_edges())
+}
+
+/// Estimates average power from first principles (CV²f of the behavioural
+/// technology), for comparison against the calibrated model.
+pub fn physics_power_estimate(g: &Graph) -> PowerBreakdown {
+    let tech = msropm_circuit::Technology::calibrated(11, 1.3);
+    PowerModel::from_technology(&tech, 11, 1.3, 0.15).estimate(g.num_nodes(), g.num_edges())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msropm_graph::generators;
+
+    #[test]
+    fn paper_benchmark_power_estimates() {
+        // The calibrated model must land near Table 1 for all four sizes.
+        for (side, expected_mw) in [(7usize, 9.4f64), (20, 60.3), (32, 146.1), (46, 283.4)] {
+            let g = generators::kings_graph_square(side);
+            let est = paper_power_estimate(&g).total_mw();
+            let rel = (est - expected_mw).abs() / expected_mw;
+            assert!(
+                rel < 0.06,
+                "side {side}: estimated {est:.1} mW vs paper {expected_mw} mW"
+            );
+        }
+    }
+
+    #[test]
+    fn power_scales_monotonically() {
+        let small = paper_power_estimate(&generators::kings_graph_square(7)).total_mw();
+        let large = paper_power_estimate(&generators::kings_graph_square(46)).total_mw();
+        assert!(large > small * 10.0);
+    }
+
+    #[test]
+    fn physics_estimate_positive() {
+        let g = generators::kings_graph_square(7);
+        let p = physics_power_estimate(&g);
+        assert!(p.total_mw() > 0.0);
+        assert!(p.oscillators_mw > 0.0);
+        assert!(p.couplings_mw > 0.0);
+    }
+}

@@ -1,0 +1,372 @@
+//! The experiment runner: repeated iterations, statistics, and the data
+//! behind Fig. 5 and Table 1.
+//!
+//! §4: *"40 iterations (i.e. repeated runs) are performed for each problem,
+//! allowing the MSROPM to explore the solution space"*; the best solution
+//! among iterations is the reported answer. Iterations are independent, so
+//! the runner executes them on scoped threads (`crossbeam`).
+
+use crate::config::MsropmConfig;
+use crate::machine::{Msropm, MsropmSolution};
+use crate::metrics::max_cut_accuracy;
+use msropm_graph::metrics::{pairwise_hamming, pearson, Summary};
+use msropm_graph::{Coloring, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Where the stage-1 max-cut normalizer (Fig. 5(b) denominator) comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutReference {
+    /// Use this exact/best-known cut value.
+    Value(usize),
+    /// Decide automatically: exact branch-and-bound for graphs of ≤ 22
+    /// nodes, otherwise the best cut found by tabu search restarts.
+    Auto,
+}
+
+/// The outcome of one iteration (one complete multi-stage run).
+#[derive(Debug, Clone)]
+pub struct IterationOutcome {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// RNG seed used for this iteration.
+    pub seed: u64,
+    /// The coloring produced.
+    pub coloring: Coloring,
+    /// Edge-satisfaction accuracy (Fig. 5(a) metric).
+    pub accuracy: f64,
+    /// Stage-1 cut size.
+    pub stage1_cut: usize,
+    /// Stage-1 cut normalized by the reference (Fig. 5(b) metric).
+    pub stage1_accuracy: f64,
+}
+
+/// Aggregate results of an experiment (one problem, many iterations).
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Per-iteration outcomes, in iteration order.
+    pub outcomes: Vec<IterationOutcome>,
+    /// The max-cut normalizer used for stage-1 accuracy.
+    pub cut_reference: usize,
+    /// Schedule time per iteration (ns).
+    pub time_per_iteration_ns: f64,
+}
+
+impl ExperimentReport {
+    /// Final-accuracy series (Fig. 5(a) y-values, one per iteration).
+    pub fn accuracies(&self) -> Vec<f64> {
+        self.outcomes.iter().map(|o| o.accuracy).collect()
+    }
+
+    /// Stage-1 accuracy series (Fig. 5(b) y-values).
+    pub fn stage1_accuracies(&self) -> Vec<f64> {
+        self.outcomes.iter().map(|o| o.stage1_accuracy).collect()
+    }
+
+    /// Best (top) accuracy over iterations — Table 1's "Top accuracy".
+    pub fn best_accuracy(&self) -> f64 {
+        self.accuracies().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Summary statistics of the final accuracy.
+    pub fn accuracy_summary(&self) -> Summary {
+        Summary::of(&self.accuracies()).expect("at least one iteration")
+    }
+
+    /// The best solution found (ties broken by earliest iteration).
+    pub fn best_solution(&self) -> &IterationOutcome {
+        self.outcomes
+            .iter()
+            .max_by(|a, b| {
+                a.accuracy
+                    .partial_cmp(&b.accuracy)
+                    .expect("accuracies are finite")
+                    .then(b.iteration.cmp(&a.iteration))
+            })
+            .expect("at least one iteration")
+    }
+
+    /// Pairwise normalized Hamming distances between all iteration
+    /// solutions (Fig. 5(c) data).
+    pub fn hamming_distances(&self) -> Vec<f64> {
+        let sols: Vec<Coloring> = self.outcomes.iter().map(|o| o.coloring.clone()).collect();
+        pairwise_hamming(&sols)
+    }
+
+    /// Histogram of [`ExperimentReport::hamming_distances`] over `bins`
+    /// equal buckets of `[0, 1]`.
+    pub fn hamming_histogram(&self, bins: usize) -> Vec<usize> {
+        msropm_graph::metrics::histogram_unit_interval(&self.hamming_distances(), bins)
+    }
+
+    /// Pearson correlation between stage-1 and final accuracy across
+    /// iterations (§4.1 reports this is positive). `None` if degenerate.
+    pub fn stage1_final_correlation(&self) -> Option<f64> {
+        pearson(&self.stage1_accuracies(), &self.accuracies())
+    }
+}
+
+/// Runs `iterations` independent solves of one problem.
+#[derive(Debug, Clone)]
+pub struct ExperimentRunner {
+    config: MsropmConfig,
+    iterations: usize,
+    base_seed: u64,
+    cut_reference: CutReference,
+    threads: usize,
+}
+
+impl ExperimentRunner {
+    /// Creates a runner with the paper's 40 iterations and automatic cut
+    /// reference.
+    pub fn new(config: MsropmConfig) -> Self {
+        ExperimentRunner {
+            config,
+            iterations: 40,
+            base_seed: 0x5EED,
+            cut_reference: CutReference::Auto,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// Sets the number of iterations (paper: 40).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`.
+    pub fn iterations(mut self, iterations: usize) -> Self {
+        assert!(iterations > 0, "need at least one iteration");
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the base RNG seed (iteration `i` uses `base_seed + i`).
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Sets the stage-1 cut normalizer policy.
+    pub fn cut_reference(mut self, reference: CutReference) -> Self {
+        self.cut_reference = reference;
+        self
+    }
+
+    /// Caps worker threads (default: available parallelism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    fn resolve_cut_reference(&self, g: &Graph) -> usize {
+        match self.cut_reference {
+            CutReference::Value(v) => v.max(1),
+            CutReference::Auto => {
+                if g.num_nodes() <= 22 {
+                    msropm_sat::branch_and_bound_max_cut(g, u64::MAX).value.max(1)
+                } else {
+                    // Best of several tabu restarts.
+                    let mut rng = StdRng::seed_from_u64(self.base_seed ^ 0xC0FFEE);
+                    let tabu = crate::baselines::TabuMaxCut::new(20 * g.num_nodes(), 10);
+                    let mut best = 0;
+                    for _ in 0..5 {
+                        let cut = tabu.solve(g, &mut rng);
+                        best = best.max(cut.cut_value(g));
+                    }
+                    best.max(1)
+                }
+            }
+        }
+    }
+
+    /// Runs the experiment on `g` and aggregates the report.
+    pub fn run(&self, g: &Graph) -> ExperimentReport {
+        let reference = self.resolve_cut_reference(g);
+        let config = self.config;
+        let iterations = self.iterations;
+        let base_seed = self.base_seed;
+        let threads = self.threads.min(iterations).max(1);
+
+        let mut outcomes: Vec<Option<IterationOutcome>> = vec![None; iterations];
+        let chunks = split_indices(iterations, threads);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in chunks {
+                let g_ref = &g;
+                handles.push(scope.spawn(move |_| {
+                    chunk
+                        .into_iter()
+                        .map(|i| {
+                            let seed = base_seed.wrapping_add(i as u64);
+                            let mut rng = StdRng::seed_from_u64(seed);
+                            let mut machine =
+                                Msropm::with_frequency_spread(g_ref, config, &mut rng);
+                            let sol: MsropmSolution = machine.solve(&mut rng);
+                            let accuracy = sol.coloring.accuracy(g_ref);
+                            let stage1_cut = sol.stages[0].cut_value;
+                            IterationOutcome {
+                                iteration: i,
+                                seed,
+                                coloring: sol.coloring,
+                                accuracy,
+                                stage1_cut,
+                                stage1_accuracy: max_cut_accuracy(stage1_cut, reference)
+                                    .min(1.0),
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                for outcome in h.join().expect("worker thread panicked") {
+                    let idx = outcome.iteration;
+                    outcomes[idx] = Some(outcome);
+                }
+            }
+        })
+        .expect("crossbeam scope");
+
+        ExperimentReport {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("all iterations completed"))
+                .collect(),
+            cut_reference: reference,
+            time_per_iteration_ns: config.total_time_ns(),
+        }
+    }
+}
+
+/// Splits `0..n` into at most `parts` contiguous chunks of near-equal size.
+fn split_indices(n: usize, parts: usize) -> Vec<Vec<usize>> {
+    let parts = parts.min(n).max(1);
+    let mut out = Vec::with_capacity(parts);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push((start..start + len).collect());
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msropm_graph::generators;
+
+    fn fast_config() -> MsropmConfig {
+        MsropmConfig {
+            dt: 0.02,
+            ..MsropmConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn split_indices_covers_everything() {
+        for (n, p) in [(10, 3), (40, 8), (5, 10), (1, 1), (7, 7)] {
+            let chunks = split_indices(n, p);
+            let mut all: Vec<usize> = chunks.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>(), "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn report_on_small_kings_graph() {
+        let g = generators::kings_graph(4, 4);
+        let report = ExperimentRunner::new(fast_config())
+            .iterations(8)
+            .base_seed(42)
+            .run(&g);
+        assert_eq!(report.outcomes.len(), 8);
+        assert!((report.time_per_iteration_ns - 60.0).abs() < 1e-12);
+        assert!(report.best_accuracy() > 0.85);
+        assert!(report.cut_reference > 0);
+        // Iterations are ordered and seeded deterministically.
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.iteration, i);
+            assert_eq!(o.seed, 42 + i as u64);
+        }
+        // Stage-1 accuracy is a valid normalized ratio.
+        for o in &report.outcomes {
+            assert!((0.0..=1.0).contains(&o.stage1_accuracy));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::kings_graph(3, 3);
+        let run = || {
+            ExperimentRunner::new(fast_config())
+                .iterations(4)
+                .base_seed(7)
+                .threads(2)
+                .run(&g)
+                .accuracies()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let g = generators::kings_graph(3, 3);
+        let run = |threads| {
+            ExperimentRunner::new(fast_config())
+                .iterations(6)
+                .base_seed(3)
+                .threads(threads)
+                .run(&g)
+                .accuracies()
+        };
+        assert_eq!(run(1), run(3));
+    }
+
+    #[test]
+    fn hamming_and_correlation_shapes() {
+        let g = generators::kings_graph(4, 4);
+        let report = ExperimentRunner::new(fast_config())
+            .iterations(6)
+            .base_seed(1)
+            .run(&g);
+        assert_eq!(report.hamming_distances().len(), 15); // C(6,2)
+        let hist = report.hamming_histogram(10);
+        assert_eq!(hist.iter().sum::<usize>(), 15);
+        // Correlation may be None for degenerate samples but must be in
+        // [-1, 1] when present.
+        if let Some(r) = report.stage1_final_correlation() {
+            assert!((-1.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn explicit_cut_reference() {
+        let g = generators::kings_graph(3, 3);
+        let report = ExperimentRunner::new(fast_config())
+            .iterations(2)
+            .cut_reference(CutReference::Value(1000))
+            .run(&g);
+        assert_eq!(report.cut_reference, 1000);
+        for o in &report.outcomes {
+            assert!(o.stage1_accuracy < 0.1, "normalized by huge reference");
+        }
+    }
+
+    #[test]
+    fn best_solution_is_argmax() {
+        let g = generators::kings_graph(4, 4);
+        let report = ExperimentRunner::new(fast_config())
+            .iterations(5)
+            .base_seed(5)
+            .run(&g);
+        let best = report.best_solution();
+        assert_eq!(best.accuracy, report.best_accuracy());
+    }
+}

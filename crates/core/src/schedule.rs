@@ -1,0 +1,193 @@
+//! The control-signal schedule: the MSROPM's "clocking" (paper §3.2–3.3).
+//!
+//! SHIL clocks the machine: stage transitions are effected purely by
+//! toggling `G_EN`/`P_EN` (couplings), `SHIL_EN` and `SHIL_SEL` at
+//! predetermined instants. [`Schedule`] materializes the paper's Fig. 3
+//! timeline as a list of typed windows so that the machine, the waveform
+//! dumper and the tests all agree on what happens when.
+
+use crate::config::MsropmConfig;
+
+/// What the array is doing during one window of the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WindowKind {
+    /// Couplings and SHIL off; phases randomize (startup or inter-stage).
+    Randomize,
+    /// Couplings on, SHIL off: coupled self-annealing.
+    Anneal,
+    /// Couplings on, SHIL on: phase discretization and readout.
+    Lock,
+}
+
+/// The control-line levels during a window (Fig. 3 annotations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlState {
+    /// Couplings conduct (`G_EN` high and the relevant `P_EN`s high).
+    pub couplings_on: bool,
+    /// SHIL injection active (`SHIL_EN`).
+    pub shil_on: bool,
+}
+
+/// One window of the schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window {
+    /// Which solution stage this window belongs to (1-based).
+    pub stage: usize,
+    /// Window role.
+    pub kind: WindowKind,
+    /// Start time (ns from machine start).
+    pub t_start: f64,
+    /// Duration (ns).
+    pub duration: f64,
+}
+
+impl Window {
+    /// End time of the window (ns).
+    pub fn t_end(&self) -> f64 {
+        self.t_start + self.duration
+    }
+
+    /// Control-line levels implied by the window kind.
+    pub fn controls(&self) -> ControlState {
+        match self.kind {
+            WindowKind::Randomize => ControlState {
+                couplings_on: false,
+                shil_on: false,
+            },
+            WindowKind::Anneal => ControlState {
+                couplings_on: true,
+                shil_on: false,
+            },
+            WindowKind::Lock => ControlState {
+                couplings_on: true,
+                shil_on: true,
+            },
+        }
+    }
+}
+
+/// The full multi-stage timeline derived from a [`MsropmConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    windows: Vec<Window>,
+}
+
+impl Schedule {
+    /// Builds the timeline for `config`: for each stage, Randomize →
+    /// Anneal → Lock, with the paper's durations.
+    pub fn from_config(config: &MsropmConfig) -> Self {
+        config.validate();
+        let mut windows = Vec::new();
+        let mut t = 0.0;
+        for stage in 1..=config.num_stages() {
+            for (kind, d) in [
+                (WindowKind::Randomize, config.t_init),
+                (WindowKind::Anneal, config.t_anneal),
+                (WindowKind::Lock, config.t_lock),
+            ] {
+                windows.push(Window {
+                    stage,
+                    kind,
+                    t_start: t,
+                    duration: d,
+                });
+                t += d;
+            }
+        }
+        Schedule { windows }
+    }
+
+    /// The windows in chronological order.
+    pub fn windows(&self) -> &[Window] {
+        &self.windows
+    }
+
+    /// Total duration (ns).
+    pub fn total_time_ns(&self) -> f64 {
+        self.windows.last().map_or(0.0, |w| w.t_end())
+    }
+
+    /// The window containing time `t` (boundaries belong to the later
+    /// window), or `None` if `t` is outside the schedule.
+    pub fn window_at(&self, t: f64) -> Option<&Window> {
+        self.windows
+            .iter()
+            .find(|w| t >= w.t_start && t < w.t_end())
+            .or_else(|| {
+                // t exactly at the very end belongs to the last window.
+                self.windows
+                    .last()
+                    .filter(|w| (t - w.t_end()).abs() < 1e-12)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_timeline_matches_figure3() {
+        let s = Schedule::from_config(&MsropmConfig::paper_default());
+        let w = s.windows();
+        assert_eq!(w.len(), 6);
+        // 5 | 20 | 5 | 5 | 20 | 5 ns.
+        let durations: Vec<f64> = w.iter().map(|w| w.duration).collect();
+        assert_eq!(durations, vec![5.0, 20.0, 5.0, 5.0, 20.0, 5.0]);
+        assert_eq!(s.total_time_ns(), 60.0);
+        // Stage tags.
+        assert!(w[..3].iter().all(|w| w.stage == 1));
+        assert!(w[3..].iter().all(|w| w.stage == 2));
+        // Contiguous.
+        for pair in w.windows(2) {
+            assert!((pair[0].t_end() - pair[1].t_start).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn control_lines_follow_figure3() {
+        let s = Schedule::from_config(&MsropmConfig::paper_default());
+        let kinds: Vec<WindowKind> = s.windows().iter().map(|w| w.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                WindowKind::Randomize,
+                WindowKind::Anneal,
+                WindowKind::Lock,
+                WindowKind::Randomize,
+                WindowKind::Anneal,
+                WindowKind::Lock,
+            ]
+        );
+        // Fig. 3(a): couplings on, SHIL off.
+        let anneal = s.windows()[1].controls();
+        assert!(anneal.couplings_on && !anneal.shil_on);
+        // Fig. 3(b)/(e): SHIL on.
+        let lock = s.windows()[2].controls();
+        assert!(lock.couplings_on && lock.shil_on);
+        // Fig. 3(c): everything off.
+        let reinit = s.windows()[3].controls();
+        assert!(!reinit.couplings_on && !reinit.shil_on);
+    }
+
+    #[test]
+    fn window_lookup() {
+        let s = Schedule::from_config(&MsropmConfig::paper_default());
+        assert_eq!(s.window_at(0.0).unwrap().kind, WindowKind::Randomize);
+        assert_eq!(s.window_at(10.0).unwrap().kind, WindowKind::Anneal);
+        assert_eq!(s.window_at(27.0).unwrap().kind, WindowKind::Lock);
+        assert_eq!(s.window_at(30.0).unwrap().stage, 2);
+        assert_eq!(s.window_at(60.0).unwrap().stage, 2);
+        assert!(s.window_at(61.0).is_none());
+        assert!(s.window_at(-1.0).is_none());
+    }
+
+    #[test]
+    fn eight_color_schedule_has_three_stages() {
+        let c = MsropmConfig::paper_default().with_num_colors(8);
+        let s = Schedule::from_config(&c);
+        assert_eq!(s.windows().len(), 9);
+        assert_eq!(s.total_time_ns(), 90.0);
+        assert_eq!(s.windows().last().unwrap().stage, 3);
+    }
+}

@@ -1,0 +1,529 @@
+//! Vertex colorings, the paper's accuracy metric, and constructive heuristics.
+//!
+//! §4 of the paper: *"The quality of results is assessed by counting the
+//! number of edges in the graph that adhere to the coloring rule for the
+//! nodes to which the edges connect. The normalized number of correctly
+//! colored neighbors indicates how closely the generated solution
+//! approximates the actual solution."* [`Coloring::accuracy`] implements
+//! exactly that metric.
+
+use crate::graph::{Graph, NodeId};
+use rand::Rng;
+use std::fmt;
+
+/// A color label assigned to a vertex (a Potts spin value `0..N`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Color(pub u16);
+
+impl Color {
+    /// Dense index of this color.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u16> for Color {
+    fn from(raw: u16) -> Self {
+        Color(raw)
+    }
+}
+
+/// A total assignment of colors (multivalued Potts spins) to graph vertices.
+///
+/// # Example
+///
+/// ```
+/// use msropm_graph::{Coloring, Graph};
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+/// let good = Coloring::from_indices([0, 1, 0]);
+/// assert!(good.is_proper(&g));
+/// assert_eq!(good.accuracy(&g), 1.0);
+///
+/// let bad = Coloring::from_indices([0, 0, 0]);
+/// assert_eq!(bad.conflicts(&g), 2);
+/// assert_eq!(bad.accuracy(&g), 0.0);
+/// # Ok::<(), msropm_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Coloring {
+    colors: Vec<Color>,
+}
+
+impl Coloring {
+    /// Creates a coloring from explicit color values.
+    pub fn new(colors: Vec<Color>) -> Self {
+        Coloring { colors }
+    }
+
+    /// Creates a coloring from raw `usize` color indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index exceeds `u16::MAX`.
+    pub fn from_indices<I>(indices: I) -> Self
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        Coloring {
+            colors: indices
+                .into_iter()
+                .map(|c| {
+                    assert!(c <= u16::MAX as usize, "color index {c} exceeds u16 range");
+                    Color(c as u16)
+                })
+                .collect(),
+        }
+    }
+
+    /// Uniform random coloring over `num_colors` colors.
+    pub fn random<R: Rng + ?Sized>(num_nodes: usize, num_colors: usize, rng: &mut R) -> Self {
+        assert!(num_colors >= 1, "need at least one color");
+        Coloring {
+            colors: (0..num_nodes)
+                .map(|_| Color(rng.gen_range(0..num_colors) as u16))
+                .collect(),
+        }
+    }
+
+    /// Number of vertices covered by this coloring.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Returns `true` if the coloring covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// Color of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn color(&self, v: NodeId) -> Color {
+        self.colors[v.index()]
+    }
+
+    /// Sets the color of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn set_color(&mut self, v: NodeId, c: Color) {
+        self.colors[v.index()] = c;
+    }
+
+    /// Slice view of the underlying color vector.
+    pub fn as_slice(&self) -> &[Color] {
+        &self.colors
+    }
+
+    /// Iterator over `(node, color)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (NodeId, Color)> + '_ {
+        self.colors
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (NodeId::new(i), c))
+    }
+
+    /// Number of distinct colors actually used (0 for an empty coloring).
+    pub fn num_colors_used(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for &c in &self.colors {
+            seen.insert(c);
+        }
+        seen.len()
+    }
+
+    /// Largest color index used plus one (0 for an empty coloring).
+    pub fn color_range(&self) -> usize {
+        self.colors.iter().map(|c| c.index() + 1).max().unwrap_or(0)
+    }
+
+    /// Number of edges whose endpoints share a color (coloring violations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coloring does not cover all nodes of `g`.
+    pub fn conflicts(&self, g: &Graph) -> usize {
+        assert_eq!(
+            self.colors.len(),
+            g.num_nodes(),
+            "coloring covers {} nodes but graph has {}",
+            self.colors.len(),
+            g.num_nodes()
+        );
+        g.edges()
+            .filter(|&(_, u, v)| self.colors[u.index()] == self.colors[v.index()])
+            .count()
+    }
+
+    /// Number of edges whose endpoints have different colors.
+    pub fn satisfied_edges(&self, g: &Graph) -> usize {
+        g.num_edges() - self.conflicts(g)
+    }
+
+    /// The paper's accuracy metric: fraction of properly colored edges.
+    ///
+    /// For graphs that admit a proper coloring with the allowed palette (all
+    /// the paper's benchmarks do), an exact solution scores 1.0, so this
+    /// equals the "normalized Hamiltonian relative to the exact solution".
+    /// An edgeless graph scores 1.0 by convention.
+    pub fn accuracy(&self, g: &Graph) -> f64 {
+        if g.num_edges() == 0 {
+            return 1.0;
+        }
+        self.satisfied_edges(g) as f64 / g.num_edges() as f64
+    }
+
+    /// Returns `true` if no edge is violated.
+    pub fn is_proper(&self, g: &Graph) -> bool {
+        self.conflicts(g) == 0
+    }
+
+    /// Standard Potts Hamiltonian `H = Σ_{(i,j)∈E} J·δ(s_i, s_j)` with J = 1:
+    /// the number of conflicting edges (paper Eq. 3 restricted to the graph).
+    pub fn potts_energy(&self, g: &Graph) -> f64 {
+        self.conflicts(g) as f64
+    }
+}
+
+impl FromIterator<Color> for Coloring {
+    fn from_iter<I: IntoIterator<Item = Color>>(iter: I) -> Self {
+        Coloring {
+            colors: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Greedy sequential coloring: scan nodes in the given order, assigning the
+/// lowest color not used by an already-colored neighbour.
+///
+/// # Panics
+///
+/// Panics if `order` does not enumerate each node exactly once.
+pub fn greedy_coloring(g: &Graph, order: &[NodeId]) -> Coloring {
+    assert_eq!(order.len(), g.num_nodes(), "order must cover every node");
+    let mut colors: Vec<Option<Color>> = vec![None; g.num_nodes()];
+    let mut forbidden = vec![false; g.max_degree() + 1];
+    for &v in order {
+        assert!(colors[v.index()].is_none(), "node {v} appears twice in order");
+        forbidden.fill(false);
+        for (w, _) in g.neighbors(v) {
+            if let Some(c) = colors[w.index()] {
+                if c.index() < forbidden.len() {
+                    forbidden[c.index()] = true;
+                }
+            }
+        }
+        let c = forbidden
+            .iter()
+            .position(|&f| !f)
+            .expect("degree+1 colors always suffice");
+        colors[v.index()] = Some(Color(c as u16));
+    }
+    Coloring {
+        colors: colors.into_iter().map(|c| c.expect("all nodes colored")).collect(),
+    }
+}
+
+/// Welsh–Powell coloring: greedy in order of decreasing degree.
+pub fn welsh_powell(g: &Graph) -> Coloring {
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    greedy_coloring(g, &order)
+}
+
+/// DSATUR coloring (Brélaz): repeatedly color the uncolored node with the
+/// highest saturation (number of distinct neighbour colors), breaking ties by
+/// degree. Finds optimal colorings on many structured graphs, including
+/// King's graphs.
+pub fn dsatur(g: &Graph) -> Coloring {
+    let n = g.num_nodes();
+    let mut colors: Vec<Option<Color>> = vec![None; n];
+    let mut saturation: Vec<std::collections::HashSet<Color>> =
+        vec![std::collections::HashSet::new(); n];
+    let mut uncolored = n;
+    while uncolored > 0 {
+        // Pick max (saturation, degree).
+        let v = (0..n)
+            .filter(|&i| colors[i].is_none())
+            .max_by_key(|&i| (saturation[i].len(), g.degree(NodeId::new(i))))
+            .expect("some node is uncolored");
+        let v = NodeId::new(v);
+        let mut c = 0u16;
+        while saturation[v.index()].contains(&Color(c)) {
+            c += 1;
+        }
+        colors[v.index()] = Some(Color(c));
+        for (w, _) in g.neighbors(v) {
+            saturation[w.index()].insert(Color(c));
+        }
+        uncolored -= 1;
+    }
+    Coloring {
+        colors: colors.into_iter().map(|c| c.expect("all nodes colored")).collect(),
+    }
+}
+
+/// Min-conflicts descent: repeatedly move conflicted vertices to their
+/// least-conflicting color (ties keep the current color) until a local
+/// optimum or `max_sweeps` full passes. Returns the number of conflicts
+/// removed.
+///
+/// This is the classical repair heuristic for coloring; the experiment
+/// suite uses it to post-process and to sanity-check machine solutions.
+pub fn min_conflicts_descent(
+    g: &Graph,
+    coloring: &mut Coloring,
+    num_colors: usize,
+    max_sweeps: usize,
+) -> usize {
+    assert!(num_colors >= 1, "need at least one color");
+    let before = coloring.conflicts(g);
+    let mut counts = vec![0usize; num_colors];
+    for _ in 0..max_sweeps {
+        let mut moved = false;
+        for v in g.nodes() {
+            counts.fill(0);
+            for (w, _) in g.neighbors(v) {
+                let cw = coloring.color(w).index();
+                if cw < num_colors {
+                    counts[cw] += 1;
+                }
+            }
+            let current = coloring.color(v).index().min(num_colors - 1);
+            if counts[current] == 0 {
+                continue;
+            }
+            let best = (0..num_colors)
+                .min_by_key(|&c| (counts[c], usize::from(c != current)))
+                .expect("palette non-empty");
+            if counts[best] < counts[current] {
+                coloring.set_color(v, Color(best as u16));
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    before - coloring.conflicts(g)
+}
+
+/// Performs a Kempe-chain interchange at vertex `v` between its color and
+/// `other`: flood-fills the connected component of the subgraph induced by
+/// the two colors that contains `v`, swapping the colors inside it.
+/// Properness is preserved (the classical Kempe argument); returns the
+/// chain size.
+///
+/// # Panics
+///
+/// Panics if the coloring does not cover `g`.
+pub fn kempe_chain_swap(g: &Graph, coloring: &mut Coloring, v: NodeId, other: Color) -> usize {
+    assert_eq!(coloring.len(), g.num_nodes(), "coloring covers the graph");
+    let a = coloring.color(v);
+    let b = other;
+    if a == b {
+        return 0;
+    }
+    let mut in_chain = vec![false; g.num_nodes()];
+    let mut stack = vec![v];
+    in_chain[v.index()] = true;
+    let mut size = 0;
+    while let Some(u) = stack.pop() {
+        size += 1;
+        for (w, _) in g.neighbors(u) {
+            let cw = coloring.color(w);
+            if !in_chain[w.index()] && (cw == a || cw == b) {
+                in_chain[w.index()] = true;
+                stack.push(w);
+            }
+        }
+    }
+    for (i, &inside) in in_chain.iter().enumerate() {
+        if inside {
+            let node = NodeId::new(i);
+            let c = coloring.color(node);
+            coloring.set_color(node, if c == a { b } else { a });
+        }
+    }
+    size
+}
+
+/// The optimal "2x2 tile" 4-coloring of a King's graph: color of cell
+/// `(r, c)` is `2*(r mod 2) + (c mod 2)`. Verifiably proper for all board
+/// sizes; used as a known-exact reference in tests and experiments.
+pub fn kings_tile_coloring(rows: usize, cols: usize) -> Coloring {
+    let mut colors = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            colors.push(Color((2 * (r % 2) + (c % 2)) as u16));
+        }
+    }
+    Coloring { colors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn accuracy_metric_matches_paper_definition() {
+        let g = generators::kings_graph(3, 3);
+        let exact = kings_tile_coloring(3, 3);
+        assert!(exact.is_proper(&g));
+        assert_eq!(exact.accuracy(&g), 1.0);
+        assert_eq!(exact.potts_energy(&g), 0.0);
+
+        // Monochrome coloring violates every edge.
+        let mono = Coloring::from_indices(vec![0; 9]);
+        assert_eq!(mono.accuracy(&g), 0.0);
+        assert_eq!(mono.conflicts(&g), g.num_edges());
+    }
+
+    #[test]
+    fn edgeless_graph_has_unit_accuracy() {
+        let g = Graph::empty(4);
+        let c = Coloring::from_indices([0, 0, 0, 0]);
+        assert_eq!(c.accuracy(&g), 1.0);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "coloring covers")]
+    fn conflicts_panics_on_size_mismatch() {
+        let g = Graph::empty(4);
+        Coloring::from_indices([0, 1]).conflicts(&g);
+    }
+
+    #[test]
+    fn tile_coloring_is_proper_for_all_paper_sizes() {
+        for side in [7usize, 20, 32, 46] {
+            let g = generators::kings_graph_square(side);
+            let c = kings_tile_coloring(side, side);
+            assert!(c.is_proper(&g), "tile coloring failed for side {side}");
+            assert_eq!(c.num_colors_used(), 4);
+        }
+    }
+
+    #[test]
+    fn greedy_respects_degree_bound() {
+        let g = generators::kings_graph(5, 5);
+        let order: Vec<NodeId> = g.nodes().collect();
+        let c = greedy_coloring(&g, &order);
+        assert!(c.is_proper(&g));
+        assert!(c.num_colors_used() <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn dsatur_four_colors_kings_graph() {
+        let g = generators::kings_graph(7, 7);
+        let c = dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors_used(), 4, "King's graphs are 4-chromatic");
+    }
+
+    #[test]
+    fn dsatur_two_colors_bipartite() {
+        let g = generators::grid_graph(4, 5);
+        let c = dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors_used(), 2);
+    }
+
+    #[test]
+    fn welsh_powell_proper_on_random_graph() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::erdos_renyi(40, 0.2, &mut rng);
+        let c = welsh_powell(&g);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn complete_graph_needs_n_colors() {
+        let g = generators::complete_graph(6);
+        let c = dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors_used(), 6);
+    }
+
+    #[test]
+    fn random_coloring_has_expected_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = Coloring::random(100, 4, &mut rng);
+        assert_eq!(c.len(), 100);
+        assert!(c.color_range() <= 4);
+        assert!(c.num_colors_used() >= 2, "100 random draws should hit >1 color");
+    }
+
+    #[test]
+    fn min_conflicts_repairs_noisy_coloring() {
+        let g = generators::kings_graph(6, 6);
+        let mut c = kings_tile_coloring(6, 6);
+        // Corrupt a handful of nodes.
+        for i in [0usize, 7, 14, 21, 28] {
+            c.set_color(NodeId::new(i), Color(((i + 1) % 4) as u16));
+        }
+        let before = c.conflicts(&g);
+        assert!(before > 0);
+        let removed = min_conflicts_descent(&g, &mut c, 4, 50);
+        assert_eq!(removed, before - c.conflicts(&g));
+        assert!(c.conflicts(&g) < before);
+    }
+
+    #[test]
+    fn min_conflicts_keeps_proper_coloring_fixed() {
+        let g = generators::kings_graph(5, 5);
+        let mut c = kings_tile_coloring(5, 5);
+        let removed = min_conflicts_descent(&g, &mut c, 4, 10);
+        assert_eq!(removed, 0);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn kempe_swap_preserves_properness() {
+        let g = generators::kings_graph(5, 5);
+        let mut c = kings_tile_coloring(5, 5);
+        assert!(c.is_proper(&g));
+        // Node 6 = cell (1,1) has tile color 3; interchange its {3,0} chain.
+        assert_eq!(c.color(NodeId::new(6)), Color(3));
+        let size = kempe_chain_swap(&g, &mut c, NodeId::new(6), Color(0));
+        assert!(size >= 1);
+        assert!(c.is_proper(&g), "Kempe interchange must preserve properness");
+        // Vertex 6 now carries the other color of its chain pair.
+        assert_eq!(c.color(NodeId::new(6)), Color(0));
+    }
+
+    #[test]
+    fn kempe_swap_same_color_is_noop() {
+        let g = generators::path_graph(3);
+        let mut c = Coloring::from_indices([0, 1, 0]);
+        let before = c.clone();
+        assert_eq!(kempe_chain_swap(&g, &mut c, NodeId::new(0), Color(0)), 0);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn setters_and_accessors() {
+        let mut c = Coloring::from_indices([0, 1, 2]);
+        c.set_color(NodeId::new(0), Color(3));
+        assert_eq!(c.color(NodeId::new(0)), Color(3));
+        assert_eq!(c.as_slice().len(), 3);
+        assert_eq!(c.iter().count(), 3);
+        assert_eq!(c.color_range(), 4);
+        assert_eq!(Color(3).to_string(), "c3");
+        let collected: Coloring = c.as_slice().iter().copied().collect();
+        assert_eq!(collected, c);
+    }
+}

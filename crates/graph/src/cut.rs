@@ -1,0 +1,340 @@
+//! 2-partitions (max-cut states) — the stage-1 objective of divide-and-color.
+//!
+//! §3.1: the MSROPM "solves the 4-coloring problem ... by dividing the
+//! problem into 2 stages of max-cut problems". A [`Cut`] is the result of the
+//! first stage: a side bit per node, with quality measured by the number of
+//! graph edges crossing the cut.
+
+use crate::coloring::Coloring;
+use crate::graph::{EdgeId, Graph, NodeId};
+use rand::Rng;
+
+/// A 2-partition of the vertices of a graph.
+///
+/// # Example
+///
+/// ```
+/// use msropm_graph::{Cut, Graph};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// let cut = Cut::new(vec![false, true, false, true]);
+/// assert_eq!(cut.cut_value(&g), 4); // C4 is bipartite: all edges cut
+/// # Ok::<(), msropm_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Cut {
+    side: Vec<bool>,
+}
+
+impl Cut {
+    /// Creates a cut from explicit side bits (`false` = side A, `true` = B).
+    pub fn new(side: Vec<bool>) -> Self {
+        Cut { side }
+    }
+
+    /// Uniform random cut over `num_nodes` vertices.
+    pub fn random<R: Rng + ?Sized>(num_nodes: usize, rng: &mut R) -> Self {
+        Cut {
+            side: (0..num_nodes).map(|_| rng.gen_bool(0.5)).collect(),
+        }
+    }
+
+    /// Builds a cut from a coloring by taking one bit of each color index
+    /// (`bit = 0` gives the LSB). This is how the multi-stage machine's
+    /// stage-1 state relates to the final coloring.
+    pub fn from_coloring_bit(coloring: &Coloring, bit: u32) -> Self {
+        Cut {
+            side: coloring
+                .as_slice()
+                .iter()
+                .map(|c| (c.index() >> bit) & 1 == 1)
+                .collect(),
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.side.len()
+    }
+
+    /// Returns `true` if the cut covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.side.is_empty()
+    }
+
+    /// Side of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn side(&self, v: NodeId) -> bool {
+        self.side[v.index()]
+    }
+
+    /// Sets the side of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn set_side(&mut self, v: NodeId, side: bool) {
+        self.side[v.index()] = side;
+    }
+
+    /// Flips the side of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn flip(&mut self, v: NodeId) {
+        self.side[v.index()] = !self.side[v.index()];
+    }
+
+    /// Slice view of the side bits.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.side
+    }
+
+    /// Number of edges crossing the cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cut does not cover all nodes of `g`.
+    pub fn cut_value(&self, g: &Graph) -> usize {
+        assert_eq!(
+            self.side.len(),
+            g.num_nodes(),
+            "cut covers {} nodes but graph has {}",
+            self.side.len(),
+            g.num_nodes()
+        );
+        g.edges()
+            .filter(|&(_, u, v)| self.side[u.index()] != self.side[v.index()])
+            .count()
+    }
+
+    /// Ising energy `H = Σ_{(i,j)∈E} s_i s_j` with `s ∈ {-1,+1}` (paper
+    /// Eq. 1 with unit antiferromagnetic couplings): `m - 2·cut`.
+    pub fn ising_energy(&self, g: &Graph) -> i64 {
+        let cut = self.cut_value(g) as i64;
+        g.num_edges() as i64 - 2 * cut
+    }
+
+    /// Edge ids crossing the cut (the couplings `P_EN` switches off between
+    /// stages).
+    pub fn crossing_edges(&self, g: &Graph) -> Vec<EdgeId> {
+        g.edges()
+            .filter(|&(_, u, v)| self.side[u.index()] != self.side[v.index()])
+            .map(|(e, _, _)| e)
+            .collect()
+    }
+
+    /// Node ids on the requested side.
+    pub fn nodes_on_side(&self, side: bool) -> Vec<NodeId> {
+        self.side
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == side)
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+
+    /// Greedy 1-flip local search: repeatedly flip any node whose flip
+    /// increases the cut, until a local optimum. Returns the number of flips.
+    ///
+    /// This is the classical baseline for max-cut quality; the oscillator
+    /// dynamics perform a continuous analogue of this descent.
+    pub fn local_search(&mut self, g: &Graph) -> usize {
+        let mut flips = 0;
+        // Gain of flipping v = (same-side neighbours) - (cross-side neighbours).
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for v in g.nodes() {
+                let mut same = 0i64;
+                let mut cross = 0i64;
+                for (w, _) in g.neighbors(v) {
+                    if self.side[w.index()] == self.side[v.index()] {
+                        same += 1;
+                    } else {
+                        cross += 1;
+                    }
+                }
+                if same > cross {
+                    self.side[v.index()] = !self.side[v.index()];
+                    flips += 1;
+                    improved = true;
+                }
+            }
+        }
+        flips
+    }
+}
+
+impl FromIterator<bool> for Cut {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Cut {
+            side: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The row-stripe cut of an `rows x cols` King's graph: side = row parity.
+///
+/// Cuts all vertical and diagonal edges, leaving only horizontal edges
+/// uncut: `cut = (rows-1)·cols + 2(rows-1)(cols-1)` of
+/// `m = 2·rows·cols - rows - cols - ... ` (see tests). On square boards this
+/// is the optimum max-cut among periodic patterns and serves as the
+/// "best-known" normalizer for stage-1 accuracy (Fig. 5(b)) at sizes where
+/// exact max-cut is out of reach.
+pub fn kings_stripe_cut(rows: usize, cols: usize) -> Cut {
+    let mut side = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for _ in 0..cols {
+            side.push(r % 2 == 1);
+        }
+    }
+    Cut { side }
+}
+
+/// Exhaustive exact max-cut for graphs of up to 24 nodes.
+///
+/// Enumerates all 2^(n-1) side assignments (node 0 pinned to side A by
+/// symmetry). Returns the best cut and its value.
+///
+/// # Panics
+///
+/// Panics if `g.num_nodes() > 24` or `g.num_nodes() == 0`.
+pub fn exact_max_cut_bruteforce(g: &Graph) -> (Cut, usize) {
+    let n = g.num_nodes();
+    assert!(n > 0, "exact max-cut needs at least one node");
+    assert!(n <= 24, "brute force limited to 24 nodes, got {n}");
+    let edges: Vec<(usize, usize)> = g.edges().map(|(_, u, v)| (u.index(), v.index())).collect();
+    let mut best_mask = 0u32;
+    let mut best = 0usize;
+    for mask in 0u32..(1u32 << (n - 1)) {
+        // Bit i of `assign` is the side of node i+1 (node 0 always side A).
+        let assign = mask << 1;
+        let mut cut = 0usize;
+        for &(u, v) in &edges {
+            if ((assign >> u) ^ (assign >> v)) & 1 == 1 {
+                cut += 1;
+            }
+        }
+        if cut > best {
+            best = cut;
+            best_mask = assign;
+        }
+    }
+    let side = (0..n).map(|i| (best_mask >> i) & 1 == 1).collect();
+    (Cut { side }, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cut_value_and_energy() {
+        let g = generators::cycle_graph(4);
+        let cut = Cut::new(vec![false, true, false, true]);
+        assert_eq!(cut.cut_value(&g), 4);
+        assert_eq!(cut.ising_energy(&g), -4);
+        let bad = Cut::new(vec![false; 4]);
+        assert_eq!(bad.cut_value(&g), 0);
+        assert_eq!(bad.ising_energy(&g), 4);
+    }
+
+    #[test]
+    fn odd_cycle_cannot_cut_all_edges() {
+        let g = generators::cycle_graph(5);
+        let (_, best) = exact_max_cut_bruteforce(&g);
+        assert_eq!(best, 4, "C5 max-cut is 4");
+    }
+
+    #[test]
+    fn exact_bruteforce_on_complete_graph() {
+        // K4 max-cut = 4 (balanced bipartition 2+2).
+        let g = generators::complete_graph(4);
+        let (cut, best) = exact_max_cut_bruteforce(&g);
+        assert_eq!(best, 4);
+        assert_eq!(cut.cut_value(&g), 4);
+    }
+
+    #[test]
+    fn stripe_cut_value_on_kings_graph() {
+        let rows = 5;
+        let cols = 5;
+        let g = generators::kings_graph(rows, cols);
+        let cut = kings_stripe_cut(rows, cols);
+        let expected = (rows - 1) * cols + 2 * (rows - 1) * (cols - 1);
+        assert_eq!(cut.cut_value(&g), expected);
+    }
+
+    #[test]
+    fn stripe_cut_matches_exact_on_tiny_board() {
+        // 3x3 King's graph has 9 nodes: brute-forceable.
+        let g = generators::kings_graph(3, 3);
+        let (_, exact) = exact_max_cut_bruteforce(&g);
+        let stripe = kings_stripe_cut(3, 3).cut_value(&g);
+        assert_eq!(stripe, exact, "stripe cut is optimal on 3x3");
+    }
+
+    #[test]
+    fn local_search_monotone_improvement() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::kings_graph(6, 6);
+        let mut cut = Cut::random(g.num_nodes(), &mut rng);
+        let before = cut.cut_value(&g);
+        cut.local_search(&g);
+        let after = cut.cut_value(&g);
+        assert!(after >= before);
+        // At a 1-flip local optimum no single flip helps.
+        for v in g.nodes() {
+            let mut probe = cut.clone();
+            probe.flip(v);
+            assert!(probe.cut_value(&g) <= after);
+        }
+    }
+
+    #[test]
+    fn crossing_edges_and_sides() {
+        let g = generators::path_graph(3);
+        let cut = Cut::new(vec![false, true, true]);
+        let crossing = cut.crossing_edges(&g);
+        assert_eq!(crossing.len(), 1);
+        let (u, v) = g.endpoints(crossing[0]);
+        assert_eq!((u.index(), v.index()), (0, 1));
+        assert_eq!(cut.nodes_on_side(false).len(), 1);
+        assert_eq!(cut.nodes_on_side(true).len(), 2);
+    }
+
+    #[test]
+    fn from_coloring_bit_roundtrip() {
+        let c = Coloring::from_indices([0, 1, 2, 3]);
+        let lsb = Cut::from_coloring_bit(&c, 0);
+        assert_eq!(lsb.as_slice(), &[false, true, false, true]);
+        let msb = Cut::from_coloring_bit(&c, 1);
+        assert_eq!(msb.as_slice(), &[false, false, true, true]);
+    }
+
+    #[test]
+    fn setters() {
+        let mut cut = Cut::new(vec![false, false]);
+        cut.set_side(NodeId::new(1), true);
+        assert!(cut.side(NodeId::new(1)));
+        cut.flip(NodeId::new(1));
+        assert!(!cut.side(NodeId::new(1)));
+        let collected: Cut = [true, false].into_iter().collect();
+        assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cut covers")]
+    fn cut_value_panics_on_mismatch() {
+        let g = generators::path_graph(3);
+        Cut::new(vec![false]).cut_value(&g);
+    }
+}

@@ -1,0 +1,473 @@
+//! Graph instance generators.
+//!
+//! The paper evaluates on custom King's-graph 4-coloring problems ("due to
+//! the lack of commonly accepted benchmark problems", §4) with 49, 400, 1024
+//! and 2116 nodes — that is, square King's graphs of side 7, 20, 32 and 46
+//! with **all eight neighbour couplings active**. This module provides that
+//! family plus the auxiliary topologies mentioned in the background section
+//! (hexagonal lattices of ref \[7\], grids) and random/planted families used by
+//! the extended experiments.
+
+use crate::graph::{Graph, GraphBuilder};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// King's graph on an `rows x cols` board: vertices are board cells, edges
+/// connect cells a king's move apart (horizontal, vertical and diagonal
+/// neighbours — up to 8 per node, exactly as in the paper's benchmarks).
+///
+/// The node at `(r, c)` has index `r * cols + c`.
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+///
+/// # Example
+///
+/// ```
+/// use msropm_graph::generators::kings_graph;
+///
+/// // Paper sizes: 7^2=49, 20^2=400, 32^2=1024, 46^2=2116 nodes.
+/// assert_eq!(kings_graph(7, 7).num_nodes(), 49);
+/// assert_eq!(kings_graph(46, 46).num_nodes(), 2116);
+/// // Edge count for an n x n board is 2(n-1)(2n-1).
+/// assert_eq!(kings_graph(7, 7).num_edges(), 156);
+/// ```
+pub fn kings_graph(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "kings_graph requires a non-empty board");
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            // Emit each edge once: east, south, south-east, south-west.
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1)).expect("valid edge");
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c)).expect("valid edge");
+                if c + 1 < cols {
+                    b.add_edge(idx(r, c), idx(r + 1, c + 1)).expect("valid edge");
+                }
+                if c > 0 {
+                    b.add_edge(idx(r, c), idx(r + 1, c - 1)).expect("valid edge");
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Square King's graph with `side * side` nodes (the paper's benchmark shape).
+pub fn kings_graph_square(side: usize) -> Graph {
+    kings_graph(side, side)
+}
+
+/// 4-neighbour rectangular grid graph (`rows x cols`).
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+pub fn grid_graph(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid_graph requires a non-empty board");
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1)).expect("valid edge");
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c)).expect("valid edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Triangular lattice: a grid with one diagonal per cell, giving six
+/// neighbours for interior nodes. Chromatic number 3 wherever a triangle
+/// exists — useful for the 3-coloring ROPM baseline (ref \[14\]).
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+pub fn triangular_lattice(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "triangular_lattice requires a non-empty board");
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1)).expect("valid edge");
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c)).expect("valid edge");
+                if c + 1 < cols {
+                    b.add_edge(idx(r, c), idx(r + 1, c + 1)).expect("valid edge");
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Hexagonal (honeycomb) lattice in "brick wall" coordinates, the sparse
+/// nearest-neighbour topology used by the ROSC Ising fabric of ref \[7\].
+/// Every interior node has degree 3.
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+pub fn hex_lattice(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "hex_lattice requires a non-empty board");
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1)).expect("valid edge");
+            }
+            // Vertical rungs alternate like bricks: present when (r+c) even.
+            if r + 1 < rows && (r + c) % 2 == 0 {
+                b.add_edge(idx(r, c), idx(r + 1, c)).expect("valid edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Cycle graph `C_n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle_graph(n: usize) -> Graph {
+    assert!(n >= 3, "cycle_graph requires n >= 3");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n).expect("valid edge");
+    }
+    b.build()
+}
+
+/// Path graph `P_n` (n nodes, n-1 edges). `path_graph(1)` is a single node.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path_graph(n: usize) -> Graph {
+    assert!(n >= 1, "path_graph requires n >= 1");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n.saturating_sub(1) {
+        b.add_edge(i, i + 1).expect("valid edge");
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i, j).expect("valid edge");
+        }
+    }
+    b.build()
+}
+
+/// Star graph: node 0 connected to nodes `1..n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star_graph(n: usize) -> Graph {
+    assert!(n >= 1, "star_graph requires n >= 1");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i).expect("valid edge");
+    }
+    b.build()
+}
+
+/// Complete bipartite graph `K_{a,b}` (left part `0..a`, right part `a..a+b`).
+pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
+    let mut b = GraphBuilder::new(a + b_size);
+    for i in 0..a {
+        for j in 0..b_size {
+            b.add_edge(i, a + j).expect("valid edge");
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)` random graph.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                b.add_edge(i, j).expect("valid edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random geometric graph: `n` points uniform in the unit square, edges
+/// between pairs closer than `radius`. Produces planar-ish, locally coupled
+/// instances resembling physical oscillator placements.
+pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> Graph {
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = pts[i].0 - pts[j].0;
+            let dy = pts[i].1 - pts[j].1;
+            if dx * dx + dy * dy <= r2 {
+                b.add_edge(i, j).expect("valid edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random graph guaranteed to be `k`-colorable: nodes are assigned to `k`
+/// hidden classes round-robin (so every class is non-empty for `n >= k`),
+/// then each cross-class pair becomes an edge with probability `p`.
+///
+/// The planted classes certify k-colorability; the generator also returns
+/// them so tests can verify solvers against a known proper coloring.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn planted_k_colorable<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    p: f64,
+    rng: &mut R,
+) -> (Graph, Vec<usize>) {
+    assert!(k > 0, "planted_k_colorable requires k >= 1");
+    let mut classes: Vec<usize> = (0..n).map(|i| i % k).collect();
+    classes.shuffle(rng);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if classes[i] != classes[j] && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                b.add_edge(i, j).expect("valid edge");
+            }
+        }
+    }
+    (b.build(), classes)
+}
+
+/// Wheel graph `W_n`: a hub (node 0) connected to every node of an
+/// `(n−1)`-cycle. Chromatic number 4 when the rim is an odd cycle — a
+/// compact non-planar-looking 4-coloring stress case.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn wheel_graph(n: usize) -> Graph {
+    assert!(n >= 4, "wheel_graph requires n >= 4");
+    let rim = n - 1;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..rim {
+        b.add_edge(0, 1 + i).expect("valid edge");
+        b.add_edge(1 + i, 1 + (i + 1) % rim).expect("valid edge");
+    }
+    b.build()
+}
+
+/// The Petersen graph: 10 nodes, 15 edges, 3-chromatic, girth 5 — the
+/// classical counterexample machine, useful for solver stress tests.
+pub fn petersen_graph() -> Graph {
+    let mut b = GraphBuilder::new(10);
+    for i in 0..5 {
+        b.add_edge(i, (i + 1) % 5).expect("outer cycle");
+        b.add_edge(5 + i, 5 + (i + 2) % 5).expect("inner pentagram");
+        b.add_edge(i, 5 + i).expect("spoke");
+    }
+    b.build()
+}
+
+/// Barbell graph: two `K_m` cliques joined by a single bridge edge —
+/// exercises partition-style solvers with an obvious bottleneck.
+///
+/// # Panics
+///
+/// Panics if `m < 2`.
+pub fn barbell_graph(m: usize) -> Graph {
+    assert!(m >= 2, "barbell_graph requires cliques of size >= 2");
+    let mut b = GraphBuilder::new(2 * m);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            b.add_edge(i, j).expect("left clique");
+            b.add_edge(m + i, m + j).expect("right clique");
+        }
+    }
+    b.add_edge(m - 1, m).expect("bridge");
+    b.build()
+}
+
+/// Number of edges of an `n x n` King's graph: `2(n-1)(2n-1)`.
+///
+/// Used to cross-check the generator and to parameterize power models.
+pub fn kings_graph_edge_count(side: usize) -> usize {
+    if side == 0 {
+        0
+    } else {
+        2 * (side - 1) * (2 * side - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kings_graph_paper_sizes() {
+        for (side, nodes) in [(7usize, 49usize), (20, 400), (32, 1024), (46, 2116)] {
+            let g = kings_graph_square(side);
+            assert_eq!(g.num_nodes(), nodes);
+            assert_eq!(g.num_edges(), kings_graph_edge_count(side));
+        }
+    }
+
+    #[test]
+    fn kings_graph_degrees() {
+        let g = kings_graph(5, 5);
+        // Interior nodes have all 8 king moves ("8 edges per node", §4.1).
+        let interior = crate::NodeId::new(2 * 5 + 2);
+        assert_eq!(g.degree(interior), 8);
+        // Corners have 3.
+        assert_eq!(g.degree(crate::NodeId::new(0)), 3);
+        // Edge (non-corner border) nodes have 5.
+        assert_eq!(g.degree(crate::NodeId::new(2)), 5);
+    }
+
+    #[test]
+    fn kings_graph_rectangular() {
+        let g = kings_graph(2, 3);
+        // 2x3 king graph: horizontal 2*2=4, vertical 3, diagonals 2*2=4 -> 11.
+        assert_eq!(g.num_edges(), 11);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn grid_graph_structure() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // (cols-1)*rows + (rows-1)*cols
+        assert!(g.is_bipartite());
+    }
+
+    #[test]
+    fn triangular_lattice_has_triangles() {
+        let g = triangular_lattice(2, 2);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert!(!g.is_bipartite());
+    }
+
+    #[test]
+    fn hex_lattice_max_degree_three() {
+        let g = hex_lattice(6, 6);
+        assert!(g.max_degree() <= 3);
+        assert!(g.is_bipartite(), "honeycomb lattice is bipartite");
+    }
+
+    #[test]
+    fn small_standard_families() {
+        assert_eq!(cycle_graph(5).num_edges(), 5);
+        assert!(!cycle_graph(5).is_bipartite());
+        assert!(cycle_graph(6).is_bipartite());
+        assert_eq!(path_graph(1).num_edges(), 0);
+        assert_eq!(path_graph(6).num_edges(), 5);
+        assert_eq!(complete_graph(5).num_edges(), 10);
+        assert_eq!(star_graph(7).num_edges(), 6);
+        assert_eq!(complete_bipartite(3, 4).num_edges(), 12);
+        assert!(complete_bipartite(3, 4).is_bipartite());
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g0 = erdos_renyi(10, 0.0, &mut rng);
+        assert_eq!(g0.num_edges(), 0);
+        let g1 = erdos_renyi(10, 1.0, &mut rng);
+        assert_eq!(g1.num_edges(), 45);
+    }
+
+    #[test]
+    fn random_geometric_radius_monotone() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let small = random_geometric(40, 0.1, &mut rng);
+        let mut rng = StdRng::seed_from_u64(7);
+        let large = random_geometric(40, 0.5, &mut rng);
+        assert!(small.num_edges() <= large.num_edges());
+    }
+
+    #[test]
+    fn planted_coloring_is_proper() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (g, classes) = planted_k_colorable(60, 4, 0.3, &mut rng);
+        for (_, u, v) in g.edges() {
+            assert_ne!(classes[u.index()], classes[v.index()]);
+        }
+        // Round-robin assignment guarantees all classes non-empty.
+        for k in 0..4 {
+            assert!(classes.iter().any(|&c| c == k));
+        }
+    }
+
+    #[test]
+    fn edge_count_formula_zero_side() {
+        assert_eq!(kings_graph_edge_count(0), 0);
+        assert_eq!(kings_graph_edge_count(1), 0);
+    }
+
+    #[test]
+    fn wheel_graph_structure() {
+        // W6: hub + 5-cycle rim -> 10 edges, odd rim -> 4-chromatic.
+        let g = wheel_graph(6);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.degree(crate::NodeId::new(0)), 5);
+        let c = crate::coloring::dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors_used(), 4);
+        // Even rim needs only 3.
+        let g7 = wheel_graph(7);
+        let c7 = crate::coloring::dsatur(&g7);
+        assert_eq!(c7.num_colors_used(), 3);
+    }
+
+    #[test]
+    fn petersen_graph_invariants() {
+        let g = petersen_graph();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 15);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 3, "Petersen is 3-regular");
+        }
+        assert!(!g.is_bipartite());
+        let c = crate::coloring::dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors_used(), 3);
+    }
+
+    #[test]
+    fn barbell_graph_structure() {
+        let g = barbell_graph(4);
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 2 * 6 + 1);
+        assert!(g.is_connected());
+        let c = crate::coloring::dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors_used(), 4, "K4 cliques force 4 colors");
+    }
+}

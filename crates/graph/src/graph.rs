@@ -1,0 +1,589 @@
+//! Core undirected simple-graph type with CSR adjacency.
+
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a vertex in a [`Graph`].
+///
+/// Node ids are dense: a graph with `n` nodes uses ids `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use msropm_graph::NodeId;
+///
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    pub fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// Returns the dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// Identifier of an undirected edge in a [`Graph`].
+///
+/// Edge ids are dense: a graph with `m` edges uses ids `0..m`, in the order
+/// the edges were inserted into the [`GraphBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a dense index.
+    pub fn new(index: usize) -> Self {
+        EdgeId(index as u32)
+    }
+
+    /// Returns the dense index of this edge.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(raw: u32) -> Self {
+        EdgeId(raw)
+    }
+}
+
+/// Errors produced while building or validating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referenced a node outside `0..num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph under construction.
+        num_nodes: usize,
+    },
+    /// A self-loop `(v, v)` was inserted; simple graphs forbid them.
+    SelfLoop(NodeId),
+    /// The same undirected edge was inserted twice.
+    DuplicateEdge(NodeId, NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at {v} is not allowed"),
+            GraphError::DuplicateEdge(u, v) => {
+                write!(f, "duplicate edge between {u} and {v}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Incremental builder for [`Graph`].
+///
+/// Validates edges as they are added (no self-loops, no duplicates, endpoints
+/// in range) so that the finished graph is always a simple graph.
+///
+/// # Example
+///
+/// ```
+/// use msropm_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok::<(), msropm_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    seen: std::collections::HashSet<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` isolated nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}` (given as dense indices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is not in
+    /// `0..num_nodes`, [`GraphError::SelfLoop`] if `u == v`, and
+    /// [`GraphError::DuplicateEdge`] if the edge already exists.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<&mut Self, GraphError> {
+        if u >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: NodeId::new(u),
+                num_nodes: self.num_nodes,
+            });
+        }
+        if v >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: NodeId::new(v),
+                num_nodes: self.num_nodes,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(NodeId::new(u)));
+        }
+        let key = (u.min(v) as u32, u.max(v) as u32);
+        if !self.seen.insert(key) {
+            return Err(GraphError::DuplicateEdge(NodeId::new(u), NodeId::new(v)));
+        }
+        self.edges.push((NodeId::new(u), NodeId::new(v)));
+        Ok(self)
+    }
+
+    /// Adds `{u, v}` if absent; silently skips duplicates and self-loops.
+    ///
+    /// Useful for random generators where collisions are expected.
+    pub fn add_edge_dedup(&mut self, u: usize, v: usize) -> &mut Self {
+        let _ = self.add_edge(u, v);
+        self
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        Graph::from_parts(self.num_nodes, self.edges)
+    }
+}
+
+/// An immutable, undirected simple graph in compressed sparse row form.
+///
+/// The graph keeps both the flat edge list (indexed by [`EdgeId`]) and a CSR
+/// adjacency structure, so that per-node neighbour iteration and per-edge
+/// iteration are both O(1) amortized. Every neighbour entry carries the id of
+/// the connecting edge, which the Potts machine uses to gate individual
+/// couplings (`P_EN` in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    /// CSR row offsets, length `num_nodes + 1`.
+    offsets: Vec<u32>,
+    /// CSR column entries: (neighbour, connecting edge).
+    adjacency: Vec<(NodeId, EdgeId)>,
+}
+
+impl Graph {
+    /// Builds a graph from a node count and a validated edge list.
+    ///
+    /// Prefer [`GraphBuilder`] or [`Graph::from_edges`] in user code.
+    pub(crate) fn from_parts(num_nodes: usize, edges: Vec<(NodeId, NodeId)>) -> Self {
+        let mut degree = vec![0u32; num_nodes];
+        for &(u, v) in &edges {
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..num_nodes].to_vec();
+        let mut adjacency = vec![(NodeId::default(), EdgeId::default()); 2 * edges.len()];
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            let eid = EdgeId::new(e);
+            adjacency[cursor[u.index()] as usize] = (v, eid);
+            cursor[u.index()] += 1;
+            adjacency[cursor[v.index()] as usize] = (u, eid);
+            cursor[v.index()] += 1;
+        }
+        Graph {
+            num_nodes,
+            edges,
+            offsets,
+            adjacency,
+        }
+    }
+
+    /// Builds a graph from an iterator of `(u, v)` index pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same validation errors as [`GraphBuilder::add_edge`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use msropm_graph::Graph;
+    ///
+    /// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])?;
+    /// assert_eq!(g.num_edges(), 4);
+    /// assert_eq!(g.degree(msropm_graph::NodeId::new(0)), 2);
+    /// # Ok::<(), msropm_graph::GraphError>(())
+    /// ```
+    pub fn from_edges<I>(num_nodes: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut b = GraphBuilder::new(num_nodes);
+        for (u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Creates a graph with `num_nodes` nodes and no edges.
+    pub fn empty(num_nodes: usize) -> Self {
+        Graph::from_parts(num_nodes, Vec::new())
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids in increasing order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.num_nodes).map(NodeId::new)
+    }
+
+    /// Iterator over all edges as `(EdgeId, NodeId, NodeId)` triples.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (EdgeId::new(i), u, v))
+    }
+
+    /// Endpoints of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e.index()]
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Maximum degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Iterator over `(neighbour, connecting_edge)` pairs of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> impl ExactSizeIterator<Item = (NodeId, EdgeId)> + '_ {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        self.adjacency[lo..hi].iter().copied()
+    }
+
+    /// Returns `true` if `{u, v}` is an edge.
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u.index() >= self.num_nodes || v.index() >= self.num_nodes {
+            return false;
+        }
+        // Scan the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).any(|(w, _)| w == b)
+    }
+
+    /// Finds the edge id connecting `u` and `v`, if present.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if u.index() >= self.num_nodes || v.index() >= self.num_nodes {
+            return None;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).find(|&(w, _)| w == b).map(|(_, e)| e)
+    }
+
+    /// Returns `true` if the graph is connected (single-node graphs are
+    /// connected; the empty graph with zero nodes is considered connected).
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.num_nodes];
+        let mut stack = vec![NodeId::new(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for (w, _) in self.neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == self.num_nodes
+    }
+
+    /// Labels each node with the index of its connected component and returns
+    /// `(labels, component_count)`.
+    pub fn connected_components(&self) -> (Vec<usize>, usize) {
+        let mut label = vec![usize::MAX; self.num_nodes];
+        let mut next = 0usize;
+        let mut stack = Vec::new();
+        for s in 0..self.num_nodes {
+            if label[s] != usize::MAX {
+                continue;
+            }
+            label[s] = next;
+            stack.push(NodeId::new(s));
+            while let Some(v) = stack.pop() {
+                for (w, _) in self.neighbors(v) {
+                    if label[w.index()] == usize::MAX {
+                        label[w.index()] = next;
+                        stack.push(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (label, next)
+    }
+
+    /// Attempts a proper 2-coloring via BFS; returns the side assignment if
+    /// the graph is bipartite, or `None` if an odd cycle exists.
+    pub fn bipartition(&self) -> Option<Vec<bool>> {
+        let mut side: Vec<Option<bool>> = vec![None; self.num_nodes];
+        let mut queue = std::collections::VecDeque::new();
+        for s in 0..self.num_nodes {
+            if side[s].is_some() {
+                continue;
+            }
+            side[s] = Some(false);
+            queue.push_back(NodeId::new(s));
+            while let Some(v) = queue.pop_front() {
+                let sv = side[v.index()].expect("visited nodes have a side");
+                for (w, _) in self.neighbors(v) {
+                    match side[w.index()] {
+                        None => {
+                            side[w.index()] = Some(!sv);
+                            queue.push_back(w);
+                        }
+                        Some(sw) if sw == sv => return None,
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        Some(side.into_iter().map(|s| s.unwrap_or(false)).collect())
+    }
+
+    /// Returns `true` if the graph contains no odd cycle.
+    pub fn is_bipartite(&self) -> bool {
+        self.bipartition().is_some()
+    }
+
+    /// Sum of degrees (= 2·num_edges); exposed for invariant checks.
+    pub fn degree_sum(&self) -> usize {
+        self.adjacency.len()
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={})",
+            self.num_nodes,
+            self.edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap()
+    }
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(NodeId::from(42u32), v);
+        assert_eq!(v.to_string(), "v42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::new(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(EdgeId::from(7u32), e);
+        assert_eq!(e.to_string(), "e7");
+    }
+
+    #[test]
+    fn builder_rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_edge(1, 1).unwrap_err(), GraphError::SelfLoop(NodeId::new(1)));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        let err = b.add_edge(0, 5).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: NodeId::new(5),
+                num_nodes: 2
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_in_both_orientations() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        assert!(matches!(b.add_edge(0, 1), Err(GraphError::DuplicateEdge(_, _))));
+        assert!(matches!(b.add_edge(1, 0), Err(GraphError::DuplicateEdge(_, _))));
+    }
+
+    #[test]
+    fn dedup_builder_skips_errors() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_dedup(0, 1)
+            .add_edge_dedup(0, 1)
+            .add_edge_dedup(2, 2)
+            .add_edge_dedup(1, 2);
+        assert_eq!(b.num_edges(), 2);
+    }
+
+    #[test]
+    fn csr_adjacency_is_consistent() {
+        let g = square();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree_sum(), 8);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+            for (w, e) in g.neighbors(v) {
+                let (a, b) = g.endpoints(e);
+                assert!(a == v && b == w || a == w && b == v);
+            }
+        }
+    }
+
+    #[test]
+    fn contains_and_find_edge() {
+        let g = square();
+        assert!(g.contains_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(g.contains_edge(NodeId::new(1), NodeId::new(0)));
+        assert!(!g.contains_edge(NodeId::new(0), NodeId::new(2)));
+        let e = g.find_edge(NodeId::new(2), NodeId::new(3)).unwrap();
+        let (a, b) = g.endpoints(e);
+        assert_eq!((a.index().min(b.index()), a.index().max(b.index())), (2, 3));
+        assert!(g.find_edge(NodeId::new(0), NodeId::new(2)).is_none());
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = square();
+        assert!(g.is_connected());
+        let h = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!h.is_connected());
+        let (labels, k) = h.connected_components();
+        assert_eq!(k, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Graph::empty(0);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.connected_components().1, 0);
+        let g1 = Graph::empty(5);
+        assert!(!g1.is_connected());
+        assert_eq!(g1.connected_components().1, 5);
+    }
+
+    #[test]
+    fn bipartite_detection() {
+        let even_cycle = square();
+        assert!(even_cycle.is_bipartite());
+        let side = even_cycle.bipartition().unwrap();
+        assert_ne!(side[0], side[1]);
+        assert_ne!(side[1], side[2]);
+
+        let triangle = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert!(!triangle.is_bipartite());
+    }
+
+    #[test]
+    fn display_formats() {
+        let g = square();
+        assert_eq!(g.to_string(), "Graph(n=4, m=4)");
+        let err = GraphError::SelfLoop(NodeId::new(1));
+        assert_eq!(err.to_string(), "self-loop at v1 is not allowed");
+    }
+}

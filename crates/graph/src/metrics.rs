@@ -1,0 +1,302 @@
+//! Solution-diversity and statistics utilities (Fig. 5(c), §4.1).
+//!
+//! The paper reports pairwise Hamming distances between the 40 solutions of
+//! each problem as histograms, and observes a positive correlation between
+//! stage-1 max-cut accuracy and final 4-coloring accuracy. This module
+//! implements those measurements.
+
+use crate::coloring::{Color, Coloring};
+
+/// Raw normalized Hamming distance between two colorings: fraction of nodes
+/// whose colors differ.
+///
+/// # Panics
+///
+/// Panics if lengths differ or both are empty.
+pub fn hamming_distance(a: &Coloring, b: &Coloring) -> f64 {
+    assert_eq!(a.len(), b.len(), "colorings must cover the same nodes");
+    assert!(!a.is_empty(), "empty colorings have no Hamming distance");
+    let differing = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .filter(|(x, y)| x != y)
+        .count();
+    differing as f64 / a.len() as f64
+}
+
+/// Label-invariant Hamming distance: the minimum raw distance over all
+/// permutations of `b`'s color labels. Solutions that are identical up to
+/// renaming colors score 0.
+///
+/// # Panics
+///
+/// Panics if lengths differ, both are empty, or more than 8 colors are used
+/// (8! = 40320 permutations is the practical limit).
+pub fn hamming_distance_min_permutation(a: &Coloring, b: &Coloring) -> f64 {
+    assert_eq!(a.len(), b.len(), "colorings must cover the same nodes");
+    assert!(!a.is_empty(), "empty colorings have no Hamming distance");
+    let k = a.color_range().max(b.color_range());
+    assert!(k <= 8, "permutation search limited to 8 colors, got {k}");
+    let mut perm: Vec<u16> = (0..k as u16).collect();
+    let mut best = usize::MAX;
+    permute(&mut perm, 0, &mut |p| {
+        let differing = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .filter(|&(&x, &y)| x != Color(p[y.index()]))
+            .count();
+        best = best.min(differing);
+    });
+    best as f64 / a.len() as f64
+}
+
+fn permute(perm: &mut Vec<u16>, start: usize, visit: &mut impl FnMut(&[u16])) {
+    if start == perm.len() {
+        visit(perm);
+        return;
+    }
+    for i in start..perm.len() {
+        perm.swap(start, i);
+        permute(perm, start + 1, visit);
+        perm.swap(start, i);
+    }
+}
+
+/// All pairwise raw Hamming distances among `solutions` (n·(n−1)/2 values),
+/// the data behind Fig. 5(c).
+pub fn pairwise_hamming(solutions: &[Coloring]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(solutions.len() * solutions.len().saturating_sub(1) / 2);
+    for i in 0..solutions.len() {
+        for j in (i + 1)..solutions.len() {
+            out.push(hamming_distance(&solutions[i], &solutions[j]));
+        }
+    }
+    out
+}
+
+/// Histogram of values in `[0, 1]` with `bins` equal-width buckets; the last
+/// bucket is closed so 1.0 lands in it.
+///
+/// # Panics
+///
+/// Panics if `bins == 0`.
+pub fn histogram_unit_interval(values: &[f64], bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "need at least one bin");
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let clamped = v.clamp(0.0, 1.0);
+        let mut b = (clamped * bins as f64) as usize;
+        if b == bins {
+            b = bins - 1;
+        }
+        counts[b] += 1;
+    }
+    counts
+}
+
+/// Pearson correlation coefficient of paired samples.
+///
+/// Returns `None` if fewer than two samples or either variance is zero.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "paired samples must have equal length");
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Spearman rank correlation (Pearson on fractional ranks, ties averaged).
+///
+/// Returns `None` under the same conditions as [`pearson`].
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "paired samples must have equal length");
+    let rx = fractional_ranks(x);
+    let ry = fractional_ranks(y);
+    pearson(&rx, &ry)
+}
+
+fn fractional_ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN in ranks"));
+    let mut ranks = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Summary statistics over a non-empty sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Computes summary statistics; returns `None` on an empty sample.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Summary {
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+            count: values.len(),
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean={:.4} std={:.4} min={:.4} max={:.4} n={}",
+            self.mean, self.std_dev, self.min, self.max, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_basics() {
+        let a = Coloring::from_indices([0, 1, 2, 3]);
+        let b = Coloring::from_indices([0, 1, 2, 0]);
+        assert_eq!(hamming_distance(&a, &a), 0.0);
+        assert_eq!(hamming_distance(&a, &b), 0.25);
+    }
+
+    #[test]
+    fn hamming_permutation_invariant() {
+        let a = Coloring::from_indices([0, 0, 1, 1, 2, 2]);
+        // Same partition, colors renamed 0->2, 1->0, 2->1.
+        let b = Coloring::from_indices([2, 2, 0, 0, 1, 1]);
+        assert!(hamming_distance(&a, &b) > 0.0);
+        assert_eq!(hamming_distance_min_permutation(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn hamming_permutation_partial() {
+        let a = Coloring::from_indices([0, 0, 1, 1]);
+        let b = Coloring::from_indices([1, 1, 0, 1]);
+        // Swap 0<->1 in b: [0,0,1,0] vs [0,0,1,1] -> 1 differing node.
+        assert_eq!(hamming_distance_min_permutation(&a, &b), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "same nodes")]
+    fn hamming_length_mismatch_panics() {
+        let a = Coloring::from_indices([0]);
+        let b = Coloring::from_indices([0, 1]);
+        hamming_distance(&a, &b);
+    }
+
+    #[test]
+    fn pairwise_count() {
+        let sols: Vec<Coloring> = (0..5).map(|i| Coloring::from_indices([i, 0])).collect();
+        assert_eq!(pairwise_hamming(&sols).len(), 10);
+    }
+
+    #[test]
+    fn histogram_edges() {
+        let values = [0.0, 0.099, 0.1, 0.95, 1.0];
+        let h = histogram_unit_interval(&values, 10);
+        assert_eq!(h[0], 2);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[9], 2, "1.0 belongs to the last closed bucket");
+        assert_eq!(h.iter().sum::<usize>(), values.len());
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None, "zero variance");
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0]; // monotone but nonlinear
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.count, 4);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert!(Summary::of(&[]).is_none());
+        assert!(s.to_string().contains("mean=2.5"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Graph partitioning: the electrical effect of the `P_EN` coupling gates.
+//!
+//! After stage 1, the MSROPM "cuts off the coupling between different-phased
+//! oscillators" (§3.3), splitting the circuit into two independent
+//! sub-circuits. [`EdgeMask`] models the per-coupling enable bits and
+//! [`Subgraph`] represents one electrically connected island together with
+//! its mapping back to the original node ids.
+
+use crate::cut::Cut;
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// Per-edge enable bits, mirroring the paper's `P_EN` (and per-coupling
+/// `L_EN`) control signals.
+///
+/// # Example
+///
+/// ```
+/// use msropm_graph::{EdgeMask, Graph};
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+/// let mut mask = EdgeMask::all_enabled(&g);
+/// mask.disable(msropm_graph::EdgeId::new(0));
+/// assert_eq!(mask.num_enabled(), 1);
+/// # Ok::<(), msropm_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EdgeMask {
+    enabled: Vec<bool>,
+}
+
+impl EdgeMask {
+    /// Mask with every coupling enabled (`G_EN` high, all `P_EN` high).
+    pub fn all_enabled(g: &Graph) -> Self {
+        EdgeMask {
+            enabled: vec![true; g.num_edges()],
+        }
+    }
+
+    /// Mask with every coupling disabled.
+    pub fn all_disabled(g: &Graph) -> Self {
+        EdgeMask {
+            enabled: vec![false; g.num_edges()],
+        }
+    }
+
+    /// Number of edges this mask covers.
+    pub fn len(&self) -> usize {
+        self.enabled.len()
+    }
+
+    /// Returns `true` if the mask covers zero edges.
+    pub fn is_empty(&self) -> bool {
+        self.enabled.is_empty()
+    }
+
+    /// Returns `true` if edge `e` is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn is_enabled(&self, e: EdgeId) -> bool {
+        self.enabled[e.index()]
+    }
+
+    /// Enables edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn enable(&mut self, e: EdgeId) {
+        self.enabled[e.index()] = true;
+    }
+
+    /// Disables edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn disable(&mut self, e: EdgeId) {
+        self.enabled[e.index()] = false;
+    }
+
+    /// Number of enabled edges.
+    pub fn num_enabled(&self) -> usize {
+        self.enabled.iter().filter(|&&e| e).count()
+    }
+
+    /// Disables every edge crossing `cut` (the stage-transition `P_EN`
+    /// action) and returns how many were switched off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are inconsistent with `g`.
+    pub fn disable_crossing(&mut self, g: &Graph, cut: &Cut) -> usize {
+        assert_eq!(self.enabled.len(), g.num_edges(), "mask/graph size mismatch");
+        let mut n = 0;
+        for (e, u, v) in g.edges() {
+            if cut.side(u) != cut.side(v) && self.enabled[e.index()] {
+                self.enabled[e.index()] = false;
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+/// A vertex-induced subgraph keeping the mapping to the parent graph.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    graph: Graph,
+    /// `to_parent[i]` = parent node id of local node `i`.
+    to_parent: Vec<NodeId>,
+}
+
+impl Subgraph {
+    /// Induces the subgraph of `g` on `nodes` (order defines local ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` contains duplicates or out-of-range ids.
+    pub fn induced(g: &Graph, nodes: &[NodeId]) -> Self {
+        let mut local_of = vec![usize::MAX; g.num_nodes()];
+        for (local, &v) in nodes.iter().enumerate() {
+            assert!(v.index() < g.num_nodes(), "node {v} out of range");
+            assert!(local_of[v.index()] == usize::MAX, "duplicate node {v}");
+            local_of[v.index()] = local;
+        }
+        let mut edges = Vec::new();
+        for (_, u, v) in g.edges() {
+            let (lu, lv) = (local_of[u.index()], local_of[v.index()]);
+            if lu != usize::MAX && lv != usize::MAX {
+                edges.push((lu, lv));
+            }
+        }
+        let graph = Graph::from_edges(nodes.len(), edges).expect("induced edges are valid");
+        Subgraph {
+            graph,
+            to_parent: nodes.to_vec(),
+        }
+    }
+
+    /// The subgraph itself.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Parent node id of local node `local`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    pub fn parent_of(&self, local: NodeId) -> NodeId {
+        self.to_parent[local.index()]
+    }
+
+    /// All parent node ids in local order.
+    pub fn parent_nodes(&self) -> &[NodeId] {
+        &self.to_parent
+    }
+
+    /// Number of nodes in this subgraph.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+}
+
+/// Splits `g` along `cut` into the two induced subgraphs (side A = `false`
+/// first), exactly as the coupling gating partitions the oscillator array.
+pub fn split_by_cut(g: &Graph, cut: &Cut) -> (Subgraph, Subgraph) {
+    let a = cut.nodes_on_side(false);
+    let b = cut.nodes_on_side(true);
+    (Subgraph::induced(g, &a), Subgraph::induced(g, &b))
+}
+
+/// The graph obtained by keeping only the edges enabled in `mask` (node set
+/// unchanged). This is the "effective" coupling network the oscillators see.
+pub fn masked_graph(g: &Graph, mask: &EdgeMask) -> Graph {
+    assert_eq!(mask.len(), g.num_edges(), "mask/graph size mismatch");
+    let edges: Vec<(usize, usize)> = g
+        .edges()
+        .filter(|&(e, _, _)| mask.is_enabled(e))
+        .map(|(_, u, v)| (u.index(), v.index()))
+        .collect();
+    Graph::from_edges(g.num_nodes(), edges).expect("masked edges are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn mask_basics() {
+        let g = generators::cycle_graph(4);
+        let mut m = EdgeMask::all_enabled(&g);
+        assert_eq!(m.num_enabled(), 4);
+        m.disable(EdgeId::new(2));
+        assert!(!m.is_enabled(EdgeId::new(2)));
+        m.enable(EdgeId::new(2));
+        assert_eq!(m.num_enabled(), 4);
+        assert_eq!(EdgeMask::all_disabled(&g).num_enabled(), 0);
+    }
+
+    #[test]
+    fn disable_crossing_partitions_the_circuit() {
+        let g = generators::kings_graph(4, 4);
+        let cut = crate::cut::kings_stripe_cut(4, 4);
+        let mut mask = EdgeMask::all_enabled(&g);
+        let cut_edges = mask.disable_crossing(&g, &cut);
+        assert_eq!(cut_edges, cut.cut_value(&g));
+
+        // The masked graph must have >= 2 components (one per side at least)
+        // and no edge between different sides.
+        let mg = masked_graph(&g, &mask);
+        for (_, u, v) in mg.edges() {
+            assert_eq!(cut.side(u), cut.side(v));
+        }
+        let (_, k) = mg.connected_components();
+        assert!(k >= 2);
+    }
+
+    #[test]
+    fn induced_subgraph_maps_back() {
+        let g = generators::kings_graph(3, 3);
+        let nodes: Vec<NodeId> = vec![NodeId::new(0), NodeId::new(1), NodeId::new(4)];
+        let sg = Subgraph::induced(&g, &nodes);
+        assert_eq!(sg.num_nodes(), 3);
+        // 0-1 horizontal, 0-4 diagonal, 1-4 vertical: all present.
+        assert_eq!(sg.graph().num_edges(), 3);
+        assert_eq!(sg.parent_of(NodeId::new(2)), NodeId::new(4));
+        assert_eq!(sg.parent_nodes().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn induced_rejects_duplicates() {
+        let g = generators::path_graph(3);
+        Subgraph::induced(&g, &[NodeId::new(0), NodeId::new(0)]);
+    }
+
+    #[test]
+    fn split_by_cut_covers_all_nodes() {
+        let g = generators::kings_graph(4, 4);
+        let cut = crate::cut::kings_stripe_cut(4, 4);
+        let (a, b) = split_by_cut(&g, &cut);
+        assert_eq!(a.num_nodes() + b.num_nodes(), g.num_nodes());
+        // Stripe cut leaves each side as disjoint row paths: bipartite.
+        assert!(a.graph().is_bipartite());
+        assert!(b.graph().is_bipartite());
+    }
+
+    #[test]
+    fn stripe_partition_yields_two_colorable_sides_paper_flow() {
+        // End-to-end invariant behind the paper's divide-and-color: a stripe
+        // stage-1 cut makes both halves bipartite, so stage 2 can 2-color
+        // them and the merged result is a proper 4-coloring.
+        for side in [3usize, 5, 7] {
+            let g = generators::kings_graph_square(side);
+            let cut = crate::cut::kings_stripe_cut(side, side);
+            let (a, b) = split_by_cut(&g, &cut);
+            assert!(a.graph().is_bipartite());
+            assert!(b.graph().is_bipartite());
+        }
+    }
+
+    #[test]
+    fn masked_graph_keeps_node_count() {
+        let g = generators::cycle_graph(5);
+        let mut mask = EdgeMask::all_enabled(&g);
+        mask.disable(EdgeId::new(0));
+        let mg = masked_graph(&g, &mask);
+        assert_eq!(mg.num_nodes(), 5);
+        assert_eq!(mg.num_edges(), 4);
+    }
+}

@@ -1,0 +1,52 @@
+//! Numerical substrate for the MSROPM reproduction.
+//!
+//! The paper's experiments are transistor-level/phase-level *transient
+//! simulations*; reproducing them in Rust requires an ODE/SDE toolbox, which
+//! the thin scientific-Rust ecosystem (and this project's offline dependency
+//! policy) does not provide. This crate implements the required integrators
+//! from scratch:
+//!
+//! - [`fixed`]: explicit fixed-step methods (Euler, Heun, classic RK4) used
+//!   by the circuit-level waveform simulator, where the time step is pinned
+//!   to a fraction of the ring-oscillator period.
+//! - [`adaptive`]: Dormand–Prince 5(4) with a PI step-size controller for
+//!   stiff-ish validation runs and convergence studies.
+//! - [`sde`]: Euler–Maruyama and stochastic Heun integrators with diagonal
+//!   additive noise, used for oscillator phase noise (jitter) — the physical
+//!   mechanism the paper uses to randomize initial phases.
+//! - [`observer`]: waveform recorders used to produce Fig. 3-style traces.
+//!
+//! State vectors are plain `&[f64]` slices: every system in this workspace
+//! is dense, real and first-order.
+//!
+//! # Example
+//!
+//! ```
+//! use msropm_ode::{fixed::{FixedStepper, Rk4}, system::OdeSystem};
+//!
+//! /// dy/dt = -y, y(0) = 1  =>  y(t) = exp(-t).
+//! struct Decay;
+//! impl OdeSystem for Decay {
+//!     fn dim(&self) -> usize { 1 }
+//!     fn eval(&self, _t: f64, y: &[f64], dydt: &mut [f64]) { dydt[0] = -y[0]; }
+//! }
+//!
+//! let mut y = vec![1.0];
+//! Rk4::new().integrate(&Decay, &mut y, 0.0, 1.0, 1e-3);
+//! assert!((y[0] - (-1.0f64).exp()).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod fixed;
+pub mod observer;
+pub mod sde;
+pub mod system;
+
+pub use adaptive::{AdaptiveResult, DormandPrince54, OdeError, Tolerances};
+pub use fixed::{Euler, FixedStepper, Heun, Rk4};
+pub use observer::Recorder;
+pub use sde::{EulerMaruyama, SdeStepper, StochasticHeun};
+pub use system::{OdeSystem, SdeSystem};

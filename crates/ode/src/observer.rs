@@ -1,0 +1,161 @@
+//! Waveform recording utilities for transient simulations.
+
+/// Records `(t, y)` samples during integration, optionally decimated, and
+/// optionally restricted to a subset of state indices (e.g. only the output
+/// node of each ring oscillator).
+///
+/// # Example
+///
+/// ```
+/// use msropm_ode::observer::Recorder;
+///
+/// let mut rec = Recorder::new().with_stride(2);
+/// for step in 0..5 {
+///     rec.record(step as f64, &[step as f64 * 10.0]);
+/// }
+/// assert_eq!(rec.times(), &[0.0, 2.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    times: Vec<f64>,
+    samples: Vec<Vec<f64>>,
+    stride: usize,
+    counter: usize,
+    channels: Option<Vec<usize>>,
+}
+
+impl Recorder {
+    /// Creates a recorder capturing every sample of every channel.
+    pub fn new() -> Self {
+        Recorder {
+            stride: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Keeps only every `stride`-th sample (decimation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        self.stride = stride;
+        self
+    }
+
+    /// Restricts recording to the given state indices.
+    pub fn with_channels(mut self, channels: Vec<usize>) -> Self {
+        self.channels = Some(channels);
+        self
+    }
+
+    /// Offers a sample to the recorder (call from the integration observer).
+    pub fn record(&mut self, t: f64, y: &[f64]) {
+        if self.counter.is_multiple_of(self.stride) {
+            self.times.push(t);
+            let row = match &self.channels {
+                Some(ch) => ch.iter().map(|&i| y[i]).collect(),
+                None => y.to_vec(),
+            };
+            self.samples.push(row);
+        }
+        self.counter += 1;
+    }
+
+    /// Recorded time stamps.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Recorded sample rows (one per time stamp).
+    pub fn samples(&self) -> &[Vec<f64>] {
+        &self.samples
+    }
+
+    /// Number of recorded rows.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Extracts one channel as a `(t, value)` series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range for the recorded rows.
+    pub fn channel(&self, channel: usize) -> Vec<(f64, f64)> {
+        self.times
+            .iter()
+            .zip(&self.samples)
+            .map(|(&t, row)| (t, row[channel]))
+            .collect()
+    }
+
+    /// Writes the recording as CSV (`t,ch0,ch1,...`) to `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_csv<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        for (t, row) in self.times.iter().zip(&self.samples) {
+            write!(writer, "{t}")?;
+            for v in row {
+                write!(writer, ",{v}")?;
+            }
+            writeln!(writer)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_everything_by_default() {
+        let mut r = Recorder::new();
+        r.record(0.0, &[1.0, 2.0]);
+        r.record(1.0, &[3.0, 4.0]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.samples()[1], vec![3.0, 4.0]);
+        assert_eq!(r.channel(1), vec![(0.0, 2.0), (1.0, 4.0)]);
+    }
+
+    #[test]
+    fn stride_decimates() {
+        let mut r = Recorder::new().with_stride(3);
+        for i in 0..10 {
+            r.record(i as f64, &[0.0]);
+        }
+        assert_eq!(r.times(), &[0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn channel_selection() {
+        let mut r = Recorder::new().with_channels(vec![2]);
+        r.record(0.0, &[1.0, 2.0, 3.0]);
+        assert_eq!(r.samples()[0], vec![3.0]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut r = Recorder::new();
+        r.record(0.5, &[1.0, 2.0]);
+        let mut buf = Vec::new();
+        r.write_csv(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "0.5,1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_rejected() {
+        let _ = Recorder::new().with_stride(0);
+    }
+}

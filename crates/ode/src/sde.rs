@@ -1,0 +1,288 @@
+//! Stochastic integrators with diagonal additive noise.
+//!
+//! Oscillator jitter — the mechanism the paper uses both to randomize
+//! initial phases ("ROSCs are initially turned on at random time instances
+//! and set free ... to randomly drift apart from each other through jitter",
+//! §4) and to keep the annealing stochastic — is white phase noise. The
+//! standard model is the Itô SDE `dθ = f(θ)dt + σ dW`, which Euler–Maruyama
+//! integrates at strong order 1/2 (order 1 for additive noise).
+
+use crate::system::SdeSystem;
+use rand::Rng;
+
+/// Draws a standard normal via the Box–Muller transform.
+///
+/// The approved offline dependency set includes `rand` but not `rand_distr`,
+/// so the Gaussian sampler lives here. Box–Muller is exact (not an
+/// approximation) and fast enough for phase-noise injection.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against ln(0): gen() yields [0, 1), so flip to (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A one-step SDE integrator with diagonal noise.
+pub trait SdeStepper {
+    /// Advances `y` in place by one step `dt` at time `t`, drawing Wiener
+    /// increments from `rng`.
+    fn step<S: SdeSystem, R: Rng + ?Sized>(
+        &mut self,
+        sys: &S,
+        t: f64,
+        y: &mut [f64],
+        dt: f64,
+        rng: &mut R,
+    );
+
+    /// Integrates from `t0` to `t1` with steps of at most `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or `t1 < t0`.
+    fn integrate<S: SdeSystem, R: Rng + ?Sized>(
+        &mut self,
+        sys: &S,
+        y: &mut [f64],
+        t0: f64,
+        t1: f64,
+        dt: f64,
+        rng: &mut R,
+    ) {
+        assert!(dt > 0.0, "step size must be positive");
+        assert!(t1 >= t0, "t1 must be >= t0");
+        let mut t = t0;
+        while t < t1 {
+            let h = dt.min(t1 - t);
+            self.step(sys, t, y, h, rng);
+            t += h;
+        }
+    }
+
+    /// Like [`SdeStepper::integrate`] with an observer after every step (and
+    /// once at `t0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or `t1 < t0`.
+    fn integrate_observed<S: SdeSystem, R: Rng + ?Sized>(
+        &mut self,
+        sys: &S,
+        y: &mut [f64],
+        t0: f64,
+        t1: f64,
+        dt: f64,
+        rng: &mut R,
+        mut observe: impl FnMut(f64, &[f64]),
+    ) {
+        assert!(dt > 0.0, "step size must be positive");
+        assert!(t1 >= t0, "t1 must be >= t0");
+        observe(t0, y);
+        let mut t = t0;
+        while t < t1 {
+            let h = dt.min(t1 - t);
+            self.step(sys, t, y, h, rng);
+            t += h;
+            observe(t, y);
+        }
+    }
+}
+
+/// Euler–Maruyama: `y += f dt + g √dt ξ`, `ξ ~ N(0, 1)`.
+#[derive(Debug, Clone, Default)]
+pub struct EulerMaruyama {
+    drift: Vec<f64>,
+    diff: Vec<f64>,
+}
+
+impl EulerMaruyama {
+    /// Creates an Euler–Maruyama stepper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SdeStepper for EulerMaruyama {
+    fn step<S: SdeSystem, R: Rng + ?Sized>(
+        &mut self,
+        sys: &S,
+        t: f64,
+        y: &mut [f64],
+        dt: f64,
+        rng: &mut R,
+    ) {
+        let n = sys.dim();
+        self.drift.resize(n, 0.0);
+        self.diff.resize(n, 0.0);
+        sys.eval(t, y, &mut self.drift);
+        sys.diffusion(t, y, &mut self.diff);
+        let sqrt_dt = dt.sqrt();
+        for i in 0..n {
+            let xi = standard_normal(rng);
+            y[i] += dt * self.drift[i] + sqrt_dt * self.diff[i] * xi;
+        }
+    }
+}
+
+/// Stochastic Heun (improved Euler for the drift; additive-noise exact
+/// treatment of the diffusion). Weak order 2 for additive noise.
+#[derive(Debug, Clone, Default)]
+pub struct StochasticHeun {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    diff: Vec<f64>,
+    ytmp: Vec<f64>,
+    noise: Vec<f64>,
+}
+
+impl StochasticHeun {
+    /// Creates a stochastic Heun stepper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SdeStepper for StochasticHeun {
+    fn step<S: SdeSystem, R: Rng + ?Sized>(
+        &mut self,
+        sys: &S,
+        t: f64,
+        y: &mut [f64],
+        dt: f64,
+        rng: &mut R,
+    ) {
+        let n = sys.dim();
+        self.k1.resize(n, 0.0);
+        self.k2.resize(n, 0.0);
+        self.diff.resize(n, 0.0);
+        self.ytmp.resize(n, 0.0);
+        self.noise.resize(n, 0.0);
+
+        sys.eval(t, y, &mut self.k1);
+        sys.diffusion(t, y, &mut self.diff);
+        let sqrt_dt = dt.sqrt();
+        for i in 0..n {
+            let xi = standard_normal(rng);
+            self.noise[i] = sqrt_dt * self.diff[i] * xi;
+            self.ytmp[i] = y[i] + dt * self.k1[i] + self.noise[i];
+        }
+        sys.eval(t + dt, &self.ytmp, &mut self.k2);
+        for i in 0..n {
+            y[i] += 0.5 * dt * (self.k1[i] + self.k2[i]) + self.noise[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{OdeSystem, SdeSystem};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Ornstein–Uhlenbeck process dx = -a x dt + s dW with known stationary
+    /// variance s^2 / (2a).
+    struct Ou {
+        a: f64,
+        s: f64,
+    }
+
+    impl OdeSystem for Ou {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn eval(&self, _t: f64, y: &[f64], d: &mut [f64]) {
+            d[0] = -self.a * y[0];
+        }
+    }
+
+    impl SdeSystem for Ou {
+        fn diffusion(&self, _t: f64, _y: &[f64], g: &mut [f64]) {
+            g[0] = self.s;
+        }
+    }
+
+    fn stationary_variance<M: SdeStepper + Default>(seed: u64) -> f64 {
+        let sys = Ou { a: 1.0, s: 0.5 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stepper = M::default();
+        let mut sum_sq = 0.0;
+        let trials = 400;
+        for _ in 0..trials {
+            let mut y = vec![0.0];
+            stepper.integrate(&sys, &mut y, 0.0, 8.0, 1e-2, &mut rng);
+            sum_sq += y[0] * y[0];
+        }
+        sum_sq / trials as f64
+    }
+
+    #[test]
+    fn euler_maruyama_ou_variance() {
+        let v = stationary_variance::<EulerMaruyama>(1);
+        let exact = 0.25 / 2.0; // s^2/(2a) = 0.125
+        assert!((v - exact).abs() < 0.03, "variance {v} vs {exact}");
+    }
+
+    #[test]
+    fn heun_ou_variance() {
+        let v = stationary_variance::<StochasticHeun>(2);
+        let exact = 0.125;
+        assert!((v - exact).abs() < 0.03, "variance {v} vs {exact}");
+    }
+
+    #[test]
+    fn zero_noise_matches_deterministic() {
+        let sys = Ou { a: 1.0, s: 0.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut y = vec![1.0];
+        StochasticHeun::new().integrate(&sys, &mut y, 0.0, 1.0, 1e-3, &mut rng);
+        assert!((y[0] - (-1.0f64).exp()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pure_diffusion_variance_grows_linearly() {
+        let sys = Ou { a: 0.0, s: 1.0 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut stepper = EulerMaruyama::new();
+        let trials = 500;
+        let mut sum_sq = 0.0;
+        for _ in 0..trials {
+            let mut y = vec![0.0];
+            stepper.integrate(&sys, &mut y, 0.0, 2.0, 1e-2, &mut rng);
+            sum_sq += y[0] * y[0];
+        }
+        let v = sum_sq / trials as f64;
+        assert!((v - 2.0).abs() < 0.3, "Var[W(2)] = 2, got {v}");
+    }
+
+    #[test]
+    fn observed_integration_endpoints() {
+        let sys = Ou { a: 1.0, s: 0.1 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut y = vec![0.0];
+        let mut count = 0;
+        EulerMaruyama::new().integrate_observed(
+            &sys,
+            &mut y,
+            0.0,
+            0.5,
+            0.1,
+            &mut rng,
+            |_, _| count += 1,
+        );
+        assert_eq!(count, 6); // t0 plus 5 steps
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let sys = Ou { a: 1.0, s: 0.5 };
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut y = vec![0.3];
+            EulerMaruyama::new().integrate(&sys, &mut y, 0.0, 1.0, 1e-2, &mut rng);
+            y[0]
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

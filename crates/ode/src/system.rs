@@ -1,0 +1,118 @@
+//! System traits: what an ODE/SDE right-hand side looks like.
+
+/// A first-order ODE system `dy/dt = f(t, y)` with dense real state.
+///
+/// Implementors write the derivative into a caller-provided buffer so that
+/// per-step integration performs no allocation — essential when stepping
+/// 2116-oscillator arrays tens of thousands of times.
+pub trait OdeSystem {
+    /// Dimension of the state vector.
+    fn dim(&self) -> usize;
+
+    /// Writes `f(t, y)` into `dydt`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `y.len() != self.dim()` or
+    /// `dydt.len() != self.dim()`.
+    fn eval(&self, t: f64, y: &[f64], dydt: &mut [f64]);
+}
+
+/// A stochastic system `dy = f(t, y)·dt + g(t, y)·dW` with *diagonal*
+/// noise: each state component receives an independent Wiener increment
+/// scaled by its own diffusion coefficient.
+///
+/// Diagonal additive noise is exactly the phase-noise (jitter) model used
+/// for oscillator networks; nothing richer is needed in this workspace.
+pub trait SdeSystem: OdeSystem {
+    /// Writes the per-component diffusion coefficients `g(t, y)` into `g_out`.
+    fn diffusion(&self, t: f64, y: &[f64], g_out: &mut [f64]);
+}
+
+/// Blanket implementation so `&S` can be passed wherever `S: OdeSystem` is
+/// expected (mirrors the std `Read`/`Write` by-reference impls).
+impl<S: OdeSystem + ?Sized> OdeSystem for &S {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn eval(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        (**self).eval(t, y, dydt)
+    }
+}
+
+impl<S: SdeSystem + ?Sized> SdeSystem for &S {
+    fn diffusion(&self, t: f64, y: &[f64], g_out: &mut [f64]) {
+        (**self).diffusion(t, y, g_out)
+    }
+}
+
+/// An [`OdeSystem`] defined by a closure; convenient in tests and examples.
+///
+/// # Example
+///
+/// ```
+/// use msropm_ode::system::{FnSystem, OdeSystem};
+///
+/// let sys = FnSystem::new(2, |_t, y: &[f64], dydt: &mut [f64]| {
+///     dydt[0] = y[1];
+///     dydt[1] = -y[0];
+/// });
+/// let mut out = [0.0; 2];
+/// sys.eval(0.0, &[1.0, 0.0], &mut out);
+/// assert_eq!(out, [0.0, -1.0]);
+/// ```
+pub struct FnSystem<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> FnSystem<F> {
+    /// Wraps a closure as an ODE system of dimension `dim`.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnSystem { dim, f }
+    }
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> OdeSystem for FnSystem<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn eval(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        (self.f)(t, y, dydt)
+    }
+}
+
+impl<F> std::fmt::Debug for FnSystem<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnSystem").field("dim", &self.dim).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_system_evaluates() {
+        let sys = FnSystem::new(1, |t, _y: &[f64], d: &mut [f64]| d[0] = t);
+        let mut out = [0.0];
+        sys.eval(3.0, &[0.0], &mut out);
+        assert_eq!(out[0], 3.0);
+        assert_eq!(sys.dim(), 1);
+    }
+
+    #[test]
+    fn reference_forwarding() {
+        let sys = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = 2.0 * y[0]);
+        let by_ref: &dyn OdeSystem = &sys;
+        let mut out = [0.0];
+        (&by_ref).eval(0.0, &[1.5], &mut out);
+        assert_eq!(out[0], 3.0);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let sys = FnSystem::new(3, |_t, _y: &[f64], _d: &mut [f64]| {});
+        assert_eq!(format!("{sys:?}"), "FnSystem { dim: 3 }");
+    }
+}

@@ -1,0 +1,151 @@
+//! Energy-landscape analysis: the discrete ↔ continuous correspondence.
+//!
+//! The machine works because the continuous phase energy, restricted to
+//! SHIL-binarized configurations, **is** the (affinely rescaled) max-cut
+//! objective: with binary phases `θ ∈ {ψ/2, ψ/2+π}` every coupling term
+//! `−w·cos(θ_u−θ_v)` contributes `−w` when the endpoints agree and `+w`
+//! when they differ, so for B2B couplings (`w = −K_c`)
+//!
+//! ```text
+//! E(spin config) = K_c·(m − 2·cut) + const
+//! ```
+//!
+//! — minimizing phase energy over the binarized set is exactly maximizing
+//! the cut. This module enumerates that restricted landscape for small
+//! graphs, which the test-suite uses to certify the correspondence and
+//! which `examples/` use to visualize solution quality.
+
+use crate::network::PhaseNetwork;
+use crate::shil::Shil;
+use msropm_graph::{Cut, Graph};
+
+/// One enumerated binarized configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LandscapePoint {
+    /// The spin assignment (one bit per oscillator).
+    pub spins: Vec<bool>,
+    /// The continuous phase energy of the corresponding binarized phases
+    /// (couplings only; SHIL potential is constant on the binarized set).
+    pub energy: f64,
+    /// The cut value of the spin assignment on the underlying graph.
+    pub cut_value: usize,
+}
+
+/// Enumerates the phase energy of **every** SHIL-binarized configuration
+/// of `g` under a network with coupling strength `k_c` and the given SHIL.
+///
+/// Exponential in the node count — intended for analysis of graphs with
+/// up to ~20 nodes.
+///
+/// # Panics
+///
+/// Panics if `g.num_nodes() > 20` or `g.num_nodes() == 0`.
+pub fn enumerate_binarized_landscape(g: &Graph, k_c: f64, shil: &Shil) -> Vec<LandscapePoint> {
+    let n = g.num_nodes();
+    assert!(n > 0, "landscape of the empty graph is undefined");
+    assert!(n <= 20, "enumeration limited to 20 nodes, got {n}");
+    let mut net = PhaseNetwork::builder(g).coupling_strength(k_c).build();
+    // SHIL off so the energy is the pure coupling landscape; the SHIL term
+    // is constant over the binarized set anyway.
+    net.set_shil_enabled(false);
+    let targets = shil.stable_phases();
+    assert!(targets.len() >= 2, "need a binarizing SHIL (order >= 2)");
+
+    let mut out = Vec::with_capacity(1 << n);
+    let mut phases = vec![0.0f64; n];
+    for mask in 0u32..(1u32 << n) {
+        let spins: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
+        for (i, &s) in spins.iter().enumerate() {
+            phases[i] = targets[usize::from(s)];
+        }
+        let energy = net.energy(&phases);
+        let cut_value = Cut::new(spins.clone()).cut_value(g);
+        out.push(LandscapePoint {
+            spins,
+            energy,
+            cut_value,
+        });
+    }
+    out
+}
+
+/// The affine relation `E = a·cut + b` implied by the correspondence:
+/// returns `(a, b) = (−2·K_c, K_c·m)` for coupling strength `k_c` on a
+/// graph with `m` edges (B2B sign convention, `w = −K_c`): every uncut
+/// edge contributes `+K_c`, every cut edge `−K_c`, so
+/// `E = K_c·m − 2·K_c·cut` — decreasing in the cut, which is why energy
+/// descent solves max-cut.
+pub fn energy_cut_relation(g: &Graph, k_c: f64) -> (f64, f64) {
+    (-2.0 * k_c, k_c * g.num_edges() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msropm_graph::generators;
+
+    #[test]
+    fn energy_is_affine_in_cut() {
+        let g = generators::kings_graph(3, 3);
+        let k_c = 0.8;
+        let shil = Shil::order2(0.0, 1.0);
+        let (a, b) = energy_cut_relation(&g, k_c);
+        for point in enumerate_binarized_landscape(&g, k_c, &shil) {
+            let predicted = a * point.cut_value as f64 + b;
+            assert!(
+                (point.energy - predicted).abs() < 1e-9,
+                "config {:?}: E={} vs affine {}",
+                point.spins,
+                point.energy,
+                predicted
+            );
+        }
+    }
+
+    #[test]
+    fn energy_minimum_is_max_cut() {
+        // The foundational claim: the ground state of the binarized phase
+        // landscape is exactly the max-cut solution.
+        for g in [
+            generators::cycle_graph(7),
+            generators::kings_graph(3, 3),
+            generators::complete_graph(5),
+        ] {
+            let shil = Shil::order2(0.0, 1.0);
+            let landscape = enumerate_binarized_landscape(&g, 1.0, &shil);
+            let best_energy = landscape
+                .iter()
+                .min_by(|x, y| x.energy.partial_cmp(&y.energy).expect("finite"))
+                .expect("non-empty landscape");
+            let max_cut = landscape.iter().map(|p| p.cut_value).max().expect("non-empty");
+            assert_eq!(
+                best_energy.cut_value, max_cut,
+                "energy minimum is not a max-cut on {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn shifted_shil_gives_identical_landscape() {
+        // The landscape shape is independent of WHICH binary pair the SHIL
+        // stabilizes (0/180 vs 90/270): only phase differences matter.
+        let g = generators::cycle_graph(5);
+        let l1 = enumerate_binarized_landscape(&g, 1.0, &Shil::order2(0.0, 1.0));
+        let l2 = enumerate_binarized_landscape(
+            &g,
+            1.0,
+            &Shil::order2(std::f64::consts::PI, 1.0),
+        );
+        for (p1, p2) in l1.iter().zip(&l2) {
+            assert!((p1.energy - p2.energy).abs() < 1e-9);
+            assert_eq!(p1.cut_value, p2.cut_value);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 20 nodes")]
+    fn oversized_graph_rejected() {
+        let g = generators::kings_graph(5, 5);
+        enumerate_binarized_landscape(&g, 1.0, &Shil::order2(0.0, 1.0));
+    }
+}

@@ -1,0 +1,258 @@
+//! Phase readout: mapping locked phases to discrete spins, and lock-quality
+//! metrics.
+//!
+//! Under SHIL, oscillator phases are absolute with respect to the reference
+//! (paper §3.3), so readout reduces to classifying each phase into the
+//! nearest stable target — the idealization of the DFF/reference-signal
+//! sampler of Fig. 4(c), which `msropm-circuit` models at the waveform
+//! level.
+
+use crate::shil::Shil;
+use crate::waveform::principal_phase;
+use std::f64::consts::TAU;
+
+/// Index of the stable SHIL phase nearest to `theta`.
+///
+/// For an order-`m` SHIL with phase `ψ`, the stable targets are
+/// `(ψ + 2πk)/m`; the returned spin is the `k` of the closest target
+/// (circular distance).
+///
+/// # Example
+///
+/// ```
+/// use msropm_osc::{phase_to_spin, Shil};
+/// use std::f64::consts::PI;
+///
+/// let shil1 = Shil::order2(0.0, 1.0);
+/// assert_eq!(phase_to_spin(0.1, &shil1), 0);
+/// assert_eq!(phase_to_spin(PI - 0.1, &shil1), 1);
+/// ```
+pub fn phase_to_spin(theta: f64, shil: &Shil) -> usize {
+    let m = shil.order() as f64;
+    // Solve (psi + 2 pi k)/m ≈ theta  =>  k ≈ (m theta - psi)/(2 pi).
+    let k = ((m * theta - shil.phase()) / TAU).round();
+    (k.rem_euclid(m)) as usize
+}
+
+/// The stable SHIL phase nearest to `theta`, in `[0, 2π)`.
+pub fn nearest_stable_phase(theta: f64, shil: &Shil) -> f64 {
+    let m = shil.order() as f64;
+    let k = ((m * theta - shil.phase()) / TAU).round();
+    principal_phase((shil.phase() + TAU * k) / m)
+}
+
+/// Circular distance from `theta` to its nearest stable SHIL phase, in
+/// `[0, π/m]`. Zero means perfectly locked.
+pub fn lock_error(theta: f64, shil: &Shil) -> f64 {
+    let target = nearest_stable_phase(theta, shil);
+    let d = principal_phase(theta - target);
+    d.min(TAU - d)
+}
+
+/// Classifies every phase into a spin via [`phase_to_spin`].
+pub fn binarize_phases(phases: &[f64], shil: &Shil) -> Vec<usize> {
+    phases.iter().map(|&p| phase_to_spin(p, shil)).collect()
+}
+
+/// Returns `true` if every phase is within `tol` radians of a stable SHIL
+/// target — the phase-domain criterion for "the SHIL window may end".
+pub fn all_locked(phases: &[f64], shil: &Shil, tol: f64) -> bool {
+    phases.iter().all(|&p| lock_error(p, shil) <= tol)
+}
+
+/// The magnitude of the `m`-th order Kuramoto order parameter
+/// `|1/N Σ exp(i·m·θ_j)| ∈ [0, 1]`.
+///
+/// With `m = 1` this is the classical synchronization measure; with `m`
+/// equal to the SHIL order it measures *binarization* quality: 1.0 when all
+/// phases sit exactly on (any of) the `m` stable targets.
+///
+/// # Panics
+///
+/// Panics if `phases` is empty or `m == 0`.
+pub fn order_parameter(phases: &[f64], m: u32) -> f64 {
+    assert!(!phases.is_empty(), "order parameter of empty phase set");
+    assert!(m >= 1, "order must be >= 1");
+    let mf = m as f64;
+    let (mut re, mut im) = (0.0, 0.0);
+    for &p in phases {
+        re += (mf * p).cos();
+        im += (mf * p).sin();
+    }
+    let n = phases.len() as f64;
+    ((re / n).powi(2) + (im / n).powi(2)).sqrt()
+}
+
+/// Maximum lock error over all phases (∞-norm analogue of [`lock_error`]).
+///
+/// # Panics
+///
+/// Panics if `phases` is empty.
+pub fn max_lock_error(phases: &[f64], shil: &Shil) -> f64 {
+    phases
+        .iter()
+        .map(|&p| lock_error(p, shil))
+        .fold(f64::NAN, f64::max)
+        .max(0.0)
+}
+
+/// The Adler lock range of a SHIL source: an oscillator with free-running
+/// frequency offset `Δω` can phase-lock to the injection if and only if
+/// `|Δω| < Ks` (the phase equation `dθ/dt = Δω − Ks·sin(mθ − ψ)` has a
+/// fixed point exactly when the drift can be cancelled by the torque).
+///
+/// Returns the maximum tolerable `|Δω|` in rad/ns.
+pub fn lock_range(shil: &Shil) -> f64 {
+    shil.strength()
+}
+
+/// Whether an oscillator with frequency offset `delta_omega` can lock to
+/// `shil` (strict Adler criterion; the boundary case is treated as
+/// unlocked since the fixed point is half-stable there).
+pub fn can_lock(shil: &Shil, delta_omega: f64) -> bool {
+    delta_omega.abs() < lock_range(shil)
+}
+
+/// The steady-state phase offset from the nearest SHIL target for a locked
+/// oscillator with frequency offset `delta_omega`:
+/// `sin(m·θ* − ψ) = Δω/Ks` ⇒ offset `= asin(Δω/Ks)/m` — frequency error
+/// translates into a static phase error, which the readout windows must
+/// tolerate.
+///
+/// Returns `None` if the oscillator cannot lock.
+pub fn static_phase_offset(shil: &Shil, delta_omega: f64) -> Option<f64> {
+    if !can_lock(shil, delta_omega) {
+        return None;
+    }
+    Some((delta_omega / shil.strength()).asin() / shil.order() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn spin_classification_order2() {
+        let s = Shil::order2(0.0, 1.0);
+        assert_eq!(phase_to_spin(0.0, &s), 0);
+        assert_eq!(phase_to_spin(PI, &s), 1);
+        assert_eq!(phase_to_spin(TAU - 0.01, &s), 0);
+        assert_eq!(phase_to_spin(PI + 0.3, &s), 1);
+        // Large unwrapped phases classify the same as their principal value.
+        assert_eq!(phase_to_spin(4.0 * TAU + PI, &s), 1);
+        assert_eq!(phase_to_spin(-PI, &s), 1);
+    }
+
+    #[test]
+    fn spin_classification_shifted() {
+        let s = Shil::order2(PI, 1.0); // targets 90 / 270 deg
+        assert_eq!(phase_to_spin(PI / 2.0, &s), 0);
+        assert_eq!(phase_to_spin(3.0 * PI / 2.0, &s), 1);
+        // 0 degrees is equidistant; either spin is acceptable, but the
+        // nearest stable phase must be one of the two targets.
+        let near = nearest_stable_phase(0.2 + PI / 2.0, &s);
+        assert!((near - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spin_classification_order3() {
+        let s = Shil::order3(0.0, 1.0);
+        assert_eq!(phase_to_spin(0.05, &s), 0);
+        assert_eq!(phase_to_spin(TAU / 3.0 + 0.05, &s), 1);
+        assert_eq!(phase_to_spin(2.0 * TAU / 3.0 - 0.05, &s), 2);
+    }
+
+    #[test]
+    fn lock_error_zero_at_targets() {
+        for shil in [Shil::order2(0.0, 1.0), Shil::order2(PI, 1.0), Shil::order3(0.7, 1.0)] {
+            for t in shil.stable_phases() {
+                assert!(lock_error(t, &shil) < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lock_error_maximal_between_targets() {
+        let s = Shil::order2(0.0, 1.0);
+        // PI/2 is as far as possible from both 0 and PI.
+        assert!((lock_error(PI / 2.0, &s) - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binarize_and_all_locked() {
+        let s = Shil::order2(0.0, 1.0);
+        let phases = [0.01, PI - 0.01, 0.02, PI + 0.02];
+        assert_eq!(binarize_phases(&phases, &s), vec![0, 1, 0, 1]);
+        assert!(all_locked(&phases, &s, 0.05));
+        assert!(!all_locked(&phases, &s, 0.001));
+    }
+
+    #[test]
+    fn order_parameter_extremes() {
+        // All on one phase: r_1 = 1.
+        assert!((order_parameter(&[1.0, 1.0, 1.0], 1) - 1.0).abs() < 1e-12);
+        // Antipodal pair: r_1 = 0 but r_2 = 1 (perfectly binarized).
+        let pair = [0.3, 0.3 + PI];
+        assert!(order_parameter(&pair, 1) < 1e-12);
+        assert!((order_parameter(&pair, 2) - 1.0).abs() < 1e-12);
+        // Four equally spaced phases: r_2 = 0 but r_4 = 1.
+        let four = [0.0, PI / 2.0, PI, 3.0 * PI / 2.0];
+        assert!(order_parameter(&four, 2) < 1e-12);
+        assert!((order_parameter(&four, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_lock_error_reports_worst() {
+        let s = Shil::order2(0.0, 1.0);
+        let phases = [0.0, 0.1, PI - 0.3];
+        assert!((max_lock_error(&phases, &s) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty phase set")]
+    fn order_parameter_empty_panics() {
+        order_parameter(&[], 1);
+    }
+
+    #[test]
+    fn adler_criterion_matches_dynamics() {
+        use msropm_ode::fixed::{FixedStepper, Rk4};
+        use msropm_ode::system::{FnSystem, OdeSystem};
+        // Integrate dθ/dt = Δω − Ks·sin(2θ) and check lock vs drift.
+        let ks = 1.0;
+        let shil = Shil::order2(0.0, ks);
+        for (dw, expect_lock) in [(0.3, true), (0.9, true), (1.2, false), (-0.5, true), (-1.5, false)] {
+            assert_eq!(can_lock(&shil, dw), expect_lock, "criterion at {dw}");
+            let sys = FnSystem::new(1, move |_t, y: &[f64], d: &mut [f64]| {
+                d[0] = dw - ks * (2.0 * y[0]).sin();
+            });
+            let mut y = vec![0.3];
+            Rk4::new().integrate(&sys, &mut y, 0.0, 200.0, 1e-2);
+            let final_drift: f64 = {
+                let mut d = [0.0f64];
+                sys.eval(0.0, &y, &mut d);
+                d[0]
+            };
+            if expect_lock {
+                assert!(final_drift.abs() < 1e-6, "Δω={dw} should lock, drift {final_drift}");
+                // Static offset matches the analytic prediction.
+                let predicted = static_phase_offset(&shil, dw).expect("lockable");
+                let err = lock_error(y[0], &shil);
+                assert!(
+                    (err - predicted.abs()).abs() < 1e-6,
+                    "Δω={dw}: offset {err} vs predicted {predicted}"
+                );
+            } else {
+                assert!(final_drift.abs() > 0.05, "Δω={dw} should drift");
+                assert_eq!(static_phase_offset(&shil, dw), None);
+            }
+        }
+    }
+
+    #[test]
+    fn lock_range_equals_strength() {
+        assert_eq!(lock_range(&Shil::order2(0.0, 2.5)), 2.5);
+        assert!(!can_lock(&Shil::order2(0.0, 1.0), 1.0), "boundary is unlocked");
+    }
+}

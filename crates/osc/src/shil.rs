@@ -1,0 +1,265 @@
+//! Sub-harmonic injection-locking (SHIL) signal models.
+//!
+//! A SHIL source injects a perturbation at `m` times the oscillator
+//! frequency; in the phase macromodel its entire effect is the torque
+//! `−Ks·sin(m·θ − ψ)`, which has `m` stable equilibria at
+//! `θ*_k = (ψ + 2πk)/m`. The *phase shift* `ψ` of the injected signal moves
+//! those equilibria — the enabling observation of the multi-stage design
+//! (paper §3.2 and Fig. 2(d)).
+
+use std::f64::consts::TAU;
+
+/// A sub-harmonic injection-lock source of order `m`, phase `ψ` and
+/// strength `Ks`.
+///
+/// # Example
+///
+/// ```
+/// use msropm_osc::Shil;
+/// use std::f64::consts::PI;
+///
+/// // SHIL 1 of the paper: order 2, in phase with the reference.
+/// let shil1 = Shil::order2(0.0, 1.0);
+/// assert_eq!(shil1.stable_phases(), vec![0.0, PI]);
+///
+/// // SHIL 2: 180 degrees out of phase -> stabilizes 90/270 degrees.
+/// let shil2 = Shil::order2(PI, 1.0);
+/// let phases = shil2.stable_phases();
+/// assert!((phases[0] - PI / 2.0).abs() < 1e-12);
+/// assert!((phases[1] - 3.0 * PI / 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shil {
+    order: u32,
+    phase: f64,
+    strength: f64,
+}
+
+impl Shil {
+    /// Creates a SHIL source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0`, `strength < 0`, or `phase` is non-finite.
+    pub fn new(order: u32, phase: f64, strength: f64) -> Self {
+        assert!(order >= 1, "SHIL order must be >= 1");
+        assert!(strength >= 0.0, "SHIL strength must be non-negative");
+        assert!(phase.is_finite(), "SHIL phase must be finite");
+        Shil {
+            order,
+            phase: phase.rem_euclid(TAU),
+            strength,
+        }
+    }
+
+    /// Second-order SHIL (the paper's workhorse): binarizes phases.
+    pub fn order2(phase: f64, strength: f64) -> Self {
+        Shil::new(2, phase, strength)
+    }
+
+    /// Third-order SHIL, as used by the single-stage 3-coloring ROPM of the
+    /// paper's ref \[14\]: locks phases to three equally spaced values.
+    pub fn order3(phase: f64, strength: f64) -> Self {
+        Shil::new(3, phase, strength)
+    }
+
+    /// Injection order `m` (the sub-harmonic ratio).
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// Phase shift `ψ` of the injected signal, in `[0, 2π)`.
+    pub fn phase(&self) -> f64 {
+        self.phase
+    }
+
+    /// Injection strength `Ks` (rad/ns in this workspace's units).
+    pub fn strength(&self) -> f64 {
+        self.strength
+    }
+
+    /// Returns a copy with a different strength (used for strength sweeps).
+    pub fn with_strength(self, strength: f64) -> Self {
+        Shil::new(self.order, self.phase, strength)
+    }
+
+    /// The phase-domain torque `−Ks·sin(m·θ − ψ)` exerted on an oscillator
+    /// at phase `theta`.
+    pub fn torque(&self, theta: f64) -> f64 {
+        -self.strength * (self.order as f64 * theta - self.phase).sin()
+    }
+
+    /// Potential energy `−(Ks/m)·cos(m·θ − ψ)` whose negative gradient is
+    /// [`Shil::torque`].
+    pub fn potential(&self, theta: f64) -> f64 {
+        -(self.strength / self.order as f64) * (self.order as f64 * theta - self.phase).cos()
+    }
+
+    /// The `m` stable equilibrium phases `(ψ + 2πk)/m`, sorted ascending in
+    /// `[0, 2π)`.
+    pub fn stable_phases(&self) -> Vec<f64> {
+        let m = self.order as f64;
+        let mut phases: Vec<f64> = (0..self.order)
+            .map(|k| ((self.phase + TAU * k as f64) / m).rem_euclid(TAU))
+            .collect();
+        phases.sort_by(|a, b| a.partial_cmp(b).expect("phases are finite"));
+        phases
+    }
+}
+
+/// SHIL phase `ψ_g` for group `g` of `num_groups` at one solution stage.
+///
+/// The multi-stage generalization (paper §3.2: *"this scheme can be extended
+/// to capture an arbitrary number of different stable phases ... by
+/// increasing the number of SHILs that are shifted in phase"*): with `G`
+/// groups, group `g` receives a second-order SHIL with `ψ_g = 2πg/G`, whose
+/// stable pair is `{πg/G, πg/G + π}`. The union over all groups covers `2G`
+/// equally spaced phases:
+///
+/// - stage 2 (`G = 2`): ψ ∈ {0°, 180°} → phases {0°,180°} ∪ {90°,270°};
+/// - stage 3 (`G = 4`): ψ ∈ {0°, 90°, 180°, 270°} → all 8 multiples of 45°.
+///
+/// # Panics
+///
+/// Panics if `num_groups == 0` or `group >= num_groups`.
+///
+/// # Example
+///
+/// ```
+/// use msropm_osc::stage_shil_phase;
+/// use std::f64::consts::PI;
+///
+/// assert_eq!(stage_shil_phase(0, 2), 0.0);
+/// assert_eq!(stage_shil_phase(1, 2), PI);
+/// assert_eq!(stage_shil_phase(1, 4), PI / 2.0);
+/// ```
+pub fn stage_shil_phase(group: usize, num_groups: usize) -> f64 {
+    assert!(num_groups >= 1, "need at least one group");
+    assert!(group < num_groups, "group {group} out of {num_groups}");
+    TAU * group as f64 / num_groups as f64
+}
+
+/// Checks that `theta` is a *stable* equilibrium of the SHIL torque, i.e.
+/// torque is ~0 and its derivative is negative (restoring).
+pub fn is_stable_equilibrium(shil: &Shil, theta: f64, tol: f64) -> bool {
+    let m = shil.order() as f64;
+    let arg = m * theta - shil.phase();
+    arg.sin().abs() < tol && arg.cos() > 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn order2_stable_phases_match_paper() {
+        // Fig. 2(d): SHIL 1 -> 0/180, SHIL 2 (180 deg shifted) -> 90/270.
+        let s1 = Shil::order2(0.0, 0.5);
+        let p1 = s1.stable_phases();
+        assert!((p1[0] - 0.0).abs() < 1e-12);
+        assert!((p1[1] - PI).abs() < 1e-12);
+
+        let s2 = Shil::order2(PI, 0.5);
+        let p2 = s2.stable_phases();
+        assert!((p2[0] - PI / 2.0).abs() < 1e-12);
+        assert!((p2[1] - 3.0 * PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order3_three_equally_spaced() {
+        let s = Shil::order3(0.0, 1.0);
+        let p = s.stable_phases();
+        assert_eq!(p.len(), 3);
+        assert!((p[1] - TAU / 3.0).abs() < 1e-12);
+        assert!((p[2] - 2.0 * TAU / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_phases_are_stable_equilibria() {
+        for shil in [
+            Shil::order2(0.0, 1.0),
+            Shil::order2(PI, 1.0),
+            Shil::order3(1.1, 0.7),
+            Shil::new(4, 2.2, 0.3),
+        ] {
+            for theta in shil.stable_phases() {
+                assert!(
+                    is_stable_equilibrium(&shil, theta, 1e-9),
+                    "{theta} unstable for {shil:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn midpoints_are_unstable() {
+        let shil = Shil::order2(0.0, 1.0);
+        // PI/2 sits between the stable phases 0 and PI: torque vanishes but
+        // the equilibrium is repelling.
+        assert!(!is_stable_equilibrium(&shil, PI / 2.0, 1e-9));
+    }
+
+    #[test]
+    fn torque_is_negative_gradient_of_potential() {
+        let shil = Shil::new(3, 0.4, 0.8);
+        let h = 1e-6;
+        for theta in [0.0, 0.5, 1.7, 3.0, 5.9] {
+            let grad = (shil.potential(theta + h) - shil.potential(theta - h)) / (2.0 * h);
+            assert!((shil.torque(theta) + grad).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn torque_restores_toward_stable_phase() {
+        let shil = Shil::order2(0.0, 1.0);
+        // Slightly past 0: negative torque pulls back; slightly before:
+        // positive torque pushes forward.
+        assert!(shil.torque(0.1) < 0.0);
+        assert!(shil.torque(-0.1) > 0.0);
+        // Near PI likewise.
+        assert!(shil.torque(PI + 0.1) < 0.0);
+        assert!(shil.torque(PI - 0.1) > 0.0);
+    }
+
+    #[test]
+    fn stage_phases_cover_all_colors() {
+        // Stage 3 with 4 groups: union of stable pairs = 8 phases 45 deg apart.
+        let mut all: Vec<f64> = (0..4)
+            .flat_map(|g| Shil::order2(stage_shil_phase(g, 4), 1.0).stable_phases())
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all.len(), 8);
+        for (k, phase) in all.iter().enumerate() {
+            assert!((phase - k as f64 * TAU / 8.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phase_normalized_into_tau() {
+        let s = Shil::order2(-PI, 1.0);
+        assert!((s.phase() - PI).abs() < 1e-12);
+        let t = Shil::order2(3.0 * TAU + 0.25, 1.0);
+        assert!((t.phase() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_strength_preserves_geometry() {
+        let s = Shil::order2(PI, 1.0).with_strength(0.2);
+        assert_eq!(s.strength(), 0.2);
+        assert_eq!(s.order(), 2);
+        assert!((s.phase() - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be >= 1")]
+    fn zero_order_rejected() {
+        Shil::new(0, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "group 2 out of 2")]
+    fn group_out_of_range() {
+        stage_shil_phase(2, 2);
+    }
+}

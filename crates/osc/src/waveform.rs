@@ -1,0 +1,179 @@
+//! Phase arithmetic and waveform synthesis.
+//!
+//! The phase macromodel evolves abstract phases; to produce Fig. 3-style
+//! oscillograms (and to feed the DFF readout model), phases are re-expanded
+//! into periodic waveforms at the ring-oscillator frequency.
+
+use std::f64::consts::TAU;
+
+/// Wraps a phase into the principal range `[0, 2π)`.
+///
+/// # Example
+///
+/// ```
+/// use msropm_osc::principal_phase;
+/// use std::f64::consts::{PI, TAU};
+///
+/// assert!((principal_phase(-PI) - PI).abs() < 1e-12);
+/// assert!(principal_phase(3.0 * TAU) < 1e-12);
+/// ```
+pub fn principal_phase(theta: f64) -> f64 {
+    theta.rem_euclid(TAU)
+}
+
+/// Circular distance between two phases, in `[0, π]`.
+pub fn phase_distance(a: f64, b: f64) -> f64 {
+    let d = principal_phase(a - b);
+    d.min(TAU - d)
+}
+
+/// Unwraps a phase time series: removes the artificial ±2π jumps that
+/// principal-value storage introduces, producing a continuous trajectory.
+pub fn unwrap_phases(series: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(series.len());
+    let mut offset = 0.0;
+    for (i, &p) in series.iter().enumerate() {
+        if i > 0 {
+            let prev = series[i - 1];
+            let diff = p - prev;
+            if diff > TAU / 2.0 {
+                offset -= TAU;
+            } else if diff < -TAU / 2.0 {
+                offset += TAU;
+            }
+        }
+        out.push(p + offset);
+    }
+    out
+}
+
+/// Sinusoidal waveform `sin(2π f t + θ)` of an oscillator with phase `theta`.
+pub fn sine_wave(t: f64, freq: f64, theta: f64) -> f64 {
+    (TAU * freq * t + theta).sin()
+}
+
+/// Square waveform (±1) of an oscillator with phase `theta` — closer to a
+/// ring oscillator's rail-to-rail output.
+pub fn square_wave(t: f64, freq: f64, theta: f64) -> f64 {
+    if principal_phase(TAU * freq * t + theta) < TAU / 2.0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Samples `square_wave` at `num_samples` uniform points over `[0, t_end]`.
+///
+/// # Panics
+///
+/// Panics if `num_samples < 2`.
+pub fn synthesize_square(theta: f64, freq: f64, t_end: f64, num_samples: usize) -> Vec<(f64, f64)> {
+    assert!(num_samples >= 2, "need at least two samples");
+    (0..num_samples)
+        .map(|k| {
+            let t = t_end * k as f64 / (num_samples - 1) as f64;
+            (t, square_wave(t, freq, theta))
+        })
+        .collect()
+}
+
+/// Time of the first rising zero-crossing of `sin(2π f t + θ)` at or after
+/// `t0` — used to express a phase as an edge-time offset against a
+/// reference, which is what the DFF sampler physically measures.
+pub fn rising_edge_time(theta: f64, freq: f64, t0: f64) -> f64 {
+    // Rising crossings happen when 2 pi f t + theta = 2 pi k.
+    let period = 1.0 / freq;
+    let t_first = -theta / (TAU * freq);
+    let k = ((t0 - t_first) / period).ceil();
+    t_first + k * period
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn principal_range() {
+        for x in [-10.0, -PI, 0.0, 1.0, TAU, 100.0] {
+            let p = principal_phase(x);
+            assert!((0.0..TAU).contains(&p), "{x} -> {p}");
+            // Same angle modulo 2 pi.
+            assert!(((x - p) / TAU - ((x - p) / TAU).round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distance_symmetry_and_range() {
+        assert!((phase_distance(0.1, TAU - 0.1) - 0.2).abs() < 1e-12);
+        assert_eq!(phase_distance(1.0, 1.0), 0.0);
+        assert!((phase_distance(0.0, PI) - PI).abs() < 1e-12);
+        assert!((phase_distance(0.3, 2.0) - phase_distance(2.0, 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unwrap_removes_jumps() {
+        // A phase ramp stored as principal values.
+        let true_phases: Vec<f64> = (0..100).map(|k| 0.2 * k as f64).collect();
+        let wrapped: Vec<f64> = true_phases.iter().map(|&p| principal_phase(p)).collect();
+        let unwrapped = unwrap_phases(&wrapped);
+        for (u, t) in unwrapped.iter().zip(&true_phases) {
+            assert!((u - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unwrap_handles_descending() {
+        let true_phases: Vec<f64> = (0..100).map(|k| -0.2 * k as f64).collect();
+        let wrapped: Vec<f64> = true_phases.iter().map(|&p| principal_phase(p)).collect();
+        let unwrapped = unwrap_phases(&wrapped);
+        for (u, t) in unwrapped.iter().zip(&true_phases) {
+            // Unwrap starts at the principal value of the first sample.
+            assert!((u - (t - true_phases[0] + wrapped[0])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn square_wave_levels_and_period() {
+        let f = 1.3; // GHz -> period ~0.769 ns
+        assert_eq!(square_wave(0.0, f, 0.1), 1.0);
+        let half = 0.5 / f;
+        assert_eq!(square_wave(half + 1e-6, f, 0.0), -1.0);
+        // Antiphase oscillators have opposite square levels at all times.
+        for k in 0..20 {
+            let t = 0.05 * k as f64;
+            assert_eq!(square_wave(t, f, 0.0), -square_wave(t, f, PI));
+        }
+    }
+
+    #[test]
+    fn synthesize_covers_interval() {
+        let w = synthesize_square(0.0, 1.0, 2.0, 5);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w[0].0, 0.0);
+        assert_eq!(w[4].0, 2.0);
+    }
+
+    #[test]
+    fn rising_edge_is_rising_and_after_t0() {
+        let f = 1.3;
+        for theta in [0.0, 1.0, PI, 5.0] {
+            let t = rising_edge_time(theta, f, 0.3);
+            assert!(t >= 0.3 - 1e-12);
+            // sin crosses zero upward: value just after is positive.
+            assert!(sine_wave(t + 1e-6, f, theta) > 0.0);
+            assert!(sine_wave(t - 1e-6, f, theta) < 0.0);
+        }
+    }
+
+    #[test]
+    fn phase_maps_to_edge_delay() {
+        // A 180-degree phase lead shifts the rising edge by half a period.
+        let f = 2.0;
+        let t0 = rising_edge_time(0.0, f, 0.0);
+        let t180 = rising_edge_time(PI, f, 0.0);
+        let delta = (t0 - t180).abs();
+        let half_period = 0.25;
+        assert!((delta - half_period).abs() < 1e-9);
+    }
+}

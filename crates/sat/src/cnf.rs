@@ -1,0 +1,263 @@
+//! CNF formula container and DIMACS CNF I/O.
+
+use crate::solver::{SolveResult, Solver};
+use crate::types::Lit;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A CNF formula: a clause list over variables `0..num_vars`.
+///
+/// Useful as an inspectable intermediate between encoders and the
+/// [`Solver`], and for reading/writing DIMACS files.
+///
+/// # Example
+///
+/// ```
+/// use msropm_sat::{Cnf, Lit};
+///
+/// let mut cnf = Cnf::new(2);
+/// cnf.add_clause(vec![Lit::from_dimacs(1), Lit::from_dimacs(2)]);
+/// cnf.add_clause(vec![Lit::from_dimacs(-1)]);
+/// let result = cnf.solve();
+/// let model = result.model().expect("satisfiable");
+/// assert!(!model[0] && model[1]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates a formula over `num_vars` variables with no clauses.
+    pub fn new(num_vars: usize) -> Self {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a clause, growing the variable count if needed.
+    pub fn add_clause(&mut self, clause: Vec<Lit>) {
+        for l in &clause {
+            self.num_vars = self.num_vars.max(l.var().index() + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Iterator over the clauses.
+    pub fn clauses(&self) -> impl ExactSizeIterator<Item = &[Lit]> + '_ {
+        self.clauses.iter().map(|c| c.as_slice())
+    }
+
+    /// Evaluates the formula under a complete assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model.len() < num_vars`.
+    pub fn eval(&self, model: &[bool]) -> bool {
+        assert!(model.len() >= self.num_vars, "model too short");
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(model[l.var().index()])))
+    }
+
+    /// Loads the formula into a fresh [`Solver`] and solves it.
+    pub fn solve(&self) -> SolveResult {
+        let mut s = Solver::new();
+        s.new_vars(self.num_vars);
+        for c in &self.clauses {
+            if !s.add_clause(c) {
+                return SolveResult::Unsat;
+            }
+        }
+        s.solve()
+    }
+}
+
+/// Errors from parsing DIMACS CNF input.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParseCnfError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Offending content.
+        content: String,
+    },
+    /// Missing `p cnf` header.
+    MissingHeader,
+}
+
+impl fmt::Display for ParseCnfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseCnfError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseCnfError::Malformed { line, content } => {
+                write!(f, "malformed line {line}: {content:?}")
+            }
+            ParseCnfError::MissingHeader => write!(f, "missing 'p cnf' header"),
+        }
+    }
+}
+
+impl Error for ParseCnfError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseCnfError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseCnfError {
+    fn from(e: std::io::Error) -> Self {
+        ParseCnfError::Io(e)
+    }
+}
+
+/// Reads a DIMACS CNF file (`c` comments, `p cnf V C` header, clauses as
+/// 0-terminated literal lists, possibly spanning lines).
+///
+/// # Errors
+///
+/// Returns [`ParseCnfError`] on I/O failure, malformed tokens or a missing
+/// header.
+pub fn read_dimacs_cnf<R: BufRead>(reader: R) -> Result<Cnf, ParseCnfError> {
+    let mut cnf: Option<Cnf> = None;
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        if trimmed.starts_with('p') {
+            let mut parts = trimmed.split_whitespace();
+            let _p = parts.next();
+            let kind = parts.next();
+            let vars = parts.next().and_then(|s| s.parse::<usize>().ok());
+            match (kind, vars) {
+                (Some("cnf"), Some(v)) => cnf = Some(Cnf::new(v)),
+                _ => {
+                    return Err(ParseCnfError::Malformed {
+                        line: lineno + 1,
+                        content: trimmed.to_string(),
+                    })
+                }
+            }
+            continue;
+        }
+        let cnf_ref = cnf.as_mut().ok_or(ParseCnfError::MissingHeader)?;
+        for tok in trimmed.split_whitespace() {
+            let value: i64 = tok.parse().map_err(|_| ParseCnfError::Malformed {
+                line: lineno + 1,
+                content: trimmed.to_string(),
+            })?;
+            if value == 0 {
+                cnf_ref.add_clause(std::mem::take(&mut current));
+            } else {
+                current.push(Lit::from_dimacs(value));
+            }
+        }
+    }
+    match cnf {
+        Some(mut c) => {
+            if !current.is_empty() {
+                c.add_clause(current);
+            }
+            Ok(c)
+        }
+        None => Err(ParseCnfError::MissingHeader),
+    }
+}
+
+/// Writes the formula in DIMACS CNF format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_dimacs_cnf<W: Write>(cnf: &Cnf, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses())?;
+    for clause in cnf.clauses() {
+        for l in clause {
+            write!(writer, "{} ", l.to_dimacs())?;
+        }
+        writeln!(writer, "0")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_eval() {
+        let mut cnf = Cnf::new(0);
+        cnf.add_clause(vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]);
+        assert_eq!(cnf.num_vars(), 2);
+        assert_eq!(cnf.num_clauses(), 1);
+        assert!(cnf.eval(&[true, true]));
+        assert!(cnf.eval(&[false, false]));
+        assert!(!cnf.eval(&[false, true]));
+    }
+
+    #[test]
+    fn solve_round_trip() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::from_dimacs(1), Lit::from_dimacs(2)]);
+        cnf.add_clause(vec![Lit::from_dimacs(-1), Lit::from_dimacs(3)]);
+        cnf.add_clause(vec![Lit::from_dimacs(-2)]);
+        let r = cnf.solve();
+        let model = r.model().expect("satisfiable");
+        assert!(cnf.eval(model));
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::from_dimacs(1), Lit::from_dimacs(-3)]);
+        cnf.add_clause(vec![Lit::from_dimacs(2)]);
+        let mut buf = Vec::new();
+        write_dimacs_cnf(&cnf, &mut buf).unwrap();
+        let back = read_dimacs_cnf(buf.as_slice()).unwrap();
+        assert_eq!(back, cnf);
+    }
+
+    #[test]
+    fn dimacs_multiline_clause() {
+        let text = "c comment\np cnf 3 1\n1 2\n3 0\n";
+        let cnf = read_dimacs_cnf(text.as_bytes()).unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clauses().next().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn dimacs_missing_header() {
+        assert!(matches!(
+            read_dimacs_cnf("1 2 0\n".as_bytes()),
+            Err(ParseCnfError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn dimacs_malformed_token() {
+        let err = read_dimacs_cnf("p cnf 2 1\n1 x 0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("malformed line 2"));
+    }
+}

@@ -1,0 +1,376 @@
+//! Graph K-coloring ⇄ CNF encoding and exact-coloring entry points.
+//!
+//! The direct encoding (paper background, ref \[17\] Lucas-style): one Boolean
+//! `x_{v,k}` per (vertex, color) meaning "vertex v has color k", with
+//!
+//! 1. at-least-one-color clauses `(x_{v,0} ∨ … ∨ x_{v,K−1})`,
+//! 2. at-most-one-color pairwise clauses `(¬x_{v,i} ∨ ¬x_{v,j})`,
+//! 3. adjacency clauses `(¬x_{u,k} ∨ ¬x_{v,k})` per edge and color.
+
+use crate::solver::{SolveResult, Solver};
+use crate::types::{Lit, Var};
+use msropm_graph::{Color, Coloring, Graph};
+
+/// The variable layout of a K-coloring encoding.
+#[derive(Debug, Clone)]
+pub struct ColoringEncoding {
+    num_nodes: usize,
+    num_colors: usize,
+}
+
+impl ColoringEncoding {
+    /// Variable for "vertex `v` has color `k`".
+    pub fn var(&self, v: usize, k: usize) -> Var {
+        debug_assert!(v < self.num_nodes && k < self.num_colors);
+        Var::new(v * self.num_colors + k)
+    }
+
+    /// Number of Boolean variables (`n·K`).
+    pub fn num_vars(&self) -> usize {
+        self.num_nodes * self.num_colors
+    }
+
+    /// Decodes a model into a [`Coloring`]; uses the lowest true color per
+    /// vertex (the at-most-one constraints make it unique for real models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some vertex has no true color variable in `model`.
+    pub fn decode(&self, model: &[bool]) -> Coloring {
+        let colors = (0..self.num_nodes)
+            .map(|v| {
+                let k = (0..self.num_colors)
+                    .find(|&k| model[self.var(v, k).index()])
+                    .expect("at-least-one clause guarantees a color");
+                Color(k as u16)
+            })
+            .collect();
+        Coloring::new(colors)
+    }
+}
+
+/// Builds a solver loaded with the K-coloring constraints of `g`.
+///
+/// Returns the solver and the encoding (for decoding models).
+///
+/// # Panics
+///
+/// Panics if `num_colors == 0`.
+pub fn encode_k_coloring(g: &Graph, num_colors: usize) -> (Solver, ColoringEncoding) {
+    assert!(num_colors >= 1, "need at least one color");
+    let enc = ColoringEncoding {
+        num_nodes: g.num_nodes(),
+        num_colors,
+    };
+    let mut solver = Solver::new();
+    solver.new_vars(enc.num_vars());
+    for v in 0..g.num_nodes() {
+        // At least one color.
+        let alo: Vec<_> = (0..num_colors).map(|k| enc.var(v, k).positive()).collect();
+        solver.add_clause(&alo);
+        // At most one color (pairwise).
+        for i in 0..num_colors {
+            for j in (i + 1)..num_colors {
+                solver.add_clause(&[enc.var(v, i).negative(), enc.var(v, j).negative()]);
+            }
+        }
+    }
+    // Adjacent vertices differ.
+    for (_, u, v) in g.edges() {
+        for k in 0..num_colors {
+            solver.add_clause(&[
+                enc.var(u.index(), k).negative(),
+                enc.var(v.index(), k).negative(),
+            ]);
+        }
+    }
+    (solver, enc)
+}
+
+/// Finds a proper K-coloring of `g` exactly, or `None` if none exists.
+///
+/// This is the paper's accuracy baseline: *"Exact solutions of the problems
+/// are computed using a generic SAT solver"* (§4).
+///
+/// # Panics
+///
+/// Panics if `num_colors == 0`.
+///
+/// # Example
+///
+/// ```
+/// use msropm_graph::generators::cycle_graph;
+/// use msropm_sat::encode::solve_k_coloring;
+///
+/// // Odd cycles are not 2-colorable but are 3-colorable.
+/// let c5 = cycle_graph(5);
+/// assert!(solve_k_coloring(&c5, 2).is_none());
+/// let coloring = solve_k_coloring(&c5, 3).expect("3-colorable");
+/// assert!(coloring.is_proper(&c5));
+/// ```
+pub fn solve_k_coloring(g: &Graph, num_colors: usize) -> Option<Coloring> {
+    let (mut solver, enc) = encode_k_coloring(g, num_colors);
+    match solver.solve() {
+        SolveResult::Sat(model) => Some(enc.decode(&model)),
+        SolveResult::Unsat => None,
+    }
+}
+
+/// Like [`encode_k_coloring`] but encodes the per-vertex at-most-one
+/// constraints with the **sequential (Sinz) encoding**: `K−1` auxiliary
+/// commander variables per vertex and `3K−4` binary clauses instead of the
+/// pairwise `K(K−1)/2` — the standard trade for larger palettes.
+///
+/// # Panics
+///
+/// Panics if `num_colors == 0`.
+pub fn encode_k_coloring_sequential(g: &Graph, num_colors: usize) -> (Solver, ColoringEncoding) {
+    assert!(num_colors >= 1, "need at least one color");
+    let enc = ColoringEncoding {
+        num_nodes: g.num_nodes(),
+        num_colors,
+    };
+    let mut solver = Solver::new();
+    solver.new_vars(enc.num_vars());
+    for v in 0..g.num_nodes() {
+        let alo: Vec<_> = (0..num_colors).map(|k| enc.var(v, k).positive()).collect();
+        solver.add_clause(&alo);
+        if num_colors >= 2 {
+            // Sequential AMO: s_k = "some color <= k chosen".
+            let s: Vec<Var> = solver.new_vars(num_colors - 1);
+            solver.add_clause(&[enc.var(v, 0).negative(), s[0].positive()]);
+            for k in 1..num_colors - 1 {
+                solver.add_clause(&[enc.var(v, k).negative(), s[k].positive()]);
+                solver.add_clause(&[s[k - 1].negative(), s[k].positive()]);
+                solver.add_clause(&[enc.var(v, k).negative(), s[k - 1].negative()]);
+            }
+            solver.add_clause(&[
+                enc.var(v, num_colors - 1).negative(),
+                s[num_colors - 2].negative(),
+            ]);
+        }
+    }
+    for (_, u, v) in g.edges() {
+        for k in 0..num_colors {
+            solver.add_clause(&[
+                enc.var(u.index(), k).negative(),
+                enc.var(v.index(), k).negative(),
+            ]);
+        }
+    }
+    (solver, enc)
+}
+
+/// Computes the chromatic number of `g` (smallest K admitting a proper
+/// coloring) by iterating K upward from 1, together with a witness.
+///
+/// Suitable for the small/medium structured instances in this workspace.
+/// Returns `(0, empty)` for an empty graph with no nodes.
+pub fn solve_chromatic_number(g: &Graph) -> (usize, Coloring) {
+    if g.num_nodes() == 0 {
+        return (0, Coloring::default());
+    }
+    if g.num_edges() == 0 {
+        return (1, Coloring::from_indices(vec![0; g.num_nodes()]));
+    }
+    for k in 2..=g.num_nodes() {
+        if let Some(c) = solve_k_coloring(g, k) {
+            return (k, c);
+        }
+    }
+    unreachable!("n colors always suffice for n nodes")
+}
+
+/// Chromatic number via **one** incremental solver: the graph is encoded
+/// once with an upper-bound palette (DSATUR's color count) plus per-color
+/// *enable* selectors; each candidate K is then a
+/// [`Solver::solve_with_assumptions`] call with the first K selectors
+/// asserted true and the rest false, reusing all learnt clauses across
+/// queries.
+///
+/// Returns `(0, empty)` for an empty graph with no nodes.
+pub fn solve_chromatic_number_incremental(g: &Graph) -> (usize, Coloring) {
+    if g.num_nodes() == 0 {
+        return (0, Coloring::default());
+    }
+    if g.num_edges() == 0 {
+        return (1, Coloring::from_indices(vec![0; g.num_nodes()]));
+    }
+    let upper = msropm_graph::coloring::dsatur(g).num_colors_used().max(2);
+    let enc = ColoringEncoding {
+        num_nodes: g.num_nodes(),
+        num_colors: upper,
+    };
+    let mut solver = Solver::new();
+    solver.new_vars(enc.num_vars());
+    // Selector y_k: "color k is allowed".
+    let selectors: Vec<Var> = solver.new_vars(upper);
+    for v in 0..g.num_nodes() {
+        let alo: Vec<Lit> = (0..upper).map(|k| enc.var(v, k).positive()).collect();
+        solver.add_clause(&alo);
+        for i in 0..upper {
+            for j in (i + 1)..upper {
+                solver.add_clause(&[enc.var(v, i).negative(), enc.var(v, j).negative()]);
+            }
+        }
+        // Using color k requires its selector.
+        for (k, y) in selectors.iter().enumerate() {
+            solver.add_clause(&[enc.var(v, k).negative(), y.positive()]);
+        }
+    }
+    for (_, u, v) in g.edges() {
+        for k in 0..upper {
+            solver.add_clause(&[
+                enc.var(u.index(), k).negative(),
+                enc.var(v.index(), k).negative(),
+            ]);
+        }
+    }
+    for k in 2..=upper {
+        let assumptions: Vec<Lit> = selectors
+            .iter()
+            .enumerate()
+            .map(|(i, y)| Lit::new(*y, i < k))
+            .collect();
+        if let SolveResult::Sat(model) = solver.solve_with_assumptions(&assumptions) {
+            return (k, enc.decode(&model));
+        }
+    }
+    unreachable!("the DSATUR upper bound is always feasible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msropm_graph::generators;
+
+    #[test]
+    fn kings_graph_exact_four_coloring() {
+        let g = generators::kings_graph(7, 7);
+        let c = solve_k_coloring(&g, 4).expect("King's graphs are 4-colorable");
+        assert!(c.is_proper(&g));
+        assert_eq!(c.accuracy(&g), 1.0);
+        // 3 colors are not enough: every 2x2 block is a K4.
+        assert!(solve_k_coloring(&g, 3).is_none());
+    }
+
+    #[test]
+    fn complete_graph_chromatic() {
+        let g = generators::complete_graph(5);
+        assert!(solve_k_coloring(&g, 4).is_none());
+        assert!(solve_k_coloring(&g, 5).is_some());
+        let (chi, witness) = solve_chromatic_number(&g);
+        assert_eq!(chi, 5);
+        assert!(witness.is_proper(&g));
+    }
+
+    #[test]
+    fn bipartite_two_colorable() {
+        let g = generators::grid_graph(4, 5);
+        let c = solve_k_coloring(&g, 2).expect("grids are bipartite");
+        assert!(c.is_proper(&g));
+        let (chi, _) = solve_chromatic_number(&g);
+        assert_eq!(chi, 2);
+    }
+
+    #[test]
+    fn triangular_lattice_three_chromatic() {
+        let g = generators::triangular_lattice(4, 4);
+        assert!(solve_k_coloring(&g, 2).is_none());
+        let c = solve_k_coloring(&g, 3).expect("triangular lattices are 3-colorable");
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn single_color_only_for_edgeless() {
+        let g = generators::complete_graph(1);
+        assert!(solve_k_coloring(&g, 1).is_some());
+        let p = generators::path_graph(2);
+        assert!(solve_k_coloring(&p, 1).is_none());
+    }
+
+    #[test]
+    fn chromatic_number_edge_cases() {
+        let empty = Graph::empty(0);
+        assert_eq!(solve_chromatic_number(&empty).0, 0);
+        let isolated = Graph::empty(5);
+        let (chi, c) = solve_chromatic_number(&isolated);
+        assert_eq!(chi, 1);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn planted_instances_roundtrip() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(31);
+        let (g, _) = generators::planted_k_colorable(30, 3, 0.5, &mut rng);
+        let c = solve_k_coloring(&g, 3).expect("planted 3-colorable");
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn encoding_size() {
+        let g = generators::kings_graph(3, 3);
+        let (solver, enc) = encode_k_coloring(&g, 4);
+        assert_eq!(enc.num_vars(), 9 * 4);
+        // 9 ALO + 9*6 AMO + 20 edges * 4 colors.
+        assert_eq!(solver.num_clauses(), 9 + 54 + g.num_edges() * 4);
+    }
+
+    #[test]
+    fn sequential_encoding_agrees_with_pairwise() {
+        for (g, k) in [
+            (generators::kings_graph(3, 3), 3usize), // UNSAT
+            (generators::kings_graph(3, 3), 4),      // SAT
+            (generators::cycle_graph(5), 2),         // UNSAT
+            (generators::cycle_graph(5), 3),         // SAT
+            (generators::complete_graph(5), 5),      // SAT
+        ] {
+            let (mut pairwise, _) = encode_k_coloring(&g, k);
+            let (mut sequential, enc) = encode_k_coloring_sequential(&g, k);
+            let a = pairwise.solve();
+            let b = sequential.solve();
+            assert_eq!(a.is_sat(), b.is_sat(), "{g} with {k} colors");
+            if let crate::solver::SolveResult::Sat(model) = b {
+                assert!(enc.decode(&model).is_proper(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_encoding_uses_fewer_amo_clauses_for_large_k() {
+        let g = generators::path_graph(2);
+        let k = 12;
+        let (pairwise, _) = encode_k_coloring(&g, k);
+        let (sequential, _) = encode_k_coloring_sequential(&g, k);
+        // Pairwise: K(K-1)/2 = 66 AMO clauses/vertex; sequential: 3K-4 = 32.
+        assert!(sequential.num_clauses() < pairwise.num_clauses());
+    }
+
+    #[test]
+    fn incremental_chromatic_matches_iterative() {
+        for g in [
+            generators::kings_graph(4, 4),
+            generators::cycle_graph(7),
+            generators::complete_graph(5),
+            generators::triangular_lattice(3, 4),
+            generators::grid_graph(3, 4),
+        ] {
+            let (chi_a, wa) = solve_chromatic_number(&g);
+            let (chi_b, wb) = solve_chromatic_number_incremental(&g);
+            assert_eq!(chi_a, chi_b, "chromatic mismatch on {g}");
+            assert!(wa.is_proper(&g));
+            assert!(wb.is_proper(&g));
+            assert!(wb.num_colors_used() <= chi_b);
+        }
+    }
+
+    #[test]
+    fn incremental_chromatic_edge_cases() {
+        assert_eq!(solve_chromatic_number_incremental(&Graph::empty(0)).0, 0);
+        assert_eq!(solve_chromatic_number_incremental(&Graph::empty(3)).0, 1);
+    }
+
+    use msropm_graph::Graph;
+}

@@ -1,0 +1,41 @@
+//! Exact-solution baselines for the MSROPM reproduction.
+//!
+//! §4 of the paper: *"Exact solutions of the problems are computed using a
+//! generic SAT solver, which serves as the baseline for evaluating
+//! accuracy."* This crate provides that baseline, built from scratch:
+//!
+//! - [`solver`]: a CDCL SAT solver with two-watched-literal propagation,
+//!   VSIDS decisions, first-UIP clause learning, phase saving, Luby restarts
+//!   and activity-based learnt-clause deletion.
+//! - [`cnf`]: CNF formula container plus DIMACS reader/writer.
+//! - [`encode`]: the K-coloring ↔ CNF encoding (one Boolean per
+//!   node/color, at-least-one + at-most-one + adjacency constraints) and
+//!   model decoding back to a [`msropm_graph::Coloring`].
+//! - [`maxcut`]: exact max-cut by branch and bound, the stage-1 quality
+//!   reference at small sizes.
+//!
+//! # Example: 4-coloring the paper's 49-node benchmark exactly
+//!
+//! ```
+//! use msropm_graph::generators::kings_graph;
+//! use msropm_sat::encode::solve_k_coloring;
+//!
+//! let g = kings_graph(7, 7);
+//! let coloring = solve_k_coloring(&g, 4).expect("King's graphs are 4-colorable");
+//! assert!(coloring.is_proper(&g));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod encode;
+pub mod maxcut;
+pub mod solver;
+pub mod types;
+
+pub use cnf::Cnf;
+pub use encode::{solve_chromatic_number, solve_k_coloring};
+pub use maxcut::branch_and_bound_max_cut;
+pub use solver::{SolveResult, Solver};
+pub use types::{Lit, Var};

@@ -1,0 +1,238 @@
+//! Exact max-cut by branch and bound.
+//!
+//! Fig. 5(b) normalizes the machine's stage-1 cut sizes against the optimum.
+//! For small instances this module computes that optimum exactly; for larger
+//! ones the caller falls back to best-known heuristic values (see
+//! `msropm-graph::cut` and the tabu baseline in `msropm-core`).
+
+use msropm_graph::{Cut, Graph, NodeId};
+
+/// Result of a branch-and-bound max-cut search.
+#[derive(Debug, Clone)]
+pub struct MaxCutResult {
+    /// The best cut found.
+    pub cut: Cut,
+    /// Its value (number of crossing edges).
+    pub value: usize,
+    /// `true` if the search completed and `value` is provably optimal.
+    pub optimal: bool,
+    /// Number of search-tree nodes explored.
+    pub nodes_explored: u64,
+}
+
+/// Exact max-cut via depth-first branch and bound with an edge-count bound.
+///
+/// Vertices are assigned in descending-degree order; at each node the bound
+/// is `current cut + (edges with at least one unassigned endpoint)`. The
+/// search stops early (returning the incumbent with `optimal = false`) once
+/// `node_budget` tree nodes have been explored.
+///
+/// The initial incumbent comes from greedy 1-flip local search, which also
+/// prunes aggressively on structured graphs.
+///
+/// # Panics
+///
+/// Panics if the graph has zero nodes.
+pub fn branch_and_bound_max_cut(g: &Graph, node_budget: u64) -> MaxCutResult {
+    assert!(g.num_nodes() > 0, "max-cut of the empty graph is undefined");
+    let n = g.num_nodes();
+
+    // Incumbent: deterministic greedy from the all-A cut.
+    let mut incumbent = Cut::new(vec![false; n]);
+    incumbent.local_search(g);
+    let mut best_value = incumbent.cut_value(g);
+
+    // Assignment order: descending degree (ties by index).
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v.index()));
+
+    // For the bound we track, per assignment depth, how many edges become
+    // "decided" (both endpoints assigned). Precompute, for each position in
+    // the order, the neighbors that appear earlier.
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    let earlier_neighbors: Vec<Vec<usize>> = order
+        .iter()
+        .map(|&v| {
+            let my_pos = pos[v.index()];
+            g.neighbors(v)
+                .filter(|(w, _)| pos[w.index()] < my_pos)
+                .map(|(w, _)| w.index())
+                .collect()
+        })
+        .collect();
+
+    let mut side = vec![false; n];
+    let mut nodes_explored = 0u64;
+    let mut truncated = false;
+
+    // Iterative DFS with explicit stack of (depth, branch_taken).
+    // state: at `depth`, we are about to try side=false then side=true.
+    struct Frame {
+        depth: usize,
+        next_branch: u8, // 0 = try false, 1 = try true, 2 = done
+        gained: usize,   // cut edges gained by current assignment at depth
+    }
+    let mut stack = vec![Frame {
+        depth: 0,
+        next_branch: 0,
+        gained: 0,
+    }];
+    let mut cut_so_far = 0usize;
+    // undecided_edges[d] = edges not yet decided before assigning order[d].
+    // decided edges when assigning node at depth d = earlier_neighbors[d].len().
+    let total_edges = g.num_edges();
+    let mut decided_prefix = vec![0usize; n + 1];
+    for d in 0..n {
+        decided_prefix[d + 1] = decided_prefix[d] + earlier_neighbors[d].len();
+    }
+
+    while let Some(frame) = stack.last_mut() {
+        let d = frame.depth;
+        if frame.next_branch == 2 {
+            // Backtrack: undo this frame's assignment contribution.
+            cut_so_far -= frame.gained;
+            stack.pop();
+            continue;
+        }
+        let branch = frame.next_branch;
+        frame.next_branch += 1;
+        // Undo previous branch's gain at this depth (if any).
+        cut_so_far -= frame.gained;
+        frame.gained = 0;
+
+        // Symmetry break: node at depth 0 is always side A.
+        if d == 0 && branch == 1 {
+            continue;
+        }
+
+        nodes_explored += 1;
+        if nodes_explored > node_budget {
+            truncated = true;
+            break;
+        }
+
+        let v = order[d].index();
+        side[v] = branch == 1;
+        let mut gained = 0;
+        for &w in &earlier_neighbors[d] {
+            if side[w] != side[v] {
+                gained += 1;
+            }
+        }
+        cut_so_far += gained;
+        // Record gain in the current frame so backtracking can undo it.
+        stack.last_mut().expect("frame exists").gained = gained;
+
+        // Bound: all not-yet-decided edges could still be cut.
+        let undecided = total_edges - decided_prefix[d + 1];
+        if cut_so_far + undecided <= best_value {
+            // Prune: undo immediately (handled on next visit via gained).
+            continue;
+        }
+
+        if d + 1 == n {
+            if cut_so_far > best_value {
+                best_value = cut_so_far;
+                let mut assignment = vec![false; n];
+                for (depth, &node) in order.iter().enumerate().take(n) {
+                    let _ = depth;
+                    assignment[node.index()] = side[node.index()];
+                }
+                incumbent = Cut::new(assignment);
+            }
+            continue;
+        }
+        stack.push(Frame {
+            depth: d + 1,
+            next_branch: 0,
+            gained: 0,
+        });
+    }
+
+    MaxCutResult {
+        value: incumbent.cut_value(g),
+        cut: incumbent,
+        optimal: !truncated,
+        nodes_explored,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msropm_graph::cut::exact_max_cut_bruteforce;
+    use msropm_graph::generators;
+
+    #[test]
+    fn matches_bruteforce_on_small_graphs() {
+        let graphs = vec![
+            generators::cycle_graph(5),
+            generators::cycle_graph(6),
+            generators::complete_graph(6),
+            generators::kings_graph(3, 3),
+            generators::path_graph(7),
+            generators::star_graph(8),
+            generators::triangular_lattice(3, 3),
+        ];
+        for g in graphs {
+            let (_, exact) = exact_max_cut_bruteforce(&g);
+            let r = branch_and_bound_max_cut(&g, u64::MAX);
+            assert!(r.optimal, "search must complete on {g}");
+            assert_eq!(r.value, exact, "wrong optimum for {g}");
+            assert_eq!(r.cut.cut_value(&g), r.value);
+        }
+    }
+
+    #[test]
+    fn bipartite_cut_is_all_edges() {
+        let g = generators::complete_bipartite(4, 5);
+        let r = branch_and_bound_max_cut(&g, u64::MAX);
+        assert_eq!(r.value, 20);
+        assert!(r.optimal);
+    }
+
+    #[test]
+    fn kings_4x4_exact() {
+        // 16 nodes: brute force would be 32768 assignments; B&B prunes.
+        let g = generators::kings_graph(4, 4);
+        let (_, exact) = exact_max_cut_bruteforce(&g);
+        let r = branch_and_bound_max_cut(&g, u64::MAX);
+        assert!(r.optimal);
+        assert_eq!(r.value, exact);
+    }
+
+    #[test]
+    fn stripe_cut_optimal_on_5x5_kings() {
+        // Establishes the normalizer used at larger sizes: the row-stripe
+        // cut achieves the true optimum on a 5x5 King's graph.
+        let g = generators::kings_graph(5, 5);
+        let r = branch_and_bound_max_cut(&g, u64::MAX);
+        assert!(r.optimal);
+        let stripe = msropm_graph::cut::kings_stripe_cut(5, 5).cut_value(&g);
+        assert_eq!(r.value, stripe);
+    }
+
+    #[test]
+    fn budget_truncation_keeps_feasible_incumbent() {
+        let g = generators::kings_graph(5, 5);
+        let r = branch_and_bound_max_cut(&g, 10);
+        assert!(!r.optimal);
+        // Still a valid cut with the local-search incumbent quality.
+        let mut greedy = Cut::new(vec![false; g.num_nodes()]);
+        greedy.local_search(&g);
+        assert!(r.value >= greedy.cut_value(&g));
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = Graph::empty(1);
+        let r = branch_and_bound_max_cut(&g, u64::MAX);
+        assert_eq!(r.value, 0);
+        assert!(r.optimal);
+    }
+
+    use msropm_graph::Graph;
+}

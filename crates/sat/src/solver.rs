@@ -1,0 +1,926 @@
+//! A CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! Implements the standard modern architecture: two-watched-literal unit
+//! propagation, VSIDS variable activities with exponential decay, first-UIP
+//! conflict analysis with non-chronological backjumping, learnt-clause
+//! minimization (self-subsumption against reason clauses), phase saving,
+//! Luby-sequence restarts, and periodic activity-based learnt-clause
+//! deletion.
+//!
+//! The solver is deterministic: identical inputs yield identical runs.
+
+use crate::types::{Lit, Var};
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable, with a model: `model[v]` is the value of variable `v`.
+    Sat(Vec<bool>),
+    /// Proven unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// Returns the model if satisfiable.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            SolveResult::Unsat => None,
+        }
+    }
+
+    /// Returns `true` if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+}
+
+type ClauseRef = usize;
+
+const UNASSIGNED_LEVEL: u32 = u32::MAX;
+
+/// A CDCL SAT solver over clauses of [`Lit`]s.
+///
+/// # Example
+///
+/// ```
+/// use msropm_sat::{Solver, SolveResult};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[a.positive(), b.positive()]);
+/// s.add_clause(&[a.negative()]);
+/// match s.solve() {
+///     SolveResult::Sat(model) => assert!(model[b.index()]),
+///     SolveResult::Unsat => unreachable!(),
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// Watch lists indexed by `Lit::code()`: clauses watching that literal.
+    watches: Vec<Vec<ClauseRef>>,
+    /// Current assignment per variable (`None` = unassigned).
+    assigns: Vec<Option<bool>>,
+    /// Decision level of each assigned variable.
+    level: Vec<u32>,
+    /// Reason clause of each implied variable.
+    reason: Vec<Option<ClauseRef>>,
+    /// Assignment trail in chronological order.
+    trail: Vec<Lit>,
+    /// Trail index delimiting each decision level.
+    trail_lim: Vec<usize>,
+    /// Next trail position to propagate.
+    qhead: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    clause_inc: f64,
+    /// Saved polarity per variable (phase saving).
+    polarity: Vec<bool>,
+    /// Top-level contradiction already detected.
+    unsat: bool,
+    /// Statistics: conflicts, decisions, propagations, restarts.
+    stats: SolverStats,
+}
+
+/// Counters describing the work a [`Solver`] performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently retained.
+    pub learnt_clauses: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            clause_inc: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem (non-learnt) clauses added.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learnt).count()
+    }
+
+    /// Work counters for the run so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.assigns.len());
+        self.assigns.push(None);
+        self.level.push(UNASSIGNED_LEVEL);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.watches.push(Vec::new()); // positive lit
+        self.watches.push(Vec::new()); // negative lit
+        v
+    }
+
+    /// Creates `n` fresh variables and returns them.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    fn value_lit(&self, l: Lit) -> Option<bool> {
+        self.assigns[l.var().index()].map(|v| l.eval(v))
+    }
+
+    /// Adds a clause. Returns `false` if the solver is already known
+    /// unsatisfiable at top level (the clause may still have been recorded).
+    ///
+    /// Tautologies are silently dropped; duplicate literals are merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable that was not created, or if
+    /// called after search has begun (decision level > 0).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at decision level 0"
+        );
+        if self.unsat {
+            return false;
+        }
+        let mut ls: Vec<Lit> = lits.to_vec();
+        for l in &ls {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l} references unknown variable"
+            );
+        }
+        ls.sort();
+        ls.dedup();
+        // Tautology or satisfied/falsified simplification at level 0.
+        let mut simplified = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return true; // tautology: l and !l adjacent after sort
+            }
+            match self.value_lit(l) {
+                Some(true) => return true, // already satisfied at level 0
+                Some(false) => {}          // drop falsified literal
+                None => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                if !self.enqueue(simplified[0], None) {
+                    self.unsat = true;
+                    return false;
+                }
+                // Propagate eagerly so later clause additions simplify.
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len();
+        self.watches[lits[0].code()].push(cref);
+        self.watches[lits[1].code()].push(cref);
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+        });
+        cref
+    }
+
+    fn current_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Assigns `l` true with optional reason. Returns `false` on conflict
+    /// with an existing assignment.
+    fn enqueue(&mut self, l: Lit, from: Option<ClauseRef>) -> bool {
+        match self.value_lit(l) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                let v = l.var().index();
+                self.assigns[v] = Some(l.is_positive());
+                self.level[v] = self.current_level();
+                self.reason[v] = from;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Two-watched-literal unit propagation. Returns a conflicting clause
+    /// reference, or `None` if a fixed point was reached.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            // Clauses watching `false_lit` must find a new watch.
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            'clauses: while i < ws.len() {
+                let cref = ws[i];
+                // Normalize: watched literals are lits[0] and lits[1].
+                {
+                    let c = &mut self.clauses[cref];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[cref].lits[0];
+                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
+                if self.value_lit(first) == Some(true) {
+                    // Clause satisfied; keep watching.
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref].lits[k];
+                    if self.value_lit(lk) != Some(false) {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[lk.code()].push(cref);
+                        ws.swap_remove(i);
+                        continue 'clauses;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                if !self.enqueue(first, Some(cref)) {
+                    // Conflict: restore remaining watches and report.
+                    self.watches[false_lit.code()].extend_from_slice(&ws);
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                i += 1;
+            }
+            self.watches[false_lit.code()] = ws;
+        }
+        None
+    }
+
+    fn var_bump(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn var_decay(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn clause_bump(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref];
+        c.activity += self.clause_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.clause_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        self.stats.conflicts += 1;
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize; // literals of current level pending
+        let mut p: Option<Lit> = None;
+        let mut cref = confl;
+        let mut index = self.trail.len();
+        let conflict_level = self.current_level();
+
+        loop {
+            self.clause_bump(cref);
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[cref].lits.len() {
+                let q = self.clauses[cref].lits[k];
+                let v = q.var().index();
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.var_bump(v);
+                    if self.level[v] == conflict_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find next literal of the current level on the trail.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found trail literal").var().index();
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            cref = self.reason[pv].expect("non-UIP literal has a reason");
+            seen[pv] = false;
+        }
+        let uip = !p.expect("first UIP exists");
+
+        // Clause minimization: drop literals implied by the rest via their
+        // reason clause (recursive-lite, one level of self-subsumption).
+        let mut minimized: Vec<Lit> = Vec::with_capacity(learnt.len() + 1);
+        minimized.push(uip);
+        'lits: for &q in &learnt {
+            let v = q.var().index();
+            if let Some(r) = self.reason[v] {
+                for &x in self.clauses[r].lits.iter().skip(1) {
+                    let xv = x.var().index();
+                    if !seen[xv] && self.level[xv] > 0 {
+                        minimized.push(q);
+                        continue 'lits;
+                    }
+                }
+                // All antecedents already in the clause: q is redundant.
+            } else {
+                minimized.push(q);
+            }
+        }
+
+        // Backjump level: highest level among non-UIP literals.
+        let mut back = 0u32;
+        let mut max_idx = 1usize;
+        for (i, &q) in minimized.iter().enumerate().skip(1) {
+            let lv = self.level[q.var().index()];
+            if lv > back {
+                back = lv;
+                max_idx = i;
+            }
+        }
+        if minimized.len() > 1 {
+            minimized.swap(1, max_idx);
+        }
+        (minimized, back)
+    }
+
+    fn cancel_until(&mut self, target_level: u32) {
+        while self.current_level() > target_level {
+            let lim = self.trail_lim.pop().expect("level to cancel");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail literal");
+                let v = l.var().index();
+                self.polarity[v] = l.is_positive();
+                self.assigns[v] = None;
+                self.level[v] = UNASSIGNED_LEVEL;
+                self.reason[v] = None;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    /// Picks the unassigned variable with the highest activity
+    /// (deterministic tie-break on index), or `None` if all are assigned.
+    fn pick_branch(&self) -> Option<Var> {
+        let mut best: Option<(f64, usize)> = None;
+        for v in 0..self.num_vars() {
+            if self.assigns[v].is_none() {
+                match best {
+                    Some((a, _)) if self.activity[v] <= a => {}
+                    _ => best = Some((self.activity[v], v)),
+                }
+            }
+        }
+        best.map(|(_, v)| Var::new(v))
+    }
+
+    /// Deletes the lower-activity half of learnt clauses (keeping reasons
+    /// and binary clauses), rebuilding watch lists.
+    fn reduce_db(&mut self) {
+        let locked: std::collections::HashSet<ClauseRef> =
+            self.reason.iter().filter_map(|r| *r).collect();
+        let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len())
+            .filter(|&i| {
+                self.clauses[i].learnt && !locked.contains(&i) && self.clauses[i].lits.len() > 2
+            })
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .expect("activities are finite")
+        });
+        let remove: std::collections::HashSet<ClauseRef> =
+            learnt_refs[..learnt_refs.len() / 2].iter().copied().collect();
+        if remove.is_empty() {
+            return;
+        }
+        // Rebuild the clause database with stable renumbering.
+        let mut new_clauses = Vec::with_capacity(self.clauses.len() - remove.len());
+        let mut remap = vec![usize::MAX; self.clauses.len()];
+        for (i, c) in self.clauses.drain(..).enumerate() {
+            if !remove.contains(&i) {
+                remap[i] = new_clauses.len();
+                new_clauses.push(c);
+            }
+        }
+        self.clauses = new_clauses;
+        for r in &mut self.reason {
+            if let Some(old) = *r {
+                *r = Some(remap[old]);
+                debug_assert!(r.expect("remapped") != usize::MAX);
+            }
+        }
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            self.watches[c.lits[0].code()].push(i);
+            self.watches[c.lits[1].code()].push(i);
+        }
+        self.stats.learnt_clauses = self.clauses.iter().filter(|c| c.learnt).count() as u64;
+    }
+
+    /// Solves the formula, running to completion.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_limited(u64::MAX)
+            .expect("unlimited solve always terminates with an answer")
+    }
+
+    /// Solves under temporary *assumptions*: literals forced true for this
+    /// call only (MiniSat-style incremental interface). Returns `Unsat` if
+    /// the formula is unsatisfiable **under the assumptions** — the formula
+    /// itself may still be satisfiable, and the solver remains usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption references an unknown variable.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        for a in assumptions {
+            assert!(
+                a.var().index() < self.num_vars(),
+                "assumption {a} references unknown variable"
+            );
+        }
+        let result = self.search(u64::MAX, assumptions);
+        self.cancel_until(0);
+        result.expect("unlimited search terminates")
+    }
+
+    /// Solves with a conflict budget; `None` means the budget ran out.
+    pub fn solve_limited(&mut self, max_conflicts: u64) -> Option<SolveResult> {
+        let result = self.search(max_conflicts, &[]);
+        if result.is_none() {
+            self.cancel_until(0);
+        }
+        result
+    }
+
+    fn search(&mut self, max_conflicts: u64, assumptions: &[Lit]) -> Option<SolveResult> {
+        if self.unsat {
+            return Some(SolveResult::Unsat);
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return Some(SolveResult::Unsat);
+        }
+        let start_conflicts = self.stats.conflicts;
+        let restart_unit = 128u64;
+        let mut luby_index = 0u64;
+        let mut conflicts_until_restart = luby(luby_index) * restart_unit;
+        let mut learnt_budget = (self.num_clauses() as u64 / 3).max(2000);
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                if self.current_level() == 0 {
+                    self.unsat = true;
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, back) = self.analyze(confl);
+                self.cancel_until(back);
+                if learnt.len() == 1 {
+                    let ok = self.enqueue(learnt[0], None);
+                    debug_assert!(ok, "asserting unit must enqueue");
+                } else {
+                    let cref = self.attach_clause(learnt.clone(), true);
+                    self.clause_bump(cref);
+                    self.stats.learnt_clauses += 1;
+                    let ok = self.enqueue(learnt[0], Some(cref));
+                    debug_assert!(ok, "asserting literal must enqueue");
+                }
+                self.var_decay();
+                self.clause_inc /= 0.999;
+
+                let total = self.stats.conflicts - start_conflicts;
+                if total >= max_conflicts {
+                    self.cancel_until(0);
+                    return None;
+                }
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                if self.stats.learnt_clauses > learnt_budget {
+                    self.reduce_db();
+                    learnt_budget += learnt_budget / 2;
+                }
+            } else {
+                if conflicts_until_restart == 0 {
+                    self.stats.restarts += 1;
+                    luby_index += 1;
+                    conflicts_until_restart = luby(luby_index) * restart_unit;
+                    self.cancel_until(0);
+                }
+                // Re-establish any assumptions not yet on the trail, one
+                // decision level each (MiniSat-style).
+                let level = self.current_level() as usize;
+                if level < assumptions.len() {
+                    let a = assumptions[level];
+                    match self.value_lit(a) {
+                        Some(false) => {
+                            // The formula (plus learnt clauses) forces the
+                            // negation: unsatisfiable under assumptions.
+                            self.cancel_until(0);
+                            return Some(SolveResult::Unsat);
+                        }
+                        Some(true) => {
+                            // Already implied: open a dummy level so the
+                            // level-to-assumption indexing stays aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        None => {
+                            self.trail_lim.push(self.trail.len());
+                            let ok = self.enqueue(a, None);
+                            debug_assert!(ok, "assumption was unassigned");
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => {
+                        let model: Vec<bool> = self
+                            .assigns
+                            .iter()
+                            .map(|a| a.expect("complete assignment"))
+                            .collect();
+                        self.cancel_until(0);
+                        return Some(SolveResult::Sat(model));
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let l = Lit::new(v, self.polarity[v.index()]);
+                        let ok = self.enqueue(l, None);
+                        debug_assert!(ok, "decision variable was unassigned");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,... (0-indexed).
+/// Port of the classic MiniSat implementation.
+fn luby(mut x: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(solver_vars: &[Var], i: i64) -> Lit {
+        let v = solver_vars[i.unsigned_abs() as usize - 1];
+        Lit::new(v, i > 0)
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause(&[v.positive()]);
+        match s.solve() {
+            SolveResult::Sat(m) => assert!(m[0]),
+            SolveResult::Unsat => panic!("should be SAT"),
+        }
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause(&[v.positive()]);
+        assert!(!s.add_clause(&[v.negative()]) || s.solve() == SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        s.new_vars(3);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.new_var();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_dropped() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        assert!(s.add_clause(&[v.positive(), v.negative()]));
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // x1 & (¬x1|x2) & (¬x2|x3) forces all true without decisions.
+        let mut s = Solver::new();
+        let vs = s.new_vars(3);
+        s.add_clause(&[lit(&vs, 1)]);
+        s.add_clause(&[lit(&vs, -1), lit(&vs, 2)]);
+        s.add_clause(&[lit(&vs, -2), lit(&vs, 3)]);
+        match s.solve() {
+            SolveResult::Sat(m) => assert_eq!(m, vec![true, true, true]),
+            SolveResult::Unsat => panic!("should be SAT"),
+        }
+        assert_eq!(s.stats().decisions, 0);
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // (a|b) & (¬a|¬b): exactly one true — two models, both valid.
+        let mut s = Solver::new();
+        let vs = s.new_vars(2);
+        s.add_clause(&[lit(&vs, 1), lit(&vs, 2)]);
+        s.add_clause(&[lit(&vs, -1), lit(&vs, -2)]);
+        match s.solve() {
+            SolveResult::Sat(m) => assert_ne!(m[0], m[1]),
+            SolveResult::Unsat => panic!("should be SAT"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // PHP(3,2): 3 pigeons, 2 holes. Var p_{i,h} = pigeon i in hole h.
+        let mut s = Solver::new();
+        let vs = s.new_vars(6);
+        let p = |i: usize, h: usize| vs[i * 2 + h];
+        for i in 0..3 {
+            s.add_clause(&[p(i, 0).positive(), p(i, 1).positive()]);
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause(&[p(i, h).negative(), p(j, h).negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let (n, m) = (5usize, 4usize);
+        let mut s = Solver::new();
+        let vs = s.new_vars(n * m);
+        let p = |i: usize, h: usize| vs[i * m + h];
+        for i in 0..n {
+            let c: Vec<Lit> = (0..m).map(|h| p(i, h).positive()).collect();
+            s.add_clause(&c);
+        }
+        for h in 0..m {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause(&[p(i, h).negative(), p(j, h).negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses_random_3sat() {
+        // Deterministic pseudo-random under-constrained 3-SAT (ratio ~3).
+        let n = 60usize;
+        let m = 180usize;
+        let mut s = Solver::new();
+        let vs = s.new_vars(n);
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut clauses = Vec::new();
+        for _ in 0..m {
+            let mut c = Vec::new();
+            while c.len() < 3 {
+                let v = next() % n;
+                let pos = next() % 2 == 0;
+                let l = Lit::new(vs[v], pos);
+                if !c.contains(&l) && !c.contains(&!l) {
+                    c.push(l);
+                }
+            }
+            clauses.push(c.clone());
+            s.add_clause(&c);
+        }
+        match s.solve() {
+            SolveResult::Sat(model) => {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|l| l.eval(model[l.var().index()])),
+                        "model violates clause {c:?}"
+                    );
+                }
+            }
+            SolveResult::Unsat => panic!("under-constrained 3-SAT should be SAT"),
+        }
+    }
+
+    #[test]
+    fn solve_limited_budget() {
+        // PHP(7,6) takes many conflicts; a budget of 1 must give up.
+        let (n, m) = (7usize, 6usize);
+        let mut s = Solver::new();
+        let vs = s.new_vars(n * m);
+        let p = |i: usize, h: usize| vs[i * m + h];
+        for i in 0..n {
+            let c: Vec<Lit> = (0..m).map(|h| p(i, h).positive()).collect();
+            s.add_clause(&c);
+        }
+        for h in 0..m {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause(&[p(i, h).negative(), p(j, h).negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve_limited(1), None);
+        // Finishing afterwards still yields the right answer.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn incremental_unit_simplification() {
+        let mut s = Solver::new();
+        let vs = s.new_vars(3);
+        s.add_clause(&[lit(&vs, 1)]);
+        // This clause is satisfied at level 0 and should be dropped silently.
+        assert!(s.add_clause(&[lit(&vs, 1), lit(&vs, 2)]));
+        // This one simplifies to the unit x3.
+        assert!(s.add_clause(&[lit(&vs, -1), lit(&vs, 3)]));
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                assert!(m[0]);
+                assert!(m[2]);
+            }
+            SolveResult::Unsat => panic!("should be SAT"),
+        }
+    }
+
+    #[test]
+    fn assumptions_restrict_then_release() {
+        // (a | b): satisfiable; under {-a, -b} unsatisfiable; solver stays
+        // usable and still answers SAT afterwards.
+        let mut s = Solver::new();
+        let vs = s.new_vars(2);
+        s.add_clause(&[lit(&vs, 1), lit(&vs, 2)]);
+        let r = s.solve_with_assumptions(&[lit(&vs, -1), lit(&vs, -2)]);
+        assert_eq!(r, SolveResult::Unsat);
+        let r2 = s.solve_with_assumptions(&[lit(&vs, -1)]);
+        match r2 {
+            SolveResult::Sat(m) => assert!(m[1], "b must be true under -a"),
+            SolveResult::Unsat => panic!("should be SAT under -a"),
+        }
+        assert!(s.solve().is_sat(), "formula itself stays satisfiable");
+    }
+
+    #[test]
+    fn assumptions_drive_implications() {
+        // (-a | c) & (-b | -c): under {a, b} unsat; under {a} c is forced.
+        let mut s = Solver::new();
+        let vs = s.new_vars(3);
+        s.add_clause(&[lit(&vs, -1), lit(&vs, 3)]);
+        s.add_clause(&[lit(&vs, -2), lit(&vs, -3)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&vs, 1), lit(&vs, 2)]),
+            SolveResult::Unsat
+        );
+        match s.solve_with_assumptions(&[lit(&vs, 1)]) {
+            SolveResult::Sat(m) => {
+                assert!(m[0]);
+                assert!(m[2]);
+                assert!(!m[1]);
+            }
+            SolveResult::Unsat => panic!("should be SAT under a"),
+        }
+    }
+
+    #[test]
+    fn assumptions_on_unsat_formula() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause(&[v.positive()]);
+        s.add_clause(&[v.negative()]);
+        assert_eq!(s.solve_with_assumptions(&[v.positive()]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn incremental_reuse_after_many_assumption_queries() {
+        // PHP(4,3) with per-hole selectors: infeasible whenever fewer than
+        // 4 holes enabled... here simply toggle assumptions repeatedly and
+        // check consistency of repeated answers.
+        let mut s = Solver::new();
+        let vs = s.new_vars(4);
+        s.add_clause(&[lit(&vs, 1), lit(&vs, 2)]);
+        s.add_clause(&[lit(&vs, 3), lit(&vs, 4)]);
+        for _ in 0..10 {
+            assert!(s.solve_with_assumptions(&[lit(&vs, -1)]).is_sat());
+            assert!(s
+                .solve_with_assumptions(&[lit(&vs, -1), lit(&vs, -2)])
+                .model()
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let vs = s.new_vars(8);
+        for i in 0..4 {
+            s.add_clause(&[lit(&vs, i + 1), lit(&vs, i + 5)]);
+        }
+        let _ = s.solve();
+        assert!(s.stats().decisions > 0);
+        assert!(s.stats().propagations > 0);
+    }
+}

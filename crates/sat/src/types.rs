@@ -1,0 +1,175 @@
+//! Boolean variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A Boolean variable, identified by a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its dense index.
+    pub fn new(index: usize) -> Self {
+        Var(index as u32)
+    }
+
+    /// Dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, packed as `2·var + negated`.
+///
+/// # Example
+///
+/// ```
+/// use msropm_sat::{Lit, Var};
+///
+/// let x = Var::new(3);
+/// let pos = x.positive();
+/// assert_eq!(!pos, x.negative());
+/// assert_eq!(pos.var(), x);
+/// assert!(pos.is_positive());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal with the given polarity (`true` = positive).
+    pub fn new(var: Var, positive: bool) -> Self {
+        Lit(2 * var.0 + u32::from(!positive))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` for a positive (unnegated) literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Packed code in `0..2·num_vars`, used to index watch lists.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::code`].
+    pub fn from_code(code: usize) -> Self {
+        Lit(code as u32)
+    }
+
+    /// The value this literal takes when its variable is assigned `value`.
+    pub fn eval(self, value: bool) -> bool {
+        value == self.is_positive()
+    }
+
+    /// Creates a literal from a DIMACS-style signed integer (non-zero;
+    /// `-3` means ¬x₂ because DIMACS is 1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimacs == 0`.
+    pub fn from_dimacs(dimacs: i64) -> Self {
+        assert!(dimacs != 0, "DIMACS literal 0 is the clause terminator");
+        let var = Var::new(dimacs.unsigned_abs() as usize - 1);
+        Lit::new(var, dimacs > 0)
+    }
+
+    /// Converts back to a DIMACS-style signed integer.
+    pub fn to_dimacs(self) -> i64 {
+        let v = self.var().index() as i64 + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "¬{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_packing_roundtrip() {
+        for i in 0..10 {
+            let v = Var::new(i);
+            assert_eq!(v.index(), i);
+            let p = v.positive();
+            let n = v.negative();
+            assert_eq!(p.var(), v);
+            assert_eq!(n.var(), v);
+            assert!(p.is_positive());
+            assert!(!n.is_positive());
+            assert_eq!(!p, n);
+            assert_eq!(!!p, p);
+            assert_eq!(Lit::from_code(p.code()), p);
+        }
+    }
+
+    #[test]
+    fn eval_semantics() {
+        let v = Var::new(0);
+        assert!(v.positive().eval(true));
+        assert!(!v.positive().eval(false));
+        assert!(v.negative().eval(false));
+        assert!(!v.negative().eval(true));
+    }
+
+    #[test]
+    fn dimacs_conversion() {
+        assert_eq!(Lit::from_dimacs(1), Var::new(0).positive());
+        assert_eq!(Lit::from_dimacs(-3), Var::new(2).negative());
+        assert_eq!(Lit::from_dimacs(-3).to_dimacs(), -3);
+        assert_eq!(Lit::from_dimacs(7).to_dimacs(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "clause terminator")]
+    fn dimacs_zero_rejected() {
+        Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Var::new(2).positive().to_string(), "x2");
+        assert_eq!(Var::new(2).negative().to_string(), "¬x2");
+    }
+}

@@ -1,0 +1,97 @@
+//! Exhaustive model checking of the CDCL solver: on random small formulas
+//! the solver's verdict must match brute-force truth-table enumeration,
+//! and incremental assumption queries must match solving the augmented
+//! formula from scratch.
+
+use msropm_sat::{Cnf, Lit, SolveResult, Solver};
+use proptest::prelude::*;
+
+/// Brute-force satisfiability over <= 16 variables.
+fn brute_force_sat(cnf: &Cnf) -> bool {
+    let n = cnf.num_vars();
+    assert!(n <= 16, "brute force capped at 16 vars");
+    for mask in 0u32..(1u32 << n) {
+        let model: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
+        if cnf.eval(&model) {
+            return true;
+        }
+    }
+    n == 0 && cnf.num_clauses() == 0
+}
+
+/// Strategy: a random CNF with `vars` variables and up to `max_clauses`
+/// clauses of 1–4 literals.
+fn arb_cnf(vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..vars, any::<bool>()), 1..=4),
+        0..max_clauses,
+    )
+    .prop_map(move |raw| {
+        let mut cnf = Cnf::new(vars);
+        for clause in raw {
+            let lits: Vec<Lit> = clause
+                .into_iter()
+                .map(|(v, pos)| Lit::new(msropm_sat::Var::new(v), pos))
+                .collect();
+            cnf.add_clause(lits);
+        }
+        cnf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn cdcl_matches_bruteforce(cnf in arb_cnf(10, 40)) {
+        let expected = brute_force_sat(&cnf);
+        match cnf.solve() {
+            SolveResult::Sat(model) => {
+                prop_assert!(expected, "CDCL says SAT, brute force says UNSAT");
+                prop_assert!(cnf.eval(&model), "returned model violates the formula");
+            }
+            SolveResult::Unsat => {
+                prop_assert!(!expected, "CDCL says UNSAT, brute force found a model");
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_match_augmented_formula(cnf in arb_cnf(8, 25), pattern in 0u8..255) {
+        // Pick up to 3 assumption literals from the pattern bits.
+        let assumptions: Vec<Lit> = (0..3)
+            .map(|k| {
+                let v = ((pattern >> (2 * k)) % 8) as usize;
+                Lit::new(msropm_sat::Var::new(v), (pattern >> (6 + k.min(1))) & 1 == 0)
+            })
+            .collect();
+
+        // Reference: add assumptions as units to a copy and solve fresh.
+        let mut augmented = cnf.clone();
+        for &a in &assumptions {
+            augmented.add_clause(vec![a]);
+        }
+        let expected = augmented.solve().is_sat();
+
+        // Incremental: one solver, assumptions per query.
+        let mut solver = Solver::new();
+        solver.new_vars(cnf.num_vars().max(8));
+        let mut top_level_unsat = false;
+        for clause in cnf.clauses() {
+            if !solver.add_clause(clause) {
+                top_level_unsat = true;
+            }
+        }
+        let got = if top_level_unsat {
+            false
+        } else {
+            solver.solve_with_assumptions(&assumptions).is_sat()
+        };
+        prop_assert_eq!(got, expected);
+
+        // The solver must remain correct for the unconstrained query.
+        if !top_level_unsat {
+            prop_assert_eq!(solver.solve().is_sat(), brute_force_sat(&cnf));
+        }
+    }
+}

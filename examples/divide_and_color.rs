@@ -1,0 +1,80 @@
+//! Stage-by-stage anatomy of the divide-and-color procedure (paper Fig. 2
+//! and §3.2), with the control-signal timeline and live energy readings.
+//!
+//! ```sh
+//! cargo run --release --example divide_and_color
+//! ```
+
+use msropm::core::{Msropm, MsropmConfig, Schedule};
+use msropm::graph::generators::kings_graph;
+use msropm::graph::NodeId;
+use msropm::osc::PhaseNetwork;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let g = kings_graph(6, 6);
+    let config = MsropmConfig::paper_default();
+
+    println!("== control schedule (the SHIL-clocked state machine) ==");
+    let schedule = Schedule::from_config(&config);
+    for w in schedule.windows() {
+        let c = w.controls();
+        println!(
+            "  t = [{:4.1}, {:4.1}] ns  stage {}  {:<9}  couplings {}  SHIL {}",
+            w.t_start,
+            w.t_end(),
+            w.stage,
+            format!("{:?}", w.kind),
+            if c.couplings_on { "ON " } else { "off" },
+            if c.shil_on { "ON" } else { "off" },
+        );
+    }
+
+    // Track the vector-Potts energy live through the schedule.
+    let energy_net = PhaseNetwork::builder(&g).build();
+    let mut machine = Msropm::new(&g, config);
+    let mut rng = StdRng::seed_from_u64(12);
+    println!("\n== live run (vector-Potts Hamiltonian every 5 ns) ==");
+    let mut next_report = 0.0f64;
+    let solution = machine.solve_observed(&mut rng, |t, w, phases| {
+        if t >= next_report {
+            println!(
+                "  t = {t:5.1} ns  [{:?} stage {}]  H = {:+8.3}",
+                w.kind,
+                w.stage,
+                energy_net.vector_potts_hamiltonian(phases)
+            );
+            next_report += 5.0;
+        }
+    });
+
+    println!("\n== stage readouts ==");
+    for s in &solution.stages {
+        println!(
+            "  stage {}: cut {} of {} active edges; worst SHIL lock error {:.3} rad",
+            s.stage, s.cut_value, s.active_edges, s.max_lock_error
+        );
+    }
+
+    println!("\n== final 4-coloring on the 6x6 board ==");
+    for r in 0..6 {
+        let row: String = (0..6)
+            .map(|c| {
+                let color = solution.coloring.color(NodeId::new(r * 6 + c));
+                char::from(b'0' + color.index() as u8)
+            })
+            .collect();
+        println!("  {row}");
+    }
+    println!(
+        "\naccuracy {:.4} | proper {}",
+        solution.coloring.accuracy(&g),
+        solution.coloring.is_proper(&g)
+    );
+    println!(
+        "note: stage-1 cut edges are colored from disjoint palettes {{0,1}} vs {{2,3}},\n\
+         so every edge cut in stage 1 is automatically satisfied — the mechanism\n\
+         that lets two independent stage-2 max-cuts finish the job."
+    );
+}

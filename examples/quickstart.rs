@@ -1,0 +1,56 @@
+//! Quickstart: 4-color the paper's 49-node King's-graph benchmark.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use msropm::core::{Msropm, MsropmConfig};
+use msropm::graph::generators::kings_graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. The problem: a 7x7 King's graph (49 nodes, 156 edges, chromatic
+    //    number 4) — the smallest benchmark of the paper.
+    let g = kings_graph(7, 7);
+    println!("problem: {} ({} nodes, {} edges)", g, g.num_nodes(), g.num_edges());
+
+    // 2. The machine: paper-default configuration — 4 colors in 2 stages,
+    //    60 ns total schedule (5 ns randomize + 20 ns anneal + 5 ns SHIL
+    //    lock, twice).
+    let config = MsropmConfig::paper_default();
+    println!(
+        "machine: {} colors, {} stages, {} ns/run",
+        config.num_colors,
+        config.num_stages(),
+        config.total_time_ns()
+    );
+    let mut machine = Msropm::new(&g, config);
+
+    // 3. Run a handful of iterations and keep the best — exactly how the
+    //    paper operates its probabilistic solver (sec. 4).
+    let mut rng = StdRng::seed_from_u64(0xC0C0);
+    let mut best_accuracy = 0.0;
+    let mut best = None;
+    for iter in 0..10 {
+        let solution = machine.solve(&mut rng);
+        let accuracy = solution.coloring.accuracy(&g);
+        println!(
+            "iteration {iter}: accuracy {accuracy:.4}  (stage-1 cut {}/{})",
+            solution.stages[0].cut_value, solution.stages[0].active_edges
+        );
+        if accuracy > best_accuracy {
+            best_accuracy = accuracy;
+            best = Some(solution);
+        }
+    }
+
+    let best = best.expect("at least one iteration");
+    println!("\nbest accuracy: {best_accuracy:.4}");
+    println!("proper coloring: {}", best.coloring.is_proper(&g));
+    println!(
+        "colors used: {} (palette 0..{})",
+        best.coloring.num_colors_used(),
+        config.num_colors
+    );
+}

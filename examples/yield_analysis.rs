@@ -1,0 +1,83 @@
+//! Yield analysis: how the fabric degrades when some rings are defective.
+//!
+//! A manufactured oscillator array loses rings to process defects; a dead
+//! ring freezes at an arbitrary phase and reads out a stuck color. This
+//! example kills an increasing fraction of the fabric and separates the
+//! raw accuracy (stuck colors count against it) from the quality the
+//! *functional* part of the array still delivers.
+//!
+//! ```sh
+//! cargo run --release --example yield_analysis
+//! ```
+
+use msropm::core::{Msropm, MsropmConfig};
+use msropm::graph::generators::kings_graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let g = kings_graph(12, 12);
+    let n = g.num_nodes();
+    println!(
+        "fabric: 12x12 King's-graph array ({} rings, {} couplings)\n",
+        n,
+        g.num_edges()
+    );
+    println!(
+        "{:>14} {:>11} {:>10} {:>22}",
+        "dead fraction", "dead rings", "accuracy", "live-subgraph accuracy"
+    );
+
+    let mut rng = StdRng::seed_from_u64(0x41E1D);
+    for fraction in [0.0, 0.02, 0.05, 0.10, 0.20, 0.30] {
+        let dead_count = (fraction * n as f64).round() as usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let dead = &order[..dead_count];
+        let mut is_dead = vec![false; n];
+        for &d in dead {
+            is_dead[d] = true;
+        }
+
+        let mut machine = Msropm::new(&g, MsropmConfig::paper_default());
+        for &d in dead {
+            machine.set_oscillator_enabled(d, false);
+        }
+        // Best of 8 iterations, as a user would run it.
+        let mut best_acc = 0.0f64;
+        let mut best_live = 0.0f64;
+        for _ in 0..8 {
+            let sol = machine.solve(&mut rng);
+            let acc = sol.coloring.accuracy(&g);
+            if acc > best_acc {
+                best_acc = acc;
+                let (mut live_edges, mut live_ok) = (0usize, 0usize);
+                for (_, u, v) in g.edges() {
+                    if !is_dead[u.index()] && !is_dead[v.index()] {
+                        live_edges += 1;
+                        if sol.coloring.color(u) != sol.coloring.color(v) {
+                            live_ok += 1;
+                        }
+                    }
+                }
+                best_live = if live_edges == 0 {
+                    1.0
+                } else {
+                    live_ok as f64 / live_edges as f64
+                };
+            }
+        }
+        println!(
+            "{:>14.2} {:>11} {:>10.4} {:>22.4}",
+            fraction, dead_count, best_acc, best_live
+        );
+    }
+
+    println!(
+        "\nreading: raw accuracy falls roughly with the dead rings' share of edges\n\
+         (their stuck colors are unavoidable losses), while the functional part of\n\
+         the fabric keeps near-nominal quality — the coupled annealing works around\n\
+         frozen phases instead of being destabilized by them."
+    );
+}

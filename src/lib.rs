@@ -1,0 +1,48 @@
+//! # msropm — Multi-Stage Ring-Oscillator Potts Machine
+//!
+//! A full Rust reproduction of the DATE 2025 paper *"A Multi-Stage Potts
+//! Machine based on Coupled CMOS Ring Oscillators"* (Gonul & Taskin):
+//! a coupled-oscillator Potts machine that solves 4-coloring (and, in
+//! general, `2^k`-coloring) by dividing the problem into successive
+//! max-cut stages, clocked by phase-shifted sub-harmonic injection locking.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! - [`core`] ([`msropm_core`]): the machine, its schedule, the experiment
+//!   runner and the baseline solvers;
+//! - [`graph`] ([`msropm_graph`]): problem instances, colorings, cuts and
+//!   metrics;
+//! - [`osc`] ([`msropm_osc`]): the phase-domain coupled-oscillator model;
+//! - [`circuit`] ([`msropm_circuit`]): the behavioural transistor-level
+//!   simulator (ring oscillators, B2B couplings, SHIL injectors, DFF
+//!   readout, power);
+//! - [`sat`] ([`msropm_sat`]): the CDCL SAT solver used as the
+//!   exact-solution baseline;
+//! - [`ode`] ([`msropm_ode`]): the numerical integrators underneath it all.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use msropm::core::{Msropm, MsropmConfig};
+//! use msropm::graph::generators::kings_graph;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // The paper's smallest benchmark: 49-node King's graph, 4 colors.
+//! let g = kings_graph(7, 7);
+//! let mut machine = Msropm::new(&g, MsropmConfig::paper_default());
+//! let mut rng = StdRng::seed_from_u64(1);
+//!
+//! let solution = machine.solve(&mut rng);
+//! println!("accuracy: {:.3}", solution.coloring.accuracy(&g));
+//! assert!(solution.coloring.accuracy(&g) > 0.85);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use msropm_circuit as circuit;
+pub use msropm_core as core;
+pub use msropm_graph as graph;
+pub use msropm_ode as ode;
+pub use msropm_osc as osc;
+pub use msropm_sat as sat;

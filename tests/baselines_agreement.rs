@@ -1,0 +1,118 @@
+//! Cross-solver agreement: every solver in the workspace must agree on
+//! small instances where the optimum is certifiable.
+
+use msropm::core::baselines::{RoimMaxCut, Ropm3, SimulatedAnnealingColoring, TabuMaxCut};
+use msropm::core::MsropmConfig;
+use msropm::graph::cut::exact_max_cut_bruteforce;
+use msropm::graph::generators;
+use msropm::sat::branch_and_bound_max_cut;
+use msropm::sat::encode::{solve_chromatic_number, solve_k_coloring};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fast_config() -> MsropmConfig {
+    MsropmConfig {
+        dt: 0.02,
+        ..MsropmConfig::paper_default()
+    }
+}
+
+#[test]
+fn branch_and_bound_agrees_with_bruteforce_on_family() {
+    let mut rng = StdRng::seed_from_u64(17);
+    for n in [6usize, 8, 10, 12] {
+        let g = generators::erdos_renyi(n, 0.4, &mut rng);
+        if g.num_edges() == 0 {
+            continue;
+        }
+        let (_, exact) = exact_max_cut_bruteforce(&g);
+        let bb = branch_and_bound_max_cut(&g, u64::MAX);
+        assert!(bb.optimal);
+        assert_eq!(bb.value, exact, "n={n}");
+    }
+}
+
+#[test]
+fn tabu_matches_exact_on_random_graphs() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let tabu = TabuMaxCut::new(2000, 8);
+    for n in [8usize, 10, 12] {
+        let g = generators::erdos_renyi(n, 0.5, &mut rng);
+        if g.num_edges() == 0 {
+            continue;
+        }
+        let (_, exact) = exact_max_cut_bruteforce(&g);
+        let cut = tabu.solve(&g, &mut rng);
+        assert_eq!(cut.cut_value(&g), exact, "n={n}");
+    }
+}
+
+#[test]
+fn roim_reaches_exact_maxcut_on_small_instances() {
+    let g = generators::kings_graph(3, 3);
+    let (_, exact) = exact_max_cut_bruteforce(&g);
+    let roim = RoimMaxCut::new(fast_config());
+    let mut rng = StdRng::seed_from_u64(31);
+    let cut = roim.solve_best_of(&g, 10, &mut rng);
+    assert_eq!(cut.cut_value(&g), exact);
+}
+
+#[test]
+fn sa_and_sat_agree_on_feasibility() {
+    // Where SAT proves 4-colorability, SA (given enough sweeps) finds a
+    // proper coloring too.
+    let g = generators::kings_graph(6, 6);
+    assert!(solve_k_coloring(&g, 4).is_some());
+    let sa = SimulatedAnnealingColoring::new(4, 400);
+    let mut rng = StdRng::seed_from_u64(37);
+    let best = (0..3)
+        .map(|_| sa.solve(&g, &mut rng).conflicts(&g))
+        .min()
+        .expect("iterations ran");
+    assert_eq!(best, 0, "SA failed on a SAT-feasible instance");
+}
+
+#[test]
+fn ropm3_beats_random_on_three_chromatic_graph() {
+    let g = generators::triangular_lattice(5, 5);
+    let ropm = Ropm3::new(fast_config());
+    let mut rng = StdRng::seed_from_u64(41);
+    let machine_acc = ropm.solve_best_of(&g, 8, &mut rng).accuracy(&g);
+    // Random 3-coloring satisfies ~2/3 of edges in expectation.
+    assert!(
+        machine_acc > 0.8,
+        "3-SHIL machine accuracy {machine_acc:.3} not better than random"
+    );
+}
+
+#[test]
+fn chromatic_numbers_of_known_families() {
+    assert_eq!(solve_chromatic_number(&generators::kings_graph(4, 4)).0, 4);
+    assert_eq!(solve_chromatic_number(&generators::cycle_graph(7)).0, 3);
+    assert_eq!(solve_chromatic_number(&generators::grid_graph(3, 5)).0, 2);
+    assert_eq!(solve_chromatic_number(&generators::complete_graph(6)).0, 6);
+}
+
+#[test]
+fn dsatur_upper_bounds_sat_chromatic_number() {
+    let mut rng = StdRng::seed_from_u64(43);
+    for _ in 0..3 {
+        let g = generators::erdos_renyi(18, 0.35, &mut rng);
+        let dsatur_colors = msropm::graph::coloring::dsatur(&g).num_colors_used();
+        let (chi, _) = solve_chromatic_number(&g);
+        assert!(chi <= dsatur_colors.max(1), "DSATUR below chromatic number?!");
+    }
+}
+
+#[test]
+fn stripe_cut_optimal_on_small_kings_boards() {
+    // Certifies the large-size Fig. 5(b) normalizer at exactly-solvable
+    // sizes: the row-stripe construction achieves the B&B optimum.
+    for side in [3usize, 4, 5] {
+        let g = generators::kings_graph_square(side);
+        let stripe = msropm::graph::cut::kings_stripe_cut(side, side).cut_value(&g);
+        let bb = branch_and_bound_max_cut(&g, u64::MAX);
+        assert!(bb.optimal);
+        assert_eq!(bb.value, stripe, "side {side}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-validation between the two physics levels: the behavioural
+//! circuit simulator (`msropm-circuit`) and the phase macromodel
+//! (`msropm-osc`) must agree on every behaviour the machine relies on.
+
+use msropm::circuit::readout::measure_relative_phase;
+use msropm::circuit::CircuitArray;
+use msropm::graph::generators;
+use msropm::osc::waveform::principal_phase;
+use msropm::osc::{PhaseNetwork, Shil};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::{PI, TAU};
+
+#[test]
+fn antiphase_locking_agrees_across_levels() {
+    // Phase model.
+    let g = generators::path_graph(2);
+    let mut net = PhaseNetwork::builder(&g).coupling_strength(1.0).build();
+    let mut phases = vec![0.3, 1.1];
+    net.relax(&mut phases, 60.0, 1e-2);
+    let d_phase = principal_phase(phases[0] - phases[1]);
+
+    // Circuit model.
+    let array = CircuitArray::builder(&g).coupling_strength(0.2).build();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut state = array.random_state(&mut rng);
+    array.run(&mut state, 0.0, 40.0, 1e-3);
+    let d_circuit = measure_relative_phase(&array, &state, 0, 1, 40.0, 8.0, 1e-3)
+        .expect("rings oscillate");
+    let d_circuit = d_circuit.min(TAU - d_circuit);
+
+    assert!((d_phase - PI).abs() < 0.01, "phase model: {d_phase}");
+    assert!((d_circuit - PI).abs() < 0.3, "circuit model: {d_circuit}");
+}
+
+#[test]
+fn shil_binarization_grid_agrees_across_levels() {
+    // Phase model: two isolated oscillators under SHIL1 end 0 or PI apart.
+    let g = msropm::graph::Graph::empty(2);
+    let mut net = PhaseNetwork::builder(&g).build();
+    net.set_shil_all(Shil::order2(0.0, 2.0));
+    net.set_shil_enabled(true);
+    let mut phases = vec![0.8, 2.9];
+    net.relax(&mut phases, 30.0, 1e-2);
+    let d = principal_phase(phases[0] - phases[1]);
+    let d = d.min(TAU - d);
+    assert!(d < 0.02 || (d - PI).abs() < 0.02, "phase-model grid: {d}");
+
+    // Circuit model: grid property verified in msropm-circuit's own tests
+    // (slow); here we only re-check the window geometry that encodes it.
+    let w1 = msropm::circuit::ShilWave::shil1(1.3);
+    let w2 = msropm::circuit::ShilWave::shil2(1.3);
+    let shift = 0.5 * w1.period_ns();
+    for k in 0..200 {
+        let t = 0.01 * k as f64;
+        assert_eq!(w1.is_conducting(t), w2.is_conducting(t + shift));
+    }
+}
+
+#[test]
+fn energy_descent_mirrors_cut_improvement() {
+    // As the phase network descends its energy, the implied (binarized)
+    // cut value must not collapse: energy and cut quality co-evolve.
+    let g = generators::kings_graph(4, 4);
+    let mut net = PhaseNetwork::builder(&g).coupling_strength(1.0).build();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut phases = net.random_phases(&mut rng);
+    let shil = Shil::order2(0.0, 1.0);
+
+    let cut_of = |phases: &[f64]| {
+        let bits = msropm::osc::binarize_phases(phases, &shil);
+        let cut: msropm::graph::Cut = bits.iter().map(|&b| b == 1).collect();
+        cut.cut_value(&g)
+    };
+
+    let e0 = net.energy(&phases);
+    let c0 = cut_of(&phases);
+    net.relax(&mut phases, 30.0, 1e-2);
+    let e1 = net.energy(&phases);
+    let c1 = cut_of(&phases);
+    assert!(e1 < e0, "energy must descend: {e0} -> {e1}");
+    assert!(c1 >= c0, "cut must not degrade: {c0} -> {c1}");
+    // After relaxation the binarized cut is near-optimal for this board.
+    let (_, exact) = msropm::graph::cut::exact_max_cut_bruteforce(&g);
+    assert!(c1 as f64 >= 0.85 * exact as f64, "cut {c1} vs exact {exact}");
+}
+
+#[test]
+fn power_models_agree_on_scaling_shape() {
+    // The physics CV^2f model and the calibrated model must both scale
+    // linearly in (N, E) — same shape, different constants.
+    let physics = |side: usize| {
+        let g = generators::kings_graph_square(side);
+        msropm::core::power::physics_power_estimate(&g).total_mw()
+    };
+    let calibrated = |side: usize| {
+        let g = generators::kings_graph_square(side);
+        msropm::core::power::paper_power_estimate(&g).total_mw()
+    };
+    let ratio_physics = physics(20) / physics(7);
+    let ratio_calibrated = calibrated(20) / calibrated(7);
+    assert!(
+        (ratio_physics / ratio_calibrated - 1.0).abs() < 0.35,
+        "scaling mismatch: physics x{ratio_physics:.2} vs calibrated x{ratio_calibrated:.2}"
+    );
+}
+
+#[test]
+fn oscillator_frequency_within_calibration_tolerance() {
+    let ring = msropm::circuit::RingOscillator::paper_default();
+    let f = ring.measure_frequency_ghz(20.0, 8).expect("oscillates");
+    assert!((f - 1.3).abs() / 1.3 < 0.01, "measured {f} GHz");
+}

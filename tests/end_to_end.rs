@@ -1,0 +1,107 @@
+//! End-to-end integration: the MSROPM against the exact SAT baseline on
+//! paper-style problems, crossing every crate in the workspace.
+
+use msropm::core::{CutReference, ExperimentRunner, Msropm, MsropmConfig};
+use msropm::graph::cut::kings_stripe_cut;
+use msropm::graph::generators;
+use msropm::sat::encode::solve_k_coloring;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fast_config() -> MsropmConfig {
+    MsropmConfig {
+        dt: 0.02,
+        ..MsropmConfig::paper_default()
+    }
+}
+
+#[test]
+fn msropm_matches_sat_on_small_kings_graph() {
+    let g = generators::kings_graph(5, 5);
+    // SAT certifies that accuracy 1.0 is attainable with 4 colors.
+    let exact = solve_k_coloring(&g, 4).expect("4-colorable");
+    assert_eq!(exact.accuracy(&g), 1.0);
+
+    // The machine must reach a proper coloring within a few iterations.
+    let mut machine = Msropm::new(&g, fast_config());
+    let mut rng = StdRng::seed_from_u64(2024);
+    let best = (0..10)
+        .map(|_| machine.solve(&mut rng).coloring.accuracy(&g))
+        .fold(0.0f64, f64::max);
+    assert_eq!(best, 1.0, "machine never matched the SAT-exact optimum");
+}
+
+#[test]
+fn accuracy_band_matches_paper_on_49_nodes() {
+    // Paper: 49-node best 1.00, average 0.98, worst observed 0.92.
+    // Simulation-grade tolerance: best >= 0.99, mean >= 0.93, worst >= 0.85.
+    let g = generators::kings_graph(7, 7);
+    let best_cut = kings_stripe_cut(7, 7).cut_value(&g);
+    let report = ExperimentRunner::new(fast_config())
+        .iterations(20)
+        .base_seed(0x49)
+        .cut_reference(CutReference::Value(best_cut))
+        .run(&g);
+    let s = report.accuracy_summary();
+    assert!(report.best_accuracy() >= 0.99, "best {:.3}", report.best_accuracy());
+    assert!(s.mean >= 0.93, "mean {:.3}", s.mean);
+    assert!(s.min >= 0.85, "worst {:.3}", s.min);
+}
+
+#[test]
+fn stage1_and_final_accuracy_positively_correlated() {
+    // Sec. 4.1's correlation claim, on a mid-size problem.
+    let g = generators::kings_graph(10, 10);
+    let best_cut = kings_stripe_cut(10, 10).cut_value(&g);
+    let report = ExperimentRunner::new(fast_config())
+        .iterations(24)
+        .base_seed(0xC0)
+        .cut_reference(CutReference::Value(best_cut))
+        .run(&g);
+    let r = report
+        .stage1_final_correlation()
+        .expect("non-degenerate samples");
+    assert!(r > 0.0, "expected positive correlation, got {r:+.3}");
+}
+
+#[test]
+fn time_to_solution_is_sixty_ns() {
+    let g = generators::kings_graph(4, 4);
+    let report = ExperimentRunner::new(fast_config())
+        .iterations(2)
+        .run(&g);
+    assert!((report.time_per_iteration_ns - 60.0).abs() < 1e-12);
+}
+
+#[test]
+fn solution_diversity_nonzero() {
+    // Fig. 5(c): different iterations land on different solutions.
+    let g = generators::kings_graph(6, 6);
+    let report = ExperimentRunner::new(fast_config())
+        .iterations(10)
+        .base_seed(5)
+        .run(&g);
+    let distances = report.hamming_distances();
+    let mean = distances.iter().sum::<f64>() / distances.len() as f64;
+    assert!(mean > 0.1, "solutions suspiciously identical: mean {mean:.3}");
+}
+
+#[test]
+fn sat_certifies_impossibility_of_three_coloring() {
+    // The structural motivation for 4 colors: King's graphs contain K4s.
+    let g = generators::kings_graph(4, 4);
+    assert!(solve_k_coloring(&g, 3).is_none());
+    assert!(solve_k_coloring(&g, 4).is_some());
+}
+
+#[test]
+fn power_estimates_track_table1() {
+    for (side, expected) in [(7usize, 9.4f64), (46, 283.4)] {
+        let g = generators::kings_graph_square(side);
+        let p = msropm::core::power::paper_power_estimate(&g).total_mw();
+        assert!(
+            (p - expected).abs() / expected < 0.06,
+            "side {side}: {p:.1} vs {expected}"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration coverage for the beyond-paper extensions: TTS analysis on
+//! real reports, the SHIL ramp, circuit mismatch, incremental SAT, and the
+//! repair heuristics.
+
+use msropm::core::analysis::{accuracy_quantile, success_probability, time_to_solution_ns};
+use msropm::core::{CutReference, ExperimentRunner, Msropm, MsropmConfig};
+use msropm::graph::coloring::min_conflicts_descent;
+use msropm::graph::generators;
+use msropm::sat::encode::{solve_chromatic_number_incremental, solve_k_coloring};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fast_config() -> MsropmConfig {
+    MsropmConfig {
+        dt: 0.02,
+        ..MsropmConfig::paper_default()
+    }
+}
+
+#[test]
+fn tts_analysis_on_real_report() {
+    let g = generators::kings_graph(5, 5);
+    let report = ExperimentRunner::new(fast_config())
+        .iterations(16)
+        .base_seed(0x715)
+        .cut_reference(CutReference::Auto)
+        .run(&g);
+    let p = success_probability(&report, 0.95);
+    assert!(p > 0.0, "no iteration reached 95% on a 5x5 board");
+    let tts = time_to_solution_ns(&report, 0.95, 0.99).expect("p > 0");
+    assert!(tts >= report.time_per_iteration_ns);
+    // Median accuracy is between worst and best.
+    let median = accuracy_quantile(&report, 0.5);
+    let s = report.accuracy_summary();
+    assert!(median >= s.min && median <= s.max);
+}
+
+#[test]
+fn shil_ramp_comparable_to_hard_gating() {
+    let g = generators::kings_graph(5, 5);
+    let run = |ramp: bool| {
+        let cfg = fast_config().with_shil_ramp(ramp);
+        let mut best = 0.0f64;
+        for seed in 0..6u64 {
+            let mut m = Msropm::new(&g, cfg);
+            let mut rng = StdRng::seed_from_u64(seed);
+            best = best.max(m.solve(&mut rng).coloring.accuracy(&g));
+        }
+        best
+    };
+    let hard = run(false);
+    let ramped = run(true);
+    assert!(hard > 0.9 && ramped > 0.9, "hard {hard}, ramped {ramped}");
+}
+
+#[test]
+fn machine_solution_improvable_by_repair_is_still_near_optimal() {
+    // min-conflicts descent on a machine solution should gain little —
+    // the machine already lands near a local optimum.
+    let g = generators::kings_graph(8, 8);
+    let mut m = Msropm::new(&g, fast_config());
+    let mut rng = StdRng::seed_from_u64(88);
+    let sol = m.solve(&mut rng);
+    let mut repaired = sol.coloring.clone();
+    let gained = min_conflicts_descent(&g, &mut repaired, 4, 100);
+    let machine_conflicts = sol.coloring.conflicts(&g);
+    assert!(
+        gained * 4 <= machine_conflicts.max(4) * 3,
+        "repair removed {gained} of {machine_conflicts} conflicts — machine far from local optimum"
+    );
+    assert!(repaired.accuracy(&g) >= sol.coloring.accuracy(&g));
+}
+
+#[test]
+fn incremental_chromatic_number_on_benchmark_family() {
+    // Cross-crate: incremental SAT agrees with direct solving on the
+    // machine's benchmark topology.
+    let g = generators::kings_graph(5, 5);
+    let (chi, witness) = solve_chromatic_number_incremental(&g);
+    assert_eq!(chi, 4);
+    assert!(witness.is_proper(&g));
+    assert!(solve_k_coloring(&g, chi - 1).is_none());
+}
+
+#[test]
+fn circuit_mismatch_monte_carlo_plausible() {
+    use msropm::circuit::CircuitArray;
+    let g = generators::path_graph(3);
+    let mut array = CircuitArray::builder(&g).build();
+    let mut rng = StdRng::seed_from_u64(3);
+    array.apply_mismatch(0.05, &mut rng);
+    for osc in 0..3 {
+        let m = array.mismatch_of(osc);
+        assert!((0.5..=1.5).contains(&m), "implausible mismatch {m}");
+    }
+}
+
+#[test]
+fn wheel_and_petersen_solved_by_machine() {
+    // New generator families work end to end.
+    let wheel = generators::wheel_graph(8); // even rim: 3-chromatic
+    let mut m = Msropm::new(&wheel, fast_config());
+    let mut rng = StdRng::seed_from_u64(5);
+    let best = (0..8)
+        .map(|_| m.solve(&mut rng).coloring.accuracy(&wheel))
+        .fold(0.0f64, f64::max);
+    assert_eq!(best, 1.0, "4 colors suffice for W8");
+
+    let petersen = generators::petersen_graph();
+    let mut m = Msropm::new(&petersen, fast_config());
+    let best = (0..8)
+        .map(|_| m.solve(&mut rng).coloring.accuracy(&petersen))
+        .fold(0.0f64, f64::max);
+    assert_eq!(best, 1.0, "4 colors suffice for the Petersen graph");
+}

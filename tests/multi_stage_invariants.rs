@@ -1,0 +1,142 @@
+//! Structural invariants of the multi-stage algorithm that must hold for
+//! *every* run, independent of solution quality.
+
+use msropm::core::{Msropm, MsropmConfig, MsropmSolution};
+use msropm::graph::generators;
+use msropm::graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::TAU;
+
+fn fast_config() -> MsropmConfig {
+    MsropmConfig {
+        dt: 0.02,
+        ..MsropmConfig::paper_default()
+    }
+}
+
+fn solve(side: usize, seed: u64, colors: usize) -> (msropm::graph::Graph, MsropmSolution) {
+    let g = generators::kings_graph_square(side);
+    let mut machine = Msropm::new(&g, fast_config().with_num_colors(colors));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sol = machine.solve(&mut rng);
+    (g, sol)
+}
+
+#[test]
+fn stage_bits_compose_into_colors() {
+    for seed in 0..5 {
+        let (g, sol) = solve(5, seed, 4);
+        for v in g.nodes() {
+            let b1 = usize::from(sol.stages[0].partition.side(v));
+            let b2 = usize::from(sol.stages[1].partition.side(v));
+            assert_eq!(sol.coloring.color(v).index(), 2 * b1 + b2);
+        }
+    }
+}
+
+#[test]
+fn cross_cut_edges_are_never_violated() {
+    // Any edge cut at stage 1 connects palettes {0,1} and {2,3}.
+    for seed in 0..5 {
+        let (g, sol) = solve(6, seed, 4);
+        for (_, u, v) in g.edges() {
+            if sol.stages[0].partition.side(u) != sol.stages[0].partition.side(v) {
+                assert_ne!(sol.coloring.color(u), sol.coloring.color(v));
+            }
+        }
+    }
+}
+
+#[test]
+fn final_accuracy_decomposes_over_stages() {
+    // satisfied = stage1 cut + stage2 cut (stage2 counts only edges that
+    // survived the partition).
+    for seed in 0..5 {
+        let (g, sol) = solve(6, seed, 4);
+        let satisfied = sol.coloring.satisfied_edges(&g);
+        let from_stages: usize = sol.stages.iter().map(|s| s.cut_value).sum();
+        assert_eq!(satisfied, from_stages, "seed {seed}");
+    }
+}
+
+#[test]
+fn active_edges_shrink_monotonically() {
+    for seed in 0..3 {
+        let (g, sol) = solve(6, seed, 4);
+        assert_eq!(sol.stages[0].active_edges, g.num_edges());
+        assert_eq!(
+            sol.stages[1].active_edges,
+            g.num_edges() - sol.stages[0].cut_value
+        );
+    }
+}
+
+#[test]
+fn phases_end_on_color_targets() {
+    let (_, sol) = solve(5, 9, 4);
+    for (i, (_, color)) in sol.coloring.iter().enumerate() {
+        let target = MsropmSolution::target_phase(color.index(), 4);
+        let p = sol.final_phases[i].rem_euclid(TAU);
+        let d = (p - target).rem_euclid(TAU);
+        let d = d.min(TAU - d);
+        assert!(d < 0.5, "osc {i}: {p:.3} rad vs target {target:.3}");
+    }
+}
+
+#[test]
+fn lock_errors_are_small_at_readout() {
+    let (_, sol) = solve(6, 3, 4);
+    for s in &sol.stages {
+        assert!(
+            s.max_lock_error < 0.6,
+            "stage {} lock error {:.3} rad — SHIL failed to discretize",
+            s.stage,
+            s.max_lock_error
+        );
+    }
+}
+
+#[test]
+fn three_stage_run_produces_eight_colors_consistently() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let (g, _) = generators::planted_k_colorable(40, 8, 0.5, &mut rng);
+    let mut machine = Msropm::new(&g, fast_config().with_num_colors(8));
+    let sol = machine.solve(&mut rng);
+    assert_eq!(sol.stages.len(), 3);
+    assert!((sol.total_time_ns - 90.0).abs() < 1e-12);
+    for v in g.nodes() {
+        let bits: usize = sol
+            .stages
+            .iter()
+            .fold(0, |acc, s| acc * 2 + usize::from(s.partition.side(v)));
+        assert_eq!(sol.coloring.color(v).index(), bits);
+    }
+}
+
+#[test]
+fn observer_time_spans_the_whole_schedule() {
+    let g = generators::kings_graph(3, 3);
+    let mut machine = Msropm::new(&g, fast_config());
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut t_min = f64::INFINITY;
+    let mut t_max = f64::NEG_INFINITY;
+    machine.solve_observed(&mut rng, |t, _, _| {
+        t_min = t_min.min(t);
+        t_max = t_max.max(t);
+    });
+    assert_eq!(t_min, 0.0);
+    assert!((t_max - 60.0).abs() < 1e-9);
+}
+
+#[test]
+fn isolated_nodes_color_arbitrarily_but_validly() {
+    let g = msropm::graph::Graph::empty(8);
+    let mut machine = Msropm::new(&g, fast_config());
+    let mut rng = StdRng::seed_from_u64(1);
+    let sol = machine.solve(&mut rng);
+    assert_eq!(sol.coloring.len(), 8);
+    assert!(sol.coloring.is_proper(&g));
+    assert_eq!(sol.coloring.accuracy(&g), 1.0);
+    let _ = NodeId::new(0);
+}

@@ -1,0 +1,182 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, spanning the graph, SAT, oscillator and machine crates.
+
+use msropm::graph::coloring::{dsatur, greedy_coloring};
+use msropm::graph::metrics::{hamming_distance, hamming_distance_min_permutation};
+use msropm::graph::{generators, BitSet, Coloring, Cut, Graph, NodeId};
+use msropm::osc::lock::phase_to_spin;
+use msropm::osc::shil::Shil;
+use msropm::osc::waveform::{phase_distance, principal_phase, unwrap_phases};
+use msropm::sat::encode::solve_k_coloring;
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph as (n, edge pair list).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n, 0..n), 0..max_edges.min(60)).prop_map(move |pairs| {
+            let mut b = msropm::graph::GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge_dedup(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn degree_sum_is_twice_edges(g in arb_graph(24)) {
+        prop_assert_eq!(g.degree_sum(), 2 * g.num_edges());
+        let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn greedy_coloring_is_proper_and_bounded(g in arb_graph(20)) {
+        let order: Vec<NodeId> = g.nodes().collect();
+        let c = greedy_coloring(&g, &order);
+        prop_assert!(c.is_proper(&g));
+        prop_assert!(c.num_colors_used() <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn dsatur_never_worse_than_degree_bound(g in arb_graph(20)) {
+        let c = dsatur(&g);
+        prop_assert!(c.is_proper(&g));
+        prop_assert!(c.num_colors_used() <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn cut_value_complement_invariant(g in arb_graph(20), seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cut = Cut::random(g.num_nodes(), &mut rng);
+        // Complementing every side bit leaves the cut value unchanged.
+        let flipped: Cut = cut.as_slice().iter().map(|&s| !s).collect();
+        prop_assert_eq!(cut.cut_value(&g), flipped.cut_value(&g));
+        prop_assert!(cut.cut_value(&g) <= g.num_edges());
+    }
+
+    #[test]
+    fn local_search_never_decreases_cut(g in arb_graph(16), seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cut = Cut::random(g.num_nodes(), &mut rng);
+        let before = cut.cut_value(&g);
+        cut.local_search(&g);
+        prop_assert!(cut.cut_value(&g) >= before);
+    }
+
+    #[test]
+    fn hamming_is_a_metric_sample(
+        a in proptest::collection::vec(0usize..4, 1..40),
+        b in proptest::collection::vec(0usize..4, 1..40),
+        c in proptest::collection::vec(0usize..4, 1..40),
+    ) {
+        let n = a.len().min(b.len()).min(c.len());
+        let ca = Coloring::from_indices(a[..n].to_vec());
+        let cb = Coloring::from_indices(b[..n].to_vec());
+        let cc = Coloring::from_indices(c[..n].to_vec());
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(hamming_distance(&ca, &ca), 0.0);
+        prop_assert_eq!(hamming_distance(&ca, &cb), hamming_distance(&cb, &ca));
+        let dab = hamming_distance(&ca, &cb);
+        let dbc = hamming_distance(&cb, &cc);
+        let dac = hamming_distance(&ca, &cc);
+        prop_assert!(dac <= dab + dbc + 1e-12);
+        // Permutation-minimized distance is a lower bound.
+        prop_assert!(hamming_distance_min_permutation(&ca, &cb) <= dab + 1e-12);
+    }
+
+    #[test]
+    fn principal_phase_idempotent(x in -100.0f64..100.0) {
+        let p = principal_phase(x);
+        prop_assert!((0.0..std::f64::consts::TAU).contains(&p));
+        prop_assert!((principal_phase(p) - p).abs() < 1e-12);
+        // Distance to itself is zero; symmetry holds.
+        prop_assert!(phase_distance(x, x) < 1e-9);
+    }
+
+    #[test]
+    fn unwrap_preserves_increments(steps in proptest::collection::vec(-2.0f64..2.0, 1..50)) {
+        // Build a trajectory whose step sizes are < pi... restrict to |d|<2
+        // and accumulate; wrap; unwrap; compare increments.
+        let mut traj = vec![0.5f64];
+        for d in &steps {
+            let last = *traj.last().expect("nonempty");
+            traj.push(last + d.clamp(-3.0, 3.0));
+        }
+        let wrapped: Vec<f64> = traj.iter().map(|&p| principal_phase(p)).collect();
+        let unwrapped = unwrap_phases(&wrapped);
+        for i in 1..traj.len() {
+            let want = traj[i] - traj[i - 1];
+            let got = unwrapped[i] - unwrapped[i - 1];
+            if want.abs() < 3.0 {
+                prop_assert!((want - got).abs() < 1e-9, "step {i}: {want} vs {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn shil_spin_roundtrip(order in 2u32..5, psi in 0.0f64..6.2, k in 0u32..5) {
+        let shil = Shil::new(order, psi, 1.0);
+        let phases = shil.stable_phases();
+        let k = (k % order) as usize;
+        // Classifying a stable phase returns a spin whose stable phase is
+        // that same phase.
+        let spin = phase_to_spin(phases[k], &shil);
+        let back = msropm::osc::nearest_stable_phase(phases[k], &shil);
+        prop_assert!((back - phases[k]).abs() < 1e-9);
+        prop_assert!(spin < order as usize);
+    }
+
+    #[test]
+    fn bitset_models_hashset(ops in proptest::collection::vec((0usize..128, any::<bool>()), 0..200)) {
+        let mut bs = BitSet::new(128);
+        let mut hs = std::collections::HashSet::new();
+        for (idx, insert) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(idx), hs.insert(idx));
+            } else {
+                prop_assert_eq!(bs.remove(idx), hs.remove(&idx));
+            }
+        }
+        prop_assert_eq!(bs.len(), hs.len());
+        let mut from_bs: Vec<usize> = bs.iter().collect();
+        let mut from_hs: Vec<usize> = hs.into_iter().collect();
+        from_bs.sort_unstable();
+        from_hs.sort_unstable();
+        prop_assert_eq!(from_bs, from_hs);
+    }
+
+    #[test]
+    fn sat_coloring_sound_on_random_graphs(seed in 0u64..50) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(12, 0.3, &mut rng);
+        // Whatever SAT returns must be proper; and DSATUR's palette size
+        // must be achievable.
+        let k = dsatur(&g).num_colors_used().max(1);
+        let c = solve_k_coloring(&g, k).expect("DSATUR palette is sufficient");
+        prop_assert!(c.is_proper(&g));
+        prop_assert!(c.color_range() <= k);
+    }
+
+    #[test]
+    fn dimacs_roundtrip_random(seed in 0u64..50) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(15, 0.3, &mut rng);
+        let mut buf = Vec::new();
+        msropm::graph::io::write_dimacs(&g, &mut buf).expect("write");
+        let g2 = msropm::graph::io::read_dimacs(buf.as_slice()).expect("parse");
+        prop_assert_eq!(g.num_nodes(), g2.num_nodes());
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        for (_, u, v) in g.edges() {
+            prop_assert!(g2.contains_edge(u, v));
+        }
+    }
+}
