@@ -37,7 +37,10 @@ fn main() {
         ]);
     }
 
-    println!("\n== Ablation: annealing window ({}-node) ==", g.num_nodes());
+    println!(
+        "\n== Ablation: annealing window ({}-node) ==",
+        g.num_nodes()
+    );
     println!("{}", table.render());
     println!(
         "expected shape: accuracy rises steeply below ~10 ns and saturates near the\n\

@@ -39,7 +39,10 @@ fn main() {
             format!("{:.3}", s.mean),
         ]);
     }
-    println!("\n== Ablation: coupling strength, phase model ({}-node) ==", g.num_nodes());
+    println!(
+        "\n== Ablation: coupling strength, phase model ({}-node) ==",
+        g.num_nodes()
+    );
     println!("{}", table.render());
 
     // Circuit-level oscillation-halt demonstration: count VDD/2 crossings
@@ -53,7 +56,9 @@ fn main() {
     ]);
     let g2 = generators::path_graph(2);
     for strength in [0.05, 0.15, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
-        let array = CircuitArray::builder(&g2).coupling_strength(strength).build();
+        let array = CircuitArray::builder(&g2)
+            .coupling_strength(strength)
+            .build();
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let mut state = array.random_state(&mut rng);
         array.run(&mut state, 0.0, 20.0, 1e-3);

@@ -9,8 +9,8 @@
 
 use msropm_bench::{paper_benchmark, Options, Table};
 use msropm_core::{Msropm, MsropmConfig};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
@@ -80,7 +80,10 @@ fn main() {
         ]);
     }
 
-    println!("\n== Ablation: defective-ring tolerance ({}-node fabric) ==", n);
+    println!(
+        "\n== Ablation: defective-ring tolerance ({}-node fabric) ==",
+        n
+    );
     println!("{}", table.render());
     println!(
         "reading: dead rings cost roughly their incident-edge fraction of raw\n\

@@ -29,8 +29,8 @@ fn main() {
             .cut_reference(CutReference::Value(bench.best_cut))
             .run(g);
         let s = report.accuracy_summary();
-        let ham = msropm_graph::metrics::Summary::of(&report.hamming_distances())
-            .map_or(0.0, |h| h.mean);
+        let ham =
+            msropm_graph::metrics::Summary::of(&report.hamming_distances()).map_or(0.0, |h| h.mean);
         table.row(vec![
             format!("{sigma}"),
             format!("{:.3}", report.best_accuracy()),

@@ -51,7 +51,10 @@ fn main() {
         ]);
     }
 
-    println!("\n== Ablation: SHIL strength (problem: {}-node) ==", g.num_nodes());
+    println!(
+        "\n== Ablation: SHIL strength (problem: {}-node) ==",
+        g.num_nodes()
+    );
     println!("{}", table.render());
     println!(
         "expected shape (paper sec. 2.3): weak SHIL fails to discretize (large lock\n\

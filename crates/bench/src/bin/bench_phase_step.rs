@@ -1,0 +1,267 @@
+//! Phase-step / anneal throughput harness with machine-readable output.
+//!
+//! Runs the hot-loop suite on the paper's King's graphs (n = 49 … 2116):
+//!
+//! - `naive_eval`: one RHS evaluation via the reference CSR walk
+//!   (`PhaseNetwork::eval`);
+//! - `kernel_eval`: one RHS evaluation via the compiled
+//!   [`CoupledKernel`] (the acceptance metric is `kernel_speedup =
+//!   naive/kernel` on the 2116-node board);
+//! - `batch_eval`: one 40-replica SoA RHS sweep ([`BatchKernel`]),
+//!   reported per replica;
+//! - `anneal_naive` / `anneal_kernel` / `anneal_batch`: a 1 ns
+//!   Euler–Maruyama annealing window (100 steps) through the same three
+//!   paths (batch reported per replica).
+//!
+//! Results are written as JSON to `BENCH_phase_step.json` at the
+//! repository root (override with `--out PATH`; `--quick` restricts to
+//! the 49-node board) so successive PRs can track the perf trajectory.
+//!
+//! Run with: `cargo run --release -p msropm-bench --bin bench_phase_step`
+
+use msropm_graph::generators;
+use msropm_ode::system::OdeSystem;
+use msropm_osc::batch::{BatchIntegrator, BatchKernel};
+use msropm_osc::kernel::KernelIntegrator;
+use msropm_osc::PhaseNetwork;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const BATCH_REPLICAS: usize = 40; // the paper's iteration count
+
+/// Times `f` (already warmed up by `warmup` calls) and returns seconds
+/// per call, sampling until ~`budget_s` of wall clock is spent.
+fn time_per_call(mut f: impl FnMut(), warmup: usize, budget_s: f64) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    // Estimate per-call cost, then run batches.
+    let t = Instant::now();
+    f();
+    let est = t.elapsed().as_secs_f64().max(1e-9);
+    let calls = ((budget_s / est) as usize).clamp(1, 1_000_000);
+    let t = Instant::now();
+    for _ in 0..calls {
+        f();
+    }
+    t.elapsed().as_secs_f64() / calls as f64
+}
+
+struct Row {
+    side: usize,
+    nodes: usize,
+    edges: usize,
+    naive_eval_ns: f64,
+    kernel_eval_ns: f64,
+    kernel_speedup: f64,
+    batch_eval_ns_per_replica: f64,
+    batch_speedup: f64,
+    anneal_naive_us: f64,
+    anneal_kernel_us: f64,
+    anneal_batch_us_per_replica: f64,
+}
+
+fn bench_side(side: usize, eval_budget: f64, anneal_budget: f64) -> Row {
+    let g = generators::kings_graph_square(side);
+    let n = g.num_nodes();
+    let net = PhaseNetwork::builder(&g)
+        .coupling_strength(1.0)
+        .noise(0.18)
+        .build();
+    let mut rng = StdRng::seed_from_u64(1);
+    let phases = net.random_phases(&mut rng);
+    let mut dydt = vec![0.0; n];
+
+    // --- RHS evaluation: naive CSR walk vs compiled kernel. ---
+    let naive_eval_ns = 1e9
+        * time_per_call(
+            || {
+                net.eval(0.0, std::hint::black_box(&phases), &mut dydt);
+                std::hint::black_box(&dydt);
+            },
+            3,
+            eval_budget,
+        );
+    let kernel = net.compile_kernel();
+    let mut scratch = Vec::new();
+    let kernel_eval_ns = 1e9
+        * time_per_call(
+            || {
+                kernel.drift_into(std::hint::black_box(&phases), &mut dydt, &mut scratch);
+                std::hint::black_box(&dydt);
+            },
+            3,
+            eval_budget,
+        );
+
+    // --- 40-replica SoA sweep. ---
+    let batch = BatchKernel::new(&net, BATCH_REPLICAS);
+    let mut rng_b = StdRng::seed_from_u64(2);
+    let phases_b: Vec<f64> = (0..n * BATCH_REPLICAS)
+        .map(|_| rng_b.gen::<f64>() * std::f64::consts::TAU)
+        .collect();
+    let mut dydt_b = vec![0.0; n * BATCH_REPLICAS];
+    let mut scratch_b = Vec::new();
+    let batch_eval_ns_per_replica =
+        1e9 * time_per_call(
+            || {
+                batch.drift_into(std::hint::black_box(&phases_b), &mut dydt_b, &mut scratch_b);
+                std::hint::black_box(&dydt_b);
+            },
+            3,
+            eval_budget,
+        ) / BATCH_REPLICAS as f64;
+
+    // --- 1 ns anneal window (100 Euler–Maruyama steps). ---
+    let mut rng_a = StdRng::seed_from_u64(3);
+    let mut ph_a = net.random_phases(&mut rng_a);
+    let net_mut = net.clone();
+    let anneal_naive_us = 1e6
+        * time_per_call(
+            || {
+                // The pre-kernel shape: fresh stepper, drift via CSR walk.
+                use msropm_ode::sde::{EulerMaruyama, SdeStepper};
+                EulerMaruyama::new().integrate(&net_mut, &mut ph_a, 0.0, 1.0, 0.01, &mut rng_a);
+                std::hint::black_box(&ph_a);
+            },
+            1,
+            anneal_budget,
+        );
+    let mut integrator = KernelIntegrator::new();
+    let mut rng_k = StdRng::seed_from_u64(3);
+    let mut ph_k = net_mut.random_phases(&mut rng_k);
+    let anneal_kernel_us = 1e6
+        * time_per_call(
+            || {
+                integrator.integrate(&kernel, &mut ph_k, 0.0, 1.0, 0.01, &mut rng_k);
+                std::hint::black_box(&ph_k);
+            },
+            1,
+            anneal_budget,
+        );
+    let mut batch_integrator = BatchIntegrator::new();
+    let mut rngs: Vec<StdRng> = (0..BATCH_REPLICAS)
+        .map(|r| StdRng::seed_from_u64(r as u64))
+        .collect();
+    let mut ph_batch = phases_b.clone();
+    let anneal_batch_us_per_replica =
+        1e6 * time_per_call(
+            || {
+                batch_integrator.integrate(&batch, &mut ph_batch, 0.0, 1.0, 0.01, &mut rngs);
+                std::hint::black_box(&ph_batch);
+            },
+            1,
+            anneal_budget,
+        ) / BATCH_REPLICAS as f64;
+
+    Row {
+        side,
+        nodes: n,
+        edges: g.num_edges(),
+        naive_eval_ns,
+        kernel_eval_ns,
+        kernel_speedup: naive_eval_ns / kernel_eval_ns,
+        batch_eval_ns_per_replica,
+        batch_speedup: naive_eval_ns / batch_eval_ns_per_replica,
+        anneal_naive_us,
+        anneal_kernel_us,
+        anneal_batch_us_per_replica,
+    }
+}
+
+/// Default output location: the workspace root (two levels above this
+/// crate's manifest). Resolved at *runtime* where possible — the
+/// compile-time manifest path is only a fallback, so a relocated binary
+/// or moved checkout degrades to the current directory instead of
+/// panicking on a stale absolute path.
+fn default_out_path() -> String {
+    let candidates = [
+        std::env::var("CARGO_MANIFEST_DIR")
+            .ok()
+            .map(|d| format!("{d}/../../BENCH_phase_step.json")),
+        Some(format!(
+            "{}/../../BENCH_phase_step.json",
+            env!("CARGO_MANIFEST_DIR")
+        )),
+    ];
+    for c in candidates.into_iter().flatten() {
+        if std::path::Path::new(&c)
+            .parent()
+            .is_some_and(|p| p.is_dir())
+        {
+            return c;
+        }
+    }
+    "BENCH_phase_step.json".to_string()
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = Some(args.next().expect("--out requires a value")),
+            other => {
+                eprintln!("unknown argument {other:?}; valid: --quick, --out PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(default_out_path);
+    let sides: &[usize] = if quick { &[7] } else { &[7, 20, 32, 46] };
+    let (eval_budget, anneal_budget) = if quick { (0.05, 0.1) } else { (0.3, 0.6) };
+
+    let mut rows = Vec::new();
+    for &side in sides {
+        let row = bench_side(side, eval_budget, anneal_budget);
+        println!(
+            "kings {:>2}x{:<2} n={:<5} m={:<6} eval naive {:>9.1} ns | kernel {:>9.1} ns ({:>4.2}x) | batch/rep {:>9.1} ns ({:>4.2}x) | anneal1ns naive {:>8.1} us | kernel {:>8.1} us | batch/rep {:>8.1} us",
+            row.side, row.side, row.nodes, row.edges,
+            row.naive_eval_ns, row.kernel_eval_ns, row.kernel_speedup,
+            row.batch_eval_ns_per_replica, row.batch_speedup,
+            row.anneal_naive_us, row.anneal_kernel_us, row.anneal_batch_us_per_replica,
+        );
+        rows.push(row);
+    }
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"suite\": \"phase_step\",");
+    let _ = writeln!(json, "  \"unix_time\": {unix_time},");
+    let _ = writeln!(json, "  \"batch_replicas\": {BATCH_REPLICAS},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"graph\": \"kings_{side}x{side}\", \"nodes\": {nodes}, \"edges\": {edges}, \
+             \"naive_eval_ns\": {naive:.2}, \"kernel_eval_ns\": {kern:.2}, \
+             \"kernel_speedup\": {speed:.3}, \
+             \"batch_eval_ns_per_replica\": {batch:.2}, \"batch_speedup\": {bspeed:.3}, \
+             \"anneal_1ns_naive_us\": {an:.2}, \"anneal_1ns_kernel_us\": {ak:.2}, \
+             \"anneal_1ns_batch_us_per_replica\": {ab:.2}}}",
+            side = r.side,
+            nodes = r.nodes,
+            edges = r.edges,
+            naive = r.naive_eval_ns,
+            kern = r.kernel_eval_ns,
+            speed = r.kernel_speedup,
+            batch = r.batch_eval_ns_per_replica,
+            bspeed = r.batch_speedup,
+            an = r.anneal_naive_us,
+            ak = r.anneal_kernel_us,
+            ab = r.anneal_batch_us_per_replica,
+        );
+        json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

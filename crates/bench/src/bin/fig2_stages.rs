@@ -19,7 +19,11 @@ fn main() {
     // planar-drawable at this size and 4-chromatic (every 2x2 block is K4).
     let g = generators::kings_graph(4, 4);
     println!("== Fig. 2(a): the 4-colorable input graph ==");
-    println!("{} nodes, {} edges (4x4 King's graph; chromatic number 4)\n", g.num_nodes(), g.num_edges());
+    println!(
+        "{} nodes, {} edges (4x4 King's graph; chromatic number 4)\n",
+        g.num_nodes(),
+        g.num_edges()
+    );
 
     println!("== Fig. 2(b)/(d): SHIL phase targets ==");
     for (name, group, total) in [("SHIL 1", 0usize, 2usize), ("SHIL 2", 1, 2)] {

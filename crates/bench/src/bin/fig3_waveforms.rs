@@ -27,7 +27,10 @@ fn main() {
 
     // ---------- Circuit-level run ----------
     eprintln!("fig3: circuit-level transient of the 60 ns schedule...");
-    let mut array = CircuitArray::builder(&g).coupling_strength(0.18).shil_injection(6e-4).build();
+    let mut array = CircuitArray::builder(&g)
+        .coupling_strength(0.18)
+        .shil_injection(6e-4)
+        .build();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut state = array.random_state(&mut rng);
     let dt = 2e-3; // 2 ps
@@ -65,8 +68,8 @@ fn main() {
                 array.set_shil_enabled(false);
             }
             WindowKind::Lock => {
-                for i in 0..g.num_nodes() {
-                    array.set_shil_select(i, groups[i] % 2);
+                for (i, g) in groups.iter().enumerate() {
+                    array.set_shil_select(i, g % 2);
                 }
                 array.set_shil_enabled(true);
             }
@@ -75,12 +78,11 @@ fn main() {
         let stage = window.stage;
         array.run_observed(&mut state, window.t_start, window.duration, dt, |t, y| {
             // Decimate to 10 ps for the CSV.
-            if sample_count % 5 == 0 {
+            if sample_count.is_multiple_of(5) {
                 let volts: Vec<String> = (0..g.num_nodes())
                     .map(|i| format!("{:.4}", y[array.output_node(i)]))
                     .collect();
-                writeln!(file, "{t:.4},{label},{stage},{}", volts.join(","))
-                    .expect("write CSV");
+                writeln!(file, "{t:.4},{label},{stage},{}", volts.join(",")).expect("write CSV");
             }
             sample_count += 1;
         });
@@ -125,7 +127,7 @@ fn main() {
     .expect("write CSV");
     let mut count = 0usize;
     let solution = machine.solve_observed(&mut rng, |t, w, phases| {
-        if count % 20 == 0 {
+        if count.is_multiple_of(20) {
             let label = match w.kind {
                 WindowKind::Randomize => "randomize",
                 WindowKind::Anneal => "anneal",
@@ -135,8 +137,7 @@ fn main() {
                 .iter()
                 .map(|p| format!("{:.4}", p.rem_euclid(std::f64::consts::TAU)))
                 .collect();
-            writeln!(file, "{t:.4},{label},{},{}", w.stage, row.join(","))
-                .expect("write CSV");
+            writeln!(file, "{t:.4},{label},{},{}", w.stage, row.join(",")).expect("write CSV");
         }
         count += 1;
     });
@@ -163,7 +164,7 @@ fn main() {
     .expect("write CSV");
     let mut count2 = 0usize;
     machine2.solve_observed(&mut rng2, |t, w, phases| {
-        if count2 % 2 == 0 {
+        if count2.is_multiple_of(2) {
             let label = match w.kind {
                 WindowKind::Randomize => "randomize",
                 WindowKind::Anneal => "anneal",
@@ -173,8 +174,7 @@ fn main() {
                 .iter()
                 .map(|&p| format!("{}", msropm_osc::waveform::square_wave(t, f0, p)))
                 .collect();
-            writeln!(file, "{t:.4},{label},{},{}", w.stage, row.join(","))
-                .expect("write CSV");
+            writeln!(file, "{t:.4},{label},{},{}", w.stage, row.join(",")).expect("write CSV");
         }
         count2 += 1;
     });

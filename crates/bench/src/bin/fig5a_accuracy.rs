@@ -10,7 +10,13 @@ use msropm_core::{CutReference, ExperimentRunner, MsropmConfig};
 fn main() {
     let opts = Options::from_env();
     let mut summary = Table::new(vec![
-        "problem", "iters", "best", "mean", "worst", "paper best", "paper mean*",
+        "problem",
+        "iters",
+        "best",
+        "mean",
+        "worst",
+        "paper best",
+        "paper mean*",
     ]);
     // Paper reference points (sec. 4.1): 49-node best 1.00 / avg 0.98;
     // 400-node best 0.98; 1024-node best 0.97 (mean read off Fig. 5a).
@@ -19,7 +25,10 @@ fn main() {
     for side in paper_sides(opts.quick) {
         let bench = paper_benchmark(side);
         let nodes = bench.graph.num_nodes();
-        eprintln!("fig5a: solving {nodes}-node problem ({} iterations)...", opts.iters);
+        eprintln!(
+            "fig5a: solving {nodes}-node problem ({} iterations)...",
+            opts.iters
+        );
         let report = ExperimentRunner::new(MsropmConfig::paper_default())
             .iterations(opts.iters)
             .base_seed(opts.seed)

@@ -21,7 +21,10 @@ fn main() {
     for side in paper_sides(opts.quick) {
         let bench = paper_benchmark(side);
         let nodes = bench.graph.num_nodes();
-        eprintln!("fig5b: solving {nodes}-node problem ({} iterations)...", opts.iters);
+        eprintln!(
+            "fig5b: solving {nodes}-node problem ({} iterations)...",
+            opts.iters
+        );
         let report = ExperimentRunner::new(MsropmConfig::paper_default())
             .iterations(opts.iters)
             .base_seed(opts.seed)

@@ -15,7 +15,10 @@ fn main() {
     for side in paper_sides(opts.quick) {
         let bench = paper_benchmark(side);
         let nodes = bench.graph.num_nodes();
-        eprintln!("fig5c: solving {nodes}-node problem ({} iterations)...", opts.iters);
+        eprintln!(
+            "fig5c: solving {nodes}-node problem ({} iterations)...",
+            opts.iters
+        );
         let report = ExperimentRunner::new(MsropmConfig::paper_default())
             .iterations(opts.iters)
             .base_seed(opts.seed)
@@ -25,7 +28,10 @@ fn main() {
         let distances = report.hamming_distances();
         let hist = report.hamming_histogram(BINS);
         let stats = msropm_graph::metrics::Summary::of(&distances).expect("pairs exist");
-        println!("\n== {nodes}-node problem: pairwise Hamming distances ({} pairs) ==", distances.len());
+        println!(
+            "\n== {nodes}-node problem: pairwise Hamming distances ({} pairs) ==",
+            distances.len()
+        );
         println!(
             "mean={:.3} std={:.3} min={:.3} max={:.3}",
             stats.mean, stats.std_dev, stats.min, stats.max

@@ -10,7 +10,11 @@ use msropm_core::{CutReference, ExperimentRunner, MsropmConfig};
 
 fn main() {
     let opts = Options::from_env();
-    let sides: Vec<usize> = if opts.quick { vec![7, 20] } else { vec![7, 20, 32, 46] };
+    let sides: Vec<usize> = if opts.quick {
+        vec![7, 20]
+    } else {
+        vec![7, 20, 32, 46]
+    };
     let paper_rows: &[(usize, f64, f64)] = &[
         (7, 9.4, 1.00),
         (20, 60.3, 0.98),
@@ -36,7 +40,10 @@ fn main() {
     for &side in &sides {
         let bench = paper_benchmark(side);
         let nodes = bench.graph.num_nodes();
-        eprintln!("table1: solving {nodes}-node problem ({} iterations)...", opts.iters);
+        eprintln!(
+            "table1: solving {nodes}-node problem ({} iterations)...",
+            opts.iters
+        );
         let report = ExperimentRunner::new(MsropmConfig::paper_default())
             .iterations(opts.iters)
             .base_seed(opts.seed)

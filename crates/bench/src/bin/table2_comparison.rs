@@ -147,11 +147,51 @@ fn main() {
 
     // ---- literature rows (published constants; not runnable here) ----
     for (solver, ty, cop, spins, pow, time, acc) in [
-        ("CPM [13]", "Potts", "4-coloring", "47", "DNR", "500 us", "50% success rate"),
-        ("Optical CPM [11]", "Potts", "3-coloring", "30", "DNR", "DNR", "0.50-1.00"),
-        ("RTWOIM [9]", "Ising", "Max-Cut", "2750", "17.48 W", "10 ns", "0.91-0.94"),
-        ("ROIM [8] (published)", "Ising", "Max-Cut", "1968", "42 mW", "50 ns", "0.89-1.00"),
-        ("ROPM [14] (published)", "Potts", "3-coloring", "2000", "1.548 W", "11 ns", "0.83-0.92"),
+        (
+            "CPM [13]",
+            "Potts",
+            "4-coloring",
+            "47",
+            "DNR",
+            "500 us",
+            "50% success rate",
+        ),
+        (
+            "Optical CPM [11]",
+            "Potts",
+            "3-coloring",
+            "30",
+            "DNR",
+            "DNR",
+            "0.50-1.00",
+        ),
+        (
+            "RTWOIM [9]",
+            "Ising",
+            "Max-Cut",
+            "2750",
+            "17.48 W",
+            "10 ns",
+            "0.91-0.94",
+        ),
+        (
+            "ROIM [8] (published)",
+            "Ising",
+            "Max-Cut",
+            "1968",
+            "42 mW",
+            "50 ns",
+            "0.89-1.00",
+        ),
+        (
+            "ROPM [14] (published)",
+            "Potts",
+            "3-coloring",
+            "2000",
+            "1.548 W",
+            "11 ns",
+            "0.83-0.92",
+        ),
     ] {
         table.row(vec![
             solver.into(),

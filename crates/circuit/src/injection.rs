@@ -85,7 +85,10 @@ impl ShilSignal {
     /// Panics if `waves` is empty or `g_inject < 0`.
     pub fn new(tech: Technology, waves: Vec<ShilWave>, g_inject: f64) -> Self {
         assert!(!waves.is_empty(), "need at least one SHIL clock");
-        assert!(g_inject >= 0.0, "injection conductance must be non-negative");
+        assert!(
+            g_inject >= 0.0,
+            "injection conductance must be non-negative"
+        );
         ShilSignal {
             tech,
             waves,

@@ -138,8 +138,12 @@ mod tests {
         let double = Inverter::with_strength(t, 2.0);
         let weak = Inverter::with_strength(t, 0.25);
         let (vin, vout) = (0.2, 0.5);
-        assert!((double.output_current(vin, vout) - 2.0 * unit.output_current(vin, vout)).abs() < 1e-15);
-        assert!((weak.output_current(vin, vout) - 0.25 * unit.output_current(vin, vout)).abs() < 1e-15);
+        assert!(
+            (double.output_current(vin, vout) - 2.0 * unit.output_current(vin, vout)).abs() < 1e-15
+        );
+        assert!(
+            (weak.output_current(vin, vout) - 0.25 * unit.output_current(vin, vout)).abs() < 1e-15
+        );
     }
 
     #[test]

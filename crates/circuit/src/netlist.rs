@@ -304,7 +304,8 @@ impl CircuitArray {
                 continue;
             }
             for stage in 0..self.num_stages {
-                let vin = state[self.node_index(osc, (stage + self.num_stages - 1) % self.num_stages)];
+                let vin =
+                    state[self.node_index(osc, (stage + self.num_stages - 1) % self.num_stages)];
                 let vout = state[self.node_index(osc, stage)];
                 i_total += self.inverter.supply_current(vin, vout);
             }
@@ -383,7 +384,6 @@ impl OdeSystem for CircuitArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::readout::measure_phase;
     use msropm_graph::generators;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -125,6 +125,7 @@ impl PowerModel {
 /// # Panics
 ///
 /// Panics if the system is singular.
+#[allow(clippy::needless_range_loop)] // tiny fixed-size Gaussian elimination
 fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
     for col in 0..3 {
         // Pivot.

@@ -314,7 +314,9 @@ mod tests {
         let phase = measure_phase(&array, &state, 0, 8.0, 1e-3).expect("oscillates");
         let bank = ReferenceBank::new(array.f0_ghz(), 4, 0.0);
         let sampler = DffPhaseSampler::new(bank, 8.0, 1e-3);
-        let color = sampler.read_color(&array, &state, 0, 0.0).expect("readable");
+        let color = sampler
+            .read_color(&array, &state, 0, 0.0)
+            .expect("readable");
         // The color bucket must contain the measured phase (within half a
         // window of slack for frequency mismatch over the window).
         let bucket_center = TAU * color as f64 / 4.0;

@@ -68,13 +68,7 @@ impl RingOscillator {
     pub fn startup_state(&self) -> Vec<f64> {
         let vdd = self.tech().vdd;
         (0..self.num_stages)
-            .map(|k| {
-                if k == 0 {
-                    vdd
-                } else {
-                    1e-3 * vdd * (k as f64)
-                }
-            })
+            .map(|k| if k == 0 { vdd } else { 1e-3 * vdd * (k as f64) })
             .collect()
     }
 

@@ -139,6 +139,9 @@ mod tests {
     fn switch_energy_positive() {
         let t = Technology::default();
         assert!(t.node_switch_energy() > 0.0);
-        assert!((t.node_switch_energy() - t.c_node).abs() < 1e-18, "VDD=1 => E=C");
+        assert!(
+            (t.node_switch_energy() - t.c_node).abs() < 1e-18,
+            "VDD=1 => E=C"
+        );
     }
 }

@@ -57,7 +57,10 @@ pub fn time_to_solution_ns(
 ///
 /// Panics if `fraction` is not in `(0, 1]` or the report is empty.
 pub fn accuracy_quantile(report: &ExperimentReport, fraction: f64) -> f64 {
-    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1]"
+    );
     let mut acc = report.accuracies();
     assert!(!acc.is_empty(), "report has no iterations");
     acc.sort_by(|a, b| b.partial_cmp(a).expect("accuracies are finite"));

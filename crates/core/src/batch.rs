@@ -1,0 +1,366 @@
+//! Multi-replica batch execution of the divide-and-color schedule.
+//!
+//! The paper's experiments run 40 independent iterations per problem;
+//! [`solve_batch_sharded`] advances all of them through the full
+//! multi-stage schedule as one interleaved SoA sweep per thread (see
+//! [`msropm_osc::batch`] for the kernel layout). Per-replica gating
+//! (`P_EN` lanes) and `SHIL_SEL` assignments evolve independently across
+//! stage transitions, exactly as `Msropm::solve` evolves them for a
+//! single run.
+//!
+//! # Determinism contract
+//!
+//! Replica `i` performs bit-for-bit the floating-point operations and RNG
+//! draws of a standalone `Msropm::solve` seeded with `seeds[i]`:
+//!
+//! - every replica draws noise, initial phases and (optionally) frequency
+//!   offsets from its **own** `StdRng`, in the order a sequential run
+//!   would;
+//! - the interleaved drift sweep visits edges in the same (edge-id) order
+//!   as the scalar compiled kernel, and gated lanes contribute exact
+//!   IEEE `±0` terms;
+//! - threads shard replicas into disjoint contiguous ranges, and a
+//!   replica's trajectory never depends on its range.
+//!
+//! Hence colorings (and final phases) are identical across thread counts
+//! and identical to a sequential iteration loop — property-tested in the
+//! workspace root's `tests/batch_determinism.rs`.
+
+use crate::config::{MsropmConfig, ReinitMode};
+use crate::machine::{MsropmSolution, StageRecord};
+use crate::schedule::{Schedule, WindowKind};
+use msropm_graph::{Color, Coloring, Cut, Graph};
+use msropm_osc::batch::{BatchIntegrator, BatchKernel};
+use msropm_osc::lock::{lock_error, phase_to_spin};
+use msropm_osc::shil::{stage_shil_phase, Shil};
+use msropm_osc::PhaseNetwork;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::TAU;
+
+/// Runs one batch of replicas, sharded over at most `threads` OS threads
+/// (disjoint contiguous seed ranges; the outputs are concatenated in seed
+/// order). `sample_spread` reproduces `Msropm::with_frequency_spread`
+/// semantics: each replica first draws per-oscillator frequency offsets
+/// from its own RNG, before any phase draws.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `config` is inconsistent.
+pub(crate) fn solve_batch_sharded(
+    graph: &Graph,
+    config: &MsropmConfig,
+    network: &PhaseNetwork,
+    seeds: &[u64],
+    sample_spread: bool,
+    threads: usize,
+) -> Vec<MsropmSolution> {
+    assert!(threads > 0, "need at least one thread");
+    config.validate();
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.min(seeds.len());
+    if threads == 1 {
+        return solve_batch_range(graph, config, network, seeds, sample_spread);
+    }
+    let chunk_len = seeds.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope
+                    .spawn(move |_| solve_batch_range(graph, config, network, chunk, sample_spread))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(seeds.len());
+        for h in handles {
+            out.extend(h.join().expect("batch worker thread panicked"));
+        }
+        out
+    })
+    .expect("crossbeam scope")
+}
+
+/// Runs one contiguous replica range as a single interleaved batch.
+fn solve_batch_range(
+    graph: &Graph,
+    config: &MsropmConfig,
+    network: &PhaseNetwork,
+    seeds: &[u64],
+    sample_spread: bool,
+) -> Vec<MsropmSolution> {
+    let n = graph.num_nodes();
+    let rr = seeds.len();
+    let k = config.num_stages();
+    let dt = config.dt;
+    let schedule = Schedule::from_config(config);
+
+    let mut rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+    let mut kernel = BatchKernel::new(network, rr);
+    // Start-of-run control state, mirroring `Msropm::solve`: every P_EN
+    // high, SHIL off.
+    for e in 0..graph.num_edges() {
+        for r in 0..rr {
+            kernel.set_edge_enabled(e, r, true);
+        }
+    }
+    kernel.set_shil_enabled(false);
+
+    // Runner semantics: frequency offsets are the replica's first draws.
+    if sample_spread && config.frequency_spread > 0.0 {
+        for (r, rng) in rngs.iter_mut().enumerate() {
+            for i in 0..n {
+                kernel.set_bias(
+                    i,
+                    r,
+                    config.frequency_spread * msropm_ode::sde::standard_normal(rng),
+                );
+            }
+        }
+    }
+
+    // Startup randomization: i.i.d. uniform phases, per replica in node
+    // order (the order `PhaseNetwork::random_phases` draws).
+    let mut phases = vec![0.0; n * rr];
+    for (r, rng) in rngs.iter_mut().enumerate() {
+        for i in 0..n {
+            phases[i * rr + r] = rng.gen::<f64>() * TAU;
+        }
+    }
+
+    let mut groups = vec![0usize; n * rr];
+    let mut bits = vec![false; n * rr];
+    let mut stage_records: Vec<Vec<StageRecord>> = vec![Vec::with_capacity(k); rr];
+    let mut stage_shils: Vec<Shil> = Vec::with_capacity(1 << (k - 1));
+    let mut integrator = BatchIntegrator::new();
+    let mut windows = schedule.windows().iter();
+
+    for stage in 1..=k {
+        let num_groups = 1usize << (stage - 1);
+
+        // ---- Randomize window (couplings off, SHIL off) ----
+        let w_init = windows.next().expect("schedule has init window");
+        debug_assert_eq!(w_init.kind, WindowKind::Randomize);
+        kernel.set_couplings_enabled(false);
+        kernel.set_shil_enabled(false);
+        match config.reinit {
+            ReinitMode::UniformRandom => {
+                for (r, rng) in rngs.iter_mut().enumerate() {
+                    for i in 0..n {
+                        phases[i * rr + r] = rng.gen::<f64>() * TAU;
+                    }
+                }
+            }
+            ReinitMode::JitterDrift { sigma } => {
+                let saved = kernel.noise_amplitude();
+                kernel.set_noise_amplitude(sigma);
+                integrator.integrate(
+                    &kernel,
+                    &mut phases,
+                    w_init.t_start,
+                    w_init.t_end(),
+                    dt,
+                    &mut rngs,
+                );
+                kernel.set_noise_amplitude(saved);
+            }
+        }
+
+        // ---- Anneal window (couplings on, SHIL off) ----
+        let w_anneal = windows.next().expect("schedule has anneal window");
+        debug_assert_eq!(w_anneal.kind, WindowKind::Anneal);
+        kernel.set_couplings_enabled(true);
+        integrator.integrate(
+            &kernel,
+            &mut phases,
+            w_anneal.t_start,
+            w_anneal.t_end(),
+            dt,
+            &mut rngs,
+        );
+
+        // ---- Lock window (couplings on, SHIL on) ----
+        let w_lock = windows.next().expect("schedule has lock window");
+        debug_assert_eq!(w_lock.kind, WindowKind::Lock);
+        stage_shils.clear();
+        stage_shils.extend(
+            (0..num_groups)
+                .map(|g| Shil::order2(stage_shil_phase(g, num_groups), config.shil_strength)),
+        );
+        for i in 0..n {
+            for r in 0..rr {
+                kernel.set_shil(i, r, Some(stage_shils[groups[i * rr + r]]));
+            }
+        }
+        kernel.set_shil_enabled(true);
+        if config.shil_ramp {
+            integrator.integrate_ramped(
+                &mut kernel,
+                &mut phases,
+                w_lock.t_start,
+                w_lock.t_end(),
+                dt,
+                &mut rngs,
+                |f| f,
+            );
+        } else {
+            integrator.integrate(
+                &kernel,
+                &mut phases,
+                w_lock.t_start,
+                w_lock.t_end(),
+                dt,
+                &mut rngs,
+            );
+        }
+
+        // ---- Readout (per replica) ----
+        for idx in 0..n * rr {
+            bits[idx] = phase_to_spin(phases[idx], &stage_shils[groups[idx]]) == 1;
+        }
+        for r in 0..rr {
+            let worst_lock = (0..n)
+                .map(|i| lock_error(phases[i * rr + r], &stage_shils[groups[i * rr + r]]))
+                .fold(0.0f64, f64::max);
+            let replica_bits: Vec<bool> = (0..n).map(|i| bits[i * rr + r]).collect();
+            let mut cut_value = 0usize;
+            let mut active_edges = 0usize;
+            for (e, u, v) in graph.edges() {
+                if kernel.edge_enabled(e.index(), r) {
+                    active_edges += 1;
+                    if replica_bits[u.index()] != replica_bits[v.index()] {
+                        cut_value += 1;
+                    }
+                }
+            }
+            stage_records[r].push(StageRecord {
+                stage,
+                partition: Cut::new(replica_bits),
+                cut_value,
+                active_edges,
+                max_lock_error: worst_lock,
+            });
+        }
+
+        // ---- Stage transition: latch SHIL_SEL, cut crossing couplings.
+        for idx in 0..n * rr {
+            groups[idx] = groups[idx] * 2 + usize::from(bits[idx]);
+        }
+        for (e, u, v) in graph.edges() {
+            let (u, v) = (u.index() * rr, v.index() * rr);
+            for r in 0..rr {
+                if groups[u + r] != groups[v + r] {
+                    kernel.set_edge_enabled(e.index(), r, false);
+                }
+            }
+        }
+        kernel.set_shil_enabled(false);
+    }
+
+    stage_records
+        .into_iter()
+        .enumerate()
+        .map(|(r, stages)| {
+            let coloring: Coloring = (0..n).map(|i| Color(groups[i * rr + r] as u16)).collect();
+            MsropmSolution {
+                coloring,
+                stages,
+                final_phases: (0..n).map(|i| phases[i * rr + r]).collect(),
+                total_time_ns: schedule.total_time_ns(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Msropm;
+    use msropm_graph::generators;
+
+    fn fast_config() -> MsropmConfig {
+        MsropmConfig {
+            dt: 0.02,
+            ..MsropmConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn batch_replicas_match_sequential_solves_bitwise() {
+        let g = generators::kings_graph(4, 4);
+        let machine = Msropm::new(&g, fast_config());
+        let seeds: Vec<u64> = (100..108).collect();
+        let batch = machine.solve_batch(&seeds, 1);
+        assert_eq!(batch.len(), seeds.len());
+        for (r, &seed) in seeds.iter().enumerate() {
+            let mut solo_machine = machine.clone();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let solo = solo_machine.solve(&mut rng);
+            assert_eq!(batch[r].coloring, solo.coloring, "replica {r} coloring");
+            for (a, b) in batch[r].final_phases.iter().zip(&solo.final_phases) {
+                assert_eq!(a.to_bits(), b.to_bits(), "replica {r} phases diverged");
+            }
+            assert_eq!(batch[r].stages.len(), solo.stages.len());
+            for (sa, sb) in batch[r].stages.iter().zip(&solo.stages) {
+                assert_eq!(sa.cut_value, sb.cut_value);
+                assert_eq!(sa.active_edges, sb.active_edges);
+                assert_eq!(sa.partition, sb.partition);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_is_invisible() {
+        let g = generators::kings_graph(4, 4);
+        let machine = Msropm::new(&g, fast_config());
+        let seeds: Vec<u64> = (7..17).collect();
+        let one = machine.solve_batch(&seeds, 1);
+        let four = machine.solve_batch(&seeds, 4);
+        let many = machine.solve_batch(&seeds, 64);
+        for r in 0..seeds.len() {
+            assert_eq!(one[r].coloring, four[r].coloring);
+            assert_eq!(one[r].coloring, many[r].coloring);
+            for (a, b) in one[r].final_phases.iter().zip(&four[r].final_phases) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn ramped_batch_matches_sequential() {
+        let g = generators::kings_graph(3, 3);
+        let machine = Msropm::new(&g, fast_config().with_shil_ramp(true));
+        let seeds = [41u64, 42];
+        let batch = machine.solve_batch(&seeds, 2);
+        for (r, &seed) in seeds.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let solo = machine.clone().solve(&mut rng);
+            assert_eq!(batch[r].coloring, solo.coloring, "ramped replica {r}");
+        }
+    }
+
+    #[test]
+    fn defective_oscillators_carry_into_batch() {
+        let g = generators::kings_graph(3, 3);
+        let mut machine = Msropm::new(&g, fast_config());
+        machine.set_oscillator_enabled(4, false);
+        let seeds = [9u64, 10];
+        let batch = machine.solve_batch(&seeds, 1);
+        for (r, &seed) in seeds.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let solo = machine.clone().solve(&mut rng);
+            assert_eq!(
+                batch[r].coloring, solo.coloring,
+                "replica {r} with dead ring"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_seed_list_is_empty_batch() {
+        let g = generators::path_graph(2);
+        let machine = Msropm::new(&g, fast_config());
+        assert!(machine.solve_batch(&[], 4).is_empty());
+    }
+}

@@ -130,10 +130,7 @@ impl CircuitMsropm {
                 }
                 WindowKind::Anneal => {
                     for (e, u, v) in g.edges() {
-                        array.set_edge_enabled(
-                            e.index(),
-                            groups[u.index()] == groups[v.index()],
-                        );
+                        array.set_edge_enabled(e.index(), groups[u.index()] == groups[v.index()]);
                     }
                     array.set_shil_enabled(false);
                     array.run(&mut state, t_abs, duration, dt);
@@ -177,7 +174,11 @@ impl CircuitMsropm {
     /// # Panics
     ///
     /// Panics if `iterations == 0`.
-    pub fn solve_best_of<R: Rng + ?Sized>(&self, iterations: usize, rng: &mut R) -> CircuitSolution {
+    pub fn solve_best_of<R: Rng + ?Sized>(
+        &self,
+        iterations: usize,
+        rng: &mut R,
+    ) -> CircuitSolution {
         assert!(iterations > 0, "need at least one iteration");
         let mut best: Option<(f64, CircuitSolution)> = None;
         for _ in 0..iterations {
@@ -230,7 +231,10 @@ mod tests {
         let cfg = CircuitMsropmConfig::default();
         let m = CircuitMsropm::new(&g, cfg);
         assert_eq!(m.graph().num_nodes(), 2);
-        assert!((m.total_time_ns() - 120.0).abs() < 1e-9, "2x-stretched 60 ns");
+        assert!(
+            (m.total_time_ns() - 120.0).abs() < 1e-9,
+            "2x-stretched 60 ns"
+        );
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! Machine configuration: dynamics parameters and stage timings.
 
+use msropm_graph::Graph;
+use msropm_osc::PhaseNetwork;
+use rand::Rng;
+
 /// How oscillator phases are (re-)randomized at startup and between stages.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ReinitMode {
@@ -108,7 +112,10 @@ impl MsropmConfig {
         assert!(self.coupling_strength >= 0.0, "coupling must be >= 0");
         assert!(self.shil_strength >= 0.0, "SHIL strength must be >= 0");
         assert!(self.noise >= 0.0, "noise must be >= 0");
-        assert!(self.frequency_spread >= 0.0, "frequency spread must be >= 0");
+        assert!(
+            self.frequency_spread >= 0.0,
+            "frequency spread must be >= 0"
+        );
         assert!(
             self.t_init >= 0.0 && self.t_anneal >= 0.0 && self.t_lock >= 0.0,
             "window durations must be >= 0"
@@ -139,6 +146,32 @@ impl MsropmConfig {
     pub fn with_noise(mut self, sigma: f64) -> Self {
         self.noise = sigma;
         self
+    }
+
+    /// Maps this config onto `g`'s base oscillator network, with no
+    /// frequency spread. The single construction recipe shared by
+    /// `Msropm::new` and the batched experiment runner, so the two can
+    /// never drift apart.
+    pub(crate) fn build_network(&self, g: &Graph) -> PhaseNetwork {
+        PhaseNetwork::builder(g)
+            .coupling_strength(self.coupling_strength)
+            .noise(self.noise)
+            .build()
+    }
+
+    /// Like [`MsropmConfig::build_network`] but samples per-oscillator
+    /// frequency offsets (process variation) from `rng` — the recipe
+    /// behind `Msropm::with_frequency_spread` and the sequential runner.
+    pub(crate) fn build_network_with_spread<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        rng: &mut R,
+    ) -> PhaseNetwork {
+        PhaseNetwork::builder(g)
+            .coupling_strength(self.coupling_strength)
+            .noise(self.noise)
+            .frequency_spread(self.frequency_spread)
+            .build_with_spread(rng)
     }
 }
 

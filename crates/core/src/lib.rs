@@ -48,6 +48,7 @@
 
 pub mod analysis;
 pub mod baselines;
+pub mod batch;
 pub mod circuit_machine;
 pub mod config;
 pub mod machine;

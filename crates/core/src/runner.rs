@@ -3,8 +3,11 @@
 //!
 //! §4: *"40 iterations (i.e. repeated runs) are performed for each problem,
 //! allowing the MSROPM to explore the solution space"*; the best solution
-//! among iterations is the reported answer. Iterations are independent, so
-//! the runner executes them on scoped threads (`crossbeam`).
+//! among iterations is the reported answer. Iterations are independent;
+//! the runner advances them as interleaved multi-replica batches (one SoA
+//! sweep per worker thread, see [`crate::batch`]), which is bit-identical
+//! to — and much faster than — the sequential per-iteration loop that
+//! [`ExperimentRunner::run_sequential`] retains as the reference.
 
 use crate::config::MsropmConfig;
 use crate::machine::{Msropm, MsropmSolution};
@@ -168,7 +171,9 @@ impl ExperimentRunner {
             CutReference::Value(v) => v.max(1),
             CutReference::Auto => {
                 if g.num_nodes() <= 22 {
-                    msropm_sat::branch_and_bound_max_cut(g, u64::MAX).value.max(1)
+                    msropm_sat::branch_and_bound_max_cut(g, u64::MAX)
+                        .value
+                        .max(1)
                 } else {
                     // Best of several tabu restarts.
                     let mut rng = StdRng::seed_from_u64(self.base_seed ^ 0xC0FFEE);
@@ -184,77 +189,85 @@ impl ExperimentRunner {
         }
     }
 
+    /// The per-iteration RNG seeds (`base_seed + i`).
+    fn seeds(&self) -> Vec<u64> {
+        (0..self.iterations)
+            .map(|i| self.base_seed.wrapping_add(i as u64))
+            .collect()
+    }
+
+    fn outcome_from_solution(
+        g: &Graph,
+        reference: usize,
+        iteration: usize,
+        seed: u64,
+        sol: MsropmSolution,
+    ) -> IterationOutcome {
+        let accuracy = sol.coloring.accuracy(g);
+        let stage1_cut = sol.stages[0].cut_value;
+        IterationOutcome {
+            iteration,
+            seed,
+            coloring: sol.coloring,
+            accuracy,
+            stage1_cut,
+            stage1_accuracy: max_cut_accuracy(stage1_cut, reference).min(1.0),
+        }
+    }
+
     /// Runs the experiment on `g` and aggregates the report.
+    ///
+    /// Iterations are advanced as multi-replica batches sharded over the
+    /// configured thread count — results are bit-identical to
+    /// [`ExperimentRunner::run_sequential`] regardless of `threads`.
     pub fn run(&self, g: &Graph) -> ExperimentReport {
+        self.config.validate();
+        let reference = self.resolve_cut_reference(g);
+        let threads = self.threads.min(self.iterations).max(1);
+        // The no-spread base network; per-replica frequency offsets are
+        // sampled inside the batch driver from each replica's own RNG,
+        // matching `Msropm::with_frequency_spread` + `solve`.
+        let network = self.config.build_network(g);
+        let seeds = self.seeds();
+        let solutions =
+            crate::batch::solve_batch_sharded(g, &self.config, &network, &seeds, true, threads);
+        let outcomes = solutions
+            .into_iter()
+            .zip(&seeds)
+            .enumerate()
+            .map(|(i, (sol, &seed))| Self::outcome_from_solution(g, reference, i, seed, sol))
+            .collect();
+        ExperimentReport {
+            outcomes,
+            cut_reference: reference,
+            time_per_iteration_ns: self.config.total_time_ns(),
+        }
+    }
+
+    /// The reference implementation of [`ExperimentRunner::run`]: one
+    /// machine per iteration, solved sequentially on a single thread.
+    /// Kept for verification (the batch determinism tests pin `run` to
+    /// this) and as the fallback shape for profiling single iterations.
+    pub fn run_sequential(&self, g: &Graph) -> ExperimentReport {
         let reference = self.resolve_cut_reference(g);
         let config = self.config;
-        let iterations = self.iterations;
-        let base_seed = self.base_seed;
-        let threads = self.threads.min(iterations).max(1);
-
-        let mut outcomes: Vec<Option<IterationOutcome>> = vec![None; iterations];
-        let chunks = split_indices(iterations, threads);
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in chunks {
-                let g_ref = &g;
-                handles.push(scope.spawn(move |_| {
-                    chunk
-                        .into_iter()
-                        .map(|i| {
-                            let seed = base_seed.wrapping_add(i as u64);
-                            let mut rng = StdRng::seed_from_u64(seed);
-                            let mut machine =
-                                Msropm::with_frequency_spread(g_ref, config, &mut rng);
-                            let sol: MsropmSolution = machine.solve(&mut rng);
-                            let accuracy = sol.coloring.accuracy(g_ref);
-                            let stage1_cut = sol.stages[0].cut_value;
-                            IterationOutcome {
-                                iteration: i,
-                                seed,
-                                coloring: sol.coloring,
-                                accuracy,
-                                stage1_cut,
-                                stage1_accuracy: max_cut_accuracy(stage1_cut, reference)
-                                    .min(1.0),
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                for outcome in h.join().expect("worker thread panicked") {
-                    let idx = outcome.iteration;
-                    outcomes[idx] = Some(outcome);
-                }
-            }
-        })
-        .expect("crossbeam scope");
-
+        let outcomes = self
+            .seeds()
+            .into_iter()
+            .enumerate()
+            .map(|(i, seed)| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut machine = Msropm::with_frequency_spread(g, config, &mut rng);
+                let sol = machine.solve(&mut rng);
+                Self::outcome_from_solution(g, reference, i, seed, sol)
+            })
+            .collect();
         ExperimentReport {
-            outcomes: outcomes
-                .into_iter()
-                .map(|o| o.expect("all iterations completed"))
-                .collect(),
+            outcomes,
             cut_reference: reference,
             time_per_iteration_ns: config.total_time_ns(),
         }
     }
-}
-
-/// Splits `0..n` into at most `parts` contiguous chunks of near-equal size.
-fn split_indices(n: usize, parts: usize) -> Vec<Vec<usize>> {
-    let parts = parts.min(n).max(1);
-    let mut out = Vec::with_capacity(parts);
-    let base = n / parts;
-    let extra = n % parts;
-    let mut start = 0;
-    for p in 0..parts {
-        let len = base + usize::from(p < extra);
-        out.push((start..start + len).collect());
-        start += len;
-    }
-    out
 }
 
 #[cfg(test)]
@@ -270,12 +283,19 @@ mod tests {
     }
 
     #[test]
-    fn split_indices_covers_everything() {
-        for (n, p) in [(10, 3), (40, 8), (5, 10), (1, 1), (7, 7)] {
-            let chunks = split_indices(n, p);
-            let mut all: Vec<usize> = chunks.into_iter().flatten().collect();
-            all.sort_unstable();
-            assert_eq!(all, (0..n).collect::<Vec<_>>(), "n={n} p={p}");
+    fn batched_run_matches_sequential_reference() {
+        let g = generators::kings_graph(4, 4);
+        let runner = ExperimentRunner::new(fast_config())
+            .iterations(6)
+            .base_seed(17)
+            .threads(3);
+        let batched = runner.run(&g);
+        let sequential = runner.run_sequential(&g);
+        assert_eq!(batched.accuracies(), sequential.accuracies());
+        for (a, b) in batched.outcomes.iter().zip(&sequential.outcomes) {
+            assert_eq!(a.coloring, b.coloring);
+            assert_eq!(a.stage1_cut, b.stage1_cut);
+            assert_eq!(a.seed, b.seed);
         }
     }
 

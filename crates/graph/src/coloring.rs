@@ -214,7 +214,10 @@ pub fn greedy_coloring(g: &Graph, order: &[NodeId]) -> Coloring {
     let mut colors: Vec<Option<Color>> = vec![None; g.num_nodes()];
     let mut forbidden = vec![false; g.max_degree() + 1];
     for &v in order {
-        assert!(colors[v.index()].is_none(), "node {v} appears twice in order");
+        assert!(
+            colors[v.index()].is_none(),
+            "node {v} appears twice in order"
+        );
         forbidden.fill(false);
         for (w, _) in g.neighbors(v) {
             if let Some(c) = colors[w.index()] {
@@ -230,7 +233,10 @@ pub fn greedy_coloring(g: &Graph, order: &[NodeId]) -> Coloring {
         colors[v.index()] = Some(Color(c as u16));
     }
     Coloring {
-        colors: colors.into_iter().map(|c| c.expect("all nodes colored")).collect(),
+        colors: colors
+            .into_iter()
+            .map(|c| c.expect("all nodes colored"))
+            .collect(),
     }
 }
 
@@ -269,7 +275,10 @@ pub fn dsatur(g: &Graph) -> Coloring {
         uncolored -= 1;
     }
     Coloring {
-        colors: colors.into_iter().map(|c| c.expect("all nodes colored")).collect(),
+        colors: colors
+            .into_iter()
+            .map(|c| c.expect("all nodes colored"))
+            .collect(),
     }
 }
 
@@ -464,7 +473,10 @@ mod tests {
         let c = Coloring::random(100, 4, &mut rng);
         assert_eq!(c.len(), 100);
         assert!(c.color_range() <= 4);
-        assert!(c.num_colors_used() >= 2, "100 random draws should hit >1 color");
+        assert!(
+            c.num_colors_used() >= 2,
+            "100 random draws should hit >1 color"
+        );
     }
 
     #[test]
@@ -500,7 +512,10 @@ mod tests {
         assert_eq!(c.color(NodeId::new(6)), Color(3));
         let size = kempe_chain_swap(&g, &mut c, NodeId::new(6), Color(0));
         assert!(size >= 1);
-        assert!(c.is_proper(&g), "Kempe interchange must preserve properness");
+        assert!(
+            c.is_proper(&g),
+            "Kempe interchange must preserve properness"
+        );
         // Vertex 6 now carries the other color of its chain pair.
         assert_eq!(c.color(NodeId::new(6)), Color(0));
     }

@@ -34,7 +34,10 @@ use rand::Rng;
 /// assert_eq!(kings_graph(7, 7).num_edges(), 156);
 /// ```
 pub fn kings_graph(rows: usize, cols: usize) -> Graph {
-    assert!(rows > 0 && cols > 0, "kings_graph requires a non-empty board");
+    assert!(
+        rows > 0 && cols > 0,
+        "kings_graph requires a non-empty board"
+    );
     let idx = |r: usize, c: usize| r * cols + c;
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
@@ -46,10 +49,12 @@ pub fn kings_graph(rows: usize, cols: usize) -> Graph {
             if r + 1 < rows {
                 b.add_edge(idx(r, c), idx(r + 1, c)).expect("valid edge");
                 if c + 1 < cols {
-                    b.add_edge(idx(r, c), idx(r + 1, c + 1)).expect("valid edge");
+                    b.add_edge(idx(r, c), idx(r + 1, c + 1))
+                        .expect("valid edge");
                 }
                 if c > 0 {
-                    b.add_edge(idx(r, c), idx(r + 1, c - 1)).expect("valid edge");
+                    b.add_edge(idx(r, c), idx(r + 1, c - 1))
+                        .expect("valid edge");
                 }
             }
         }
@@ -68,7 +73,10 @@ pub fn kings_graph_square(side: usize) -> Graph {
 ///
 /// Panics if `rows == 0 || cols == 0`.
 pub fn grid_graph(rows: usize, cols: usize) -> Graph {
-    assert!(rows > 0 && cols > 0, "grid_graph requires a non-empty board");
+    assert!(
+        rows > 0 && cols > 0,
+        "grid_graph requires a non-empty board"
+    );
     let idx = |r: usize, c: usize| r * cols + c;
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
@@ -92,7 +100,10 @@ pub fn grid_graph(rows: usize, cols: usize) -> Graph {
 ///
 /// Panics if `rows == 0 || cols == 0`.
 pub fn triangular_lattice(rows: usize, cols: usize) -> Graph {
-    assert!(rows > 0 && cols > 0, "triangular_lattice requires a non-empty board");
+    assert!(
+        rows > 0 && cols > 0,
+        "triangular_lattice requires a non-empty board"
+    );
     let idx = |r: usize, c: usize| r * cols + c;
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
@@ -103,7 +114,8 @@ pub fn triangular_lattice(rows: usize, cols: usize) -> Graph {
             if r + 1 < rows {
                 b.add_edge(idx(r, c), idx(r + 1, c)).expect("valid edge");
                 if c + 1 < cols {
-                    b.add_edge(idx(r, c), idx(r + 1, c + 1)).expect("valid edge");
+                    b.add_edge(idx(r, c), idx(r + 1, c + 1))
+                        .expect("valid edge");
                 }
             }
         }
@@ -119,7 +131,10 @@ pub fn triangular_lattice(rows: usize, cols: usize) -> Graph {
 ///
 /// Panics if `rows == 0 || cols == 0`.
 pub fn hex_lattice(rows: usize, cols: usize) -> Graph {
-    assert!(rows > 0 && cols > 0, "hex_lattice requires a non-empty board");
+    assert!(
+        rows > 0 && cols > 0,
+        "hex_lattice requires a non-empty board"
+    );
     let idx = |r: usize, c: usize| r * cols + c;
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
@@ -217,7 +232,9 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 /// between pairs closer than `radius`. Produces planar-ish, locally coupled
 /// instances resembling physical oscillator placements.
 pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> Graph {
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let r2 = radius * radius;
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
@@ -420,7 +437,7 @@ mod tests {
         }
         // Round-robin assignment guarantees all classes non-empty.
         for k in 0..4 {
-            assert!(classes.iter().any(|&c| c == k));
+            assert!(classes.contains(&k));
         }
     }
 

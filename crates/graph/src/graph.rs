@@ -95,7 +95,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::SelfLoop(v) => write!(f, "self-loop at {v} is not allowed"),
             GraphError::DuplicateEdge(u, v) => {
@@ -446,12 +449,7 @@ impl Graph {
 
 impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Graph(n={}, m={})",
-            self.num_nodes,
-            self.edges.len()
-        )
+        write!(f, "Graph(n={}, m={})", self.num_nodes, self.edges.len())
     }
 }
 
@@ -482,7 +480,10 @@ mod tests {
     #[test]
     fn builder_rejects_self_loop() {
         let mut b = GraphBuilder::new(2);
-        assert_eq!(b.add_edge(1, 1).unwrap_err(), GraphError::SelfLoop(NodeId::new(1)));
+        assert_eq!(
+            b.add_edge(1, 1).unwrap_err(),
+            GraphError::SelfLoop(NodeId::new(1))
+        );
     }
 
     #[test]
@@ -502,8 +503,14 @@ mod tests {
     fn builder_rejects_duplicates_in_both_orientations() {
         let mut b = GraphBuilder::new(3);
         b.add_edge(0, 1).unwrap();
-        assert!(matches!(b.add_edge(0, 1), Err(GraphError::DuplicateEdge(_, _))));
-        assert!(matches!(b.add_edge(1, 0), Err(GraphError::DuplicateEdge(_, _))));
+        assert!(matches!(
+            b.add_edge(0, 1),
+            Err(GraphError::DuplicateEdge(_, _))
+        ));
+        assert!(matches!(
+            b.add_edge(1, 0),
+            Err(GraphError::DuplicateEdge(_, _))
+        ));
     }
 
     #[test]

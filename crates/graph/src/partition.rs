@@ -92,7 +92,11 @@ impl EdgeMask {
     ///
     /// Panics if sizes are inconsistent with `g`.
     pub fn disable_crossing(&mut self, g: &Graph, cut: &Cut) -> usize {
-        assert_eq!(self.enabled.len(), g.num_edges(), "mask/graph size mismatch");
+        assert_eq!(
+            self.enabled.len(),
+            g.num_edges(),
+            "mask/graph size mismatch"
+        );
         let mut n = 0;
         for (e, u, v) in g.edges() {
             if cut.side(u) != cut.side(v) && self.enabled[e.index()] {

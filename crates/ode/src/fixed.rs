@@ -107,6 +107,7 @@ impl Heun {
 }
 
 impl FixedStepper for Heun {
+    #[allow(clippy::needless_range_loop)] // lockstep walk over k1/k2/ytmp/y
     fn step<S: OdeSystem>(&mut self, sys: &S, t: f64, y: &mut [f64], dt: f64) {
         let n = sys.dim();
         self.k1.resize(n, 0.0);
@@ -146,6 +147,7 @@ impl Rk4 {
 }
 
 impl FixedStepper for Rk4 {
+    #[allow(clippy::needless_range_loop)] // lockstep walk over k1..k4/ytmp/y
     fn step<S: OdeSystem>(&mut self, sys: &S, t: f64, y: &mut [f64], dt: f64) {
         let n = sys.dim();
         self.k1.resize(n, 0.0);

@@ -56,7 +56,7 @@ proptest! {
         let exact = (-rate * 1.0f64).exp();
         let dt = 0.05;
         let mut err = Vec::new();
-        let mut run = |stepper: &mut dyn FnMut(&Diagonal, &mut Vec<f64>)| {
+        let run = |stepper: &mut dyn FnMut(&Diagonal, &mut Vec<f64>)| {
             let mut y = vec![1.0];
             stepper(&sys, &mut y);
             (y[0] - exact).abs()

@@ -1,0 +1,550 @@
+//! Multi-replica (SoA) phase integration: M independent machine replicas
+//! advanced in one interleaved sweep.
+//!
+//! The paper runs **40 independent iterations** per problem and keeps the
+//! best solution. Run sequentially, every iteration re-walks the same
+//! topology while the previous iteration's phases fall out of cache.
+//! [`BatchKernel`] lays the replica phases out *replica-minor per node*
+//! (`y[i*M + r]`), so one pass over the edge list advances all replicas:
+//! the per-edge inner loop over `M` contiguous lanes is the textbook
+//! auto-vectorization shape, and the topology arrays are read once per
+//! step instead of once per step **per replica**.
+//!
+//! Replicas differ in their gating state after stage 1 (each replica cuts
+//! its own partition's couplings), so gating is represented as a
+//! per-replica **weight lane** (`0.0` = gated): the sweep stays uniform
+//! and branch-free. Adding a `±0` term is exact in IEEE arithmetic, which
+//! keeps every replica's phase trajectory **bit-identical** to the same
+//! replica integrated alone with the scalar
+//! [`CoupledKernel`](crate::kernel::CoupledKernel) — the property that
+//! lets the batch solver shard replicas across threads deterministically.
+//!
+//! Noise is drawn through
+//! [`fill_normal_batch`](msropm_ode::sde::fill_normal_batch) from one
+//! seeded RNG **per replica**, in the same per-replica order a sequential
+//! run would draw, completing the bit-identity argument.
+
+use crate::fastmath::{sin_fast, sin_slice};
+use crate::network::PhaseNetwork;
+use crate::shil::Shil;
+use msropm_ode::sde::fill_normal_batch;
+use rand::Rng;
+
+/// A compiled multi-replica coupling kernel (see the module docs).
+///
+/// Unlike the scalar kernel, gating is mutable in place (per-replica
+/// weight lanes) because each replica's `P_EN`/`SHIL_SEL` state evolves
+/// independently across solution stages; recompiling per window would
+/// cost O(n·M + m·M) for no benefit.
+#[derive(Debug, Clone)]
+pub struct BatchKernel {
+    num_nodes: usize,
+    replicas: usize,
+    /// Edge endpoints in edge-id order (all graph edges).
+    edge_u: Vec<u32>,
+    edge_v: Vec<u32>,
+    /// Ungated physical weight per edge.
+    base_weight: Vec<f64>,
+    /// Effective weight lanes `[e*M + r]`; `0.0` encodes a gated edge.
+    weight: Vec<f64>,
+    /// Bookkeeping mirror of the gating (weights may legitimately be 0).
+    edge_on: Vec<bool>,
+    node_enabled: Vec<bool>,
+    /// Per-(node, replica) frequency offsets `[i*M + r]`.
+    bias: Vec<f64>,
+    /// Dense per-(node, replica) SHIL table.
+    shil_m: Vec<f64>,
+    shil_psi: Vec<f64>,
+    shil_ks: Vec<f64>,
+    shil_scale: f64,
+    /// Per-node diffusion σ (shared across replicas; defective rings 0).
+    noise: Vec<f64>,
+    noise_amplitude: f64,
+    couplings_on: bool,
+    shil_on: bool,
+}
+
+impl BatchKernel {
+    /// Builds a batch kernel over `net`'s topology with `replicas` lanes.
+    /// Every lane starts from the network's current state: its edge
+    /// gating, frequency offsets, SHIL assignments and noise amplitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn new(net: &PhaseNetwork, replicas: usize) -> Self {
+        assert!(replicas > 0, "need at least one replica");
+        let n = net.num_nodes();
+        let m = net.num_edges();
+        let mut edge_u = Vec::with_capacity(m);
+        let mut edge_v = Vec::with_capacity(m);
+        let mut base_weight = Vec::with_capacity(m);
+        for (e, &(u, v)) in net.edge_endpoints().iter().enumerate() {
+            edge_u.push(u);
+            edge_v.push(v);
+            base_weight.push(net.edge_weight(e));
+        }
+        let node_enabled: Vec<bool> = (0..n).map(|i| net.node_enabled(i)).collect();
+        let mut kernel = BatchKernel {
+            num_nodes: n,
+            replicas,
+            edge_u,
+            edge_v,
+            base_weight,
+            weight: vec![0.0; m * replicas],
+            edge_on: vec![false; m * replicas],
+            node_enabled,
+            bias: vec![0.0; n * replicas],
+            shil_m: vec![0.0; n * replicas],
+            shil_psi: vec![0.0; n * replicas],
+            shil_ks: vec![0.0; n * replicas],
+            shil_scale: 1.0,
+            noise: vec![0.0; n],
+            noise_amplitude: 0.0,
+            couplings_on: net.couplings_enabled(),
+            shil_on: net.shil_enabled(),
+        };
+        for e in 0..m {
+            for r in 0..replicas {
+                kernel.set_edge_enabled(e, r, net.edge_enabled(e));
+            }
+        }
+        for i in 0..n {
+            for r in 0..replicas {
+                kernel.set_bias(i, r, net.delta_omega()[i]);
+                kernel.set_shil(i, r, net.shil_of(i));
+            }
+        }
+        kernel.set_noise_amplitude(net.noise_amplitude());
+        kernel
+    }
+
+    /// Number of oscillators per replica.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of replicas (`M`).
+    pub fn num_replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Length of the interleaved state vector (`n·M`).
+    pub fn state_len(&self) -> usize {
+        self.num_nodes * self.replicas
+    }
+
+    /// Index of node `i`, replica `r` in the interleaved state vector.
+    #[inline(always)]
+    pub fn idx(&self, node: usize, replica: usize) -> usize {
+        node * self.replicas + replica
+    }
+
+    /// Gates one coupling of one replica (that replica's `P_EN` bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` or `replica` is out of range.
+    pub fn set_edge_enabled(&mut self, edge: usize, replica: usize, on: bool) {
+        assert!(replica < self.replicas, "replica out of range");
+        let (u, v) = (self.edge_u[edge] as usize, self.edge_v[edge] as usize);
+        let live = on && self.node_enabled[u] && self.node_enabled[v];
+        self.edge_on[edge * self.replicas + replica] = live;
+        self.weight[edge * self.replicas + replica] =
+            if live { self.base_weight[edge] } else { 0.0 };
+    }
+
+    /// Returns `true` if `edge` conducts for `replica`.
+    pub fn edge_enabled(&self, edge: usize, replica: usize) -> bool {
+        self.edge_on[edge * self.replicas + replica]
+    }
+
+    /// Sets the frequency offset of node `i` in `replica` (used for
+    /// per-replica process-variation sampling). Defective rings stay 0.
+    pub fn set_bias(&mut self, node: usize, replica: usize, delta_omega: f64) {
+        let v = if self.node_enabled[node] {
+            delta_omega
+        } else {
+            0.0
+        };
+        self.bias[node * self.replicas + replica] = v;
+    }
+
+    /// Assigns (or clears) the SHIL source of node `i` in `replica` —
+    /// that replica's `SHIL_SEL` value. Defective rings keep `Ks = 0`.
+    pub fn set_shil(&mut self, node: usize, replica: usize, shil: Option<Shil>) {
+        let k = node * self.replicas + replica;
+        match shil {
+            Some(s) if self.node_enabled[node] => {
+                self.shil_m[k] = s.order() as f64;
+                self.shil_psi[k] = s.phase();
+                self.shil_ks[k] = s.strength();
+            }
+            _ => {
+                self.shil_m[k] = 0.0;
+                self.shil_psi[k] = 0.0;
+                self.shil_ks[k] = 0.0;
+            }
+        }
+    }
+
+    /// Global coupling enable (`G_EN`): skips the edge sweep when low.
+    pub fn set_couplings_enabled(&mut self, on: bool) {
+        self.couplings_on = on;
+    }
+
+    /// Global SHIL enable (`SHIL_EN`): skips the torque pass when low.
+    pub fn set_shil_enabled(&mut self, on: bool) {
+        self.shil_on = on;
+    }
+
+    /// Scales every SHIL strength at evaluation time (the OIM ramp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is negative or non-finite.
+    pub fn set_shil_scale(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && scale >= 0.0,
+            "SHIL scale must be finite and non-negative, got {scale}"
+        );
+        self.shil_scale = scale;
+    }
+
+    /// Sets the white-noise amplitude σ for every functional ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0`.
+    pub fn set_noise_amplitude(&mut self, sigma: f64) {
+        assert!(sigma >= 0.0, "noise amplitude must be non-negative");
+        self.noise_amplitude = sigma;
+        for i in 0..self.num_nodes {
+            self.noise[i] = if self.node_enabled[i] { sigma } else { 0.0 };
+        }
+    }
+
+    /// Current noise amplitude σ.
+    pub fn noise_amplitude(&self) -> f64 {
+        self.noise_amplitude
+    }
+
+    /// Writes the interleaved drift into `dydt` (`scratch` holds the
+    /// per-(edge, replica) sin pass; resized once, reused forever).
+    ///
+    /// Per replica the arithmetic is bit-identical to the scalar
+    /// [`CoupledKernel`](crate::kernel::CoupledKernel): edges are visited
+    /// in the same (edge-id) order and gated lanes contribute an exact
+    /// `±0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y`/`dydt` lengths differ from [`BatchKernel::state_len`].
+    pub fn drift_into(&self, y: &[f64], dydt: &mut [f64], scratch: &mut Vec<f64>) {
+        assert_eq!(y.len(), self.state_len(), "phase vector size mismatch");
+        assert_eq!(dydt.len(), self.state_len(), "drift vector size mismatch");
+        let rr = self.replicas;
+        dydt.copy_from_slice(&self.bias);
+        if self.couplings_on {
+            let m = self.edge_u.len();
+            scratch.resize(m * rr, 0.0);
+            // Pass 1: gather phase differences, M contiguous lanes per edge.
+            for e in 0..m {
+                let (u, v) = (self.edge_u[e] as usize * rr, self.edge_v[e] as usize * rr);
+                let row = &mut scratch[e * rr..(e + 1) * rr];
+                for r in 0..rr {
+                    row[r] = y[u + r] - y[v + r];
+                }
+            }
+            // Pass 2: branchless vectorized sin over the whole buffer.
+            sin_slice(&mut scratch[..m * rr]);
+            // Pass 3: scatter ±w·s — every (edge, replica) exactly once.
+            for e in 0..m {
+                let (u, v) = (self.edge_u[e] as usize * rr, self.edge_v[e] as usize * rr);
+                let wrow = &self.weight[e * rr..(e + 1) * rr];
+                let srow = &scratch[e * rr..(e + 1) * rr];
+                for r in 0..rr {
+                    let s = wrow[r] * srow[r];
+                    dydt[u + r] -= s;
+                    dydt[v + r] += s;
+                }
+            }
+        }
+        if self.shil_on {
+            for k in 0..self.state_len() {
+                let torque = (self.shil_ks[k] * self.shil_scale)
+                    * sin_fast(self.shil_m[k] * y[k] - self.shil_psi[k]);
+                dydt[k] -= torque;
+            }
+        }
+    }
+}
+
+/// Reusable Euler–Maruyama driver for [`BatchKernel`]s with one RNG per
+/// replica. Owns all scratch; allocation-free after the first step.
+#[derive(Debug, Clone, Default)]
+pub struct BatchIntegrator {
+    drift: Vec<f64>,
+    noise: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl BatchIntegrator {
+    /// Creates an integrator with empty (lazily sized) buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One interleaved Euler–Maruyama step for all replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rngs.len() != kernel.num_replicas()`.
+    pub fn step<R: Rng>(&mut self, kernel: &BatchKernel, y: &mut [f64], dt: f64, rngs: &mut [R]) {
+        assert_eq!(
+            rngs.len(),
+            kernel.num_replicas(),
+            "need exactly one RNG per replica"
+        );
+        let len = kernel.state_len();
+        let rr = kernel.num_replicas();
+        self.drift.resize(len, 0.0);
+        self.noise.resize(len, 0.0);
+        kernel.drift_into(y, &mut self.drift, &mut self.scratch);
+        // Per-replica streams in sequential order (see fill_normal_batch):
+        // one deviate per oscillator per step, σ = 0 lanes included.
+        fill_normal_batch(&mut self.noise, rngs);
+        let sqrt_dt = dt.sqrt();
+        for i in 0..kernel.num_nodes() {
+            let sigma = kernel.noise[i];
+            let row = i * rr;
+            for r in 0..rr {
+                y[row + r] += dt * self.drift[row + r] + sqrt_dt * sigma * self.noise[row + r];
+            }
+        }
+    }
+
+    /// Integrates all replicas from `t0` to `t1` with steps of at most
+    /// `dt` (final step shrinks to land on `t1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or `t1 < t0`.
+    pub fn integrate<R: Rng>(
+        &mut self,
+        kernel: &BatchKernel,
+        y: &mut [f64],
+        t0: f64,
+        t1: f64,
+        dt: f64,
+        rngs: &mut [R],
+    ) {
+        assert!(dt > 0.0, "step size must be positive");
+        assert!(t1 >= t0, "t1 must be >= t0");
+        let mut t = t0;
+        while t < t1 {
+            let h = dt.min(t1 - t);
+            self.step(kernel, y, h, rngs);
+            t += h;
+        }
+    }
+
+    /// Integrates `[t0, t1]` while ramping the SHIL scale. Uses the same
+    /// [`RampSchedule`](crate::kernel) as the scalar
+    /// `KernelIntegrator::integrate_ramped` — identical segment count,
+    /// boundaries and mid-segment ramp sampling, so per-replica step
+    /// sizes and RNG consumption stay in exact lockstep with a
+    /// sequential run; scale restored to 1 on return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`, `t1 < t0`, or the ramp returns a negative or
+    /// non-finite scale.
+    #[allow(clippy::too_many_arguments)]
+    pub fn integrate_ramped<R: Rng>(
+        &mut self,
+        kernel: &mut BatchKernel,
+        y: &mut [f64],
+        t0: f64,
+        t1: f64,
+        dt: f64,
+        rngs: &mut [R],
+        ramp: impl Fn(f64) -> f64,
+    ) {
+        let schedule = crate::kernel::RampSchedule::new(t0, t1, dt);
+        let mut t = t0;
+        for s in 0..schedule.segments() {
+            kernel.set_shil_scale(ramp(schedule.frac(s)));
+            let seg_end = schedule.seg_end(s);
+            while t < seg_end {
+                let h = dt.min(seg_end - t);
+                self.step(kernel, y, h, rngs);
+                t += h;
+            }
+        }
+        kernel.set_shil_scale(1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelIntegrator;
+    use msropm_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::TAU;
+
+    /// Scalar reference: integrate one replica with the scalar kernel.
+    fn scalar_run(net: &mut PhaseNetwork, seed: u64, duration: f64, dt: f64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut y = net.random_phases(&mut rng);
+        let kernel = net.compile_kernel();
+        KernelIntegrator::new().integrate(&kernel, &mut y, 0.0, duration, dt, &mut rng);
+        y
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_scalar_replicas() {
+        let g = generators::kings_graph(4, 4);
+        let mut net = PhaseNetwork::builder(&g)
+            .coupling_strength(0.9)
+            .noise(0.25)
+            .build();
+        net.set_shil_all(Shil::order2(0.0, 1.5));
+        net.set_shil_enabled(true);
+
+        let seeds = [5u64, 6, 7];
+        let kernel = BatchKernel::new(&net, seeds.len());
+        let mut rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+        // Initial phases drawn per replica in node order, as a sequential
+        // run would.
+        let n = net.num_nodes();
+        let rr = seeds.len();
+        let mut y = vec![0.0; n * rr];
+        for r in 0..rr {
+            for i in 0..n {
+                y[i * rr + r] = rand::Rng::gen::<f64>(&mut rngs[r]) * TAU;
+            }
+        }
+        BatchIntegrator::new().integrate(&kernel, &mut y, 0.0, 2.0, 0.01, &mut rngs);
+
+        for (r, &seed) in seeds.iter().enumerate() {
+            let solo = scalar_run(&mut net, seed, 2.0, 0.01);
+            for i in 0..n {
+                assert_eq!(
+                    y[i * rr + r].to_bits(),
+                    solo[i].to_bits(),
+                    "node {i} replica {r} diverged from scalar run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_replica_gating_is_independent() {
+        // Path 0-1-2: replica 0 cuts edge (1,2), replica 1 keeps all.
+        let g = generators::path_graph(3);
+        let net = PhaseNetwork::builder(&g).coupling_strength(1.0).build();
+        let e12 = g
+            .find_edge(msropm_graph::NodeId::new(1), msropm_graph::NodeId::new(2))
+            .unwrap()
+            .index();
+        let mut kernel = BatchKernel::new(&net, 2);
+        kernel.set_edge_enabled(e12, 0, false);
+        assert!(!kernel.edge_enabled(e12, 0));
+        assert!(kernel.edge_enabled(e12, 1));
+
+        let mut y = vec![0.0, 0.0, 1.0, 1.0, 2.5, 2.5]; // both replicas same start
+        let mut rngs = vec![StdRng::seed_from_u64(1), StdRng::seed_from_u64(1)];
+        BatchIntegrator::new().integrate(&kernel, &mut y, 0.0, 10.0, 0.01, &mut rngs);
+        let node2 = |r: usize| y[kernel.idx(2, r)];
+        assert_eq!(node2(0), 2.5, "gated replica's node 2 must not move");
+        assert_ne!(node2(1), 2.5, "ungated replica's node 2 must move");
+    }
+
+    #[test]
+    fn batch_ramp_matches_scalar_ramp() {
+        let g = generators::kings_graph(3, 3);
+        let mut net = PhaseNetwork::builder(&g)
+            .coupling_strength(0.7)
+            .noise(0.1)
+            .build();
+        net.set_shil_all(Shil::order2(0.0, 2.0));
+        net.set_shil_enabled(true);
+
+        // Scalar reference.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut y_scalar = net.random_phases(&mut rng);
+        let mut k_scalar = net.compile_kernel();
+        KernelIntegrator::new().integrate_ramped(
+            &mut k_scalar,
+            &mut y_scalar,
+            0.0,
+            3.0,
+            0.01,
+            &mut rng,
+            |f| f,
+            |_, _| {},
+        );
+
+        // One-replica batch.
+        let mut k_batch = BatchKernel::new(&net, 1);
+        let mut rngs = vec![StdRng::seed_from_u64(42)];
+        let n = net.num_nodes();
+        let mut y = vec![0.0; n];
+        for slot in y.iter_mut() {
+            *slot = rand::Rng::gen::<f64>(&mut rngs[0]) * TAU;
+        }
+        BatchIntegrator::new().integrate_ramped(
+            &mut k_batch,
+            &mut y,
+            0.0,
+            3.0,
+            0.01,
+            &mut rngs,
+            |f| f,
+        );
+        for i in 0..n {
+            assert_eq!(y[i].to_bits(), y_scalar[i].to_bits(), "node {i}");
+        }
+    }
+
+    #[test]
+    fn defective_ring_respected_in_batch() {
+        let g = generators::path_graph(2);
+        let mut net = PhaseNetwork::builder(&g)
+            .coupling_strength(1.0)
+            .noise(0.5)
+            .build();
+        net.set_node_enabled(0, false);
+        let mut kernel = BatchKernel::new(&net, 2);
+        kernel.set_noise_amplitude(0.5);
+        // Re-asserting gating or bias on a dead ring keeps it dead.
+        kernel.set_edge_enabled(0, 1, true);
+        kernel.set_bias(0, 1, 3.0);
+        kernel.set_shil(0, 1, Some(Shil::order2(0.0, 9.0)));
+        kernel.set_shil_enabled(true);
+        let mut y = vec![1.0, 1.0, 1.0, 1.0];
+        let mut rngs = vec![StdRng::seed_from_u64(3), StdRng::seed_from_u64(4)];
+        BatchIntegrator::new().integrate(&kernel, &mut y, 0.0, 2.0, 0.01, &mut rngs);
+        assert_eq!(y[kernel.idx(0, 0)], 1.0);
+        assert_eq!(
+            y[kernel.idx(0, 1)],
+            1.0,
+            "dead ring moved via re-enabled state"
+        );
+        assert_ne!(y[kernel.idx(1, 0)], 1.0, "live ring must jitter");
+    }
+
+    #[test]
+    #[should_panic(expected = "one RNG per replica")]
+    fn wrong_rng_count_rejected() {
+        let g = generators::path_graph(2);
+        let net = PhaseNetwork::builder(&g).build();
+        let kernel = BatchKernel::new(&net, 3);
+        let mut y = vec![0.0; kernel.state_len()];
+        let mut rngs = vec![StdRng::seed_from_u64(0)];
+        BatchIntegrator::new().step(&kernel, &mut y, 0.01, &mut rngs);
+    }
+}

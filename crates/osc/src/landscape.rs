@@ -117,7 +117,11 @@ mod tests {
                 .iter()
                 .min_by(|x, y| x.energy.partial_cmp(&y.energy).expect("finite"))
                 .expect("non-empty landscape");
-            let max_cut = landscape.iter().map(|p| p.cut_value).max().expect("non-empty");
+            let max_cut = landscape
+                .iter()
+                .map(|p| p.cut_value)
+                .max()
+                .expect("non-empty");
             assert_eq!(
                 best_energy.cut_value, max_cut,
                 "energy minimum is not a max-cut on {g}"
@@ -131,11 +135,7 @@ mod tests {
         // stabilizes (0/180 vs 90/270): only phase differences matter.
         let g = generators::cycle_graph(5);
         let l1 = enumerate_binarized_landscape(&g, 1.0, &Shil::order2(0.0, 1.0));
-        let l2 = enumerate_binarized_landscape(
-            &g,
-            1.0,
-            &Shil::order2(std::f64::consts::PI, 1.0),
-        );
+        let l2 = enumerate_binarized_landscape(&g, 1.0, &Shil::order2(std::f64::consts::PI, 1.0));
         for (p1, p2) in l1.iter().zip(&l2) {
             assert!((p1.energy - p2.energy).abs() < 1e-9);
             assert_eq!(p1.cut_value, p2.cut_value);

@@ -165,7 +165,11 @@ mod tests {
 
     #[test]
     fn lock_error_zero_at_targets() {
-        for shil in [Shil::order2(0.0, 1.0), Shil::order2(PI, 1.0), Shil::order3(0.7, 1.0)] {
+        for shil in [
+            Shil::order2(0.0, 1.0),
+            Shil::order2(PI, 1.0),
+            Shil::order3(0.7, 1.0),
+        ] {
             for t in shil.stable_phases() {
                 assert!(lock_error(t, &shil) < 1e-12);
             }
@@ -222,7 +226,13 @@ mod tests {
         // Integrate dθ/dt = Δω − Ks·sin(2θ) and check lock vs drift.
         let ks = 1.0;
         let shil = Shil::order2(0.0, ks);
-        for (dw, expect_lock) in [(0.3, true), (0.9, true), (1.2, false), (-0.5, true), (-1.5, false)] {
+        for (dw, expect_lock) in [
+            (0.3, true),
+            (0.9, true),
+            (1.2, false),
+            (-0.5, true),
+            (-1.5, false),
+        ] {
             assert_eq!(can_lock(&shil, dw), expect_lock, "criterion at {dw}");
             let sys = FnSystem::new(1, move |_t, y: &[f64], d: &mut [f64]| {
                 d[0] = dw - ks * (2.0 * y[0]).sin();
@@ -235,7 +245,10 @@ mod tests {
                 d[0]
             };
             if expect_lock {
-                assert!(final_drift.abs() < 1e-6, "Δω={dw} should lock, drift {final_drift}");
+                assert!(
+                    final_drift.abs() < 1e-6,
+                    "Δω={dw} should lock, drift {final_drift}"
+                );
                 // Static offset matches the analytic prediction.
                 let predicted = static_phase_offset(&shil, dw).expect("lockable");
                 let err = lock_error(y[0], &shil);
@@ -253,6 +266,9 @@ mod tests {
     #[test]
     fn lock_range_equals_strength() {
         assert_eq!(lock_range(&Shil::order2(0.0, 2.5)), 2.5);
-        assert!(!can_lock(&Shil::order2(0.0, 1.0), 1.0), "boundary is unlocked");
+        assert!(
+            !can_lock(&Shil::order2(0.0, 1.0), 1.0),
+            "boundary is unlocked"
+        );
     }
 }

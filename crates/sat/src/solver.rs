@@ -456,8 +456,10 @@ impl Solver {
                 .partial_cmp(&self.clauses[b].activity)
                 .expect("activities are finite")
         });
-        let remove: std::collections::HashSet<ClauseRef> =
-            learnt_refs[..learnt_refs.len() / 2].iter().copied().collect();
+        let remove: std::collections::HashSet<ClauseRef> = learnt_refs[..learnt_refs.len() / 2]
+            .iter()
+            .copied()
+            .collect();
         if remove.is_empty() {
             return;
         }
@@ -776,7 +778,9 @@ mod tests {
         let vs = s.new_vars(n);
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let mut clauses = Vec::new();
@@ -891,7 +895,10 @@ mod tests {
         let v = s.new_var();
         s.add_clause(&[v.positive()]);
         s.add_clause(&[v.negative()]);
-        assert_eq!(s.solve_with_assumptions(&[v.positive()]), SolveResult::Unsat);
+        assert_eq!(
+            s.solve_with_assumptions(&[v.positive()]),
+            SolveResult::Unsat
+        );
     }
 
     #[test]

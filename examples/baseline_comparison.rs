@@ -64,7 +64,11 @@ fn main() {
     println!("{}", "-".repeat(62));
     for (name, acc, wall) in [
         ("MSROPM (2-stage, 4 colors)", msropm_best, Some(msropm_wall)),
-        ("3-SHIL ROPM (1 stage, 3 colors)", ropm3_best, Some(ropm3_wall)),
+        (
+            "3-SHIL ROPM (1 stage, 3 colors)",
+            ropm3_best,
+            Some(ropm3_wall),
+        ),
         ("simulated annealing (4 colors)", sa_best, Some(sa_wall)),
         ("DSATUR (constructive)", dsatur_acc, None),
         ("CDCL SAT (exact)", exact.accuracy(&g), Some(sat_wall)),

@@ -37,7 +37,10 @@ fn main() {
         let psis: Vec<String> = (0..groups)
             .map(|gid| format!("{:.0}°", stage_shil_phase(gid, groups).to_degrees()))
             .collect();
-        println!("  stage {stage}: {groups} SHIL(s) at injected phase(s) {}", psis.join(", "));
+        println!(
+            "  stage {stage}: {groups} SHIL(s) at injected phase(s) {}",
+            psis.join(", ")
+        );
     }
     println!("\nfinal color -> phase targets:");
     for color in 0..8 {

@@ -13,7 +13,12 @@ fn main() {
     // 1. The problem: a 7x7 King's graph (49 nodes, 156 edges, chromatic
     //    number 4) — the smallest benchmark of the paper.
     let g = kings_graph(7, 7);
-    println!("problem: {} ({} nodes, {} edges)", g, g.num_nodes(), g.num_edges());
+    println!(
+        "problem: {} ({} nodes, {} edges)",
+        g,
+        g.num_nodes(),
+        g.num_edges()
+    );
 
     // 2. The machine: paper-default configuration — 4 colors in 2 stages,
     //    60 ns total schedule (5 ns randomize + 20 ns anneal + 5 ns SHIL

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate for the MSROPM workspace: formatting, lints (deny warnings),
+# and the full test suite. Run from anywhere inside the repository.
+#
+#   ./scripts/ci.sh          # full gate
+#   ./scripts/ci.sh --quick  # skip the release build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+    quick=1
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [[ "$quick" -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "CI gate passed."

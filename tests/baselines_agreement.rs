@@ -100,7 +100,10 @@ fn dsatur_upper_bounds_sat_chromatic_number() {
         let g = generators::erdos_renyi(18, 0.35, &mut rng);
         let dsatur_colors = msropm::graph::coloring::dsatur(&g).num_colors_used();
         let (chi, _) = solve_chromatic_number(&g);
-        assert!(chi <= dsatur_colors.max(1), "DSATUR below chromatic number?!");
+        assert!(
+            chi <= dsatur_colors.max(1),
+            "DSATUR below chromatic number?!"
+        );
     }
 }
 

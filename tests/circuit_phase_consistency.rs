@@ -25,8 +25,8 @@ fn antiphase_locking_agrees_across_levels() {
     let mut rng = StdRng::seed_from_u64(3);
     let mut state = array.random_state(&mut rng);
     array.run(&mut state, 0.0, 40.0, 1e-3);
-    let d_circuit = measure_relative_phase(&array, &state, 0, 1, 40.0, 8.0, 1e-3)
-        .expect("rings oscillate");
+    let d_circuit =
+        measure_relative_phase(&array, &state, 0, 1, 40.0, 8.0, 1e-3).expect("rings oscillate");
     let d_circuit = d_circuit.min(TAU - d_circuit);
 
     assert!((d_phase - PI).abs() < 0.01, "phase model: {d_phase}");
@@ -82,7 +82,10 @@ fn energy_descent_mirrors_cut_improvement() {
     assert!(c1 >= c0, "cut must not degrade: {c0} -> {c1}");
     // After relaxation the binarized cut is near-optimal for this board.
     let (_, exact) = msropm::graph::cut::exact_max_cut_bruteforce(&g);
-    assert!(c1 as f64 >= 0.85 * exact as f64, "cut {c1} vs exact {exact}");
+    assert!(
+        c1 as f64 >= 0.85 * exact as f64,
+        "cut {c1} vs exact {exact}"
+    );
 }
 
 #[test]

@@ -43,7 +43,11 @@ fn accuracy_band_matches_paper_on_49_nodes() {
         .cut_reference(CutReference::Value(best_cut))
         .run(&g);
     let s = report.accuracy_summary();
-    assert!(report.best_accuracy() >= 0.99, "best {:.3}", report.best_accuracy());
+    assert!(
+        report.best_accuracy() >= 0.99,
+        "best {:.3}",
+        report.best_accuracy()
+    );
     assert!(s.mean >= 0.93, "mean {:.3}", s.mean);
     assert!(s.min >= 0.85, "worst {:.3}", s.min);
 }
@@ -67,9 +71,7 @@ fn stage1_and_final_accuracy_positively_correlated() {
 #[test]
 fn time_to_solution_is_sixty_ns() {
     let g = generators::kings_graph(4, 4);
-    let report = ExperimentRunner::new(fast_config())
-        .iterations(2)
-        .run(&g);
+    let report = ExperimentRunner::new(fast_config()).iterations(2).run(&g);
     assert!((report.time_per_iteration_ns - 60.0).abs() < 1e-12);
 }
 
@@ -83,7 +85,10 @@ fn solution_diversity_nonzero() {
         .run(&g);
     let distances = report.hamming_distances();
     let mean = distances.iter().sum::<f64>() / distances.len() as f64;
-    assert!(mean > 0.1, "solutions suspiciously identical: mean {mean:.3}");
+    assert!(
+        mean > 0.1,
+        "solutions suspiciously identical: mean {mean:.3}"
+    );
 }
 
 #[test]

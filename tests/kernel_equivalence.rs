@@ -1,0 +1,172 @@
+//! Property tests pinning the compiled coupling kernel to the naive
+//! reference drift: for *any* gating state (edge gates, defective rings,
+//! global enables, SHIL assignments, weight overrides, frequency spread),
+//! `CoupledKernel` must agree with `PhaseNetwork::eval` to ≤ 1e-12, and
+//! the kernel's two evaluation paths (scratch three-pass vs. trait
+//! single-pass) must agree bitwise.
+
+use msropm::graph::{Graph, GraphBuilder};
+use msropm::osc::shil::Shil;
+use msropm::osc::{CoupledKernel, PhaseNetwork};
+use msropm_ode::system::OdeSystem;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy: a random simple graph as (n, edge pair list).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n, 0..n), 0..max_edges.min(80)).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge_dedup(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// Builds a network over `g` with every kind of gating state randomized
+/// from `seed`: per-edge enables and weight overrides, defective rings,
+/// global coupling/SHIL enables, mixed-order SHIL assignments, frequency
+/// spread and noise.
+fn random_gated_network(g: &Graph, seed: u64) -> (PhaseNetwork, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coupling = rng.gen::<f64>() * 2.0;
+    let mut net = PhaseNetwork::builder(g)
+        .coupling_strength(coupling)
+        .noise(rng.gen::<f64>())
+        .frequency_spread(0.2)
+        .build_with_spread(&mut rng);
+    for e in 0..g.num_edges() {
+        if rng.gen_bool(0.3) {
+            net.set_edge_enabled(e, false);
+        }
+        if rng.gen_bool(0.25) {
+            net.set_edge_weight(e, rng.gen_range(-2.0f64..2.0));
+        }
+    }
+    for i in 0..g.num_nodes() {
+        if rng.gen_bool(0.15) {
+            net.set_node_enabled(i, false);
+        }
+    }
+    if rng.gen_bool(0.15) {
+        net.set_couplings_enabled(false);
+    }
+    if rng.gen_bool(0.7) {
+        net.set_shil_enabled(true);
+        for i in 0..g.num_nodes() {
+            if rng.gen_bool(0.8) {
+                let order = rng.gen_range(2u64..5) as u32;
+                let psi = rng.gen::<f64>() * std::f64::consts::TAU;
+                let ks = rng.gen::<f64>() * 3.0;
+                net.set_shil_node(i, Some(Shil::new(order, psi, ks)));
+            }
+        }
+    }
+    let phases = net.random_phases(&mut rng);
+    (net, phases)
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #[test]
+    fn compiled_drift_matches_naive_eval(g in arb_graph(28), seed in 0u64..100_000) {
+        let (net, phases) = random_gated_network(&g, seed);
+        let n = g.num_nodes();
+
+        let mut naive = vec![0.0; n];
+        net.eval(0.0, &phases, &mut naive);
+
+        let kernel = net.compile_kernel();
+        let mut compiled = vec![0.0; n];
+        let mut scratch = Vec::new();
+        kernel.drift_into(&phases, &mut compiled, &mut scratch);
+
+        let err = max_abs_diff(&naive, &compiled);
+        prop_assert!(err <= 1e-12, "kernel vs naive drift diverged: {err:e}");
+    }
+
+    #[test]
+    fn kernel_trait_path_is_bitwise_identical(g in arb_graph(24), seed in 0u64..100_000) {
+        // The allocation-free three-pass path and the OdeSystem trait path
+        // must be the *same* arithmetic, not merely close.
+        let (net, phases) = random_gated_network(&g, seed);
+        let kernel = net.compile_kernel();
+        let n = g.num_nodes();
+        let mut three_pass = vec![0.0; n];
+        kernel.drift_into(&phases, &mut three_pass, &mut Vec::new());
+        let mut one_pass = vec![0.0; n];
+        kernel.eval(0.0, &phases, &mut one_pass);
+        for i in 0..n {
+            prop_assert_eq!(three_pass[i].to_bits(), one_pass[i].to_bits(), "node {}", i);
+        }
+    }
+
+    #[test]
+    fn recompile_tracks_gating_changes(g in arb_graph(20), seed in 0u64..100_000) {
+        // Mutating the network after compilation must not affect the old
+        // kernel; recompiling must match the new state.
+        let (mut net, phases) = random_gated_network(&g, seed);
+        let before = net.compile_kernel();
+        let edges_before = before.num_active_edges();
+
+        net.set_couplings_enabled(true);
+        for e in 0..g.num_edges() {
+            net.set_edge_enabled(e, true);
+        }
+        for i in 0..g.num_nodes() {
+            net.set_node_enabled(i, true);
+        }
+        prop_assert_eq!(before.num_active_edges(), edges_before, "compiled kernel mutated");
+
+        let after = net.compile_kernel();
+        prop_assert_eq!(after.num_active_edges(), g.num_edges());
+
+        let mut naive = vec![0.0; g.num_nodes()];
+        net.eval(0.0, &phases, &mut naive);
+        let mut compiled = vec![0.0; g.num_nodes()];
+        after.drift_into(&phases, &mut compiled, &mut Vec::new());
+        prop_assert!(max_abs_diff(&naive, &compiled) <= 1e-12);
+    }
+
+    #[test]
+    fn compiled_diffusion_matches_naive(g in arb_graph(20), seed in 0u64..100_000) {
+        use msropm_ode::system::SdeSystem;
+        let (net, phases) = random_gated_network(&g, seed);
+        let n = g.num_nodes();
+        let (mut naive, mut compiled) = (vec![0.0; n], vec![0.0; n]);
+        net.diffusion(0.0, &phases, &mut naive);
+        net.compile_kernel().diffusion(0.0, &phases, &mut compiled);
+        prop_assert_eq!(naive, compiled);
+    }
+}
+
+#[test]
+fn kernel_matches_naive_on_paper_sized_kings_graph() {
+    // One deterministic large case: the paper's 2116-oscillator board.
+    let g = msropm::graph::generators::kings_graph_square(46);
+    let mut net = PhaseNetwork::builder(&g).coupling_strength(1.0).build();
+    net.set_shil_all(Shil::order2(0.0, 2.5));
+    net.set_shil_enabled(true);
+    let mut rng = StdRng::seed_from_u64(2116);
+    let phases = net.random_phases(&mut rng);
+    let mut naive = vec![0.0; g.num_nodes()];
+    net.eval(0.0, &phases, &mut naive);
+    let kernel = CoupledKernel::compile(&net);
+    assert_eq!(kernel.num_active_edges(), g.num_edges());
+    let mut compiled = vec![0.0; g.num_nodes()];
+    kernel.drift_into(&phases, &mut compiled, &mut Vec::new());
+    let err = max_abs_diff(&naive, &compiled);
+    assert!(err <= 1e-12, "2116-node drift error {err:e}");
+}

@@ -1,0 +1,279 @@
+//! Offline stand-in for the `criterion` benchmark harness (API subset).
+//!
+//! Implements the `criterion_group!`/`criterion_main!` entry points,
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, bench_with_input, finish}`, `Bencher::iter` and
+//! `BenchmarkId`, which is everything the workspace's `benches/` use.
+//! Timing is a plain warmup + fixed-budget wall-clock sampler that reports
+//! mean/min per iteration; there is no statistical regression machinery.
+//! Benchmarks run with `cargo bench` and accept a substring filter:
+//! `cargo bench --bench phase_step -- kernel`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    /// Per-iteration wall-clock samples (ns), filled by [`Bencher::iter`].
+    samples_ns: Vec<f64>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then sampling batches of calls
+    /// until the time budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup + per-call estimate.
+        let warmup_start = Instant::now();
+        let mut calls = 0u64;
+        while calls < 3 || warmup_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            calls += 1;
+            if calls > 1_000_000 {
+                break;
+            }
+        }
+        let per_call = warmup_start.elapsed().as_secs_f64() / calls as f64;
+        // Sample batches sized to ~1/20 of the budget each.
+        let batch = ((self.budget.as_secs_f64() / 20.0 / per_call.max(1e-9)) as u64).max(1);
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The benchmark manager. Holds the CLI filter and global settings.
+pub struct Criterion {
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads a substring filter from the command line (ignores flags).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_budget: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        run_one(&id.id, self.budget, &self.filter, f);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_budget: Option<Duration>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; scales the time budget with the
+    /// requested sample count (criterion's default is 100 samples).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let base = self.criterion.budget.as_secs_f64();
+        self.sample_budget = Some(Duration::from_secs_f64((base * n as f64 / 100.0).max(0.05)));
+        self
+    }
+
+    fn budget(&self) -> Duration {
+        self.sample_budget.unwrap_or(self.criterion.budget)
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.budget(), &self.criterion.filter, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    full_name: &str,
+    budget: Duration,
+    filter: &Option<String>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(pat) = filter {
+        if !full_name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples_ns: Vec::new(),
+        budget,
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{full_name:<40} (no samples: Bencher::iter never called)");
+        return;
+    }
+    let mean = b.samples_ns.iter().sum::<f64>() / b.samples_ns.len() as f64;
+    let min = b.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{full_name:<40} time: [min {:<12} mean {:<12}] ({} samples)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        b.samples_ns.len()
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            budget: Duration::from_millis(30),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(!b.samples_ns.is_empty());
+        assert!(b.samples_ns.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(2116).id, "2116");
+        assert_eq!(BenchmarkId::new("eval", 49).id, "eval/49");
+    }
+
+    #[test]
+    fn group_runs_and_filters() {
+        let mut c = Criterion {
+            filter: Some("never-matches".into()),
+            budget: Duration::from_millis(10),
+        };
+        let mut ran = false;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("skipped", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        g.finish();
+        assert!(!ran, "filter must skip non-matching benchmarks");
+    }
+}
