@@ -9,6 +9,9 @@
 //!   naive/kernel` on the 2116-node board);
 //! - `batch_eval`: one 40-replica SoA RHS sweep ([`BatchKernel`]),
 //!   reported per replica;
+//! - `sweep_eval`: the same 40-replica RHS with **heterogeneous**
+//!   per-lane (K, σ) control tables (`BatchKernel::from_lanes`) — the
+//!   per-lane sweep must run at homogeneous-batch speed;
 //! - `anneal_naive` / `anneal_kernel` / `anneal_batch`: a 1 ns
 //!   Euler–Maruyama annealing window (100 steps) through the same three
 //!   paths (batch reported per replica).
@@ -58,6 +61,9 @@ struct Row {
     kernel_speedup: f64,
     batch_eval_ns_per_replica: f64,
     batch_speedup: f64,
+    /// Heterogeneous 40-lane (K, σ) sweep RHS, per replica — the
+    /// per-lane control tables must not slow the SoA sweep.
+    sweep_eval_ns_per_replica: f64,
     anneal_naive_us: f64,
     anneal_kernel_us: f64,
     anneal_batch_us_per_replica: f64,
@@ -114,6 +120,28 @@ fn bench_side(side: usize, eval_budget: f64, anneal_budget: f64) -> Row {
             eval_budget,
         ) / BATCH_REPLICAS as f64;
 
+    // --- Heterogeneous lane sweep: same SoA RHS, per-lane (K, σ). ---
+    let lane_nets: Vec<PhaseNetwork> = (0..BATCH_REPLICAS)
+        .map(|r| {
+            let mut lane = net.clone();
+            lane.set_coupling_strength(0.5 + 0.04 * r as f64);
+            lane.set_noise(0.05 + 0.01 * r as f64);
+            lane
+        })
+        .collect();
+    let sweep = BatchKernel::from_lanes(&lane_nets);
+    let mut dydt_s = vec![0.0; n * BATCH_REPLICAS];
+    let mut scratch_s = Vec::new();
+    let sweep_eval_ns_per_replica =
+        1e9 * time_per_call(
+            || {
+                sweep.drift_into(std::hint::black_box(&phases_b), &mut dydt_s, &mut scratch_s);
+                std::hint::black_box(&dydt_s);
+            },
+            3,
+            eval_budget,
+        ) / BATCH_REPLICAS as f64;
+
     // --- 1 ns anneal window (100 Euler–Maruyama steps). ---
     let mut rng_a = StdRng::seed_from_u64(3);
     let mut ph_a = net.random_phases(&mut rng_a);
@@ -165,6 +193,7 @@ fn bench_side(side: usize, eval_budget: f64, anneal_budget: f64) -> Row {
         kernel_speedup: naive_eval_ns / kernel_eval_ns,
         batch_eval_ns_per_replica,
         batch_speedup: naive_eval_ns / batch_eval_ns_per_replica,
+        sweep_eval_ns_per_replica,
         anneal_naive_us,
         anneal_kernel_us,
         anneal_batch_us_per_replica,
@@ -219,10 +248,11 @@ fn main() {
     for &side in sides {
         let row = bench_side(side, eval_budget, anneal_budget);
         println!(
-            "kings {:>2}x{:<2} n={:<5} m={:<6} eval naive {:>9.1} ns | kernel {:>9.1} ns ({:>4.2}x) | batch/rep {:>9.1} ns ({:>4.2}x) | anneal1ns naive {:>8.1} us | kernel {:>8.1} us | batch/rep {:>8.1} us",
+            "kings {:>2}x{:<2} n={:<5} m={:<6} eval naive {:>9.1} ns | kernel {:>9.1} ns ({:>4.2}x) | batch/rep {:>9.1} ns ({:>4.2}x) | sweep/rep {:>9.1} ns | anneal1ns naive {:>8.1} us | kernel {:>8.1} us | batch/rep {:>8.1} us",
             row.side, row.side, row.nodes, row.edges,
             row.naive_eval_ns, row.kernel_eval_ns, row.kernel_speedup,
             row.batch_eval_ns_per_replica, row.batch_speedup,
+            row.sweep_eval_ns_per_replica,
             row.anneal_naive_us, row.anneal_kernel_us, row.anneal_batch_us_per_replica,
         );
         rows.push(row);
@@ -245,6 +275,7 @@ fn main() {
              \"naive_eval_ns\": {naive:.2}, \"kernel_eval_ns\": {kern:.2}, \
              \"kernel_speedup\": {speed:.3}, \
              \"batch_eval_ns_per_replica\": {batch:.2}, \"batch_speedup\": {bspeed:.3}, \
+             \"sweep_eval_ns_per_replica\": {sweep:.2}, \
              \"anneal_1ns_naive_us\": {an:.2}, \"anneal_1ns_kernel_us\": {ak:.2}, \
              \"anneal_1ns_batch_us_per_replica\": {ab:.2}}}",
             side = r.side,
@@ -255,6 +286,7 @@ fn main() {
             speed = r.kernel_speedup,
             batch = r.batch_eval_ns_per_replica,
             bspeed = r.batch_speedup,
+            sweep = r.sweep_eval_ns_per_replica,
             an = r.anneal_naive_us,
             ak = r.anneal_kernel_us,
             ab = r.anneal_batch_us_per_replica,

@@ -1,17 +1,27 @@
 //! Multi-replica batch execution of the divide-and-color schedule.
 //!
 //! The paper's experiments run 40 independent iterations per problem;
-//! [`solve_batch_sharded`] advances all of them through the full
+//! [`solve_lanes_sharded`] advances all of them through the full
 //! multi-stage schedule as one interleaved SoA sweep per thread (see
 //! [`msropm_osc::batch`] for the kernel layout). Per-replica gating
 //! (`P_EN` lanes) and `SHIL_SEL` assignments evolve independently across
 //! stage transitions, exactly as `Msropm::solve` evolves them for a
 //! single run.
 //!
+//! Since PR 2 the replicas are full **control lanes**: each lane may
+//! override the base configuration's coupling strength, SHIL
+//! strength/ramp, annealing noise and re-init mode
+//! ([`crate::config::LaneConfig`]), so one batch can sweep an operating
+//! grid or run a restart portfolio instead of repeating one point M
+//! times. Timing stays lockstep across lanes (enforced by
+//! [`crate::schedule::ScheduleSet`]); everything else rides in per-lane
+//! kernel tables, so the hot loop is identical to the homogeneous case.
+//!
 //! # Determinism contract
 //!
 //! Replica `i` performs bit-for-bit the floating-point operations and RNG
-//! draws of a standalone `Msropm::solve` seeded with `seeds[i]`:
+//! draws of a standalone `Msropm::solve` over the lane's *resolved*
+//! config, seeded with `seeds[i]`:
 //!
 //! - every replica draws noise, initial phases and (optionally) frequency
 //!   offsets from its **own** `StdRng`, in the order a sequential run
@@ -19,17 +29,29 @@
 //! - the interleaved drift sweep visits edges in the same (edge-id) order
 //!   as the scalar compiled kernel, and gated lanes contribute exact
 //!   IEEE `±0` terms;
+//! - per-lane coupling weights are **copied** from a lane-resolved
+//!   network, never rescaled, so a swept lane carries exactly the
+//!   weights a standalone machine at that operating point would;
+//! - ramped and non-ramped lanes share the plain step sequence (the
+//!   step-indexed `RampSchedule`), so mixing them changes no step sizes;
+//! - jitter-drift and uniform re-init lanes may coexist: during the
+//!   randomize window (couplings and SHIL off — lanes are independent)
+//!   jitter lanes integrate bias + noise drawing one deviate per node
+//!   per step, uniform lanes draw nothing until their end-of-window
+//!   phase redraw, each matching its solo counterpart;
 //! - threads shard replicas into disjoint contiguous ranges, and a
 //!   replica's trajectory never depends on its range.
 //!
 //! Hence colorings (and final phases) are identical across thread counts
 //! and identical to a sequential iteration loop — property-tested in the
-//! workspace root's `tests/batch_determinism.rs`.
+//! workspace root's `tests/batch_determinism.rs` and
+//! `tests/lane_equivalence.rs`.
 
-use crate::config::{MsropmConfig, ReinitMode};
+use crate::config::{LaneConfig, MsropmConfig, ReinitMode};
 use crate::machine::{MsropmSolution, StageRecord};
-use crate::schedule::{Schedule, WindowKind};
+use crate::schedule::{ScheduleSet, WindowKind};
 use msropm_graph::{Color, Coloring, Cut, Graph};
+use msropm_ode::sde::standard_normal;
 use msropm_osc::batch::{BatchIntegrator, BatchKernel};
 use msropm_osc::lock::{lock_error, phase_to_spin};
 use msropm_osc::shil::{stage_shil_phase, Shil};
@@ -38,11 +60,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::f64::consts::TAU;
 
-/// Runs one batch of replicas, sharded over at most `threads` OS threads
-/// (disjoint contiguous seed ranges; the outputs are concatenated in seed
-/// order). `sample_spread` reproduces `Msropm::with_frequency_spread`
-/// semantics: each replica first draws per-oscillator frequency offsets
-/// from its own RNG, before any phase draws.
+/// Runs one homogeneous batch of replicas (every lane at the base
+/// config), sharded over at most `threads` OS threads.
 ///
 /// # Panics
 ///
@@ -55,22 +74,73 @@ pub(crate) fn solve_batch_sharded(
     sample_spread: bool,
     threads: usize,
 ) -> Vec<MsropmSolution> {
+    let lanes = vec![LaneConfig::default(); seeds.len()];
+    solve_lanes_sharded(
+        graph,
+        config,
+        network,
+        &lanes,
+        seeds,
+        sample_spread,
+        threads,
+    )
+}
+
+/// Runs one batch of heterogeneous control lanes, sharded over at most
+/// `threads` OS threads (disjoint contiguous (lane, seed) ranges; the
+/// outputs are concatenated in lane order). `sample_spread` reproduces
+/// `Msropm::with_frequency_spread` semantics: each replica first draws
+/// per-oscillator frequency offsets from its own RNG, before any phase
+/// draws.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, `lanes.len() != seeds.len()`, or any
+/// resolved lane config is inconsistent.
+pub(crate) fn solve_lanes_sharded(
+    graph: &Graph,
+    config: &MsropmConfig,
+    network: &PhaseNetwork,
+    lanes: &[LaneConfig],
+    seeds: &[u64],
+    sample_spread: bool,
+    threads: usize,
+) -> Vec<MsropmSolution> {
     assert!(threads > 0, "need at least one thread");
+    assert_eq!(lanes.len(), seeds.len(), "need one lane config per seed");
     config.validate();
     if seeds.is_empty() {
         return Vec::new();
     }
     let threads = threads.min(seeds.len());
     if threads == 1 {
-        return solve_batch_range(graph, config, network, seeds, sample_spread);
+        return solve_lane_range_hooked(
+            graph,
+            config,
+            network,
+            lanes,
+            seeds,
+            sample_spread,
+            |_, _: &mut StageBoundary| {},
+        );
     }
     let chunk_len = seeds.len().div_ceil(threads);
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = seeds
             .chunks(chunk_len)
-            .map(|chunk| {
-                scope
-                    .spawn(move |_| solve_batch_range(graph, config, network, chunk, sample_spread))
+            .zip(lanes.chunks(chunk_len))
+            .map(|(seed_chunk, lane_chunk)| {
+                scope.spawn(move |_| {
+                    solve_lane_range_hooked(
+                        graph,
+                        config,
+                        network,
+                        lane_chunk,
+                        seed_chunk,
+                        sample_spread,
+                        |_, _: &mut StageBoundary| {},
+                    )
+                })
             })
             .collect();
         let mut out = Vec::with_capacity(seeds.len());
@@ -82,22 +152,122 @@ pub(crate) fn solve_batch_sharded(
     .expect("crossbeam scope")
 }
 
-/// Runs one contiguous replica range as a single interleaved batch.
-fn solve_batch_range(
+/// The cross-lane view a stage-boundary hook receives: per-lane quality
+/// so far plus the lane-state copy that implements population restarts.
+///
+/// The hook fires after each stage's readout *and* transition (groups
+/// latched, crossing couplings cut) for every stage except the last —
+/// the instants the paper's control sequencer could realistically
+/// intervene between SHIL windows.
+pub(crate) struct StageBoundary<'a> {
+    graph: &'a Graph,
+    kernel: &'a mut BatchKernel,
+    phases: &'a mut [f64],
+    groups: &'a mut [usize],
+    stage_records: &'a mut [Vec<StageRecord>],
+    replicas: usize,
+}
+
+impl StageBoundary<'_> {
+    /// Number of lanes in the batch.
+    pub(crate) fn num_lanes(&self) -> usize {
+        self.replicas
+    }
+
+    /// Edges already *permanently satisfied* for lane `r`: couplings cut
+    /// at earlier transitions connect nodes whose group ids (and hence
+    /// final colors) already differ. The natural stage-boundary quality
+    /// ranking — more satisfied edges now means fewer conflicts the
+    /// remaining stages must resolve.
+    pub(crate) fn satisfied_edges(&self, r: usize) -> usize {
+        let m = self.graph.num_edges();
+        let active = (0..m).filter(|&e| self.kernel.edge_enabled(e, r)).count();
+        m - active
+    }
+
+    /// Re-seeds lane `dst` from lane `src`: copies phases, group ids,
+    /// per-lane coupling gating **and the stage records so far**, so the
+    /// restarted lane's eventual `MsropmSolution` describes one
+    /// consistent lineage (its early stages are the survivor's history
+    /// the final coloring is actually built on, not the discarded run).
+    /// `dst` keeps its own control parameters (weights, σ, SHIL) and its
+    /// own RNG stream, so the restarted lane re-explores the survivor's
+    /// partition from a different operating point and noise path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub(crate) fn copy_lane(&mut self, src: usize, dst: usize) {
+        assert!(src < self.replicas && dst < self.replicas, "lane range");
+        if src == dst {
+            return;
+        }
+        let rr = self.replicas;
+        let n = self.phases.len() / rr;
+        for i in 0..n {
+            self.phases[i * rr + dst] = self.phases[i * rr + src];
+            self.groups[i * rr + dst] = self.groups[i * rr + src];
+        }
+        for e in 0..self.graph.num_edges() {
+            let on = self.kernel.edge_enabled(e, src);
+            self.kernel.set_edge_enabled(e, dst, on);
+        }
+        self.stage_records[dst] = self.stage_records[src].clone();
+    }
+}
+
+/// Derives lane `r`'s network from the base network: a clone with the
+/// lane's coupling/noise overrides applied by the same recipe the
+/// builder uses, so a swept lane's weights are bit-identical to a
+/// standalone machine's at that operating point. Lanes without
+/// overrides share the base network untouched (preserving any per-edge
+/// weight customization it carries).
+fn lane_network(base: &PhaseNetwork, lane: &LaneConfig) -> PhaseNetwork {
+    let mut net = base.clone();
+    if let Some(k) = lane.coupling_strength {
+        net.set_coupling_strength(k);
+    }
+    if let Some(sigma) = lane.noise {
+        net.set_noise(sigma);
+    }
+    net
+}
+
+/// Runs one contiguous lane range as a single interleaved batch,
+/// invoking `hook` at every non-final stage boundary (the population
+/// restart entry point; see [`StageBoundary`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_lane_range_hooked<F>(
     graph: &Graph,
-    config: &MsropmConfig,
+    base_config: &MsropmConfig,
     network: &PhaseNetwork,
+    lanes: &[LaneConfig],
     seeds: &[u64],
     sample_spread: bool,
-) -> Vec<MsropmSolution> {
+    mut hook: F,
+) -> Vec<MsropmSolution>
+where
+    F: FnMut(usize, &mut StageBoundary),
+{
     let n = graph.num_nodes();
     let rr = seeds.len();
-    let k = config.num_stages();
-    let dt = config.dt;
-    let schedule = Schedule::from_config(config);
+    assert_eq!(lanes.len(), rr, "need one lane config per seed");
+    let configs: Vec<MsropmConfig> = lanes.iter().map(|l| l.resolve(base_config)).collect();
+    let schedule_set = ScheduleSet::from_configs(&configs);
+    let schedule = schedule_set.lockstep();
+    let k = configs[0].num_stages();
+    let dt = configs[0].dt;
 
     let mut rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
-    let mut kernel = BatchKernel::new(network, rr);
+    let needs_lane_nets = lanes
+        .iter()
+        .any(|l| l.coupling_strength.is_some() || l.noise.is_some());
+    let mut kernel = if needs_lane_nets {
+        let nets: Vec<PhaseNetwork> = lanes.iter().map(|l| lane_network(network, l)).collect();
+        BatchKernel::from_lanes(&nets)
+    } else {
+        BatchKernel::new(network, rr)
+    };
     // Start-of-run control state, mirroring `Msropm::solve`: every P_EN
     // high, SHIL off.
     for e in 0..graph.num_edges() {
@@ -108,14 +278,12 @@ fn solve_batch_range(
     kernel.set_shil_enabled(false);
 
     // Runner semantics: frequency offsets are the replica's first draws.
-    if sample_spread && config.frequency_spread > 0.0 {
+    if sample_spread {
         for (r, rng) in rngs.iter_mut().enumerate() {
-            for i in 0..n {
-                kernel.set_bias(
-                    i,
-                    r,
-                    config.frequency_spread * msropm_ode::sde::standard_normal(rng),
-                );
+            if configs[r].frequency_spread > 0.0 {
+                for i in 0..n {
+                    kernel.set_bias(i, r, configs[r].frequency_spread * standard_normal(rng));
+                }
             }
         }
     }
@@ -132,7 +300,11 @@ fn solve_batch_range(
     let mut groups = vec![0usize; n * rr];
     let mut bits = vec![false; n * rr];
     let mut stage_records: Vec<Vec<StageRecord>> = vec![Vec::with_capacity(k); rr];
-    let mut stage_shils: Vec<Shil> = Vec::with_capacity(1 << (k - 1));
+    // Per-(lane, group) SHIL table of the current stage, indexed
+    // `r * num_groups + g` (lanes may carry different strengths).
+    let mut stage_shils: Vec<Shil> = Vec::with_capacity(rr << (k - 1));
+    let ramped: Vec<bool> = configs.iter().map(|c| c.shil_ramp).collect();
+    let any_ramped = ramped.iter().any(|&r| r);
     let mut integrator = BatchIntegrator::new();
     let mut windows = schedule.windows().iter();
 
@@ -144,26 +316,62 @@ fn solve_batch_range(
         debug_assert_eq!(w_init.kind, WindowKind::Randomize);
         kernel.set_couplings_enabled(false);
         kernel.set_shil_enabled(false);
-        match config.reinit {
-            ReinitMode::UniformRandom => {
-                for (r, rng) in rngs.iter_mut().enumerate() {
-                    for i in 0..n {
-                        phases[i * rr + r] = rng.gen::<f64>() * TAU;
+        let any_jitter = configs
+            .iter()
+            .any(|c| matches!(c.reinit, ReinitMode::JitterDrift { .. }));
+        let any_uniform = configs
+            .iter()
+            .any(|c| c.reinit == ReinitMode::UniformRandom);
+        if any_jitter && !any_uniform {
+            // All lanes drift: run the kernel path with each lane's
+            // drift σ, then restore the lanes' annealing σ.
+            for (r, cfg) in configs.iter().enumerate() {
+                let ReinitMode::JitterDrift { sigma } = cfg.reinit else {
+                    unreachable!("all lanes drift here")
+                };
+                kernel.set_lane_noise_amplitude(r, sigma);
+            }
+            integrator.integrate(
+                &kernel,
+                &mut phases,
+                w_init.t_start,
+                w_init.t_end(),
+                dt,
+                &mut rngs,
+            );
+            for (r, cfg) in configs.iter().enumerate() {
+                kernel.set_lane_noise_amplitude(r, cfg.noise);
+            }
+        } else if any_jitter {
+            // Mixed modes. Couplings and SHIL are off, so lanes are
+            // fully independent: advance jitter lanes by the exact
+            // bias + noise arithmetic of the kernel path (one deviate
+            // per node per step, in node order — the solo stream),
+            // while uniform lanes draw nothing until their redraw
+            // below.
+            let mut t = w_init.t_start;
+            let t_end = w_init.t_end();
+            while t < t_end {
+                let h = dt.min(t_end - t);
+                let sqrt_h = h.sqrt();
+                for i in 0..n {
+                    let row = i * rr;
+                    for (r, rng) in rngs.iter_mut().enumerate() {
+                        if let ReinitMode::JitterDrift { sigma } = configs[r].reinit {
+                            let xi = standard_normal(rng);
+                            let sig = if kernel.node_enabled(i) { sigma } else { 0.0 };
+                            phases[row + r] += h * kernel.bias_of(i, r) + sqrt_h * sig * xi;
+                        }
                     }
                 }
+                t += h;
             }
-            ReinitMode::JitterDrift { sigma } => {
-                let saved = kernel.noise_amplitude();
-                kernel.set_noise_amplitude(sigma);
-                integrator.integrate(
-                    &kernel,
-                    &mut phases,
-                    w_init.t_start,
-                    w_init.t_end(),
-                    dt,
-                    &mut rngs,
-                );
-                kernel.set_noise_amplitude(saved);
+        }
+        for (r, rng) in rngs.iter_mut().enumerate() {
+            if configs[r].reinit == ReinitMode::UniformRandom {
+                for i in 0..n {
+                    phases[i * rr + r] = rng.gen::<f64>() * TAU;
+                }
             }
         }
 
@@ -184,18 +392,21 @@ fn solve_batch_range(
         let w_lock = windows.next().expect("schedule has lock window");
         debug_assert_eq!(w_lock.kind, WindowKind::Lock);
         stage_shils.clear();
-        stage_shils.extend(
-            (0..num_groups)
-                .map(|g| Shil::order2(stage_shil_phase(g, num_groups), config.shil_strength)),
-        );
+        for cfg in &configs {
+            stage_shils.extend(
+                (0..num_groups)
+                    .map(|g| Shil::order2(stage_shil_phase(g, num_groups), cfg.shil_strength)),
+            );
+        }
+        let shil_of = |r: usize, g: usize| stage_shils[r * num_groups + g];
         for i in 0..n {
             for r in 0..rr {
-                kernel.set_shil(i, r, Some(stage_shils[groups[i * rr + r]]));
+                kernel.set_shil(i, r, Some(shil_of(r, groups[i * rr + r])));
             }
         }
         kernel.set_shil_enabled(true);
-        if config.shil_ramp {
-            integrator.integrate_ramped(
+        if any_ramped {
+            integrator.integrate_ramped_lanes(
                 &mut kernel,
                 &mut phases,
                 w_lock.t_start,
@@ -203,6 +414,7 @@ fn solve_batch_range(
                 dt,
                 &mut rngs,
                 |f| f,
+                &ramped,
             );
         } else {
             integrator.integrate(
@@ -216,12 +428,15 @@ fn solve_batch_range(
         }
 
         // ---- Readout (per replica) ----
-        for idx in 0..n * rr {
-            bits[idx] = phase_to_spin(phases[idx], &stage_shils[groups[idx]]) == 1;
+        for i in 0..n {
+            for r in 0..rr {
+                let idx = i * rr + r;
+                bits[idx] = phase_to_spin(phases[idx], &shil_of(r, groups[idx])) == 1;
+            }
         }
         for r in 0..rr {
             let worst_lock = (0..n)
-                .map(|i| lock_error(phases[i * rr + r], &stage_shils[groups[i * rr + r]]))
+                .map(|i| lock_error(phases[i * rr + r], &shil_of(r, groups[i * rr + r])))
                 .fold(0.0f64, f64::max);
             let replica_bits: Vec<bool> = (0..n).map(|i| bits[i * rr + r]).collect();
             let mut cut_value = 0usize;
@@ -256,6 +471,18 @@ fn solve_batch_range(
             }
         }
         kernel.set_shil_enabled(false);
+
+        if stage < k {
+            let mut boundary = StageBoundary {
+                graph,
+                kernel: &mut kernel,
+                phases: &mut phases,
+                groups: &mut groups,
+                stage_records: &mut stage_records,
+                replicas: rr,
+            };
+            hook(stage, &mut boundary);
+        }
     }
 
     stage_records
@@ -362,5 +589,145 @@ mod tests {
         let g = generators::path_graph(2);
         let machine = Msropm::new(&g, fast_config());
         assert!(machine.solve_batch(&[], 4).is_empty());
+    }
+
+    /// A lane's trajectory in a heterogeneous batch must be bit-identical
+    /// to a sequential `Msropm::solve` over the lane's resolved config.
+    fn assert_lane_matches_solo(
+        g: &msropm_graph::Graph,
+        base: &MsropmConfig,
+        lanes: &[LaneConfig],
+        seeds: &[u64],
+    ) {
+        let machine = Msropm::new(g, *base);
+        let batch = machine.solve_batch_lanes(lanes, seeds, 1);
+        for (r, (&seed, lane)) in seeds.iter().zip(lanes).enumerate() {
+            let mut solo_machine = Msropm::new(g, lane.resolve(base));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let solo = solo_machine.solve(&mut rng);
+            assert_eq!(batch[r].coloring, solo.coloring, "lane {r} coloring");
+            for (a, b) in batch[r].final_phases.iter().zip(&solo.final_phases) {
+                assert_eq!(a.to_bits(), b.to_bits(), "lane {r} phases diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn swept_lanes_match_their_standalone_machines() {
+        let g = generators::kings_graph(3, 3);
+        let base = fast_config();
+        let lanes = [
+            LaneConfig::default(),
+            LaneConfig::default().with_coupling_strength(0.6),
+            LaneConfig::default()
+                .with_noise(0.05)
+                .with_shil_strength(1.2),
+            LaneConfig::default()
+                .with_coupling_strength(1.4)
+                .with_noise(0.3),
+        ];
+        assert_lane_matches_solo(&g, &base, &lanes, &[31, 32, 33, 34]);
+    }
+
+    #[test]
+    fn mixed_reinit_lanes_match_their_standalone_machines() {
+        let g = generators::kings_graph(3, 3);
+        let base = fast_config();
+        let lanes = [
+            LaneConfig::default().with_reinit(ReinitMode::UniformRandom),
+            LaneConfig::default(),
+            LaneConfig::default().with_reinit(ReinitMode::JitterDrift { sigma: 0.4 }),
+        ];
+        assert_lane_matches_solo(&g, &base, &lanes, &[51, 52, 53]);
+    }
+
+    #[test]
+    fn mixed_ramp_lanes_match_their_standalone_machines() {
+        let g = generators::kings_graph(3, 3);
+        let base = fast_config();
+        let lanes = [
+            LaneConfig::default().with_shil_ramp(true),
+            LaneConfig::default(),
+            LaneConfig::default().with_shil_ramp(true).with_noise(0.1),
+        ];
+        assert_lane_matches_solo(&g, &base, &lanes, &[61, 62, 63]);
+    }
+
+    #[test]
+    fn mixed_reinit_with_defective_ring_matches_solo() {
+        let g = generators::kings_graph(3, 3);
+        let base = fast_config();
+        let lanes = [
+            LaneConfig::default().with_reinit(ReinitMode::UniformRandom),
+            LaneConfig::default().with_reinit(ReinitMode::JitterDrift { sigma: 2.0 }),
+        ];
+        let seeds = [71u64, 72];
+        let mut machine = Msropm::new(&g, base);
+        machine.set_oscillator_enabled(2, false);
+        let batch = machine.solve_batch_lanes(&lanes, &seeds, 1);
+        for (r, (&seed, lane)) in seeds.iter().zip(&lanes).enumerate() {
+            let mut solo_machine = Msropm::new(&g, lane.resolve(&base));
+            solo_machine.set_oscillator_enabled(2, false);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let solo = solo_machine.solve(&mut rng);
+            for (a, b) in batch[r].final_phases.iter().zip(&solo.final_phases) {
+                assert_eq!(a.to_bits(), b.to_bits(), "lane {r} with dead ring");
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_sharding_is_invisible() {
+        let g = generators::kings_graph(3, 3);
+        let machine = Msropm::new(&g, fast_config());
+        let lanes: Vec<LaneConfig> = (0..6)
+            .map(|i| LaneConfig::default().with_noise(0.05 + 0.05 * i as f64))
+            .collect();
+        let seeds: Vec<u64> = (90..96).collect();
+        let one = machine.solve_batch_lanes(&lanes, &seeds, 1);
+        let three = machine.solve_batch_lanes(&lanes, &seeds, 3);
+        for r in 0..seeds.len() {
+            assert_eq!(one[r].coloring, three[r].coloring, "lane {r}");
+        }
+    }
+
+    #[test]
+    fn stage_boundary_hook_fires_on_non_final_stages() {
+        let g = generators::kings_graph(3, 3);
+        let base = fast_config(); // 4 colors => 2 stages => 1 boundary
+        let net = base.build_network(&g);
+        let lanes = vec![LaneConfig::default(); 3];
+        let mut fired = Vec::new();
+        solve_lane_range_hooked(&g, &base, &net, &lanes, &[1, 2, 3], false, |stage, b| {
+            fired.push((stage, b.num_lanes()));
+            // Satisfied-edge counts are sane: between 0 and m.
+            for r in 0..b.num_lanes() {
+                assert!(b.satisfied_edges(r) <= g.num_edges());
+            }
+        });
+        assert_eq!(fired, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn copy_lane_transplants_partition_state() {
+        let g = generators::kings_graph(3, 3);
+        let base = fast_config();
+        let net = base.build_network(&g);
+        let lanes = vec![LaneConfig::default(); 2];
+        let sols = solve_lane_range_hooked(&g, &base, &net, &lanes, &[5, 6], false, |_, b| {
+            b.copy_lane(0, 1);
+            assert_eq!(b.satisfied_edges(0), b.satisfied_edges(1));
+        });
+        // After the copy both lanes share the stage-1 partition, so the
+        // stage-1 group bit (the color MSB) must agree everywhere.
+        let c0 = &sols[0].coloring;
+        let c1 = &sols[1].coloring;
+        for i in 0..g.num_nodes() {
+            assert_eq!(
+                c0.as_slice()[i].index() >> 1,
+                c1.as_slice()[i].index() >> 1,
+                "node {i} stage-1 bit"
+            );
+        }
     }
 }

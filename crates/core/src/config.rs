@@ -181,6 +181,233 @@ impl Default for MsropmConfig {
     }
 }
 
+/// Per-replica ("lane") overrides of a base [`MsropmConfig`].
+///
+/// The batch engine runs `M` replicas through one lockstep schedule; a
+/// `LaneConfig` describes how one of those replicas deviates from the
+/// shared base — the parameters the paper tunes empirically (coupling
+/// `K_c`, SHIL strength `K_s`, annealing noise σ, the OIM SHIL ramp and
+/// the inter-stage re-randomization) can all differ per lane, while the
+/// *timing* fields (`num_colors`, window durations, `dt`) stay global so
+/// every lane shares the window boundaries and step grid.
+///
+/// `LaneConfig::default()` overrides nothing: a batch of default lanes
+/// is exactly the homogeneous batch (bit-identical, property-tested in
+/// `tests/lane_equivalence.rs`).
+///
+/// One caveat for heterogeneous *re-init modes*: a batch mixing
+/// [`ReinitMode::UniformRandom`] and [`ReinitMode::JitterDrift`] lanes
+/// is supported and each lane still reproduces its standalone run bit
+/// for bit — jitter lanes draw one deviate per oscillator per drift
+/// step, uniform lanes draw nothing until their end-of-window phase
+/// redraw, exactly as their solo counterparts do.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LaneConfig {
+    /// Override of [`MsropmConfig::coupling_strength`] (`K_c`).
+    pub coupling_strength: Option<f64>,
+    /// Override of [`MsropmConfig::shil_strength`] (`K_s`).
+    pub shil_strength: Option<f64>,
+    /// Override of [`MsropmConfig::noise`] (annealing σ).
+    pub noise: Option<f64>,
+    /// Override of [`MsropmConfig::shil_ramp`].
+    pub shil_ramp: Option<bool>,
+    /// Override of [`MsropmConfig::reinit`].
+    pub reinit: Option<ReinitMode>,
+}
+
+impl LaneConfig {
+    /// Returns a copy overriding the coupling strength.
+    pub fn with_coupling_strength(mut self, k: f64) -> Self {
+        self.coupling_strength = Some(k);
+        self
+    }
+
+    /// Returns a copy overriding the SHIL strength.
+    pub fn with_shil_strength(mut self, ks: f64) -> Self {
+        self.shil_strength = Some(ks);
+        self
+    }
+
+    /// Returns a copy overriding the annealing noise amplitude.
+    pub fn with_noise(mut self, sigma: f64) -> Self {
+        self.noise = Some(sigma);
+        self
+    }
+
+    /// Returns a copy overriding the SHIL-ramp flag.
+    pub fn with_shil_ramp(mut self, ramp: bool) -> Self {
+        self.shil_ramp = Some(ramp);
+        self
+    }
+
+    /// Returns a copy overriding the re-randomization mode.
+    pub fn with_reinit(mut self, reinit: ReinitMode) -> Self {
+        self.reinit = Some(reinit);
+        self
+    }
+
+    /// `true` if this lane overrides nothing (runs the base config).
+    pub fn is_default(&self) -> bool {
+        *self == LaneConfig::default()
+    }
+
+    /// Applies the overrides to `base`, yielding the lane's effective
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolved configuration is inconsistent (see
+    /// [`MsropmConfig::validate`]).
+    pub fn resolve(&self, base: &MsropmConfig) -> MsropmConfig {
+        let cfg = MsropmConfig {
+            coupling_strength: self.coupling_strength.unwrap_or(base.coupling_strength),
+            shil_strength: self.shil_strength.unwrap_or(base.shil_strength),
+            noise: self.noise.unwrap_or(base.noise),
+            shil_ramp: self.shil_ramp.unwrap_or(base.shil_ramp),
+            reinit: self.reinit.unwrap_or(base.reinit),
+            ..*base
+        };
+        cfg.validate();
+        cfg
+    }
+}
+
+/// A parameter axis a [`SweepSpec`] can vary across lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepParam {
+    /// Coupling magnitude `K_c`.
+    CouplingStrength,
+    /// SHIL injection strength `K_s`.
+    ShilStrength,
+    /// Annealing noise amplitude σ.
+    Noise,
+    /// Jitter amplitude of the inter-stage drift window
+    /// ([`ReinitMode::JitterDrift`]'s `sigma`).
+    ReinitSigma,
+}
+
+/// A declarative multi-axis parameter sweep that expands into per-lane
+/// overrides — the batch-engine analog of the per-run parameter
+/// registers ASIC-emulated OIM/OPM machines expose.
+///
+/// Axes combine as a cartesian grid (later axes vary fastest); each
+/// grid point becomes one [`LaneConfig`]. Values come from explicit
+/// grids ([`SweepSpec::grid`]), linear ranges ([`SweepSpec::linspace`])
+/// or log-spaced ranges ([`SweepSpec::logspace`] — the natural spacing
+/// for coupling/noise operating-point searches).
+///
+/// ```
+/// use msropm_core::{SweepParam, SweepSpec};
+///
+/// let lanes = SweepSpec::new()
+///     .logspace(SweepParam::CouplingStrength, 0.5, 2.0, 4)
+///     .linspace(SweepParam::Noise, 0.1, 0.3, 4)
+///     .lanes();
+/// assert_eq!(lanes.len(), 16);
+/// assert_eq!(lanes[0].coupling_strength, Some(0.5));
+/// assert_eq!(lanes[15].coupling_strength, Some(2.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SweepSpec {
+    axes: Vec<(SweepParam, Vec<f64>)>,
+}
+
+impl SweepSpec {
+    /// An empty sweep (expands to one all-default lane).
+    pub fn new() -> Self {
+        SweepSpec::default()
+    }
+
+    /// Adds an axis with an explicit value grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty, contains a non-finite or negative
+    /// value, or the axis was already added.
+    pub fn grid(mut self, param: SweepParam, values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "sweep axis needs at least one value");
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "sweep values must be finite and non-negative"
+        );
+        assert!(
+            self.axes.iter().all(|(p, _)| *p != param),
+            "sweep axis {param:?} added twice"
+        );
+        self.axes.push((param, values));
+        self
+    }
+
+    /// Adds an axis of `count` linearly spaced values over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`, `lo > hi`, or the bounds are invalid for
+    /// [`SweepSpec::grid`].
+    pub fn linspace(self, param: SweepParam, lo: f64, hi: f64, count: usize) -> Self {
+        assert!(count > 0, "need at least one sweep value");
+        assert!(lo <= hi, "linspace bounds out of order");
+        let values = if count == 1 {
+            vec![lo]
+        } else {
+            (0..count)
+                .map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64)
+                .collect()
+        };
+        self.grid(param, values)
+    }
+
+    /// Adds an axis of `count` log-spaced values over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`, `lo <= 0`, or `lo > hi`.
+    pub fn logspace(self, param: SweepParam, lo: f64, hi: f64, count: usize) -> Self {
+        assert!(count > 0, "need at least one sweep value");
+        assert!(lo > 0.0, "logspace needs positive bounds");
+        assert!(lo <= hi, "logspace bounds out of order");
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        let values = if count == 1 {
+            vec![lo]
+        } else {
+            (0..count)
+                .map(|i| (llo + (lhi - llo) * i as f64 / (count - 1) as f64).exp())
+                .collect()
+        };
+        self.grid(param, values)
+    }
+
+    /// Number of lanes the sweep expands to (product of axis lengths).
+    pub fn num_lanes(&self) -> usize {
+        self.axes.iter().map(|(_, v)| v.len()).product()
+    }
+
+    /// Expands the cartesian grid into per-lane overrides, later axes
+    /// varying fastest.
+    pub fn lanes(&self) -> Vec<LaneConfig> {
+        let mut lanes = vec![LaneConfig::default()];
+        for (param, values) in &self.axes {
+            let mut next = Vec::with_capacity(lanes.len() * values.len());
+            for lane in &lanes {
+                for &v in values {
+                    let mut lane = *lane;
+                    match param {
+                        SweepParam::CouplingStrength => lane.coupling_strength = Some(v),
+                        SweepParam::ShilStrength => lane.shil_strength = Some(v),
+                        SweepParam::Noise => lane.noise = Some(v),
+                        SweepParam::ReinitSigma => {
+                            lane.reinit = Some(ReinitMode::JitterDrift { sigma: v });
+                        }
+                    }
+                    next.push(lane);
+                }
+            }
+            lanes = next;
+        }
+        lanes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,5 +456,107 @@ mod tests {
     #[test]
     fn default_is_paper_default() {
         assert_eq!(MsropmConfig::default(), MsropmConfig::paper_default());
+    }
+
+    #[test]
+    fn default_lane_resolves_to_base() {
+        let base = MsropmConfig::paper_default();
+        assert!(LaneConfig::default().is_default());
+        assert_eq!(LaneConfig::default().resolve(&base), base);
+    }
+
+    #[test]
+    fn lane_overrides_apply_only_what_they_name() {
+        let base = MsropmConfig::paper_default();
+        let lane = LaneConfig::default()
+            .with_coupling_strength(0.7)
+            .with_noise(0.05)
+            .with_shil_ramp(true);
+        assert!(!lane.is_default());
+        let cfg = lane.resolve(&base);
+        assert_eq!(cfg.coupling_strength, 0.7);
+        assert_eq!(cfg.noise, 0.05);
+        assert!(cfg.shil_ramp);
+        // Untouched fields stay at base values.
+        assert_eq!(cfg.shil_strength, base.shil_strength);
+        assert_eq!(cfg.reinit, base.reinit);
+        assert_eq!(cfg.num_colors, base.num_colors);
+        assert_eq!(cfg.dt, base.dt);
+    }
+
+    #[test]
+    #[should_panic(expected = "coupling must be >= 0")]
+    fn lane_resolution_validates() {
+        LaneConfig::default()
+            .with_coupling_strength(-1.0)
+            .resolve(&MsropmConfig::paper_default());
+    }
+
+    #[test]
+    fn sweep_grid_is_cartesian_later_axes_fastest() {
+        let lanes = SweepSpec::new()
+            .grid(SweepParam::CouplingStrength, vec![1.0, 2.0])
+            .grid(SweepParam::Noise, vec![0.1, 0.2, 0.3])
+            .lanes();
+        assert_eq!(lanes.len(), 6);
+        assert_eq!(lanes[0].coupling_strength, Some(1.0));
+        assert_eq!(lanes[0].noise, Some(0.1));
+        assert_eq!(lanes[2].noise, Some(0.3));
+        assert_eq!(lanes[3].coupling_strength, Some(2.0));
+        assert_eq!(lanes[3].noise, Some(0.1));
+        // Axes not swept stay un-overridden.
+        assert!(lanes.iter().all(|l| l.shil_strength.is_none()));
+    }
+
+    #[test]
+    fn sweep_spacings() {
+        let spec = SweepSpec::new()
+            .linspace(SweepParam::ShilStrength, 1.0, 3.0, 5)
+            .logspace(SweepParam::CouplingStrength, 0.25, 4.0, 5);
+        assert_eq!(spec.num_lanes(), 25);
+        let lanes = spec.lanes();
+        // linspace endpoints and midpoint.
+        assert_eq!(lanes[0].shil_strength, Some(1.0));
+        assert_eq!(lanes[24].shil_strength, Some(3.0));
+        assert_eq!(lanes[10].shil_strength, Some(2.0));
+        // logspace endpoints exact-ish, midpoint = geometric mean.
+        let ks: Vec<f64> = lanes[..5]
+            .iter()
+            .map(|l| l.coupling_strength.unwrap())
+            .collect();
+        assert!((ks[0] - 0.25).abs() < 1e-12);
+        assert!((ks[4] - 4.0).abs() < 1e-12);
+        assert!((ks[2] - 1.0).abs() < 1e-12);
+        assert!(ks.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn reinit_sigma_sweep_sets_jitter_mode() {
+        let lanes = SweepSpec::new()
+            .grid(SweepParam::ReinitSigma, vec![0.5, 1.5])
+            .lanes();
+        assert_eq!(
+            lanes[0].reinit,
+            Some(ReinitMode::JitterDrift { sigma: 0.5 })
+        );
+        assert_eq!(
+            lanes[1].reinit,
+            Some(ReinitMode::JitterDrift { sigma: 1.5 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "added twice")]
+    fn duplicate_sweep_axis_rejected() {
+        let _ = SweepSpec::new()
+            .grid(SweepParam::Noise, vec![0.1])
+            .grid(SweepParam::Noise, vec![0.2]);
+    }
+
+    #[test]
+    fn empty_sweep_is_one_default_lane() {
+        let lanes = SweepSpec::new().lanes();
+        assert_eq!(lanes.len(), 1);
+        assert!(lanes[0].is_default());
     }
 }

@@ -53,13 +53,15 @@ pub mod circuit_machine;
 pub mod config;
 pub mod machine;
 pub mod metrics;
+pub mod portfolio;
 pub mod power;
 pub mod runner;
 pub mod schedule;
 
 pub use circuit_machine::{CircuitMsropm, CircuitMsropmConfig, CircuitSolution};
-pub use config::{MsropmConfig, ReinitMode};
+pub use config::{LaneConfig, MsropmConfig, ReinitMode, SweepParam, SweepSpec};
 pub use machine::{Msropm, MsropmSolution, StageRecord};
 pub use metrics::{coloring_accuracy, max_cut_accuracy, search_space_label};
+pub use portfolio::{LaneOutcome, PortfolioReport, PortfolioRunner, RestartEvent};
 pub use runner::{CutReference, ExperimentReport, ExperimentRunner, IterationOutcome};
-pub use schedule::{ControlState, Schedule, Window, WindowKind};
+pub use schedule::{ControlState, Schedule, ScheduleSet, Window, WindowKind};

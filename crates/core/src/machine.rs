@@ -8,7 +8,7 @@
 //! independent iterations in one interleaved sweep (see
 //! [`crate::batch`]).
 
-use crate::config::{MsropmConfig, ReinitMode};
+use crate::config::{LaneConfig, MsropmConfig, ReinitMode};
 use crate::schedule::{Schedule, Window, WindowKind};
 use msropm_graph::{Color, Coloring, Cut, EdgeMask, Graph};
 use msropm_osc::kernel::KernelIntegrator;
@@ -350,6 +350,43 @@ impl Msropm {
             &self.graph,
             &self.config,
             &self.network,
+            seeds,
+            false,
+            threads,
+        )
+    }
+
+    /// Solves one **heterogeneous** batch: lane `i` runs the machine's
+    /// configuration with `lanes[i]`'s overrides applied
+    /// (see [`crate::config::LaneConfig`]), seeded by `seeds[i]` — the
+    /// entry point for per-replica parameter sweeps.
+    ///
+    /// Lane `i` is **bit-identical** to
+    /// `Msropm::new(graph, lanes[i].resolve(config)).solve(&mut
+    /// StdRng::seed_from_u64(seeds[i]))` (with this machine's defective
+    /// rings carried over), and all-default lanes reproduce
+    /// [`Msropm::solve_batch`] exactly; both properties are tested in
+    /// `tests/lane_equivalence.rs`. Results are independent of
+    /// `threads`.
+    ///
+    /// For ranked sweeps with population restarts between stages, see
+    /// [`crate::portfolio::PortfolioRunner`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`, `lanes.len() != seeds.len()`, or a
+    /// resolved lane configuration is invalid.
+    pub fn solve_batch_lanes(
+        &self,
+        lanes: &[LaneConfig],
+        seeds: &[u64],
+        threads: usize,
+    ) -> Vec<MsropmSolution> {
+        crate::batch::solve_lanes_sharded(
+            &self.graph,
+            &self.config,
+            &self.network,
+            lanes,
             seeds,
             false,
             threads,

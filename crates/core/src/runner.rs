@@ -196,22 +196,38 @@ impl ExperimentRunner {
             .collect()
     }
 
-    fn outcome_from_solution(
+    /// Assembles the report from per-iteration solutions — the single
+    /// place both execution paths ([`ExperimentRunner::run`] and
+    /// [`ExperimentRunner::run_sequential`]) turn raw solutions into
+    /// [`IterationOutcome`]s, so the two can never drift in metric
+    /// derivation, seed bookkeeping or report shape.
+    fn assemble_report(
+        &self,
         g: &Graph,
         reference: usize,
-        iteration: usize,
-        seed: u64,
-        sol: MsropmSolution,
-    ) -> IterationOutcome {
-        let accuracy = sol.coloring.accuracy(g);
-        let stage1_cut = sol.stages[0].cut_value;
-        IterationOutcome {
-            iteration,
-            seed,
-            coloring: sol.coloring,
-            accuracy,
-            stage1_cut,
-            stage1_accuracy: max_cut_accuracy(stage1_cut, reference).min(1.0),
+        solutions: Vec<MsropmSolution>,
+    ) -> ExperimentReport {
+        let outcomes = solutions
+            .into_iter()
+            .zip(self.seeds())
+            .enumerate()
+            .map(|(iteration, (sol, seed))| {
+                let accuracy = sol.coloring.accuracy(g);
+                let stage1_cut = sol.stages[0].cut_value;
+                IterationOutcome {
+                    iteration,
+                    seed,
+                    coloring: sol.coloring,
+                    accuracy,
+                    stage1_cut,
+                    stage1_accuracy: max_cut_accuracy(stage1_cut, reference).min(1.0),
+                }
+            })
+            .collect();
+        ExperimentReport {
+            outcomes,
+            cut_reference: reference,
+            time_per_iteration_ns: self.config.total_time_ns(),
         }
     }
 
@@ -231,17 +247,7 @@ impl ExperimentRunner {
         let seeds = self.seeds();
         let solutions =
             crate::batch::solve_batch_sharded(g, &self.config, &network, &seeds, true, threads);
-        let outcomes = solutions
-            .into_iter()
-            .zip(&seeds)
-            .enumerate()
-            .map(|(i, (sol, &seed))| Self::outcome_from_solution(g, reference, i, seed, sol))
-            .collect();
-        ExperimentReport {
-            outcomes,
-            cut_reference: reference,
-            time_per_iteration_ns: self.config.total_time_ns(),
-        }
+        self.assemble_report(g, reference, solutions)
     }
 
     /// The reference implementation of [`ExperimentRunner::run`]: one
@@ -251,22 +257,16 @@ impl ExperimentRunner {
     pub fn run_sequential(&self, g: &Graph) -> ExperimentReport {
         let reference = self.resolve_cut_reference(g);
         let config = self.config;
-        let outcomes = self
+        let solutions = self
             .seeds()
             .into_iter()
-            .enumerate()
-            .map(|(i, seed)| {
+            .map(|seed| {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut machine = Msropm::with_frequency_spread(g, config, &mut rng);
-                let sol = machine.solve(&mut rng);
-                Self::outcome_from_solution(g, reference, i, seed, sol)
+                machine.solve(&mut rng)
             })
             .collect();
-        ExperimentReport {
-            outcomes,
-            cut_reference: reference,
-            time_per_iteration_ns: config.total_time_ns(),
-        }
+        self.assemble_report(g, reference, solutions)
     }
 }
 

@@ -6,7 +6,7 @@
 //! timeline as a list of typed windows so that the machine, the waveform
 //! dumper and the tests all agree on what happens when.
 
-use crate::config::MsropmConfig;
+use crate::config::{LaneConfig, MsropmConfig};
 
 /// What the array is doing during one window of the schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -122,6 +122,89 @@ impl Schedule {
     }
 }
 
+/// One compiled [`Schedule`] per replica lane, plus the proof that the
+/// lanes can run in one interleaved batch.
+///
+/// The batch engine advances every lane with the *same* step loop, so
+/// heterogeneous lanes are only admissible when their timelines agree
+/// on every window boundary (the control *contents* — noise σ, SHIL
+/// strength/ramp, re-init mode — may differ per lane; the control
+/// *instants* may not). [`ScheduleSet::from_lane_configs`] compiles one
+/// schedule per resolved lane and panics if any pair disagrees, so a
+/// future per-lane timing override cannot silently desynchronize the
+/// SoA sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleSet {
+    schedules: Vec<Schedule>,
+}
+
+impl ScheduleSet {
+    /// Compiles one schedule per config and checks lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty, any config is invalid, or two
+    /// lanes' timelines differ in window count, kind, stage or
+    /// boundaries.
+    pub fn from_configs(configs: &[MsropmConfig]) -> Self {
+        assert!(!configs.is_empty(), "need at least one lane");
+        let schedules: Vec<Schedule> = configs.iter().map(Schedule::from_config).collect();
+        let base = &schedules[0];
+        for (r, s) in schedules.iter().enumerate().skip(1) {
+            assert_eq!(
+                s.windows().len(),
+                base.windows().len(),
+                "lane {r} window count differs from lane 0"
+            );
+            for (w, wb) in s.windows().iter().zip(base.windows()) {
+                assert!(
+                    w.stage == wb.stage
+                        && w.kind == wb.kind
+                        && w.t_start == wb.t_start
+                        && w.duration == wb.duration,
+                    "lane {r} timeline not in lockstep with lane 0: {w:?} vs {wb:?}"
+                );
+            }
+            assert_eq!(
+                configs[r].dt, configs[0].dt,
+                "lane {r} step size differs from lane 0"
+            );
+        }
+        ScheduleSet { schedules }
+    }
+
+    /// Resolves `lanes` against `base` and compiles the per-lane
+    /// schedules (see [`ScheduleSet::from_configs`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`ScheduleSet::from_configs`], plus lane-resolution panics.
+    pub fn from_lane_configs(base: &MsropmConfig, lanes: &[LaneConfig]) -> Self {
+        let configs: Vec<MsropmConfig> = lanes.iter().map(|l| l.resolve(base)).collect();
+        Self::from_configs(&configs)
+    }
+
+    /// Number of lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// The schedule of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane(&self, lane: usize) -> &Schedule {
+        &self.schedules[lane]
+    }
+
+    /// The shared lockstep timeline (every lane's boundaries agree, so
+    /// lane 0 speaks for all — the timeline the batch step loop walks).
+    pub fn lockstep(&self) -> &Schedule {
+        &self.schedules[0]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +263,38 @@ mod tests {
         assert_eq!(s.window_at(60.0).unwrap().stage, 2);
         assert!(s.window_at(61.0).is_none());
         assert!(s.window_at(-1.0).is_none());
+    }
+
+    #[test]
+    fn schedule_set_accepts_heterogeneous_controls() {
+        use crate::config::{LaneConfig, ReinitMode};
+        let base = MsropmConfig::paper_default();
+        let lanes = [
+            LaneConfig::default(),
+            LaneConfig::default().with_noise(0.4).with_shil_ramp(true),
+            LaneConfig::default().with_reinit(ReinitMode::UniformRandom),
+        ];
+        let set = ScheduleSet::from_lane_configs(&base, &lanes);
+        assert_eq!(set.num_lanes(), 3);
+        assert_eq!(set.lane(1), set.lockstep());
+        assert_eq!(set.lockstep().total_time_ns(), 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lockstep")]
+    fn schedule_set_rejects_desynced_timelines() {
+        let a = MsropmConfig::paper_default();
+        let b = MsropmConfig {
+            t_anneal: 25.0,
+            ..a
+        };
+        ScheduleSet::from_configs(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn schedule_set_rejects_empty() {
+        ScheduleSet::from_configs(&[]);
     }
 
     #[test]

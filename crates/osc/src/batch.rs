@@ -19,6 +19,15 @@
 //! [`CoupledKernel`](crate::kernel::CoupledKernel) — the property that
 //! lets the batch solver shard replicas across threads deterministically.
 //!
+//! The same lane treatment extends to every control parameter, so the
+//! replicas need not be identical machines: per-replica coupling
+//! strengths ride in the weight lanes ([`BatchKernel::from_lanes`]),
+//! per-replica noise amplitudes in σ-lanes, per-replica SHIL strengths
+//! in the dense SHIL table, and per-replica OIM ramps in a SHIL-scale
+//! lane — all resolved to flat per-(element, replica) tables before the
+//! sweep, so heterogeneous parameter portfolios run at homogeneous-batch
+//! speed with no per-step branching.
+//!
 //! Noise is drawn through
 //! [`fill_normal_batch`](msropm_ode::sde::fill_normal_batch) from one
 //! seeded RNG **per replica**, in the same per-replica order a sequential
@@ -36,6 +45,13 @@ use rand::Rng;
 /// weight lanes) because each replica's `P_EN`/`SHIL_SEL` state evolves
 /// independently across solution stages; recompiling per window would
 /// cost O(n·M + m·M) for no benefit.
+///
+/// Every control parameter is a **per-replica lane**: ungated edge
+/// weights (`K`-lanes), noise amplitudes (`σ`-lanes), SHIL tables and
+/// SHIL ramp scales. [`BatchKernel::new`] broadcasts one network across
+/// all lanes; [`BatchKernel::from_lanes`] gives each lane the weights
+/// and noise of its own network, which is how heterogeneous parameter
+/// sweeps enter the hot loop without any per-step branching.
 #[derive(Debug, Clone)]
 pub struct BatchKernel {
     num_nodes: usize,
@@ -43,7 +59,7 @@ pub struct BatchKernel {
     /// Edge endpoints in edge-id order (all graph edges).
     edge_u: Vec<u32>,
     edge_v: Vec<u32>,
-    /// Ungated physical weight per edge.
+    /// Ungated physical weight lanes `[e*M + r]` (per-replica `K`).
     base_weight: Vec<f64>,
     /// Effective weight lanes `[e*M + r]`; `0.0` encodes a gated edge.
     weight: Vec<f64>,
@@ -56,10 +72,13 @@ pub struct BatchKernel {
     shil_m: Vec<f64>,
     shil_psi: Vec<f64>,
     shil_ks: Vec<f64>,
-    shil_scale: f64,
-    /// Per-node diffusion σ (shared across replicas; defective rings 0).
-    noise: Vec<f64>,
-    noise_amplitude: f64,
+    /// Per-replica SHIL ramp scale (the OIM ramp, one lane at a time).
+    shil_scale: Vec<f64>,
+    /// Per-(node, replica) diffusion σ `[i*M + r]` (defective rings 0).
+    noise_sig: Vec<f64>,
+    /// Per-replica noise amplitude (the value `noise_sig` lanes carry on
+    /// functional rings).
+    noise_amp: Vec<f64>,
     couplings_on: bool,
     shil_on: bool,
 }
@@ -74,15 +93,73 @@ impl BatchKernel {
     /// Panics if `replicas == 0`.
     pub fn new(net: &PhaseNetwork, replicas: usize) -> Self {
         assert!(replicas > 0, "need at least one replica");
+        Self::build(net, replicas, None)
+    }
+
+    /// Builds a **heterogeneous** batch kernel: lane `r` takes its edge
+    /// weights, edge gating, noise amplitude, frequency offsets and SHIL
+    /// assignments from `nets[r]`. All networks must share the topology
+    /// and per-ring enables (they are typically clones of one base
+    /// network with per-lane parameter overrides applied); the global
+    /// coupling/SHIL enables are taken from `nets[0]` and must agree.
+    ///
+    /// Lane `r` of the resulting kernel is bit-identical to a
+    /// single-replica kernel built from `nets[r]` alone — per-lane
+    /// weights are *copied*, never rescaled, so no rounding can creep in
+    /// between a swept lane and a standalone run at the same operating
+    /// point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nets` is empty or the networks disagree on topology,
+    /// node enables, or the global coupling/SHIL enables.
+    pub fn from_lanes(nets: &[PhaseNetwork]) -> Self {
+        assert!(!nets.is_empty(), "need at least one lane network");
+        let base = &nets[0];
+        for (r, net) in nets.iter().enumerate() {
+            assert_eq!(
+                net.num_nodes(),
+                base.num_nodes(),
+                "lane {r} node count differs"
+            );
+            assert_eq!(
+                net.edge_endpoints(),
+                base.edge_endpoints(),
+                "lane {r} topology differs"
+            );
+            assert!(
+                (0..net.num_nodes()).all(|i| net.node_enabled(i) == base.node_enabled(i)),
+                "lane {r} ring enables differ"
+            );
+            assert_eq!(
+                net.couplings_enabled(),
+                base.couplings_enabled(),
+                "lane {r} global coupling enable differs"
+            );
+            assert_eq!(
+                net.shil_enabled(),
+                base.shil_enabled(),
+                "lane {r} global SHIL enable differs"
+            );
+        }
+        Self::build(base, nets.len(), Some(nets))
+    }
+
+    fn build(net: &PhaseNetwork, replicas: usize, lanes: Option<&[PhaseNetwork]>) -> Self {
         let n = net.num_nodes();
         let m = net.num_edges();
+        let lane_net = |r: usize| lanes.map_or(net, |nets| &nets[r]);
         let mut edge_u = Vec::with_capacity(m);
         let mut edge_v = Vec::with_capacity(m);
-        let mut base_weight = Vec::with_capacity(m);
-        for (e, &(u, v)) in net.edge_endpoints().iter().enumerate() {
+        for &(u, v) in net.edge_endpoints() {
             edge_u.push(u);
             edge_v.push(v);
-            base_weight.push(net.edge_weight(e));
+        }
+        let mut base_weight = vec![0.0; m * replicas];
+        for e in 0..m {
+            for r in 0..replicas {
+                base_weight[e * replicas + r] = lane_net(r).edge_weight(e);
+            }
         }
         let node_enabled: Vec<bool> = (0..n).map(|i| net.node_enabled(i)).collect();
         let mut kernel = BatchKernel {
@@ -98,24 +175,26 @@ impl BatchKernel {
             shil_m: vec![0.0; n * replicas],
             shil_psi: vec![0.0; n * replicas],
             shil_ks: vec![0.0; n * replicas],
-            shil_scale: 1.0,
-            noise: vec![0.0; n],
-            noise_amplitude: 0.0,
+            shil_scale: vec![1.0; replicas],
+            noise_sig: vec![0.0; n * replicas],
+            noise_amp: vec![0.0; replicas],
             couplings_on: net.couplings_enabled(),
             shil_on: net.shil_enabled(),
         };
         for e in 0..m {
             for r in 0..replicas {
-                kernel.set_edge_enabled(e, r, net.edge_enabled(e));
+                kernel.set_edge_enabled(e, r, lane_net(r).edge_enabled(e));
             }
         }
         for i in 0..n {
             for r in 0..replicas {
-                kernel.set_bias(i, r, net.delta_omega()[i]);
-                kernel.set_shil(i, r, net.shil_of(i));
+                kernel.set_bias(i, r, lane_net(r).delta_omega()[i]);
+                kernel.set_shil(i, r, lane_net(r).shil_of(i));
             }
         }
-        kernel.set_noise_amplitude(net.noise_amplitude());
+        for r in 0..replicas {
+            kernel.set_lane_noise_amplitude(r, lane_net(r).noise_amplitude());
+        }
         kernel
     }
 
@@ -141,6 +220,7 @@ impl BatchKernel {
     }
 
     /// Gates one coupling of one replica (that replica's `P_EN` bit).
+    /// An enabled edge conducts at that replica's own lane weight.
     ///
     /// # Panics
     ///
@@ -149,9 +229,9 @@ impl BatchKernel {
         assert!(replica < self.replicas, "replica out of range");
         let (u, v) = (self.edge_u[edge] as usize, self.edge_v[edge] as usize);
         let live = on && self.node_enabled[u] && self.node_enabled[v];
-        self.edge_on[edge * self.replicas + replica] = live;
-        self.weight[edge * self.replicas + replica] =
-            if live { self.base_weight[edge] } else { 0.0 };
+        let lane = edge * self.replicas + replica;
+        self.edge_on[lane] = live;
+        self.weight[lane] = if live { self.base_weight[lane] } else { 0.0 };
     }
 
     /// Returns `true` if `edge` conducts for `replica`.
@@ -188,6 +268,16 @@ impl BatchKernel {
         }
     }
 
+    /// Frequency offset of node `i` in `replica`.
+    pub fn bias_of(&self, node: usize, replica: usize) -> f64 {
+        self.bias[node * self.replicas + replica]
+    }
+
+    /// Returns `true` if oscillator `node` is functional (ring `L_EN`).
+    pub fn node_enabled(&self, node: usize) -> bool {
+        self.node_enabled[node]
+    }
+
     /// Global coupling enable (`G_EN`): skips the edge sweep when low.
     pub fn set_couplings_enabled(&mut self, on: bool) {
         self.couplings_on = on;
@@ -198,35 +288,75 @@ impl BatchKernel {
         self.shil_on = on;
     }
 
-    /// Scales every SHIL strength at evaluation time (the OIM ramp).
+    /// Scales every SHIL strength of every replica at evaluation time
+    /// (the OIM ramp applied uniformly).
     ///
     /// # Panics
     ///
     /// Panics if `scale` is negative or non-finite.
     pub fn set_shil_scale(&mut self, scale: f64) {
+        for r in 0..self.replicas {
+            self.set_lane_shil_scale(r, scale);
+        }
+    }
+
+    /// Scales the SHIL strengths of one replica at evaluation time —
+    /// the per-lane OIM ramp (lanes that don't ramp keep scale 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range or `scale` is negative or
+    /// non-finite.
+    pub fn set_lane_shil_scale(&mut self, replica: usize, scale: f64) {
         assert!(
             scale.is_finite() && scale >= 0.0,
             "SHIL scale must be finite and non-negative, got {scale}"
         );
-        self.shil_scale = scale;
+        self.shil_scale[replica] = scale;
     }
 
-    /// Sets the white-noise amplitude σ for every functional ring.
+    /// Sets the white-noise amplitude σ of every replica's functional
+    /// rings.
     ///
     /// # Panics
     ///
     /// Panics if `sigma < 0`.
     pub fn set_noise_amplitude(&mut self, sigma: f64) {
-        assert!(sigma >= 0.0, "noise amplitude must be non-negative");
-        self.noise_amplitude = sigma;
-        for i in 0..self.num_nodes {
-            self.noise[i] = if self.node_enabled[i] { sigma } else { 0.0 };
+        for r in 0..self.replicas {
+            self.set_lane_noise_amplitude(r, sigma);
         }
     }
 
-    /// Current noise amplitude σ.
+    /// Sets the white-noise amplitude σ of one replica (its σ-lane);
+    /// defective rings stay at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range or `sigma < 0`.
+    pub fn set_lane_noise_amplitude(&mut self, replica: usize, sigma: f64) {
+        assert!(sigma >= 0.0, "noise amplitude must be non-negative");
+        assert!(replica < self.replicas, "replica out of range");
+        self.noise_amp[replica] = sigma;
+        for i in 0..self.num_nodes {
+            self.noise_sig[i * self.replicas + replica] =
+                if self.node_enabled[i] { sigma } else { 0.0 };
+        }
+    }
+
+    /// Noise amplitude σ of replica 0 (all replicas agree unless
+    /// per-lane amplitudes were set — query
+    /// [`BatchKernel::lane_noise_amplitude`] for a specific lane).
     pub fn noise_amplitude(&self) -> f64 {
-        self.noise_amplitude
+        self.noise_amp[0]
+    }
+
+    /// Noise amplitude σ of one replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn lane_noise_amplitude(&self, replica: usize) -> f64 {
+        self.noise_amp[replica]
     }
 
     /// Writes the interleaved drift into `dydt` (`scratch` holds the
@@ -271,10 +401,14 @@ impl BatchKernel {
             }
         }
         if self.shil_on {
-            for k in 0..self.state_len() {
-                let torque = (self.shil_ks[k] * self.shil_scale)
-                    * sin_fast(self.shil_m[k] * y[k] - self.shil_psi[k]);
-                dydt[k] -= torque;
+            for i in 0..self.num_nodes {
+                let row = i * rr;
+                for r in 0..rr {
+                    let k = row + r;
+                    let torque = (self.shil_ks[k] * self.shil_scale[r])
+                        * sin_fast(self.shil_m[k] * y[k] - self.shil_psi[k]);
+                    dydt[k] -= torque;
+                }
             }
         }
     }
@@ -316,10 +450,10 @@ impl BatchIntegrator {
         fill_normal_batch(&mut self.noise, rngs);
         let sqrt_dt = dt.sqrt();
         for i in 0..kernel.num_nodes() {
-            let sigma = kernel.noise[i];
             let row = i * rr;
             for r in 0..rr {
-                y[row + r] += dt * self.drift[row + r] + sqrt_dt * sigma * self.noise[row + r];
+                y[row + r] += dt * self.drift[row + r]
+                    + sqrt_dt * kernel.noise_sig[row + r] * self.noise[row + r];
             }
         }
     }
@@ -349,12 +483,9 @@ impl BatchIntegrator {
         }
     }
 
-    /// Integrates `[t0, t1]` while ramping the SHIL scale. Uses the same
-    /// [`RampSchedule`](crate::kernel) as the scalar
-    /// `KernelIntegrator::integrate_ramped` — identical segment count,
-    /// boundaries and mid-segment ramp sampling, so per-replica step
-    /// sizes and RNG consumption stay in exact lockstep with a
-    /// sequential run; scale restored to 1 on return.
+    /// Integrates `[t0, t1]` while ramping every replica's SHIL scale.
+    /// Equivalent to [`BatchIntegrator::integrate_ramped_lanes`] with
+    /// every lane ramped.
     ///
     /// # Panics
     ///
@@ -371,16 +502,60 @@ impl BatchIntegrator {
         rngs: &mut [R],
         ramp: impl Fn(f64) -> f64,
     ) {
+        let all = vec![true; kernel.num_replicas()];
+        self.integrate_ramped_lanes(kernel, y, t0, t1, dt, rngs, ramp, &all);
+    }
+
+    /// Integrates `[t0, t1]` while ramping the SHIL scale of the lanes
+    /// marked in `ramped`; unmarked lanes hold scale 1 throughout. Uses
+    /// the same step-indexed [`RampSchedule`](crate::kernel) as the
+    /// scalar `KernelIntegrator::integrate_ramped`, so the step sequence
+    /// is exactly the plain [`BatchIntegrator::integrate`] sequence:
+    /// ramped lanes stay in lockstep with a sequential ramped run, and
+    /// non-ramped lanes are bit-identical to a plain sequential run.
+    /// All scales are restored to 1 on return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`, `t1 < t0`, `ramped.len()` differs from the
+    /// replica count, or the ramp returns a negative or non-finite
+    /// scale.
+    #[allow(clippy::too_many_arguments)]
+    pub fn integrate_ramped_lanes<R: Rng>(
+        &mut self,
+        kernel: &mut BatchKernel,
+        y: &mut [f64],
+        t0: f64,
+        t1: f64,
+        dt: f64,
+        rngs: &mut [R],
+        ramp: impl Fn(f64) -> f64,
+        ramped: &[bool],
+    ) {
+        assert_eq!(
+            ramped.len(),
+            kernel.num_replicas(),
+            "need one ramp flag per replica"
+        );
         let schedule = crate::kernel::RampSchedule::new(t0, t1, dt);
         let mut t = t0;
-        for s in 0..schedule.segments() {
-            kernel.set_shil_scale(ramp(schedule.frac(s)));
-            let seg_end = schedule.seg_end(s);
-            while t < seg_end {
-                let h = dt.min(seg_end - t);
-                self.step(kernel, y, h, rngs);
-                t += h;
+        let mut step = 0usize;
+        let mut cur_seg = usize::MAX;
+        while t < t1 {
+            let s = schedule.seg_of(step);
+            if s != cur_seg {
+                let scale = ramp(schedule.frac(s));
+                for (r, &is_ramped) in ramped.iter().enumerate() {
+                    if is_ramped {
+                        kernel.set_lane_shil_scale(r, scale);
+                    }
+                }
+                cur_seg = s;
             }
+            let h = dt.min(t1 - t);
+            self.step(kernel, y, h, rngs);
+            t += h;
+            step += 1;
         }
         kernel.set_shil_scale(1.0);
     }

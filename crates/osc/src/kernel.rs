@@ -238,16 +238,23 @@ impl SdeSystem for CoupledKernel {
 /// batch solver's bit-identity-with-sequential contract breaks (step
 /// sizes and per-step RNG consumption would diverge). Keeping the
 /// arithmetic in one place makes that impossible to drift.
+///
+/// Segments are indexed by **step count**, not by time: a ramped window
+/// performs exactly the step sequence of the plain
+/// [`KernelIntegrator::integrate`] loop (`h = dt` except the final
+/// landing step) and only the SHIL scale changes between steps. This is
+/// what lets a batch mix ramped and non-ramped lanes — the non-ramped
+/// lanes see the same step sizes and RNG consumption as a standalone
+/// un-ramped run.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct RampSchedule {
-    t0: f64,
-    t1: f64,
     segments: usize,
-    seg_len: f64,
+    steps_per_seg: usize,
 }
 
 impl RampSchedule {
-    /// Splits `[t0, t1]` into ~10-step segments (1..=1000 of them).
+    /// Plans ~10-step segments (1..=1000 of them) over the steps the
+    /// plain loop takes to cover `[t0, t1]`.
     ///
     /// # Panics
     ///
@@ -255,32 +262,23 @@ impl RampSchedule {
     pub(crate) fn new(t0: f64, t1: f64, dt: f64) -> Self {
         assert!(dt > 0.0, "step size must be positive");
         assert!(t1 >= t0, "t1 must be >= t0");
-        let duration = t1 - t0;
-        let segments = ((duration / dt / 10.0).ceil() as usize).clamp(1, 1000);
+        let steps = (((t1 - t0) / dt).ceil() as usize).max(1);
+        let segments = steps.div_ceil(10).clamp(1, 1000);
         RampSchedule {
-            t0,
-            t1,
             segments,
-            seg_len: duration / segments as f64,
+            steps_per_seg: steps.div_ceil(segments),
         }
     }
 
-    pub(crate) fn segments(&self) -> usize {
-        self.segments
+    /// Segment containing step `step` (0-based; steps past the planned
+    /// count stay in the last segment).
+    pub(crate) fn seg_of(&self, step: usize) -> usize {
+        (step / self.steps_per_seg).min(self.segments - 1)
     }
 
     /// Mid-segment ramp abscissa for segment `s`.
     pub(crate) fn frac(&self, s: usize) -> f64 {
         (s as f64 + 0.5) / self.segments as f64
-    }
-
-    /// End time of segment `s` (the last segment lands exactly on `t1`).
-    pub(crate) fn seg_end(&self, s: usize) -> f64 {
-        if s + 1 == self.segments {
-            self.t1
-        } else {
-            self.t0 + self.seg_len * (s + 1) as f64
-        }
     }
 }
 
@@ -371,12 +369,14 @@ impl KernelIntegrator {
     }
 
     /// Integrates `[t0, t1]` while ramping the kernel's SHIL scale:
-    /// the window is split into segments (ten steps each, capped at
+    /// steps are grouped into segments (ten steps each, capped at
     /// 1000 segments) and segment `s` runs with
-    /// `scale = ramp((s + ½)/segments)`. The observer fires at `t0` and
-    /// after every step with absolute time, fixing the Fig. 3 waveform
-    /// dumps that previously collapsed ramped windows to one sample.
-    /// The kernel's scale is restored to 1 on return.
+    /// `scale = ramp((s + ½)/segments)`. The step sequence is exactly the
+    /// plain [`KernelIntegrator::integrate`] sequence — segments switch
+    /// the scale *between* steps and never split one. The observer fires
+    /// at `t0` and after every step with absolute time, fixing the Fig. 3
+    /// waveform dumps that previously collapsed ramped windows to one
+    /// sample. The kernel's scale is restored to 1 on return.
     ///
     /// # Panics
     ///
@@ -397,15 +397,19 @@ impl KernelIntegrator {
         let schedule = RampSchedule::new(t0, t1, dt);
         observe(t0, y);
         let mut t = t0;
-        for s in 0..schedule.segments() {
-            kernel.set_shil_scale(ramp(schedule.frac(s)));
-            let seg_end = schedule.seg_end(s);
-            while t < seg_end {
-                let h = dt.min(seg_end - t);
-                self.step(kernel, y, h, rng);
-                t += h;
-                observe(t, y);
+        let mut step = 0usize;
+        let mut cur_seg = usize::MAX;
+        while t < t1 {
+            let s = schedule.seg_of(step);
+            if s != cur_seg {
+                kernel.set_shil_scale(ramp(schedule.frac(s)));
+                cur_seg = s;
             }
+            let h = dt.min(t1 - t);
+            self.step(kernel, y, h, rng);
+            t += h;
+            step += 1;
+            observe(t, y);
         }
         kernel.set_shil_scale(1.0);
     }

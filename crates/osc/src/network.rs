@@ -223,6 +223,23 @@ impl PhaseNetwork {
         }
     }
 
+    /// Sets the coupling magnitude `K_c` for **every** edge, replacing
+    /// any per-edge weight overrides — the same recipe as
+    /// [`PhaseNetworkBuilder::coupling_strength`] (all weights become
+    /// `−coupling`, the B2B anti-phase sign). This is how per-lane
+    /// coupling sweeps derive a lane network from a base network without
+    /// any weight rescaling arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coupling < 0`.
+    pub fn set_coupling_strength(&mut self, coupling: f64) {
+        assert!(coupling >= 0.0, "coupling strength must be non-negative");
+        for w in &mut self.edge_weight {
+            *w = -coupling;
+        }
+    }
+
     /// Overrides the weight of one coupling (`K_ij`; negative = B2B).
     ///
     /// # Panics

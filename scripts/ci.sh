@@ -21,9 +21,19 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q -p msropm-ode --features ziggurat"
+cargo test -q -p msropm-ode --features ziggurat
+
 if [[ "$quick" -eq 0 ]]; then
     echo "==> cargo build --release"
     cargo build --release
+
+    echo "==> cargo build --release --examples"
+    cargo build --release --examples
+
+    echo "==> bench_phase_step smoke (quick, throwaway output)"
+    cargo run --release -p msropm-bench --bin bench_phase_step -- \
+        --quick --out "$(mktemp -t bench_phase_step_smoke.XXXXXX.json)"
 fi
 
 echo "CI gate passed."
