@@ -200,53 +200,86 @@ fn bench_side(side: usize, eval_budget: f64, anneal_budget: f64) -> Row {
     }
 }
 
-/// Default output location: the workspace root (two levels above this
-/// crate's manifest). Resolved at *runtime* where possible — the
-/// compile-time manifest path is only a fallback, so a relocated binary
-/// or moved checkout degrades to the current directory instead of
-/// panicking on a stale absolute path.
-fn default_out_path() -> String {
-    let candidates = [
-        std::env::var("CARGO_MANIFEST_DIR")
-            .ok()
-            .map(|d| format!("{d}/../../BENCH_phase_step.json")),
-        Some(format!(
-            "{}/../../BENCH_phase_step.json",
-            env!("CARGO_MANIFEST_DIR")
-        )),
-    ];
-    for c in candidates.into_iter().flatten() {
-        if std::path::Path::new(&c)
-            .parent()
-            .is_some_and(|p| p.is_dir())
-        {
-            return c;
-        }
-    }
-    "BENCH_phase_step.json".to_string()
+/// Column-wise best of two measurement passes. Scheduler hiccups on a
+/// shared box only ever make a sample *slower*, so the per-column
+/// minimum is the stable statistic the 15% CI gate can safely compare
+/// (derived ratios are recomputed from the kept minima).
+fn best_of(a: Row, b: Row) -> Row {
+    let mut r = Row {
+        naive_eval_ns: a.naive_eval_ns.min(b.naive_eval_ns),
+        kernel_eval_ns: a.kernel_eval_ns.min(b.kernel_eval_ns),
+        batch_eval_ns_per_replica: a.batch_eval_ns_per_replica.min(b.batch_eval_ns_per_replica),
+        sweep_eval_ns_per_replica: a.sweep_eval_ns_per_replica.min(b.sweep_eval_ns_per_replica),
+        anneal_naive_us: a.anneal_naive_us.min(b.anneal_naive_us),
+        anneal_kernel_us: a.anneal_kernel_us.min(b.anneal_kernel_us),
+        anneal_batch_us_per_replica: a
+            .anneal_batch_us_per_replica
+            .min(b.anneal_batch_us_per_replica),
+        ..a
+    };
+    r.kernel_speedup = r.naive_eval_ns / r.kernel_eval_ns;
+    r.batch_speedup = r.naive_eval_ns / r.batch_eval_ns_per_replica;
+    r
+}
+
+/// Tracked ns/op columns for the `--baseline` CI perf gate: the compiled
+/// hot paths. `naive_eval_ns` is the uncompiled reference (tracked too —
+/// it regressing usually means the whole build got slower).
+const TRACKED: [&str; 6] = [
+    "naive_eval_ns",
+    "kernel_eval_ns",
+    "batch_eval_ns_per_replica",
+    "sweep_eval_ns_per_replica",
+    "anneal_1ns_kernel_us",
+    "anneal_1ns_batch_us_per_replica",
+];
+
+/// Every timing a row carries, for output validation.
+fn row_timings(r: &Row) -> [(&'static str, f64); 8] {
+    [
+        ("naive_eval_ns", r.naive_eval_ns),
+        ("kernel_eval_ns", r.kernel_eval_ns),
+        ("batch_eval_ns_per_replica", r.batch_eval_ns_per_replica),
+        ("sweep_eval_ns_per_replica", r.sweep_eval_ns_per_replica),
+        ("anneal_1ns_naive_us", r.anneal_naive_us),
+        ("anneal_1ns_kernel_us", r.anneal_kernel_us),
+        (
+            "anneal_1ns_batch_us_per_replica",
+            r.anneal_batch_us_per_replica,
+        ),
+        ("kernel_speedup", r.kernel_speedup),
+    ]
 }
 
 fn main() {
     let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
     let mut quick = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => out_path = Some(args.next().expect("--out requires a value")),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline requires a value")),
             other => {
-                eprintln!("unknown argument {other:?}; valid: --quick, --out PATH");
+                eprintln!(
+                    "unknown argument {other:?}; valid: --quick, --out PATH, --baseline PATH"
+                );
                 std::process::exit(2);
             }
         }
     }
-    let out_path = out_path.unwrap_or_else(default_out_path);
+    let out_path = out_path
+        .unwrap_or_else(|| msropm_bench::baseline::default_out_path("BENCH_phase_step.json"));
     let sides: &[usize] = if quick { &[7] } else { &[7, 20, 32, 46] };
     let (eval_budget, anneal_budget) = if quick { (0.05, 0.1) } else { (0.3, 0.6) };
 
     let mut rows = Vec::new();
     for &side in sides {
-        let row = bench_side(side, eval_budget, anneal_budget);
+        let row = best_of(
+            bench_side(side, eval_budget, anneal_budget),
+            bench_side(side, eval_budget, anneal_budget),
+        );
         println!(
             "kings {:>2}x{:<2} n={:<5} m={:<6} eval naive {:>9.1} ns | kernel {:>9.1} ns ({:>4.2}x) | batch/rep {:>9.1} ns ({:>4.2}x) | sweep/rep {:>9.1} ns | anneal1ns naive {:>8.1} us | kernel {:>8.1} us | batch/rep {:>8.1} us",
             row.side, row.side, row.nodes, row.edges,
@@ -256,6 +289,26 @@ fn main() {
             row.anneal_naive_us, row.anneal_kernel_us, row.anneal_batch_us_per_replica,
         );
         rows.push(row);
+    }
+
+    // Validate before writing: a NaN/zero timing (broken clock, elided
+    // benchmark loop, bad refactor of this harness) must fail the run,
+    // not silently become the committed baseline future PRs are gated
+    // against.
+    let mut bogus = Vec::new();
+    for r in &rows {
+        for (name, v) in row_timings(r) {
+            if !v.is_finite() || v <= 0.0 {
+                bogus.push(format!("kings_{0}x{0} {name} = {v}", r.side));
+            }
+        }
+    }
+    if !bogus.is_empty() {
+        eprintln!(
+            "bench_phase_step: invalid timings — refusing to write {out_path}:\n  {}",
+            bogus.join("\n  ")
+        );
+        std::process::exit(1);
     }
 
     let unix_time = std::time::SystemTime::now()
@@ -296,4 +349,11 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));
     println!("wrote {out_path}");
+
+    // CI perf-regression gate: compare the run just taken against a
+    // committed baseline; any tracked column >15% slower exits nonzero.
+    // (`--quick` runs compare only the rows they measured.)
+    if let Some(base_path) = baseline_path {
+        msropm_bench::baseline::enforce_gate_cli(&json, &base_path, &TRACKED);
+    }
 }

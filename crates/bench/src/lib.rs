@@ -14,6 +14,12 @@
 //! | `table2_comparison` | Table 2 — comparison vs re-implemented baselines |
 //! | `ablation_*` | beyond-paper sweeps of the §2.3 tuning knobs |
 //!
+//! Beyond the paper artifacts, two perf harnesses write the committed
+//! `BENCH_*.json` baselines at the repo root and double as the CI
+//! perf-regression gate (via `--baseline`; see [`baseline`]):
+//! `bench_phase_step` (hot-loop ns/op suite) and `serve_bench` (job-server
+//! throughput/latency; `--smoke` is the CI server determinism stage).
+//!
 //! All binaries accept `--quick` (reduced sizes/iterations, for smoke
 //! tests), `--iters N` and `--out DIR` (CSV output directory, default
 //! `paper_results/`).
@@ -21,10 +27,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod options;
 pub mod problems;
 pub mod tables;
 
+pub use baseline::{enforce_gate, find_regressions, parse_rows, BenchRow, Regression};
 pub use options::Options;
 pub use problems::{paper_benchmark, paper_sides, Benchmark};
 pub use tables::Table;

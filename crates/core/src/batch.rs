@@ -114,14 +114,14 @@ pub(crate) fn solve_lanes_sharded(
     }
     let threads = threads.min(seeds.len());
     if threads == 1 {
-        return solve_lane_range_hooked(
+        return solve_lanes_arena(
             graph,
             config,
             network,
             lanes,
             seeds,
             sample_spread,
-            |_, _: &mut StageBoundary| {},
+            &mut BatchArena::new(),
         );
     }
     let chunk_len = seeds.len().div_ceil(threads);
@@ -131,14 +131,14 @@ pub(crate) fn solve_lanes_sharded(
             .zip(lanes.chunks(chunk_len))
             .map(|(seed_chunk, lane_chunk)| {
                 scope.spawn(move |_| {
-                    solve_lane_range_hooked(
+                    solve_lanes_arena(
                         graph,
                         config,
                         network,
                         lane_chunk,
                         seed_chunk,
                         sample_spread,
-                        |_, _: &mut StageBoundary| {},
+                        &mut BatchArena::new(),
                     )
                 })
             })
@@ -216,6 +216,48 @@ impl StageBoundary<'_> {
     }
 }
 
+/// Reusable per-worker scratch for batch solves: the integrator (drift +
+/// noise buffers) plus every per-run state vector
+/// (`phases`/`groups`/`bits`/RNGs/resolved configs/SHIL tables).
+///
+/// A long-lived arena makes repeated batch solves allocation-free across
+/// jobs once warm (for same-shaped jobs — buffers only grow, never
+/// shrink): the job-server workers each own one and thread it through
+/// every solve they execute. The compiled [`BatchKernel`] itself is still
+/// built per solve — it *is* the problem compilation; reuse across repeat
+/// topologies happens one level up in [`crate::cache::ProblemCache`],
+/// which caches the machine (graph + network) a kernel is compiled from.
+///
+/// Results are bit-identical whether a fresh or a reused arena is used
+/// (every buffer is fully re-initialized at the start of a solve);
+/// covered by `reused_arena_matches_fresh_arena` below.
+#[derive(Debug, Default)]
+pub struct BatchArena {
+    integrator: BatchIntegrator,
+    rngs: Vec<StdRng>,
+    configs: Vec<MsropmConfig>,
+    phases: Vec<f64>,
+    groups: Vec<usize>,
+    bits: Vec<bool>,
+    stage_shils: Vec<Shil>,
+    ramped: Vec<bool>,
+}
+
+impl BatchArena {
+    /// Creates an empty arena; buffers are sized lazily by the first
+    /// solve that uses it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Clears and re-fills a reusable buffer to `len` copies of `fill`,
+/// reusing its capacity.
+fn refill<T: Clone>(buf: &mut Vec<T>, len: usize, fill: T) {
+    buf.clear();
+    buf.resize(len, fill);
+}
+
 /// Derives lane `r`'s network from the base network: a clone with the
 /// lane's coupling/noise overrides applied by the same recipe the
 /// builder uses, so a swept lane's weights are bit-identical to a
@@ -233,9 +275,41 @@ fn lane_network(base: &PhaseNetwork, lane: &LaneConfig) -> PhaseNetwork {
     net
 }
 
+/// Hook-free wrapper over [`solve_lane_range_hooked`]: one contiguous
+/// lane range solved single-threaded in the caller's `arena`. This is
+/// the job-server unit of work ([`crate::job::BatchJob::run`] and
+/// [`crate::machine::Msropm::solve_batch_lanes_arena`] route here), so
+/// a worker's long-lived arena is reused across jobs.
+pub(crate) fn solve_lanes_arena(
+    graph: &Graph,
+    config: &MsropmConfig,
+    network: &PhaseNetwork,
+    lanes: &[LaneConfig],
+    seeds: &[u64],
+    sample_spread: bool,
+    arena: &mut BatchArena,
+) -> Vec<MsropmSolution> {
+    config.validate();
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    solve_lane_range_hooked(
+        graph,
+        config,
+        network,
+        lanes,
+        seeds,
+        sample_spread,
+        arena,
+        |_, _: &mut StageBoundary| {},
+    )
+}
+
 /// Runs one contiguous lane range as a single interleaved batch,
 /// invoking `hook` at every non-final stage boundary (the population
-/// restart entry point; see [`StageBoundary`]).
+/// restart entry point; see [`StageBoundary`]). All per-run state lives
+/// in `arena`, so a caller reusing one arena across solves allocates
+/// nothing here once the buffers are warm.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_lane_range_hooked<F>(
     graph: &Graph,
@@ -244,6 +318,7 @@ pub(crate) fn solve_lane_range_hooked<F>(
     lanes: &[LaneConfig],
     seeds: &[u64],
     sample_spread: bool,
+    arena: &mut BatchArena,
     mut hook: F,
 ) -> Vec<MsropmSolution>
 where
@@ -252,13 +327,25 @@ where
     let n = graph.num_nodes();
     let rr = seeds.len();
     assert_eq!(lanes.len(), rr, "need one lane config per seed");
-    let configs: Vec<MsropmConfig> = lanes.iter().map(|l| l.resolve(base_config)).collect();
-    let schedule_set = ScheduleSet::from_configs(&configs);
+    let BatchArena {
+        integrator,
+        rngs,
+        configs,
+        phases,
+        groups,
+        bits,
+        stage_shils,
+        ramped,
+    } = arena;
+    configs.clear();
+    configs.extend(lanes.iter().map(|l| l.resolve(base_config)));
+    let schedule_set = ScheduleSet::from_configs(configs);
     let schedule = schedule_set.lockstep();
     let k = configs[0].num_stages();
     let dt = configs[0].dt;
 
-    let mut rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+    rngs.clear();
+    rngs.extend(seeds.iter().map(|&s| StdRng::seed_from_u64(s)));
     let needs_lane_nets = lanes
         .iter()
         .any(|l| l.coupling_strength.is_some() || l.noise.is_some());
@@ -290,22 +377,21 @@ where
 
     // Startup randomization: i.i.d. uniform phases, per replica in node
     // order (the order `PhaseNetwork::random_phases` draws).
-    let mut phases = vec![0.0; n * rr];
+    refill(phases, n * rr, 0.0);
     for (r, rng) in rngs.iter_mut().enumerate() {
         for i in 0..n {
             phases[i * rr + r] = rng.gen::<f64>() * TAU;
         }
     }
 
-    let mut groups = vec![0usize; n * rr];
-    let mut bits = vec![false; n * rr];
+    refill(groups, n * rr, 0usize);
+    refill(bits, n * rr, false);
+    // Stage records are the output payload (moved into the returned
+    // solutions), so they are the one fresh allocation per solve.
     let mut stage_records: Vec<Vec<StageRecord>> = vec![Vec::with_capacity(k); rr];
-    // Per-(lane, group) SHIL table of the current stage, indexed
-    // `r * num_groups + g` (lanes may carry different strengths).
-    let mut stage_shils: Vec<Shil> = Vec::with_capacity(rr << (k - 1));
-    let ramped: Vec<bool> = configs.iter().map(|c| c.shil_ramp).collect();
+    ramped.clear();
+    ramped.extend(configs.iter().map(|c| c.shil_ramp));
     let any_ramped = ramped.iter().any(|&r| r);
-    let mut integrator = BatchIntegrator::new();
     let mut windows = schedule.windows().iter();
 
     for stage in 1..=k {
@@ -331,14 +417,7 @@ where
                 };
                 kernel.set_lane_noise_amplitude(r, sigma);
             }
-            integrator.integrate(
-                &kernel,
-                &mut phases,
-                w_init.t_start,
-                w_init.t_end(),
-                dt,
-                &mut rngs,
-            );
+            integrator.integrate(&kernel, phases, w_init.t_start, w_init.t_end(), dt, rngs);
             for (r, cfg) in configs.iter().enumerate() {
                 kernel.set_lane_noise_amplitude(r, cfg.noise);
             }
@@ -381,18 +460,18 @@ where
         kernel.set_couplings_enabled(true);
         integrator.integrate(
             &kernel,
-            &mut phases,
+            phases,
             w_anneal.t_start,
             w_anneal.t_end(),
             dt,
-            &mut rngs,
+            rngs,
         );
 
         // ---- Lock window (couplings on, SHIL on) ----
         let w_lock = windows.next().expect("schedule has lock window");
         debug_assert_eq!(w_lock.kind, WindowKind::Lock);
         stage_shils.clear();
-        for cfg in &configs {
+        for cfg in configs.iter() {
             stage_shils.extend(
                 (0..num_groups)
                     .map(|g| Shil::order2(stage_shil_phase(g, num_groups), cfg.shil_strength)),
@@ -408,23 +487,16 @@ where
         if any_ramped {
             integrator.integrate_ramped_lanes(
                 &mut kernel,
-                &mut phases,
+                phases,
                 w_lock.t_start,
                 w_lock.t_end(),
                 dt,
-                &mut rngs,
+                rngs,
                 |f| f,
-                &ramped,
+                ramped,
             );
         } else {
-            integrator.integrate(
-                &kernel,
-                &mut phases,
-                w_lock.t_start,
-                w_lock.t_end(),
-                dt,
-                &mut rngs,
-            );
+            integrator.integrate(&kernel, phases, w_lock.t_start, w_lock.t_end(), dt, rngs);
         }
 
         // ---- Readout (per replica) ----
@@ -476,8 +548,8 @@ where
             let mut boundary = StageBoundary {
                 graph,
                 kernel: &mut kernel,
-                phases: &mut phases,
-                groups: &mut groups,
+                phases: phases.as_mut_slice(),
+                groups: groups.as_mut_slice(),
                 stage_records: &mut stage_records,
                 replicas: rr,
             };
@@ -677,6 +749,38 @@ mod tests {
     }
 
     #[test]
+    fn reused_arena_matches_fresh_arena() {
+        let g = generators::kings_graph(3, 3);
+        let base = fast_config();
+        let net = base.build_network(&g);
+        let jobs: [(&[LaneConfig], &[u64]); 3] = [
+            (&[LaneConfig::default(); 4], &[1, 2, 3, 4]),
+            (
+                &[
+                    LaneConfig::default().with_coupling_strength(0.7),
+                    LaneConfig::default().with_noise(0.05),
+                ],
+                &[5, 6],
+            ),
+            (&[LaneConfig::default(); 2], &[7, 8]),
+        ];
+        // One arena reused across heterogeneously-shaped jobs vs a fresh
+        // arena per job: bit-identical.
+        let mut warm = BatchArena::new();
+        for (lanes, seeds) in jobs {
+            let reused = solve_lanes_arena(&g, &base, &net, lanes, seeds, false, &mut warm);
+            let fresh =
+                solve_lanes_arena(&g, &base, &net, lanes, seeds, false, &mut BatchArena::new());
+            for (a, b) in reused.iter().zip(&fresh) {
+                assert_eq!(a.coloring, b.coloring);
+                for (x, y) in a.final_phases.iter().zip(&b.final_phases) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
     fn heterogeneous_sharding_is_invisible() {
         let g = generators::kings_graph(3, 3);
         let machine = Msropm::new(&g, fast_config());
@@ -698,13 +802,23 @@ mod tests {
         let net = base.build_network(&g);
         let lanes = vec![LaneConfig::default(); 3];
         let mut fired = Vec::new();
-        solve_lane_range_hooked(&g, &base, &net, &lanes, &[1, 2, 3], false, |stage, b| {
-            fired.push((stage, b.num_lanes()));
-            // Satisfied-edge counts are sane: between 0 and m.
-            for r in 0..b.num_lanes() {
-                assert!(b.satisfied_edges(r) <= g.num_edges());
-            }
-        });
+        let mut arena = BatchArena::new();
+        solve_lane_range_hooked(
+            &g,
+            &base,
+            &net,
+            &lanes,
+            &[1, 2, 3],
+            false,
+            &mut arena,
+            |stage, b| {
+                fired.push((stage, b.num_lanes()));
+                // Satisfied-edge counts are sane: between 0 and m.
+                for r in 0..b.num_lanes() {
+                    assert!(b.satisfied_edges(r) <= g.num_edges());
+                }
+            },
+        );
         assert_eq!(fired, vec![(1, 3)]);
     }
 
@@ -714,10 +828,20 @@ mod tests {
         let base = fast_config();
         let net = base.build_network(&g);
         let lanes = vec![LaneConfig::default(); 2];
-        let sols = solve_lane_range_hooked(&g, &base, &net, &lanes, &[5, 6], false, |_, b| {
-            b.copy_lane(0, 1);
-            assert_eq!(b.satisfied_edges(0), b.satisfied_edges(1));
-        });
+        let mut arena = BatchArena::new();
+        let sols = solve_lane_range_hooked(
+            &g,
+            &base,
+            &net,
+            &lanes,
+            &[5, 6],
+            false,
+            &mut arena,
+            |_, b| {
+                b.copy_lane(0, 1);
+                assert_eq!(b.satisfied_edges(0), b.satisfied_edges(1));
+            },
+        );
         // After the copy both lanes share the stage-1 partition, so the
         // stage-1 group bit (the color MSB) must agree everywhere.
         let c0 = &sols[0].coloring;

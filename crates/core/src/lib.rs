@@ -49,8 +49,10 @@
 pub mod analysis;
 pub mod baselines;
 pub mod batch;
+pub mod cache;
 pub mod circuit_machine;
 pub mod config;
+pub mod job;
 pub mod machine;
 pub mod metrics;
 pub mod portfolio;
@@ -58,8 +60,11 @@ pub mod power;
 pub mod runner;
 pub mod schedule;
 
+pub use batch::BatchArena;
+pub use cache::{CacheStats, ProblemCache};
 pub use circuit_machine::{CircuitMsropm, CircuitMsropmConfig, CircuitSolution};
 pub use config::{LaneConfig, MsropmConfig, ReinitMode, SweepParam, SweepSpec};
+pub use job::{BatchJob, JobReport, RankedLane};
 pub use machine::{Msropm, MsropmSolution, StageRecord};
 pub use metrics::{coloring_accuracy, max_cut_accuracy, search_space_label};
 pub use portfolio::{LaneOutcome, PortfolioReport, PortfolioRunner, RestartEvent};

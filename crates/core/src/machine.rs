@@ -392,6 +392,35 @@ impl Msropm {
             threads,
         )
     }
+
+    /// Like [`Msropm::solve_batch_lanes`] with `threads = 1`, but running
+    /// in the caller's long-lived [`crate::batch::BatchArena`]: repeated
+    /// calls reuse the integrator scratch and per-run state buffers, so a
+    /// worker solving many jobs back to back allocates (almost) nothing
+    /// per job. Results are bit-identical to [`Msropm::solve_batch_lanes`]
+    /// regardless of the arena's history — this is the job-server unit of
+    /// work (see [`crate::job::BatchJob::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes.len() != seeds.len()` or a resolved lane
+    /// configuration is invalid.
+    pub fn solve_batch_lanes_arena(
+        &self,
+        lanes: &[LaneConfig],
+        seeds: &[u64],
+        arena: &mut crate::batch::BatchArena,
+    ) -> Vec<MsropmSolution> {
+        crate::batch::solve_lanes_arena(
+            &self.graph,
+            &self.config,
+            &self.network,
+            lanes,
+            seeds,
+            false,
+            arena,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -179,6 +179,7 @@ impl PortfolioRunner {
         let network = self.base.build_network(g);
         let mut restarts = Vec::new();
         let restart_fraction = self.restart_fraction;
+        let mut arena = crate::batch::BatchArena::new();
         let solutions = solve_lane_range_hooked(
             g,
             &self.base,
@@ -186,6 +187,7 @@ impl PortfolioRunner {
             &self.lanes,
             &seeds,
             false,
+            &mut arena,
             |stage, boundary: &mut StageBoundary| {
                 Self::restart_worst(stage, boundary, restart_fraction, &mut restarts);
             },

@@ -134,6 +134,63 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Graph, ParseGraphError> {
     }
 }
 
+/// Canonical 64-bit hash of a graph's **labelled** topology.
+///
+/// The digest covers the node count and the sorted list of normalized
+/// `(min, max)` endpoint pairs, so it is independent of edge insertion
+/// order but sensitive to vertex labelling: two isomorphic graphs with
+/// different labellings hash differently (by design — the Potts machine
+/// maps node ids onto physical oscillators, so a relabelled instance is
+/// a different problem compilation). This is the problem-cache key used
+/// by `msropm-server` to skip network/schedule recompilation for repeat
+/// topologies.
+///
+/// The hash is FNV-1a (64-bit) over a fixed little-endian encoding and
+/// is stable across platforms and releases of this crate within the
+/// same major version.
+///
+/// # Example
+///
+/// ```
+/// use msropm_graph::io::graph_hash;
+/// use msropm_graph::Graph;
+///
+/// // Same edges in a different insertion order: same hash.
+/// let a = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+/// let b = Graph::from_edges(3, [(2, 1), (0, 1)]).unwrap();
+/// assert_eq!(graph_hash(&a), graph_hash(&b));
+///
+/// // Isomorphic but relabelled (path 0-1-2 vs 1-0-2): different hash.
+/// let c = Graph::from_edges(3, [(0, 1), (0, 2)]).unwrap();
+/// assert_ne!(graph_hash(&a), graph_hash(&c));
+/// ```
+pub fn graph_hash(g: &Graph) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn mix(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    let mut edges: Vec<(u32, u32)> = g
+        .edges()
+        .map(|(_, u, v)| {
+            let (a, b) = (u.index() as u32, v.index() as u32);
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    edges.sort_unstable();
+    let mut h = FNV_OFFSET;
+    mix(&mut h, &(g.num_nodes() as u64).to_le_bytes());
+    mix(&mut h, &(edges.len() as u64).to_le_bytes());
+    for (a, b) in edges {
+        mix(&mut h, &a.to_le_bytes());
+        mix(&mut h, &b.to_le_bytes());
+    }
+    h
+}
+
 /// Writes `g` in DIMACS `.col` format (1-based node ids).
 ///
 /// # Errors
@@ -259,6 +316,52 @@ pub fn write_dot<W: Write>(
 mod tests {
     use super::*;
     use crate::generators;
+
+    #[test]
+    fn graph_hash_is_insertion_order_invariant() {
+        let a = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let b = Graph::from_edges(4, [(3, 0), (2, 3), (1, 0), (2, 1)]).unwrap();
+        assert_eq!(graph_hash(&a), graph_hash(&b));
+    }
+
+    #[test]
+    fn graph_hash_distinguishes_relabelled_isomorphs() {
+        // Three labellings of the path on 4 vertices: pairwise isomorphic,
+        // pairwise different as labelled graphs.
+        let paths = [
+            Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap(),
+            Graph::from_edges(4, [(1, 0), (0, 2), (2, 3)]).unwrap(),
+            Graph::from_edges(4, [(0, 1), (1, 3), (3, 2)]).unwrap(),
+        ];
+        for i in 0..paths.len() {
+            for j in i + 1..paths.len() {
+                assert_ne!(
+                    graph_hash(&paths[i]),
+                    graph_hash(&paths[j]),
+                    "labellings {i} and {j} collided"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graph_hash_sees_isolated_nodes_and_empty_graphs() {
+        let a = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let b = Graph::from_edges(4, [(0, 1)]).unwrap();
+        assert_ne!(graph_hash(&a), graph_hash(&b));
+        assert_ne!(graph_hash(&Graph::empty(0)), graph_hash(&Graph::empty(1)));
+        // Stable across calls.
+        assert_eq!(graph_hash(&a), graph_hash(&a));
+    }
+
+    #[test]
+    fn graph_hash_differs_across_paper_boards() {
+        let mut seen = std::collections::HashSet::new();
+        for side in [3usize, 4, 5, 7, 10] {
+            assert!(seen.insert(graph_hash(&generators::kings_graph(side, side))));
+            assert!(seen.insert(graph_hash(&generators::cycle_graph(side * side))));
+        }
+    }
 
     #[test]
     fn dimacs_roundtrip() {

@@ -50,4 +50,5 @@ pub use bitset::BitSet;
 pub use coloring::{Color, Coloring};
 pub use cut::Cut;
 pub use graph::{EdgeId, Graph, GraphBuilder, GraphError, NodeId};
+pub use io::graph_hash;
 pub use partition::{EdgeMask, Subgraph};

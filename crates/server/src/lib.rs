@@ -1,0 +1,329 @@
+//! # msropm-server — async batch-solve job service
+//!
+//! The paper's Potts machine is a throughput device: many independent
+//! annealing replicas answering coloring/max-cut queries. This crate
+//! wraps the workspace's batch solver
+//! ([`msropm_core::Msropm::solve_batch_lanes`]-family) as the unit of
+//! work behind a request interface, in the spirit of the ASIC-emulated
+//! accelerator framing where the oscillator fabric sits behind a job
+//! queue:
+//!
+//! - a **bounded MPMC job queue** ([`queue::BoundedQueue`]) admits
+//!   requests and applies backpressure once full;
+//! - **N worker threads** drain it, each owning a long-lived
+//!   [`msropm_core::BatchArena`] so back-to-back jobs reuse the
+//!   integrator scratch and state buffers instead of reallocating;
+//! - a shared **problem cache** ([`msropm_core::ProblemCache`], keyed by
+//!   [`msropm_graph::io::graph_hash`] + config fingerprint) interns
+//!   compiled machines, so repeat topologies skip network/schedule
+//!   recompilation entirely;
+//! - each job returns a **ranked lane report**
+//!   ([`msropm_core::JobReport`]) through a per-job completion channel
+//!   ([`JobTicket`]), annotated with queue/service timing.
+//!
+//! ## Determinism
+//!
+//! A job is executed by exactly one worker, single-threaded, and
+//! `BatchJob::run` is a pure function of `(graph, job)` — so the same
+//! job + seed produces a **bit-identical** report whether the server
+//! runs 1 worker or 40, hot cache or cold, fresh arena or reused
+//! (property-tested in `tests/determinism.rs`). Only completion *order*
+//! across different jobs depends on scheduling.
+//!
+//! ## Example: submit → await → ranked report
+//!
+//! ```
+//! use std::sync::Arc;
+//! use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
+//! use msropm_graph::generators;
+//! use msropm_server::{JobServer, ServerConfig};
+//!
+//! let server = JobServer::start(ServerConfig {
+//!     workers: 2,
+//!     queue_capacity: 8,
+//!     cache_capacity: 16,
+//! });
+//!
+//! // One tenant's operating point: a 4-lane (K, σ) sweep on a 3×3
+//! // King's graph (dt coarsened to keep the example fast).
+//! let graph = Arc::new(generators::kings_graph(3, 3));
+//! let config = MsropmConfig { dt: 0.02, ..MsropmConfig::paper_default() };
+//! let sweep = SweepSpec::new()
+//!     .grid(SweepParam::CouplingStrength, vec![0.8, 1.0])
+//!     .grid(SweepParam::Noise, vec![0.1, 0.2]);
+//! let job = BatchJob::from_sweep(config, &sweep, 42);
+//!
+//! let ticket = server.submit(Arc::clone(&graph), job).expect("queue open");
+//! let outcome = ticket.wait().expect("job completed");
+//!
+//! // Lanes come back best-first; the report is bit-reproducible.
+//! let report = &outcome.report;
+//! assert_eq!(report.ranked.len(), 4);
+//! assert!(report.best().conflicts <= report.ranked[3].conflicts);
+//! assert_eq!(report.graph_hash, msropm_graph::graph_hash(&graph));
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+
+use msropm_core::{BatchArena, BatchJob, CacheStats, JobReport, ProblemCache};
+use msropm_graph::Graph;
+use queue::BoundedQueue;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Sizing knobs of a [`JobServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads draining the queue (each owns a solve arena).
+    pub workers: usize,
+    /// Jobs admitted to the queue before `submit` blocks (backpressure).
+    pub queue_capacity: usize,
+    /// Compiled machines the problem cache retains (LRU beyond this).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 32,
+        }
+    }
+}
+
+/// Queue/service timing of one completed job, measured by the server.
+#[derive(Debug, Clone, Copy)]
+pub struct JobTiming {
+    /// Submit → a worker picked the job up.
+    pub queued: Duration,
+    /// Pick-up → report ready (cache lookup/compile + solve + ranking).
+    pub service: Duration,
+}
+
+impl JobTiming {
+    /// End-to-end latency: `queued + service`.
+    pub fn total(&self) -> Duration {
+        self.queued + self.service
+    }
+}
+
+/// A completed job: the ranked report plus server-side timing.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The ranked lane report (bit-deterministic; see the crate docs).
+    pub report: JobReport,
+    /// Where the job spent its latency.
+    pub timing: JobTiming,
+}
+
+/// Errors surfaced to submitters.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The server is shutting down; the job was not enqueued.
+    Closed,
+    /// The worker executing the job died (panicked) before replying.
+    WorkerDied,
+    /// [`JobTicket::wait_timeout`] elapsed with the job still running;
+    /// the ticket is returned for a later retry.
+    Timeout(JobTicket),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Closed => write!(f, "job server is shut down"),
+            ServerError::WorkerDied => write!(f, "worker died before completing the job"),
+            ServerError::Timeout(_) => write!(f, "timed out waiting for the job"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Handle to one in-flight job; redeem it with [`JobTicket::wait`].
+#[derive(Debug)]
+pub struct JobTicket {
+    rx: mpsc::Receiver<JobOutcome>,
+}
+
+impl JobTicket {
+    /// Blocks until the job completes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::WorkerDied`] if the executing worker panicked.
+    pub fn wait(self) -> Result<JobOutcome, ServerError> {
+        self.rx.recv().map_err(|_| ServerError::WorkerDied)
+    }
+
+    /// Like [`JobTicket::wait`] with an upper bound; on timeout the
+    /// ticket comes back inside [`ServerError::Timeout`] so the caller
+    /// can keep waiting later.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Timeout`] when `dur` elapses first,
+    /// [`ServerError::WorkerDied`] if the executing worker panicked.
+    pub fn wait_timeout(self, dur: Duration) -> Result<JobOutcome, ServerError> {
+        match self.rx.recv_timeout(dur) {
+            Ok(outcome) => Ok(outcome),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServerError::Timeout(self)),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServerError::WorkerDied),
+        }
+    }
+}
+
+/// One queued request: the job, its graph, the reply channel and the
+/// submission timestamp (for queue-delay accounting).
+struct Envelope {
+    graph: Arc<Graph>,
+    job: BatchJob,
+    submitted_at: Instant,
+    reply: mpsc::Sender<JobOutcome>,
+}
+
+struct Shared {
+    queue: BoundedQueue<Envelope>,
+    cache: Mutex<ProblemCache>,
+    jobs_completed: AtomicU64,
+}
+
+/// The multi-worker batch-solve job service; see the crate docs.
+pub struct JobServer {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl JobServer {
+    /// Boots the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sizing knob of `config` is zero.
+    pub fn start(config: ServerConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            cache: Mutex::new(ProblemCache::new(config.cache_capacity)),
+            jobs_completed: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("msropm-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        JobServer { shared, workers }
+    }
+
+    /// Enqueues `job` against `graph`, blocking while the queue is full
+    /// (backpressure), and returns the completion ticket.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Closed`] if the server has been shut down.
+    pub fn submit(&self, graph: Arc<Graph>, job: BatchJob) -> Result<JobTicket, ServerError> {
+        let (tx, rx) = mpsc::channel();
+        let envelope = Envelope {
+            graph,
+            job,
+            submitted_at: Instant::now(),
+            reply: tx,
+        };
+        self.shared
+            .queue
+            .push(envelope)
+            .map_err(|_| ServerError::Closed)?;
+        Ok(JobTicket { rx })
+    }
+
+    /// Jobs completed since boot (all workers).
+    pub fn jobs_completed(&self) -> u64 {
+        self.shared.jobs_completed.load(Ordering::Relaxed)
+    }
+
+    /// Problem-cache counters (hits/misses/evictions/collisions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.lock().expect("cache mutex").stats()
+    }
+
+    /// Jobs currently waiting in the queue (excluding in-flight ones).
+    pub fn backlog(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Graceful shutdown: stops admitting jobs, lets the backlog drain,
+    /// joins every worker. Tickets for already-queued jobs still
+    /// complete.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            // A panicked worker already surfaced through its job's
+            // ticket (reply sender dropped); don't double-panic here.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JobServer {
+    /// Dropping the server performs the same graceful shutdown as
+    /// [`JobServer::shutdown`].
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut arena = BatchArena::new();
+    while let Some(envelope) = shared.queue.pop() {
+        let started_at = Instant::now();
+        // Double-checked caching: only the (cheap, verified) lookup and
+        // the insert run under the lock. A miss compiles *unlocked*, so
+        // a cold burst never serializes the pool on one worker's
+        // compilation; if two workers race the same problem, `intern`
+        // keeps the first resident copy (compilations are bit-identical,
+        // so which one wins is unobservable).
+        let machine = {
+            let mut cache = shared.cache.lock().expect("cache mutex");
+            cache.lookup(&envelope.graph, &envelope.job.config)
+        };
+        let machine = machine.unwrap_or_else(|| {
+            let compiled = Arc::new(msropm_core::Msropm::new(
+                &envelope.graph,
+                envelope.job.config,
+            ));
+            let mut cache = shared.cache.lock().expect("cache mutex");
+            cache.intern(compiled)
+        });
+        // Solve outside the cache lock too: workers never serialize on
+        // each other's integrations.
+        let report = envelope.job.run(&machine, &mut arena);
+        let finished_at = Instant::now();
+        shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        let outcome = JobOutcome {
+            report,
+            timing: JobTiming {
+                queued: started_at - envelope.submitted_at,
+                service: finished_at - started_at,
+            },
+        };
+        // The submitter may have dropped its ticket; that's fine.
+        let _ = envelope.reply.send(outcome);
+    }
+}

@@ -1,0 +1,205 @@
+//! A small bounded MPMC queue on `Mutex` + `Condvar`.
+//!
+//! This is the server's admission-control point: `push` blocks once
+//! `capacity` jobs are waiting (backpressure on producers instead of
+//! unbounded memory growth), `pop` blocks until work or shutdown. The
+//! queue is deliberately tiny and dependency-free — the vendored
+//! `crossbeam` shim only provides scoped threads, and `std::sync::mpsc`
+//! is single-consumer, so neither fits a pool of competing workers.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded multi-producer/multi-consumer FIFO channel.
+///
+/// All methods take `&self`; share the queue behind an `Arc`.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` waiting items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        BoundedQueue {
+            capacity,
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns
+    /// `Err(item)` (giving the item back) if the queue was closed before
+    /// space became available.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed **and** drained — the
+    /// consumer's shutdown signal (items enqueued before `close` are
+    /// still delivered).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Closes the queue: subsequent `push`es fail fast, and `pop`
+    /// returns `None` once the backlog drains. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        state.closed = true;
+        // Wake everyone: blocked producers must fail, idle consumers
+        // must observe the drain-and-exit condition.
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of items currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue mutex poisoned").items.len()
+    }
+
+    /// `true` when no item is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_blocks_until_space_then_succeeds() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || q2.push(1).is_ok());
+        // Give the producer a moment to block on the full queue.
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_drains_backlog_then_signals_consumers() {
+        let q = BoundedQueue::new(4);
+        q.push('a').unwrap();
+        q.push('b').unwrap();
+        q.close();
+        assert_eq!(q.push('c'), Err('c'));
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), Some('b'));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u8>::new(1));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn mpmc_delivers_every_item_exactly_once() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..50u32 {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<u32> = (0..50).chain(1000..1050).collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property test of the ISSUE's headline server contract: same job +
+//! seed ⇒ bit-identical ranked report regardless of worker count, for
+//! *arbitrary* mixed batches — random graphs, random lane overrides,
+//! random seeds, hot and cold cache paths alike (companion to the
+//! workspace root's `tests/batch_determinism.rs`, one level up the
+//! stack).
+
+use msropm_core::{BatchJob, JobReport, LaneConfig, MsropmConfig, ReinitMode};
+use msropm_graph::{generators, Graph};
+use msropm_server::{JobServer, ServerConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn fast_config() -> MsropmConfig {
+    MsropmConfig {
+        dt: 0.02,
+        ..MsropmConfig::paper_default()
+    }
+}
+
+/// Strategy: one job = a small graph (from a pool of distinct labelled
+/// topologies), 1–4 lanes with arbitrary (K, σ, re-init) overrides, and
+/// an arbitrary job seed.
+fn arb_job() -> impl Strategy<Value = (usize, Vec<LaneConfig>, u64)> {
+    let lane = (0usize..4, 0.5f64..1.5, 0.0f64..0.3).prop_map(|(kind, k, sigma)| match kind {
+        0 => LaneConfig::default(),
+        1 => LaneConfig::default().with_coupling_strength(k),
+        2 => LaneConfig::default().with_noise(sigma),
+        _ => LaneConfig::default().with_reinit(ReinitMode::UniformRandom),
+    });
+    (
+        0usize..4,
+        proptest::collection::vec(lane, 1..4),
+        any::<u64>(),
+    )
+}
+
+fn graph_pool() -> Vec<Arc<Graph>> {
+    vec![
+        Arc::new(generators::kings_graph(3, 3)),
+        Arc::new(generators::kings_graph(4, 4)),
+        Arc::new(generators::cycle_graph(11)),
+        Arc::new(generators::grid_graph(3, 4)),
+    ]
+}
+
+fn run_batch(workers: usize, jobs: &[(Arc<Graph>, BatchJob)]) -> Vec<JobReport> {
+    let server = JobServer::start(ServerConfig {
+        workers,
+        queue_capacity: 4,
+        cache_capacity: 3, // below the pool size: include eviction traffic
+    });
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|(g, j)| server.submit(Arc::clone(g), j.clone()).expect("open"))
+        .collect();
+    tickets
+        .into_iter()
+        .map(|t| t.wait().expect("completed").report)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn worker_count_never_changes_a_report(
+        batch in proptest::collection::vec(arb_job(), 1..7)
+    ) {
+        let pool = graph_pool();
+        let jobs: Vec<(Arc<Graph>, BatchJob)> = batch
+            .into_iter()
+            .map(|(gi, lanes, seed)| {
+                let job = BatchJob { config: fast_config(), lanes, seed };
+                (Arc::clone(&pool[gi % pool.len()]), job)
+            })
+            .collect();
+        let one = run_batch(1, &jobs);
+        let three = run_batch(3, &jobs);
+        for (a, b) in one.iter().zip(&three) {
+            prop_assert_eq!(a.graph_hash, b.graph_hash);
+            prop_assert_eq!(a.seed, b.seed);
+            prop_assert_eq!(a.ranked.len(), b.ranked.len());
+            for (x, y) in a.ranked.iter().zip(&b.ranked) {
+                prop_assert_eq!(x.lane, y.lane);
+                prop_assert_eq!(x.seed, y.seed);
+                prop_assert_eq!(x.conflicts, y.conflicts);
+                prop_assert_eq!(&x.solution.coloring, &y.solution.coloring);
+                for (p, q) in x.solution.final_phases.iter().zip(&y.solution.final_phases) {
+                    prop_assert_eq!(p.to_bits(), q.to_bits());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Integration tests of the job server: worker-count invariance of the
+//! ranked reports, cache-hit transparency, eviction accounting and
+//! graceful shutdown.
+
+use msropm_core::{BatchJob, JobReport, LaneConfig, MsropmConfig, SweepParam, SweepSpec};
+use msropm_graph::generators;
+use msropm_graph::Graph;
+use msropm_server::{JobServer, ServerConfig, ServerError};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fast_config() -> MsropmConfig {
+    MsropmConfig {
+        dt: 0.02,
+        ..MsropmConfig::paper_default()
+    }
+}
+
+/// A mixed workload: repeat + cold graphs, homogeneous + swept jobs.
+fn mixed_jobs() -> Vec<(Arc<Graph>, BatchJob)> {
+    let kings3 = Arc::new(generators::kings_graph(3, 3));
+    let kings4 = Arc::new(generators::kings_graph(4, 4));
+    let cycle = Arc::new(generators::cycle_graph(12));
+    let sweep = SweepSpec::new()
+        .grid(SweepParam::CouplingStrength, vec![0.8, 1.2])
+        .grid(SweepParam::Noise, vec![0.1, 0.25]);
+    let mut jobs = Vec::new();
+    for seed in 0..4u64 {
+        jobs.push((
+            Arc::clone(&kings3),
+            BatchJob::uniform(fast_config(), 4, seed),
+        ));
+        jobs.push((
+            Arc::clone(&kings4),
+            BatchJob::from_sweep(fast_config(), &sweep, 100 + seed),
+        ));
+    }
+    jobs.push((cycle, BatchJob::uniform(fast_config(), 3, 7)));
+    jobs.push((
+        Arc::clone(&kings3),
+        BatchJob {
+            config: fast_config(),
+            lanes: vec![
+                LaneConfig::default(),
+                LaneConfig::default().with_noise(0.05),
+                LaneConfig::default().with_coupling_strength(1.3),
+            ],
+            seed: 55,
+        },
+    ));
+    jobs
+}
+
+fn run_all(workers: usize, jobs: &[(Arc<Graph>, BatchJob)]) -> Vec<JobReport> {
+    let server = JobServer::start(ServerConfig {
+        workers,
+        queue_capacity: 4, // deliberately smaller than the job count: exercises backpressure
+        cache_capacity: 8,
+    });
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|(g, job)| {
+            server
+                .submit(Arc::clone(g), job.clone())
+                .expect("queue open")
+        })
+        .collect();
+    let reports: Vec<JobReport> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("job completed").report)
+        .collect();
+    assert_eq!(server.jobs_completed(), jobs.len() as u64);
+    server.shutdown();
+    reports
+}
+
+fn assert_reports_bit_identical(a: &JobReport, b: &JobReport, ctx: &str) {
+    assert_eq!(a.graph_hash, b.graph_hash, "{ctx}: graph hash");
+    assert_eq!(a.seed, b.seed, "{ctx}: job seed");
+    assert_eq!(a.ranked.len(), b.ranked.len(), "{ctx}: lane count");
+    for (x, y) in a.ranked.iter().zip(&b.ranked) {
+        assert_eq!(x.lane, y.lane, "{ctx}: rank order");
+        assert_eq!(x.seed, y.seed, "{ctx}: lane seed");
+        assert_eq!(x.conflicts, y.conflicts, "{ctx}: conflicts");
+        assert_eq!(
+            x.accuracy.to_bits(),
+            y.accuracy.to_bits(),
+            "{ctx}: accuracy"
+        );
+        assert_eq!(x.solution.coloring, y.solution.coloring, "{ctx}: coloring");
+        for (p, q) in x.solution.final_phases.iter().zip(&y.solution.final_phases) {
+            assert_eq!(p.to_bits(), q.to_bits(), "{ctx}: final phases");
+        }
+    }
+}
+
+/// The ISSUE's headline property: same job + seed ⇒ bit-identical answer
+/// regardless of worker count.
+#[test]
+fn ranked_reports_identical_across_1_vs_4_workers() {
+    let jobs = mixed_jobs();
+    let one = run_all(1, &jobs);
+    let four = run_all(4, &jobs);
+    for (i, (a, b)) in one.iter().zip(&four).enumerate() {
+        assert_reports_bit_identical(a, b, &format!("job {i}, 1 vs 4 workers"));
+    }
+}
+
+/// A cache hit must be indistinguishable from a miss: resubmitting the
+/// same job to a warm server reproduces the cold report bit for bit.
+#[test]
+fn cache_hit_is_bit_identical_to_cache_miss() {
+    let graph = Arc::new(generators::kings_graph(4, 4));
+    let job = BatchJob::uniform(fast_config(), 6, 99);
+
+    let server = JobServer::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 4,
+    });
+    let cold = server
+        .submit(Arc::clone(&graph), job.clone())
+        .unwrap()
+        .wait()
+        .unwrap()
+        .report;
+    let warm = server
+        .submit(Arc::clone(&graph), job.clone())
+        .unwrap()
+        .wait()
+        .unwrap()
+        .report;
+    let stats = server.cache_stats();
+    assert!(stats.hits >= 1, "second submission must hit: {stats:?}");
+    assert_eq!(stats.misses, 1);
+    server.shutdown();
+    assert_reports_bit_identical(&cold, &warm, "cold vs warm cache");
+
+    // And a completely fresh (cold-cache, different worker) server
+    // agrees too.
+    let fresh = run_all(1, &[(graph, job)]);
+    assert_reports_bit_identical(&cold, &fresh[0], "warm server vs fresh server");
+}
+
+/// Distinct topologies past the cache cap evict LRU-first; an evicted
+/// problem recompiles (miss), a resident one does not (hit).
+#[test]
+fn cache_evicts_beyond_cap_and_recompiles_transparently() {
+    let graphs: Vec<Arc<Graph>> = vec![
+        Arc::new(generators::kings_graph(3, 3)),
+        Arc::new(generators::cycle_graph(10)),
+        Arc::new(generators::path_graph(9)),
+    ];
+    let server = JobServer::start(ServerConfig {
+        workers: 1, // sequential: cache traffic is deterministic
+        queue_capacity: 8,
+        cache_capacity: 2,
+    });
+    let submit_wait = |g: &Arc<Graph>, seed: u64| {
+        server
+            .submit(Arc::clone(g), BatchJob::uniform(fast_config(), 2, seed))
+            .unwrap()
+            .wait()
+            .unwrap()
+            .report
+    };
+    let first = submit_wait(&graphs[0], 1);
+    submit_wait(&graphs[1], 2);
+    submit_wait(&graphs[0], 3); // touch: graphs[1] becomes LRU
+    submit_wait(&graphs[2], 4); // evicts graphs[1]
+    let stats = server.cache_stats();
+    assert_eq!(stats.evictions, 1, "{stats:?}");
+    assert_eq!(stats.misses, 3, "{stats:?}");
+    assert_eq!(stats.hits, 1, "{stats:?}");
+    // Evicted problem comes back as a miss, with the same answer.
+    let again = submit_wait(&graphs[0], 1);
+    assert_reports_bit_identical(&first, &again, "pre/post eviction churn");
+    server.shutdown();
+}
+
+/// Shutdown drains already-accepted jobs before the workers exit.
+#[test]
+fn shutdown_completes_accepted_jobs() {
+    let graph = Arc::new(generators::kings_graph(3, 3));
+    let server = JobServer::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 2,
+    });
+    let tickets: Vec<_> = (0..6)
+        .map(|seed| {
+            server
+                .submit(
+                    Arc::clone(&graph),
+                    BatchJob::uniform(fast_config(), 2, seed),
+                )
+                .unwrap()
+        })
+        .collect();
+    server.shutdown();
+    for (i, t) in tickets.into_iter().enumerate() {
+        assert!(t.wait().is_ok(), "queued job {i} must still complete");
+    }
+}
+
+/// `wait_timeout` hands the ticket back on expiry; waiting again
+/// eventually yields the report.
+#[test]
+fn wait_timeout_returns_ticket_for_retry() {
+    let graph = Arc::new(generators::kings_graph(5, 5));
+    let server = JobServer::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 2,
+    });
+    let ticket = server
+        .submit(Arc::clone(&graph), BatchJob::uniform(fast_config(), 8, 3))
+        .unwrap();
+    let ticket = match ticket.wait_timeout(Duration::from_nanos(1)) {
+        Err(ServerError::Timeout(t)) => t,
+        Ok(_) => return, // absurdly fast machine; nothing left to check
+        Err(e) => panic!("unexpected error: {e}"),
+    };
+    assert!(ticket.wait().is_ok());
+    server.shutdown();
+}

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI gate for the MSROPM workspace: formatting, lints (deny warnings),
-# and the full test suite. Run from anywhere inside the repository.
+# the full test suite, and (full mode only) the job-server smoke stage
+# plus the bench perf-regression gates against the committed BENCH_*.json
+# baselines. Run from anywhere inside the repository.
 #
 #   ./scripts/ci.sh          # full gate
-#   ./scripts/ci.sh --quick  # skip the release build
+#   ./scripts/ci.sh --quick  # skip the release build, smoke and perf gates
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,9 +33,22 @@ if [[ "$quick" -eq 0 ]]; then
     echo "==> cargo build --release --examples"
     cargo build --release --examples
 
-    echo "==> bench_phase_step smoke (quick, throwaway output)"
-    cargo run --release -p msropm-bench --bin bench_phase_step -- \
-        --quick --out "$(mktemp -t bench_phase_step_smoke.XXXXXX.json)"
+    echo "==> server smoke: boot, mixed batch, 1-vs-4-worker determinism (120 s hard cap)"
+    # `timeout` tears the server down if anything deadlocks, so CI can't hang.
+    timeout --kill-after=10 120 \
+        cargo run --release -p msropm-bench --bin serve_bench -- --smoke
+
+    echo "==> perf-regression gate: bench_phase_step vs committed BENCH_phase_step.json"
+    timeout --kill-after=10 600 \
+        cargo run --release -p msropm-bench --bin bench_phase_step -- \
+        --out "$(mktemp -t bench_phase_step_ci.XXXXXX.json)" \
+        --baseline BENCH_phase_step.json
+
+    echo "==> perf-regression gate: serve_bench vs committed BENCH_serve.json"
+    timeout --kill-after=10 600 \
+        cargo run --release -p msropm-bench --bin serve_bench -- \
+        --out "$(mktemp -t bench_serve_ci.XXXXXX.json)" \
+        --baseline BENCH_serve.json
 fi
 
 echo "CI gate passed."

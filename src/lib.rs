@@ -18,6 +18,8 @@
 //!   readout, power);
 //! - [`sat`] ([`msropm_sat`]): the CDCL SAT solver used as the
 //!   exact-solution baseline;
+//! - [`server`] ([`msropm_server`]): the multi-worker batch-solve job
+//!   service (bounded queue, problem cache, ranked reports);
 //! - [`ode`] ([`msropm_ode`]): the numerical integrators underneath it all.
 //!
 //! ## Quickstart
@@ -46,3 +48,4 @@ pub use msropm_graph as graph;
 pub use msropm_ode as ode;
 pub use msropm_osc as osc;
 pub use msropm_sat as sat;
+pub use msropm_server as server;
