@@ -272,6 +272,11 @@ pub fn enforce_gate_cli(current_json: &str, baseline_path: &str, tracked: &[&str
         Ok(table) => println!("perf gate vs {baseline_path}: OK\n{table}"),
         Err(msg) => {
             eprintln!("perf gate vs {baseline_path}: FAILED\n{msg}");
+            eprintln!(
+                "If this slowdown is intentional (or the baseline is stale), regenerate \
+                 every committed BENCH_*.json with scripts/refresh_baselines.sh and commit \
+                 the result alongside the change."
+            );
             std::process::exit(1);
         }
     }

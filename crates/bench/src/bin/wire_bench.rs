@@ -1,0 +1,417 @@
+//! Socket-path throughput/latency harness: the `serve_bench` workloads
+//! driven through a real loopback TCP connection (framing, tenant
+//! accounting and report streaming included).
+//!
+//! Boots an in-process [`msropm_server::wire::WireServer`] on an
+//! ephemeral `127.0.0.1` port and hammers it with the library client:
+//!
+//! - `wire_hot`: repeat-topology jobs on one board (problem-cache
+//!   steady state) — the socket-path throughput ceiling;
+//! - `wire_mixed`: a rotating graph pool with interleaved sweep jobs —
+//!   the traffic shape the cache + arena design is for;
+//! - `wire_codec`: pure encode→decode round-trips of representative
+//!   submit/report frames (no socket) — the framing cost in isolation.
+//!
+//! Recorded per workload: jobs/sec and client-observed p50/p99 latency
+//! (submit → report frame received, so framing + streaming are *in* the
+//! number), plus the server-reported mean service time. Only the
+//! 1-worker service columns and the codec columns are gated — wall
+//! latency measures the workload shape more than the code.
+//!
+//! Rows are **merged** into `BENCH_serve.json`: when the output file
+//! already exists and parses, its non-`wire*` rows (the in-process
+//! `serve_bench` rows) are preserved and the `wire*` rows replaced —
+//! so `scripts/refresh_baselines.sh` can regenerate the whole file with
+//! `serve_bench` followed by `wire_bench`. `--baseline PATH` gates the
+//! tracked columns against a committed baseline (>15% regression exits
+//! nonzero; see `msropm_bench::baseline`).
+//!
+//! Run with: `cargo run --release -p msropm-bench --bin wire_bench`
+
+use msropm_bench::baseline;
+use msropm_client::Client;
+use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
+use msropm_graph::{generators, Graph};
+use msropm_server::proto::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response, WireLane,
+    WireReport,
+};
+use msropm_server::wire::{WireConfig, WireServer};
+use msropm_server::ServerConfig;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Gated columns: server-side service time (1-worker rows) and the
+/// codec round-trips. Client-observed wall latency is recorded, not
+/// gated.
+const TRACKED: [&str; 4] = [
+    "service_us_per_job",
+    "service_us_per_lane",
+    "submit_roundtrip_ns",
+    "report_roundtrip_ns",
+];
+
+fn fast_config() -> MsropmConfig {
+    MsropmConfig {
+        dt: 0.02,
+        ..MsropmConfig::paper_default()
+    }
+}
+
+struct Workload {
+    name: &'static str,
+    jobs: Vec<(Arc<Graph>, BatchJob)>,
+}
+
+fn wire_hot(n: usize) -> Workload {
+    let board = Arc::new(generators::kings_graph(7, 7));
+    let jobs = (0..n)
+        .map(|i| {
+            (
+                Arc::clone(&board),
+                BatchJob::uniform(fast_config(), 8, i as u64),
+            )
+        })
+        .collect();
+    Workload {
+        name: "wire_hot",
+        jobs,
+    }
+}
+
+fn wire_mixed(n: usize) -> Workload {
+    let pool: Vec<Arc<Graph>> = vec![
+        Arc::new(generators::kings_graph(7, 7)),
+        Arc::new(generators::kings_graph(5, 5)),
+        Arc::new(generators::cycle_graph(48)),
+        Arc::new(generators::grid_graph(6, 6)),
+        Arc::new(generators::triangular_lattice(5, 5)),
+    ];
+    let sweep = SweepSpec::new()
+        .grid(SweepParam::CouplingStrength, vec![0.8, 1.2])
+        .grid(SweepParam::Noise, vec![0.1, 0.25]);
+    let jobs = (0..n)
+        .map(|i| {
+            let graph = Arc::clone(&pool[i % pool.len()]);
+            let job = if i % 4 == 3 {
+                BatchJob::from_sweep(fast_config(), &sweep, i as u64)
+            } else {
+                BatchJob::uniform(fast_config(), 8, i as u64)
+            };
+            (graph, job)
+        })
+        .collect();
+    Workload {
+        name: "wire_mixed",
+        jobs,
+    }
+}
+
+struct Row {
+    workload: String,
+    jobs: usize,
+    lanes: usize,
+    wall_s: f64,
+    /// Client-observed submit→report latencies (sorted), microseconds.
+    latencies_us: Vec<f64>,
+    /// Server-reported total service time, microseconds.
+    service_us_total: f64,
+    gate_row: bool,
+}
+
+impl Row {
+    fn jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / self.wall_s
+    }
+
+    fn percentile_us(&self, p: f64) -> f64 {
+        let idx = ((self.latencies_us.len() - 1) as f64 * p).round() as usize;
+        self.latencies_us[idx]
+    }
+}
+
+/// Runs one workload against a fresh wire server over loopback TCP.
+/// Jobs are pipelined: all submits first, then reports collected in
+/// submit order (the client stashes out-of-order arrivals).
+fn run_workload(workload: Workload, workers: usize) -> Row {
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        WireConfig {
+            server: ServerConfig {
+                workers,
+                queue_capacity: 32,
+                cache_capacity: 16,
+            },
+            max_inflight_jobs: 512,
+            max_queued_lanes: 1 << 16,
+            max_connections: 8,
+        },
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(server.local_addr(), "bench").expect("connect");
+    let n_jobs = workload.jobs.len();
+    let lanes: usize = workload.jobs.iter().map(|(_, j)| j.lanes.len()).sum();
+    let t0 = Instant::now();
+    let submitted: Vec<(u64, Instant)> = workload
+        .jobs
+        .iter()
+        .map(|(g, job)| {
+            let id = client.submit(g, job).expect("submit admitted");
+            (id, Instant::now())
+        })
+        .collect();
+    let mut latencies_us = Vec::with_capacity(n_jobs);
+    let mut service_us_total = 0.0f64;
+    for (id, at) in &submitted {
+        let report = client.wait_report(*id).expect("report streamed");
+        latencies_us.push(at.elapsed().as_secs_f64() * 1e6);
+        service_us_total += report.service_us as f64;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    server.shutdown();
+    latencies_us.sort_by(f64::total_cmp);
+    let label = if workers == 1 {
+        workload.name.to_string()
+    } else {
+        format!("{}_w{workers}", workload.name)
+    };
+    Row {
+        workload: label,
+        jobs: n_jobs,
+        lanes,
+        wall_s,
+        latencies_us,
+        service_us_total,
+        gate_row: workers == 1,
+    }
+}
+
+/// Slices the flat `{...}` row objects out of a bench JSON document's
+/// `"results"` array, returning every row whose label does **not**
+/// start with `wire` exactly as it appears in the file (rows are flat —
+/// no nested braces — which `baseline::parse_rows` has already
+/// validated by the time this runs).
+fn non_wire_row_texts(doc: &str) -> Vec<String> {
+    let Some(start) = doc.find("\"results\"") else {
+        return Vec::new();
+    };
+    let Some(open) = doc[start..].find('[') else {
+        return Vec::new();
+    };
+    let mut body = &doc[start + open + 1..];
+    let mut kept = Vec::new();
+    while let Some(obj_start) = body.find('{') {
+        let Some(obj_len) = body[obj_start..].find('}') else {
+            break;
+        };
+        let row = &body[obj_start..=obj_start + obj_len];
+        if !row.contains("\"workload\": \"wire") {
+            kept.push(row.to_string());
+        }
+        body = &body[obj_start + obj_len + 1..];
+    }
+    kept
+}
+
+/// Encode→decode round-trip cost of representative frames, ns/op.
+fn codec_ns() -> (f64, f64) {
+    let graph = generators::kings_graph(7, 7);
+    let submit = Request::Submit {
+        tenant: "bench".into(),
+        graph: graph.clone(),
+        job: BatchJob::uniform(fast_config(), 8, 1),
+    };
+    let report = Response::Report(WireReport {
+        job_id: 1,
+        graph_hash: 0xfeed,
+        seed: 1,
+        queued_us: 10,
+        service_us: 1000,
+        ranked: (0..8)
+            .map(|lane| WireLane {
+                lane,
+                seed: lane as u64,
+                conflicts: lane as u64,
+                accuracy: 0.97,
+                coloring: vec![2u16; graph.num_nodes()],
+            })
+            .collect(),
+    });
+    const ITERS: u32 = 2000;
+    let time = |f: &dyn Fn()| -> f64 {
+        // One warmup pass, then best-of-3 timed passes.
+        f();
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..ITERS {
+                    f();
+                }
+                t.elapsed().as_nanos() as f64 / f64::from(ITERS)
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let submit_ns = time(&|| {
+        let payload = encode_request(&submit);
+        let back = decode_request(&payload).expect("roundtrip");
+        std::hint::black_box(back);
+    });
+    let report_ns = time(&|| {
+        let payload = encode_response(&report);
+        let back = decode_response(&payload).expect("roundtrip");
+        std::hint::black_box(back);
+    });
+    (submit_ns, report_ns)
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut quick = false;
+    let mut workers = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = Some(args.next().expect("--out requires a value")),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline requires a value")),
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers requires a number");
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; valid: --quick, --workers N, --out PATH, --baseline PATH"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| baseline::default_out_path("BENCH_serve.json"));
+    let (hot_jobs, mixed_jobs) = if quick { (10, 12) } else { (32, 40) };
+
+    // Best-of-2 per row, mirroring serve_bench: scheduler hiccups only
+    // ever slow a run down, so the minimum is the gate-stable statistic.
+    let best = |make: &dyn Fn() -> Workload, workers: usize| -> Row {
+        let a = run_workload(make(), workers);
+        let b = run_workload(make(), workers);
+        if a.service_us_total <= b.service_us_total {
+            a
+        } else {
+            b
+        }
+    };
+    let mut rows = vec![
+        best(&|| wire_hot(hot_jobs), 1),
+        best(&|| wire_mixed(mixed_jobs), 1),
+    ];
+    if workers > 1 {
+        rows.push(best(&|| wire_hot(hot_jobs), workers));
+        rows.push(best(&|| wire_mixed(mixed_jobs), workers));
+    }
+    for r in &rows {
+        println!(
+            "{:<13} {:>3} jobs ({:>3} lanes) in {:>6.2}s | {:>6.2} jobs/s | latency p50 {:>9.0} us p99 {:>9.0} us | service/job {:>9.0} us",
+            r.workload,
+            r.jobs,
+            r.lanes,
+            r.wall_s,
+            r.jobs_per_sec(),
+            r.percentile_us(0.50),
+            r.percentile_us(0.99),
+            r.service_us_total / r.jobs as f64,
+        );
+    }
+    let (submit_ns, report_ns) = codec_ns();
+    println!(
+        "wire_codec    submit roundtrip {submit_ns:>8.0} ns | report roundtrip {report_ns:>8.0} ns"
+    );
+
+    // Refuse to write a bogus baseline.
+    for r in &rows {
+        let cols = [r.wall_s, r.jobs_per_sec(), r.service_us_total];
+        if cols.iter().any(|v| !v.is_finite() || *v <= 0.0) {
+            eprintln!(
+                "wire_bench: invalid timings for workload {:?} (NaN/zero) — refusing to write {out_path}",
+                r.workload
+            );
+            std::process::exit(1);
+        }
+    }
+    if !submit_ns.is_finite() || submit_ns <= 0.0 || !report_ns.is_finite() || report_ns <= 0.0 {
+        eprintln!("wire_bench: invalid codec timings — refusing to write {out_path}");
+        std::process::exit(1);
+    }
+
+    // Encode this run's rows as JSON objects.
+    let mut wire_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let mut row = format!(
+                "{{\"workload\": \"{name}\", \"jobs\": {jobs}, \"lanes\": {lanes}, \
+                 \"jobs_per_sec\": {jps:.3}, \
+                 \"p50_latency_us\": {p50:.1}, \"p99_latency_us\": {p99:.1}",
+                name = r.workload,
+                jobs = r.jobs,
+                lanes = r.lanes,
+                jps = r.jobs_per_sec(),
+                p50 = r.percentile_us(0.50),
+                p99 = r.percentile_us(0.99),
+            );
+            if r.gate_row {
+                let _ = write!(
+                    row,
+                    ", \"service_us_per_job\": {spj:.1}, \"service_us_per_lane\": {spl:.1}",
+                    spj = r.service_us_total / r.jobs as f64,
+                    spl = r.service_us_total / r.lanes as f64,
+                );
+            }
+            row.push('}');
+            row
+        })
+        .collect();
+    wire_rows.push(format!(
+        "{{\"workload\": \"wire_codec\", \
+         \"submit_roundtrip_ns\": {submit_ns:.1}, \"report_roundtrip_ns\": {report_ns:.1}}}"
+    ));
+
+    // Merge: keep non-wire rows of an existing, parseable output file
+    // (the serve_bench rows of the shared BENCH_serve.json) **verbatim**
+    // — re-serializing them would reorder keys / reformat numbers and
+    // churn the committed baseline on every refresh.
+    let kept: Vec<String> = std::fs::read_to_string(&out_path)
+        .ok()
+        .filter(|existing| baseline::parse_rows(existing).is_ok())
+        .map(|existing| non_wire_row_texts(&existing))
+        .unwrap_or_default();
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"suite\": \"serve\",");
+    let _ = writeln!(json, "  \"unix_time\": {unix_time},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    json.push_str("  \"results\": [\n");
+    let all: Vec<&String> = kept.iter().chain(wire_rows.iter()).collect();
+    for (i, row) in all.iter().enumerate() {
+        let _ = write!(json, "    {row}");
+        json.push_str(if i + 1 == all.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));
+    println!(
+        "wrote {out_path} ({} preserved + {} wire rows)",
+        kept.len(),
+        wire_rows.len()
+    );
+
+    if let Some(base_path) = baseline_path {
+        baseline::enforce_gate_cli(&json, &base_path, &TRACKED);
+    }
+}

@@ -1,0 +1,306 @@
+//! Remote-solve CLI over the MSROPM wire protocol.
+//!
+//! ```text
+//! solve_remote --addr HOST:PORT [--tenant NAME] submit --graph SPEC
+//!              [--replicas N] [--seed S] [--sweep] [--no-wait]
+//! solve_remote --addr HOST:PORT [--tenant NAME] status JOB_ID
+//! solve_remote --addr HOST:PORT [--tenant NAME] cancel JOB_ID
+//! solve_remote --addr HOST:PORT [--tenant NAME] stats
+//! solve_remote smoke [--addr HOST:PORT]
+//! ```
+//!
+//! Graph `SPEC`s: `kings:RxC`, `grid:RxC`, `cycle:N`, or a path to a
+//! DIMACS `.col` file.
+//!
+//! `smoke` runs the CI scenario: submit a long job and a short one,
+//! poll `status`, `cancel` the queued job, verify the long job's report
+//! arrives (with a matching client-side graph hash and conflict
+//! recount) and that **the cancelled job never produces a report**.
+//! Without `--addr` it boots an in-process
+//! [`msropm_server::wire::WireServer`] on an ephemeral loopback port
+//! first — the protocol still travels through a real TCP socket.
+
+use msropm_client::Client;
+use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
+use msropm_graph::{generators, graph_hash, io as graph_io, Graph};
+use msropm_server::proto::verify_lane;
+use msropm_server::wire::{WireConfig, WireServer};
+use msropm_server::{JobState, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: solve_remote --addr HOST:PORT [--tenant NAME] <submit|status|cancel|stats> ...\n\
+         \x20      solve_remote smoke [--addr HOST:PORT]\n\
+         submit: --graph SPEC [--replicas N] [--seed S] [--sweep] [--no-wait]\n\
+         graph SPECs: kings:RxC | grid:RxC | cycle:N | path/to/file.col"
+    );
+    std::process::exit(2);
+}
+
+fn parse_graph_spec(spec: &str) -> Result<Graph, String> {
+    fn dims(s: &str) -> Result<(usize, usize), String> {
+        let (r, c) = s.split_once('x').ok_or_else(|| format!("bad dims {s:?}"))?;
+        Ok((
+            r.parse().map_err(|_| format!("bad rows {r:?}"))?,
+            c.parse().map_err(|_| format!("bad cols {c:?}"))?,
+        ))
+    }
+    if let Some(d) = spec.strip_prefix("kings:") {
+        let (r, c) = dims(d)?;
+        Ok(generators::kings_graph(r, c))
+    } else if let Some(d) = spec.strip_prefix("grid:") {
+        let (r, c) = dims(d)?;
+        Ok(generators::grid_graph(r, c))
+    } else if let Some(n) = spec.strip_prefix("cycle:") {
+        let n = n.parse().map_err(|_| format!("bad cycle size {n:?}"))?;
+        Ok(generators::cycle_graph(n))
+    } else {
+        let file = std::fs::File::open(spec)
+            .map_err(|e| format!("cannot open graph file {spec:?}: {e}"))?;
+        graph_io::read_dimacs(std::io::BufReader::new(file))
+            .map_err(|e| format!("cannot parse {spec:?}: {e}"))
+    }
+}
+
+fn fail(e: impl std::fmt::Display) -> ! {
+    eprintln!("solve_remote: {e}");
+    std::process::exit(1);
+}
+
+fn print_report(graph: Option<&Graph>, report: &msropm_server::proto::WireReport) {
+    println!(
+        "job {}: graph hash {:#018x}, {} lanes, queued {} us, service {} us",
+        report.job_id,
+        report.graph_hash,
+        report.ranked.len(),
+        report.queued_us,
+        report.service_us
+    );
+    if let Some(g) = graph {
+        assert_eq!(
+            report.graph_hash,
+            graph_hash(g),
+            "server answered a different topology"
+        );
+    }
+    for lane in report.ranked.iter().take(4) {
+        println!(
+            "  lane {:>3} (seed {:#018x}): {} conflicts, accuracy {:.4}",
+            lane.lane, lane.seed, lane.conflicts, lane.accuracy
+        );
+    }
+    if report.ranked.len() > 4 {
+        println!("  ... {} more lanes", report.ranked.len() - 4);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut tenant = "cli".to_string();
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().unwrap_or_else(|| usage())),
+            "--tenant" => tenant = it.next().unwrap_or_else(|| usage()),
+            _ => rest.push(a),
+        }
+    }
+    let Some(verb) = rest.first().cloned() else {
+        usage()
+    };
+    if verb == "smoke" {
+        smoke(addr.as_deref());
+        return;
+    }
+    let Some(addr) = addr else { usage() };
+    let mut client =
+        Client::connect(&addr, &tenant).unwrap_or_else(|e| fail(format!("connect {addr}: {e}")));
+    match verb.as_str() {
+        "submit" => {
+            let mut graph_spec: Option<String> = None;
+            let mut replicas = 8usize;
+            let mut seed = 1u64;
+            let mut sweep = false;
+            let mut wait = true;
+            let mut it = rest.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--graph" => graph_spec = it.next().cloned(),
+                    "--replicas" => {
+                        replicas = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--sweep" => sweep = true,
+                    "--no-wait" => wait = false,
+                    _ => usage(),
+                }
+            }
+            let spec = graph_spec.unwrap_or_else(|| usage());
+            let graph = parse_graph_spec(&spec).unwrap_or_else(|e| fail(e));
+            let config = MsropmConfig::paper_default();
+            let job = if sweep {
+                let grid = SweepSpec::new()
+                    .logspace(SweepParam::CouplingStrength, 0.7, 1.4, replicas.max(2) / 2)
+                    .grid(SweepParam::Noise, vec![0.12, 0.24]);
+                BatchJob::from_sweep(config, &grid, seed)
+            } else {
+                BatchJob::uniform(config, replicas, seed)
+            };
+            let job_id = client
+                .submit(&graph, &job)
+                .unwrap_or_else(|e| fail(format!("submit: {e}")));
+            println!("submitted job {job_id} ({} lanes)", job.lanes.len());
+            if wait {
+                let report = client
+                    .wait_report(job_id)
+                    .unwrap_or_else(|e| fail(format!("wait: {e}")));
+                print_report(Some(&graph), &report);
+            }
+        }
+        "status" | "cancel" => {
+            let job_id: u64 = rest
+                .get(1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage());
+            let state = if verb == "status" {
+                client.status(job_id)
+            } else {
+                client.cancel(job_id)
+            }
+            .unwrap_or_else(|e| fail(format!("{verb}: {e}")));
+            println!("job {job_id}: {state}");
+        }
+        "stats" => {
+            let s = client
+                .stats()
+                .unwrap_or_else(|e| fail(format!("stats: {e}")));
+            println!(
+                "completed {} | cancelled {} | backlog {} | cache {}/{} hits",
+                s.jobs_completed,
+                s.jobs_cancelled,
+                s.backlog,
+                s.cache_hits,
+                s.cache_hits + s.cache_misses
+            );
+        }
+        _ => usage(),
+    }
+}
+
+/// The CI wire-smoke scenario; panics (nonzero exit) on any violation.
+fn smoke(addr: Option<&str>) {
+    // Without --addr: boot a 1-worker wire server in-process on an
+    // ephemeral loopback port (still a real TCP socket). With --addr:
+    // the server was booted externally (ci.sh starts `msropm_serve
+    // --workers 1`).
+    let local = if addr.is_none() {
+        Some(
+            WireServer::bind(
+                "127.0.0.1:0",
+                WireConfig {
+                    server: ServerConfig {
+                        workers: 1,
+                        queue_capacity: 16,
+                        cache_capacity: 8,
+                    },
+                    ..WireConfig::default()
+                },
+            )
+            .unwrap_or_else(|e| fail(format!("bind: {e}"))),
+        )
+    } else {
+        None
+    };
+    let addr = addr
+        .map(str::to_string)
+        .unwrap_or_else(|| local.as_ref().unwrap().local_addr().to_string());
+    println!("wire smoke against {addr}");
+    let mut client =
+        Client::connect(&addr, "smoke").unwrap_or_else(|e| fail(format!("connect {addr}: {e}")));
+
+    // Job A: big enough to occupy the single worker for a while. Job B
+    // queues behind it and is cancelled while A runs.
+    let board = generators::kings_graph(14, 14);
+    let config = MsropmConfig::paper_default();
+    let job_a = BatchJob::uniform(config, 12, 1);
+    let job_b = BatchJob::uniform(config, 4, 2);
+    let a = client
+        .submit(&board, &job_a)
+        .unwrap_or_else(|e| fail(format!("submit A: {e}")));
+    let b = client
+        .submit(&board, &job_b)
+        .unwrap_or_else(|e| fail(format!("submit B: {e}")));
+    println!("submitted A={a} (12 lanes), B={b} (4 lanes)");
+
+    let state_b = client
+        .status(b)
+        .unwrap_or_else(|e| fail(format!("status B: {e}")));
+    println!("status B before cancel: {state_b}");
+    let after_cancel = client
+        .cancel(b)
+        .unwrap_or_else(|e| fail(format!("cancel B: {e}")));
+    println!("cancel B acknowledged (state then: {after_cancel})");
+
+    // A's report must arrive, bit-verifiable client-side.
+    let report_a = client
+        .wait_report(a)
+        .unwrap_or_else(|e| fail(format!("wait A: {e}")));
+    assert_eq!(report_a.graph_hash, graph_hash(&board), "A hash mismatch");
+    for lane in &report_a.ranked {
+        assert_eq!(
+            verify_lane(&board, lane),
+            Some(lane.conflicts),
+            "lane {} conflict recount mismatch",
+            lane.lane
+        );
+    }
+    println!(
+        "report A: best lane {} with {} conflicts",
+        report_a.best().map(|l| l.lane).unwrap_or_default(),
+        report_a.best().map(|l| l.conflicts).unwrap_or_default()
+    );
+
+    // B must settle in Cancelled (the worker observes the token right
+    // after A) ...
+    let mut state = after_cancel;
+    for _ in 0..600 {
+        if state == JobState::Cancelled {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        state = client
+            .status(b)
+            .unwrap_or_else(|e| fail(format!("status B: {e}")));
+    }
+    assert_eq!(state, JobState::Cancelled, "B never settled in cancelled");
+    // ... and must never produce a report.
+    match client.wait_report_timeout(b, Duration::from_secs(2)) {
+        Ok(None) => {}
+        Ok(Some(_)) => fail("cancelled job B produced a report"),
+        Err(e) => fail(format!("drain after cancel: {e}")),
+    }
+    let stats = client
+        .stats()
+        .unwrap_or_else(|e| fail(format!("stats: {e}")));
+    assert!(stats.jobs_completed >= 1, "A should be counted completed");
+    assert!(stats.jobs_cancelled >= 1, "B should be counted cancelled");
+    if let Some(server) = local {
+        server.shutdown();
+    }
+    println!(
+        "wire smoke OK: submit/status/cancel verified; cancelled job produced no report \
+         (completed {}, cancelled {})",
+        stats.jobs_completed, stats.jobs_cancelled
+    );
+}

@@ -1,0 +1,356 @@
+//! # msropm-client — blocking TCP client for the MSROPM job protocol
+//!
+//! Speaks the framed protocol of [`msropm_server::proto`] against a
+//! [`msropm_server::wire::WireServer`]: submit batch jobs, poll status,
+//! request cooperative cancellation, fetch server stats, and receive
+//! the **streamed** report frames of completed jobs.
+//!
+//! The client is synchronous and single-connection. Each verb method
+//! sends one request and blocks for its reply; report frames (which the
+//! server pushes whenever a job completes, possibly interleaved with
+//! verb replies) are stashed internally and redeemed with
+//! [`Client::wait_report`]. Submitting many jobs and collecting their
+//! reports later therefore pipelines naturally over one socket:
+//!
+//! ```no_run
+//! use msropm_client::Client;
+//! use msropm_core::{BatchJob, MsropmConfig};
+//! use msropm_graph::generators;
+//!
+//! let mut client = Client::connect("127.0.0.1:7227", "acme")?;
+//! let graph = generators::kings_graph(7, 7);
+//! let job = BatchJob::uniform(MsropmConfig::paper_default(), 8, 42);
+//! let job_id = client.submit(&graph, &job)?;
+//! let report = client.wait_report(job_id)?;
+//! println!("best lane: {} conflicts", report.best().unwrap().conflicts);
+//! # Ok::<(), msropm_client::ClientError>(())
+//! ```
+//!
+//! Reports are **bit-exact**: `f64` fields travel as IEEE bit patterns,
+//! and the report's `graph_hash` lets a client verify it is looking at
+//! the topology it submitted (`msropm_graph::graph_hash`). Colorings
+//! can be re-verified locally with [`msropm_server::proto::verify_lane`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use msropm_core::BatchJob;
+use msropm_graph::Graph;
+use msropm_server::proto::{self, ErrorCode, ProtoError, Request, Response, WireReport, WireStats};
+use msropm_server::JobState;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, BufReader, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(io::Error),
+    /// The server sent bytes that do not decode.
+    Proto(ProtoError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// The protocol error code.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The server answered a verb with a frame of the wrong type.
+    UnexpectedFrame(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code}): {message}")
+            }
+            ClientError::UnexpectedFrame(what) => {
+                write!(f, "unexpected frame while waiting for {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(io_err) => ClientError::Io(io_err),
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+/// One tenant's blocking connection to a wire server; see the crate
+/// docs.
+pub struct Client {
+    tenant: String,
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    stash: VecDeque<WireReport>,
+}
+
+impl Client {
+    /// Connects to `addr` and identifies as `tenant` on every request
+    /// (the server's quota-accounting identity).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A, tenant: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            tenant: tenant.to_string(),
+            stream,
+            reader,
+            stash: VecDeque::new(),
+        })
+    }
+
+    /// The tenant id this connection submits under.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Reports received but not yet redeemed by [`Client::wait_report`].
+    pub fn stashed_reports(&self) -> usize {
+        self.stash.len()
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        let payload = proto::encode_request(req);
+        proto::write_frame(&mut self.stream, &payload)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let payload = proto::read_frame(&mut self.reader)?;
+        Ok(proto::decode_response(&payload)?)
+    }
+
+    /// Reads frames until a non-report arrives, stashing reports.
+    fn recv_reply(&mut self) -> Result<Response, ClientError> {
+        loop {
+            match self.recv()? {
+                Response::Report(r) => self.stash.push_back(r),
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// Submits `job` against `graph`; returns the server-assigned job
+    /// id. The report streams in later — redeem it with
+    /// [`Client::wait_report`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] carries quota/shutdown rejections
+    /// (`QuotaInFlight`, `QuotaLanes`, `ShuttingDown`, …).
+    pub fn submit(&mut self, graph: &Graph, job: &BatchJob) -> Result<u64, ClientError> {
+        self.send(&Request::Submit {
+            tenant: self.tenant.clone(),
+            graph: graph.clone(),
+            job: job.clone(),
+        })?;
+        match self.recv_reply()? {
+            Response::Submitted { job_id } => Ok(job_id),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedFrame("submitted")),
+        }
+    }
+
+    /// Queries one job's lifecycle state.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with `UnknownJob`/`Forbidden` for bad ids.
+    pub fn status(&mut self, job_id: u64) -> Result<JobState, ClientError> {
+        self.send(&Request::Status {
+            tenant: self.tenant.clone(),
+            job_id,
+        })?;
+        match self.recv_reply()? {
+            Response::StatusReply { state, .. } => Ok(state),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedFrame("status reply")),
+        }
+    }
+
+    /// Requests cooperative cancellation; returns the job's state at
+    /// reply time (the cancel lands at the worker's next check, so this
+    /// may still read `Queued`/`Running`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with `UnknownJob`/`Forbidden` for bad ids.
+    pub fn cancel(&mut self, job_id: u64) -> Result<JobState, ClientError> {
+        self.send(&Request::Cancel {
+            tenant: self.tenant.clone(),
+            job_id,
+        })?;
+        match self.recv_reply()? {
+            Response::CancelReply { state, .. } => Ok(state),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedFrame("cancel reply")),
+        }
+    }
+
+    /// Fetches server-wide counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        self.send(&Request::Stats)?;
+        match self.recv_reply()? {
+            Response::StatsReply(stats) => Ok(stats),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedFrame("stats reply")),
+        }
+    }
+
+    /// Blocks until `job_id`'s report arrives (checking the stash
+    /// first). Reports for *other* jobs that arrive meanwhile stay
+    /// stashed for their own `wait_report` calls.
+    ///
+    /// Never returns for a cancelled job — the server streams no report
+    /// for those; poll [`Client::status`] or use
+    /// [`Client::wait_report_timeout`] when cancellation is in play.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a typed server error frame.
+    pub fn wait_report(&mut self, job_id: u64) -> Result<WireReport, ClientError> {
+        loop {
+            if let Some(pos) = self.stash.iter().position(|r| r.job_id == job_id) {
+                return Ok(self.stash.remove(pos).expect("position is valid"));
+            }
+            match self.recv()? {
+                Response::Report(r) => self.stash.push_back(r),
+                Response::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                _ => return Err(ClientError::UnexpectedFrame("report")),
+            }
+        }
+    }
+
+    /// Like [`Client::wait_report`] with a deadline: `Ok(None)` when
+    /// `dur` elapses without the report — the call the smoke/CI path
+    /// uses to assert a **cancelled job never produces a report**.
+    ///
+    /// The deadline only fires on a frame boundary. If it lands while a
+    /// frame is mid-flight (some of its bytes already read), the client
+    /// blocks until that frame completes rather than abandoning it —
+    /// returning early there would desync the stream for every later
+    /// request on this connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a typed server error frame.
+    pub fn wait_report_timeout(
+        &mut self,
+        job_id: u64,
+        dur: Duration,
+    ) -> Result<Option<WireReport>, ClientError> {
+        let deadline = Instant::now() + dur;
+        loop {
+            if let Some(pos) = self.stash.iter().position(|r| r.job_id == job_id) {
+                return Ok(self.stash.remove(pos));
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Ok(None);
+            }
+            let Some(payload) = self.read_frame_deadline(left)? else {
+                return Ok(None);
+            };
+            match proto::decode_response(&payload)? {
+                Response::Report(r) => self.stash.push_back(r),
+                Response::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                _ => return Err(ClientError::UnexpectedFrame("report")),
+            }
+        }
+    }
+
+    /// Reads one frame, giving up (→ `Ok(None)`) only if nothing at all
+    /// has arrived within `left`. Once the first header byte is in, the
+    /// frame is committed: the read timeout is lifted and the remainder
+    /// is read blocking, so a deadline can never leave the stream
+    /// desynced mid-frame.
+    fn read_frame_deadline(&mut self, left: Duration) -> Result<Option<Vec<u8>>, ClientError> {
+        use std::io::Read as _;
+        // The reader wraps a `try_clone` of `self.stream`; clones share
+        // the underlying socket, so the timeout applies to both.
+        self.stream.set_read_timeout(Some(left))?;
+        let mut header = [0u8; 4];
+        let mut got = 0usize;
+        let header_result = loop {
+            match self.reader.read(&mut header[got..]) {
+                Ok(0) => {
+                    break Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed",
+                    )))
+                }
+                Ok(n) => {
+                    got += n;
+                    if got == header.len() {
+                        break Ok(());
+                    }
+                    // Partial header: the frame is committed; finish it
+                    // without a deadline.
+                    self.stream.set_read_timeout(None)?;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if got == 0
+                        && matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                {
+                    self.stream.set_read_timeout(None)?;
+                    return Ok(None);
+                }
+                Err(e) => break Err(ClientError::Io(e)),
+            }
+        };
+        self.stream.set_read_timeout(None)?;
+        header_result?;
+        let len = u32::from_le_bytes(header);
+        if len > proto::MAX_FRAME_LEN {
+            return Err(ClientError::Proto(ProtoError::Oversized(len)));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.reader.read_exact(&mut payload)?;
+        Ok(Some(payload))
+    }
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("tenant", &self.tenant)
+            .field("stashed_reports", &self.stash.len())
+            .finish_non_exhaustive()
+    }
+}

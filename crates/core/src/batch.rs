@@ -59,6 +59,7 @@ use msropm_osc::PhaseNetwork;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::f64::consts::TAU;
+use std::ops::ControlFlow;
 
 /// Runs one homogeneous batch of replicas (every lane at the base
 /// config), sharded over at most `threads` OS threads.
@@ -301,15 +302,24 @@ pub(crate) fn solve_lanes_arena(
         seeds,
         sample_spread,
         arena,
-        |_, _: &mut StageBoundary| {},
+        |_, _: &mut StageBoundary| ControlFlow::Continue(()),
     )
+    .expect("hook never aborts")
 }
 
 /// Runs one contiguous lane range as a single interleaved batch,
 /// invoking `hook` at every non-final stage boundary (the population
-/// restart entry point; see [`StageBoundary`]). All per-run state lives
-/// in `arena`, so a caller reusing one arena across solves allocates
-/// nothing here once the buffers are warm.
+/// restart and cooperative-cancellation entry point; see
+/// [`StageBoundary`]). All per-run state lives in `arena`, so a caller
+/// reusing one arena across solves allocates nothing here once the
+/// buffers are warm.
+///
+/// Returns `None` when `hook` answers [`ControlFlow::Break`] — the run
+/// is abandoned at that stage boundary and **no** solutions are
+/// produced (the partially annealed state is discarded; the arena stays
+/// reusable). A `Break` cannot change the trajectory of a run that
+/// continues: the hook fires strictly between stages, after all RNG
+/// draws of the finished stage and before any of the next.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_lane_range_hooked<F>(
     graph: &Graph,
@@ -320,9 +330,9 @@ pub(crate) fn solve_lane_range_hooked<F>(
     sample_spread: bool,
     arena: &mut BatchArena,
     mut hook: F,
-) -> Vec<MsropmSolution>
+) -> Option<Vec<MsropmSolution>>
 where
-    F: FnMut(usize, &mut StageBoundary),
+    F: FnMut(usize, &mut StageBoundary) -> ControlFlow<()>,
 {
     let n = graph.num_nodes();
     let rr = seeds.len();
@@ -553,23 +563,27 @@ where
                 stage_records: &mut stage_records,
                 replicas: rr,
             };
-            hook(stage, &mut boundary);
+            if hook(stage, &mut boundary).is_break() {
+                return None;
+            }
         }
     }
 
-    stage_records
-        .into_iter()
-        .enumerate()
-        .map(|(r, stages)| {
-            let coloring: Coloring = (0..n).map(|i| Color(groups[i * rr + r] as u16)).collect();
-            MsropmSolution {
-                coloring,
-                stages,
-                final_phases: (0..n).map(|i| phases[i * rr + r]).collect(),
-                total_time_ns: schedule.total_time_ns(),
-            }
-        })
-        .collect()
+    Some(
+        stage_records
+            .into_iter()
+            .enumerate()
+            .map(|(r, stages)| {
+                let coloring: Coloring = (0..n).map(|i| Color(groups[i * rr + r] as u16)).collect();
+                MsropmSolution {
+                    coloring,
+                    stages,
+                    final_phases: (0..n).map(|i| phases[i * rr + r]).collect(),
+                    total_time_ns: schedule.total_time_ns(),
+                }
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -803,7 +817,7 @@ mod tests {
         let lanes = vec![LaneConfig::default(); 3];
         let mut fired = Vec::new();
         let mut arena = BatchArena::new();
-        solve_lane_range_hooked(
+        let out = solve_lane_range_hooked(
             &g,
             &base,
             &net,
@@ -817,9 +831,49 @@ mod tests {
                 for r in 0..b.num_lanes() {
                     assert!(b.satisfied_edges(r) <= g.num_edges());
                 }
+                ControlFlow::Continue(())
             },
         );
+        assert_eq!(out.expect("run completes").len(), 3);
         assert_eq!(fired, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn hook_break_abandons_the_run() {
+        let g = generators::kings_graph(3, 3);
+        let base = fast_config(); // 2 stages => the one boundary aborts
+        let net = base.build_network(&g);
+        let lanes = vec![LaneConfig::default(); 2];
+        let mut arena = BatchArena::new();
+        let out = solve_lane_range_hooked(
+            &g,
+            &base,
+            &net,
+            &lanes,
+            &[1, 2],
+            false,
+            &mut arena,
+            |_, _: &mut StageBoundary| ControlFlow::Break(()),
+        );
+        assert!(out.is_none(), "broken run must yield no solutions");
+        // The arena stays reusable and a subsequent full run is
+        // bit-identical to one in a fresh arena.
+        let resumed = solve_lanes_arena(&g, &base, &net, &lanes, &[1, 2], false, &mut arena);
+        let fresh = solve_lanes_arena(
+            &g,
+            &base,
+            &net,
+            &lanes,
+            &[1, 2],
+            false,
+            &mut BatchArena::new(),
+        );
+        for (a, b) in resumed.iter().zip(&fresh) {
+            assert_eq!(a.coloring, b.coloring);
+            for (x, y) in a.final_phases.iter().zip(&b.final_phases) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]
@@ -840,8 +894,10 @@ mod tests {
             |_, b| {
                 b.copy_lane(0, 1);
                 assert_eq!(b.satisfied_edges(0), b.satisfied_edges(1));
+                ControlFlow::Continue(())
             },
-        );
+        )
+        .expect("uncancelled run completes");
         // After the copy both lanes share the stage-1 partition, so the
         // stage-1 group bit (the color MSB) must agree everywhere.
         let c0 = &sols[0].coloring;

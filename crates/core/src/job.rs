@@ -23,6 +23,41 @@ use crate::batch::BatchArena;
 use crate::config::{LaneConfig, MsropmConfig, SweepSpec};
 use crate::machine::{Msropm, MsropmSolution};
 use msropm_graph::{graph_hash, Graph};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation flag for one in-flight job.
+///
+/// Cancellation is **cooperative**: the solver checks the token before
+/// starting and at every non-final stage boundary (the instants the
+/// paper's control sequencer could realistically intervene between SHIL
+/// windows — see [`crate::batch`]'s stage hook). A cancelled run is
+/// abandoned wholesale: it produces no report, and the check can never
+/// perturb a run that completes, because it happens strictly between
+/// stages (after all RNG draws of the finished stage, before any of the
+/// next). Clones share the flag; cancelling any clone cancels the job.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; takes effect at the job's next
+    /// cooperative check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// One batch-solve job: lanes + seed against a single (implied) graph.
 ///
@@ -90,13 +125,37 @@ impl BatchJob {
     /// caller's responsibility — a mismatch means a cache-key bug) or if
     /// a resolved lane configuration is invalid.
     pub fn run(&self, machine: &Msropm, arena: &mut BatchArena) -> JobReport {
+        self.run_cancellable(machine, arena, &CancelToken::new())
+            .expect("a fresh token never cancels")
+    }
+
+    /// Like [`BatchJob::run`], but checking `cancel` before the first
+    /// stage and at every non-final stage boundary. Returns `None` when
+    /// the job was cancelled — no report exists, and none ever will for
+    /// this run. A job that completes is **bit-identical** to an
+    /// uncancellable [`BatchJob::run`]: the cooperative check happens
+    /// strictly between stages and cannot perturb the trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BatchJob::run`].
+    pub fn run_cancellable(
+        &self,
+        machine: &Msropm,
+        arena: &mut BatchArena,
+        cancel: &CancelToken,
+    ) -> Option<JobReport> {
         assert!(
             machine.config() == &self.config,
             "job config does not match the machine it is paired with"
         );
+        if cancel.is_cancelled() {
+            return None;
+        }
         let seeds = self.lane_seeds();
-        let solutions = machine.solve_batch_lanes_arena(&self.lanes, &seeds, arena);
-        JobReport::rank(machine.graph(), self, &seeds, solutions)
+        let solutions =
+            machine.solve_batch_lanes_arena_cancellable(&self.lanes, &seeds, arena, cancel)?;
+        Some(JobReport::rank(machine.graph(), self, &seeds, solutions))
     }
 }
 
@@ -236,6 +295,81 @@ mod tests {
         let machine = Msropm::new(&g, fast_config());
         let report = job.run(&machine, &mut BatchArena::new());
         assert_eq!(report.ranked.len(), 4);
+    }
+
+    #[test]
+    fn pre_cancelled_job_produces_no_report() {
+        let g = generators::kings_graph(3, 3);
+        let machine = Msropm::new(&g, fast_config());
+        let job = BatchJob::uniform(fast_config(), 2, 5);
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(job
+            .run_cancellable(&machine, &mut BatchArena::new(), &token)
+            .is_none());
+    }
+
+    #[test]
+    fn uncancelled_job_matches_solo_reference_solves_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // The reference is the *independent* sequential scalar machine
+        // (`Msropm::solve` per lane), not `BatchJob::run` — `run` now
+        // delegates to `run_cancellable`, so comparing those two would
+        // be vacuous. This pins the cancellable hooked path (boundary
+        // check armed but never firing) to the gold trajectory.
+        let g = generators::kings_graph(4, 4);
+        let machine = Msropm::new(&g, fast_config());
+        let job = BatchJob::uniform(fast_config(), 4, 11);
+        let report = job
+            .run_cancellable(&machine, &mut BatchArena::new(), &CancelToken::new())
+            .expect("not cancelled");
+        let seeds = job.lane_seeds();
+        for entry in &report.ranked {
+            let mut solo_machine = Msropm::new(&g, fast_config());
+            let mut rng = StdRng::seed_from_u64(seeds[entry.lane]);
+            let solo = solo_machine.solve(&mut rng);
+            assert_eq!(
+                entry.solution.coloring, solo.coloring,
+                "lane {}",
+                entry.lane
+            );
+            assert_eq!(entry.conflicts, solo.coloring.conflicts(&g));
+            for (p, q) in entry.solution.final_phases.iter().zip(&solo.final_phases) {
+                assert_eq!(p.to_bits(), q.to_bits(), "lane {} phases", entry.lane);
+            }
+        }
+    }
+
+    #[test]
+    fn mid_run_cancel_lands_at_the_stage_boundary() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // 16 colors => 4 stages => 3 boundaries: cancel at the second
+        // check deterministically (the token is flipped by the job's own
+        // boundary observation via a countdown, no timing involved).
+        let g = generators::kings_graph(3, 3);
+        let config = fast_config().with_num_colors(16);
+        let machine = Msropm::new(&g, config);
+        let token = CancelToken::new();
+        let countdown = AtomicUsize::new(2);
+        // Flip the token from a helper thread once the run is underway:
+        // here we emulate "cancel arrives mid-run" without wall-clock
+        // dependence by cancelling after a fixed number of boundary
+        // observations through the machine's own cancellable path.
+        let lanes = vec![LaneConfig::default(); 2];
+        let seeds = [3u64, 4];
+        let out = machine.solve_batch_lanes_arena_cancellable_with(
+            &lanes,
+            &seeds,
+            &mut BatchArena::new(),
+            || {
+                if countdown.fetch_sub(1, Ordering::Relaxed) == 1 {
+                    token.cancel();
+                }
+                token.is_cancelled()
+            },
+        );
+        assert!(out.is_none(), "cancel at the second boundary aborts");
     }
 
     #[test]

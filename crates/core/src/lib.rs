@@ -64,7 +64,7 @@ pub use batch::BatchArena;
 pub use cache::{CacheStats, ProblemCache};
 pub use circuit_machine::{CircuitMsropm, CircuitMsropmConfig, CircuitSolution};
 pub use config::{LaneConfig, MsropmConfig, ReinitMode, SweepParam, SweepSpec};
-pub use job::{BatchJob, JobReport, RankedLane};
+pub use job::{BatchJob, CancelToken, JobReport, RankedLane};
 pub use machine::{Msropm, MsropmSolution, StageRecord};
 pub use metrics::{coloring_accuracy, max_cut_accuracy, search_space_label};
 pub use portfolio::{LaneOutcome, PortfolioReport, PortfolioRunner, RestartEvent};

@@ -421,6 +421,65 @@ impl Msropm {
             arena,
         )
     }
+
+    /// Like [`Msropm::solve_batch_lanes_arena`], but checking `cancel`
+    /// at every non-final stage boundary; returns `None` when the run
+    /// was abandoned there. Runs that complete are **bit-identical** to
+    /// the uncancellable entry (the check happens strictly between
+    /// stages, after all RNG draws of the finished stage and before any
+    /// of the next). This is the job-server cancellation path — see
+    /// [`crate::job::BatchJob::run_cancellable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes.len() != seeds.len()` or a resolved lane
+    /// configuration is invalid.
+    pub fn solve_batch_lanes_arena_cancellable(
+        &self,
+        lanes: &[LaneConfig],
+        seeds: &[u64],
+        arena: &mut crate::batch::BatchArena,
+        cancel: &crate::job::CancelToken,
+    ) -> Option<Vec<MsropmSolution>> {
+        self.solve_batch_lanes_arena_cancellable_with(lanes, seeds, arena, || cancel.is_cancelled())
+    }
+
+    /// Generalized cancellable batch solve: `cancelled` is polled at
+    /// every non-final stage boundary; returning `true` abandons the
+    /// run (→ `None`). Backs [`Msropm::solve_batch_lanes_arena_cancellable`]
+    /// and lets tests (and future deadline-based policies) drive the
+    /// boundary check deterministically.
+    pub(crate) fn solve_batch_lanes_arena_cancellable_with<F>(
+        &self,
+        lanes: &[LaneConfig],
+        seeds: &[u64],
+        arena: &mut crate::batch::BatchArena,
+        mut cancelled: F,
+    ) -> Option<Vec<MsropmSolution>>
+    where
+        F: FnMut() -> bool,
+    {
+        self.config.validate();
+        if seeds.is_empty() {
+            return Some(Vec::new());
+        }
+        crate::batch::solve_lane_range_hooked(
+            &self.graph,
+            &self.config,
+            &self.network,
+            lanes,
+            seeds,
+            false,
+            arena,
+            |_, _| {
+                if cancelled() {
+                    std::ops::ControlFlow::Break(())
+                } else {
+                    std::ops::ControlFlow::Continue(())
+                }
+            },
+        )
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ use crate::batch::{solve_lane_range_hooked, StageBoundary};
 use crate::config::{LaneConfig, MsropmConfig, SweepSpec};
 use crate::machine::MsropmSolution;
 use msropm_graph::Graph;
+use std::ops::ControlFlow;
 
 /// One population restart: at the boundary after `stage`, lane `dst`
 /// was re-seeded from lane `src`'s partition state.
@@ -190,8 +191,10 @@ impl PortfolioRunner {
             &mut arena,
             |stage, boundary: &mut StageBoundary| {
                 Self::restart_worst(stage, boundary, restart_fraction, &mut restarts);
+                ControlFlow::Continue(())
             },
-        );
+        )
+        .expect("portfolio runs are never cancelled");
         let lanes = solutions
             .into_iter()
             .enumerate()

@@ -1,0 +1,68 @@
+//! Standalone wire-server daemon: binds a TCP port and serves the
+//! framed job protocol until killed.
+//!
+//! ```text
+//! msropm_serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!              [--cache N] [--max-inflight N] [--max-lanes N]
+//!              [--port-file PATH]
+//! ```
+//!
+//! `--addr 127.0.0.1:0` binds an ephemeral port; the bound address is
+//! printed as `listening on ADDR` (and written to `--port-file` when
+//! given, which is what the CI wire-smoke stage parses).
+
+use msropm_server::wire::{WireConfig, WireServer};
+use std::time::Duration;
+
+fn main() {
+    let mut addr = "127.0.0.1:7227".to_string();
+    let mut config = WireConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} requires a value"))
+        };
+        match a.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => config.server.workers = value("--workers").parse().expect("--workers N"),
+            "--queue" => {
+                config.server.queue_capacity = value("--queue").parse().expect("--queue N")
+            }
+            "--cache" => {
+                config.server.cache_capacity = value("--cache").parse().expect("--cache N")
+            }
+            "--max-inflight" => {
+                config.max_inflight_jobs =
+                    value("--max-inflight").parse().expect("--max-inflight N")
+            }
+            "--max-lanes" => {
+                config.max_queued_lanes = value("--max-lanes").parse().expect("--max-lanes N")
+            }
+            "--port-file" => port_file = Some(value("--port-file")),
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; valid: --addr HOST:PORT, --workers N, \
+                     --queue N, --cache N, --max-inflight N, --max-lanes N, --port-file PATH"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let server = WireServer::bind(&addr, config).unwrap_or_else(|e| {
+        eprintln!("failed to bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let bound = server.local_addr();
+    println!("listening on {bound}");
+    if let Some(path) = port_file {
+        std::fs::write(&path, format!("{bound}\n"))
+            .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+    }
+    // Serve until killed (SIGTERM/SIGKILL from the operator or CI's
+    // `timeout`); the acceptor and workers run on their own threads.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

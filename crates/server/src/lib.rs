@@ -67,13 +67,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod proto;
 pub mod queue;
+pub mod wire;
 
-use msropm_core::{BatchArena, BatchJob, CacheStats, JobReport, ProblemCache};
+use msropm_core::{BatchArena, BatchJob, CacheStats, CancelToken, JobReport, ProblemCache};
 use msropm_graph::Graph;
 use queue::BoundedQueue;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -132,6 +134,9 @@ pub enum ServerError {
     Closed,
     /// The worker executing the job died (panicked) before replying.
     WorkerDied,
+    /// The job was cancelled before producing a report (see
+    /// [`msropm_core::CancelToken`]); no report exists for it.
+    Cancelled,
     /// [`JobTicket::wait_timeout`] elapsed with the job still running;
     /// the ticket is returned for a later retry.
     Timeout(JobTicket),
@@ -142,6 +147,7 @@ impl fmt::Display for ServerError {
         match self {
             ServerError::Closed => write!(f, "job server is shut down"),
             ServerError::WorkerDied => write!(f, "worker died before completing the job"),
+            ServerError::Cancelled => write!(f, "job was cancelled before completing"),
             ServerError::Timeout(_) => write!(f, "timed out waiting for the job"),
         }
     }
@@ -149,20 +155,111 @@ impl fmt::Display for ServerError {
 
 impl std::error::Error for ServerError {}
 
+/// Lifecycle of one submitted job, observable through
+/// [`JobHandle::state`] (and the wire protocol's `status` verb).
+///
+/// Transitions are monotone:
+/// `Queued → Running → {Done, Cancelled}`, with `Queued → Cancelled`
+/// when a cancel lands before pickup, and `Running → Failed` when the
+/// executing worker panics. Cancellation is cooperative — a `cancel()`
+/// is *observed* by the worker at pickup or at a stage boundary, so a
+/// cancelled job may report `Queued`/`Running` for a short while before
+/// settling in `Cancelled`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum JobState {
+    /// Submitted, not yet picked up by a worker.
+    Queued = 0,
+    /// A worker is executing the job.
+    Running = 1,
+    /// Completed; a report was produced.
+    Done = 2,
+    /// Cancelled before producing a report.
+    Cancelled = 3,
+    /// The executing worker died before replying.
+    Failed = 4,
+}
+
+impl JobState {
+    /// Inverse of `self as u8` (for wire decoding).
+    pub fn from_u8(b: u8) -> Option<JobState> {
+        match b {
+            0 => Some(JobState::Queued),
+            1 => Some(JobState::Running),
+            2 => Some(JobState::Done),
+            3 => Some(JobState::Cancelled),
+            4 => Some(JobState::Failed),
+            _ => None,
+        }
+    }
+
+    /// `true` for the states a job can never leave.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Shared, lock-free cell holding one job's [`JobState`]; written by the
+/// executing worker, read by status queries.
+#[derive(Debug, Default)]
+pub struct JobStatusCell(AtomicU8);
+
+impl JobStatusCell {
+    /// A fresh cell in [`JobState::Queued`].
+    pub fn new() -> Self {
+        JobStatusCell::default()
+    }
+
+    /// Current state.
+    pub fn get(&self) -> JobState {
+        JobState::from_u8(self.0.load(Ordering::Acquire)).expect("cell holds a valid state")
+    }
+
+    /// Records a transition (no ordering enforcement — callers follow
+    /// the monotone lifecycle documented on [`JobState`]).
+    pub fn set(&self, state: JobState) {
+        self.0.store(state as u8, Ordering::Release);
+    }
+}
+
 /// Handle to one in-flight job; redeem it with [`JobTicket::wait`].
 #[derive(Debug)]
 pub struct JobTicket {
-    rx: mpsc::Receiver<JobOutcome>,
+    rx: mpsc::Receiver<Option<JobOutcome>>,
 }
 
 impl JobTicket {
+    fn settle(msg: Option<JobOutcome>) -> Result<JobOutcome, ServerError> {
+        msg.ok_or(ServerError::Cancelled)
+    }
+
     /// Blocks until the job completes.
     ///
     /// # Errors
     ///
+    /// [`ServerError::Cancelled`] if the job was cancelled,
     /// [`ServerError::WorkerDied`] if the executing worker panicked.
     pub fn wait(self) -> Result<JobOutcome, ServerError> {
-        self.rx.recv().map_err(|_| ServerError::WorkerDied)
+        match self.rx.recv() {
+            Ok(msg) => Self::settle(msg),
+            Err(_) => Err(ServerError::WorkerDied),
+        }
     }
 
     /// Like [`JobTicket::wait`] with an upper bound; on timeout the
@@ -172,29 +269,71 @@ impl JobTicket {
     /// # Errors
     ///
     /// [`ServerError::Timeout`] when `dur` elapses first,
+    /// [`ServerError::Cancelled`] if the job was cancelled,
     /// [`ServerError::WorkerDied`] if the executing worker panicked.
     pub fn wait_timeout(self, dur: Duration) -> Result<JobOutcome, ServerError> {
         match self.rx.recv_timeout(dur) {
-            Ok(outcome) => Ok(outcome),
+            Ok(msg) => Self::settle(msg),
             Err(mpsc::RecvTimeoutError::Timeout) => Err(ServerError::Timeout(self)),
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServerError::WorkerDied),
         }
     }
 }
 
+/// Everything a submitter can do with one job: await the report, watch
+/// its lifecycle, request cancellation. Returned by
+/// [`JobServer::submit_handle`]; the wire front end keeps the status
+/// cell and cancel token in its job registry while the ticket rides
+/// with the per-job completion waiter.
+#[derive(Debug)]
+pub struct JobHandle {
+    /// Completion channel; consume with [`JobTicket::wait`].
+    pub ticket: JobTicket,
+    status: Arc<JobStatusCell>,
+    cancel: CancelToken,
+}
+
+impl JobHandle {
+    /// The job's current lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.status.get()
+    }
+
+    /// Shared view of the status cell (for registries outliving the
+    /// ticket).
+    pub fn status_cell(&self) -> Arc<JobStatusCell> {
+        Arc::clone(&self.status)
+    }
+
+    /// A clone of the job's cancel token.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Requests cooperative cancellation (observed at worker pickup or
+    /// the next stage boundary).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+}
+
 /// One queued request: the job, its graph, the reply channel and the
-/// submission timestamp (for queue-delay accounting).
+/// submission timestamp (for queue-delay accounting), plus the
+/// cancellation/status plumbing.
 struct Envelope {
     graph: Arc<Graph>,
     job: BatchJob,
     submitted_at: Instant,
-    reply: mpsc::Sender<JobOutcome>,
+    reply: mpsc::Sender<Option<JobOutcome>>,
+    cancel: CancelToken,
+    status: Arc<JobStatusCell>,
 }
 
 struct Shared {
     queue: BoundedQueue<Envelope>,
     cache: Mutex<ProblemCache>,
     jobs_completed: AtomicU64,
+    jobs_cancelled: AtomicU64,
 }
 
 /// The multi-worker batch-solve job service; see the crate docs.
@@ -215,6 +354,7 @@ impl JobServer {
             queue: BoundedQueue::new(config.queue_capacity),
             cache: Mutex::new(ProblemCache::new(config.cache_capacity)),
             jobs_completed: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -235,12 +375,53 @@ impl JobServer {
     ///
     /// [`ServerError::Closed`] if the server has been shut down.
     pub fn submit(&self, graph: Arc<Graph>, job: BatchJob) -> Result<JobTicket, ServerError> {
+        self.submit_handle(graph, job).map(|h| h.ticket)
+    }
+
+    /// Like [`JobServer::submit`] but returning the full [`JobHandle`]
+    /// (ticket + status cell + cancel token).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Closed`] if the server has been shut down.
+    pub fn submit_handle(
+        &self,
+        graph: Arc<Graph>,
+        job: BatchJob,
+    ) -> Result<JobHandle, ServerError> {
+        let cancel = CancelToken::new();
+        let status = Arc::new(JobStatusCell::new());
+        let ticket = self.submit_with(graph, job, cancel.clone(), Arc::clone(&status))?;
+        Ok(JobHandle {
+            ticket,
+            status,
+            cancel,
+        })
+    }
+
+    /// Submission with caller-provided cancellation/status plumbing —
+    /// the wire front end registers the token and cell *before*
+    /// enqueueing so a `cancel`/`status` verb can never race a job it
+    /// doesn't know yet.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Closed`] if the server has been shut down.
+    pub fn submit_with(
+        &self,
+        graph: Arc<Graph>,
+        job: BatchJob,
+        cancel: CancelToken,
+        status: Arc<JobStatusCell>,
+    ) -> Result<JobTicket, ServerError> {
         let (tx, rx) = mpsc::channel();
         let envelope = Envelope {
             graph,
             job,
             submitted_at: Instant::now(),
             reply: tx,
+            cancel,
+            status,
         };
         self.shared
             .queue
@@ -252,6 +433,12 @@ impl JobServer {
     /// Jobs completed since boot (all workers).
     pub fn jobs_completed(&self) -> u64 {
         self.shared.jobs_completed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs observed as cancelled by a worker since boot (at pickup or a
+    /// stage boundary); none of them produced a report.
+    pub fn jobs_cancelled(&self) -> u64 {
+        self.shared.jobs_cancelled.load(Ordering::Relaxed)
     }
 
     /// Problem-cache counters (hits/misses/evictions/collisions).
@@ -292,6 +479,15 @@ impl Drop for JobServer {
 fn worker_loop(shared: &Shared) {
     let mut arena = BatchArena::new();
     while let Some(envelope) = shared.queue.pop() {
+        // Cancellation observed at pickup: skip all work. (Stage-boundary
+        // checks inside `run_cancellable` below cover mid-run cancels.)
+        if envelope.cancel.is_cancelled() {
+            envelope.status.set(JobState::Cancelled);
+            shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            let _ = envelope.reply.send(None);
+            continue;
+        }
+        envelope.status.set(JobState::Running);
         let started_at = Instant::now();
         // Double-checked caching: only the (cheap, verified) lookup and
         // the insert run under the lock. A miss compiles *unlocked*, so
@@ -313,7 +509,17 @@ fn worker_loop(shared: &Shared) {
         });
         // Solve outside the cache lock too: workers never serialize on
         // each other's integrations.
-        let report = envelope.job.run(&machine, &mut arena);
+        let report = envelope
+            .job
+            .run_cancellable(&machine, &mut arena, &envelope.cancel);
+        let Some(report) = report else {
+            // Cancelled at a stage boundary: the run was abandoned and
+            // no report exists (nor ever will for this job).
+            envelope.status.set(JobState::Cancelled);
+            shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            let _ = envelope.reply.send(None);
+            continue;
+        };
         let finished_at = Instant::now();
         shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
         let outcome = JobOutcome {
@@ -323,7 +529,8 @@ fn worker_loop(shared: &Shared) {
                 service: finished_at - started_at,
             },
         };
+        envelope.status.set(JobState::Done);
         // The submitter may have dropped its ticket; that's fine.
-        let _ = envelope.reply.send(outcome);
+        let _ = envelope.reply.send(Some(outcome));
     }
 }

@@ -1,54 +1,158 @@
 #!/usr/bin/env bash
-# CI gate for the MSROPM workspace: formatting, lints (deny warnings),
-# the full test suite, and (full mode only) the job-server smoke stage
-# plus the bench perf-regression gates against the committed BENCH_*.json
-# baselines. Run from anywhere inside the repository.
+# CI gate for the MSROPM workspace, structured as named stages:
 #
-#   ./scripts/ci.sh          # full gate
-#   ./scripts/ci.sh --quick  # skip the release build, smoke and perf gates
+#   fmt    rustfmt check
+#   lint   clippy over all targets, deny warnings (incl. the ziggurat cfg)
+#   test   full test suite (+ the ziggurat feature's suite)
+#   build  release build incl. examples
+#   smoke  job-server determinism smoke + wire smoke (real TCP loopback:
+#          boot msropm_serve on an ephemeral port, run solve_remote
+#          submit/status/cancel against it under a hard timeout)
+#   perf   bench_phase_step / serve_bench / wire_bench regression gates
+#          against the committed BENCH_*.json baselines
+#
+#   ./scripts/ci.sh                # full gate: every stage in order
+#   ./scripts/ci.sh --quick        # fast stages only (fmt, lint, test)
+#   ./scripts/ci.sh --stage lint   # one named stage (repeatable)
+#
+# Every stage prints its elapsed seconds; the last line is always a
+# machine-readable CI_SUMMARY (result, per-stage timings, total).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-quick=0
-if [[ "${1:-}" == "--quick" ]]; then
-    quick=1
-fi
+ALL_STAGES=(fmt lint test build smoke perf)
+QUICK_STAGES=(fmt lint test)
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+usage() {
+    local joined
+    joined=$(IFS='|'; echo "${ALL_STAGES[*]}")
+    echo "usage: $0 [--quick] [--stage <$joined>]..." >&2
+    exit 2
+}
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+stage_fmt() {
+    cargo fmt --check
+}
 
-echo "==> cargo test -q"
-cargo test -q
+stage_lint() {
+    cargo clippy --all-targets -- -D warnings
+    # The ziggurat sampler is cfg'd out of default builds; lint that
+    # code too, with warnings denied just like the default surface.
+    cargo clippy -p msropm-ode --all-targets --features ziggurat -- -D warnings
+}
 
-echo "==> cargo test -q -p msropm-ode --features ziggurat"
-cargo test -q -p msropm-ode --features ziggurat
+stage_test() {
+    cargo test -q
+    cargo test -q -p msropm-ode --features ziggurat
+}
 
-if [[ "$quick" -eq 0 ]]; then
-    echo "==> cargo build --release"
+stage_build() {
     cargo build --release
-
-    echo "==> cargo build --release --examples"
     cargo build --release --examples
+}
 
-    echo "==> server smoke: boot, mixed batch, 1-vs-4-worker determinism (120 s hard cap)"
-    # `timeout` tears the server down if anything deadlocks, so CI can't hang.
+stage_smoke() {
+    # In-process server smoke: mixed batch, 1-vs-4-worker determinism.
+    # `timeout` tears everything down if anything deadlocks.
     timeout --kill-after=10 120 \
         cargo run --release -p msropm-bench --bin serve_bench -- --smoke
 
-    echo "==> perf-regression gate: bench_phase_step vs committed BENCH_phase_step.json"
+    # Wire smoke: a real TCP server on an ephemeral loopback port, then
+    # submit/status/cancel through the solve_remote client. The cancelled
+    # job must never produce a report (asserted inside `smoke`).
+    cargo build --release -p msropm-server -p msropm-client \
+        --bin msropm_serve --bin solve_remote
+    local port_file addr
+    port_file=$(mktemp -t msropm_wire_smoke.XXXXXX)
+    ./target/release/msropm_serve \
+        --addr 127.0.0.1:0 --workers 1 --port-file "$port_file" &
+    wire_server_pid=$!   # global: finish() reaps it on any exit path
+    for _ in $(seq 1 100); do
+        [[ -s "$port_file" ]] && break
+        kill -0 "$wire_server_pid" 2>/dev/null || { echo "msropm_serve died" >&2; return 1; }
+        sleep 0.1
+    done
+    [[ -s "$port_file" ]] || { echo "msropm_serve never published its port" >&2; return 1; }
+    addr=$(<"$port_file")
+    echo "    wire smoke against $addr"
+    timeout --kill-after=10 120 \
+        ./target/release/solve_remote smoke --addr "$addr"
+    kill "$wire_server_pid" 2>/dev/null || true
+    wait "$wire_server_pid" 2>/dev/null || true
+    wire_server_pid=""
+    rm -f "$port_file"
+}
+
+stage_perf() {
     timeout --kill-after=10 600 \
         cargo run --release -p msropm-bench --bin bench_phase_step -- \
         --out "$(mktemp -t bench_phase_step_ci.XXXXXX.json)" \
         --baseline BENCH_phase_step.json
-
-    echo "==> perf-regression gate: serve_bench vs committed BENCH_serve.json"
     timeout --kill-after=10 600 \
         cargo run --release -p msropm-bench --bin serve_bench -- \
         --out "$(mktemp -t bench_serve_ci.XXXXXX.json)" \
         --baseline BENCH_serve.json
+    timeout --kill-after=10 600 \
+        cargo run --release -p msropm-bench --bin wire_bench -- \
+        --out "$(mktemp -t bench_wire_ci.XXXXXX.json)" \
+        --baseline BENCH_serve.json
+}
+
+# --- driver ----------------------------------------------------------
+
+stages=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --quick)
+            stages+=("${QUICK_STAGES[@]}")
+            ;;
+        --stage)
+            shift
+            [[ $# -gt 0 ]] || usage
+            stages+=("$1")
+            ;;
+        *)
+            usage
+            ;;
+    esac
+    shift
+done
+if [[ ${#stages[@]} -eq 0 ]]; then
+    stages=("${ALL_STAGES[@]}")
 fi
+for s in "${stages[@]}"; do
+    declare -F "stage_$s" > /dev/null || { echo "unknown stage: $s" >&2; usage; }
+done
+
+summary=()
+current_stage=""
+wire_server_pid=""
+finish() {
+    local rc=$?
+    if [[ -n "$wire_server_pid" ]]; then
+        kill "$wire_server_pid" 2>/dev/null || true
+    fi
+    local joined=""
+    if [[ ${#summary[@]} -gt 0 ]]; then
+        joined=$(IFS=,; echo "${summary[*]}")
+    fi
+    if [[ $rc -eq 0 ]]; then
+        echo "CI_SUMMARY result=pass stages=$joined total=${SECONDS}s"
+    else
+        echo "CI_SUMMARY result=fail stage=${current_stage:-setup} stages=$joined total=${SECONDS}s"
+    fi
+}
+trap finish EXIT
+
+for s in "${stages[@]}"; do
+    current_stage=$s
+    t0=$SECONDS
+    echo "==> stage $s"
+    "stage_$s"
+    dt=$((SECONDS - t0))
+    echo "==> stage $s OK (${dt}s)"
+    summary+=("$s:${dt}s")
+done
+current_stage=""
 
 echo "CI gate passed."

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates every committed BENCH_*.json baseline at the repository
+# root in one command:
+#
+#   BENCH_phase_step.json   <- bench_phase_step (kernel/batch ns/op)
+#   BENCH_serve.json        <- serve_bench (in-process rows), then
+#                              wire_bench (merges its wire_* socket rows
+#                              into the same file)
+#
+# Run this when a PR intentionally changes performance (or the gate in
+# crates/bench/src/baseline.rs reports a stale baseline) and commit the
+# rewritten files together with the change. Expect a few minutes on a
+# quiet machine; baselines written on a loaded box make the CI gate
+# flaky for everyone else.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p msropm-bench"
+cargo build --release -p msropm-bench
+
+echo "==> bench_phase_step -> BENCH_phase_step.json"
+cargo run --release -p msropm-bench --bin bench_phase_step
+
+echo "==> serve_bench -> BENCH_serve.json (in-process rows)"
+cargo run --release -p msropm-bench --bin serve_bench
+
+echo "==> wire_bench -> BENCH_serve.json (socket rows merged in)"
+cargo run --release -p msropm-bench --bin wire_bench
+
+echo
+git --no-pager diff --stat -- 'BENCH_*.json' || true
+echo "Baselines refreshed. Review and commit BENCH_phase_step.json and BENCH_serve.json."

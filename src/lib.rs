@@ -19,7 +19,10 @@
 //! - [`sat`] ([`msropm_sat`]): the CDCL SAT solver used as the
 //!   exact-solution baseline;
 //! - [`server`] ([`msropm_server`]): the multi-worker batch-solve job
-//!   service (bounded queue, problem cache, ranked reports);
+//!   service (bounded queue, problem cache, ranked reports) and its TCP
+//!   wire front end (framed protocol, per-tenant quotas, cancellation);
+//! - [`client`] ([`msropm_client`]): the blocking TCP client for that
+//!   wire protocol (and the `solve_remote` CLI);
 //! - [`ode`] ([`msropm_ode`]): the numerical integrators underneath it all.
 //!
 //! ## Quickstart
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub use msropm_circuit as circuit;
+pub use msropm_client as client;
 pub use msropm_core as core;
 pub use msropm_graph as graph;
 pub use msropm_ode as ode;
