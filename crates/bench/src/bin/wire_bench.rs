@@ -2,13 +2,25 @@
 //! driven through a real loopback TCP connection (framing, tenant
 //! accounting and report streaming included).
 //!
-//! Boots an in-process [`msropm_server::wire::WireServer`] on an
-//! ephemeral `127.0.0.1` port and hammers it with the library client:
+//! Boots an in-process front end ([`msropm_server::wire::WireServer`]
+//! or [`msropm_server::reactor::ReactorServer`]) on an ephemeral
+//! `127.0.0.1` port and hammers it with the library client:
 //!
 //! - `wire_hot`: repeat-topology jobs on one board (problem-cache
-//!   steady state) — the socket-path throughput ceiling;
+//!   steady state) — the socket-path throughput ceiling (threaded
+//!   front end);
 //! - `wire_mixed`: a rotating graph pool with interleaved sweep jobs —
 //!   the traffic shape the cache + arena design is for;
+//! - `wire_reactor_hot` / `wire_reactor_mixed`: the same workloads
+//!   through the epoll reactor front end — front-end parity on the
+//!   service columns;
+//! - `wire_mux_hot`: the hot workload with every submit written
+//!   back-to-back on one socket before any reply is read (the
+//!   multiplexed client mode) against the reactor;
+//! - `wire_reactor_idle256`: the hot workload on the reactor while 256
+//!   completely idle connections stay attached — the
+//!   idle-connection-scaling row (the threaded front end would burn
+//!   512 threads here; the reactor serves them with none);
 //! - `wire_codec`: pure encode→decode round-trips of representative
 //!   submit/report frames (no socket) — the framing cost in isolation.
 //!
@@ -36,9 +48,11 @@ use msropm_server::proto::{
     decode_request, decode_response, encode_request, encode_response, Request, Response, WireLane,
     WireReport,
 };
+use msropm_server::reactor::{ReactorConfig, ReactorServer};
 use msropm_server::wire::{WireConfig, WireServer};
-use msropm_server::ServerConfig;
+use msropm_server::{Frontend, ServerConfig};
 use std::fmt::Write as _;
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -60,7 +74,6 @@ fn fast_config() -> MsropmConfig {
 }
 
 struct Workload {
-    name: &'static str,
     jobs: Vec<(Arc<Graph>, BatchJob)>,
 }
 
@@ -74,10 +87,7 @@ fn wire_hot(n: usize) -> Workload {
             )
         })
         .collect();
-    Workload {
-        name: "wire_hot",
-        jobs,
-    }
+    Workload { jobs }
 }
 
 fn wire_mixed(n: usize) -> Workload {
@@ -102,16 +112,15 @@ fn wire_mixed(n: usize) -> Workload {
             (graph, job)
         })
         .collect();
-    Workload {
-        name: "wire_mixed",
-        jobs,
-    }
+    Workload { jobs }
 }
 
 struct Row {
     workload: String,
     jobs: usize,
     lanes: usize,
+    /// Idle connections attached for the whole run (0 for most rows).
+    idle_conns: usize,
     wall_s: f64,
     /// Client-observed submit→report latencies (sorted), microseconds.
     latencies_us: Vec<f64>,
@@ -131,36 +140,120 @@ impl Row {
     }
 }
 
-/// Runs one workload against a fresh wire server over loopback TCP.
-/// Jobs are pipelined: all submits first, then reports collected in
-/// submit order (the client stashes out-of-order arrivals).
-fn run_workload(workload: Workload, workers: usize) -> Row {
-    let server = WireServer::bind(
-        "127.0.0.1:0",
-        WireConfig {
-            server: ServerConfig {
-                workers,
-                queue_capacity: 32,
-                cache_capacity: 16,
-            },
-            max_inflight_jobs: 512,
-            max_queued_lanes: 1 << 16,
-            max_connections: 8,
+/// How one bench run drives the server.
+#[derive(Clone, Copy)]
+struct RunOpts {
+    /// Serve through the reactor front end instead of the threaded one.
+    reactor: bool,
+    /// Write every submit before reading any reply (multiplexed client
+    /// mode) instead of one blocking round-trip per submit.
+    mux: bool,
+    /// Completely idle extra connections held open through the run.
+    idle_conns: usize,
+}
+
+impl RunOpts {
+    const THREADS: RunOpts = RunOpts {
+        reactor: false,
+        mux: false,
+        idle_conns: 0,
+    };
+    const REACTOR: RunOpts = RunOpts {
+        reactor: true,
+        mux: false,
+        idle_conns: 0,
+    };
+    const MUX: RunOpts = RunOpts {
+        reactor: true,
+        mux: true,
+        idle_conns: 0,
+    };
+    const IDLE: RunOpts = RunOpts {
+        reactor: true,
+        mux: false,
+        idle_conns: 256,
+    };
+}
+
+/// Binds whichever front end the run options ask for on an ephemeral
+/// loopback port.
+fn bind_frontend(workers: usize, opts: RunOpts) -> Frontend {
+    let wire = WireConfig {
+        server: ServerConfig {
+            workers,
+            queue_capacity: 32,
+            cache_capacity: 16,
         },
-    )
-    .expect("bind loopback");
+        max_inflight_jobs: 512,
+        max_queued_lanes: 1 << 16,
+        max_connections: opts.idle_conns + 8,
+    };
+    if opts.reactor {
+        ReactorServer::bind(
+            "127.0.0.1:0",
+            ReactorConfig {
+                wire,
+                ..ReactorConfig::default()
+            },
+        )
+        .expect("bind reactor")
+        .into()
+    } else {
+        WireServer::bind("127.0.0.1:0", wire)
+            .expect("bind threads")
+            .into()
+    }
+}
+
+/// Runs one workload against a fresh front end over loopback TCP.
+/// Jobs are pipelined: all submits first, then reports collected in
+/// submit order (the client stashes out-of-order arrivals). With
+/// `opts.mux`, submits are additionally written back to back before
+/// any reply is read.
+fn run_workload(workload: Workload, workers: usize, label: String, opts: RunOpts) -> Row {
+    let server = bind_frontend(workers, opts);
+    // The idle fleet attaches before any traffic and stays for the
+    // whole run; the row measures serving *with* the fleet resident.
+    let idle_fleet: Vec<TcpStream> = (0..opts.idle_conns)
+        .map(|_| TcpStream::connect(server.local_addr()).expect("idle connect"))
+        .collect();
     let mut client = Client::connect(server.local_addr(), "bench").expect("connect");
+    if !idle_fleet.is_empty() {
+        // Wait until every idle connection is registered server-side so
+        // the measurement below really runs against a full house.
+        for _ in 0..600 {
+            let stats = client.stats().expect("stats");
+            if stats.connections >= (opts.idle_conns + 1) as u64 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    }
     let n_jobs = workload.jobs.len();
     let lanes: usize = workload.jobs.iter().map(|(_, j)| j.lanes.len()).sum();
     let t0 = Instant::now();
-    let submitted: Vec<(u64, Instant)> = workload
-        .jobs
-        .iter()
-        .map(|(g, job)| {
-            let id = client.submit(g, job).expect("submit admitted");
-            (id, Instant::now())
-        })
-        .collect();
+    let submitted: Vec<(u64, Instant)> = if opts.mux {
+        let at: Vec<Instant> = workload
+            .jobs
+            .iter()
+            .map(|(g, job)| {
+                client.submit_nowait(g, job).expect("mux submit");
+                Instant::now()
+            })
+            .collect();
+        at.into_iter()
+            .map(|at| (client.recv_submitted().expect("mux reply"), at))
+            .collect()
+    } else {
+        workload
+            .jobs
+            .iter()
+            .map(|(g, job)| {
+                let id = client.submit(g, job).expect("submit admitted");
+                (id, Instant::now())
+            })
+            .collect()
+    };
     let mut latencies_us = Vec::with_capacity(n_jobs);
     let mut service_us_total = 0.0f64;
     for (id, at) in &submitted {
@@ -169,17 +262,14 @@ fn run_workload(workload: Workload, workers: usize) -> Row {
         service_us_total += report.service_us as f64;
     }
     let wall_s = t0.elapsed().as_secs_f64();
+    drop(idle_fleet);
     server.shutdown();
     latencies_us.sort_by(f64::total_cmp);
-    let label = if workers == 1 {
-        workload.name.to_string()
-    } else {
-        format!("{}_w{workers}", workload.name)
-    };
     Row {
         workload: label,
         jobs: n_jobs,
         lanes,
+        idle_conns: opts.idle_conns,
         wall_s,
         latencies_us,
         service_us_total,
@@ -295,9 +385,9 @@ fn main() {
 
     // Best-of-2 per row, mirroring serve_bench: scheduler hiccups only
     // ever slow a run down, so the minimum is the gate-stable statistic.
-    let best = |make: &dyn Fn() -> Workload, workers: usize| -> Row {
-        let a = run_workload(make(), workers);
-        let b = run_workload(make(), workers);
+    let best = |make: &dyn Fn() -> Workload, workers: usize, label: &str, opts: RunOpts| -> Row {
+        let a = run_workload(make(), workers, label.to_string(), opts);
+        let b = run_workload(make(), workers, label.to_string(), opts);
         if a.service_us_total <= b.service_us_total {
             a
         } else {
@@ -305,16 +395,62 @@ fn main() {
         }
     };
     let mut rows = vec![
-        best(&|| wire_hot(hot_jobs), 1),
-        best(&|| wire_mixed(mixed_jobs), 1),
+        best(&|| wire_hot(hot_jobs), 1, "wire_hot", RunOpts::THREADS),
+        best(
+            &|| wire_mixed(mixed_jobs),
+            1,
+            "wire_mixed",
+            RunOpts::THREADS,
+        ),
+        best(
+            &|| wire_hot(hot_jobs),
+            1,
+            "wire_reactor_hot",
+            RunOpts::REACTOR,
+        ),
+        best(
+            &|| wire_mixed(mixed_jobs),
+            1,
+            "wire_reactor_mixed",
+            RunOpts::REACTOR,
+        ),
+        best(&|| wire_hot(hot_jobs), 1, "wire_mux_hot", RunOpts::MUX),
+        best(
+            &|| wire_hot(hot_jobs),
+            1,
+            &format!("wire_reactor_idle{}", RunOpts::IDLE.idle_conns),
+            RunOpts::IDLE,
+        ),
     ];
     if workers > 1 {
-        rows.push(best(&|| wire_hot(hot_jobs), workers));
-        rows.push(best(&|| wire_mixed(mixed_jobs), workers));
+        rows.push(best(
+            &|| wire_hot(hot_jobs),
+            workers,
+            &format!("wire_hot_w{workers}"),
+            RunOpts::THREADS,
+        ));
+        rows.push(best(
+            &|| wire_mixed(mixed_jobs),
+            workers,
+            &format!("wire_mixed_w{workers}"),
+            RunOpts::THREADS,
+        ));
+        rows.push(best(
+            &|| wire_hot(hot_jobs),
+            workers,
+            &format!("wire_reactor_hot_w{workers}"),
+            RunOpts::REACTOR,
+        ));
+        rows.push(best(
+            &|| wire_mixed(mixed_jobs),
+            workers,
+            &format!("wire_reactor_mixed_w{workers}"),
+            RunOpts::REACTOR,
+        ));
     }
     for r in &rows {
         println!(
-            "{:<13} {:>3} jobs ({:>3} lanes) in {:>6.2}s | {:>6.2} jobs/s | latency p50 {:>9.0} us p99 {:>9.0} us | service/job {:>9.0} us",
+            "{:<22} {:>3} jobs ({:>3} lanes) in {:>6.2}s | {:>6.2} jobs/s | latency p50 {:>9.0} us p99 {:>9.0} us | service/job {:>9.0} us",
             r.workload,
             r.jobs,
             r.lanes,
@@ -327,7 +463,7 @@ fn main() {
     }
     let (submit_ns, report_ns) = codec_ns();
     println!(
-        "wire_codec    submit roundtrip {submit_ns:>8.0} ns | report roundtrip {report_ns:>8.0} ns"
+        "wire_codec             submit roundtrip {submit_ns:>8.0} ns | report roundtrip {report_ns:>8.0} ns"
     );
 
     // Refuse to write a bogus baseline.
@@ -361,6 +497,9 @@ fn main() {
                 p50 = r.percentile_us(0.50),
                 p99 = r.percentile_us(0.99),
             );
+            if r.idle_conns > 0 {
+                let _ = write!(row, ", \"idle_conns\": {}", r.idle_conns);
+            }
             if r.gate_row {
                 let _ = write!(
                     row,

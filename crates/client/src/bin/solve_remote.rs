@@ -31,8 +31,9 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: solve_remote --addr HOST:PORT [--tenant NAME] <submit|status|cancel|stats> ...\n\
-         \x20      solve_remote smoke [--addr HOST:PORT]\n\
+         \x20      solve_remote smoke [--addr HOST:PORT] [--idle N]\n\
          submit: --graph SPEC [--replicas N] [--seed S] [--sweep] [--no-wait]\n\
+         smoke:  --idle N holds N extra idle connections open through the scenario\n\
          graph SPECs: kings:RxC | grid:RxC | cycle:N | path/to/file.col"
     );
     std::process::exit(2);
@@ -112,7 +113,20 @@ fn main() {
         usage()
     };
     if verb == "smoke" {
-        smoke(addr.as_deref());
+        let mut idle = 0usize;
+        let mut it = rest.iter().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--idle" => {
+                    idle = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage())
+                }
+                _ => usage(),
+            }
+        }
+        smoke(addr.as_deref(), idle);
         return;
     }
     let Some(addr) = addr else { usage() };
@@ -186,7 +200,9 @@ fn main() {
                 .stats()
                 .unwrap_or_else(|e| fail(format!("stats: {e}")));
             println!(
-                "completed {} | cancelled {} | backlog {} | cache {}/{} hits",
+                "frontend {} | connections {} | completed {} | cancelled {} | backlog {} | cache {}/{} hits",
+                s.frontend,
+                s.connections,
                 s.jobs_completed,
                 s.jobs_cancelled,
                 s.backlog,
@@ -199,7 +215,12 @@ fn main() {
 }
 
 /// The CI wire-smoke scenario; panics (nonzero exit) on any violation.
-fn smoke(addr: Option<&str>) {
+/// With `idle > 0`, that many extra connections are opened first and
+/// held open — completely idle — through the whole scenario, proving
+/// the server multiplexes them without degrading active traffic (the
+/// reactor front end serves them threadlessly; `stats` must count
+/// every one).
+fn smoke(addr: Option<&str>, idle: usize) {
     // Without --addr: boot a 1-worker wire server in-process on an
     // ephemeral loopback port (still a real TCP socket). With --addr:
     // the server was booted externally (ci.sh starts `msropm_serve
@@ -228,6 +249,35 @@ fn smoke(addr: Option<&str>) {
     println!("wire smoke against {addr}");
     let mut client =
         Client::connect(&addr, "smoke").unwrap_or_else(|e| fail(format!("connect {addr}: {e}")));
+
+    // The idle fleet: open and then never touch. Held until the end of
+    // the scenario so every assertion below runs with the fleet attached.
+    let idle_fleet: Vec<std::net::TcpStream> = (0..idle)
+        .map(|i| {
+            std::net::TcpStream::connect(&addr)
+                .unwrap_or_else(|e| fail(format!("idle connect {i}: {e}")))
+        })
+        .collect();
+    if idle > 0 {
+        // Wait until the server has registered the whole fleet.
+        let mut connections = 0;
+        for _ in 0..600 {
+            let s = client
+                .stats()
+                .unwrap_or_else(|e| fail(format!("stats: {e}")));
+            connections = s.connections;
+            if connections >= (idle + 1) as u64 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(
+            connections >= (idle + 1) as u64,
+            "server tracks only {connections} of {} connections",
+            idle + 1
+        );
+        println!("idle fleet attached: {connections} connections served");
+    }
 
     // Job A: big enough to occupy the single worker for a while. Job B
     // queues behind it and is cancelled while A runs.
@@ -290,17 +340,42 @@ fn smoke(addr: Option<&str>) {
         Ok(Some(_)) => fail("cancelled job B produced a report"),
         Err(e) => fail(format!("drain after cancel: {e}")),
     }
+    // Multiplexed mode: several submits written back to back on the
+    // one socket before any reply is read, then correlated by job id.
+    let mux_jobs = 4;
+    let small = generators::kings_graph(5, 5);
+    for i in 0..mux_jobs {
+        client
+            .submit_nowait(&small, &BatchJob::uniform(config, 2, 100 + i))
+            .unwrap_or_else(|e| fail(format!("mux submit {i}: {e}")));
+    }
+    let mux_ids: Vec<u64> = (0..mux_jobs)
+        .map(|i| {
+            client
+                .recv_submitted()
+                .unwrap_or_else(|e| fail(format!("mux reply {i}: {e}")))
+        })
+        .collect();
+    for id in &mux_ids {
+        let report = client
+            .wait_report(*id)
+            .unwrap_or_else(|e| fail(format!("mux report {id}: {e}")));
+        assert_eq!(report.graph_hash, graph_hash(&small), "mux hash mismatch");
+    }
+    println!("multiplexed {mux_jobs} in-flight submits on one socket");
+
     let stats = client
         .stats()
         .unwrap_or_else(|e| fail(format!("stats: {e}")));
     assert!(stats.jobs_completed >= 1, "A should be counted completed");
     assert!(stats.jobs_cancelled >= 1, "B should be counted cancelled");
+    drop(idle_fleet);
     if let Some(server) = local {
         server.shutdown();
     }
     println!(
-        "wire smoke OK: submit/status/cancel verified; cancelled job produced no report \
-         (completed {}, cancelled {})",
-        stats.jobs_completed, stats.jobs_cancelled
+        "wire smoke OK ({} frontend): submit/status/cancel verified; cancelled job produced \
+         no report (completed {}, cancelled {}, idle connections {})",
+        stats.frontend, stats.jobs_completed, stats.jobs_cancelled, idle
     );
 }

@@ -101,6 +101,15 @@ pub struct Client {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
     stash: VecDeque<WireReport>,
+    /// Submits written by [`Client::submit_nowait`] whose replies have
+    /// not yet been read off the socket.
+    pending_submits: usize,
+    /// Replies to [`Client::submit_nowait`] frames that another verb
+    /// had to read past (the server answers requests strictly in order
+    /// per connection, so a blocking verb first drains every
+    /// outstanding submit reply here); redeemed FIFO by
+    /// [`Client::recv_submitted`].
+    collected_submits: VecDeque<Result<u64, (ErrorCode, String)>>,
 }
 
 impl Client {
@@ -119,6 +128,8 @@ impl Client {
             stream,
             reader,
             stash: VecDeque::new(),
+            pending_submits: 0,
+            collected_submits: VecDeque::new(),
         })
     }
 
@@ -154,6 +165,27 @@ impl Client {
         }
     }
 
+    /// Reads the replies of every outstanding [`Client::submit_nowait`]
+    /// into the collected queue. Called by each blocking verb before it
+    /// reads its own reply: the server answers requests in order per
+    /// connection, so the pending submit replies are on the wire
+    /// *ahead* of the verb's — reading past them blindly would hand a
+    /// pending submit's `Submitted` (or error) frame to the wrong call.
+    fn drain_pending_submits(&mut self) -> Result<(), ClientError> {
+        while self.pending_submits > 0 {
+            let reply = self.recv_reply()?;
+            self.pending_submits -= 1;
+            match reply {
+                Response::Submitted { job_id } => self.collected_submits.push_back(Ok(job_id)),
+                Response::Error { code, message } => {
+                    self.collected_submits.push_back(Err((code, message)))
+                }
+                _ => return Err(ClientError::UnexpectedFrame("submitted")),
+            }
+        }
+        Ok(())
+    }
+
     /// Submits `job` against `graph`; returns the server-assigned job
     /// id. The report streams in later — redeem it with
     /// [`Client::wait_report`].
@@ -168,11 +200,81 @@ impl Client {
             graph: graph.clone(),
             job: job.clone(),
         })?;
+        self.drain_pending_submits()?;
         match self.recv_reply()? {
             Response::Submitted { job_id } => Ok(job_id),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             _ => Err(ClientError::UnexpectedFrame("submitted")),
         }
+    }
+
+    /// Multiplexed submit: writes the submit frame and returns
+    /// **without waiting for the reply**, so many submits can ride one
+    /// socket back to back (the reactor front end answers them from a
+    /// single event loop). Collect the replies — in submission order,
+    /// which is how the server answers them on one connection — with
+    /// [`Client::recv_submitted`]; reports correlate by job id through
+    /// [`Client::wait_report`] as usual. Blocking verbs may be freely
+    /// interleaved: they read past outstanding submit replies into an
+    /// internal queue, never mis-correlating them with their own.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; quota/drain rejections surface from
+    /// [`Client::recv_submitted`].
+    pub fn submit_nowait(&mut self, graph: &Graph, job: &BatchJob) -> Result<(), ClientError> {
+        self.send(&Request::Submit {
+            tenant: self.tenant.clone(),
+            graph: graph.clone(),
+            job: job.clone(),
+        })?;
+        self.pending_submits += 1;
+        Ok(())
+    }
+
+    /// Submits written and not yet redeemed via
+    /// [`Client::recv_submitted`] (whether or not their reply frame has
+    /// been read off the socket yet).
+    pub fn pending_submits(&self) -> usize {
+        self.pending_submits + self.collected_submits.len()
+    }
+
+    /// Collects the oldest outstanding [`Client::submit_nowait`] reply:
+    /// the server-assigned job id, or the typed rejection for that
+    /// submit. Reports arriving meanwhile are stashed, never lost.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for quota/drain rejections of this
+    /// submit; [`ClientError::UnexpectedFrame`] when no submit is
+    /// outstanding.
+    pub fn recv_submitted(&mut self) -> Result<u64, ClientError> {
+        // A reply another verb already read past comes first (FIFO).
+        if let Some(collected) = self.collected_submits.pop_front() {
+            return collected.map_err(|(code, message)| ClientError::Server { code, message });
+        }
+        if self.pending_submits == 0 {
+            return Err(ClientError::UnexpectedFrame("no submit outstanding"));
+        }
+        let reply = self.recv_reply()?;
+        self.pending_submits -= 1;
+        match reply {
+            Response::Submitted { job_id } => Ok(job_id),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedFrame("submitted")),
+        }
+    }
+
+    /// Nonblocking report check: the stash first, then whatever is
+    /// already on the socket (waiting at most a millisecond). `None`
+    /// means "not yet" — keep polling or fall back to
+    /// [`Client::wait_report`].
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a typed server error frame.
+    pub fn poll_report(&mut self, job_id: u64) -> Result<Option<WireReport>, ClientError> {
+        self.wait_report_timeout(job_id, Duration::from_millis(1))
     }
 
     /// Queries one job's lifecycle state.
@@ -185,6 +287,7 @@ impl Client {
             tenant: self.tenant.clone(),
             job_id,
         })?;
+        self.drain_pending_submits()?;
         match self.recv_reply()? {
             Response::StatusReply { state, .. } => Ok(state),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
@@ -204,6 +307,7 @@ impl Client {
             tenant: self.tenant.clone(),
             job_id,
         })?;
+        self.drain_pending_submits()?;
         match self.recv_reply()? {
             Response::CancelReply { state, .. } => Ok(state),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
@@ -218,6 +322,7 @@ impl Client {
     /// Transport/protocol failures.
     pub fn stats(&mut self) -> Result<WireStats, ClientError> {
         self.send(&Request::Stats)?;
+        self.drain_pending_submits()?;
         match self.recv_reply()? {
             Response::StatsReply(stats) => Ok(stats),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
@@ -237,6 +342,9 @@ impl Client {
     ///
     /// Transport/protocol failures, or a typed server error frame.
     pub fn wait_report(&mut self, job_id: u64) -> Result<WireReport, ClientError> {
+        // Outstanding submit replies sit ahead of any report on the
+        // wire; read them into the collected queue first.
+        self.drain_pending_submits()?;
         loop {
             if let Some(pos) = self.stash.iter().position(|r| r.job_id == job_id) {
                 return Ok(self.stash.remove(pos).expect("position is valid"));
@@ -269,6 +377,10 @@ impl Client {
         job_id: u64,
         dur: Duration,
     ) -> Result<Option<WireReport>, ClientError> {
+        // Submit replies arrive promptly (admission is synchronous
+        // server-side); collecting them first keeps the frame stream
+        // unambiguous for the deadline loop below.
+        self.drain_pending_submits()?;
         let deadline = Instant::now() + dur;
         loop {
             if let Some(pos) = self.stash.iter().position(|r| r.job_id == job_id) {

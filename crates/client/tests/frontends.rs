@@ -1,0 +1,212 @@
+//! Cross-front-end equivalence: the gate that makes swapping the
+//! transport safe.
+//!
+//! The reactor front end reuses the threaded front end's entire session
+//! layer, so the observable wire contract must be *identical*. This
+//! file pins the strongest form of that claim on a mixed
+//! submit/cancel workload driven through the real library client over
+//! real loopback sockets:
+//!
+//! 1. **byte-identical report frames** across
+//!    {threaded, reactor} × {1, 4 workers} — framing included, modulo
+//!    the volatile job-id/timing fields;
+//! 2. **cancellation parity**: the cancelled subset never streams a
+//!    report and settles `cancelled` on every front end;
+//! 3. the multiplexed client mode (many in-flight submits on one
+//!    socket) behaves identically on both front ends — it is how the
+//!    workload is driven.
+
+use msropm_client::Client;
+use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
+use msropm_graph::{generators, Graph};
+use msropm_server::proto::{encode_response, FrontendKind, Response, WireReport};
+use msropm_server::reactor::{ReactorConfig, ReactorServer};
+use msropm_server::wire::{WireConfig, WireServer};
+use msropm_server::{Frontend, JobState, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fast_config() -> MsropmConfig {
+    MsropmConfig {
+        dt: 0.02,
+        ..MsropmConfig::paper_default()
+    }
+}
+
+fn wire_config(workers: usize) -> WireConfig {
+    WireConfig {
+        server: ServerConfig {
+            workers,
+            queue_capacity: 32,
+            cache_capacity: 4, // smaller than the graph pool: eviction churn included
+        },
+        max_inflight_jobs: 32,
+        max_queued_lanes: 1024,
+        max_connections: 8,
+    }
+}
+
+/// Binds the requested front end on an ephemeral loopback port behind
+/// the shared [`Frontend`] dispatch, so the workload driver is
+/// front-end-agnostic.
+fn bind_frontend(frontend: FrontendKind, workers: usize) -> Frontend {
+    match frontend {
+        FrontendKind::Threads => WireServer::bind("127.0.0.1:0", wire_config(workers))
+            .expect("bind threads")
+            .into(),
+        FrontendKind::Reactor => ReactorServer::bind(
+            "127.0.0.1:0",
+            ReactorConfig {
+                wire: wire_config(workers),
+                ..ReactorConfig::default()
+            },
+        )
+        .expect("bind reactor")
+        .into(),
+    }
+}
+
+/// A small mixed workload: repeat + cold topologies, every third job a
+/// heterogeneous sweep.
+fn mixed_jobs(n: usize) -> Vec<(Arc<Graph>, BatchJob)> {
+    let pool = [
+        Arc::new(generators::kings_graph(5, 5)),
+        Arc::new(generators::cycle_graph(32)),
+        Arc::new(generators::grid_graph(5, 5)),
+    ];
+    let sweep = SweepSpec::new()
+        .grid(SweepParam::CouplingStrength, vec![0.8, 1.2])
+        .grid(SweepParam::Noise, vec![0.1, 0.25]);
+    (0..n)
+        .map(|i| {
+            let graph = Arc::clone(&pool[i % pool.len()]);
+            let job = if i % 3 == 2 {
+                BatchJob::from_sweep(fast_config(), &sweep, i as u64)
+            } else {
+                BatchJob::uniform(fast_config(), 6, i as u64)
+            };
+            (graph, job)
+        })
+        .collect()
+}
+
+/// Encodes a report frame minus the volatile fields (job id, timings),
+/// for byte-level comparison across runs.
+fn report_fingerprint(report: &WireReport) -> Vec<u8> {
+    let mut stripped = report.clone();
+    stripped.job_id = 0;
+    stripped.queued_us = 0;
+    stripped.service_us = 0;
+    encode_response(&Response::Report(stripped))
+}
+
+/// `(job index, fingerprint bytes)` for every surviving job of one run.
+type RunFingerprints = Vec<(usize, Vec<u8>)>;
+
+/// Drives the mixed workload through one server: occupy every worker
+/// with a long job, multiplex-submit the batch, cancel `cancel_idx`
+/// while they are still queued, then collect fingerprints of the
+/// surviving reports and verify the cancelled subset never reports.
+fn run_workload(frontend: FrontendKind, workers: usize, cancel_idx: &[usize]) -> RunFingerprints {
+    let server = bind_frontend(frontend, workers);
+    assert_eq!(server.kind(), frontend);
+    let mut client = Client::connect(server.local_addr(), "parity").expect("connect");
+    assert_eq!(client.stats().expect("stats").frontend, frontend);
+
+    // One long job per worker so every later cancel provably lands
+    // before pickup (cooperative cancellation then means: no report).
+    let board = Arc::new(generators::kings_graph(8, 8));
+    let occupiers: Vec<u64> = (0..workers)
+        .map(|w| {
+            client
+                .submit(
+                    &board,
+                    &BatchJob::uniform(fast_config(), 16, 7_000 + w as u64),
+                )
+                .expect("occupier admitted")
+        })
+        .collect();
+
+    // The batch rides one socket multiplexed: all submits written
+    // before any reply is read.
+    let jobs = mixed_jobs(9);
+    for (graph, job) in &jobs {
+        client.submit_nowait(graph, job).expect("mux submit");
+    }
+    let ids: Vec<u64> = (0..jobs.len())
+        .map(|_| client.recv_submitted().expect("mux reply"))
+        .collect();
+    for &c in cancel_idx {
+        client.cancel(ids[c]).expect("cancel");
+    }
+
+    // Collect every surviving report (fingerprinted), in job order.
+    let mut fingerprints = Vec::new();
+    for (i, &id) in ids.iter().enumerate() {
+        if cancel_idx.contains(&i) {
+            continue;
+        }
+        let report = client.wait_report(id).expect("report streamed");
+        fingerprints.push((i, report_fingerprint(&report)));
+    }
+    for &id in &occupiers {
+        client.wait_report(id).expect("occupier report");
+    }
+
+    // Cancelled jobs settle in `cancelled` and never stream a report.
+    for &c in cancel_idx {
+        let mut state = JobState::Queued;
+        for _ in 0..200 {
+            state = client.status(ids[c]).expect("status");
+            if state == JobState::Cancelled {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            state,
+            JobState::Cancelled,
+            "{frontend:?}/{workers}w: cancelled job {c} never settled"
+        );
+        assert!(
+            client
+                .wait_report_timeout(ids[c], Duration::from_millis(300))
+                .expect("drain")
+                .is_none(),
+            "{frontend:?}/{workers}w: cancelled job {c} streamed a report"
+        );
+    }
+    server.shutdown();
+    fingerprints
+}
+
+#[test]
+fn wire_reports_are_bit_identical_across_frontends_and_worker_counts() {
+    let cancel_idx = [2usize, 5];
+    let runs: Vec<(String, RunFingerprints)> = [
+        (FrontendKind::Threads, 1),
+        (FrontendKind::Threads, 4),
+        (FrontendKind::Reactor, 1),
+        (FrontendKind::Reactor, 4),
+    ]
+    .into_iter()
+    .map(|(frontend, workers)| {
+        (
+            format!("{frontend:?}/{workers}w"),
+            run_workload(frontend, workers, &cancel_idx),
+        )
+    })
+    .collect();
+    let (reference_name, reference) = &runs[0];
+    assert_eq!(reference.len(), 7, "9 jobs minus 2 cancelled");
+    for (name, fingerprints) in &runs[1..] {
+        assert_eq!(fingerprints.len(), reference.len());
+        for ((job, bytes), (ref_job, ref_bytes)) in fingerprints.iter().zip(reference) {
+            assert_eq!(job, ref_job);
+            assert_eq!(
+                bytes, ref_bytes,
+                "job {job}: wire report bytes differ between {reference_name} and {name}"
+            );
+        }
+    }
+}

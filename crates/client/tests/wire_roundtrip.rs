@@ -130,6 +130,42 @@ fn reports_carry_verifiable_hashes_and_rankings() {
 }
 
 #[test]
+fn blocking_verbs_never_consume_outstanding_mux_replies() {
+    let server = server_with(1);
+    let mut client = Client::connect(server.local_addr(), "mux").expect("connect");
+    let g = generators::kings_graph(5, 5);
+    // Two multiplexed submits left outstanding on purpose.
+    client
+        .submit_nowait(&g, &BatchJob::uniform(fast_config(), 2, 1))
+        .expect("mux submit A");
+    client
+        .submit_nowait(&g, &BatchJob::uniform(fast_config(), 2, 2))
+        .expect("mux submit B");
+    // An interleaved blocking verb must read *past* the outstanding
+    // submit replies (collecting them), not mistake one for its own.
+    let stats = client.stats().expect("stats while submits outstanding");
+    assert!(stats.backlog <= 3);
+    assert_eq!(client.pending_submits(), 2);
+    // A blocking submit returns its OWN job id, not the oldest
+    // outstanding one; the server assigns ids in admission order.
+    let c = client
+        .submit(&g, &BatchJob::uniform(fast_config(), 2, 3))
+        .expect("blocking submit");
+    let a = client.recv_submitted().expect("collected reply A");
+    let b = client.recv_submitted().expect("collected reply B");
+    assert!(
+        a < b && b < c,
+        "ids must reflect admission order: {a} {b} {c}"
+    );
+    assert_eq!(client.pending_submits(), 0);
+    // Every job redeems by its true id.
+    for id in [a, b, c] {
+        assert_eq!(client.wait_report(id).expect("report").job_id, id);
+    }
+    server.shutdown();
+}
+
+#[test]
 fn quota_rejection_is_tenant_scoped_through_the_client() {
     let server = WireServer::bind(
         "127.0.0.1:0",

@@ -2,21 +2,35 @@
 //! framed job protocol until killed.
 //!
 //! ```text
-//! msropm_serve [--addr HOST:PORT] [--workers N] [--queue N]
-//!              [--cache N] [--max-inflight N] [--max-lanes N]
+//! msropm_serve [--addr HOST:PORT] [--frontend threads|reactor]
+//!              [--workers N] [--queue N] [--cache N]
+//!              [--max-inflight N] [--max-lanes N] [--max-conns N]
+//!              [--loops N] [--max-wbuf BYTES] [--poll-backend]
 //!              [--port-file PATH]
 //! ```
+//!
+//! `--frontend threads` (default) serves each connection with a
+//! reader/writer thread pair; `--frontend reactor` multiplexes every
+//! connection over `--loops` nonblocking event loops (epoll, or
+//! `poll(2)` with `--poll-backend`) so thousands of idle connections
+//! cost no threads. Both speak the identical wire protocol against the
+//! same session core. `--max-conns` caps concurrent connections,
+//! `--max-wbuf` caps a reactor connection's buffered unsent bytes
+//! before a non-reading peer is dropped.
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; the bound address is
 //! printed as `listening on ADDR` (and written to `--port-file` when
 //! given, which is what the CI wire-smoke stage parses).
 
-use msropm_server::wire::{WireConfig, WireServer};
+use msropm_server::reactor::{ReactorConfig, ReactorServer};
+use msropm_server::wire::WireServer;
+use msropm_server::Frontend;
 use std::time::Duration;
 
 fn main() {
     let mut addr = "127.0.0.1:7227".to_string();
-    let mut config = WireConfig::default();
+    let mut config = ReactorConfig::default();
+    let mut reactor = false;
     let mut port_file: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -26,42 +40,67 @@ fn main() {
         };
         match a.as_str() {
             "--addr" => addr = value("--addr"),
-            "--workers" => config.server.workers = value("--workers").parse().expect("--workers N"),
+            "--frontend" => match value("--frontend").as_str() {
+                "threads" => reactor = false,
+                "reactor" => reactor = true,
+                other => {
+                    eprintln!("unknown frontend {other:?}; valid: threads, reactor");
+                    std::process::exit(2);
+                }
+            },
+            "--workers" => {
+                config.wire.server.workers = value("--workers").parse().expect("--workers N")
+            }
             "--queue" => {
-                config.server.queue_capacity = value("--queue").parse().expect("--queue N")
+                config.wire.server.queue_capacity = value("--queue").parse().expect("--queue N")
             }
             "--cache" => {
-                config.server.cache_capacity = value("--cache").parse().expect("--cache N")
+                config.wire.server.cache_capacity = value("--cache").parse().expect("--cache N")
             }
             "--max-inflight" => {
-                config.max_inflight_jobs =
+                config.wire.max_inflight_jobs =
                     value("--max-inflight").parse().expect("--max-inflight N")
             }
             "--max-lanes" => {
-                config.max_queued_lanes = value("--max-lanes").parse().expect("--max-lanes N")
+                config.wire.max_queued_lanes = value("--max-lanes").parse().expect("--max-lanes N")
             }
+            "--max-conns" => {
+                config.wire.max_connections = value("--max-conns").parse().expect("--max-conns N")
+            }
+            "--loops" => config.loops = value("--loops").parse().expect("--loops N"),
+            "--max-wbuf" => {
+                config.max_write_buffer = value("--max-wbuf").parse().expect("--max-wbuf BYTES")
+            }
+            "--poll-backend" => config.poll_backend = true,
             "--port-file" => port_file = Some(value("--port-file")),
             other => {
                 eprintln!(
-                    "unknown argument {other:?}; valid: --addr HOST:PORT, --workers N, \
-                     --queue N, --cache N, --max-inflight N, --max-lanes N, --port-file PATH"
+                    "unknown argument {other:?}; valid: --addr HOST:PORT, \
+                     --frontend threads|reactor, --workers N, --queue N, --cache N, \
+                     --max-inflight N, --max-lanes N, --max-conns N, --loops N, \
+                     --max-wbuf BYTES, --poll-backend, --port-file PATH"
                 );
                 std::process::exit(2);
             }
         }
     }
-    let server = WireServer::bind(&addr, config).unwrap_or_else(|e| {
+    let server: Frontend = if reactor {
+        ReactorServer::bind(&addr, config).map(Frontend::from)
+    } else {
+        WireServer::bind(&addr, config.wire).map(Frontend::from)
+    }
+    .unwrap_or_else(|e| {
         eprintln!("failed to bind {addr}: {e}");
         std::process::exit(1);
     });
     let bound = server.local_addr();
-    println!("listening on {bound}");
+    println!("listening on {bound} ({} frontend)", server.kind());
     if let Some(path) = port_file {
         std::fs::write(&path, format!("{bound}\n"))
             .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
     }
     // Serve until killed (SIGTERM/SIGKILL from the operator or CI's
-    // `timeout`); the acceptor and workers run on their own threads.
+    // `timeout`); the front end and workers run on their own threads.
     loop {
         std::thread::sleep(Duration::from_secs(3600));
     }

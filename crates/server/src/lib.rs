@@ -69,6 +69,8 @@
 
 pub mod proto;
 pub mod queue;
+pub mod reactor;
+pub(crate) mod session;
 pub mod wire;
 
 use msropm_core::{BatchArena, BatchJob, CacheStats, CancelToken, JobReport, ProblemCache};
@@ -317,6 +319,136 @@ impl JobHandle {
     }
 }
 
+/// How one submitted job ended, as seen by a completion hook.
+#[derive(Debug)]
+pub enum JobCompletion {
+    /// The job produced a report.
+    Done(JobOutcome),
+    /// The job was cancelled before producing a report; none exists.
+    Cancelled,
+    /// The executing worker died (panicked) before replying.
+    WorkerDied,
+}
+
+/// A completion callback run **on the worker thread** the moment a job
+/// reaches its terminal state — the thread-free alternative to parking
+/// a waiter on a [`JobTicket`]. Fires exactly once: if the envelope is
+/// destroyed without a verdict (worker panic unwinding, queue dropped),
+/// the hook fires [`JobCompletion::WorkerDied`] from `Drop`, so a
+/// registered job can never be silently forgotten.
+///
+/// Hooks must be cheap and panic-free: they run inline in the worker
+/// loop (the front ends use them to enqueue an already-encoded frame
+/// and poke an event loop).
+pub struct CompletionHook(Option<Box<dyn FnOnce(JobCompletion) + Send>>);
+
+impl CompletionHook {
+    /// Wraps `f` as a completion hook.
+    pub fn new(f: impl FnOnce(JobCompletion) + Send + 'static) -> CompletionHook {
+        CompletionHook(Some(Box::new(f)))
+    }
+
+    fn fire(mut self, completion: JobCompletion) {
+        if let Some(f) = self.0.take() {
+            f(completion);
+        }
+    }
+}
+
+impl Drop for CompletionHook {
+    fn drop(&mut self) {
+        if let Some(f) = self.0.take() {
+            f(JobCompletion::WorkerDied);
+        }
+    }
+}
+
+impl fmt::Debug for CompletionHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompletionHook")
+            .field("fired", &self.0.is_none())
+            .finish()
+    }
+}
+
+/// A job's completion channel: either the mpsc sender behind a
+/// [`JobTicket`] or an in-place [`CompletionHook`].
+enum Reply {
+    Channel(mpsc::Sender<Option<JobOutcome>>),
+    Hook(CompletionHook),
+}
+
+impl Reply {
+    fn deliver(self, completion: JobCompletion) {
+        match self {
+            Reply::Channel(tx) => {
+                let msg = match completion {
+                    JobCompletion::Done(outcome) => Some(outcome),
+                    JobCompletion::Cancelled => None,
+                    // Dropping the sender without a message is the
+                    // channel's worker-died signal.
+                    JobCompletion::WorkerDied => return,
+                };
+                let _ = tx.send(msg);
+            }
+            Reply::Hook(hook) => hook.fire(completion),
+        }
+    }
+}
+
+/// Everything needed to enqueue one hook-completed job. Returned intact
+/// by [`JobServer::try_submit_job`] when the queue is full, so a
+/// nonblocking front end can park it and retry; **dropping** a
+/// `PendingJob` fires its hook with [`JobCompletion::WorkerDied`].
+#[derive(Debug)]
+pub struct PendingJob {
+    graph: Arc<Graph>,
+    job: BatchJob,
+    cancel: CancelToken,
+    status: Arc<JobStatusCell>,
+    hook: CompletionHook,
+}
+
+impl PendingJob {
+    /// Bundles a job with its cancellation/status plumbing and the hook
+    /// that will observe its completion.
+    pub fn new(
+        graph: Arc<Graph>,
+        job: BatchJob,
+        cancel: CancelToken,
+        status: Arc<JobStatusCell>,
+        hook: CompletionHook,
+    ) -> PendingJob {
+        PendingJob {
+            graph,
+            job,
+            cancel,
+            status,
+            hook,
+        }
+    }
+
+    fn into_envelope(self) -> Envelope {
+        Envelope {
+            graph: self.graph,
+            job: self.job,
+            submitted_at: Instant::now(),
+            reply: Reply::Hook(self.hook),
+            cancel: self.cancel,
+            status: self.status,
+        }
+    }
+}
+
+/// Why [`JobServer::try_submit_job`] handed the job back.
+#[derive(Debug)]
+pub enum TrySubmitError {
+    /// The queue is at capacity; park and retry later.
+    Full(PendingJob),
+    /// The server is shutting down; the job can never be enqueued.
+    Closed(PendingJob),
+}
+
 /// One queued request: the job, its graph, the reply channel and the
 /// submission timestamp (for queue-delay accounting), plus the
 /// cancellation/status plumbing.
@@ -324,9 +456,26 @@ struct Envelope {
     graph: Arc<Graph>,
     job: BatchJob,
     submitted_at: Instant,
-    reply: mpsc::Sender<Option<JobOutcome>>,
+    reply: Reply,
     cancel: CancelToken,
     status: Arc<JobStatusCell>,
+}
+
+impl Envelope {
+    /// Inverse of [`PendingJob::into_envelope`], for handing a job back
+    /// to the submitter when the queue cannot take it.
+    fn into_pending(self) -> PendingJob {
+        PendingJob {
+            graph: self.graph,
+            job: self.job,
+            cancel: self.cancel,
+            status: self.status,
+            hook: match self.reply {
+                Reply::Hook(hook) => hook,
+                Reply::Channel(_) => unreachable!("pending jobs always carry hooks"),
+            },
+        }
+    }
 }
 
 struct Shared {
@@ -419,7 +568,7 @@ impl JobServer {
             graph,
             job,
             submitted_at: Instant::now(),
-            reply: tx,
+            reply: Reply::Channel(tx),
             cancel,
             status,
         };
@@ -428,6 +577,47 @@ impl JobServer {
             .push(envelope)
             .map_err(|_| ServerError::Closed)?;
         Ok(JobTicket { rx })
+    }
+
+    /// Enqueues a hook-completed job, blocking while the queue is full
+    /// (backpressure). The job's [`CompletionHook`] fires on the worker
+    /// thread when the job reaches a terminal state.
+    ///
+    /// # Errors
+    ///
+    /// Gives the job back untouched when the server has been shut down
+    /// (dropping it then fires the hook with
+    /// [`JobCompletion::WorkerDied`]).
+    // The Err variant intentionally carries the whole job back — that
+    // give-back is the API (park and retry); boxing it would just move
+    // the allocation onto the submit hot path.
+    #[allow(clippy::result_large_err)]
+    pub fn submit_job(&self, pending: PendingJob) -> Result<(), PendingJob> {
+        self.shared
+            .queue
+            .push(pending.into_envelope())
+            .map_err(Envelope::into_pending)
+    }
+
+    /// Nonblocking [`JobServer::submit_job`]: never waits for queue
+    /// space, handing the job back tagged with why it could not be
+    /// enqueued. The reactor front end parks `Full` jobs and retries
+    /// when a completion frees capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySubmitError::Full`] or [`TrySubmitError::Closed`], both
+    /// carrying the job back intact.
+    #[allow(clippy::result_large_err)] // see submit_job: the give-back is the API
+    pub fn try_submit_job(&self, pending: PendingJob) -> Result<(), TrySubmitError> {
+        use queue::TryPushError;
+        match self.shared.queue.try_push(pending.into_envelope()) {
+            Ok(()) => Ok(()),
+            Err(TryPushError::Full(envelope)) => Err(TrySubmitError::Full(envelope.into_pending())),
+            Err(TryPushError::Closed(envelope)) => {
+                Err(TrySubmitError::Closed(envelope.into_pending()))
+            }
+        }
     }
 
     /// Jobs completed since boot (all workers).
@@ -460,7 +650,16 @@ impl JobServer {
 
     fn shutdown_in_place(&mut self) {
         self.shared.queue.close();
+        let current = thread::current().id();
         for handle in self.workers.drain(..) {
+            // A worker thread can itself run this teardown: its
+            // completion hook may hold the last strong reference to the
+            // session owning this pool, making the worker the thread
+            // that drops it. Joining itself would deadlock (EDEADLK) —
+            // detach instead; the thread exits right after this drop.
+            if handle.thread().id() == current {
+                continue;
+            }
             // A panicked worker already surfaced through its job's
             // ticket (reply sender dropped); don't double-panic here.
             let _ = handle.join();
@@ -476,6 +675,71 @@ impl Drop for JobServer {
     }
 }
 
+/// Either serving front end behind one handle — the shared dispatch
+/// used by the `msropm_serve` daemon, the wire benches, and the
+/// cross-front-end parity tests, so adding a front end means extending
+/// exactly one enum.
+pub enum Frontend {
+    /// Thread-per-connection front end ([`wire::WireServer`]).
+    Threads(wire::WireServer),
+    /// Nonblocking event-loop front end ([`reactor::ReactorServer`]).
+    Reactor(reactor::ReactorServer),
+}
+
+impl Frontend {
+    /// Which kind is serving (as carried in stats replies).
+    pub fn kind(&self) -> proto::FrontendKind {
+        match self {
+            Frontend::Threads(_) => proto::FrontendKind::Threads,
+            Frontend::Reactor(_) => proto::FrontendKind::Reactor,
+        }
+    }
+
+    /// The bound address (reports the ephemeral port after `bind(":0")`).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        match self {
+            Frontend::Threads(s) => s.local_addr(),
+            Frontend::Reactor(s) => s.local_addr(),
+        }
+    }
+
+    /// Current server-wide counters (the `stats` verb's payload).
+    pub fn stats(&self) -> proto::WireStats {
+        match self {
+            Frontend::Threads(s) => s.stats(),
+            Frontend::Reactor(s) => s.stats(),
+        }
+    }
+
+    /// Report frames actually handed to a connection writer.
+    pub fn reports_streamed(&self) -> u64 {
+        match self {
+            Frontend::Threads(s) => s.reports_streamed(),
+            Frontend::Reactor(s) => s.reports_streamed(),
+        }
+    }
+
+    /// Graceful drain of whichever front end is serving.
+    pub fn shutdown(self) {
+        match self {
+            Frontend::Threads(s) => s.shutdown(),
+            Frontend::Reactor(s) => s.shutdown(),
+        }
+    }
+}
+
+impl From<wire::WireServer> for Frontend {
+    fn from(server: wire::WireServer) -> Frontend {
+        Frontend::Threads(server)
+    }
+}
+
+impl From<reactor::ReactorServer> for Frontend {
+    fn from(server: reactor::ReactorServer) -> Frontend {
+        Frontend::Reactor(server)
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     let mut arena = BatchArena::new();
     while let Some(envelope) = shared.queue.pop() {
@@ -484,7 +748,7 @@ fn worker_loop(shared: &Shared) {
         if envelope.cancel.is_cancelled() {
             envelope.status.set(JobState::Cancelled);
             shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
-            let _ = envelope.reply.send(None);
+            envelope.reply.deliver(JobCompletion::Cancelled);
             continue;
         }
         envelope.status.set(JobState::Running);
@@ -517,7 +781,7 @@ fn worker_loop(shared: &Shared) {
             // no report exists (nor ever will for this job).
             envelope.status.set(JobState::Cancelled);
             shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
-            let _ = envelope.reply.send(None);
+            envelope.reply.deliver(JobCompletion::Cancelled);
             continue;
         };
         let finished_at = Instant::now();
@@ -531,6 +795,6 @@ fn worker_loop(shared: &Shared) {
         };
         envelope.status.set(JobState::Done);
         // The submitter may have dropped its ticket; that's fine.
-        let _ = envelope.reply.send(Some(outcome));
+        envelope.reply.deliver(JobCompletion::Done(outcome));
     }
 }

@@ -105,6 +105,11 @@ pub enum ErrorCode {
     Forbidden = 7,
     /// The server is at its connection cap.
     Busy = 8,
+    /// A graceful drain has begun; new submits are rejected while
+    /// in-flight jobs run to completion (distinct from
+    /// [`ErrorCode::ShuttingDown`], which means the worker pool itself
+    /// is gone).
+    Draining = 9,
 }
 
 impl ErrorCode {
@@ -119,6 +124,7 @@ impl ErrorCode {
             6 => Some(ErrorCode::UnknownJob),
             7 => Some(ErrorCode::Forbidden),
             8 => Some(ErrorCode::Busy),
+            9 => Some(ErrorCode::Draining),
             _ => None,
         }
     }
@@ -135,6 +141,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::UnknownJob => "unknown job id",
             ErrorCode::Forbidden => "job belongs to a different tenant",
             ErrorCode::Busy => "server connection cap reached",
+            ErrorCode::Draining => "server is draining; no new submits",
         };
         f.write_str(s)
     }
@@ -214,6 +221,38 @@ pub enum Request {
     Stats,
 }
 
+/// Which serving architecture answered a stats request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum FrontendKind {
+    /// Thread-per-connection front end ([`crate::wire::WireServer`]).
+    #[default]
+    Threads = 0,
+    /// Nonblocking event-loop front end
+    /// ([`crate::reactor::ReactorServer`]).
+    Reactor = 1,
+}
+
+impl FrontendKind {
+    /// Inverse of `self as u8` (for wire decoding).
+    pub fn from_u8(b: u8) -> Option<FrontendKind> {
+        match b {
+            0 => Some(FrontendKind::Threads),
+            1 => Some(FrontendKind::Reactor),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FrontendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FrontendKind::Threads => "threads",
+            FrontendKind::Reactor => "reactor",
+        })
+    }
+}
+
 /// Server-wide counters carried by a stats reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WireStats {
@@ -227,6 +266,10 @@ pub struct WireStats {
     pub cache_hits: u64,
     /// Problem-cache misses since boot.
     pub cache_misses: u64,
+    /// Connections currently served.
+    pub connections: u64,
+    /// Which front end is serving (threads vs reactor).
+    pub frontend: FrontendKind,
 }
 
 /// One ranked lane inside a [`WireReport`].
@@ -754,6 +797,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.u64(s.backlog);
             w.u64(s.cache_hits);
             w.u64(s.cache_misses);
+            w.u64(s.connections);
+            w.u8(s.frontend as u8);
             w.0
         }
         Response::Report(rep) => {
@@ -810,6 +855,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             backlog: r.u64()?,
             cache_hits: r.u64()?,
             cache_misses: r.u64()?,
+            connections: r.u64()?,
+            frontend: FrontendKind::from_u8(r.u8()?)
+                .ok_or(ProtoError::BadValue("frontend kind byte"))?,
         }),
         T_REPORT => {
             let job_id = r.u64()?;
@@ -903,6 +951,87 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, ProtoError> {
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
     Ok(payload)
+}
+
+/// Incremental frame decoder for nonblocking transports.
+///
+/// Where [`read_frame`] owns a blocking `Read` stream, a `Decoder` is
+/// *fed*: the reactor pushes whatever bytes `read(2)` returned — a
+/// partial header, half a payload, three frames back to back — and
+/// pulls zero or more complete frame payloads out. Byte boundaries are
+/// invisible: a frame delivered one byte at a time and a batch of
+/// frames arriving in one read both decode to the same payload
+/// sequence (property-tested below).
+///
+/// The decoder enforces the same [`MAX_FRAME_LEN`] cap as the blocking
+/// reader; an oversized header poisons the stream (the connection is
+/// desynced and must be dropped) and every later
+/// [`Decoder::next_frame`] repeats the error.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned frames (compacted
+    /// lazily so tiny reads never trigger per-byte memmoves).
+    pos: usize,
+    poisoned: Option<u32>,
+}
+
+impl Decoder {
+    /// A fresh decoder with no buffered bytes.
+    pub fn new() -> Decoder {
+        Decoder::default()
+    }
+
+    /// Appends raw transport bytes (any split — header fragments,
+    /// partial payloads, several frames at once).
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: once the consumed prefix dominates,
+        // shift the live tail down instead of reallocating past it.
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered and not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Extracts the next complete frame payload, `Ok(None)` when more
+    /// bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Oversized`] when a header announces more than
+    /// [`MAX_FRAME_LEN`] bytes; the stream is desynced and the error is
+    /// sticky.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ProtoError> {
+        if let Some(len) = self.poisoned {
+            return Err(ProtoError::Oversized(len));
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_LEN {
+            self.poisoned = Some(len);
+            return Err(ProtoError::Oversized(len));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = avail[4..total].to_vec();
+        self.pos += total;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(Some(payload))
+    }
 }
 
 /// `true` when a [`read_frame`] error is a clean peer close (EOF on the
@@ -1064,6 +1193,8 @@ mod tests {
                 backlog: 1,
                 cache_hits: 20,
                 cache_misses: 5,
+                connections: 3,
+                frontend: FrontendKind::Reactor,
             }),
             Response::Report(report.clone()),
             Response::Error {
@@ -1284,7 +1415,160 @@ mod tests {
         assert_eq!(lane_coloring(&bad).len(), 3);
     }
 
+    /// The frame payloads a decoder feed must reproduce, byte for byte:
+    /// a submit, a stats request, and a report — small and large,
+    /// request and response directions mixed.
+    fn decoder_sample_payloads() -> Vec<Vec<u8>> {
+        let graph = generators::kings_graph(3, 3);
+        vec![
+            encode_request(&Request::Submit {
+                tenant: "acme".into(),
+                graph,
+                job: sample_job(),
+            }),
+            encode_request(&Request::Stats),
+            encode_response(&Response::Report(WireReport {
+                job_id: 9,
+                graph_hash: 0xabcd,
+                seed: 3,
+                queued_us: 1,
+                service_us: 2,
+                ranked: vec![WireLane {
+                    lane: 0,
+                    seed: 4,
+                    conflicts: 1,
+                    accuracy: 0.5,
+                    coloring: vec![0, 1, 2, 3],
+                }],
+            })),
+        ]
+    }
+
+    fn frame_stream(payloads: &[Vec<u8>]) -> Vec<u8> {
+        let mut stream = Vec::new();
+        for p in payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+        stream
+    }
+
+    fn drain_decoder(d: &mut Decoder) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(p) = d.next_frame().expect("valid stream") {
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn decoder_reassembles_frames_fed_one_byte_at_a_time() {
+        let payloads = decoder_sample_payloads();
+        let stream = frame_stream(&payloads);
+        let mut decoder = Decoder::new();
+        let mut got = Vec::new();
+        for &byte in &stream {
+            decoder.push(&[byte]);
+            got.extend(drain_decoder(&mut decoder));
+        }
+        assert_eq!(
+            got, payloads,
+            "1-byte feed must round-trip byte-identically"
+        );
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_splits_multiple_frames_from_one_read() {
+        let payloads = decoder_sample_payloads();
+        let stream = frame_stream(&payloads);
+        let mut decoder = Decoder::new();
+        decoder.push(&stream);
+        assert_eq!(
+            drain_decoder(&mut decoder),
+            payloads,
+            "one batched read must yield every frame byte-identically"
+        );
+        assert_eq!(decoder.buffered(), 0);
+        assert!(decoder.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn decoder_handles_a_partial_trailing_frame() {
+        let payloads = decoder_sample_payloads();
+        let stream = frame_stream(&payloads);
+        let mut decoder = Decoder::new();
+        // Everything except the final byte: the last frame stays pending.
+        decoder.push(&stream[..stream.len() - 1]);
+        let mut got = drain_decoder(&mut decoder);
+        assert_eq!(got.len(), payloads.len() - 1);
+        assert!(decoder.buffered() > 0);
+        decoder.push(&stream[stream.len() - 1..]);
+        got.extend(drain_decoder(&mut decoder));
+        assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn decoder_oversized_header_is_a_sticky_error() {
+        let mut decoder = Decoder::new();
+        decoder.push(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(ProtoError::Oversized(_))
+        ));
+        // The stream is desynced: feeding valid frames afterwards must
+        // not resurrect it.
+        decoder.push(&frame_stream(&[encode_request(&Request::Stats)]));
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(ProtoError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_bytes() {
+        // Many frames through one decoder: the internal buffer must not
+        // grow with the total bytes ever fed.
+        let payload = encode_request(&Request::Stats);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+        let mut decoder = Decoder::new();
+        for _ in 0..10_000 {
+            decoder.push(&framed);
+            assert_eq!(decoder.next_frame().unwrap().unwrap(), payload);
+        }
+        assert_eq!(decoder.buffered(), 0);
+    }
+
     proptest! {
+        /// Any segmentation of a valid frame stream decodes to the same
+        /// payload sequence, byte for byte.
+        #[test]
+        fn decoder_is_segmentation_invariant(
+            cuts in proptest::collection::vec(1usize..64, 0..48),
+        ) {
+            let payloads = decoder_sample_payloads();
+            let stream = frame_stream(&payloads);
+            let mut decoder = Decoder::new();
+            let mut got = Vec::new();
+            let mut at = 0usize;
+            for cut in cuts {
+                if at >= stream.len() {
+                    break;
+                }
+                let end = (at + cut).min(stream.len());
+                decoder.push(&stream[at..end]);
+                at = end;
+                while let Some(p) = decoder.next_frame().expect("valid stream") {
+                    got.push(p);
+                }
+            }
+            decoder.push(&stream[at..]);
+            while let Some(p) = decoder.next_frame().expect("valid stream") {
+                got.push(p);
+            }
+            prop_assert_eq!(got, payloads);
+        }
+
         /// Arbitrary bytes never panic either decoder — they produce a
         /// typed error (or, rarely, parse as a valid tiny message).
         #[test]

@@ -15,6 +15,15 @@ struct State<T> {
     closed: bool,
 }
 
+/// Why [`BoundedQueue::try_push`] handed the item back.
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity; retry after a consumer makes room.
+    Full(T),
+    /// The queue is closed; the item can never be enqueued.
+    Closed(T),
+}
+
 /// Bounded multi-producer/multi-consumer FIFO channel.
 ///
 /// All methods take `&self`; share the queue behind an `Arc`.
@@ -59,6 +68,29 @@ impl<T> BoundedQueue<T> {
                 return Ok(());
             }
             state = self.not_full.wait(state).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Non-blocking [`BoundedQueue::push`]: enqueues only if space is
+    /// free right now, giving the item back (tagged with why) otherwise.
+    /// The reactor front end uses this so a full queue parks the job
+    /// instead of stalling the event loop.
+    ///
+    /// # Errors
+    ///
+    /// [`TryPushError::Full`] when the queue is at capacity,
+    /// [`TryPushError::Closed`] when it has been closed.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.items.len() < self.capacity {
+            state.items.push_back(item);
+            self.not_empty.notify_one();
+            Ok(())
+        } else {
+            Err(TryPushError::Full(item))
         }
     }
 
@@ -133,6 +165,26 @@ mod tests {
         assert_eq!(q.pop(), Some(0));
         assert!(producer.join().unwrap());
         assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn try_push_reports_full_and_closed_without_blocking() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1u8).unwrap();
+        match q.try_push(2) {
+            Err(TryPushError::Full(v)) => assert_eq!(v, 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        q.close();
+        match q.try_push(4) {
+            Err(TryPushError::Closed(v)) => assert_eq!(v, 4),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // Items admitted before close still drain.
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

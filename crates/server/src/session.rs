@@ -1,0 +1,490 @@
+//! Transport-agnostic session logic shared by both serving front ends.
+//!
+//! PR 4's `server::wire` mixed two concerns: the TCP mechanics of a
+//! thread-per-connection server, and the *session* semantics of the job
+//! protocol — per-tenant quota accounting, the job registry
+//! (id → status cell + cancel token), admission, terminal-state
+//! bookkeeping, and graceful drain. This module owns the second half,
+//! so [`crate::wire::WireServer`] (threads) and
+//! [`crate::reactor::ReactorServer`] (epoll event loop) are thin
+//! transports over one [`SessionCore`] and **cannot** drift apart on
+//! quota or lifecycle behaviour: the byte-identical-reports property
+//! test across front ends leans on this sharing.
+//!
+//! # Completion flow
+//!
+//! Submission is hook-based ([`crate::CompletionHook`]): the worker
+//! thread that finishes a job runs the session's completion hook, which
+//! **first** releases the tenant's quota slot (so a client resubmitting
+//! the instant its report arrives always fits), then encodes the report
+//! frame once, and hands it to the front-end-specific `deliver`
+//! callback — a writer-channel send for the threaded front end, an
+//! inbox push + [`polling::Poller::notify`] for the reactor. No per-job
+//! waiter thread exists anywhere anymore.
+//!
+//! # Drain
+//!
+//! [`SessionCore::begin_drain`] flips the draining flag: new submits
+//! are rejected with the typed [`ErrorCode::Draining`] **before**
+//! admission, on whatever connections are still attached (this closes
+//! the PR 4 race where late submits on live connections could still be
+//! admitted after the acceptor stopped). [`SessionCore::await_drained`]
+//! then blocks until every admitted job has reached a terminal state —
+//! at which point every completion hook has run and every report frame
+//! has been handed to its transport.
+
+use crate::proto::{self, ErrorCode, FrontendKind, Request, Response, WireReport, WireStats};
+use crate::{
+    CompletionHook, JobCompletion, JobServer, JobState, JobStatusCell, PendingJob, ServerConfig,
+    TrySubmitError,
+};
+use msropm_core::{BatchJob, CancelToken};
+use msropm_graph::Graph;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+
+/// Sizing and policy knobs shared by both front ends.
+#[derive(Debug, Clone, Copy)]
+pub struct WireConfig {
+    /// The backing job-server pool (workers, queue, cache).
+    pub server: ServerConfig,
+    /// Per-tenant cap on jobs submitted and not yet terminal.
+    pub max_inflight_jobs: usize,
+    /// Per-tenant cap on the summed lane count of non-terminal jobs.
+    pub max_queued_lanes: usize,
+    /// Cap on concurrently served connections; excess connects receive
+    /// a `busy` error frame and are closed.
+    pub max_connections: usize,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            server: ServerConfig::default(),
+            max_inflight_jobs: 16,
+            max_queued_lanes: 1024,
+            max_connections: 64,
+        }
+    }
+}
+
+/// Per-tenant admission counters (covering non-terminal jobs only).
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantUsage {
+    inflight: usize,
+    queued_lanes: usize,
+}
+
+/// Registry entry for one submitted job; lives past the terminal state
+/// so late `status` queries still resolve.
+struct JobEntry {
+    tenant: String,
+    lanes: usize,
+    status: Arc<JobStatusCell>,
+    cancel: CancelToken,
+}
+
+/// Terminal jobs retained for late `status` queries before the oldest
+/// are evicted (a bounded memory footprint for a long-lived daemon; an
+/// evicted id answers `UnknownJob`).
+const TERMINAL_JOBS_RETAINED: usize = 4096;
+
+#[derive(Default)]
+struct Registry {
+    next_job_id: u64,
+    jobs: HashMap<u64, JobEntry>,
+    tenants: HashMap<String, TenantUsage>,
+    /// Terminal job ids in completion order, oldest first (the eviction
+    /// queue bounding `jobs`).
+    terminal_order: std::collections::VecDeque<u64>,
+    /// Jobs not yet terminal (drain waits for this to hit zero).
+    active_jobs: usize,
+}
+
+/// Delivers one finished job to its connection: `frame` is the encoded
+/// report (`None` for cancelled/failed jobs — nothing is streamed).
+/// Runs on the worker thread, after the quota slot has been released.
+pub type DeliverFn = Box<dyn FnOnce(&SessionCore, u64, Option<Vec<u8>>) + Send>;
+
+/// What a nonblocking submit decided; see
+/// [`SessionCore::submit_nonblocking`].
+pub enum SubmitDisposition {
+    /// Send this reply; the submit is fully handled.
+    Reply(Response),
+    /// The job was admitted (send the reply now) but the worker queue
+    /// was full: enqueue later via [`SessionCore::retry_parked`].
+    Parked(ParkedSubmit, Response),
+}
+
+/// An admitted job waiting for worker-queue space (its `Submitted`
+/// reply is already on the wire; `status` answers `queued`).
+pub struct ParkedSubmit {
+    pending: PendingJob,
+    /// The job id assigned at admission.
+    pub job_id: u64,
+}
+
+/// The shared session state; see the module docs.
+pub struct SessionCore {
+    jobs: JobServer,
+    config: WireConfig,
+    frontend: FrontendKind,
+    registry: Mutex<Registry>,
+    /// Signalled whenever a job reaches a terminal state.
+    drained: Condvar,
+    draining: AtomicBool,
+    live_connections: AtomicUsize,
+    reports_streamed: AtomicU64,
+}
+
+impl SessionCore {
+    /// Boots the backing worker pool and an empty registry.
+    pub fn new(config: WireConfig, frontend: FrontendKind) -> Arc<SessionCore> {
+        Arc::new(SessionCore {
+            jobs: JobServer::start(config.server),
+            config,
+            frontend,
+            registry: Mutex::new(Registry::default()),
+            drained: Condvar::new(),
+            draining: AtomicBool::new(false),
+            live_connections: AtomicUsize::new(0),
+            reports_streamed: AtomicU64::new(0),
+        })
+    }
+
+    /// Records a newly served connection.
+    pub fn connection_opened(&self) {
+        self.live_connections.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Records a closed connection.
+    pub fn connection_closed(&self) {
+        self.live_connections.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Connections currently served.
+    pub fn live_connections(&self) -> usize {
+        self.live_connections.load(Ordering::Acquire)
+    }
+
+    /// `true` when another connection would exceed the configured cap.
+    pub fn at_connection_cap(&self) -> bool {
+        self.live_connections() >= self.config.max_connections
+    }
+
+    /// Counts a report frame actually handed to a connection writer.
+    pub fn note_report_streamed(&self) {
+        self.reports_streamed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Report frames actually handed to a connection writer.
+    pub fn reports_streamed(&self) -> u64 {
+        self.reports_streamed.load(Ordering::Relaxed)
+    }
+
+    /// `true` once [`SessionCore::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Starts rejecting new submits with [`ErrorCode::Draining`];
+    /// in-flight jobs keep running.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Blocks until every admitted job has reached a terminal state
+    /// (all completion hooks have run).
+    pub fn await_drained(&self) {
+        let mut reg = self.registry.lock().expect("registry mutex");
+        while reg.active_jobs > 0 {
+            reg = self.drained.wait(reg).expect("registry mutex poisoned");
+        }
+    }
+
+    /// The one place [`WireStats`] is assembled from the shared counters
+    /// (serves the `stats` verb and the front ends' `stats()` methods).
+    pub fn wire_stats(&self) -> WireStats {
+        let cache = self.jobs.cache_stats();
+        WireStats {
+            jobs_completed: self.jobs.jobs_completed(),
+            jobs_cancelled: self.jobs.jobs_cancelled(),
+            backlog: self.jobs.backlog() as u64,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            connections: self.live_connections() as u64,
+            frontend: self.frontend,
+        }
+    }
+
+    /// Answers the control verbs (`status`/`cancel`/`stats`) — `None`
+    /// for `submit`, which must go through
+    /// [`SessionCore::submit_blocking`] /
+    /// [`SessionCore::submit_nonblocking`].
+    pub fn handle_control(&self, req: &Request) -> Option<Response> {
+        match req {
+            Request::Submit { .. } => None,
+            Request::Status { tenant, job_id } => {
+                Some(
+                    self.job_entry_reply(tenant, *job_id, |entry, job_id| Response::StatusReply {
+                        job_id,
+                        state: entry.status.get(),
+                    }),
+                )
+            }
+            Request::Cancel { tenant, job_id } => {
+                Some(self.job_entry_reply(tenant, *job_id, |entry, job_id| {
+                    // Cooperative: flips the token; the worker observes
+                    // it at pickup or the next stage boundary. Already
+                    // terminal jobs are unaffected (cancel is a no-op).
+                    entry.cancel.cancel();
+                    Response::CancelReply {
+                        job_id,
+                        state: entry.status.get(),
+                    }
+                }))
+            }
+            Request::Stats => Some(Response::StatsReply(self.wire_stats())),
+        }
+    }
+
+    /// Shared ownership/existence checks of the per-job verbs.
+    fn job_entry_reply(
+        &self,
+        tenant: &str,
+        job_id: u64,
+        reply: impl FnOnce(&JobEntry, u64) -> Response,
+    ) -> Response {
+        let reg = self.registry.lock().expect("registry mutex");
+        match reg.jobs.get(&job_id) {
+            None => Response::Error {
+                code: ErrorCode::UnknownJob,
+                message: format!("no job {job_id}"),
+            },
+            Some(entry) if entry.tenant != tenant => Response::Error {
+                code: ErrorCode::Forbidden,
+                message: format!("job {job_id} belongs to another tenant"),
+            },
+            Some(entry) => reply(entry, job_id),
+        }
+    }
+
+    /// Submits on behalf of a blocking transport: a full worker queue
+    /// blocks this call (per-connection backpressure). Returns the
+    /// reply to send.
+    pub fn submit_blocking(
+        self: &Arc<Self>,
+        tenant: String,
+        graph: Graph,
+        job: BatchJob,
+        deliver: DeliverFn,
+    ) -> Response {
+        let (job_id, pending) = match self.admit(tenant, graph, job, deliver) {
+            Ok(admitted) => admitted,
+            Err(reject) => return reject,
+        };
+        match self.jobs.submit_job(pending) {
+            Ok(()) => Response::Submitted { job_id },
+            Err(pending) => {
+                // Queue closed under us: dropping the job fires its
+                // hook (worker-died), which marks it failed and
+                // releases the quota slot.
+                drop(pending);
+                Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "job queue closed".into(),
+                }
+            }
+        }
+    }
+
+    /// Submits on behalf of a nonblocking transport: never blocks the
+    /// caller. A full worker queue parks the (already admitted) job —
+    /// the reply is still `Submitted`, and `status` answers `queued`
+    /// until a worker picks it up.
+    pub fn submit_nonblocking(
+        self: &Arc<Self>,
+        tenant: String,
+        graph: Graph,
+        job: BatchJob,
+        deliver: DeliverFn,
+    ) -> SubmitDisposition {
+        let (job_id, pending) = match self.admit(tenant, graph, job, deliver) {
+            Ok(admitted) => admitted,
+            Err(reject) => return SubmitDisposition::Reply(reject),
+        };
+        match self.jobs.try_submit_job(pending) {
+            Ok(()) => SubmitDisposition::Reply(Response::Submitted { job_id }),
+            Err(TrySubmitError::Full(pending)) => SubmitDisposition::Parked(
+                ParkedSubmit { pending, job_id },
+                Response::Submitted { job_id },
+            ),
+            Err(TrySubmitError::Closed(pending)) => {
+                drop(pending);
+                SubmitDisposition::Reply(Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "job queue closed".into(),
+                })
+            }
+        }
+    }
+
+    /// Retries a parked submit; gives it back while the queue is still
+    /// full. A closed queue consumes the job (its hook marks it failed).
+    pub fn retry_parked(&self, parked: ParkedSubmit) -> Option<ParkedSubmit> {
+        let job_id = parked.job_id;
+        match self.jobs.try_submit_job(parked.pending) {
+            Ok(()) => None,
+            Err(TrySubmitError::Full(pending)) => Some(ParkedSubmit { pending, job_id }),
+            Err(TrySubmitError::Closed(pending)) => {
+                drop(pending);
+                None
+            }
+        }
+    }
+
+    /// Admission control: drain check, quota check, registration — all
+    /// under the registry lock, *before* enqueueing, so a cancel/status
+    /// for the returned id can never miss. On success the job is
+    /// bundled with its session completion hook.
+    fn admit(
+        self: &Arc<Self>,
+        tenant: String,
+        graph: Graph,
+        job: BatchJob,
+        deliver: DeliverFn,
+    ) -> Result<(u64, PendingJob), Response> {
+        if self.is_draining() {
+            return Err(Response::Error {
+                code: ErrorCode::Draining,
+                message: "server is draining; resubmit elsewhere".into(),
+            });
+        }
+        let lanes = job.lanes.len();
+        let cancel = CancelToken::new();
+        let status = Arc::new(JobStatusCell::new());
+        let job_id = {
+            let mut reg = self.registry.lock().expect("registry mutex");
+            // Read-only quota check first: a rejected submit must not
+            // leave a tenant entry behind (a peer cycling random tenant
+            // ids would otherwise grow the map forever).
+            let usage = reg.tenants.get(&tenant).copied().unwrap_or_default();
+            if usage.inflight + 1 > self.config.max_inflight_jobs {
+                return Err(Response::Error {
+                    code: ErrorCode::QuotaInFlight,
+                    message: format!(
+                        "tenant {tenant:?} at in-flight cap ({})",
+                        self.config.max_inflight_jobs
+                    ),
+                });
+            }
+            if usage.queued_lanes + lanes > self.config.max_queued_lanes {
+                return Err(Response::Error {
+                    code: ErrorCode::QuotaLanes,
+                    message: format!(
+                        "tenant {tenant:?} would exceed queued-lane cap ({})",
+                        self.config.max_queued_lanes
+                    ),
+                });
+            }
+            let usage = reg.tenants.entry(tenant.clone()).or_default();
+            usage.inflight += 1;
+            usage.queued_lanes += lanes;
+            reg.active_jobs += 1;
+            reg.next_job_id += 1;
+            let job_id = reg.next_job_id;
+            reg.jobs.insert(
+                job_id,
+                JobEntry {
+                    tenant,
+                    lanes,
+                    status: Arc::clone(&status),
+                    cancel: cancel.clone(),
+                },
+            );
+            job_id
+        };
+        let hook = self.completion_hook(job_id, deliver);
+        Ok((
+            job_id,
+            PendingJob::new(Arc::new(graph), job, cancel, status, hook),
+        ))
+    }
+
+    /// Builds the hook a worker fires when `job_id` reaches a terminal
+    /// state: release the quota slot **before** streaming (a tenant
+    /// that resubmits the moment its report arrives must fit), encode
+    /// the report frame once, then hand it to the transport's deliver
+    /// callback. Holds only a weak self-reference — hooks sit inside
+    /// queued envelopes, and a strong one would cycle
+    /// `SessionCore → JobServer → queue → hook → SessionCore`.
+    fn completion_hook(self: &Arc<Self>, job_id: u64, deliver: DeliverFn) -> CompletionHook {
+        let weak: Weak<SessionCore> = Arc::downgrade(self);
+        CompletionHook::new(move |completion| {
+            let Some(core) = weak.upgrade() else {
+                return;
+            };
+            match completion {
+                JobCompletion::Done(outcome) => {
+                    core.finalize(job_id);
+                    let report = WireReport::from_outcome(job_id, &outcome);
+                    let frame = proto::encode_response(&Response::Report(report));
+                    deliver(&core, job_id, Some(frame));
+                }
+                JobCompletion::Cancelled => {
+                    // No report exists for a cancelled job, and none is
+                    // ever streamed.
+                    core.finalize(job_id);
+                    deliver(&core, job_id, None);
+                }
+                JobCompletion::WorkerDied => {
+                    core.fail(job_id);
+                    core.finalize(job_id);
+                    deliver(&core, job_id, None);
+                }
+            }
+        })
+    }
+
+    /// Marks a worker-died job as failed (panic surfaced via the hook).
+    fn fail(&self, job_id: u64) {
+        let reg = self.registry.lock().expect("registry mutex");
+        if let Some(entry) = reg.jobs.get(&job_id) {
+            entry.status.set(JobState::Failed);
+        }
+    }
+
+    /// Releases a job's quota reservation once it is terminal and wakes
+    /// the drain waiter. The registry entry is retained so late status
+    /// queries resolve, but only the newest [`TERMINAL_JOBS_RETAINED`]
+    /// terminal jobs — older ones are evicted (status then answers
+    /// `UnknownJob`), keeping a long-lived daemon's footprint bounded.
+    fn finalize(&self, job_id: u64) {
+        let mut reg = self.registry.lock().expect("registry mutex");
+        let Some(entry) = reg.jobs.get(&job_id) else {
+            return;
+        };
+        let tenant = entry.tenant.clone();
+        let lanes = entry.lanes;
+        if let Some(usage) = reg.tenants.get_mut(&tenant) {
+            usage.inflight = usage.inflight.saturating_sub(1);
+            usage.queued_lanes = usage.queued_lanes.saturating_sub(lanes);
+            // Idle tenants drop out of the map entirely; quotas are
+            // purely about current usage, so an empty entry carries no
+            // state.
+            if usage.inflight == 0 && usage.queued_lanes == 0 {
+                reg.tenants.remove(&tenant);
+            }
+        }
+        reg.active_jobs = reg.active_jobs.saturating_sub(1);
+        reg.terminal_order.push_back(job_id);
+        while reg.terminal_order.len() > TERMINAL_JOBS_RETAINED {
+            if let Some(evict) = reg.terminal_order.pop_front() {
+                reg.jobs.remove(&evict);
+            }
+        }
+        drop(reg);
+        self.drained.notify_all();
+    }
+}

@@ -1,137 +1,53 @@
-//! TCP front end for the job server: acceptor, per-tenant quotas,
-//! cooperative cancellation, graceful drain.
+//! Thread-per-connection TCP front end for the job server.
 //!
-//! This is the ROADMAP's "socket protocol over `JobServer::submit`"
-//! rung: a [`std::net::TcpListener`] acceptor plus per-connection
-//! handler threads drive the existing [`crate::queue::BoundedQueue`] /
-//! [`crate::JobTicket`] machinery directly — the wire layer owns no
-//! solver state of its own, only the **job registry** (id → status
-//! cell, cancel token, tenant accounting). Framing and message layout
-//! live in [`crate::proto`].
+//! This is the PR 4 "socket protocol over `JobServer::submit`" rung,
+//! refactored: everything transport-agnostic — per-tenant quotas, the
+//! job registry, admission, drain — now lives in [`crate::session`]
+//! and is shared with the epoll-based [`crate::reactor`] front end.
+//! What remains here is the legacy *transport*: a blocking
+//! [`std::net::TcpListener`] acceptor plus reader/writer threads per
+//! connection. It stays the default for small deployments (simple
+//! blocking I/O, per-connection backpressure for free); the reactor is
+//! the shape for thousands of mostly idle connections.
 //!
 //! # Connection model
 //!
-//! Each accepted connection gets a reader thread (this thread parses
-//! request frames and answers control verbs inline) and a writer thread
-//! draining a FIFO channel of encoded frames — so a slow solve never
-//! blocks `status`/`cancel` on the same connection, and report frames
-//! from many in-flight jobs interleave safely with verb replies. A
-//! per-job *completion waiter* thread redeems the [`crate::JobTicket`]
-//! and pushes the report frame (cancelled jobs push **nothing**: no
-//! report exists, and `status` answers `cancelled`).
-//!
-//! # Quotas
-//!
-//! Two per-tenant limits, both enforced at admission under the registry
-//! lock and released when a job reaches a terminal state:
-//!
-//! - **max in-flight jobs** ([`WireConfig::max_inflight_jobs`]): jobs
-//!   submitted and not yet done/cancelled/failed;
-//! - **max queued lanes** ([`WireConfig::max_queued_lanes`]): the sum of
-//!   `lanes.len()` over those jobs — a tenant cannot buy extra
-//!   parallelism by packing thousand-lane sweeps into few jobs.
-//!
-//! Violations are rejected with a typed error frame
-//! ([`crate::proto::ErrorCode::QuotaInFlight`] /
-//! [`crate::proto::ErrorCode::QuotaLanes`]) and leave other tenants
-//! untouched.
+//! Each accepted connection gets a reader thread (parses request
+//! frames, answers control verbs inline) and a writer thread draining a
+//! FIFO channel of encoded frames — so a slow solve never blocks
+//! `status`/`cancel` on the same connection, and report frames from
+//! many in-flight jobs interleave safely with verb replies. Job
+//! completions are delivered by the **worker thread** through the
+//! session's completion hook (quota slot released first, then the
+//! encoded report frame is pushed into the connection's writer
+//! channel); the per-job waiter threads of PR 4 are gone.
 //!
 //! # Shutdown
 //!
 //! [`WireServer::shutdown`] drains gracefully: new submits are rejected
-//! with `shutting_down`, the acceptor stops, every in-flight job runs
-//! to its terminal state, all pending report frames are flushed to
-//! their connections, and only then are connections and the worker pool
-//! torn down.
+//! with the typed [`crate::proto::ErrorCode::Draining`] error (on *all*
+//! connections, before admission — late-arriving submits cannot race
+//! the accept-stop), the acceptor stops, every in-flight job runs to
+//! its terminal state, all pending report frames are flushed to their
+//! connections, and only then are connections and the worker pool torn
+//! down.
 
-use crate::proto::{self, ErrorCode, ProtoError, Request, Response, WireReport, WireStats};
-use crate::{JobServer, JobState, JobStatusCell, ServerConfig, ServerError};
-use msropm_core::{BatchJob, CancelToken};
-use msropm_graph::Graph;
-use std::collections::HashMap;
+use crate::proto::{self, ErrorCode, FrontendKind, ProtoError, Request, Response, WireStats};
+use crate::session::{DeliverFn, SessionCore};
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
-/// Sizing and policy knobs of a [`WireServer`].
-#[derive(Debug, Clone, Copy)]
-pub struct WireConfig {
-    /// The backing job-server pool (workers, queue, cache).
-    pub server: ServerConfig,
-    /// Per-tenant cap on jobs submitted and not yet terminal.
-    pub max_inflight_jobs: usize,
-    /// Per-tenant cap on the summed lane count of non-terminal jobs.
-    pub max_queued_lanes: usize,
-    /// Cap on concurrently served connections; excess connects receive
-    /// a `busy` error frame and are closed.
-    pub max_connections: usize,
-}
+pub use crate::session::WireConfig;
 
-impl Default for WireConfig {
-    fn default() -> Self {
-        WireConfig {
-            server: ServerConfig::default(),
-            max_inflight_jobs: 16,
-            max_queued_lanes: 1024,
-            max_connections: 64,
-        }
-    }
-}
-
-/// Per-tenant admission counters (covering non-terminal jobs only).
-#[derive(Debug, Default, Clone, Copy)]
-struct TenantUsage {
-    inflight: usize,
-    queued_lanes: usize,
-}
-
-/// Registry entry for one submitted job; lives past the terminal state
-/// so late `status` queries still resolve.
-struct JobEntry {
-    tenant: String,
-    lanes: usize,
-    status: Arc<JobStatusCell>,
-    cancel: CancelToken,
-}
-
-/// Terminal jobs retained for late `status` queries before the oldest
-/// are evicted (a bounded memory footprint for a long-lived daemon; an
-/// evicted id answers `UnknownJob`).
-const TERMINAL_JOBS_RETAINED: usize = 4096;
-
-#[derive(Default)]
-struct Registry {
-    next_job_id: u64,
-    jobs: HashMap<u64, JobEntry>,
-    tenants: HashMap<String, TenantUsage>,
-    /// Terminal job ids in completion order, oldest first (the eviction
-    /// queue bounding `jobs`).
-    terminal_order: std::collections::VecDeque<u64>,
-    /// Jobs not yet terminal (drain waits for this to hit zero).
-    active_jobs: usize,
-}
-
-struct WireShared {
-    jobs: JobServer,
-    config: WireConfig,
-    registry: Mutex<Registry>,
-    /// Signalled whenever a job reaches a terminal state.
-    drained: Condvar,
-    shutting_down: AtomicBool,
-    live_connections: AtomicUsize,
-    reports_streamed: AtomicU64,
-}
-
-/// The TCP front end; see the module docs.
+/// The thread-per-connection TCP front end; see the module docs.
 pub struct WireServer {
-    shared: Arc<WireShared>,
+    core: Arc<SessionCore>,
     local_addr: SocketAddr,
     accept: Option<thread::JoinHandle<()>>,
     connections: ConnectionList,
-    waiters: WaiterList,
     down: bool,
 }
 
@@ -146,35 +62,24 @@ impl WireServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         // Nonblocking accept + poll keeps shutdown portable (no
-        // self-connect tricks): the loop notices `shutting_down` within
+        // self-connect tricks): the loop notices the drain flag within
         // one poll interval.
         listener.set_nonblocking(true)?;
-        let shared = Arc::new(WireShared {
-            jobs: JobServer::start(config.server),
-            config,
-            registry: Mutex::new(Registry::default()),
-            drained: Condvar::new(),
-            shutting_down: AtomicBool::new(false),
-            live_connections: AtomicUsize::new(0),
-            reports_streamed: AtomicU64::new(0),
-        });
+        let core = SessionCore::new(config, FrontendKind::Threads);
         let connections = Arc::new(Mutex::new(Vec::new()));
-        let waiters = Arc::new(Mutex::new(Vec::new()));
         let accept = {
-            let shared = Arc::clone(&shared);
+            let core = Arc::clone(&core);
             let connections = Arc::clone(&connections);
-            let waiters = Arc::clone(&waiters);
             thread::Builder::new()
                 .name("msropm-wire-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &connections, &waiters))
+                .spawn(move || accept_loop(&listener, &core, &connections))
                 .expect("spawn acceptor")
         };
         Ok(WireServer {
-            shared,
+            core,
             local_addr,
             accept: Some(accept),
             connections,
-            waiters,
             down: false,
         })
     }
@@ -186,12 +91,12 @@ impl WireServer {
 
     /// Current server-wide counters (the `stats` verb's payload).
     pub fn stats(&self) -> WireStats {
-        wire_stats(&self.shared)
+        self.core.wire_stats()
     }
 
     /// Report frames actually handed to a connection writer.
     pub fn reports_streamed(&self) -> u64 {
-        self.shared.reports_streamed.load(Ordering::Relaxed)
+        self.core.reports_streamed()
     }
 
     /// Graceful drain: rejects new submits, stops accepting, lets every
@@ -206,29 +111,16 @@ impl WireServer {
             return;
         }
         self.down = true;
-        self.shared.shutting_down.store(true, Ordering::Release);
+        self.core.begin_drain();
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        // Wait for every admitted job to reach a terminal state. Workers
-        // keep draining the queue (cancelled jobs fly through), so this
-        // terminates as long as the pool is alive.
-        {
-            let mut reg = self.shared.registry.lock().expect("registry mutex");
-            while reg.active_jobs > 0 {
-                reg = self
-                    .shared
-                    .drained
-                    .wait(reg)
-                    .expect("registry mutex poisoned");
-            }
-        }
-        // Completion waiters have now all been unblocked; joining them
-        // guarantees every report frame is in its connection's writer
-        // queue before we start closing read sides.
-        for h in self.waiters.lock().expect("waiters mutex").drain(..) {
-            let _ = h.join();
-        }
+        // Wait for every admitted job to reach a terminal state — at
+        // that point each completion hook has run and pushed its report
+        // frame into a connection's writer channel (the hook holds its
+        // own sender clone, so a frame sent before the clone drops is
+        // always flushed by the writer).
+        self.core.await_drained();
         // Closing the read side ends each reader loop; readers drop
         // their writer senders, writers flush the queued frames (reports
         // included) and exit.
@@ -240,7 +132,7 @@ impl WireServer {
             let _ = handle.join();
         }
         // The JobServer itself drains and joins its workers when the
-        // last Arc drops (WireShared owns it).
+        // last Arc<SessionCore> drops.
     }
 }
 
@@ -253,7 +145,6 @@ impl Drop for WireServer {
 }
 
 type ConnectionList = Arc<Mutex<Vec<(TcpStream, thread::JoinHandle<()>)>>>;
-type WaiterList = Arc<Mutex<Vec<thread::JoinHandle<()>>>>;
 
 /// Reaps entries whose handler thread has exited: joins the (finished)
 /// thread and drops the retained stream clone, releasing its fd. Called
@@ -272,21 +163,15 @@ fn sweep_connections(connections: &ConnectionList) {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<WireShared>,
-    connections: &ConnectionList,
-    waiters: &WaiterList,
-) {
+fn accept_loop(listener: &TcpListener, core: &Arc<SessionCore>, connections: &ConnectionList) {
     loop {
-        if shared.shutting_down.load(Ordering::Acquire) {
+        if core.is_draining() {
             return;
         }
         sweep_connections(connections);
         match listener.accept() {
             Ok((stream, _peer)) => {
-                if shared.live_connections.load(Ordering::Acquire) >= shared.config.max_connections
-                {
+                if core.at_connection_cap() {
                     // Over the cap: one typed error frame, then close.
                     let mut w = BufWriter::new(&stream);
                     let frame = proto::encode_response(&Response::Error {
@@ -303,14 +188,13 @@ fn accept_loop(
                     Ok(s) => s,
                     Err(_) => continue,
                 };
-                shared.live_connections.fetch_add(1, Ordering::AcqRel);
-                let shared2 = Arc::clone(shared);
-                let waiters2 = Arc::clone(waiters);
+                core.connection_opened();
+                let core2 = Arc::clone(core);
                 let handle = thread::Builder::new()
                     .name("msropm-wire-conn".into())
                     .spawn(move || {
-                        connection_loop(reader_stream, &shared2, &waiters2);
-                        shared2.live_connections.fetch_sub(1, Ordering::AcqRel);
+                        connection_loop(reader_stream, &core2);
+                        core2.connection_closed();
                     })
                     .expect("spawn connection thread");
                 connections
@@ -326,10 +210,10 @@ fn accept_loop(
     }
 }
 
-/// Runs one connection: parse frames, answer verbs, spawn completion
-/// waiters. Returns when the peer closes, the framing desyncs, or
-/// shutdown closes the read side.
-fn connection_loop(stream: TcpStream, shared: &Arc<WireShared>, waiters: &WaiterList) {
+/// Runs one connection: parse frames, answer verbs, submit jobs with a
+/// writer-channel deliver hook. Returns when the peer closes, the
+/// framing desyncs, or shutdown closes the read side.
+fn connection_loop(stream: TcpStream, core: &Arc<SessionCore>) {
     let write_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -367,7 +251,24 @@ fn connection_loop(stream: TcpStream, shared: &Arc<WireShared>, waiters: &Waiter
             }
         };
         match proto::decode_request(&payload) {
-            Ok(req) => handle_request(req, shared, &tx, waiters),
+            Ok(Request::Submit { tenant, graph, job }) => {
+                let tx2 = tx.clone();
+                let deliver: DeliverFn = Box::new(move |core, _job_id, frame| {
+                    if let Some(frame) = frame {
+                        if tx2.send(frame).is_ok() {
+                            core.note_report_streamed();
+                        }
+                    }
+                });
+                let resp = core.submit_blocking(tenant, graph, job, deliver);
+                send(&tx, &resp);
+            }
+            Ok(req) => {
+                let resp = core
+                    .handle_control(&req)
+                    .expect("non-submit requests are control verbs");
+                send(&tx, &resp);
+            }
             Err(ProtoError::BadTag(t)) => send(
                 &tx,
                 &Response::Error {
@@ -392,269 +293,13 @@ fn send(tx: &mpsc::Sender<Vec<u8>>, resp: &Response) {
     let _ = tx.send(proto::encode_response(resp));
 }
 
-/// The one place [`WireStats`] is assembled from the shared counters
-/// (serves both [`WireServer::stats`] and the `stats` verb).
-fn wire_stats(shared: &WireShared) -> WireStats {
-    let cache = shared.jobs.cache_stats();
-    WireStats {
-        jobs_completed: shared.jobs.jobs_completed(),
-        jobs_cancelled: shared.jobs.jobs_cancelled(),
-        backlog: shared.jobs.backlog() as u64,
-        cache_hits: cache.hits,
-        cache_misses: cache.misses,
-    }
-}
-
-fn handle_request(
-    req: Request,
-    shared: &Arc<WireShared>,
-    tx: &mpsc::Sender<Vec<u8>>,
-    waiters: &WaiterList,
-) {
-    match req {
-        Request::Submit { tenant, graph, job } => {
-            handle_submit(tenant, graph, job, shared, tx, waiters)
-        }
-        Request::Status { tenant, job_id } => {
-            let reg = shared.registry.lock().expect("registry mutex");
-            match reg.jobs.get(&job_id) {
-                None => send(
-                    tx,
-                    &Response::Error {
-                        code: ErrorCode::UnknownJob,
-                        message: format!("no job {job_id}"),
-                    },
-                ),
-                Some(entry) if entry.tenant != tenant => send(
-                    tx,
-                    &Response::Error {
-                        code: ErrorCode::Forbidden,
-                        message: format!("job {job_id} belongs to another tenant"),
-                    },
-                ),
-                Some(entry) => send(
-                    tx,
-                    &Response::StatusReply {
-                        job_id,
-                        state: entry.status.get(),
-                    },
-                ),
-            }
-        }
-        Request::Cancel { tenant, job_id } => {
-            let reg = shared.registry.lock().expect("registry mutex");
-            match reg.jobs.get(&job_id) {
-                None => send(
-                    tx,
-                    &Response::Error {
-                        code: ErrorCode::UnknownJob,
-                        message: format!("no job {job_id}"),
-                    },
-                ),
-                Some(entry) if entry.tenant != tenant => send(
-                    tx,
-                    &Response::Error {
-                        code: ErrorCode::Forbidden,
-                        message: format!("job {job_id} belongs to another tenant"),
-                    },
-                ),
-                Some(entry) => {
-                    // Cooperative: flips the token; the worker observes
-                    // it at pickup or the next stage boundary. Already
-                    // terminal jobs are unaffected (cancel is a no-op).
-                    entry.cancel.cancel();
-                    send(
-                        tx,
-                        &Response::CancelReply {
-                            job_id,
-                            state: entry.status.get(),
-                        },
-                    );
-                }
-            }
-        }
-        Request::Stats => send(tx, &Response::StatsReply(wire_stats(shared))),
-    }
-}
-
-fn handle_submit(
-    tenant: String,
-    graph: Graph,
-    job: BatchJob,
-    shared: &Arc<WireShared>,
-    tx: &mpsc::Sender<Vec<u8>>,
-    waiters: &WaiterList,
-) {
-    if shared.shutting_down.load(Ordering::Acquire) {
-        send(
-            tx,
-            &Response::Error {
-                code: ErrorCode::ShuttingDown,
-                message: "server is draining".into(),
-            },
-        );
-        return;
-    }
-    let lanes = job.lanes.len();
-    let cancel = CancelToken::new();
-    let status = Arc::new(JobStatusCell::new());
-    // Admission control: reserve quota and register the job *before*
-    // enqueueing, so a cancel/status for the returned id can never miss,
-    // and release on any failure below.
-    let job_id = {
-        let mut reg = shared.registry.lock().expect("registry mutex");
-        // Read-only quota check first: a rejected submit must not leave
-        // a tenant entry behind (a peer cycling random tenant ids would
-        // otherwise grow the map forever).
-        let usage = reg.tenants.get(&tenant).copied().unwrap_or_default();
-        if usage.inflight + 1 > shared.config.max_inflight_jobs {
-            let code = ErrorCode::QuotaInFlight;
-            let message = format!(
-                "tenant {tenant:?} at in-flight cap ({})",
-                shared.config.max_inflight_jobs
-            );
-            drop(reg);
-            send(tx, &Response::Error { code, message });
-            return;
-        }
-        if usage.queued_lanes + lanes > shared.config.max_queued_lanes {
-            let code = ErrorCode::QuotaLanes;
-            let message = format!(
-                "tenant {tenant:?} would exceed queued-lane cap ({})",
-                shared.config.max_queued_lanes
-            );
-            drop(reg);
-            send(tx, &Response::Error { code, message });
-            return;
-        }
-        let usage = reg.tenants.entry(tenant.clone()).or_default();
-        usage.inflight += 1;
-        usage.queued_lanes += lanes;
-        reg.active_jobs += 1;
-        reg.next_job_id += 1;
-        let job_id = reg.next_job_id;
-        reg.jobs.insert(
-            job_id,
-            JobEntry {
-                tenant: tenant.clone(),
-                lanes,
-                status: Arc::clone(&status),
-                cancel: cancel.clone(),
-            },
-        );
-        job_id
-    };
-    // Enqueue outside the registry lock: a full queue applies
-    // backpressure to this connection only.
-    match shared
-        .jobs
-        .submit_with(Arc::new(graph), job, cancel, Arc::clone(&status))
-    {
-        Ok(ticket) => {
-            send(tx, &Response::Submitted { job_id });
-            let shared2 = Arc::clone(shared);
-            let tx2 = tx.clone();
-            let waiter = thread::Builder::new()
-                .name("msropm-wire-waiter".into())
-                .spawn(move || {
-                    match ticket.wait() {
-                        Ok(outcome) => {
-                            // Release the quota slot *before* streaming
-                            // the report: a tenant that resubmits the
-                            // moment its report arrives must fit.
-                            finalize(&shared2, job_id);
-                            let report = WireReport::from_outcome(job_id, &outcome);
-                            let frame = proto::encode_response(&Response::Report(report));
-                            if tx2.send(frame).is_ok() {
-                                shared2.reports_streamed.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                        Err(ServerError::Cancelled) => {
-                            // No report exists for a cancelled job, and
-                            // none is ever streamed.
-                            finalize(&shared2, job_id);
-                        }
-                        Err(_) => {
-                            status_fail(&shared2, job_id);
-                            finalize(&shared2, job_id);
-                        }
-                    }
-                })
-                .expect("spawn completion waiter");
-            // Reap finished waiters while we hold the lock anyway, so a
-            // long-lived server's waiter list tracks in-flight jobs, not
-            // all jobs ever submitted.
-            let mut list = waiters.lock().expect("waiters mutex");
-            let mut i = 0;
-            while i < list.len() {
-                if list[i].is_finished() {
-                    let done = list.swap_remove(i);
-                    let _ = done.join();
-                } else {
-                    i += 1;
-                }
-            }
-            list.push(waiter);
-        }
-        Err(_) => {
-            finalize(shared, job_id);
-            send(
-                tx,
-                &Response::Error {
-                    code: ErrorCode::ShuttingDown,
-                    message: "job queue closed".into(),
-                },
-            );
-        }
-    }
-}
-
-/// Marks a worker-died job as failed (panic surfaced via the ticket).
-fn status_fail(shared: &WireShared, job_id: u64) {
-    let reg = shared.registry.lock().expect("registry mutex");
-    if let Some(entry) = reg.jobs.get(&job_id) {
-        entry.status.set(JobState::Failed);
-    }
-}
-
-/// Releases a job's quota reservation once it is terminal and wakes the
-/// drain waiter. The registry entry is retained so late status queries
-/// resolve, but only the newest [`TERMINAL_JOBS_RETAINED`] terminal
-/// jobs — older ones are evicted (status then answers `UnknownJob`),
-/// keeping a long-lived daemon's footprint bounded.
-fn finalize(shared: &WireShared, job_id: u64) {
-    let mut reg = shared.registry.lock().expect("registry mutex");
-    let Some(entry) = reg.jobs.get(&job_id) else {
-        return;
-    };
-    let tenant = entry.tenant.clone();
-    let lanes = entry.lanes;
-    if let Some(usage) = reg.tenants.get_mut(&tenant) {
-        usage.inflight = usage.inflight.saturating_sub(1);
-        usage.queued_lanes = usage.queued_lanes.saturating_sub(lanes);
-        // Idle tenants drop out of the map entirely; quotas are purely
-        // about current usage, so an empty entry carries no state.
-        if usage.inflight == 0 && usage.queued_lanes == 0 {
-            reg.tenants.remove(&tenant);
-        }
-    }
-    reg.active_jobs = reg.active_jobs.saturating_sub(1);
-    reg.terminal_order.push_back(job_id);
-    while reg.terminal_order.len() > TERMINAL_JOBS_RETAINED {
-        if let Some(evict) = reg.terminal_order.pop_front() {
-            reg.jobs.remove(&evict);
-        }
-    }
-    drop(reg);
-    shared.drained.notify_all();
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proto::{decode_response, encode_request, read_frame, write_frame};
-    use msropm_core::MsropmConfig;
-    use msropm_graph::generators;
+    use crate::proto::{decode_response, encode_request, read_frame, write_frame, WireReport};
+    use crate::{JobState, ServerConfig};
+    use msropm_core::{BatchJob, MsropmConfig};
+    use msropm_graph::{generators, Graph};
     use std::io::Write;
 
     fn fast_config() -> MsropmConfig {
@@ -702,11 +347,16 @@ mod tests {
         }
     }
 
-    /// Reads the next frame, asserting it is a report.
+    /// Reads frames until a report arrives (Submitted replies may be
+    /// reordered behind an instantly completing job's report now that
+    /// workers deliver frames directly).
     fn recv_report(c: &mut RawClient) -> WireReport {
-        match c.recv() {
-            Response::Report(r) => r,
-            other => panic!("expected a report frame, got {other:?}"),
+        loop {
+            match c.recv() {
+                Response::Report(r) => return r,
+                Response::Submitted { .. } => {}
+                other => panic!("expected a report frame, got {other:?}"),
+            }
         }
     }
 
@@ -861,8 +511,6 @@ mod tests {
         assert_eq!(state, JobState::Cancelled);
         // Drain: the server streamed exactly one report.
         server.shutdown();
-        // (shutdown consumed the server; reports_streamed checked via a
-        // fresh scope in the test below.)
     }
 
     #[test]
@@ -914,14 +562,14 @@ mod tests {
         // The connection still serves real requests afterwards.
         c.send(&Request::Stats);
         match c.recv() {
-            Response::StatsReply(_) => {}
+            Response::StatsReply(s) => assert_eq!(s.frontend, FrontendKind::Threads),
             other => panic!("expected StatsReply, got {other:?}"),
         }
         server.shutdown();
     }
 
     #[test]
-    fn stats_count_completed_and_cancelled_jobs() {
+    fn stats_count_completed_cancelled_and_connections() {
         let server = test_server(WireConfig {
             server: ServerConfig {
                 workers: 1,
@@ -962,13 +610,15 @@ mod tests {
         }
         assert_eq!(stats.jobs_completed, 1);
         assert_eq!(stats.jobs_cancelled, 1);
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.frontend, FrontendKind::Threads);
         assert_eq!(server.stats().jobs_completed, 1);
         assert_eq!(server.reports_streamed(), 1);
         server.shutdown();
     }
 
     #[test]
-    fn shutdown_rejects_new_submits_but_drains_inflight_reports() {
+    fn shutdown_rejects_new_submits_with_draining_but_drains_inflight_reports() {
         let server = test_server(WireConfig {
             server: ServerConfig {
                 workers: 1,
@@ -977,21 +627,26 @@ mod tests {
             },
             ..WireConfig::default()
         });
-        let g = generators::kings_graph(5, 5);
+        // A job long enough (~seconds on one worker) that the drain
+        // window below is wide open when the late submit lands.
+        let g = generators::kings_graph(10, 10);
         let mut c = RawClient::connect(server.local_addr());
-        let Response::Submitted { job_id } = c.submit("t", &g, big_job(3)) else {
+        let Response::Submitted { job_id } = c.submit("t", &g, small_job(32, 3)) else {
             panic!("submit");
         };
         // Drain in a background thread while the client is still
-        // attached; the in-flight job's report must arrive first.
+        // attached; a late submit on this live connection must get the
+        // typed Draining rejection (not an admission, not a hard
+        // disconnect), and the in-flight job's report must still arrive.
         let drainer = thread::spawn(move || server.shutdown());
-        let report = loop {
-            match c.recv() {
-                Response::Report(r) => break r,
-                Response::Error { .. } => continue,
-                other => panic!("unexpected frame {other:?}"),
+        thread::sleep(Duration::from_millis(100));
+        match c.submit("t", &g, small_job(2, 99)) {
+            Response::Error { code, .. } => {
+                assert_eq!(code, ErrorCode::Draining, "drain rejections are typed")
             }
-        };
+            other => panic!("expected Draining rejection, got {other:?}"),
+        }
+        let report = recv_report(&mut c);
         assert_eq!(report.job_id, job_id);
         drainer.join().expect("drain completes");
     }

@@ -39,6 +39,9 @@ stage_lint() {
     # The ziggurat sampler is cfg'd out of default builds; lint that
     # code too, with warnings denied just like the default surface.
     cargo clippy -p msropm-ode --all-targets --features ziggurat -- -D warnings
+    # The vendored epoll/poll shim carries the workspace's only unsafe
+    # (FFI) code; hold it to the same deny-warnings bar explicitly.
+    cargo clippy -p polling --all-targets -- -D warnings
 }
 
 stage_test() {
@@ -59,13 +62,25 @@ stage_smoke() {
 
     # Wire smoke: a real TCP server on an ephemeral loopback port, then
     # submit/status/cancel through the solve_remote client. The cancelled
-    # job must never produce a report (asserted inside `smoke`).
+    # job must never produce a report (asserted inside `smoke`). Runs
+    # once per front end; the reactor pass additionally holds 512
+    # completely idle connections open through the whole scenario —
+    # served by the event loop with no per-connection threads.
     cargo build --release -p msropm-server -p msropm-client \
         --bin msropm_serve --bin solve_remote
+    run_wire_smoke "threads" ""
+    run_wire_smoke "reactor" "--idle 512"
+}
+
+# Boots msropm_serve with the given --frontend on an ephemeral port and
+# runs `solve_remote smoke` (plus any extra smoke flags) against it.
+run_wire_smoke() {
+    local frontend=$1 extra=$2
     local port_file addr
     port_file=$(mktemp -t msropm_wire_smoke.XXXXXX)
     ./target/release/msropm_serve \
-        --addr 127.0.0.1:0 --workers 1 --port-file "$port_file" &
+        --addr 127.0.0.1:0 --frontend "$frontend" --workers 1 \
+        --max-conns 600 --port-file "$port_file" &
     wire_server_pid=$!   # global: finish() reaps it on any exit path
     for _ in $(seq 1 100); do
         [[ -s "$port_file" ]] && break
@@ -74,9 +89,10 @@ stage_smoke() {
     done
     [[ -s "$port_file" ]] || { echo "msropm_serve never published its port" >&2; return 1; }
     addr=$(<"$port_file")
-    echo "    wire smoke against $addr"
-    timeout --kill-after=10 120 \
-        ./target/release/solve_remote smoke --addr "$addr"
+    echo "    wire smoke against $addr ($frontend frontend${extra:+, $extra})"
+    # shellcheck disable=SC2086  # $extra is intentionally word-split
+    timeout --kill-after=10 180 \
+        ./target/release/solve_remote smoke --addr "$addr" $extra
     kill "$wire_server_pid" 2>/dev/null || true
     wait "$wire_server_pid" 2>/dev/null || true
     wire_server_pid=""

@@ -5,7 +5,9 @@
 #   BENCH_phase_step.json   <- bench_phase_step (kernel/batch ns/op)
 #   BENCH_serve.json        <- serve_bench (in-process rows), then
 #                              wire_bench (merges its wire_* socket rows
-#                              into the same file)
+#                              into the same file: threaded rows, the
+#                              wire_reactor_*/wire_mux_* front-end rows,
+#                              and the idle-connection-scaling row)
 #
 # Run this when a PR intentionally changes performance (or the gate in
 # crates/bench/src/baseline.rs reports a stale baseline) and commit the

@@ -1,0 +1,836 @@
+//! Offline stand-in for the `polling` crate (API subset).
+//!
+//! This workspace builds in a network-isolated container, so the real
+//! `polling` crate cannot be fetched from crates.io. This shim provides
+//! the small surface the reactor front end consumes — register file
+//! descriptors with a readiness *interest*, block in [`Poller::wait`]
+//! for events, and wake the waiter from another thread with
+//! [`Poller::notify`] — over two backends:
+//!
+//! - **epoll** (Linux): `epoll_create1`/`epoll_ctl`/`epoll_wait` with an
+//!   `eventfd` notifier — O(ready) wakeups, the production path;
+//! - **poll(2)** fallback: a registration table replayed into a `pollfd`
+//!   array per wait, with a pipe notifier — O(registered) per call, kept
+//!   as the portable/reference backend and exercised by tests so both
+//!   stay correct.
+//!
+//! The shim links against the C library symbols the Rust standard
+//! library already pulls in (`epoll_*`, `poll`, `eventfd`, `pipe`,
+//! `fcntl`, `read`, `write`); there is no `libc` crate dependency. All
+//! fds are owned via [`std::os::fd::OwnedFd`], so dropping a
+//! [`Poller`] releases every kernel resource it created.
+//!
+//! # Semantics
+//!
+//! Readiness is **level-triggered**: an fd with unread input (or writable
+//! buffer space, when write interest is registered) reports ready on
+//! every wait until the condition clears. Error/hang-up conditions are
+//! folded into the reported event as both `readable` and `writable`, so
+//! the caller's next I/O attempt observes the actual error. `notify` is
+//! thread-safe, coalescing, and never blocks; a notified wait returns
+//! early (possibly with zero events) after draining the wakeup.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// One readiness event (or an *interest* when passed to
+/// [`Poller::add`]/[`Poller::modify`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier reported back by [`Poller::wait`].
+    pub key: usize,
+    /// Interested in / ready for reading.
+    pub readable: bool,
+    /// Interested in / ready for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Read-only interest.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Write-only interest.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Read + write interest.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest (the fd stays registered but reports nothing).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// Which kernel readiness API backs a [`Poller`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Linux `epoll` (default on Linux).
+    Epoll,
+    /// Portable `poll(2)` (fallback, and selectable for tests).
+    Poll,
+}
+
+impl BackendKind {
+    /// Short lowercase name (`"epoll"` / `"poll"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Epoll => "epoll",
+            BackendKind::Poll => "poll",
+        }
+    }
+}
+
+/// A readiness monitor over a set of registered file descriptors; see
+/// the crate docs.
+pub struct Poller {
+    inner: imp::Inner,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("backend", &self.backend())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Poller {
+    /// Creates a poller on the best backend for this platform (epoll on
+    /// Linux, poll(2) elsewhere).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel resource-creation failures.
+    pub fn new() -> io::Result<Poller> {
+        Poller::with_backend(imp::BEST)
+    }
+
+    /// Creates a poller on an explicit backend (tests exercise both on
+    /// Linux).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel resource-creation failures, or `Unsupported`
+    /// when the backend does not exist on this platform.
+    pub fn with_backend(kind: BackendKind) -> io::Result<Poller> {
+        Ok(Poller {
+            inner: imp::Inner::new(kind)?,
+        })
+    }
+
+    /// The backend this poller runs on.
+    pub fn backend(&self) -> BackendKind {
+        self.inner.backend()
+    }
+
+    /// Registers `fd` with an initial `interest`. The fd must stay open
+    /// until [`Poller::delete`]; the caller keeps ownership.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (e.g. the fd is already registered).
+    pub fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+        self.inner.add(fd, interest)
+    }
+
+    /// Replaces the interest of a registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (e.g. the fd was never registered).
+    pub fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+        self.inner.modify(fd, interest)
+    }
+
+    /// Unregisters `fd`. Call before closing the descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.inner.delete(fd)
+    }
+
+    /// Blocks until at least one registered fd is ready, `timeout`
+    /// elapses (`None` = forever), or another thread calls
+    /// [`Poller::notify`]. Ready events are appended to `events`
+    /// (cleared first); returns how many were delivered. A wakeup by
+    /// `notify` (or a signal) may deliver zero events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.inner.wait(events, timeout)
+    }
+
+    /// Wakes a concurrent [`Poller::wait`] from any thread. Coalescing
+    /// and non-blocking; waking with no waiter makes the next wait
+    /// return immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (never `WouldBlock` — a full notifier
+    /// already guarantees a wakeup and is treated as success).
+    pub fn notify(&self) -> io::Result<()> {
+        self.inner.notify()
+    }
+}
+
+/// Converts an optional timeout to the millisecond argument of
+/// `poll`/`epoll_wait`: `None` → -1 (block forever), sub-millisecond
+/// non-zero durations round up to 1ms so short timeouts never spin.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            if d.is_zero() {
+                0
+            } else {
+                let ms = d.as_millis().max(1);
+                i32::try_from(ms).unwrap_or(i32::MAX)
+            }
+        }
+    }
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+mod imp {
+    use super::{timeout_ms, BackendKind, Event};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    pub const BEST: BackendKind = BackendKind::Epoll;
+
+    mod sys {
+        use std::os::raw::{c_int, c_uint, c_ulong, c_void};
+
+        // The epoll_event layout is packed on x86-64 (the kernel ABI),
+        // naturally aligned elsewhere.
+        #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+        #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        pub struct PollFd {
+            pub fd: c_int,
+            pub events: i16,
+            pub revents: i16,
+        }
+
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLL_CTL_MOD: c_int = 3;
+        pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+        pub const EFD_CLOEXEC: c_int = 0o2000000;
+        pub const EFD_NONBLOCK: c_int = 0o0004000;
+
+        pub const POLLIN: i16 = 0x001;
+        pub const POLLOUT: i16 = 0x004;
+        pub const POLLERR: i16 = 0x008;
+        pub const POLLHUP: i16 = 0x010;
+        pub const POLLNVAL: i16 = 0x020;
+
+        pub const F_GETFL: c_int = 3;
+        pub const F_SETFL: c_int = 4;
+        pub const F_SETFD: c_int = 2;
+        pub const FD_CLOEXEC: c_int = 1;
+        pub const O_NONBLOCK: c_int = 0o0004000;
+
+        // Symbols provided by the C library the Rust standard library
+        // already links (glibc/musl); no `libc` crate needed.
+        extern "C" {
+            pub fn epoll_create1(flags: c_int) -> c_int;
+            pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+            pub fn epoll_wait(
+                epfd: c_int,
+                events: *mut EpollEvent,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+            pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+            pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+            pub fn pipe(fds: *mut c_int) -> c_int;
+            pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+            pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+            pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        }
+    }
+
+    /// Checks a -1-on-error C return value.
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// Drains a non-blocking fd (the notifier) until it would block.
+    fn drain(fd: RawFd) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { sys::read(fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// Writes one wakeup token, treating a full notifier as success (a
+    /// wakeup is already pending).
+    fn poke(fd: RawFd, token: &[u8]) -> io::Result<()> {
+        let n = unsafe { sys::write(fd, token.as_ptr().cast(), token.len()) };
+        if n >= 0 {
+            return Ok(());
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::WouldBlock {
+            Ok(())
+        } else {
+            Err(err)
+        }
+    }
+
+    pub enum Inner {
+        Epoll(Epoll),
+        Poll(Poll),
+    }
+
+    impl Inner {
+        pub fn new(kind: BackendKind) -> io::Result<Inner> {
+            match kind {
+                BackendKind::Epoll => Epoll::new().map(Inner::Epoll),
+                BackendKind::Poll => Poll::new().map(Inner::Poll),
+            }
+        }
+
+        pub fn backend(&self) -> BackendKind {
+            match self {
+                Inner::Epoll(_) => BackendKind::Epoll,
+                Inner::Poll(_) => BackendKind::Poll,
+            }
+        }
+
+        pub fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            match self {
+                Inner::Epoll(p) => p.ctl(sys::EPOLL_CTL_ADD, fd, interest),
+                Inner::Poll(p) => p.add(fd, interest),
+            }
+        }
+
+        pub fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            match self {
+                Inner::Epoll(p) => p.ctl(sys::EPOLL_CTL_MOD, fd, interest),
+                Inner::Poll(p) => p.modify(fd, interest),
+            }
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            match self {
+                Inner::Epoll(p) => p.ctl(sys::EPOLL_CTL_DEL, fd, Event::none(0)),
+                Inner::Poll(p) => p.delete(fd),
+            }
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            match self {
+                Inner::Epoll(p) => p.wait(events, timeout),
+                Inner::Poll(p) => p.wait(events, timeout),
+            }
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            match self {
+                Inner::Epoll(p) => poke(p.event_fd.as_raw_fd(), &1u64.to_ne_bytes()),
+                Inner::Poll(p) => poke(p.pipe_write.as_raw_fd(), &[1u8]),
+            }
+        }
+    }
+
+    /// Key the notifier travels under inside the kernel event payloads;
+    /// never surfaced to callers.
+    const NOTIFY_TOKEN: u64 = u64::MAX;
+
+    pub struct Epoll {
+        epfd: OwnedFd,
+        event_fd: OwnedFd,
+    }
+
+    impl Epoll {
+        fn new() -> io::Result<Epoll> {
+            let epfd = cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+            // Owned immediately so an eventfd failure still closes it.
+            let epfd = unsafe { OwnedFd::from_raw_fd(epfd) };
+            let efd = cvt(unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) })?;
+            let event_fd = unsafe { OwnedFd::from_raw_fd(efd) };
+            let mut ev = sys::EpollEvent {
+                events: sys::EPOLLIN,
+                data: NOTIFY_TOKEN,
+            };
+            cvt(unsafe {
+                sys::epoll_ctl(
+                    epfd.as_raw_fd(),
+                    sys::EPOLL_CTL_ADD,
+                    event_fd.as_raw_fd(),
+                    &mut ev,
+                )
+            })?;
+            Ok(Epoll { epfd, event_fd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut events = 0u32;
+            if interest.readable {
+                events |= sys::EPOLLIN;
+            }
+            if interest.writable {
+                events |= sys::EPOLLOUT;
+            }
+            let mut ev = sys::EpollEvent {
+                events,
+                data: interest.key as u64,
+            };
+            cvt(unsafe { sys::epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+            const CAP: usize = 256;
+            let mut buf = [sys::EpollEvent { events: 0, data: 0 }; CAP];
+            let n = unsafe {
+                sys::epoll_wait(
+                    self.epfd.as_raw_fd(),
+                    buf.as_mut_ptr(),
+                    CAP as i32,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                // A signal interrupting the wait is a spurious (empty)
+                // wakeup, not a failure.
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            for ev in buf.iter().take(n as usize) {
+                // Copy out of the (possibly packed) kernel struct before
+                // use; references into it would be unaligned on x86-64.
+                let data = ev.data;
+                let bits = ev.events;
+                if data == NOTIFY_TOKEN {
+                    drain(self.event_fd.as_raw_fd());
+                    continue;
+                }
+                // Fold error/hang-up into both directions so the
+                // caller's next I/O attempt observes the condition.
+                let broken = bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0;
+                events.push(Event {
+                    key: data as usize,
+                    readable: bits & sys::EPOLLIN != 0 || broken,
+                    writable: bits & sys::EPOLLOUT != 0 || broken,
+                });
+            }
+            Ok(events.len())
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct Registration {
+        key: usize,
+        readable: bool,
+        writable: bool,
+    }
+
+    pub struct Poll {
+        registry: Mutex<HashMap<RawFd, Registration>>,
+        pipe_read: OwnedFd,
+        pipe_write: OwnedFd,
+    }
+
+    impl Poll {
+        fn new() -> io::Result<Poll> {
+            let mut fds = [0i32; 2];
+            cvt(unsafe { sys::pipe(fds.as_mut_ptr()) })?;
+            let pipe_read = unsafe { OwnedFd::from_raw_fd(fds[0]) };
+            let pipe_write = unsafe { OwnedFd::from_raw_fd(fds[1]) };
+            for fd in [&pipe_read, &pipe_write] {
+                let fd = fd.as_raw_fd();
+                let flags = cvt(unsafe { sys::fcntl(fd, sys::F_GETFL, 0) })?;
+                cvt(unsafe { sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) })?;
+                cvt(unsafe { sys::fcntl(fd, sys::F_SETFD, sys::FD_CLOEXEC) })?;
+            }
+            Ok(Poll {
+                registry: Mutex::new(HashMap::new()),
+                pipe_read,
+                pipe_write,
+            })
+        }
+
+        fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut reg = self.registry.lock().expect("poll registry");
+            if reg.contains_key(&fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            reg.insert(
+                fd,
+                Registration {
+                    key: interest.key,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                },
+            );
+            Ok(())
+        }
+
+        fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut reg = self.registry.lock().expect("poll registry");
+            match reg.get_mut(&fd) {
+                Some(r) => {
+                    *r = Registration {
+                        key: interest.key,
+                        readable: interest.readable,
+                        writable: interest.writable,
+                    };
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut reg = self.registry.lock().expect("poll registry");
+            match reg.remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+            // Snapshot the registrations into the pollfd array; slot 0
+            // is always the notifier pipe.
+            let mut fds = vec![sys::PollFd {
+                fd: self.pipe_read.as_raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            }];
+            let mut keys = vec![Registration {
+                key: 0,
+                readable: false,
+                writable: false,
+            }];
+            {
+                let reg = self.registry.lock().expect("poll registry");
+                for (&fd, r) in reg.iter() {
+                    let mut ev = 0i16;
+                    if r.readable {
+                        ev |= sys::POLLIN;
+                    }
+                    if r.writable {
+                        ev |= sys::POLLOUT;
+                    }
+                    fds.push(sys::PollFd {
+                        fd,
+                        events: ev,
+                        revents: 0,
+                    });
+                    keys.push(*r);
+                }
+            }
+            let n = unsafe {
+                sys::poll(
+                    fds.as_mut_ptr(),
+                    fds.len() as std::os::raw::c_ulong,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            if fds[0].revents != 0 {
+                drain(self.pipe_read.as_raw_fd());
+            }
+            for (pfd, reg) in fds.iter().zip(keys.iter()).skip(1) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                let broken = pfd.revents & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0;
+                events.push(Event {
+                    key: reg.key,
+                    readable: pfd.revents & sys::POLLIN != 0 || broken,
+                    writable: pfd.revents & sys::POLLOUT != 0 || broken,
+                });
+            }
+            Ok(events.len())
+        }
+    }
+}
+
+#[cfg(not(any(target_os = "linux", target_os = "android")))]
+mod imp {
+    //! Stub for platforms without a vendored backend: every operation
+    //! reports `Unsupported`. The workspace only targets Linux
+    //! containers; this keeps the crate compiling elsewhere.
+    use super::{BackendKind, Event};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    pub const BEST: BackendKind = BackendKind::Poll;
+
+    pub struct Inner {
+        kind: BackendKind,
+    }
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "polling shim: no backend on this platform",
+        ))
+    }
+
+    impl Inner {
+        pub fn new(kind: BackendKind) -> io::Result<Inner> {
+            let _ = kind;
+            unsupported()
+        }
+
+        pub fn backend(&self) -> BackendKind {
+            self.kind
+        }
+
+        pub fn add(&self, _fd: RawFd, _interest: Event) -> io::Result<()> {
+            unsupported()
+        }
+
+        pub fn modify(&self, _fd: RawFd, _interest: Event) -> io::Result<()> {
+            unsupported()
+        }
+
+        pub fn delete(&self, _fd: RawFd) -> io::Result<()> {
+            unsupported()
+        }
+
+        pub fn wait(
+            &self,
+            _events: &mut Vec<Event>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            unsupported()
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            unsupported()
+        }
+    }
+}
+
+#[cfg(all(test, any(target_os = "linux", target_os = "android")))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Instant;
+
+    fn both_backends() -> Vec<Poller> {
+        vec![
+            Poller::with_backend(BackendKind::Epoll).expect("epoll backend"),
+            Poller::with_backend(BackendKind::Poll).expect("poll backend"),
+        ]
+    }
+
+    #[test]
+    fn default_backend_is_epoll_on_linux() {
+        assert_eq!(Poller::new().unwrap().backend(), BackendKind::Epoll);
+    }
+
+    #[test]
+    fn timeout_expires_with_no_events() {
+        for poller in both_backends() {
+            let mut events = Vec::new();
+            let t = Instant::now();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(30)))
+                .unwrap();
+            assert_eq!(n, 0, "{:?}: no fds registered", poller.backend());
+            assert!(t.elapsed() >= Duration::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        for poller in both_backends() {
+            let poller = Arc::new(poller);
+            let p2 = Arc::clone(&poller);
+            let waker = thread::spawn(move || {
+                thread::sleep(Duration::from_millis(30));
+                p2.notify().unwrap();
+            });
+            let mut events = Vec::new();
+            let t = Instant::now();
+            // Without the notify this would block for 10 seconds.
+            poller
+                .wait(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            assert!(
+                t.elapsed() < Duration::from_secs(5),
+                "{:?}: notify must interrupt the wait",
+                poller.backend()
+            );
+            waker.join().unwrap();
+            // Coalesced notifies: many pokes, one (or few) wakeups, and
+            // a drained notifier does not spin subsequent waits.
+            for _ in 0..100 {
+                poller.notify().unwrap();
+            }
+            poller
+                .wait(&mut events, Some(Duration::from_millis(5)))
+                .unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert_eq!(n, 0, "{:?}: notifier must be drained", poller.backend());
+        }
+    }
+
+    #[test]
+    fn readable_and_writable_events_on_a_socket() {
+        for poller in both_backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let mut peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (sock, _) = listener.accept().unwrap();
+            sock.set_nonblocking(true).unwrap();
+
+            // A fresh socket with write interest: writable, not readable.
+            poller.add(sock.as_raw_fd(), Event::all(7)).unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{:?}", poller.backend());
+            assert_eq!(events[0].key, 7);
+            assert!(events[0].writable);
+            assert!(!events[0].readable);
+
+            // Level-triggered readability once the peer writes.
+            peer.write_all(b"ping").unwrap();
+            for _ in 0..2 {
+                poller
+                    .wait(&mut events, Some(Duration::from_secs(2)))
+                    .unwrap();
+                assert!(events.iter().any(|e| e.key == 7 && e.readable));
+            }
+
+            // Interest can be narrowed: read-only stops writable spam.
+            poller.modify(sock.as_raw_fd(), Event::readable(7)).unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert!(events.iter().all(|e| !e.writable));
+
+            // Peer close reports readable (EOF) on the next wait.
+            let mut buf = [0u8; 16];
+            let _ = (&sock).read(&mut buf);
+            drop(peer);
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert!(events.iter().any(|e| e.key == 7 && e.readable));
+
+            poller.delete(sock.as_raw_fd()).unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert_eq!(n, 0, "{:?}: deleted fd reports nothing", poller.backend());
+        }
+    }
+
+    #[test]
+    fn none_interest_registers_silently() {
+        for poller in both_backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let _peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (sock, _) = listener.accept().unwrap();
+            poller.add(sock.as_raw_fd(), Event::none(3)).unwrap();
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(30)))
+                .unwrap();
+            assert_eq!(n, 0, "{:?}", poller.backend());
+            poller.modify(sock.as_raw_fd(), Event::writable(3)).unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert!(events.iter().any(|e| e.key == 3 && e.writable));
+        }
+    }
+
+    #[test]
+    fn double_add_and_unknown_fd_are_errors() {
+        for poller in both_backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let _peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (sock, _) = listener.accept().unwrap();
+            poller.add(sock.as_raw_fd(), Event::readable(1)).unwrap();
+            assert!(poller.add(sock.as_raw_fd(), Event::readable(1)).is_err());
+            poller.delete(sock.as_raw_fd()).unwrap();
+            assert!(poller.delete(sock.as_raw_fd()).is_err());
+            assert!(poller.modify(sock.as_raw_fd(), Event::readable(1)).is_err());
+        }
+    }
+}
