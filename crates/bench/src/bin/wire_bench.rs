@@ -304,6 +304,33 @@ fn non_wire_row_texts(doc: &str) -> Vec<String> {
     kept
 }
 
+/// Asserts the fault-injection points are free when disarmed: the bench
+/// refuses to record numbers with faults armed, and the per-call cost
+/// of the disarmed checks must stay in plain-load territory so they can
+/// live on the serving hot paths.
+fn assert_faults_disarmed() {
+    use msropm_server::faultinject;
+    assert!(
+        faultinject::quiescent(),
+        "wire_bench: fault injection is armed — numbers would be meaningless"
+    );
+    const ITERS: u32 = 1_000_000;
+    let t = Instant::now();
+    for i in 0..ITERS {
+        faultinject::maybe_delay_completion();
+        std::hint::black_box(faultinject::short_write_cap(i as usize + 1));
+        std::hint::black_box(faultinject::should_sever_write());
+    }
+    let ns_per_iter = t.elapsed().as_nanos() as f64 / f64::from(ITERS);
+    // Three relaxed loads per iteration; 250ns leaves two orders of
+    // magnitude of headroom over any real machine so this never flakes,
+    // while still catching a fault point that grew a lock or a syscall.
+    assert!(
+        ns_per_iter < 250.0,
+        "wire_bench: disarmed fault checks cost {ns_per_iter:.1} ns/iter — no longer a no-op"
+    );
+}
+
 /// Encode→decode round-trip cost of representative frames, ns/op.
 fn codec_ns() -> (f64, f64) {
     let graph = generators::kings_graph(7, 7);
@@ -311,6 +338,7 @@ fn codec_ns() -> (f64, f64) {
         tenant: "bench".into(),
         graph: graph.clone(),
         job: BatchJob::uniform(fast_config(), 8, 1),
+        deadline_ms: 0,
     };
     let report = Response::Report(WireReport {
         job_id: 1,
@@ -380,6 +408,7 @@ fn main() {
             }
         }
     }
+    assert_faults_disarmed();
     let out_path = out_path.unwrap_or_else(|| baseline::default_out_path("BENCH_serve.json"));
     let (hot_jobs, mixed_jobs) = if quick { (10, 12) } else { (32, 40) };
 

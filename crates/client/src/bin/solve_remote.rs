@@ -1,8 +1,9 @@
 //! Remote-solve CLI over the MSROPM wire protocol.
 //!
 //! ```text
-//! solve_remote --addr HOST:PORT [--tenant NAME] submit --graph SPEC
-//!              [--replicas N] [--seed S] [--sweep] [--no-wait]
+//! solve_remote --addr HOST:PORT [--tenant NAME] [--retries N] [--retry-base-ms MS]
+//!              submit --graph SPEC [--replicas N] [--seed S] [--sweep]
+//!              [--deadline-ms MS] [--no-wait]
 //! solve_remote --addr HOST:PORT [--tenant NAME] status JOB_ID
 //! solve_remote --addr HOST:PORT [--tenant NAME] cancel JOB_ID
 //! solve_remote --addr HOST:PORT [--tenant NAME] stats
@@ -20,7 +21,7 @@
 //! [`msropm_server::wire::WireServer`] on an ephemeral loopback port
 //! first — the protocol still travels through a real TCP socket.
 
-use msropm_client::Client;
+use msropm_client::{Client, RetryPolicy};
 use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
 use msropm_graph::{generators, graph_hash, io as graph_io, Graph};
 use msropm_server::proto::verify_lane;
@@ -30,10 +31,12 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: solve_remote --addr HOST:PORT [--tenant NAME] <submit|status|cancel|stats> ...\n\
+        "usage: solve_remote --addr HOST:PORT [--tenant NAME] [--retries N] [--retry-base-ms MS] \
+         <submit|status|cancel|stats> ...\n\
          \x20      solve_remote smoke [--addr HOST:PORT] [--idle N]\n\
-         submit: --graph SPEC [--replicas N] [--seed S] [--sweep] [--no-wait]\n\
+         submit: --graph SPEC [--replicas N] [--seed S] [--sweep] [--deadline-ms MS] [--no-wait]\n\
          smoke:  --idle N holds N extra idle connections open through the scenario\n\
+         --retries N reconnects with exponential backoff on refused/reset connections\n\
          graph SPECs: kings:RxC | grid:RxC | cycle:N | path/to/file.col"
     );
     std::process::exit(2);
@@ -100,12 +103,28 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr: Option<String> = None;
     let mut tenant = "cli".to_string();
+    let mut retries: Option<u32> = None;
+    let mut retry_base_ms: Option<u64> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => addr = Some(it.next().unwrap_or_else(|| usage())),
             "--tenant" => tenant = it.next().unwrap_or_else(|| usage()),
+            "--retries" => {
+                retries = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--retry-base-ms" => {
+                retry_base_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             _ => rest.push(a),
         }
     }
@@ -130,8 +149,22 @@ fn main() {
         return;
     }
     let Some(addr) = addr else { usage() };
-    let mut client =
-        Client::connect(&addr, &tenant).unwrap_or_else(|e| fail(format!("connect {addr}: {e}")));
+    // Either retry flag opts into reconnect-with-backoff; the other
+    // takes its default from RetryPolicy.
+    let mut client = if retries.is_some() || retry_base_ms.is_some() {
+        let defaults = RetryPolicy::default();
+        let policy = RetryPolicy {
+            max_retries: retries.unwrap_or(defaults.max_retries),
+            base_delay: retry_base_ms
+                .map(Duration::from_millis)
+                .unwrap_or(defaults.base_delay),
+            ..defaults
+        };
+        Client::connect_with_retry(addr.as_str(), &tenant, policy)
+            .unwrap_or_else(|e| fail(format!("connect {addr} (after retries): {e}")))
+    } else {
+        Client::connect(&addr, &tenant).unwrap_or_else(|e| fail(format!("connect {addr}: {e}")))
+    };
     match verb.as_str() {
         "submit" => {
             let mut graph_spec: Option<String> = None;
@@ -139,10 +172,17 @@ fn main() {
             let mut seed = 1u64;
             let mut sweep = false;
             let mut wait = true;
+            let mut deadline_ms = 0u64;
             let mut it = rest.iter().skip(1);
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--graph" => graph_spec = it.next().cloned(),
+                    "--deadline-ms" => {
+                        deadline_ms = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
                     "--replicas" => {
                         replicas = it
                             .next()
@@ -172,9 +212,16 @@ fn main() {
                 BatchJob::uniform(config, replicas, seed)
             };
             let job_id = client
-                .submit(&graph, &job)
+                .submit_deadline(&graph, &job, deadline_ms)
                 .unwrap_or_else(|e| fail(format!("submit: {e}")));
-            println!("submitted job {job_id} ({} lanes)", job.lanes.len());
+            if deadline_ms > 0 {
+                println!(
+                    "submitted job {job_id} ({} lanes, deadline {deadline_ms} ms)",
+                    job.lanes.len()
+                );
+            } else {
+                println!("submitted job {job_id} ({} lanes)", job.lanes.len());
+            }
             if wait {
                 let report = client
                     .wait_report(job_id)
@@ -200,11 +247,14 @@ fn main() {
                 .stats()
                 .unwrap_or_else(|e| fail(format!("stats: {e}")));
             println!(
-                "frontend {} | connections {} | completed {} | cancelled {} | backlog {} | cache {}/{} hits",
+                "frontend {} | connections {} | completed {} | cancelled {} | failed {} | \
+                 worker restarts {} | backlog {} | cache {}/{} hits",
                 s.frontend,
                 s.connections,
                 s.jobs_completed,
                 s.jobs_cancelled,
+                s.jobs_failed,
+                s.worker_restarts,
                 s.backlog,
                 s.cache_hits,
                 s.cache_hits + s.cache_misses

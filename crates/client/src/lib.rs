@@ -38,11 +38,11 @@ use msropm_core::BatchJob;
 use msropm_graph::Graph;
 use msropm_server::proto::{self, ErrorCode, ProtoError, Request, Response, WireReport, WireStats};
 use msropm_server::JobState;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::{self, BufReader, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -94,6 +94,82 @@ impl From<ProtoError> for ClientError {
     }
 }
 
+/// `true` when retrying the same operation against the same (or a
+/// restarted) server can plausibly succeed: transport-level connection
+/// failures and the typed [`ErrorCode::Busy`] rejection. Quota errors,
+/// deadline expiries, and protocol desyncs are **not** retryable as-is
+/// — the same request would fail the same way.
+pub fn is_retryable(err: &ClientError) -> bool {
+    match err {
+        ClientError::Io(e) => matches!(
+            e.kind(),
+            io::ErrorKind::ConnectionRefused
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::TimedOut
+                | io::ErrorKind::UnexpectedEof
+                | io::ErrorKind::NotConnected
+                | io::ErrorKind::AddrNotAvailable
+        ),
+        ClientError::Server { code, .. } => *code == ErrorCode::Busy,
+        _ => false,
+    }
+}
+
+/// Reconnect policy for [`Client::connect_with_retry`]: exponential
+/// backoff (`base_delay * 2^attempt`, capped at `max_delay`) with
+/// uniform jitter in the upper half of each delay, so a fleet of
+/// clients retrying against a restarting server does not stampede it
+/// in lockstep.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 means a single try).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// 5 retries, 50 ms base, 2 s ceiling — under a second and a half
+    /// of total backoff, enough to ride out a supervisor respawn or a
+    /// momentary connection-cap spike.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry `attempt` (0-based).
+    fn delay_for(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+        let capped = exp.min(self.max_delay).max(Duration::from_millis(1));
+        // Uniform in [capped/2, capped]: full-jitter halves thundering
+        // herds while keeping the exponential envelope intact.
+        let nanos = capped.as_nanos() as u64;
+        let jittered = nanos / 2 + splitmix64(rng) % (nanos / 2 + 1);
+        Duration::from_nanos(jittered)
+    }
+}
+
+/// SplitMix64 step — a tiny, dependency-free PRNG for retry jitter
+/// (crypto-strength randomness is pointless here).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// One tenant's blocking connection to a wire server; see the crate
 /// docs.
 pub struct Client {
@@ -101,6 +177,10 @@ pub struct Client {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
     stash: VecDeque<WireReport>,
+    /// Typed per-job failure frames (`JobFailed`) received while
+    /// waiting on other replies, keyed by job id; redeemed as
+    /// [`ClientError::Server`] by the report-waiting verbs.
+    failed: HashMap<u64, (ErrorCode, String)>,
     /// Submits written by [`Client::submit_nowait`] whose replies have
     /// not yet been read off the socket.
     pending_submits: usize,
@@ -128,9 +208,50 @@ impl Client {
             stream,
             reader,
             stash: VecDeque::new(),
+            failed: HashMap::new(),
             pending_submits: 0,
             collected_submits: VecDeque::new(),
         })
+    }
+
+    /// [`Client::connect`] with reconnect-on-failure semantics: on a
+    /// retryable error ([`is_retryable`] — connection failures and the
+    /// typed `Busy` rejection) the connect is retried up to
+    /// `policy.max_retries` times under jittered exponential backoff.
+    /// Each attempt is probed with a `stats` round-trip, so a server
+    /// that accepts the socket and then closes it (connection cap, or
+    /// still booting) is caught here rather than by the first real
+    /// verb.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error once retries are exhausted, or the
+    /// first non-retryable error immediately.
+    pub fn connect_with_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        tenant: &str,
+        policy: RetryPolicy,
+    ) -> Result<Client, ClientError> {
+        let mut rng = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED)
+            | 1;
+        let mut attempt = 0u32;
+        loop {
+            let probed = Client::connect(addr.clone(), tenant).and_then(|mut client| {
+                client.stats()?;
+                Ok(client)
+            });
+            match probed {
+                Ok(client) => return Ok(client),
+                Err(e) if attempt < policy.max_retries && is_retryable(&e) => {
+                    std::thread::sleep(policy.delay_for(attempt, &mut rng));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// The tenant id this connection submits under.
@@ -155,14 +276,31 @@ impl Client {
         Ok(proto::decode_response(&payload)?)
     }
 
-    /// Reads frames until a non-report arrives, stashing reports.
+    /// Reads frames until a verb reply arrives, stashing the job
+    /// terminal frames (reports and typed per-job failures) that the
+    /// server streams asynchronously in between.
     fn recv_reply(&mut self) -> Result<Response, ClientError> {
         loop {
             match self.recv()? {
                 Response::Report(r) => self.stash.push_back(r),
+                Response::JobFailed {
+                    job_id,
+                    code,
+                    message,
+                } => {
+                    self.failed.insert(job_id, (code, message));
+                }
                 other => return Ok(other),
             }
         }
+    }
+
+    /// Redeems a stashed `JobFailed` frame for `job_id` as the typed
+    /// client error.
+    fn take_failed(&mut self, job_id: u64) -> Option<ClientError> {
+        self.failed
+            .remove(&job_id)
+            .map(|(code, message)| ClientError::Server { code, message })
     }
 
     /// Reads the replies of every outstanding [`Client::submit_nowait`]
@@ -195,10 +333,30 @@ impl Client {
     /// [`ClientError::Server`] carries quota/shutdown rejections
     /// (`QuotaInFlight`, `QuotaLanes`, `ShuttingDown`, …).
     pub fn submit(&mut self, graph: &Graph, job: &BatchJob) -> Result<u64, ClientError> {
+        self.submit_deadline(graph, job, 0)
+    }
+
+    /// [`Client::submit`] with a server-side deadline: the job must
+    /// produce its report within `deadline_ms` of admission (queue wait
+    /// included) or the server abandons it at the next stage boundary
+    /// and streams a typed `DeadlineExceeded` failure — surfaced by
+    /// [`Client::wait_report`] as [`ClientError::Server`]. `0` means no
+    /// deadline.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::submit`].
+    pub fn submit_deadline(
+        &mut self,
+        graph: &Graph,
+        job: &BatchJob,
+        deadline_ms: u64,
+    ) -> Result<u64, ClientError> {
         self.send(&Request::Submit {
             tenant: self.tenant.clone(),
             graph: graph.clone(),
             job: job.clone(),
+            deadline_ms,
         })?;
         self.drain_pending_submits()?;
         match self.recv_reply()? {
@@ -223,10 +381,26 @@ impl Client {
     /// Transport failures only; quota/drain rejections surface from
     /// [`Client::recv_submitted`].
     pub fn submit_nowait(&mut self, graph: &Graph, job: &BatchJob) -> Result<(), ClientError> {
+        self.submit_nowait_deadline(graph, job, 0)
+    }
+
+    /// [`Client::submit_nowait`] with a server-side deadline (see
+    /// [`Client::submit_deadline`]; `0` means none).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn submit_nowait_deadline(
+        &mut self,
+        graph: &Graph,
+        job: &BatchJob,
+        deadline_ms: u64,
+    ) -> Result<(), ClientError> {
         self.send(&Request::Submit {
             tenant: self.tenant.clone(),
             graph: graph.clone(),
             job: job.clone(),
+            deadline_ms,
         })?;
         self.pending_submits += 1;
         Ok(())
@@ -334,9 +508,13 @@ impl Client {
     /// first). Reports for *other* jobs that arrive meanwhile stay
     /// stashed for their own `wait_report` calls.
     ///
-    /// Never returns for a cancelled job — the server streams no report
-    /// for those; poll [`Client::status`] or use
-    /// [`Client::wait_report_timeout`] when cancellation is in play.
+    /// A job that failed server-side — a panicking solve, a dead
+    /// worker, or an expired deadline — terminates this wait with the
+    /// typed [`ClientError::Server`] carrying [`ErrorCode::Internal`]
+    /// or [`ErrorCode::DeadlineExceeded`]. Never returns for a
+    /// *cancelled* job — the server streams nothing for those; poll
+    /// [`Client::status`] or use [`Client::wait_report_timeout`] when
+    /// cancellation is in play.
     ///
     /// # Errors
     ///
@@ -349,8 +527,20 @@ impl Client {
             if let Some(pos) = self.stash.iter().position(|r| r.job_id == job_id) {
                 return Ok(self.stash.remove(pos).expect("position is valid"));
             }
+            if let Some(err) = self.take_failed(job_id) {
+                return Err(err);
+            }
             match self.recv()? {
                 Response::Report(r) => self.stash.push_back(r),
+                Response::JobFailed {
+                    job_id: failed_id,
+                    code,
+                    message,
+                } => {
+                    // A failure frame for a *different* job stays
+                    // stashed for that job's own wait.
+                    self.failed.insert(failed_id, (code, message));
+                }
                 Response::Error { code, message } => {
                     return Err(ClientError::Server { code, message })
                 }
@@ -386,6 +576,9 @@ impl Client {
             if let Some(pos) = self.stash.iter().position(|r| r.job_id == job_id) {
                 return Ok(self.stash.remove(pos));
             }
+            if let Some(err) = self.take_failed(job_id) {
+                return Err(err);
+            }
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 return Ok(None);
@@ -395,6 +588,13 @@ impl Client {
             };
             match proto::decode_response(&payload)? {
                 Response::Report(r) => self.stash.push_back(r),
+                Response::JobFailed {
+                    job_id: failed_id,
+                    code,
+                    message,
+                } => {
+                    self.failed.insert(failed_id, (code, message));
+                }
                 Response::Error { code, message } => {
                     return Err(ClientError::Server { code, message })
                 }

@@ -1,0 +1,523 @@
+//! Chaos suite: fault-injected serving against both front ends.
+//!
+//! Every test here arms one or more runtime fault points
+//! ([`msropm_server::faultinject`]) and asserts the serving contract
+//! that matters under failure:
+//!
+//! - **every submit terminates in a typed outcome** — a report, a
+//!   typed `JobFailed`/`Error` frame, or a `cancelled` status; never a
+//!   hang, never a lost ticket (all waits are bounded);
+//! - **quotas are always released**: after a churn of panics, dead
+//!   workers, expired deadlines and cancels, the tenant can fill its
+//!   entire in-flight quota again;
+//! - **the pool self-heals**: killed workers are respawned by the
+//!   supervisor (`worker_restarts` > 0) and throughput recovers — a
+//!   fresh batch completes normally after the burst;
+//! - **unaffected jobs stay byte-identical**: report frames for jobs
+//!   that survive the chaos match across
+//!   {threads, reactor} × {1, 4 workers}, bit for bit (modulo the
+//!   volatile id/timing fields) — failure handling must not perturb
+//!   the solver;
+//! - **socket faults degrade cleanly**: short writes never corrupt
+//!   frames, severed writes surface as typed I/O errors.
+//!
+//! Fault points are process-global, so every test serializes on
+//! [`CHAOS`] and holds a [`faultinject::guard`] to disarm on every
+//! exit path (panicking assertions included).
+
+use msropm_client::{Client, ClientError};
+use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
+use msropm_graph::{generators, Graph};
+use msropm_server::faultinject;
+use msropm_server::proto::{encode_response, ErrorCode, FrontendKind, Response, WireReport};
+use msropm_server::reactor::{ReactorConfig, ReactorServer};
+use msropm_server::wire::{WireConfig, WireServer};
+use msropm_server::{Frontend, JobState, ServerConfig};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Serializes the suite: fault points are process-global state.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+/// No wait in this suite is unbounded; anything slower than this is a
+/// hang, which is exactly what the suite exists to catch.
+const NO_HANG: Duration = Duration::from_secs(60);
+
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    // A panicked sibling test must not wedge the rest of the suite.
+    CHAOS.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn fast_config() -> MsropmConfig {
+    MsropmConfig {
+        dt: 0.02,
+        ..MsropmConfig::paper_default()
+    }
+}
+
+fn wire_config(workers: usize) -> WireConfig {
+    WireConfig {
+        server: ServerConfig {
+            workers,
+            queue_capacity: 32,
+            cache_capacity: 4,
+        },
+        max_inflight_jobs: 32,
+        max_queued_lanes: 4096,
+        max_connections: 8,
+    }
+}
+
+fn bind_frontend(frontend: FrontendKind, workers: usize) -> Frontend {
+    match frontend {
+        FrontendKind::Threads => WireServer::bind("127.0.0.1:0", wire_config(workers))
+            .expect("bind threads")
+            .into(),
+        FrontendKind::Reactor => ReactorServer::bind(
+            "127.0.0.1:0",
+            ReactorConfig {
+                wire: wire_config(workers),
+                ..ReactorConfig::default()
+            },
+        )
+        .expect("bind reactor")
+        .into(),
+    }
+}
+
+/// The full front-end × worker-count matrix the acceptance criteria
+/// name.
+const MATRIX: [(FrontendKind, usize); 4] = [
+    (FrontendKind::Threads, 1),
+    (FrontendKind::Threads, 4),
+    (FrontendKind::Reactor, 1),
+    (FrontendKind::Reactor, 4),
+];
+
+/// A small mixed workload: repeat + cold topologies, every third job a
+/// heterogeneous sweep. Seeds are fixed so the same index always means
+/// the same problem — the basis of the cross-run identity check.
+fn mixed_jobs(n: usize) -> Vec<(Arc<Graph>, BatchJob)> {
+    let pool = [
+        Arc::new(generators::kings_graph(5, 5)),
+        Arc::new(generators::cycle_graph(32)),
+        Arc::new(generators::grid_graph(5, 5)),
+    ];
+    let sweep = SweepSpec::new()
+        .grid(SweepParam::CouplingStrength, vec![0.8, 1.2])
+        .grid(SweepParam::Noise, vec![0.1, 0.25]);
+    (0..n)
+        .map(|i| {
+            let graph = Arc::clone(&pool[i % pool.len()]);
+            let job = if i % 3 == 2 {
+                BatchJob::from_sweep(fast_config(), &sweep, i as u64)
+            } else {
+                BatchJob::uniform(fast_config(), 6, i as u64)
+            };
+            (graph, job)
+        })
+        .collect()
+}
+
+/// A job heavy enough to hold a worker for a while (the occupier /
+/// mid-run-deadline vehicle).
+fn long_job(seed: u64) -> (Arc<Graph>, BatchJob) {
+    (
+        Arc::new(generators::kings_graph(8, 8)),
+        BatchJob::uniform(fast_config(), 16, seed),
+    )
+}
+
+/// Encodes a report frame minus the volatile fields (job id, timings),
+/// for byte-level comparison across runs.
+fn report_fingerprint(report: &WireReport) -> Vec<u8> {
+    let mut stripped = report.clone();
+    stripped.job_id = 0;
+    stripped.queued_us = 0;
+    stripped.service_us = 0;
+    encode_response(&Response::Report(stripped))
+}
+
+/// How one submit of the chaos workload terminated. Every job lands in
+/// exactly one of these — that *is* the no-lost-tickets claim.
+#[derive(Debug)]
+enum Outcome {
+    Report(Vec<u8>),
+    Failed(ErrorCode),
+    Cancelled,
+}
+
+/// Waits (bounded) for job `id` to reach a typed outcome.
+fn settle(client: &mut Client, id: u64, cancelled: bool, ctx: &str) -> Outcome {
+    if cancelled {
+        // Cancelled jobs never stream a frame; their terminal signal is
+        // the status register. A cancel can race pickup/completion, so
+        // any terminal state is a valid typed outcome.
+        let t0 = Instant::now();
+        loop {
+            match client.status(id).expect("status") {
+                JobState::Done => {
+                    // Lost the race: the report is on the wire. Drain it
+                    // so later frame accounting stays clean.
+                    let report = client
+                        .wait_report_timeout(id, NO_HANG)
+                        .expect("report after cancel race")
+                        .unwrap_or_else(|| panic!("{ctx}: done job {id} never streamed"));
+                    return Outcome::Report(report_fingerprint(&report));
+                }
+                JobState::Cancelled => return Outcome::Cancelled,
+                JobState::Failed => {
+                    return match client.wait_report_timeout(id, Duration::from_secs(2)) {
+                        Err(ClientError::Server { code, .. }) => Outcome::Failed(code),
+                        // The failure frame may have been suppressed
+                        // (cancel won at the boundary) — the status is
+                        // still a typed terminal outcome.
+                        Ok(None) => Outcome::Failed(ErrorCode::Internal),
+                        other => panic!("{ctx}: failed job {id} yielded {other:?}"),
+                    };
+                }
+                JobState::Queued | JobState::Running => {
+                    assert!(t0.elapsed() < NO_HANG, "{ctx}: job {id} never settled");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+    match client.wait_report_timeout(id, NO_HANG) {
+        Ok(Some(report)) => Outcome::Report(report_fingerprint(&report)),
+        Ok(None) => panic!("{ctx}: job {id} hung (no frame within {NO_HANG:?})"),
+        Err(ClientError::Server { code, .. }) => Outcome::Failed(code),
+        Err(e) => panic!("{ctx}: job {id} surfaced transport error {e}"),
+    }
+}
+
+/// Drives one chaos run: mixed submits (multiplexed), two cancels, a
+/// panic-in-solve fault armed mid-stream, delayed completions
+/// throughout. Returns the typed outcome of every submit, by job
+/// index.
+fn chaos_run(frontend: FrontendKind, workers: usize) -> BTreeMap<usize, Outcome> {
+    let ctx = format!("{frontend:?}/{workers}w");
+    let server = bind_frontend(frontend, workers);
+    let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
+
+    // Slow every delivery a little and panic one solve mid-batch: the
+    // chaos is identical per run, the *victim* job is whichever solve
+    // the scheduler hands the countdown to.
+    faultinject::arm_delay_completion(2);
+    faultinject::arm_panic_in_solve(4);
+
+    let jobs = mixed_jobs(12);
+    for (graph, job) in &jobs {
+        client.submit_nowait(graph, job).expect("mux submit");
+    }
+    let ids: Vec<u64> = (0..jobs.len())
+        .map(|_| client.recv_submitted().expect("mux reply"))
+        .collect();
+    let cancel_idx = [2usize, 7];
+    for &c in &cancel_idx {
+        client.cancel(ids[c]).expect("cancel");
+    }
+
+    let outcomes: BTreeMap<usize, Outcome> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (i, settle(&mut client, id, cancel_idx.contains(&i), &ctx)))
+        .collect();
+
+    // Quota release: every ticket above reached a terminal state, so
+    // the tenant must be able to fill its entire in-flight quota again.
+    faultinject::disarm_all();
+    let quota = wire_config(workers).max_inflight_jobs;
+    let graph = Arc::new(generators::kings_graph(4, 4));
+    for s in 0..quota {
+        client
+            .submit_nowait(&graph, &BatchJob::uniform(fast_config(), 2, s as u64))
+            .expect("quota submit");
+    }
+    let refill: Vec<u64> = (0..quota)
+        .map(|_| {
+            client
+                .recv_submitted()
+                .unwrap_or_else(|e| panic!("{ctx}: quota not fully released after chaos: {e}"))
+        })
+        .collect();
+    for id in refill {
+        settle(&mut client, id, false, &ctx);
+    }
+
+    // Drain completes: shutdown joins the workers and the supervisor.
+    server.shutdown();
+    outcomes
+}
+
+#[test]
+fn chaos_every_submit_terminates_and_survivors_stay_identical() {
+    let _serial = chaos_lock();
+    let _faults = faultinject::guard();
+
+    let runs: Vec<(String, BTreeMap<usize, Outcome>)> = MATRIX
+        .into_iter()
+        .map(|(frontend, workers)| {
+            (
+                format!("{frontend:?}/{workers}w"),
+                chaos_run(frontend, workers),
+            )
+        })
+        .collect();
+
+    for (name, outcomes) in &runs {
+        assert_eq!(outcomes.len(), 12, "{name}: a submit was lost");
+        let failed = outcomes
+            .values()
+            .filter(|o| matches!(o, Outcome::Failed(code) if *code == ErrorCode::Internal))
+            .count();
+        assert!(
+            failed >= 1,
+            "{name}: the armed panic never surfaced as a typed Internal failure"
+        );
+    }
+
+    // Byte-identity for the jobs that survived *everywhere*: the panic
+    // victim and the cancel races differ per run, but any job that
+    // reported in all four runs must have produced identical bytes.
+    let common: Vec<usize> = (0..12)
+        .filter(|i| {
+            runs.iter()
+                .all(|(_, o)| matches!(o.get(i), Some(Outcome::Report(_))))
+        })
+        .collect();
+    assert!(
+        common.len() >= 6,
+        "too few universally-surviving jobs to make the identity check meaningful: {common:?}"
+    );
+    let (ref_name, ref_outcomes) = &runs[0];
+    for (name, outcomes) in &runs[1..] {
+        for &i in &common {
+            let (Some(Outcome::Report(a)), Some(Outcome::Report(b))) =
+                (ref_outcomes.get(&i), outcomes.get(&i))
+            else {
+                unreachable!("filtered to universally-reported jobs");
+            };
+            assert_eq!(
+                a, b,
+                "job {i}: report bytes differ between {ref_name} and {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn panicking_solve_is_a_typed_failure_not_a_dead_server() {
+    let _serial = chaos_lock();
+    let _faults = faultinject::guard();
+    for (frontend, workers) in [(FrontendKind::Threads, 1), (FrontendKind::Reactor, 1)] {
+        let server = bind_frontend(frontend, workers);
+        let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
+        let (graph, job) = &mixed_jobs(1)[0];
+
+        faultinject::arm_panic_in_solve(1);
+        let id = client.submit(graph, job).expect("submit");
+        match client.wait_report_timeout(id, NO_HANG) {
+            Err(ClientError::Server { code, message }) => {
+                assert_eq!(code, ErrorCode::Internal, "{frontend:?}");
+                assert!(
+                    message.contains("panic"),
+                    "{frontend:?}: failure message should carry the panic text, got {message:?}"
+                );
+            }
+            other => panic!("{frontend:?}: expected typed failure, got {other:?}"),
+        }
+        assert_eq!(client.status(id).expect("status"), JobState::Failed);
+
+        // The worker caught the panic in place: the very next job
+        // solves normally and the failure is counted.
+        let id2 = client.submit(graph, job).expect("submit after panic");
+        client.wait_report(id2).expect("report after panic");
+        let stats = client.stats().expect("stats");
+        assert!(stats.jobs_failed >= 1, "{frontend:?}: {stats:?}");
+        assert_eq!(
+            stats.worker_restarts, 0,
+            "{frontend:?}: caught panic must not cost a restart"
+        );
+        server.shutdown();
+    }
+}
+
+#[test]
+fn killed_workers_are_respawned_and_throughput_recovers() {
+    let _serial = chaos_lock();
+    let _faults = faultinject::guard();
+    for (frontend, workers) in [(FrontendKind::Threads, 1), (FrontendKind::Reactor, 4)] {
+        let server = bind_frontend(frontend, workers);
+        let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
+        let (graph, job) = &mixed_jobs(1)[0];
+
+        // A burst of three worker deaths; each must surface as a typed
+        // failure on its job and cost exactly one respawn.
+        for round in 0..3u64 {
+            faultinject::arm_kill_worker(1);
+            let id = client.submit(graph, job).expect("submit");
+            match client.wait_report_timeout(id, NO_HANG) {
+                Err(ClientError::Server { code, message }) => {
+                    assert_eq!(code, ErrorCode::Internal, "{frontend:?} round {round}");
+                    assert!(
+                        message.contains("worker died"),
+                        "{frontend:?} round {round}: got {message:?}"
+                    );
+                }
+                other => panic!("{frontend:?} round {round}: got {other:?}"),
+            }
+            assert_eq!(client.status(id).expect("status"), JobState::Failed);
+        }
+
+        // Self-healed: restarts were observed and a full fresh batch
+        // completes — with 1 worker this only passes if the pool really
+        // was respawned.
+        let t0 = Instant::now();
+        loop {
+            let stats = client.stats().expect("stats");
+            if stats.worker_restarts >= 3 {
+                assert!(stats.jobs_failed >= 3, "{frontend:?}: {stats:?}");
+                break;
+            }
+            assert!(
+                t0.elapsed() < NO_HANG,
+                "{frontend:?}: supervisor never logged 3 restarts: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for (graph, job) in &mixed_jobs(6) {
+            let id = client.submit(graph, job).expect("submit after burst");
+            client.wait_report(id).expect("report after burst");
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn deadlines_expire_in_queue_and_mid_run_with_typed_errors() {
+    let _serial = chaos_lock();
+    let _faults = faultinject::guard();
+    for (frontend, workers) in [(FrontendKind::Threads, 1), (FrontendKind::Reactor, 1)] {
+        let server = bind_frontend(frontend, workers);
+        let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
+
+        // Queue-wait shedding: the single worker is busy, so a 1 ms
+        // deadline is long dead by pickup — the job must be shed
+        // without ever running.
+        let (og, oj) = long_job(900);
+        let occupier = client.submit(&og, &oj).expect("occupier");
+        let (graph, job) = &mixed_jobs(1)[0];
+        let doomed = client
+            .submit_deadline(graph, job, 1)
+            .expect("deadline submit");
+        match client.wait_report_timeout(doomed, NO_HANG) {
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::DeadlineExceeded, "{frontend:?}")
+            }
+            other => panic!("{frontend:?}: queued deadline yielded {other:?}"),
+        }
+        assert_eq!(client.status(doomed).expect("status"), JobState::Failed);
+        client.wait_report(occupier).expect("occupier report");
+
+        // Mid-run expiry: a heavy job with a deadline shorter than its
+        // runtime starts on an idle worker and is abandoned at a stage
+        // boundary.
+        let (hg, hj) = long_job(901);
+        let midrun = client.submit_deadline(&hg, &hj, 20).expect("midrun submit");
+        match client.wait_report_timeout(midrun, NO_HANG) {
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::DeadlineExceeded, "{frontend:?} midrun")
+            }
+            other => panic!("{frontend:?}: midrun deadline yielded {other:?}"),
+        }
+
+        // deadline_ms = 0 means no deadline — and expiries released
+        // their quota (the fresh submits are admitted and complete).
+        let clean = client.submit_deadline(graph, job, 0).expect("no deadline");
+        client.wait_report(clean).expect("report");
+        let stats = client.stats().expect("stats");
+        assert!(stats.jobs_failed >= 2, "{frontend:?}: {stats:?}");
+        server.shutdown();
+    }
+}
+
+#[test]
+fn short_writes_dribble_frames_through_intact() {
+    let _serial = chaos_lock();
+    let _faults = faultinject::guard();
+
+    // Reference fingerprints with the wire healthy...
+    let reference: Vec<Vec<u8>> = {
+        let server = bind_frontend(FrontendKind::Threads, 1);
+        let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
+        let prints = mixed_jobs(4)
+            .iter()
+            .map(|(g, j)| {
+                let id = client.submit(g, j).expect("submit");
+                report_fingerprint(&client.wait_report(id).expect("report"))
+            })
+            .collect();
+        server.shutdown();
+        prints
+    };
+
+    // ...must survive every frame crossing the socket 7 bytes at a
+    // time, on both front ends' write paths.
+    for frontend in [FrontendKind::Threads, FrontendKind::Reactor] {
+        let server = bind_frontend(frontend, 1);
+        let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
+        faultinject::arm_short_writes();
+        for (i, (g, j)) in mixed_jobs(4).iter().enumerate() {
+            let id = client.submit(g, j).expect("submit");
+            let report = client.wait_report(id).expect("report");
+            assert_eq!(
+                report_fingerprint(&report),
+                reference[i],
+                "{frontend:?}: job {i} corrupted by short writes"
+            );
+        }
+        faultinject::disarm_all();
+        server.shutdown();
+    }
+}
+
+#[test]
+fn severed_write_surfaces_as_transport_error_not_a_hang() {
+    let _serial = chaos_lock();
+    let _faults = faultinject::guard();
+    for frontend in [FrontendKind::Threads, FrontendKind::Reactor] {
+        let server = bind_frontend(frontend, 1);
+        let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
+        let (graph, job) = &mixed_jobs(1)[0];
+
+        // The next server-side write (this submit's reply) severs the
+        // connection. The client must get a typed, retryable transport
+        // error — not block forever on a half-open socket.
+        faultinject::arm_sever_write(1);
+        let t0 = Instant::now();
+        let err = client
+            .submit(graph, job)
+            .err()
+            .or_else(|| {
+                // The submit reply may have raced the arming; the
+                // report write then takes the sever.
+                client.wait_report(1).err()
+            })
+            .expect("severed connection must error");
+        assert!(
+            t0.elapsed() < NO_HANG,
+            "{frontend:?}: sever hung the client"
+        );
+        assert!(
+            matches!(err, ClientError::Io(_)),
+            "{frontend:?}: expected transport error, got {err:?}"
+        );
+        assert!(
+            msropm_client::is_retryable(&err),
+            "{frontend:?}: a severed connection should be retryable: {err:?}"
+        );
+        server.shutdown();
+    }
+}

@@ -145,16 +145,40 @@ impl BatchJob {
         arena: &mut BatchArena,
         cancel: &CancelToken,
     ) -> Option<JobReport> {
+        self.run_cancellable_with(machine, arena, || cancel.is_cancelled())
+    }
+
+    /// Generalized cooperative abort: `abort` is polled before the first
+    /// stage and at every non-final stage boundary; returning `true`
+    /// abandons the run (→ `None`). This is the hook the job server's
+    /// deadline enforcement rides on — a closure combining a
+    /// [`CancelToken`] with a wall-clock deadline check slots in here
+    /// without touching the solver. A run that completes is
+    /// **bit-identical** to [`BatchJob::run`]: the check happens
+    /// strictly between stages and cannot perturb the trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BatchJob::run`].
+    pub fn run_cancellable_with<F>(
+        &self,
+        machine: &Msropm,
+        arena: &mut BatchArena,
+        mut abort: F,
+    ) -> Option<JobReport>
+    where
+        F: FnMut() -> bool,
+    {
         assert!(
             machine.config() == &self.config,
             "job config does not match the machine it is paired with"
         );
-        if cancel.is_cancelled() {
+        if abort() {
             return None;
         }
         let seeds = self.lane_seeds();
         let solutions =
-            machine.solve_batch_lanes_arena_cancellable(&self.lanes, &seeds, arena, cancel)?;
+            machine.solve_batch_lanes_arena_cancellable_with(&self.lanes, &seeds, arena, abort)?;
         Some(JobReport::rank(machine.graph(), self, &seeds, solutions))
     }
 }

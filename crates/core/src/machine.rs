@@ -447,9 +447,17 @@ impl Msropm {
     /// Generalized cancellable batch solve: `cancelled` is polled at
     /// every non-final stage boundary; returning `true` abandons the
     /// run (→ `None`). Backs [`Msropm::solve_batch_lanes_arena_cancellable`]
-    /// and lets tests (and future deadline-based policies) drive the
-    /// boundary check deterministically.
-    pub(crate) fn solve_batch_lanes_arena_cancellable_with<F>(
+    /// and lets tests and deadline-based policies (see
+    /// [`crate::job::BatchJob::run_cancellable_with`]) drive the
+    /// boundary check deterministically. Runs that complete are
+    /// **bit-identical** to the uncancellable entry regardless of what
+    /// the closure observes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes.len() != seeds.len()` or a resolved lane
+    /// configuration is invalid.
+    pub fn solve_batch_lanes_arena_cancellable_with<F>(
         &self,
         lanes: &[LaneConfig],
         seeds: &[u64],

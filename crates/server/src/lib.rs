@@ -67,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faultinject;
 pub mod proto;
 pub mod queue;
 pub mod reactor;
@@ -76,12 +77,26 @@ pub mod wire;
 use msropm_core::{BatchArena, BatchJob, CacheStats, CancelToken, JobReport, ProblemCache};
 use msropm_graph::Graph;
 use queue::BoundedQueue;
+use std::collections::VecDeque;
 use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Locks `m`, recovering the guard from a poisoned mutex instead of
+/// panicking. Every lock in this crate's serving paths goes through
+/// here: completion hooks fire from `Drop` during a worker panic's
+/// unwind, so a poison-propagating `expect` there would turn one
+/// injected fault into a double panic (process abort). The protected
+/// invariants are all exception-safe single operations (`VecDeque` /
+/// `HashMap` mutations that complete or don't), so the recovered state
+/// is always consistent.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Sizing knobs of a [`JobServer`].
 #[derive(Debug, Clone, Copy)]
@@ -134,8 +149,20 @@ pub struct JobOutcome {
 pub enum ServerError {
     /// The server is shutting down; the job was not enqueued.
     Closed,
-    /// The worker executing the job died (panicked) before replying.
+    /// The worker executing the job died before replying — it panicked
+    /// outside the supervised solve region, or the server tore down
+    /// with the job still queued. The supervisor respawns the worker;
+    /// the job itself is lost.
     WorkerDied,
+    /// The solve panicked; the panic was caught ([`std::panic::catch_unwind`])
+    /// and the worker lives on.
+    Failed {
+        /// The panic payload, best-effort stringified.
+        message: String,
+    },
+    /// The job's deadline expired before it produced a report — shed in
+    /// the queue or abandoned at a stage boundary.
+    DeadlineExceeded,
     /// The job was cancelled before producing a report (see
     /// [`msropm_core::CancelToken`]); no report exists for it.
     Cancelled,
@@ -149,6 +176,8 @@ impl fmt::Display for ServerError {
         match self {
             ServerError::Closed => write!(f, "job server is shut down"),
             ServerError::WorkerDied => write!(f, "worker died before completing the job"),
+            ServerError::Failed { message } => write!(f, "job failed: {message}"),
+            ServerError::DeadlineExceeded => write!(f, "job deadline exceeded"),
             ServerError::Cancelled => write!(f, "job was cancelled before completing"),
             ServerError::Timeout(_) => write!(f, "timed out waiting for the job"),
         }
@@ -161,12 +190,15 @@ impl std::error::Error for ServerError {}
 /// [`JobHandle::state`] (and the wire protocol's `status` verb).
 ///
 /// Transitions are monotone:
-/// `Queued → Running → {Done, Cancelled}`, with `Queued → Cancelled`
-/// when a cancel lands before pickup, and `Running → Failed` when the
-/// executing worker panics. Cancellation is cooperative — a `cancel()`
-/// is *observed* by the worker at pickup or at a stage boundary, so a
-/// cancelled job may report `Queued`/`Running` for a short while before
-/// settling in `Cancelled`.
+/// `Queued → Running → {Done, Cancelled, Failed}`, with
+/// `Queued → Cancelled` when a cancel lands before pickup and
+/// `Queued → Failed` when a deadline expires before pickup. `Failed`
+/// covers every non-cancel way a job dies without a report: the solve
+/// panicked (caught, worker lives), the deadline expired, or the
+/// executing worker thread died. Cancellation is cooperative — a
+/// `cancel()` is *observed* by the worker at pickup or at a stage
+/// boundary, so a cancelled job may report `Queued`/`Running` for a
+/// short while before settling in `Cancelled`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum JobState {
@@ -178,7 +210,8 @@ pub enum JobState {
     Done = 2,
     /// Cancelled before producing a report.
     Cancelled = 3,
-    /// The executing worker died before replying.
+    /// Died without a report: panicking solve, expired deadline, or
+    /// dead worker.
     Failed = 4,
 }
 
@@ -238,17 +271,31 @@ impl JobStatusCell {
     pub fn set(&self, state: JobState) {
         self.0.store(state as u8, Ordering::Release);
     }
+
+    /// Records a transition and returns the state it replaced (the
+    /// session layer uses this to tell a mid-run worker death from an
+    /// envelope dropped before pickup).
+    pub fn swap(&self, state: JobState) -> JobState {
+        JobState::from_u8(self.0.swap(state as u8, Ordering::AcqRel))
+            .expect("cell holds a valid state")
+    }
 }
 
 /// Handle to one in-flight job; redeem it with [`JobTicket::wait`].
 #[derive(Debug)]
 pub struct JobTicket {
-    rx: mpsc::Receiver<Option<JobOutcome>>,
+    rx: mpsc::Receiver<JobCompletion>,
 }
 
 impl JobTicket {
-    fn settle(msg: Option<JobOutcome>) -> Result<JobOutcome, ServerError> {
-        msg.ok_or(ServerError::Cancelled)
+    fn settle(msg: JobCompletion) -> Result<JobOutcome, ServerError> {
+        match msg {
+            JobCompletion::Done(outcome) => Ok(outcome),
+            JobCompletion::Cancelled => Err(ServerError::Cancelled),
+            JobCompletion::Failed { message } => Err(ServerError::Failed { message }),
+            JobCompletion::DeadlineExceeded => Err(ServerError::DeadlineExceeded),
+            JobCompletion::WorkerDied => Err(ServerError::WorkerDied),
+        }
     }
 
     /// Blocks until the job completes.
@@ -256,7 +303,9 @@ impl JobTicket {
     /// # Errors
     ///
     /// [`ServerError::Cancelled`] if the job was cancelled,
-    /// [`ServerError::WorkerDied`] if the executing worker panicked.
+    /// [`ServerError::Failed`] if the solve panicked (caught),
+    /// [`ServerError::DeadlineExceeded`] if its deadline expired,
+    /// [`ServerError::WorkerDied`] if the executing worker died.
     pub fn wait(self) -> Result<JobOutcome, ServerError> {
         match self.rx.recv() {
             Ok(msg) => Self::settle(msg),
@@ -270,9 +319,8 @@ impl JobTicket {
     ///
     /// # Errors
     ///
-    /// [`ServerError::Timeout`] when `dur` elapses first,
-    /// [`ServerError::Cancelled`] if the job was cancelled,
-    /// [`ServerError::WorkerDied`] if the executing worker panicked.
+    /// [`ServerError::Timeout`] when `dur` elapses first, otherwise as
+    /// for [`JobTicket::wait`].
     pub fn wait_timeout(self, dur: Duration) -> Result<JobOutcome, ServerError> {
         match self.rx.recv_timeout(dur) {
             Ok(msg) => Self::settle(msg),
@@ -326,7 +374,15 @@ pub enum JobCompletion {
     Done(JobOutcome),
     /// The job was cancelled before producing a report; none exists.
     Cancelled,
-    /// The executing worker died (panicked) before replying.
+    /// The solve panicked; the panic was caught and the worker lives.
+    Failed {
+        /// The panic payload, best-effort stringified.
+        message: String,
+    },
+    /// The job's deadline expired before it produced a report.
+    DeadlineExceeded,
+    /// The executing worker died before replying (panic outside the
+    /// supervised region, or teardown dropped the queued job).
     WorkerDied,
 }
 
@@ -374,22 +430,16 @@ impl fmt::Debug for CompletionHook {
 /// A job's completion channel: either the mpsc sender behind a
 /// [`JobTicket`] or an in-place [`CompletionHook`].
 enum Reply {
-    Channel(mpsc::Sender<Option<JobOutcome>>),
+    Channel(mpsc::Sender<JobCompletion>),
     Hook(CompletionHook),
 }
 
 impl Reply {
     fn deliver(self, completion: JobCompletion) {
         match self {
+            // The submitter may have dropped its ticket; that's fine.
             Reply::Channel(tx) => {
-                let msg = match completion {
-                    JobCompletion::Done(outcome) => Some(outcome),
-                    JobCompletion::Cancelled => None,
-                    // Dropping the sender without a message is the
-                    // channel's worker-died signal.
-                    JobCompletion::WorkerDied => return,
-                };
-                let _ = tx.send(msg);
+                let _ = tx.send(completion);
             }
             Reply::Hook(hook) => hook.fire(completion),
         }
@@ -406,17 +456,21 @@ pub struct PendingJob {
     job: BatchJob,
     cancel: CancelToken,
     status: Arc<JobStatusCell>,
+    deadline: Option<Instant>,
     hook: CompletionHook,
 }
 
 impl PendingJob {
-    /// Bundles a job with its cancellation/status plumbing and the hook
-    /// that will observe its completion.
+    /// Bundles a job with its cancellation/status plumbing, an optional
+    /// absolute deadline (expired jobs are shed at pickup or abandoned
+    /// at the next stage boundary → [`JobCompletion::DeadlineExceeded`])
+    /// and the hook that will observe its completion.
     pub fn new(
         graph: Arc<Graph>,
         job: BatchJob,
         cancel: CancelToken,
         status: Arc<JobStatusCell>,
+        deadline: Option<Instant>,
         hook: CompletionHook,
     ) -> PendingJob {
         PendingJob {
@@ -424,6 +478,7 @@ impl PendingJob {
             job,
             cancel,
             status,
+            deadline,
             hook,
         }
     }
@@ -436,6 +491,7 @@ impl PendingJob {
             reply: Reply::Hook(self.hook),
             cancel: self.cancel,
             status: self.status,
+            deadline: self.deadline,
         }
     }
 }
@@ -459,6 +515,7 @@ struct Envelope {
     reply: Reply,
     cancel: CancelToken,
     status: Arc<JobStatusCell>,
+    deadline: Option<Instant>,
 }
 
 impl Envelope {
@@ -470,6 +527,7 @@ impl Envelope {
             job: self.job,
             cancel: self.cancel,
             status: self.status,
+            deadline: self.deadline,
             hook: match self.reply {
                 Reply::Hook(hook) => hook,
                 Reply::Channel(_) => unreachable!("pending jobs always carry hooks"),
@@ -483,12 +541,26 @@ struct Shared {
     cache: Mutex<ProblemCache>,
     jobs_completed: AtomicU64,
     jobs_cancelled: AtomicU64,
+    jobs_failed: AtomicU64,
+    worker_restarts: AtomicU64,
+    /// Live worker handles, shared with the supervisor (which reaps
+    /// finished ones and pushes their replacements).
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
 }
+
+/// How often the supervisor scans for dead workers.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(20);
+/// Rolling window bounding the worker restart rate…
+const RESTART_WINDOW: Duration = Duration::from_secs(1);
+/// …to at most this many respawns per window. A panic storm (every job
+/// crashing) then costs bounded spawn churn instead of a hot loop; the
+/// deficit is made up on later ticks once the window rolls.
+const MAX_RESTARTS_PER_WINDOW: usize = 32;
 
 /// The multi-worker batch-solve job service; see the crate docs.
 pub struct JobServer {
     shared: Arc<Shared>,
-    workers: Vec<thread::JoinHandle<()>>,
+    supervisor: Option<thread::JoinHandle<()>>,
 }
 
 impl JobServer {
@@ -504,17 +576,25 @@ impl JobServer {
             cache: Mutex::new(ProblemCache::new(config.cache_capacity)),
             jobs_completed: AtomicU64::new(0),
             jobs_cancelled: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
         });
-        let workers = (0..config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("msropm-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
-            })
+        let handles: Vec<_> = (0..config.workers)
+            .map(|i| spawn_worker(&shared, format!("msropm-worker-{i}")))
             .collect();
-        JobServer { shared, workers }
+        *lock_unpoisoned(&shared.workers) = handles;
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("msropm-supervisor".into())
+                .spawn(move || supervisor_loop(&shared))
+                .expect("spawn supervisor thread")
+        };
+        JobServer {
+            shared,
+            supervisor: Some(supervisor),
+        }
     }
 
     /// Enqueues `job` against `graph`, blocking while the queue is full
@@ -568,6 +648,7 @@ impl JobServer {
             graph,
             job,
             submitted_at: Instant::now(),
+            deadline: None,
             reply: Reply::Channel(tx),
             cancel,
             status,
@@ -631,9 +712,28 @@ impl JobServer {
         self.shared.jobs_cancelled.load(Ordering::Relaxed)
     }
 
+    /// Jobs that died without a report since boot: caught solve panics,
+    /// expired deadlines, and worker thread deaths (the last counted by
+    /// the session layer via [`JobServer::count_failed_job`]).
+    pub fn jobs_failed(&self) -> u64 {
+        self.shared.jobs_failed.load(Ordering::Relaxed)
+    }
+
+    /// Dead workers the supervisor has respawned since boot.
+    pub fn worker_restarts(&self) -> u64 {
+        self.shared.worker_restarts.load(Ordering::Relaxed)
+    }
+
+    /// Counts one failed job observed outside the worker loop — the
+    /// session's completion hook calls this when a `WorkerDied` lands
+    /// for a running job (the dead worker itself can't count it).
+    pub(crate) fn count_failed_job(&self) {
+        self.shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Problem-cache counters (hits/misses/evictions/collisions).
     pub fn cache_stats(&self) -> CacheStats {
-        self.shared.cache.lock().expect("cache mutex").stats()
+        lock_unpoisoned(&self.shared.cache).stats()
     }
 
     /// Jobs currently waiting in the queue (excluding in-flight ones).
@@ -650,8 +750,15 @@ impl JobServer {
 
     fn shutdown_in_place(&mut self) {
         self.shared.queue.close();
+        // The supervisor observes the closed queue and exits within one
+        // poll tick; joining it first guarantees no respawn races the
+        // worker joins below.
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
         let current = thread::current().id();
-        for handle in self.workers.drain(..) {
+        let handles: Vec<_> = lock_unpoisoned(&self.shared.workers).drain(..).collect();
+        for handle in handles {
             // A worker thread can itself run this teardown: its
             // completion hook may hold the last strong reference to the
             // session owning this pool, making the worker the thread
@@ -661,7 +768,7 @@ impl JobServer {
                 continue;
             }
             // A panicked worker already surfaced through its job's
-            // ticket (reply sender dropped); don't double-panic here.
+            // ticket or hook; don't double-panic here.
             let _ = handle.join();
         }
     }
@@ -740,61 +847,178 @@ impl From<reactor::ReactorServer> for Frontend {
     }
 }
 
+fn spawn_worker(shared: &Arc<Shared>, name: String) -> thread::JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(&shared))
+        .expect("spawn worker thread")
+}
+
+/// Reaps dead workers and respawns them (rate-bounded), keeping the
+/// pool at full strength through panicking jobs. A worker can only die
+/// from a panic escaping the supervised solve region (its job then
+/// surfaces as `WorkerDied` through the hook's `Drop`); the respawned
+/// thread picks up the backlog with a fresh arena. Exits once the
+/// queue closes — workers then finish naturally and are joined by
+/// [`JobServer::shutdown`].
+fn supervisor_loop(shared: &Arc<Shared>) {
+    let mut recent_restarts: VecDeque<Instant> = VecDeque::new();
+    let mut respawned = 0u64;
+    while !shared.queue.is_closed() {
+        thread::sleep(SUPERVISOR_POLL);
+        let now = Instant::now();
+        while recent_restarts
+            .front()
+            .is_some_and(|t| now.duration_since(*t) > RESTART_WINDOW)
+        {
+            recent_restarts.pop_front();
+        }
+        let mut workers = lock_unpoisoned(&shared.workers);
+        let mut i = 0;
+        while i < workers.len() {
+            if !workers[i].is_finished() {
+                i += 1;
+                continue;
+            }
+            if recent_restarts.len() >= MAX_RESTARTS_PER_WINDOW {
+                break; // storm-bounded: retry this one on a later tick
+            }
+            let dead = workers.swap_remove(i);
+            let _ = dead.join(); // reap; the panic already surfaced via its job
+            if shared.queue.is_closed() {
+                continue; // shutting down: a natural exit, not a death
+            }
+            respawned += 1;
+            workers.push(spawn_worker(shared, format!("msropm-worker-r{respawned}")));
+            shared.worker_restarts.fetch_add(1, Ordering::Relaxed);
+            recent_restarts.push_back(Instant::now());
+        }
+    }
+}
+
+/// Best-effort stringification of a caught panic payload (`&str` and
+/// `String` payloads cover `panic!`/`assert!`; anything else gets a
+/// placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "solve panicked (non-string payload)".to_string()
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     let mut arena = BatchArena::new();
     while let Some(envelope) = shared.queue.pop() {
         // Cancellation observed at pickup: skip all work. (Stage-boundary
-        // checks inside `run_cancellable` below cover mid-run cancels.)
+        // checks inside the supervised run below cover mid-run cancels.)
         if envelope.cancel.is_cancelled() {
             envelope.status.set(JobState::Cancelled);
             shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            faultinject::maybe_delay_completion();
             envelope.reply.deliver(JobCompletion::Cancelled);
             continue;
         }
-        envelope.status.set(JobState::Running);
-        let started_at = Instant::now();
-        // Double-checked caching: only the (cheap, verified) lookup and
-        // the insert run under the lock. A miss compiles *unlocked*, so
-        // a cold burst never serializes the pool on one worker's
-        // compilation; if two workers race the same problem, `intern`
-        // keeps the first resident copy (compilations are bit-identical,
-        // so which one wins is unobservable).
-        let machine = {
-            let mut cache = shared.cache.lock().expect("cache mutex");
-            cache.lookup(&envelope.graph, &envelope.job.config)
-        };
-        let machine = machine.unwrap_or_else(|| {
-            let compiled = Arc::new(msropm_core::Msropm::new(
-                &envelope.graph,
-                envelope.job.config,
-            ));
-            let mut cache = shared.cache.lock().expect("cache mutex");
-            cache.intern(compiled)
-        });
-        // Solve outside the cache lock too: workers never serialize on
-        // each other's integrations.
-        let report = envelope
-            .job
-            .run_cancellable(&machine, &mut arena, &envelope.cancel);
-        let Some(report) = report else {
-            // Cancelled at a stage boundary: the run was abandoned and
-            // no report exists (nor ever will for this job).
-            envelope.status.set(JobState::Cancelled);
-            shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
-            envelope.reply.deliver(JobCompletion::Cancelled);
+        // Queue-wait deadline: a job that expired before pickup is shed
+        // without compiling or solving anything.
+        if envelope
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+        {
+            envelope.status.set(JobState::Failed);
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            faultinject::maybe_delay_completion();
+            envelope.reply.deliver(JobCompletion::DeadlineExceeded);
             continue;
+        }
+        envelope.status.set(JobState::Running);
+        // Chaos hook: fires OUTSIDE the catch_unwind region, so the
+        // panic kills this thread mid-job — the envelope drops during
+        // unwind, its hook fires `WorkerDied`, and the supervisor
+        // respawns the worker. (Never fires unless a test armed it.)
+        faultinject::maybe_kill_worker();
+        let started_at = Instant::now();
+        // The entire cache-lookup/compile/solve region is supervised:
+        // a panicking solve (bad job, solver bug, injected fault)
+        // becomes a typed `Failed` outcome and the worker lives on.
+        // `AssertUnwindSafe` is sound here: on a caught panic the arena
+        // is discarded and rebuilt, the cache's mutations are
+        // complete-or-absent map operations (and its lock recovers from
+        // poison), and the envelope stays outside the closure.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            faultinject::maybe_panic_in_solve();
+            // Double-checked caching: only the (cheap, verified) lookup
+            // and the insert run under the lock. A miss compiles
+            // *unlocked*, so a cold burst never serializes the pool on
+            // one worker's compilation; if two workers race the same
+            // problem, `intern` keeps the first resident copy
+            // (compilations are bit-identical, so which one wins is
+            // unobservable).
+            let machine = {
+                let mut cache = lock_unpoisoned(&shared.cache);
+                cache.lookup(&envelope.graph, &envelope.job.config)
+            };
+            let machine = machine.unwrap_or_else(|| {
+                let compiled = Arc::new(msropm_core::Msropm::new(
+                    &envelope.graph,
+                    envelope.job.config,
+                ));
+                let mut cache = lock_unpoisoned(&shared.cache);
+                cache.intern(compiled)
+            });
+            // Solve outside the cache lock too: workers never serialize
+            // on each other's integrations. The abort check combines
+            // cancellation with the job's deadline — both land at stage
+            // boundaries only, so completed runs stay bit-identical.
+            envelope.job.run_cancellable_with(&machine, &mut arena, || {
+                envelope.cancel.is_cancelled()
+                    || envelope
+                        .deadline
+                        .is_some_and(|deadline| Instant::now() >= deadline)
+            })
+        }));
+        let completion = match result {
+            Err(payload) => {
+                // The arena may hold a half-written solve; rebuild it so
+                // the next job starts from clean scratch state.
+                arena = BatchArena::new();
+                envelope.status.set(JobState::Failed);
+                shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                JobCompletion::Failed {
+                    message: panic_message(payload.as_ref()),
+                }
+            }
+            Ok(None) if envelope.cancel.is_cancelled() => {
+                // Cancelled at a stage boundary: the run was abandoned
+                // and no report exists (nor ever will for this job).
+                envelope.status.set(JobState::Cancelled);
+                shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                JobCompletion::Cancelled
+            }
+            Ok(None) => {
+                // Not cancelled, so the abort closure fired on the
+                // deadline: abandoned at a stage boundary.
+                envelope.status.set(JobState::Failed);
+                shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                JobCompletion::DeadlineExceeded
+            }
+            Ok(Some(report)) => {
+                let finished_at = Instant::now();
+                shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                envelope.status.set(JobState::Done);
+                JobCompletion::Done(JobOutcome {
+                    report,
+                    timing: JobTiming {
+                        queued: started_at - envelope.submitted_at,
+                        service: finished_at - started_at,
+                    },
+                })
+            }
         };
-        let finished_at = Instant::now();
-        shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
-        let outcome = JobOutcome {
-            report,
-            timing: JobTiming {
-                queued: started_at - envelope.submitted_at,
-                service: finished_at - started_at,
-            },
-        };
-        envelope.status.set(JobState::Done);
-        // The submitter may have dropped its ticket; that's fine.
-        envelope.reply.deliver(JobCompletion::Done(outcome));
+        faultinject::maybe_delay_completion();
+        envelope.reply.deliver(completion);
     }
 }

@@ -34,12 +34,17 @@
 //! | `0x83`| S → C     | `cancel reply` — job id, state after the cancel request |
 //! | `0x84`| S → C     | `stats reply` — server counters |
 //! | `0x90`| S → C     | `report` — streamed when a job completes (never for cancelled jobs) |
-//! | `0xE0`| S → C     | `error` — typed [`ErrorCode`] + message |
+//! | `0x91`| S → C     | `job error` — job id + typed [`ErrorCode`] + message, streamed when a job dies without a report (panicking solve, expired deadline, dead worker) |
+//! | `0xE0`| S → C     | `error` — typed [`ErrorCode`] + message (scoped to the *current request*, unlike `0x91`) |
 //!
 //! Strings are `u16 LE length + UTF-8 bytes`. A graph is
 //! `u32 n, u32 m, m × (u32 u, u32 v)` — the canonical edge list, hashed
 //! server-side with [`msropm_graph::io::graph_hash`] and echoed back in
-//! the report for end-to-end integrity checking.
+//! the report for end-to-end integrity checking. A submit body ends
+//! with `u64 seed, u64 deadline_ms` — a deadline of `0` means none;
+//! otherwise the job must produce its report within that many
+//! milliseconds of admission or it is shed/abandoned with a `0x91`
+//! frame carrying [`ErrorCode::DeadlineExceeded`].
 //!
 //! # Decoder contract
 //!
@@ -83,6 +88,7 @@ const T_STATUS_REPLY: u8 = 0x82;
 const T_CANCEL_REPLY: u8 = 0x83;
 const T_STATS_REPLY: u8 = 0x84;
 const T_REPORT: u8 = 0x90;
+const T_JOB_ERROR: u8 = 0x91;
 const T_ERROR: u8 = 0xE0;
 
 /// Typed error carried by an error frame (`0xE0`).
@@ -110,6 +116,13 @@ pub enum ErrorCode {
     /// [`ErrorCode::ShuttingDown`], which means the worker pool itself
     /// is gone).
     Draining = 9,
+    /// The job's deadline expired before it produced a report — shed in
+    /// the queue or abandoned at a stage boundary. Not retryable as-is
+    /// (the same submit would expire again under the same load).
+    DeadlineExceeded = 10,
+    /// The server failed internally executing the job (a panicking
+    /// solve or a dead worker); the job is lost but the server lives.
+    Internal = 11,
 }
 
 impl ErrorCode {
@@ -125,6 +138,8 @@ impl ErrorCode {
             7 => Some(ErrorCode::Forbidden),
             8 => Some(ErrorCode::Busy),
             9 => Some(ErrorCode::Draining),
+            10 => Some(ErrorCode::DeadlineExceeded),
+            11 => Some(ErrorCode::Internal),
             _ => None,
         }
     }
@@ -142,6 +157,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Forbidden => "job belongs to a different tenant",
             ErrorCode::Busy => "server connection cap reached",
             ErrorCode::Draining => "server is draining; no new submits",
+            ErrorCode::DeadlineExceeded => "job deadline exceeded",
+            ErrorCode::Internal => "internal server error executing the job",
         };
         f.write_str(s)
     }
@@ -192,6 +209,9 @@ impl From<io::Error> for ProtoError {
 }
 
 /// A client-to-server message.
+// Submit dwarfs the other variants, but a Request is a transient: one
+// per decoded frame, dispatched and dropped — never stored in bulk.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Request {
     /// Submit one batch job against a graph.
@@ -202,6 +222,11 @@ pub enum Request {
         graph: Graph,
         /// Operating point + lanes + seed.
         job: BatchJob,
+        /// Milliseconds the job may take from admission to report; `0`
+        /// means no deadline. Enforced server-side at worker pickup and
+        /// at every stage boundary — an expired job answers with a
+        /// `0x91` frame carrying [`ErrorCode::DeadlineExceeded`].
+        deadline_ms: u64,
     },
     /// Query one job's [`JobState`].
     Status {
@@ -260,6 +285,11 @@ pub struct WireStats {
     pub jobs_completed: u64,
     /// Jobs observed as cancelled (no report), since boot.
     pub jobs_cancelled: u64,
+    /// Jobs that died without a report (panicking solves, expired
+    /// deadlines, dead workers), since boot.
+    pub jobs_failed: u64,
+    /// Dead workers the supervisor has respawned, since boot.
+    pub worker_restarts: u64,
     /// Jobs waiting in the queue right now.
     pub backlog: u64,
     /// Problem-cache hits since boot.
@@ -369,7 +399,21 @@ pub enum Response {
     StatsReply(WireStats),
     /// A completed job's report, streamed when ready.
     Report(WireReport),
-    /// Typed failure.
+    /// A job died without a report (panicking solve, expired deadline,
+    /// dead worker) — streamed in a report's place, so every admitted
+    /// job reaches the client as exactly one terminal frame (report or
+    /// this; cancelled jobs excepted, which stream nothing).
+    JobFailed {
+        /// The job that died.
+        job_id: u64,
+        /// Why ([`ErrorCode::DeadlineExceeded`] or
+        /// [`ErrorCode::Internal`]).
+        code: ErrorCode,
+        /// Human-readable detail (e.g. the panic message).
+        message: String,
+    },
+    /// Typed failure of the *current request* (unlike
+    /// [`Response::JobFailed`], which is job-scoped and streamed).
     Error {
         /// What went wrong.
         code: ErrorCode,
@@ -676,7 +720,12 @@ fn get_state(r: &mut ByteReader) -> Result<JobState, ProtoError> {
 /// Encodes a request into one frame payload (type byte + body).
 pub fn encode_request(req: &Request) -> Vec<u8> {
     match req {
-        Request::Submit { tenant, graph, job } => {
+        Request::Submit {
+            tenant,
+            graph,
+            job,
+            deadline_ms,
+        } => {
             let mut w = ByteWriter::new(T_SUBMIT);
             w.str16(tenant);
             put_graph(&mut w, graph);
@@ -686,6 +735,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 put_lane(&mut w, lane);
             }
             w.u64(job.seed);
+            w.u64(*deadline_ms);
             w.0
         }
         Request::Status { tenant, job_id } => {
@@ -745,6 +795,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
                 lanes.push(get_lane(&mut r)?);
             }
             let seed = r.u64()?;
+            let deadline_ms = r.u64()?;
             Request::Submit {
                 tenant,
                 graph,
@@ -753,6 +804,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
                     lanes,
                     seed,
                 },
+                deadline_ms,
             }
         }
         T_STATUS => Request::Status {
@@ -794,6 +846,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             let mut w = ByteWriter::new(T_STATS_REPLY);
             w.u64(s.jobs_completed);
             w.u64(s.jobs_cancelled);
+            w.u64(s.jobs_failed);
+            w.u64(s.worker_restarts);
             w.u64(s.backlog);
             w.u64(s.cache_hits);
             w.u64(s.cache_misses);
@@ -819,6 +873,17 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     w.u16(c);
                 }
             }
+            w.0
+        }
+        Response::JobFailed {
+            job_id,
+            code,
+            message,
+        } => {
+            let mut w = ByteWriter::new(T_JOB_ERROR);
+            w.u64(*job_id);
+            w.u16(*code as u16);
+            w.str16(message);
             w.0
         }
         Response::Error { code, message } => {
@@ -852,6 +917,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         T_STATS_REPLY => Response::StatsReply(WireStats {
             jobs_completed: r.u64()?,
             jobs_cancelled: r.u64()?,
+            jobs_failed: r.u64()?,
+            worker_restarts: r.u64()?,
             backlog: r.u64()?,
             cache_hits: r.u64()?,
             cache_misses: r.u64()?,
@@ -903,6 +970,16 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
                 service_us,
                 ranked,
             })
+        }
+        T_JOB_ERROR => {
+            let job_id = r.u64()?;
+            let code = ErrorCode::from_u16(r.u16()?).ok_or(ProtoError::BadValue("error code"))?;
+            let message = r.str16()?;
+            Response::JobFailed {
+                job_id,
+                code,
+                message,
+            }
         }
         T_ERROR => {
             let code = ErrorCode::from_u16(r.u16()?).ok_or(ProtoError::BadValue("error code"))?;
@@ -1050,6 +1127,14 @@ pub fn is_clean_close(err: &ProtoError) -> bool {
     )
 }
 
+/// `true` when an encoded response payload is a report frame (as
+/// opposed to a [`Response::JobFailed`] or verb reply) — the front
+/// ends use this to keep the reports-streamed counter honest now that
+/// failed jobs also stream a terminal frame.
+pub fn is_report_frame(payload: &[u8]) -> bool {
+    payload.first() == Some(&T_REPORT)
+}
+
 /// Rebuilds a [`msropm_graph::Coloring`] from a wire lane (for clients
 /// that want to re-verify conflicts locally).
 pub fn lane_coloring(lane: &WireLane) -> msropm_graph::Coloring {
@@ -1107,18 +1192,21 @@ mod tests {
             tenant: "acme".into(),
             graph: graph.clone(),
             job: job.clone(),
+            deadline_ms: 2_500,
         });
         match decode_request(&payload).unwrap() {
             Request::Submit {
                 tenant,
                 graph: g2,
                 job: j2,
+                deadline_ms,
             } => {
                 assert_eq!(tenant, "acme");
                 assert_graph_eq(&graph, &g2);
                 assert_eq!(j2.config, job.config);
                 assert_eq!(j2.lanes, job.lanes);
                 assert_eq!(j2.seed, job.seed);
+                assert_eq!(deadline_ms, 2_500);
             }
             other => panic!("wrong variant: {other:?}"),
         }
@@ -1190,6 +1278,8 @@ mod tests {
             Response::StatsReply(WireStats {
                 jobs_completed: 10,
                 jobs_cancelled: 2,
+                jobs_failed: 4,
+                worker_restarts: 1,
                 backlog: 1,
                 cache_hits: 20,
                 cache_misses: 5,
@@ -1200,6 +1290,16 @@ mod tests {
             Response::Error {
                 code: ErrorCode::QuotaInFlight,
                 message: "over".into(),
+            },
+            Response::JobFailed {
+                job_id: 41,
+                code: ErrorCode::DeadlineExceeded,
+                message: "job deadline exceeded".into(),
+            },
+            Response::JobFailed {
+                job_id: 42,
+                code: ErrorCode::Internal,
+                message: "worker died".into(),
             },
         ];
         for resp in cases {
@@ -1250,6 +1350,22 @@ mod tests {
                     assert_eq!(ca, cb);
                     assert_eq!(ma, mb);
                 }
+                (
+                    Response::JobFailed {
+                        job_id: ja,
+                        code: ca,
+                        message: ma,
+                    },
+                    Response::JobFailed {
+                        job_id: jb,
+                        code: cb,
+                        message: mb,
+                    },
+                ) => {
+                    assert_eq!(ja, jb);
+                    assert_eq!(ca, cb);
+                    assert_eq!(ma, mb);
+                }
                 other => panic!("variant mismatch: {other:?}"),
             }
         }
@@ -1286,6 +1402,7 @@ mod tests {
                 tenant: "acme".into(),
                 graph,
                 job: sample_job(),
+                deadline_ms: 0,
             }),
             encode_response(&Response::Report(WireReport {
                 job_id: 1,
@@ -1341,6 +1458,7 @@ mod tests {
             tenant: "t".into(),
             graph,
             job,
+            deadline_ms: 0,
         });
         assert!(matches!(
             decode_request(&payload),
@@ -1359,10 +1477,11 @@ mod tests {
             tenant: "t".into(),
             graph,
             job,
+            deadline_ms: 0,
         });
-        // The lane count field sits 13 bytes from the end of a 1-lane
-        // payload (u32 count + 1 flag byte + u64 seed).
-        let count_at = valid.len() - 13;
+        // The lane count field sits 21 bytes from the end of a 1-lane
+        // payload (u32 count + 1 flag byte + u64 seed + u64 deadline).
+        let count_at = valid.len() - 21;
         assert_eq!(
             u32::from_le_bytes(valid[count_at..count_at + 4].try_into().unwrap()),
             1,
@@ -1387,6 +1506,7 @@ mod tests {
             tenant: "t".into(),
             graph,
             job,
+            deadline_ms: 0,
         });
         assert!(decode_request(&payload).is_err());
     }
@@ -1425,6 +1545,7 @@ mod tests {
                 tenant: "acme".into(),
                 graph,
                 job: sample_job(),
+                deadline_ms: 30_000,
             }),
             encode_request(&Request::Stats),
             encode_response(&Response::Report(WireReport {
@@ -1605,6 +1726,66 @@ mod tests {
                 Request::Cancel { job_id: back, .. } => prop_assert_eq!(back, job_id),
                 other => prop_assert!(false, "wrong variant: {:?}", other),
             }
+        }
+
+        /// Submit deadlines survive the wire for any u64 (0 = none).
+        #[test]
+        fn submit_deadline_roundtrip_prop(deadline_ms in any::<u64>()) {
+            let payload = encode_request(&Request::Submit {
+                tenant: "t".into(),
+                graph: generators::path_graph(2),
+                job: BatchJob::uniform(MsropmConfig::paper_default(), 1, 1),
+                deadline_ms,
+            });
+            match decode_request(&payload).unwrap() {
+                Request::Submit { deadline_ms: back, .. } => prop_assert_eq!(back, deadline_ms),
+                other => prop_assert!(false, "wrong variant: {:?}", other),
+            }
+        }
+
+        /// Per-job failure frames roundtrip for every defined error
+        /// code (including the new `DeadlineExceeded` and `Internal`)
+        /// and arbitrary message content.
+        #[test]
+        fn job_failed_roundtrip_prop(
+            job_id in any::<u64>(),
+            raw_code in 1u16..12,
+            msg_bytes in proptest::collection::vec(32u8..127, 0..64),
+        ) {
+            let message = String::from_utf8(msg_bytes).expect("printable ascii");
+            let code = ErrorCode::from_u16(raw_code).expect("1..=11 are all defined");
+            prop_assert_eq!(code as u16, raw_code);
+            let payload = encode_response(&Response::JobFailed {
+                job_id,
+                code,
+                message: message.clone(),
+            });
+            match decode_response(&payload).unwrap() {
+                Response::JobFailed { job_id: j, code: c, message: m } => {
+                    prop_assert_eq!(j, job_id);
+                    prop_assert_eq!(c, code);
+                    prop_assert_eq!(m, message);
+                }
+                other => prop_assert!(false, "wrong variant: {:?}", other),
+            }
+        }
+
+        /// Undefined error codes are a typed decode error, not a panic
+        /// or a silent mis-map.
+        #[test]
+        fn unknown_error_codes_are_rejected(raw_code in 12u16..u16::MAX) {
+            prop_assert!(ErrorCode::from_u16(raw_code).is_none());
+            let mut payload = encode_response(&Response::JobFailed {
+                job_id: 1,
+                code: ErrorCode::Internal,
+                message: String::new(),
+            });
+            // The code sits right after the tag byte and u64 job id.
+            payload[9..11].copy_from_slice(&raw_code.to_le_bytes());
+            prop_assert!(matches!(
+                decode_response(&payload),
+                Err(ProtoError::BadValue(_))
+            ));
         }
     }
 }

@@ -51,9 +51,10 @@ use crate::proto::{
     self, Decoder, ErrorCode, FrontendKind, ProtoError, Request, Response, WireStats,
 };
 use crate::session::{DeliverFn, ParkedSubmit, SessionCore, SubmitDisposition, WireConfig};
+use crate::{faultinject, lock_unpoisoned};
 use polling::{BackendKind, Event, Poller};
 use std::io::{Read as _, Write as _};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -97,8 +98,9 @@ const FIRST_CONN_KEY: usize = 1;
 /// stopped reading before force-closing them.
 const DRAIN_FLUSH_DEADLINE: Duration = Duration::from_secs(5);
 
-/// A finished job routed back to its loop: the encoded report frame
-/// (`None` for cancelled/failed jobs) addressed to a connection slot.
+/// A finished job routed back to its loop: the encoded terminal frame
+/// — a report, or a typed `JobFailed` for failed/deadline-exceeded
+/// jobs (`None` for cancelled ones) — addressed to a connection slot.
 struct Completion {
     conn: usize,
     generation: u64,
@@ -288,7 +290,7 @@ impl ReactorServer {
         // between a hook releasing the quota slot and pushing its frame.
         self.core.await_drained();
         for (shared, _) in &self.loops {
-            shared.inbox.lock().expect("inbox mutex").exit = true;
+            lock_unpoisoned(&shared.inbox).exit = true;
             let _ = shared.poller.notify();
         }
         for (_, handle) in self.loops.drain(..) {
@@ -365,7 +367,7 @@ impl EventLoop {
     /// route completions, observe the exit flag.
     fn handle_inbox(&mut self) {
         let (new_conns, completions, exit) = {
-            let mut inbox = self.shared.inbox.lock().expect("inbox mutex");
+            let mut inbox = lock_unpoisoned(&self.shared.inbox);
             (
                 std::mem::take(&mut inbox.new_conns),
                 std::mem::take(&mut inbox.completions),
@@ -425,11 +427,7 @@ impl EventLoop {
                         self.register(stream);
                     } else {
                         let peer = &self.peers[target];
-                        peer.inbox
-                            .lock()
-                            .expect("inbox mutex")
-                            .new_conns
-                            .push(stream);
+                        lock_unpoisoned(&peer.inbox).new_conns.push(stream);
                         let _ = peer.poller.notify();
                     }
                 }
@@ -596,7 +594,12 @@ impl EventLoop {
     /// Decodes and dispatches one request frame.
     fn process_frame(&mut self, idx: usize, payload: &[u8]) {
         match proto::decode_request(payload) {
-            Ok(Request::Submit { tenant, graph, job }) => self.submit(idx, tenant, graph, job),
+            Ok(Request::Submit {
+                tenant,
+                graph,
+                job,
+                deadline_ms,
+            }) => self.submit(idx, tenant, graph, job, deadline_ms),
             Ok(req) => {
                 let resp = self
                     .core
@@ -629,6 +632,7 @@ impl EventLoop {
         tenant: String,
         graph: msropm_graph::Graph,
         job: msropm_core::BatchJob,
+        deadline_ms: u64,
     ) {
         let Some(conn) = self.conn_mut(idx) else {
             return;
@@ -637,21 +641,19 @@ impl EventLoop {
         let guard = PendingGuard::new(Arc::clone(&self.shared));
         let shared = Arc::clone(&self.shared);
         let deliver: DeliverFn = Box::new(move |_core, _job_id, frame| {
-            shared
-                .inbox
-                .lock()
-                .expect("inbox mutex")
-                .completions
-                .push(Completion {
-                    conn: idx,
-                    generation,
-                    frame,
-                });
+            lock_unpoisoned(&shared.inbox).completions.push(Completion {
+                conn: idx,
+                generation,
+                frame,
+            });
             // The guard's drop decrements the pending count and wakes
             // the loop *after* the completion is visible in the inbox.
             drop(guard);
         });
-        match self.core.submit_nonblocking(tenant, graph, job, deliver) {
+        match self
+            .core
+            .submit_nonblocking(tenant, graph, job, deadline_ms, deliver)
+        {
             SubmitDisposition::Reply(resp) => {
                 if matches!(resp, Response::Submitted { .. }) {
                     if let Some(conn) = self.conn_mut(idx) {
@@ -697,7 +699,8 @@ impl EventLoop {
         }
         conn.jobs_outstanding = conn.jobs_outstanding.saturating_sub(1);
         if let Some(frame) = completion.frame {
-            if self.queue_bytes(completion.conn, &frame) {
+            let is_report = proto::is_report_frame(&frame);
+            if self.queue_bytes(completion.conn, &frame) && is_report {
                 self.core.note_report_streamed();
             }
         }
@@ -741,12 +744,25 @@ impl EventLoop {
     }
 
     /// Writes pending output until empty or the socket would block.
+    /// Each write attempt passes through the fault-injection socket
+    /// points (a single relaxed load each when disarmed): armed
+    /// short-writes cap the attempt at a few bytes, and a fired sever
+    /// countdown shuts the connection down mid-stream instead.
     fn flush(&mut self, idx: usize) {
-        let Some(conn) = self.conn_mut(idx) else {
-            return;
-        };
-        while conn.out_pos < conn.out.len() {
-            match (&conn.stream).write(&conn.out[conn.out_pos..]) {
+        loop {
+            let Some(conn) = self.conn_mut(idx) else {
+                return;
+            };
+            if conn.out_pos >= conn.out.len() {
+                break;
+            }
+            if faultinject::should_sever_write() {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                self.close(idx);
+                return;
+            }
+            let cap = faultinject::short_write_cap(conn.out.len() - conn.out_pos);
+            match (&conn.stream).write(&conn.out[conn.out_pos..conn.out_pos + cap]) {
                 Ok(0) => {
                     self.close(idx);
                     return;
@@ -760,6 +776,9 @@ impl EventLoop {
                 }
             }
         }
+        let Some(conn) = self.conn_mut(idx) else {
+            return;
+        };
         if conn.out_pos == conn.out.len() {
             conn.out.clear();
             conn.out_pos = 0;
@@ -827,7 +846,7 @@ impl EventLoop {
             return false;
         }
         {
-            let inbox = self.shared.inbox.lock().expect("inbox mutex");
+            let inbox = lock_unpoisoned(&self.shared.inbox);
             if !inbox.new_conns.is_empty() || !inbox.completions.is_empty() {
                 return false;
             }
@@ -915,6 +934,7 @@ mod tests {
                 tenant: tenant.into(),
                 graph: graph.clone(),
                 job,
+                deadline_ms: 0,
             });
             match self.recv_reply() {
                 Response::Submitted { job_id } => job_id,
@@ -1087,6 +1107,7 @@ mod tests {
             tenant: "t".into(),
             graph: g.clone(),
             job: small_job(2, 5),
+            deadline_ms: 0,
         });
         let mut framed = Vec::new();
         write_frame(&mut framed, &payload).unwrap();
@@ -1186,6 +1207,7 @@ mod tests {
             tenant: "t".into(),
             graph: g.clone(),
             job: small_job(2, 99),
+            deadline_ms: 0,
         });
         match c.recv() {
             Response::Error { code, .. } => assert_eq!(code, ErrorCode::Draining),
@@ -1220,6 +1242,7 @@ mod tests {
             tenant: "t".into(),
             graph: g.clone(),
             job: small_job(2, 3),
+            deadline_ms: 0,
         });
         match c.recv() {
             Response::Error { code, .. } => assert_eq!(code, ErrorCode::QuotaInFlight),

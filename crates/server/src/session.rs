@@ -35,14 +35,15 @@
 
 use crate::proto::{self, ErrorCode, FrontendKind, Request, Response, WireReport, WireStats};
 use crate::{
-    CompletionHook, JobCompletion, JobServer, JobState, JobStatusCell, PendingJob, ServerConfig,
-    TrySubmitError,
+    lock_unpoisoned, CompletionHook, JobCompletion, JobServer, JobState, JobStatusCell, PendingJob,
+    ServerConfig, TrySubmitError,
 };
 use msropm_core::{BatchJob, CancelToken};
 use msropm_graph::Graph;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, Weak};
+use std::time::{Duration, Instant};
 
 /// Sizing and policy knobs shared by both front ends.
 #[derive(Debug, Clone, Copy)]
@@ -103,8 +104,10 @@ struct Registry {
 }
 
 /// Delivers one finished job to its connection: `frame` is the encoded
-/// report (`None` for cancelled/failed jobs — nothing is streamed).
-/// Runs on the worker thread, after the quota slot has been released.
+/// terminal frame — a report for completed jobs, a
+/// [`Response::JobFailed`] for failed/deadline-exceeded ones, `None`
+/// for cancelled jobs (nothing is streamed). Runs on the worker
+/// thread, after the quota slot has been released.
 pub type DeliverFn = Box<dyn FnOnce(&SessionCore, u64, Option<Vec<u8>>) + Send>;
 
 /// What a nonblocking submit decided; see
@@ -197,9 +200,12 @@ impl SessionCore {
     /// Blocks until every admitted job has reached a terminal state
     /// (all completion hooks have run).
     pub fn await_drained(&self) {
-        let mut reg = self.registry.lock().expect("registry mutex");
+        let mut reg = lock_unpoisoned(&self.registry);
         while reg.active_jobs > 0 {
-            reg = self.drained.wait(reg).expect("registry mutex poisoned");
+            reg = self
+                .drained
+                .wait(reg)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -210,6 +216,8 @@ impl SessionCore {
         WireStats {
             jobs_completed: self.jobs.jobs_completed(),
             jobs_cancelled: self.jobs.jobs_cancelled(),
+            jobs_failed: self.jobs.jobs_failed(),
+            worker_restarts: self.jobs.worker_restarts(),
             backlog: self.jobs.backlog() as u64,
             cache_hits: cache.hits,
             cache_misses: cache.misses,
@@ -256,7 +264,7 @@ impl SessionCore {
         job_id: u64,
         reply: impl FnOnce(&JobEntry, u64) -> Response,
     ) -> Response {
-        let reg = self.registry.lock().expect("registry mutex");
+        let reg = lock_unpoisoned(&self.registry);
         match reg.jobs.get(&job_id) {
             None => Response::Error {
                 code: ErrorCode::UnknownJob,
@@ -278,9 +286,10 @@ impl SessionCore {
         tenant: String,
         graph: Graph,
         job: BatchJob,
+        deadline_ms: u64,
         deliver: DeliverFn,
     ) -> Response {
-        let (job_id, pending) = match self.admit(tenant, graph, job, deliver) {
+        let (job_id, pending) = match self.admit(tenant, graph, job, deadline_ms, deliver) {
             Ok(admitted) => admitted,
             Err(reject) => return reject,
         };
@@ -308,9 +317,10 @@ impl SessionCore {
         tenant: String,
         graph: Graph,
         job: BatchJob,
+        deadline_ms: u64,
         deliver: DeliverFn,
     ) -> SubmitDisposition {
-        let (job_id, pending) = match self.admit(tenant, graph, job, deliver) {
+        let (job_id, pending) = match self.admit(tenant, graph, job, deadline_ms, deliver) {
             Ok(admitted) => admitted,
             Err(reject) => return SubmitDisposition::Reply(reject),
         };
@@ -347,12 +357,15 @@ impl SessionCore {
     /// Admission control: drain check, quota check, registration — all
     /// under the registry lock, *before* enqueueing, so a cancel/status
     /// for the returned id can never miss. On success the job is
-    /// bundled with its session completion hook.
+    /// bundled with its session completion hook. A nonzero
+    /// `deadline_ms` becomes an absolute deadline clocked from
+    /// admission — queue wait counts against it.
     fn admit(
         self: &Arc<Self>,
         tenant: String,
         graph: Graph,
         job: BatchJob,
+        deadline_ms: u64,
         deliver: DeliverFn,
     ) -> Result<(u64, PendingJob), Response> {
         if self.is_draining() {
@@ -364,8 +377,10 @@ impl SessionCore {
         let lanes = job.lanes.len();
         let cancel = CancelToken::new();
         let status = Arc::new(JobStatusCell::new());
+        let deadline =
+            (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
         let job_id = {
-            let mut reg = self.registry.lock().expect("registry mutex");
+            let mut reg = lock_unpoisoned(&self.registry);
             // Read-only quota check first: a rejected submit must not
             // leave a tenant entry behind (a peer cycling random tenant
             // ids would otherwise grow the map forever).
@@ -408,22 +423,34 @@ impl SessionCore {
         let hook = self.completion_hook(job_id, deliver);
         Ok((
             job_id,
-            PendingJob::new(Arc::new(graph), job, cancel, status, hook),
+            PendingJob::new(Arc::new(graph), job, cancel, status, deadline, hook),
         ))
     }
 
     /// Builds the hook a worker fires when `job_id` reaches a terminal
     /// state: release the quota slot **before** streaming (a tenant
     /// that resubmits the moment its report arrives must fit), encode
-    /// the report frame once, then hand it to the transport's deliver
-    /// callback. Holds only a weak self-reference — hooks sit inside
-    /// queued envelopes, and a strong one would cycle
-    /// `SessionCore → JobServer → queue → hook → SessionCore`.
+    /// the terminal frame once — a report for `Done`, a typed
+    /// [`Response::JobFailed`] for failures — then hand it to the
+    /// transport's deliver callback. Every admitted job thus reaches
+    /// the client as exactly one terminal frame, except cancelled jobs
+    /// (the `CancelReply` already told the client) and jobs whose
+    /// submit reply itself carried the error. Holds only a weak
+    /// self-reference — hooks sit inside queued envelopes, and a strong
+    /// one would cycle `SessionCore → JobServer → queue → hook →
+    /// SessionCore`.
     fn completion_hook(self: &Arc<Self>, job_id: u64, deliver: DeliverFn) -> CompletionHook {
         let weak: Weak<SessionCore> = Arc::downgrade(self);
         CompletionHook::new(move |completion| {
             let Some(core) = weak.upgrade() else {
                 return;
+            };
+            let job_failed_frame = |code, message: &str| {
+                Some(proto::encode_response(&Response::JobFailed {
+                    job_id,
+                    code,
+                    message: message.into(),
+                }))
             };
             match completion {
                 JobCompletion::Done(outcome) => {
@@ -438,21 +465,57 @@ impl SessionCore {
                     core.finalize(job_id);
                     deliver(&core, job_id, None);
                 }
-                JobCompletion::WorkerDied => {
+                JobCompletion::Failed { message } => {
+                    // A panicking solve, caught by the worker: the
+                    // client gets the panic message under a typed code.
                     core.fail(job_id);
                     core.finalize(job_id);
-                    deliver(&core, job_id, None);
+                    deliver(
+                        &core,
+                        job_id,
+                        job_failed_frame(ErrorCode::Internal, &message),
+                    );
+                }
+                JobCompletion::DeadlineExceeded => {
+                    core.fail(job_id);
+                    core.finalize(job_id);
+                    deliver(
+                        &core,
+                        job_id,
+                        job_failed_frame(ErrorCode::DeadlineExceeded, "job deadline exceeded"),
+                    );
+                }
+                JobCompletion::WorkerDied => {
+                    // Fired from the hook's Drop. Two distinct paths
+                    // land here: a worker thread dying mid-job (stream
+                    // a typed failure, count it), and an envelope
+                    // dropped before pickup — queue closed at submit —
+                    // whose submit reply already carried the error
+                    // (stream nothing).
+                    let was_running = core.fail(job_id) == Some(JobState::Running);
+                    core.finalize(job_id);
+                    if was_running {
+                        core.jobs.count_failed_job();
+                        deliver(
+                            &core,
+                            job_id,
+                            job_failed_frame(ErrorCode::Internal, "worker died"),
+                        );
+                    } else {
+                        deliver(&core, job_id, None);
+                    }
                 }
             }
         })
     }
 
-    /// Marks a worker-died job as failed (panic surfaced via the hook).
-    fn fail(&self, job_id: u64) {
-        let reg = self.registry.lock().expect("registry mutex");
-        if let Some(entry) = reg.jobs.get(&job_id) {
-            entry.status.set(JobState::Failed);
-        }
+    /// Marks `job_id` failed, returning the state it was in (`None` for
+    /// an already-evicted entry).
+    fn fail(&self, job_id: u64) -> Option<JobState> {
+        let reg = lock_unpoisoned(&self.registry);
+        reg.jobs
+            .get(&job_id)
+            .map(|entry| entry.status.swap(JobState::Failed))
     }
 
     /// Releases a job's quota reservation once it is terminal and wakes
@@ -461,7 +524,7 @@ impl SessionCore {
     /// terminal jobs — older ones are evicted (status then answers
     /// `UnknownJob`), keeping a long-lived daemon's footprint bounded.
     fn finalize(&self, job_id: u64) {
-        let mut reg = self.registry.lock().expect("registry mutex");
+        let mut reg = lock_unpoisoned(&self.registry);
         let Some(entry) = reg.jobs.get(&job_id) else {
             return;
         };

@@ -34,7 +34,8 @@
 
 use crate::proto::{self, ErrorCode, FrontendKind, ProtoError, Request, Response, WireStats};
 use crate::session::{DeliverFn, SessionCore};
-use std::io::{BufReader, BufWriter, Write as _};
+use crate::{faultinject, lock_unpoisoned};
+use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
@@ -124,7 +125,7 @@ impl WireServer {
         // Closing the read side ends each reader loop; readers drop
         // their writer senders, writers flush the queued frames (reports
         // included) and exit.
-        let mut conns = self.connections.lock().expect("connections mutex");
+        let mut conns = lock_unpoisoned(&self.connections);
         for (stream, _) in conns.iter() {
             let _ = stream.shutdown(Shutdown::Read);
         }
@@ -151,7 +152,7 @@ type ConnectionList = Arc<Mutex<Vec<(TcpStream, thread::JoinHandle<()>)>>>;
 /// from the accept loop so a daemon serving churning short-lived
 /// connections never accumulates dead sockets.
 fn sweep_connections(connections: &ConnectionList) {
-    let mut conns = connections.lock().expect("connections mutex");
+    let mut conns = lock_unpoisoned(connections);
     let mut i = 0;
     while i < conns.len() {
         if conns[i].1.is_finished() {
@@ -197,16 +198,39 @@ fn accept_loop(listener: &TcpListener, core: &Arc<SessionCore>, connections: &Co
                         core2.connection_closed();
                     })
                     .expect("spawn connection thread");
-                connections
-                    .lock()
-                    .expect("connections mutex")
-                    .push((stream, handle));
+                lock_unpoisoned(connections).push((stream, handle));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(10));
             }
             Err(_) => thread::sleep(Duration::from_millis(10)),
         }
+    }
+}
+
+/// The connection writer's socket, with the fault-injection write
+/// points applied: writes are capped while short-writes is armed
+/// (exercising partial-write handling in the `BufWriter` above), and a
+/// fired sever countdown shuts the whole connection down mid-frame —
+/// an abrupt server-side disconnect as the client sees it. Both checks
+/// are single relaxed atomic loads when disarmed.
+struct FaultStream(TcpStream);
+
+impl io::Write for FaultStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if faultinject::should_sever_write() {
+            let _ = self.0.shutdown(Shutdown::Both);
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "fault injection: write severed",
+            ));
+        }
+        let cap = faultinject::short_write_cap(buf.len());
+        self.0.write(&buf[..cap])
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
     }
 }
 
@@ -222,7 +246,7 @@ fn connection_loop(stream: TcpStream, core: &Arc<SessionCore>) {
     let writer = thread::Builder::new()
         .name("msropm-wire-writer".into())
         .spawn(move || {
-            let mut out = BufWriter::new(write_stream);
+            let mut out = BufWriter::new(FaultStream(write_stream));
             while let Ok(frame) = rx.recv() {
                 if proto::write_frame(&mut out, &frame).is_err() || out.flush().is_err() {
                     // Peer gone: drain silently so senders never block.
@@ -251,16 +275,22 @@ fn connection_loop(stream: TcpStream, core: &Arc<SessionCore>) {
             }
         };
         match proto::decode_request(&payload) {
-            Ok(Request::Submit { tenant, graph, job }) => {
+            Ok(Request::Submit {
+                tenant,
+                graph,
+                job,
+                deadline_ms,
+            }) => {
                 let tx2 = tx.clone();
                 let deliver: DeliverFn = Box::new(move |core, _job_id, frame| {
                     if let Some(frame) = frame {
-                        if tx2.send(frame).is_ok() {
+                        let is_report = proto::is_report_frame(&frame);
+                        if tx2.send(frame).is_ok() && is_report {
                             core.note_report_streamed();
                         }
                     }
                 });
-                let resp = core.submit_blocking(tenant, graph, job, deliver);
+                let resp = core.submit_blocking(tenant, graph, job, deadline_ms, deliver);
                 send(&tx, &resp);
             }
             Ok(req) => {
@@ -342,6 +372,7 @@ mod tests {
                 tenant: tenant.into(),
                 graph: graph.clone(),
                 job,
+                deadline_ms: 0,
             });
             self.recv()
         }

@@ -8,8 +8,13 @@
 #   smoke  job-server determinism smoke + wire smoke (real TCP loopback:
 #          boot msropm_serve on an ephemeral port, run solve_remote
 #          submit/status/cancel against it under a hard timeout)
+#   chaos  fault-injection suite (crates/client/tests/chaos.rs): armed
+#          panics, killed workers, deadlines and socket faults against
+#          both front ends, under a hard timeout — fault points are
+#          process-global so the suite runs single-threaded
 #   perf   bench_phase_step / serve_bench / wire_bench regression gates
-#          against the committed BENCH_*.json baselines
+#          against the committed BENCH_*.json baselines (wire_bench also
+#          asserts the fault points are disarmed no-ops)
 #
 #   ./scripts/ci.sh                # full gate: every stage in order
 #   ./scripts/ci.sh --quick        # fast stages only (fmt, lint, test)
@@ -20,7 +25,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt lint test build smoke perf)
+ALL_STAGES=(fmt lint test build smoke chaos perf)
 QUICK_STAGES=(fmt lint test)
 
 usage() {
@@ -97,6 +102,16 @@ run_wire_smoke() {
     wait "$wire_server_pid" 2>/dev/null || true
     wire_server_pid=""
     rm -f "$port_file"
+}
+
+stage_chaos() {
+    # Every wait in the suite is internally bounded; the outer timeout
+    # is the backstop that turns a wedged run into a hard failure
+    # instead of a hung CI job. Single-threaded: the fault points are
+    # process-global and the tests serialize on them.
+    timeout --kill-after=10 600 \
+        cargo test -q -p msropm-client --test chaos --test failure_modes \
+        -- --test-threads=1
 }
 
 stage_perf() {
