@@ -37,10 +37,7 @@ fn main() {
     // Baseline: the same replica budget, all lanes at the paper point.
     let seeds: Vec<u64> = (0..num_lanes as u64).map(|i| opts.seed + i).collect();
     let machine = Msropm::new(g, base);
-    let baseline = machine.solve_batch(
-        &seeds,
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
-    );
+    let baseline = machine.solve_batch(&seeds, msropm_core::num_cores());
     let baseline_best = baseline
         .iter()
         .map(|s| s.coloring.accuracy(g))

@@ -9,7 +9,13 @@
 //! - `repeat_hot`: every job targets the same board (problem cache hits
 //!   after the first job) — the steady-state throughput ceiling;
 //! - `mixed`: jobs rotate through a graph pool with interleaved sweep
-//!   jobs, the traffic shape the cache + arena design is for.
+//!   jobs, the traffic shape the cache + arena design is for;
+//! - `repeat_hot_s2`/`repeat_hot_s4`: the hot workload again with each
+//!   job's lanes sharded 2/4 ways across the core pool
+//!   (`ShardPolicy::Fixed`). Their `shard_efficiency` column is the
+//!   jobs/sec ratio against the unsharded `repeat_hot` row —
+//!   informational, not gated (on a 1-core box it sits at ~1.0; the
+//!   service-time columns still gate overhead regressions).
 //!
 //! Results are written as JSON to `BENCH_serve.json` at the repository
 //! root (`--out PATH` overrides; `--quick` shrinks the job count for
@@ -17,16 +23,17 @@
 //! column against a committed baseline and exits nonzero on a >15%
 //! regression (the CI perf gate; see `msropm_bench::baseline`).
 //!
-//! `--smoke` runs no timing at all: it boots the server twice (1 worker,
-//! then 4), replays a small mixed batch, asserts the ranked reports are
-//! bit-identical, and exits — the CI server smoke stage.
+//! `--smoke` runs no timing at all: it boots the server three times
+//! (1 worker, 4 workers, 1 worker × 4 shards), replays a small mixed
+//! batch, asserts the ranked reports are bit-identical, and exits — the
+//! CI server smoke stage.
 //!
 //! Run with: `cargo run --release -p msropm-bench --bin serve_bench`
 
 use msropm_bench::baseline;
 use msropm_core::{BatchJob, JobReport, MsropmConfig, SweepParam, SweepSpec};
 use msropm_graph::{generators, Graph};
-use msropm_server::{JobOutcome, JobServer, ServerConfig};
+use msropm_server::{JobOutcome, JobServer, ServerConfig, ShardPolicy};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -125,14 +132,17 @@ impl Row {
 }
 
 /// Runs one workload on a fresh server and collects the row. The row is
-/// labelled `<name>_w<workers>` beyond one worker; tracked service-time
-/// columns are only emitted for single-worker rows (on a loaded box the
-/// multi-worker service clock measures timesharing, not code).
-fn run_workload(workload: Workload, workers: usize) -> Row {
+/// labelled `<name>_w<workers>` beyond one worker and `<name>_s<shards>`
+/// beyond one shard; tracked service-time columns are only emitted for
+/// single-worker rows (on a loaded box the multi-worker service clock
+/// measures timesharing, not code — intra-job shards share the worker's
+/// service clock, so sharded single-worker rows stay gated).
+fn run_workload(workload: Workload, workers: usize, shards: usize) -> Row {
     let server = JobServer::start(ServerConfig {
         workers,
         queue_capacity: 32,
         cache_capacity: 16,
+        shards: ShardPolicy::Fixed(shards),
     });
     let n_jobs = workload.jobs.len();
     let lanes: usize = workload.jobs.iter().map(|(_, j)| j.lanes.len()).sum();
@@ -159,11 +169,13 @@ fn run_workload(workload: Workload, workers: usize) -> Row {
         .iter()
         .map(|o| o.timing.service.as_secs_f64() * 1e6)
         .sum();
-    let label = if workers == 1 {
-        workload.name.to_string()
-    } else {
-        format!("{}_w{workers}", workload.name)
-    };
+    let mut label = workload.name.to_string();
+    if workers > 1 {
+        let _ = write!(label, "_w{workers}");
+    }
+    if shards > 1 {
+        let _ = write!(label, "_s{shards}");
+    }
     Row {
         workload: label,
         jobs: n_jobs,
@@ -176,16 +188,18 @@ fn run_workload(workload: Workload, workers: usize) -> Row {
     }
 }
 
-/// `--smoke`: ranked-report determinism across 1 vs 4 workers, no timing.
+/// `--smoke`: ranked-report determinism across 1 vs 4 workers and 1 vs
+/// 4 intra-job shards, no timing.
 fn smoke() {
-    let runs: Vec<Vec<JobReport>> = [1usize, 4]
+    let runs: Vec<Vec<JobReport>> = [(1usize, 1usize), (4, 1), (1, 4)]
         .iter()
-        .map(|&workers| {
+        .map(|&(workers, shards)| {
             let Workload { jobs, .. } = mixed(12);
             let server = JobServer::start(ServerConfig {
                 workers,
                 queue_capacity: 8,
                 cache_capacity: 4, // smaller than the pool: eviction churn included
+                shards: ShardPolicy::Fixed(shards),
             });
             let tickets: Vec<_> = jobs
                 .into_iter()
@@ -203,20 +217,22 @@ fn smoke() {
             reports
         })
         .collect();
-    for (i, (a, b)) in runs[0].iter().zip(&runs[1]).enumerate() {
-        assert_eq!(a.graph_hash, b.graph_hash, "job {i} graph hash");
-        assert_eq!(a.ranked.len(), b.ranked.len(), "job {i} lane count");
-        for (x, y) in a.ranked.iter().zip(&b.ranked) {
-            assert_eq!(x.lane, y.lane, "job {i} rank order");
-            assert_eq!(x.conflicts, y.conflicts, "job {i} conflicts");
-            assert_eq!(x.solution.coloring, y.solution.coloring, "job {i} coloring");
-            for (p, q) in x.solution.final_phases.iter().zip(&y.solution.final_phases) {
-                assert_eq!(p.to_bits(), q.to_bits(), "job {i} phases");
+    for other in &runs[1..] {
+        for (i, (a, b)) in runs[0].iter().zip(other).enumerate() {
+            assert_eq!(a.graph_hash, b.graph_hash, "job {i} graph hash");
+            assert_eq!(a.ranked.len(), b.ranked.len(), "job {i} lane count");
+            for (x, y) in a.ranked.iter().zip(&b.ranked) {
+                assert_eq!(x.lane, y.lane, "job {i} rank order");
+                assert_eq!(x.conflicts, y.conflicts, "job {i} conflicts");
+                assert_eq!(x.solution.coloring, y.solution.coloring, "job {i} coloring");
+                for (p, q) in x.solution.final_phases.iter().zip(&y.solution.final_phases) {
+                    assert_eq!(p.to_bits(), q.to_bits(), "job {i} phases");
+                }
             }
         }
     }
     println!(
-        "serve smoke OK: {} mixed jobs bit-identical across 1 vs 4 workers",
+        "serve smoke OK: {} mixed jobs bit-identical across 1 vs 4 workers and 1 vs 4 shards",
         runs[0].len()
     );
 }
@@ -255,15 +271,16 @@ fn main() {
     let out_path = out_path.unwrap_or_else(|| baseline::default_out_path("BENCH_serve.json"));
     let (hot_jobs, mixed_jobs) = if quick { (12, 15) } else { (48, 60) };
 
-    // Gate rows (1 worker: stable service clocks) first, then the
-    // multi-worker scaling rows (throughput/latency only; skipped when
-    // `--workers 1` would just duplicate the gate rows' labels). Every
-    // row is the best of two repetitions — scheduler hiccups on a shared
-    // box only ever make a run *slower*, so the per-row minimum is the
-    // stable statistic a 15% gate can safely compare.
-    let best = |make: &dyn Fn() -> Workload, workers: usize| -> Row {
-        let a = run_workload(make(), workers);
-        let b = run_workload(make(), workers);
+    // Gate rows (1 worker: stable service clocks) first — unsharded,
+    // then the intra-job shard-width sweep of the hot workload — then
+    // the multi-worker scaling rows (throughput/latency only; skipped
+    // when `--workers 1` would just duplicate the gate rows' labels).
+    // Every row is the best of two repetitions — scheduler hiccups on a
+    // shared box only ever make a run *slower*, so the per-row minimum
+    // is the stable statistic a 15% gate can safely compare.
+    let best = |make: &dyn Fn() -> Workload, workers: usize, shards: usize| -> Row {
+        let a = run_workload(make(), workers, shards);
+        let b = run_workload(make(), workers, shards);
         if a.service_us_total <= b.service_us_total {
             a
         } else {
@@ -271,16 +288,28 @@ fn main() {
         }
     };
     let mut rows = vec![
-        best(&|| repeat_hot(hot_jobs), 1),
-        best(&|| mixed(mixed_jobs), 1),
+        best(&|| repeat_hot(hot_jobs), 1, 1),
+        best(&|| mixed(mixed_jobs), 1, 1),
+        best(&|| repeat_hot(hot_jobs), 1, 2),
+        best(&|| repeat_hot(hot_jobs), 1, 4),
     ];
     if workers > 1 {
-        rows.push(best(&|| repeat_hot(hot_jobs), workers));
-        rows.push(best(&|| mixed(mixed_jobs), workers));
+        rows.push(best(&|| repeat_hot(hot_jobs), workers, 1));
+        rows.push(best(&|| mixed(mixed_jobs), workers, 1));
     }
+    // Shard scaling relative to the unsharded hot row (rows[0]): >1
+    // means the shard pool bought wall-clock, ~1.0 means it broke even
+    // (all it *can* do on a single core).
+    let hot_jps = rows[0].jobs_per_sec();
+    let shard_efficiency = |r: &Row| -> Option<f64> {
+        r.workload
+            .starts_with("repeat_hot_s")
+            .then(|| r.jobs_per_sec() / hot_jps)
+    };
     for r in &rows {
+        let eff = shard_efficiency(r).map_or(String::new(), |e| format!(" | shard eff {e:.2}x"));
         println!(
-            "{:<10} {:>3} jobs ({:>3} lanes) in {:>6.2}s | {:>6.2} jobs/s | latency p50 {:>9.0} us p99 {:>9.0} us | service/job {:>9.0} us | cache hits {:>4.0}%",
+            "{:<13} {:>3} jobs ({:>3} lanes) in {:>6.2}s | {:>6.2} jobs/s | latency p50 {:>9.0} us p99 {:>9.0} us | service/job {:>9.0} us | cache hits {:>4.0}%{eff}",
             r.workload,
             r.jobs,
             r.lanes,
@@ -341,6 +370,9 @@ fn main() {
                 spj = r.service_us_total / r.jobs as f64,
                 spl = r.service_us_total / r.lanes as f64,
             );
+        }
+        if let Some(eff) = shard_efficiency(r) {
+            let _ = write!(json, ", \"shard_efficiency\": {eff:.3}");
         }
         let _ = write!(json, ", \"cache_hit_rate\": {:.4}}}", r.cache_hit_rate);
         json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });

@@ -183,6 +183,9 @@ fn bind_frontend(workers: usize, opts: RunOpts) -> Frontend {
             workers,
             queue_capacity: 32,
             cache_capacity: 16,
+            // The wire suite measures transport, not the solver: pin
+            // one shard so its rows stay comparable to old baselines.
+            shards: msropm_server::ShardPolicy::Fixed(1),
         },
         max_inflight_jobs: 512,
         max_queued_lanes: 1 << 16,

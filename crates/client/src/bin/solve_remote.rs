@@ -248,7 +248,8 @@ fn main() {
                 .unwrap_or_else(|e| fail(format!("stats: {e}")));
             println!(
                 "frontend {} | connections {} | completed {} | cancelled {} | failed {} | \
-                 worker restarts {} | backlog {} | cache {}/{} hits",
+                 worker restarts {} | backlog {} | cache {}/{} hits | \
+                 sharded {} (max width {})",
                 s.frontend,
                 s.connections,
                 s.jobs_completed,
@@ -257,7 +258,9 @@ fn main() {
                 s.worker_restarts,
                 s.backlog,
                 s.cache_hits,
-                s.cache_hits + s.cache_misses
+                s.cache_hits + s.cache_misses,
+                s.jobs_sharded,
+                s.shard_width_max
             );
         }
         _ => usage(),
@@ -284,6 +287,7 @@ fn smoke(addr: Option<&str>, idle: usize) {
                         workers: 1,
                         queue_capacity: 16,
                         cache_capacity: 8,
+                        ..ServerConfig::default()
                     },
                     ..WireConfig::default()
                 },

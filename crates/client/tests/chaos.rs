@@ -15,9 +15,12 @@
 //!   fresh batch completes normally after the burst;
 //! - **unaffected jobs stay byte-identical**: report frames for jobs
 //!   that survive the chaos match across
-//!   {threads, reactor} × {1, 4 workers}, bit for bit (modulo the
-//!   volatile id/timing fields) — failure handling must not perturb
-//!   the solver;
+//!   {threads, reactor} × {1, 4 workers} × {1, 4 shards}, bit for bit
+//!   (modulo the volatile id/timing fields) — failure handling must
+//!   not perturb the solver at any intra-job shard width;
+//! - **shard faults stay job-scoped**: a panic inside one shard of a
+//!   sharded solve unwinds the whole job to a typed failure (arena
+//!   rebuilt, no worker restart) and the server keeps serving;
 //! - **socket faults degrade cleanly**: short writes never corrupt
 //!   frames, severed writes surface as typed I/O errors.
 //!
@@ -32,7 +35,7 @@ use msropm_server::faultinject;
 use msropm_server::proto::{encode_response, ErrorCode, FrontendKind, Response, WireReport};
 use msropm_server::reactor::{ReactorConfig, ReactorServer};
 use msropm_server::wire::{WireConfig, WireServer};
-use msropm_server::{Frontend, JobState, ServerConfig};
+use msropm_server::{Frontend, JobState, ServerConfig, ShardPolicy};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -56,12 +59,13 @@ fn fast_config() -> MsropmConfig {
     }
 }
 
-fn wire_config(workers: usize) -> WireConfig {
+fn wire_config(workers: usize, shards: usize) -> WireConfig {
     WireConfig {
         server: ServerConfig {
             workers,
             queue_capacity: 32,
             cache_capacity: 4,
+            shards: ShardPolicy::Fixed(shards),
         },
         max_inflight_jobs: 32,
         max_queued_lanes: 4096,
@@ -69,15 +73,15 @@ fn wire_config(workers: usize) -> WireConfig {
     }
 }
 
-fn bind_frontend(frontend: FrontendKind, workers: usize) -> Frontend {
+fn bind_frontend(frontend: FrontendKind, workers: usize, shards: usize) -> Frontend {
     match frontend {
-        FrontendKind::Threads => WireServer::bind("127.0.0.1:0", wire_config(workers))
+        FrontendKind::Threads => WireServer::bind("127.0.0.1:0", wire_config(workers, shards))
             .expect("bind threads")
             .into(),
         FrontendKind::Reactor => ReactorServer::bind(
             "127.0.0.1:0",
             ReactorConfig {
-                wire: wire_config(workers),
+                wire: wire_config(workers, shards),
                 ..ReactorConfig::default()
             },
         )
@@ -86,13 +90,16 @@ fn bind_frontend(frontend: FrontendKind, workers: usize) -> Frontend {
     }
 }
 
-/// The full front-end × worker-count matrix the acceptance criteria
-/// name.
-const MATRIX: [(FrontendKind, usize); 4] = [
-    (FrontendKind::Threads, 1),
-    (FrontendKind::Threads, 4),
-    (FrontendKind::Reactor, 1),
-    (FrontendKind::Reactor, 4),
+/// The full front-end × worker-count × shard-width matrix the
+/// acceptance criteria name (the sharded rows keep the suite's runtime
+/// bounded by reusing one front end per worker count).
+const MATRIX: [(FrontendKind, usize, usize); 6] = [
+    (FrontendKind::Threads, 1, 1),
+    (FrontendKind::Threads, 4, 1),
+    (FrontendKind::Reactor, 1, 1),
+    (FrontendKind::Reactor, 4, 1),
+    (FrontendKind::Threads, 1, 4),
+    (FrontendKind::Reactor, 4, 4),
 ];
 
 /// A small mixed workload: repeat + cold topologies, every third job a
@@ -196,9 +203,9 @@ fn settle(client: &mut Client, id: u64, cancelled: bool, ctx: &str) -> Outcome {
 /// panic-in-solve fault armed mid-stream, delayed completions
 /// throughout. Returns the typed outcome of every submit, by job
 /// index.
-fn chaos_run(frontend: FrontendKind, workers: usize) -> BTreeMap<usize, Outcome> {
-    let ctx = format!("{frontend:?}/{workers}w");
-    let server = bind_frontend(frontend, workers);
+fn chaos_run(frontend: FrontendKind, workers: usize, shards: usize) -> BTreeMap<usize, Outcome> {
+    let ctx = format!("{frontend:?}/{workers}w/{shards}s");
+    let server = bind_frontend(frontend, workers, shards);
     let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
 
     // Slow every delivery a little and panic one solve mid-batch: the
@@ -228,7 +235,7 @@ fn chaos_run(frontend: FrontendKind, workers: usize) -> BTreeMap<usize, Outcome>
     // Quota release: every ticket above reached a terminal state, so
     // the tenant must be able to fill its entire in-flight quota again.
     faultinject::disarm_all();
-    let quota = wire_config(workers).max_inflight_jobs;
+    let quota = wire_config(workers, shards).max_inflight_jobs;
     let graph = Arc::new(generators::kings_graph(4, 4));
     for s in 0..quota {
         client
@@ -258,10 +265,10 @@ fn chaos_every_submit_terminates_and_survivors_stay_identical() {
 
     let runs: Vec<(String, BTreeMap<usize, Outcome>)> = MATRIX
         .into_iter()
-        .map(|(frontend, workers)| {
+        .map(|(frontend, workers, shards)| {
             (
-                format!("{frontend:?}/{workers}w"),
-                chaos_run(frontend, workers),
+                format!("{frontend:?}/{workers}w/{shards}s"),
+                chaos_run(frontend, workers, shards),
             )
         })
         .collect();
@@ -280,7 +287,8 @@ fn chaos_every_submit_terminates_and_survivors_stay_identical() {
 
     // Byte-identity for the jobs that survived *everywhere*: the panic
     // victim and the cancel races differ per run, but any job that
-    // reported in all four runs must have produced identical bytes.
+    // reported in every run must have produced identical bytes —
+    // across front ends, worker counts, and intra-job shard widths.
     let common: Vec<usize> = (0..12)
         .filter(|i| {
             runs.iter()
@@ -312,7 +320,7 @@ fn panicking_solve_is_a_typed_failure_not_a_dead_server() {
     let _serial = chaos_lock();
     let _faults = faultinject::guard();
     for (frontend, workers) in [(FrontendKind::Threads, 1), (FrontendKind::Reactor, 1)] {
-        let server = bind_frontend(frontend, workers);
+        let server = bind_frontend(frontend, workers, 1);
         let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
         let (graph, job) = &mixed_jobs(1)[0];
 
@@ -344,12 +352,76 @@ fn panicking_solve_is_a_typed_failure_not_a_dead_server() {
     }
 }
 
+/// Disarms the *core* pool's shard-panic fault on drop — it is a
+/// separate fault point from the server crate's `faultinject`, so the
+/// server-side guard does not cover it and a failing assertion must
+/// not leak it into later tests.
+struct ShardFaultGuard;
+
+impl Drop for ShardFaultGuard {
+    fn drop(&mut self) {
+        msropm_core::pool::faultinject::disarm();
+    }
+}
+
+#[test]
+fn shard_panic_is_a_typed_failure_not_a_dead_server() {
+    let _serial = chaos_lock();
+    let _faults = faultinject::guard();
+    let _shard_fault = ShardFaultGuard;
+    for (frontend, shards) in [(FrontendKind::Threads, 4), (FrontendKind::Reactor, 2)] {
+        let server = bind_frontend(frontend, 1, shards);
+        let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
+        // A job wide enough that every shard of the fixed width gets
+        // lanes — the armed shard is guaranteed to run.
+        let graph = Arc::new(generators::kings_graph(4, 4));
+        let job = BatchJob::uniform(fast_config(), 8, 77);
+
+        // One shard of the sharded solve panics; the unwind crosses the
+        // shard join, the worker's catch_unwind types it, and the
+        // worker (arena rebuilt) lives on.
+        msropm_core::pool::faultinject::arm_panic_in_shard(1);
+        let id = client.submit(&graph, &job).expect("submit");
+        match client.wait_report_timeout(id, NO_HANG) {
+            Err(ClientError::Server { code, message }) => {
+                assert_eq!(code, ErrorCode::Internal, "{frontend:?}/{shards}s");
+                assert!(
+                    message.contains("injected shard panic"),
+                    "{frontend:?}/{shards}s: failure should carry the shard panic text, \
+                     got {message:?}"
+                );
+            }
+            other => panic!("{frontend:?}/{shards}s: expected typed failure, got {other:?}"),
+        }
+        assert_eq!(client.status(id).expect("status"), JobState::Failed);
+
+        // Same job, fault disarmed by its one-shot firing: the rebuilt
+        // arena solves it normally, and a shard panic costs a failure
+        // count but never a worker restart.
+        let id2 = client
+            .submit(&graph, &job)
+            .expect("submit after shard panic");
+        client.wait_report(id2).expect("report after shard panic");
+        let stats = client.stats().expect("stats");
+        assert!(stats.jobs_failed >= 1, "{frontend:?}/{shards}s: {stats:?}");
+        assert_eq!(
+            stats.worker_restarts, 0,
+            "{frontend:?}/{shards}s: a caught shard panic must not cost a restart"
+        );
+        assert!(
+            stats.jobs_sharded >= 2 && stats.shard_width_max >= shards as u64,
+            "{frontend:?}/{shards}s: shard counters missed the sharded solves: {stats:?}"
+        );
+        server.shutdown();
+    }
+}
+
 #[test]
 fn killed_workers_are_respawned_and_throughput_recovers() {
     let _serial = chaos_lock();
     let _faults = faultinject::guard();
     for (frontend, workers) in [(FrontendKind::Threads, 1), (FrontendKind::Reactor, 4)] {
-        let server = bind_frontend(frontend, workers);
+        let server = bind_frontend(frontend, workers, 1);
         let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
         let (graph, job) = &mixed_jobs(1)[0];
 
@@ -399,8 +471,12 @@ fn killed_workers_are_respawned_and_throughput_recovers() {
 fn deadlines_expire_in_queue_and_mid_run_with_typed_errors() {
     let _serial = chaos_lock();
     let _faults = faultinject::guard();
-    for (frontend, workers) in [(FrontendKind::Threads, 1), (FrontendKind::Reactor, 1)] {
-        let server = bind_frontend(frontend, workers);
+    // The shard axis rides along: deadline semantics fire at stage
+    // boundaries, which a sharded solve joins through identically.
+    for (frontend, workers, shards) in
+        [(FrontendKind::Threads, 1, 1), (FrontendKind::Reactor, 1, 4)]
+    {
+        let server = bind_frontend(frontend, workers, shards);
         let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
 
         // Queue-wait shedding: the single worker is busy, so a 1 ms
@@ -450,7 +526,7 @@ fn short_writes_dribble_frames_through_intact() {
 
     // Reference fingerprints with the wire healthy...
     let reference: Vec<Vec<u8>> = {
-        let server = bind_frontend(FrontendKind::Threads, 1);
+        let server = bind_frontend(FrontendKind::Threads, 1, 1);
         let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
         let prints = mixed_jobs(4)
             .iter()
@@ -466,7 +542,7 @@ fn short_writes_dribble_frames_through_intact() {
     // ...must survive every frame crossing the socket 7 bytes at a
     // time, on both front ends' write paths.
     for frontend in [FrontendKind::Threads, FrontendKind::Reactor] {
-        let server = bind_frontend(frontend, 1);
+        let server = bind_frontend(frontend, 1, 1);
         let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
         faultinject::arm_short_writes();
         for (i, (g, j)) in mixed_jobs(4).iter().enumerate() {
@@ -488,7 +564,7 @@ fn severed_write_surfaces_as_transport_error_not_a_hang() {
     let _serial = chaos_lock();
     let _faults = faultinject::guard();
     for frontend in [FrontendKind::Threads, FrontendKind::Reactor] {
-        let server = bind_frontend(frontend, 1);
+        let server = bind_frontend(frontend, 1, 1);
         let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
         let (graph, job) = &mixed_jobs(1)[0];
 

@@ -39,6 +39,7 @@ fn wire_config(workers: usize) -> WireConfig {
             workers,
             queue_capacity: 32,
             cache_capacity: 4, // smaller than the graph pool: eviction churn included
+            ..ServerConfig::default()
         },
         max_inflight_jobs: 32,
         max_queued_lanes: 1024,

@@ -32,6 +32,7 @@ fn server_with(workers: usize) -> WireServer {
                 workers,
                 queue_capacity: 16,
                 cache_capacity: 4, // smaller than the graph pool: eviction churn included
+                ..ServerConfig::default()
             },
             ..WireConfig::default()
         },
@@ -174,6 +175,7 @@ fn quota_rejection_is_tenant_scoped_through_the_client() {
                 workers: 1,
                 queue_capacity: 16,
                 cache_capacity: 4,
+                ..ServerConfig::default()
             },
             max_inflight_jobs: 1,
             max_queued_lanes: 64,
@@ -212,6 +214,7 @@ fn cancelled_job_never_streams_a_report_and_frees_quota() {
                 workers: 1,
                 queue_capacity: 16,
                 cache_capacity: 4,
+                ..ServerConfig::default()
             },
             max_inflight_jobs: 2,
             max_queued_lanes: 64,

@@ -17,6 +17,16 @@
 //! [`crate::schedule::ScheduleSet`]); everything else rides in per-lane
 //! kernel tables, so the hot loop is identical to the homogeneous case.
 //!
+//! Since PR 7 a *single job's* lane range can also shard **inside** one
+//! solve: [`solve_lanes_sharded_hooked`] splits the range into
+//! contiguous chunks, runs each chunk's current stage as an owned task
+//! on the [`crate::pool::ShardPool`], and re-joins at every stage
+//! boundary, where hooks (cancellation, deadlines, portfolio restarts)
+//! fire over a cross-shard [`StageBoundary`] with exactly the
+//! single-shard semantics. Both paths execute the same
+//! [`run_one_stage`] body on the same per-shard state, so 1-shard and
+//! N-shard solves are bit-identical by construction.
+//!
 //! # Determinism contract
 //!
 //! Replica `i` performs bit-for-bit the floating-point operations and RNG
@@ -39,17 +49,18 @@
 //!   jitter lanes integrate bias + noise drawing one deviate per node
 //!   per step, uniform lanes draw nothing until their end-of-window
 //!   phase redraw, each matching its solo counterpart;
-//! - threads shard replicas into disjoint contiguous ranges, and a
-//!   replica's trajectory never depends on its range.
+//! - threads and shards partition replicas into disjoint contiguous
+//!   ranges, and a replica's trajectory never depends on its range.
 //!
 //! Hence colorings (and final phases) are identical across thread counts
-//! and identical to a sequential iteration loop — property-tested in the
-//! workspace root's `tests/batch_determinism.rs` and
-//! `tests/lane_equivalence.rs`.
+//! *and shard counts* and identical to a sequential iteration loop —
+//! property-tested in the workspace root's `tests/batch_determinism.rs`
+//! and `tests/lane_equivalence.rs`.
 
 use crate::config::{LaneConfig, MsropmConfig, ReinitMode};
 use crate::machine::{MsropmSolution, StageRecord};
-use crate::schedule::{ScheduleSet, WindowKind};
+use crate::pool::ShardPool;
+use crate::schedule::{ScheduleSet, Window, WindowKind};
 use msropm_graph::{Color, Coloring, Cut, Graph};
 use msropm_ode::sde::standard_normal;
 use msropm_osc::batch::{BatchIntegrator, BatchKernel};
@@ -58,8 +69,11 @@ use msropm_osc::shil::{stage_shil_phase, Shil};
 use msropm_osc::PhaseNetwork;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::any::Any;
 use std::f64::consts::TAU;
 use std::ops::ControlFlow;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc};
 
 /// Runs one homogeneous batch of replicas (every lane at the base
 /// config), sharded over at most `threads` OS threads.
@@ -153,15 +167,9 @@ pub(crate) fn solve_lanes_sharded(
     .expect("crossbeam scope")
 }
 
-/// The cross-lane view a stage-boundary hook receives: per-lane quality
-/// so far plus the lane-state copy that implements population restarts.
-///
-/// The hook fires after each stage's readout *and* transition (groups
-/// latched, crossing couplings cut) for every stage except the last —
-/// the instants the paper's control sequencer could realistically
-/// intervene between SHIL windows.
-pub(crate) struct StageBoundary<'a> {
-    graph: &'a Graph,
+/// One shard's mutable slice of a [`StageBoundary`]: the per-shard
+/// kernel and state vectors, in lane order within the shard.
+pub(crate) struct ShardSlice<'a> {
     kernel: &'a mut BatchKernel,
     phases: &'a mut [f64],
     groups: &'a mut [usize],
@@ -169,10 +177,79 @@ pub(crate) struct StageBoundary<'a> {
     replicas: usize,
 }
 
+impl ShardSlice<'_> {
+    /// Copies lane `src` onto lane `dst` *within this shard* (local
+    /// indices).
+    fn copy_lane_local(&mut self, graph: &Graph, src: usize, dst: usize) {
+        let rr = self.replicas;
+        let n = self.phases.len() / rr;
+        for i in 0..n {
+            self.phases[i * rr + dst] = self.phases[i * rr + src];
+            self.groups[i * rr + dst] = self.groups[i * rr + src];
+        }
+        for e in 0..graph.num_edges() {
+            let on = self.kernel.edge_enabled(e, src);
+            self.kernel.set_edge_enabled(e, dst, on);
+        }
+        self.stage_records[dst] = self.stage_records[src].clone();
+    }
+}
+
+/// Copies lane state across two *different* shards (local indices into
+/// each). Reads from `src` are through shared references, so the
+/// borrows never conflict.
+fn copy_lane_across(
+    graph: &Graph,
+    src: &ShardSlice<'_>,
+    src_lane: usize,
+    dst: &mut ShardSlice<'_>,
+    dst_lane: usize,
+) {
+    let (rs, rd) = (src.replicas, dst.replicas);
+    let n = src.phases.len() / rs;
+    for i in 0..n {
+        dst.phases[i * rd + dst_lane] = src.phases[i * rs + src_lane];
+        dst.groups[i * rd + dst_lane] = src.groups[i * rs + src_lane];
+    }
+    for e in 0..graph.num_edges() {
+        let on = src.kernel.edge_enabled(e, src_lane);
+        dst.kernel.set_edge_enabled(e, dst_lane, on);
+    }
+    dst.stage_records[dst_lane] = src.stage_records[src_lane].clone();
+}
+
+/// The cross-lane view a stage-boundary hook receives: per-lane quality
+/// so far plus the lane-state copy that implements population restarts.
+///
+/// The hook fires after each stage's readout *and* transition (groups
+/// latched, crossing couplings cut) for every stage except the last —
+/// the instants the paper's control sequencer could realistically
+/// intervene between SHIL windows. On the sharded path the boundary
+/// spans every shard (shards appear in lane order), so lane indices are
+/// **global** and `copy_lane` works across shard boundaries — a
+/// portfolio restart neither knows nor cares how the batch was
+/// partitioned.
+pub(crate) struct StageBoundary<'a> {
+    graph: &'a Graph,
+    shards: Vec<ShardSlice<'a>>,
+}
+
 impl StageBoundary<'_> {
-    /// Number of lanes in the batch.
+    /// Number of lanes in the batch (across all shards).
     pub(crate) fn num_lanes(&self) -> usize {
-        self.replicas
+        self.shards.iter().map(|s| s.replicas).sum()
+    }
+
+    /// Maps a global lane index to `(shard, local lane)`.
+    fn locate(&self, lane: usize) -> (usize, usize) {
+        let mut remaining = lane;
+        for (s, shard) in self.shards.iter().enumerate() {
+            if remaining < shard.replicas {
+                return (s, remaining);
+            }
+            remaining -= shard.replicas;
+        }
+        panic!("lane {lane} out of range");
     }
 
     /// Edges already *permanently satisfied* for lane `r`: couplings cut
@@ -181,8 +258,10 @@ impl StageBoundary<'_> {
     /// ranking — more satisfied edges now means fewer conflicts the
     /// remaining stages must resolve.
     pub(crate) fn satisfied_edges(&self, r: usize) -> usize {
+        let (s, local) = self.locate(r);
         let m = self.graph.num_edges();
-        let active = (0..m).filter(|&e| self.kernel.edge_enabled(e, r)).count();
+        let kernel = &self.shards[s].kernel;
+        let active = (0..m).filter(|&e| kernel.edge_enabled(e, local)).count();
         m - active
     }
 
@@ -199,21 +278,22 @@ impl StageBoundary<'_> {
     ///
     /// Panics if `src` or `dst` is out of range.
     pub(crate) fn copy_lane(&mut self, src: usize, dst: usize) {
-        assert!(src < self.replicas && dst < self.replicas, "lane range");
+        let lanes = self.num_lanes();
+        assert!(src < lanes && dst < lanes, "lane range");
         if src == dst {
             return;
         }
-        let rr = self.replicas;
-        let n = self.phases.len() / rr;
-        for i in 0..n {
-            self.phases[i * rr + dst] = self.phases[i * rr + src];
-            self.groups[i * rr + dst] = self.groups[i * rr + src];
+        let (ss, sl) = self.locate(src);
+        let (ds, dl) = self.locate(dst);
+        if ss == ds {
+            self.shards[ss].copy_lane_local(self.graph, sl, dl);
+        } else if ss < ds {
+            let (head, tail) = self.shards.split_at_mut(ds);
+            copy_lane_across(self.graph, &head[ss], sl, &mut tail[0], dl);
+        } else {
+            let (head, tail) = self.shards.split_at_mut(ss);
+            copy_lane_across(self.graph, &tail[0], sl, &mut head[ds], dl);
         }
-        for e in 0..self.graph.num_edges() {
-            let on = self.kernel.edge_enabled(e, src);
-            self.kernel.set_edge_enabled(e, dst, on);
-        }
-        self.stage_records[dst] = self.stage_records[src].clone();
     }
 }
 
@@ -249,6 +329,40 @@ impl BatchArena {
     /// solve that uses it.
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// One [`BatchArena`] per shard, owned by a long-lived worker: a
+/// sharded solve moves shard `i`'s arena into shard `i`'s tasks and
+/// moves it back at the end, so repeated sharded solves of same-shaped
+/// jobs reuse every per-shard buffer — the PR 3 allocation-free-across-
+/// jobs property, per shard. (The sharded path does clone the graph and
+/// network into `Arc`s once per solve so tasks can outlive the caller's
+/// borrows; that is O(n + m) against a solve that integrates thousands
+/// of steps per edge.)
+///
+/// If a solve panics (a shard task died), the arenas that were in
+/// flight are lost — rebuild with [`ShardedArena::new`], exactly like a
+/// plain arena after a worker panic.
+#[derive(Debug, Default)]
+pub struct ShardedArena {
+    shards: Vec<BatchArena>,
+}
+
+impl ShardedArena {
+    /// Creates an empty set of shard arenas; shards materialize on
+    /// first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The arena of shard `i`, created empty on demand. Shard `i` of
+    /// every solve uses slot `i`, so warm buffers line up across jobs.
+    fn shard_slot(&mut self, i: usize) -> &mut BatchArena {
+        while self.shards.len() <= i {
+            self.shards.push(BatchArena::new());
+        }
+        &mut self.shards[i]
     }
 }
 
@@ -307,6 +421,300 @@ pub(crate) fn solve_lanes_arena(
     .expect("hook never aborts")
 }
 
+/// Everything [`prepare_lane_range`] computes beyond the arena's own
+/// buffers: the compiled kernel, the (per-solve) stage-record
+/// accumulators and the lockstep timeline.
+struct PreparedRange {
+    kernel: BatchKernel,
+    stage_records: Vec<Vec<StageRecord>>,
+    windows: Vec<Window>,
+    k: usize,
+    dt: f64,
+}
+
+/// Shared start-of-run setup for one contiguous lane range: resolves the
+/// lane configs, compiles the (possibly heterogeneous) kernel, seeds the
+/// RNGs and draws spreads + initial phases — every buffer in `arena`
+/// fully re-initialized. Both the borrowed single-shard path and the
+/// owned shard tasks run exactly this code, which is half of the
+/// 1-vs-N-shard bit-identity argument (the other half is
+/// [`run_one_stage`]).
+fn prepare_lane_range(
+    graph: &Graph,
+    base_config: &MsropmConfig,
+    network: &PhaseNetwork,
+    lanes: &[LaneConfig],
+    seeds: &[u64],
+    sample_spread: bool,
+    arena: &mut BatchArena,
+) -> PreparedRange {
+    let n = graph.num_nodes();
+    let rr = seeds.len();
+    assert_eq!(lanes.len(), rr, "need one lane config per seed");
+    let BatchArena {
+        integrator: _,
+        rngs,
+        configs,
+        phases,
+        groups,
+        bits,
+        stage_shils: _,
+        ramped,
+    } = arena;
+    configs.clear();
+    configs.extend(lanes.iter().map(|l| l.resolve(base_config)));
+    let schedule_set = ScheduleSet::from_configs(configs);
+    let schedule = schedule_set.lockstep();
+    let k = configs[0].num_stages();
+    let dt = configs[0].dt;
+    let windows = schedule.windows().to_vec();
+
+    rngs.clear();
+    rngs.extend(seeds.iter().map(|&s| StdRng::seed_from_u64(s)));
+    let needs_lane_nets = lanes
+        .iter()
+        .any(|l| l.coupling_strength.is_some() || l.noise.is_some());
+    let mut kernel = if needs_lane_nets {
+        let nets: Vec<PhaseNetwork> = lanes.iter().map(|l| lane_network(network, l)).collect();
+        BatchKernel::from_lanes(&nets)
+    } else {
+        BatchKernel::new(network, rr)
+    };
+    // Start-of-run control state, mirroring `Msropm::solve`: every P_EN
+    // high, SHIL off.
+    kernel.enable_all_edges();
+    kernel.set_shil_enabled(false);
+
+    // Runner semantics: frequency offsets are the replica's first draws.
+    if sample_spread {
+        for (r, rng) in rngs.iter_mut().enumerate() {
+            if configs[r].frequency_spread > 0.0 {
+                for i in 0..n {
+                    kernel.set_bias(i, r, configs[r].frequency_spread * standard_normal(rng));
+                }
+            }
+        }
+    }
+
+    // Startup randomization: i.i.d. uniform phases, per replica in node
+    // order (the order `PhaseNetwork::random_phases` draws).
+    refill(phases, n * rr, 0.0);
+    for (r, rng) in rngs.iter_mut().enumerate() {
+        for i in 0..n {
+            phases[i * rr + r] = rng.gen::<f64>() * TAU;
+        }
+    }
+
+    refill(groups, n * rr, 0usize);
+    refill(bits, n * rr, false);
+    ramped.clear();
+    ramped.extend(configs.iter().map(|c| c.shil_ramp));
+    // Stage records are the output payload (moved into the returned
+    // solutions), so they are the one fresh allocation per solve.
+    let stage_records: Vec<Vec<StageRecord>> = vec![Vec::with_capacity(k); rr];
+    PreparedRange {
+        kernel,
+        stage_records,
+        windows,
+        k,
+        dt,
+    }
+}
+
+/// Advances one lane range through one full stage: Randomize → Anneal →
+/// Lock → readout → transition. `stage_windows` is the stage's three
+/// schedule windows in that order. This is *the* stage body — the
+/// single-shard loop and every shard task call exactly this function,
+/// so partitioning the lane range cannot change any lane's arithmetic.
+fn run_one_stage(
+    graph: &Graph,
+    stage: usize,
+    stage_windows: &[Window],
+    dt: f64,
+    kernel: &mut BatchKernel,
+    arena: &mut BatchArena,
+    stage_records: &mut [Vec<StageRecord>],
+) {
+    let n = graph.num_nodes();
+    let BatchArena {
+        integrator,
+        rngs,
+        configs,
+        phases,
+        groups,
+        bits,
+        stage_shils,
+        ramped,
+    } = arena;
+    let rr = configs.len();
+    let num_groups = 1usize << (stage - 1);
+    let any_ramped = ramped.iter().any(|&r| r);
+    let [w_init, w_anneal, w_lock] = stage_windows else {
+        panic!("stage {stage} must have exactly three windows");
+    };
+
+    // ---- Randomize window (couplings off, SHIL off) ----
+    debug_assert_eq!(w_init.kind, WindowKind::Randomize);
+    kernel.set_couplings_enabled(false);
+    kernel.set_shil_enabled(false);
+    let any_jitter = configs
+        .iter()
+        .any(|c| matches!(c.reinit, ReinitMode::JitterDrift { .. }));
+    let any_uniform = configs
+        .iter()
+        .any(|c| c.reinit == ReinitMode::UniformRandom);
+    if any_jitter && !any_uniform {
+        // All lanes drift: run the kernel path with each lane's
+        // drift σ, then restore the lanes' annealing σ.
+        for (r, cfg) in configs.iter().enumerate() {
+            let ReinitMode::JitterDrift { sigma } = cfg.reinit else {
+                unreachable!("all lanes drift here")
+            };
+            kernel.set_lane_noise_amplitude(r, sigma);
+        }
+        integrator.integrate(kernel, phases, w_init.t_start, w_init.t_end(), dt, rngs);
+        for (r, cfg) in configs.iter().enumerate() {
+            kernel.set_lane_noise_amplitude(r, cfg.noise);
+        }
+    } else if any_jitter {
+        // Mixed modes. Couplings and SHIL are off, so lanes are
+        // fully independent: advance jitter lanes by the exact
+        // bias + noise arithmetic of the kernel path (one deviate
+        // per node per step, in node order — the solo stream),
+        // while uniform lanes draw nothing until their redraw
+        // below.
+        let mut t = w_init.t_start;
+        let t_end = w_init.t_end();
+        while t < t_end {
+            let h = dt.min(t_end - t);
+            let sqrt_h = h.sqrt();
+            for i in 0..n {
+                let row = i * rr;
+                for (r, rng) in rngs.iter_mut().enumerate() {
+                    if let ReinitMode::JitterDrift { sigma } = configs[r].reinit {
+                        let xi = standard_normal(rng);
+                        let sig = if kernel.node_enabled(i) { sigma } else { 0.0 };
+                        phases[row + r] += h * kernel.bias_of(i, r) + sqrt_h * sig * xi;
+                    }
+                }
+            }
+            t += h;
+        }
+    }
+    for (r, rng) in rngs.iter_mut().enumerate() {
+        if configs[r].reinit == ReinitMode::UniformRandom {
+            for i in 0..n {
+                phases[i * rr + r] = rng.gen::<f64>() * TAU;
+            }
+        }
+    }
+
+    // ---- Anneal window (couplings on, SHIL off) ----
+    debug_assert_eq!(w_anneal.kind, WindowKind::Anneal);
+    kernel.set_couplings_enabled(true);
+    integrator.integrate(kernel, phases, w_anneal.t_start, w_anneal.t_end(), dt, rngs);
+
+    // ---- Lock window (couplings on, SHIL on) ----
+    debug_assert_eq!(w_lock.kind, WindowKind::Lock);
+    stage_shils.clear();
+    for cfg in configs.iter() {
+        stage_shils.extend(
+            (0..num_groups)
+                .map(|g| Shil::order2(stage_shil_phase(g, num_groups), cfg.shil_strength)),
+        );
+    }
+    let shil_of = |r: usize, g: usize| stage_shils[r * num_groups + g];
+    for i in 0..n {
+        for r in 0..rr {
+            kernel.set_shil(i, r, Some(shil_of(r, groups[i * rr + r])));
+        }
+    }
+    kernel.set_shil_enabled(true);
+    if any_ramped {
+        integrator.integrate_ramped_lanes(
+            kernel,
+            phases,
+            w_lock.t_start,
+            w_lock.t_end(),
+            dt,
+            rngs,
+            |f| f,
+            ramped,
+        );
+    } else {
+        integrator.integrate(kernel, phases, w_lock.t_start, w_lock.t_end(), dt, rngs);
+    }
+
+    // ---- Readout (per replica) ----
+    for i in 0..n {
+        for r in 0..rr {
+            let idx = i * rr + r;
+            bits[idx] = phase_to_spin(phases[idx], &shil_of(r, groups[idx])) == 1;
+        }
+    }
+    for r in 0..rr {
+        let worst_lock = (0..n)
+            .map(|i| lock_error(phases[i * rr + r], &shil_of(r, groups[i * rr + r])))
+            .fold(0.0f64, f64::max);
+        let replica_bits: Vec<bool> = (0..n).map(|i| bits[i * rr + r]).collect();
+        let mut cut_value = 0usize;
+        let mut active_edges = 0usize;
+        for (e, u, v) in graph.edges() {
+            if kernel.edge_enabled(e.index(), r) {
+                active_edges += 1;
+                if replica_bits[u.index()] != replica_bits[v.index()] {
+                    cut_value += 1;
+                }
+            }
+        }
+        stage_records[r].push(StageRecord {
+            stage,
+            partition: Cut::new(replica_bits),
+            cut_value,
+            active_edges,
+            max_lock_error: worst_lock,
+        });
+    }
+
+    // ---- Stage transition: latch SHIL_SEL, cut crossing couplings.
+    for idx in 0..n * rr {
+        groups[idx] = groups[idx] * 2 + usize::from(bits[idx]);
+    }
+    for (e, u, v) in graph.edges() {
+        let (u, v) = (u.index() * rr, v.index() * rr);
+        for r in 0..rr {
+            if groups[u + r] != groups[v + r] {
+                kernel.set_edge_enabled(e.index(), r, false);
+            }
+        }
+    }
+    kernel.set_shil_enabled(false);
+}
+
+/// Builds the per-lane solutions from a finished range's final state.
+fn assemble_solutions(
+    n: usize,
+    phases: &[f64],
+    groups: &[usize],
+    stage_records: Vec<Vec<StageRecord>>,
+    total_time_ns: f64,
+) -> Vec<MsropmSolution> {
+    let rr = stage_records.len();
+    stage_records
+        .into_iter()
+        .enumerate()
+        .map(|(r, stages)| {
+            let coloring: Coloring = (0..n).map(|i| Color(groups[i * rr + r] as u16)).collect();
+            MsropmSolution {
+                coloring,
+                stages,
+                final_phases: (0..n).map(|i| phases[i * rr + r]).collect(),
+                total_time_ns,
+            }
+        })
+        .collect()
+}
+
 /// Runs one contiguous lane range as a single interleaved batch,
 /// invoking `hook` at every non-final stage boundary (the population
 /// restart and cooperative-cancellation entry point; see
@@ -334,256 +742,322 @@ pub(crate) fn solve_lane_range_hooked<F>(
 where
     F: FnMut(usize, &mut StageBoundary) -> ControlFlow<()>,
 {
-    let n = graph.num_nodes();
     let rr = seeds.len();
-    assert_eq!(lanes.len(), rr, "need one lane config per seed");
-    let BatchArena {
-        integrator,
-        rngs,
-        configs,
-        phases,
-        groups,
-        bits,
-        stage_shils,
-        ramped,
-    } = arena;
-    configs.clear();
-    configs.extend(lanes.iter().map(|l| l.resolve(base_config)));
-    let schedule_set = ScheduleSet::from_configs(configs);
-    let schedule = schedule_set.lockstep();
-    let k = configs[0].num_stages();
-    let dt = configs[0].dt;
-
-    rngs.clear();
-    rngs.extend(seeds.iter().map(|&s| StdRng::seed_from_u64(s)));
-    let needs_lane_nets = lanes
-        .iter()
-        .any(|l| l.coupling_strength.is_some() || l.noise.is_some());
-    let mut kernel = if needs_lane_nets {
-        let nets: Vec<PhaseNetwork> = lanes.iter().map(|l| lane_network(network, l)).collect();
-        BatchKernel::from_lanes(&nets)
-    } else {
-        BatchKernel::new(network, rr)
-    };
-    // Start-of-run control state, mirroring `Msropm::solve`: every P_EN
-    // high, SHIL off.
-    for e in 0..graph.num_edges() {
-        for r in 0..rr {
-            kernel.set_edge_enabled(e, r, true);
-        }
-    }
-    kernel.set_shil_enabled(false);
-
-    // Runner semantics: frequency offsets are the replica's first draws.
-    if sample_spread {
-        for (r, rng) in rngs.iter_mut().enumerate() {
-            if configs[r].frequency_spread > 0.0 {
-                for i in 0..n {
-                    kernel.set_bias(i, r, configs[r].frequency_spread * standard_normal(rng));
-                }
-            }
-        }
-    }
-
-    // Startup randomization: i.i.d. uniform phases, per replica in node
-    // order (the order `PhaseNetwork::random_phases` draws).
-    refill(phases, n * rr, 0.0);
-    for (r, rng) in rngs.iter_mut().enumerate() {
-        for i in 0..n {
-            phases[i * rr + r] = rng.gen::<f64>() * TAU;
-        }
-    }
-
-    refill(groups, n * rr, 0usize);
-    refill(bits, n * rr, false);
-    // Stage records are the output payload (moved into the returned
-    // solutions), so they are the one fresh allocation per solve.
-    let mut stage_records: Vec<Vec<StageRecord>> = vec![Vec::with_capacity(k); rr];
-    ramped.clear();
-    ramped.extend(configs.iter().map(|c| c.shil_ramp));
-    let any_ramped = ramped.iter().any(|&r| r);
-    let mut windows = schedule.windows().iter();
-
+    let PreparedRange {
+        mut kernel,
+        mut stage_records,
+        windows,
+        k,
+        dt,
+    } = prepare_lane_range(
+        graph,
+        base_config,
+        network,
+        lanes,
+        seeds,
+        sample_spread,
+        arena,
+    );
     for stage in 1..=k {
-        let num_groups = 1usize << (stage - 1);
-
-        // ---- Randomize window (couplings off, SHIL off) ----
-        let w_init = windows.next().expect("schedule has init window");
-        debug_assert_eq!(w_init.kind, WindowKind::Randomize);
-        kernel.set_couplings_enabled(false);
-        kernel.set_shil_enabled(false);
-        let any_jitter = configs
-            .iter()
-            .any(|c| matches!(c.reinit, ReinitMode::JitterDrift { .. }));
-        let any_uniform = configs
-            .iter()
-            .any(|c| c.reinit == ReinitMode::UniformRandom);
-        if any_jitter && !any_uniform {
-            // All lanes drift: run the kernel path with each lane's
-            // drift σ, then restore the lanes' annealing σ.
-            for (r, cfg) in configs.iter().enumerate() {
-                let ReinitMode::JitterDrift { sigma } = cfg.reinit else {
-                    unreachable!("all lanes drift here")
-                };
-                kernel.set_lane_noise_amplitude(r, sigma);
-            }
-            integrator.integrate(&kernel, phases, w_init.t_start, w_init.t_end(), dt, rngs);
-            for (r, cfg) in configs.iter().enumerate() {
-                kernel.set_lane_noise_amplitude(r, cfg.noise);
-            }
-        } else if any_jitter {
-            // Mixed modes. Couplings and SHIL are off, so lanes are
-            // fully independent: advance jitter lanes by the exact
-            // bias + noise arithmetic of the kernel path (one deviate
-            // per node per step, in node order — the solo stream),
-            // while uniform lanes draw nothing until their redraw
-            // below.
-            let mut t = w_init.t_start;
-            let t_end = w_init.t_end();
-            while t < t_end {
-                let h = dt.min(t_end - t);
-                let sqrt_h = h.sqrt();
-                for i in 0..n {
-                    let row = i * rr;
-                    for (r, rng) in rngs.iter_mut().enumerate() {
-                        if let ReinitMode::JitterDrift { sigma } = configs[r].reinit {
-                            let xi = standard_normal(rng);
-                            let sig = if kernel.node_enabled(i) { sigma } else { 0.0 };
-                            phases[row + r] += h * kernel.bias_of(i, r) + sqrt_h * sig * xi;
-                        }
-                    }
-                }
-                t += h;
-            }
-        }
-        for (r, rng) in rngs.iter_mut().enumerate() {
-            if configs[r].reinit == ReinitMode::UniformRandom {
-                for i in 0..n {
-                    phases[i * rr + r] = rng.gen::<f64>() * TAU;
-                }
-            }
-        }
-
-        // ---- Anneal window (couplings on, SHIL off) ----
-        let w_anneal = windows.next().expect("schedule has anneal window");
-        debug_assert_eq!(w_anneal.kind, WindowKind::Anneal);
-        kernel.set_couplings_enabled(true);
-        integrator.integrate(
-            &kernel,
-            phases,
-            w_anneal.t_start,
-            w_anneal.t_end(),
+        run_one_stage(
+            graph,
+            stage,
+            &windows[3 * (stage - 1)..3 * stage],
             dt,
-            rngs,
+            &mut kernel,
+            arena,
+            &mut stage_records,
         );
-
-        // ---- Lock window (couplings on, SHIL on) ----
-        let w_lock = windows.next().expect("schedule has lock window");
-        debug_assert_eq!(w_lock.kind, WindowKind::Lock);
-        stage_shils.clear();
-        for cfg in configs.iter() {
-            stage_shils.extend(
-                (0..num_groups)
-                    .map(|g| Shil::order2(stage_shil_phase(g, num_groups), cfg.shil_strength)),
-            );
-        }
-        let shil_of = |r: usize, g: usize| stage_shils[r * num_groups + g];
-        for i in 0..n {
-            for r in 0..rr {
-                kernel.set_shil(i, r, Some(shil_of(r, groups[i * rr + r])));
-            }
-        }
-        kernel.set_shil_enabled(true);
-        if any_ramped {
-            integrator.integrate_ramped_lanes(
-                &mut kernel,
-                phases,
-                w_lock.t_start,
-                w_lock.t_end(),
-                dt,
-                rngs,
-                |f| f,
-                ramped,
-            );
-        } else {
-            integrator.integrate(&kernel, phases, w_lock.t_start, w_lock.t_end(), dt, rngs);
-        }
-
-        // ---- Readout (per replica) ----
-        for i in 0..n {
-            for r in 0..rr {
-                let idx = i * rr + r;
-                bits[idx] = phase_to_spin(phases[idx], &shil_of(r, groups[idx])) == 1;
-            }
-        }
-        for r in 0..rr {
-            let worst_lock = (0..n)
-                .map(|i| lock_error(phases[i * rr + r], &shil_of(r, groups[i * rr + r])))
-                .fold(0.0f64, f64::max);
-            let replica_bits: Vec<bool> = (0..n).map(|i| bits[i * rr + r]).collect();
-            let mut cut_value = 0usize;
-            let mut active_edges = 0usize;
-            for (e, u, v) in graph.edges() {
-                if kernel.edge_enabled(e.index(), r) {
-                    active_edges += 1;
-                    if replica_bits[u.index()] != replica_bits[v.index()] {
-                        cut_value += 1;
-                    }
-                }
-            }
-            stage_records[r].push(StageRecord {
-                stage,
-                partition: Cut::new(replica_bits),
-                cut_value,
-                active_edges,
-                max_lock_error: worst_lock,
-            });
-        }
-
-        // ---- Stage transition: latch SHIL_SEL, cut crossing couplings.
-        for idx in 0..n * rr {
-            groups[idx] = groups[idx] * 2 + usize::from(bits[idx]);
-        }
-        for (e, u, v) in graph.edges() {
-            let (u, v) = (u.index() * rr, v.index() * rr);
-            for r in 0..rr {
-                if groups[u + r] != groups[v + r] {
-                    kernel.set_edge_enabled(e.index(), r, false);
-                }
-            }
-        }
-        kernel.set_shil_enabled(false);
-
         if stage < k {
             let mut boundary = StageBoundary {
                 graph,
-                kernel: &mut kernel,
-                phases: phases.as_mut_slice(),
-                groups: groups.as_mut_slice(),
-                stage_records: &mut stage_records,
-                replicas: rr,
+                shards: vec![ShardSlice {
+                    kernel: &mut kernel,
+                    phases: arena.phases.as_mut_slice(),
+                    groups: arena.groups.as_mut_slice(),
+                    stage_records: stage_records.as_mut_slice(),
+                    replicas: rr,
+                }],
             };
             if hook(stage, &mut boundary).is_break() {
                 return None;
             }
         }
     }
+    let total_time_ns = windows.last().map_or(0.0, Window::t_end);
+    Some(assemble_solutions(
+        graph.num_nodes(),
+        &arena.phases,
+        &arena.groups,
+        stage_records,
+        total_time_ns,
+    ))
+}
 
-    Some(
-        stage_records
-            .into_iter()
-            .enumerate()
-            .map(|(r, stages)| {
-                let coloring: Coloring = (0..n).map(|i| Color(groups[i * rr + r] as u16)).collect();
-                MsropmSolution {
-                    coloring,
-                    stages,
-                    final_phases: (0..n).map(|i| phases[i * rr + r]).collect(),
-                    total_time_ns: schedule.total_time_ns(),
+/// One shard of a sharded solve: a contiguous lane range plus
+/// everything its stage tasks need, fully owned so the whole struct can
+/// move onto (and back off) the [`ShardPool`] between stage boundaries.
+struct ShardRun {
+    graph: Arc<Graph>,
+    shard: usize,
+    kernel: BatchKernel,
+    arena: BatchArena,
+    stage_records: Vec<Vec<StageRecord>>,
+    windows: Vec<Window>,
+    dt: f64,
+}
+
+impl ShardRun {
+    #[allow(clippy::too_many_arguments)]
+    fn init(
+        graph: Arc<Graph>,
+        base_config: MsropmConfig,
+        network: Arc<PhaseNetwork>,
+        lanes: Vec<LaneConfig>,
+        seeds: Vec<u64>,
+        sample_spread: bool,
+        mut arena: BatchArena,
+        shard: usize,
+    ) -> Self {
+        let prep = prepare_lane_range(
+            &graph,
+            &base_config,
+            &network,
+            &lanes,
+            &seeds,
+            sample_spread,
+            &mut arena,
+        );
+        ShardRun {
+            graph,
+            shard,
+            kernel: prep.kernel,
+            arena,
+            stage_records: prep.stage_records,
+            windows: prep.windows,
+            dt: prep.dt,
+        }
+    }
+
+    fn run_stage(&mut self, stage: usize) {
+        crate::pool::faultinject::maybe_panic_in_shard(self.shard);
+        run_one_stage(
+            &self.graph,
+            stage,
+            &self.windows[3 * (stage - 1)..3 * stage],
+            self.dt,
+            &mut self.kernel,
+            &mut self.arena,
+            &mut self.stage_records,
+        );
+    }
+
+    fn boundary_slice(&mut self) -> ShardSlice<'_> {
+        ShardSlice {
+            kernel: &mut self.kernel,
+            phases: self.arena.phases.as_mut_slice(),
+            groups: self.arena.groups.as_mut_slice(),
+            stage_records: self.stage_records.as_mut_slice(),
+            replicas: self.arena.configs.len(),
+        }
+    }
+
+    fn finish(self) -> (Vec<MsropmSolution>, BatchArena) {
+        let total_time_ns = self.windows.last().map_or(0.0, Window::t_end);
+        let sols = assemble_solutions(
+            self.graph.num_nodes(),
+            &self.arena.phases,
+            &self.arena.groups,
+            self.stage_records,
+            total_time_ns,
+        );
+        (sols, self.arena)
+    }
+}
+
+/// What a shard task sends back: its run (moved through the pool) or
+/// the payload of the panic that killed it.
+type ShardResult = (usize, Result<ShardRun, Box<dyn Any + Send>>);
+
+/// Waits for all `shards` stage tasks of the current stage, executing
+/// pool tasks on this thread while waiting ([`ShardPool::help_while`]).
+/// If any shard panicked, the panic resumes here — after every shard
+/// has reported, so no task is left holding state.
+fn collect_shards(
+    pool: &ShardPool,
+    rx: &mpsc::Receiver<ShardResult>,
+    shards: usize,
+) -> Vec<ShardRun> {
+    let mut slots: Vec<Option<ShardRun>> = (0..shards).map(|_| None).collect();
+    let mut received = 0usize;
+    let mut panic: Option<Box<dyn Any + Send>> = None;
+    pool.help_while(|| {
+        while let Ok((idx, res)) = rx.try_recv() {
+            received += 1;
+            match res {
+                Ok(run) => slots[idx] = Some(run),
+                Err(payload) => {
+                    if panic.is_none() {
+                        panic = Some(payload);
+                    }
                 }
-            })
-            .collect(),
-    )
+            }
+        }
+        received == shards
+    });
+    if let Some(payload) = panic {
+        resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every shard reported"))
+        .collect()
+}
+
+/// Runs one job's lane range sharded across the [`ShardPool`]: the
+/// range splits into `shards` contiguous chunks; each chunk's current
+/// stage runs as one owned task; the dispatching thread helps the pool
+/// while waiting and fires `hook` over a cross-shard [`StageBoundary`]
+/// at every non-final boundary. `shards == 1` (or a single-lane job)
+/// delegates to [`solve_lane_range_hooked`] in shard slot 0 — the
+/// sharded entry at width 1 *is* the unsharded entry.
+///
+/// Bit-identity across shard counts holds by construction (shared
+/// [`prepare_lane_range`] + [`run_one_stage`], per-lane RNG streams, a
+/// lane's arithmetic independent of its range) and is property-tested
+/// at the core, server and wire layers.
+///
+/// A panic inside any shard task (e.g. a poisoned problem) is re-raised
+/// on the calling thread once every shard has reported — the job
+/// server's `catch_unwind` then maps it to a typed `Failed` completion.
+/// The in-flight shard arenas are lost to the panic; rebuild the
+/// [`ShardedArena`].
+///
+/// # Panics
+///
+/// Panics if `shards == 0`, `lanes.len() != seeds.len()`, any resolved
+/// lane config is inconsistent, or a shard task panicked.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_lanes_sharded_hooked<F>(
+    graph: &Graph,
+    base_config: &MsropmConfig,
+    network: &PhaseNetwork,
+    lanes: &[LaneConfig],
+    seeds: &[u64],
+    sample_spread: bool,
+    shards: usize,
+    arena: &mut ShardedArena,
+    pool: &ShardPool,
+    mut hook: F,
+) -> Option<Vec<MsropmSolution>>
+where
+    F: FnMut(usize, &mut StageBoundary) -> ControlFlow<()>,
+{
+    assert!(shards > 0, "need at least one shard");
+    assert_eq!(lanes.len(), seeds.len(), "need one lane config per seed");
+    base_config.validate();
+    if seeds.is_empty() {
+        return Some(Vec::new());
+    }
+    let shards = shards.min(seeds.len());
+    if shards == 1 {
+        return solve_lane_range_hooked(
+            graph,
+            base_config,
+            network,
+            lanes,
+            seeds,
+            sample_spread,
+            arena.shard_slot(0),
+            hook,
+        );
+    }
+    // Lockstep must hold across the *whole* batch, not just within each
+    // shard, so a cross-shard timing mismatch fails exactly like it
+    // does on the single-shard path.
+    let all_configs: Vec<MsropmConfig> = lanes.iter().map(|l| l.resolve(base_config)).collect();
+    let _lockstep = ScheduleSet::from_configs(&all_configs);
+    let k = all_configs[0].num_stages();
+    drop(all_configs);
+
+    let chunk_len = seeds.len().div_ceil(shards);
+    // div_ceil chunking can yield fewer chunks than requested (6 lanes
+    // at width 4 chunk as 2+2+2): recount so every join waits for
+    // exactly the tasks dispatched.
+    let shards = seeds.len().div_ceil(chunk_len);
+    let graph_arc = Arc::new(graph.clone());
+    let net_arc = Arc::new(network.clone());
+    let base = *base_config;
+    let (tx, rx) = mpsc::channel::<ShardResult>();
+
+    // Stage 1 tasks carry shard init (kernel compilation, RNG seeding,
+    // initial draws), so problem setup parallelizes too.
+    for (idx, (seed_chunk, lane_chunk)) in seeds
+        .chunks(chunk_len)
+        .zip(lanes.chunks(chunk_len))
+        .enumerate()
+    {
+        let tx = tx.clone();
+        let task_graph = Arc::clone(&graph_arc);
+        let task_net = Arc::clone(&net_arc);
+        let task_lanes = lane_chunk.to_vec();
+        let task_seeds = seed_chunk.to_vec();
+        let shard_arena = std::mem::take(arena.shard_slot(idx));
+        pool.submit(Box::new(move || {
+            let out = catch_unwind(AssertUnwindSafe(move || {
+                let mut run = ShardRun::init(
+                    task_graph,
+                    base,
+                    task_net,
+                    task_lanes,
+                    task_seeds,
+                    sample_spread,
+                    shard_arena,
+                    idx,
+                );
+                run.run_stage(1);
+                run
+            }));
+            let _ = tx.send((idx, out));
+        }));
+    }
+    let mut runs = collect_shards(pool, &rx, shards);
+
+    for stage in 1..k {
+        let slices: Vec<ShardSlice> = runs.iter_mut().map(ShardRun::boundary_slice).collect();
+        let mut boundary = StageBoundary {
+            graph,
+            shards: slices,
+        };
+        if hook(stage, &mut boundary).is_break() {
+            // Abandoned at the boundary, same as the single-shard path:
+            // no solutions, arenas back in their slots for reuse.
+            for (idx, run) in runs.into_iter().enumerate() {
+                *arena.shard_slot(idx) = run.arena;
+            }
+            return None;
+        }
+        for (idx, mut run) in runs.into_iter().enumerate() {
+            let tx = tx.clone();
+            let next = stage + 1;
+            pool.submit(Box::new(move || {
+                let out = catch_unwind(AssertUnwindSafe(move || {
+                    run.run_stage(next);
+                    run
+                }));
+                let _ = tx.send((idx, out));
+            }));
+        }
+        runs = collect_shards(pool, &rx, shards);
+    }
+
+    let mut out = Vec::with_capacity(seeds.len());
+    for (idx, run) in runs.into_iter().enumerate() {
+        let (sols, shard_arena) = run.finish();
+        out.extend(sols);
+        *arena.shard_slot(idx) = shard_arena;
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -909,5 +1383,275 @@ mod tests {
                 "node {i} stage-1 bit"
             );
         }
+    }
+
+    // ---- Sharded-solve tests (PR 7) ----
+
+    fn assert_solutions_bitwise_equal(a: &[MsropmSolution], b: &[MsropmSolution]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.coloring, y.coloring);
+            for (p, q) in x.final_phases.iter().zip(&y.final_phases) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+            assert_eq!(x.stages.len(), y.stages.len());
+            for (sa, sb) in x.stages.iter().zip(&y.stages) {
+                assert_eq!(sa.partition, sb.partition);
+                assert_eq!(sa.cut_value, sb.cut_value);
+                assert_eq!(sa.active_edges, sb.active_edges);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_is_invisible() {
+        let g = generators::kings_graph(4, 4);
+        let base = fast_config();
+        let net = base.build_network(&g);
+        let lanes: Vec<LaneConfig> = (0..10)
+            .map(|i| match i % 3 {
+                0 => LaneConfig::default(),
+                1 => LaneConfig::default().with_coupling_strength(0.8),
+                _ => LaneConfig::default().with_noise(0.1),
+            })
+            .collect();
+        let seeds: Vec<u64> = (300..310).collect();
+        let pool = ShardPool::new(2);
+        let reference = solve_lanes_arena(
+            &g,
+            &base,
+            &net,
+            &lanes,
+            &seeds,
+            false,
+            &mut BatchArena::new(),
+        );
+        for shards in [1usize, 2, 3, 4, 64] {
+            let mut arena = ShardedArena::new();
+            let sharded = solve_lanes_sharded_hooked(
+                &g,
+                &base,
+                &net,
+                &lanes,
+                &seeds,
+                false,
+                shards,
+                &mut arena,
+                &pool,
+                |_, _: &mut StageBoundary| ControlFlow::Continue(()),
+            )
+            .expect("uncancelled run completes");
+            assert_solutions_bitwise_equal(&reference, &sharded);
+        }
+    }
+
+    #[test]
+    fn sharded_reused_arena_matches_fresh() {
+        let g = generators::kings_graph(3, 3);
+        let base = fast_config();
+        let net = base.build_network(&g);
+        let pool = ShardPool::new(2);
+        let mut warm = ShardedArena::new();
+        for round in 0..3u64 {
+            let lanes = vec![LaneConfig::default(); 6];
+            let seeds: Vec<u64> = (round * 10..round * 10 + 6).collect();
+            let no_hook = |_: usize, _: &mut StageBoundary| ControlFlow::Continue(());
+            let reused = solve_lanes_sharded_hooked(
+                &g, &base, &net, &lanes, &seeds, false, 3, &mut warm, &pool, no_hook,
+            )
+            .expect("completes");
+            let fresh = solve_lanes_sharded_hooked(
+                &g,
+                &base,
+                &net,
+                &lanes,
+                &seeds,
+                false,
+                3,
+                &mut ShardedArena::new(),
+                &pool,
+                no_hook,
+            )
+            .expect("completes");
+            assert_solutions_bitwise_equal(&reused, &fresh);
+        }
+    }
+
+    #[test]
+    fn sharded_hook_sees_global_lane_order_and_copies_across_shards() {
+        let g = generators::kings_graph(3, 3);
+        let base = fast_config();
+        let net = base.build_network(&g);
+        let lanes = vec![LaneConfig::default(); 6];
+        let seeds: Vec<u64> = (40..46).collect();
+        let pool = ShardPool::new(2);
+
+        // Reference: single shard, hook copies lane 0 onto lane 5.
+        let mut single = BatchArena::new();
+        let reference = solve_lane_range_hooked(
+            &g,
+            &base,
+            &net,
+            &lanes,
+            &seeds,
+            false,
+            &mut single,
+            |_, b| {
+                assert_eq!(b.num_lanes(), 6);
+                b.copy_lane(0, 5);
+                ControlFlow::Continue(())
+            },
+        )
+        .expect("completes");
+
+        // 3 shards of 2 lanes: the same copy crosses shard boundaries.
+        let mut arena = ShardedArena::new();
+        let mut satisfied = Vec::new();
+        let sharded = solve_lanes_sharded_hooked(
+            &g,
+            &base,
+            &net,
+            &lanes,
+            &seeds,
+            false,
+            3,
+            &mut arena,
+            &pool,
+            |_, b| {
+                assert_eq!(b.num_lanes(), 6);
+                satisfied = (0..6).map(|r| b.satisfied_edges(r)).collect();
+                b.copy_lane(0, 5);
+                assert_eq!(b.satisfied_edges(0), b.satisfied_edges(5));
+                ControlFlow::Continue(())
+            },
+        )
+        .expect("completes");
+        assert_solutions_bitwise_equal(&reference, &sharded);
+        assert_eq!(satisfied.len(), 6);
+    }
+
+    #[test]
+    fn sharded_hook_break_abandons_and_keeps_arena_reusable() {
+        let g = generators::kings_graph(3, 3);
+        let base = fast_config();
+        let net = base.build_network(&g);
+        let lanes = vec![LaneConfig::default(); 4];
+        let pool = ShardPool::new(2);
+        let mut arena = ShardedArena::new();
+        let out = solve_lanes_sharded_hooked(
+            &g,
+            &base,
+            &net,
+            &lanes,
+            &[1, 2, 3, 4],
+            false,
+            2,
+            &mut arena,
+            &pool,
+            |_, _: &mut StageBoundary| ControlFlow::Break(()),
+        );
+        assert!(out.is_none(), "broken run must yield no solutions");
+        // The shard arenas came back and the next run is bit-identical
+        // to a fresh-arena run.
+        let no_hook = |_: usize, _: &mut StageBoundary| ControlFlow::Continue(());
+        let resumed = solve_lanes_sharded_hooked(
+            &g,
+            &base,
+            &net,
+            &lanes,
+            &[1, 2, 3, 4],
+            false,
+            2,
+            &mut arena,
+            &pool,
+            no_hook,
+        )
+        .expect("completes");
+        let fresh = solve_lanes_sharded_hooked(
+            &g,
+            &base,
+            &net,
+            &lanes,
+            &[1, 2, 3, 4],
+            false,
+            2,
+            &mut ShardedArena::new(),
+            &pool,
+            no_hook,
+        )
+        .expect("completes");
+        assert_solutions_bitwise_equal(&resumed, &fresh);
+    }
+
+    #[test]
+    fn empty_seed_list_is_empty_sharded_batch() {
+        let g = generators::path_graph(2);
+        let base = fast_config();
+        let net = base.build_network(&g);
+        let pool = ShardPool::new(1);
+        let out = solve_lanes_sharded_hooked(
+            &g,
+            &base,
+            &net,
+            &[],
+            &[],
+            false,
+            4,
+            &mut ShardedArena::new(),
+            &pool,
+            |_, _: &mut StageBoundary| ControlFlow::Continue(()),
+        );
+        assert_eq!(out.expect("trivially completes").len(), 0);
+    }
+
+    #[test]
+    fn shard_panic_unwinds_to_the_caller() {
+        let g = generators::kings_graph(3, 3);
+        let base = fast_config();
+        let net = base.build_network(&g);
+        let lanes = vec![LaneConfig::default(); 4];
+        let pool = ShardPool::new(2);
+        crate::pool::faultinject::arm_panic_in_shard(1);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            solve_lanes_sharded_hooked(
+                &g,
+                &base,
+                &net,
+                &lanes,
+                &[1, 2, 3, 4],
+                false,
+                2,
+                &mut ShardedArena::new(),
+                &pool,
+                |_, _: &mut StageBoundary| ControlFlow::Continue(()),
+            )
+        }));
+        crate::pool::faultinject::disarm();
+        assert!(result.is_err(), "shard panic must unwind out of the solve");
+        // The pool survives and a fresh solve matches the unsharded
+        // reference.
+        let sharded = solve_lanes_sharded_hooked(
+            &g,
+            &base,
+            &net,
+            &lanes,
+            &[1, 2, 3, 4],
+            false,
+            2,
+            &mut ShardedArena::new(),
+            &pool,
+            |_, _: &mut StageBoundary| ControlFlow::Continue(()),
+        )
+        .expect("completes");
+        let reference = solve_lanes_arena(
+            &g,
+            &base,
+            &net,
+            &lanes,
+            &[1, 2, 3, 4],
+            false,
+            &mut BatchArena::new(),
+        );
+        assert_solutions_bitwise_equal(&reference, &sharded);
     }
 }

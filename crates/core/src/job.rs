@@ -181,6 +181,47 @@ impl BatchJob {
             machine.solve_batch_lanes_arena_cancellable_with(&self.lanes, &seeds, arena, abort)?;
         Some(JobReport::rank(machine.graph(), self, &seeds, solutions))
     }
+
+    /// Like [`BatchJob::run_cancellable_with`], but sharding the lane
+    /// range across `shards` tasks on `pool` (see
+    /// [`crate::machine::Msropm::solve_batch_lanes_arena_sharded_cancellable_with`]).
+    /// The report is **bit-identical** at every shard width, and abort
+    /// checks fire at exactly the same cooperative points — this is the
+    /// job-server solve path when intra-job parallelism is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BatchJob::run`], or if
+    /// `shards == 0` or a shard task panicked.
+    pub fn run_sharded_with<F>(
+        &self,
+        machine: &Msropm,
+        shards: usize,
+        arena: &mut crate::batch::ShardedArena,
+        pool: &crate::pool::ShardPool,
+        mut abort: F,
+    ) -> Option<JobReport>
+    where
+        F: FnMut() -> bool,
+    {
+        assert!(
+            machine.config() == &self.config,
+            "job config does not match the machine it is paired with"
+        );
+        if abort() {
+            return None;
+        }
+        let seeds = self.lane_seeds();
+        let solutions = machine.solve_batch_lanes_arena_sharded_cancellable_with(
+            &self.lanes,
+            &seeds,
+            shards,
+            arena,
+            pool,
+            abort,
+        )?;
+        Some(JobReport::rank(machine.graph(), self, &seeds, solutions))
+    }
 }
 
 /// One lane's entry in a [`JobReport`], in rank order.

@@ -55,18 +55,20 @@ pub mod config;
 pub mod job;
 pub mod machine;
 pub mod metrics;
+pub mod pool;
 pub mod portfolio;
 pub mod power;
 pub mod runner;
 pub mod schedule;
 
-pub use batch::BatchArena;
+pub use batch::{BatchArena, ShardedArena};
 pub use cache::{CacheStats, ProblemCache};
 pub use circuit_machine::{CircuitMsropm, CircuitMsropmConfig, CircuitSolution};
 pub use config::{LaneConfig, MsropmConfig, ReinitMode, SweepParam, SweepSpec};
 pub use job::{BatchJob, CancelToken, JobReport, RankedLane};
 pub use machine::{Msropm, MsropmSolution, StageRecord};
 pub use metrics::{coloring_accuracy, max_cut_accuracy, search_space_label};
+pub use pool::{num_cores, ShardPool};
 pub use portfolio::{LaneOutcome, PortfolioReport, PortfolioRunner, RestartEvent};
 pub use runner::{CutReference, ExperimentReport, ExperimentRunner, IterationOutcome};
 pub use schedule::{ControlState, Schedule, ScheduleSet, Window, WindowKind};

@@ -488,6 +488,84 @@ impl Msropm {
             },
         )
     }
+
+    /// Like [`Msropm::solve_batch_lanes_arena`], but sharding the lane
+    /// range across `shards` tasks on `pool` — the intra-job parallel
+    /// solve path. Results are **bit-identical** at every shard count
+    /// (lane seeds are per-lane; shards only partition the range — see
+    /// [`crate::batch`]'s determinism contract), and `shards = 1`
+    /// executes the exact unsharded path in `arena`'s first slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, `lanes.len() != seeds.len()`, a
+    /// resolved lane configuration is invalid, or a shard task
+    /// panicked.
+    pub fn solve_batch_lanes_arena_sharded(
+        &self,
+        lanes: &[LaneConfig],
+        seeds: &[u64],
+        shards: usize,
+        arena: &mut crate::batch::ShardedArena,
+        pool: &crate::pool::ShardPool,
+    ) -> Vec<MsropmSolution> {
+        self.solve_batch_lanes_arena_sharded_cancellable_with(
+            lanes,
+            seeds,
+            shards,
+            arena,
+            pool,
+            || false,
+        )
+        .expect("an unfiring hook never cancels")
+    }
+
+    /// Sharded counterpart of
+    /// [`Msropm::solve_batch_lanes_arena_cancellable_with`]: `cancelled`
+    /// is polled on the dispatching thread at every non-final stage
+    /// boundary — after all shards have joined, before any next-stage
+    /// task is dispatched — so cancellation semantics are identical at
+    /// any shard width. Returns `None` when the run was abandoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`Msropm::solve_batch_lanes_arena_sharded`].
+    pub fn solve_batch_lanes_arena_sharded_cancellable_with<F>(
+        &self,
+        lanes: &[LaneConfig],
+        seeds: &[u64],
+        shards: usize,
+        arena: &mut crate::batch::ShardedArena,
+        pool: &crate::pool::ShardPool,
+        mut cancelled: F,
+    ) -> Option<Vec<MsropmSolution>>
+    where
+        F: FnMut() -> bool,
+    {
+        self.config.validate();
+        if seeds.is_empty() {
+            return Some(Vec::new());
+        }
+        crate::batch::solve_lanes_sharded_hooked(
+            &self.graph,
+            &self.config,
+            &self.network,
+            lanes,
+            seeds,
+            false,
+            shards,
+            arena,
+            pool,
+            |_, _| {
+                if cancelled() {
+                    std::ops::ControlFlow::Break(())
+                } else {
+                    std::ops::ControlFlow::Continue(())
+                }
+            },
+        )
+    }
 }
 
 #[cfg(test)]

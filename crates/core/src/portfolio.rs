@@ -34,7 +34,7 @@
 //! assert!(report.best_accuracy() > 0.8);
 //! ```
 
-use crate::batch::{solve_lane_range_hooked, StageBoundary};
+use crate::batch::{solve_lanes_sharded_hooked, StageBoundary};
 use crate::config::{LaneConfig, MsropmConfig, SweepSpec};
 use crate::machine::MsropmSolution;
 use msropm_graph::Graph;
@@ -115,6 +115,7 @@ pub struct PortfolioRunner {
     lanes: Vec<LaneConfig>,
     base_seed: u64,
     restart_fraction: f64,
+    shards: usize,
 }
 
 impl PortfolioRunner {
@@ -131,6 +132,7 @@ impl PortfolioRunner {
             lanes,
             base_seed: 0x1A5E5,
             restart_fraction: 0.0,
+            shards: 1,
         }
     }
 
@@ -162,6 +164,21 @@ impl PortfolioRunner {
         self
     }
 
+    /// Sets the intra-run shard count: the lane range is split across
+    /// `shards` tasks on the process-wide [`crate::pool`] during the
+    /// stage windows, re-joining at every boundary so restarts see the
+    /// whole population. Results are **bit-identical** at every width
+    /// (the default, 1, runs the classic single-threaded path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "portfolio needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
     /// The lane overrides this runner will execute.
     pub fn lanes(&self) -> &[LaneConfig] {
         &self.lanes
@@ -169,10 +186,12 @@ impl PortfolioRunner {
 
     /// Runs the portfolio on `g`.
     ///
-    /// The run is a single interleaved batch (restarts couple the lanes
-    /// at stage boundaries, so they cannot shard across threads the way
-    /// independent batches do) and is fully deterministic given the
-    /// base seed.
+    /// The run is a single interleaved batch: restarts couple the lanes
+    /// at stage boundaries, so it cannot split into *independent*
+    /// batches — but within each stage the lanes can shard across the
+    /// process-wide pool (see [`PortfolioRunner::shards`]), since the
+    /// restart hook fires at the cross-shard join. Fully deterministic
+    /// given the base seed, at any shard width.
     pub fn run(&self, g: &Graph) -> PortfolioReport {
         let seeds: Vec<u64> = (0..self.lanes.len())
             .map(|i| self.base_seed.wrapping_add(i as u64))
@@ -180,15 +199,17 @@ impl PortfolioRunner {
         let network = self.base.build_network(g);
         let mut restarts = Vec::new();
         let restart_fraction = self.restart_fraction;
-        let mut arena = crate::batch::BatchArena::new();
-        let solutions = solve_lane_range_hooked(
+        let mut arena = crate::batch::ShardedArena::new();
+        let solutions = solve_lanes_sharded_hooked(
             g,
             &self.base,
             &network,
             &self.lanes,
             &seeds,
             false,
+            self.shards,
             &mut arena,
+            crate::pool::global(),
             |stage, boundary: &mut StageBoundary| {
                 Self::restart_worst(stage, boundary, restart_fraction, &mut restarts);
                 ControlFlow::Continue(())
@@ -362,9 +383,43 @@ mod tests {
     }
 
     #[test]
+    fn shard_width_is_invisible_to_restarting_portfolios() {
+        // Restarts couple lanes across shard boundaries at every join;
+        // the report (accuracies *and* the restart log) must not move
+        // by a bit when the stage windows shard.
+        let g = generators::kings_graph(4, 4);
+        let run = |shards: usize| {
+            PortfolioRunner::new(fast_config(), vec![LaneConfig::default(); 8])
+                .base_seed(9)
+                .restart_fraction(0.25)
+                .shards(shards)
+                .run(&g)
+        };
+        let one = run(1);
+        assert!(!one.restarts.is_empty(), "restarts must fire");
+        for shards in [2usize, 4] {
+            let sharded = run(shards);
+            assert_eq!(one.restarts, sharded.restarts, "{shards} shards");
+            assert_eq!(one.accuracies(), sharded.accuracies(), "{shards} shards");
+            for (a, b) in one.lanes.iter().zip(&sharded.lanes) {
+                assert_eq!(a.solution.coloring, b.solution.coloring);
+                for (p, q) in a.solution.final_phases.iter().zip(&b.solution.final_phases) {
+                    assert_eq!(p.to_bits(), q.to_bits(), "lane {} phases", a.lane);
+                }
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one lane")]
     fn empty_portfolio_rejected() {
         PortfolioRunner::new(fast_config(), Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = PortfolioRunner::new(fast_config(), vec![LaneConfig::default()]).shards(0);
     }
 
     #[test]

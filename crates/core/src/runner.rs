@@ -128,7 +128,7 @@ impl ExperimentRunner {
             iterations: 40,
             base_seed: 0x5EED,
             cut_reference: CutReference::Auto,
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: crate::pool::num_cores(),
         }
     }
 

@@ -18,21 +18,22 @@ use rand::Rng;
 /// the sampler can never desynchronize the solo and batch RNG streams
 /// that the bit-identity contracts compare.
 ///
-/// By default this is the Box–Muller transform
-/// ([`box_muller_normal`]). With the `ziggurat` feature it becomes the
-/// rejection-free-in-the-common-case ziggurat sampler
-/// ([`ziggurat_normal`]), which skips the `ln`/`cos` pair on ~98.8% of
-/// draws. The two samplers consume *different* amounts of RNG state per
-/// deviate, so enabling the feature shifts every seeded trajectory (the
-/// distributions agree; the streams do not).
+/// By default this is the rejection-free-in-the-common-case ziggurat
+/// sampler ([`ziggurat_normal`]), which skips the `ln`/`cos` pair on
+/// ~98.8% of draws. The `boxmuller` compat feature restores the
+/// original Box–Muller transform ([`box_muller_normal`]). The two
+/// samplers consume *different* amounts of RNG state per deviate, so
+/// toggling the feature shifts every seeded trajectory (the
+/// distributions agree; the streams do not) — the committed golden
+/// baselines are recorded with the default (ziggurat) sampler.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    #[cfg(feature = "ziggurat")]
-    {
-        ziggurat_normal(rng)
-    }
-    #[cfg(not(feature = "ziggurat"))]
+    #[cfg(feature = "boxmuller")]
     {
         box_muller_normal(rng)
+    }
+    #[cfg(not(feature = "boxmuller"))]
+    {
+        ziggurat_normal(rng)
     }
 }
 
@@ -40,7 +41,9 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// The approved offline dependency set includes `rand` but not `rand_distr`,
 /// so the Gaussian sampler lives here. Box–Muller is exact (not an
-/// approximation) and fast enough for phase-noise injection.
+/// approximation); it was the default sampler before the ziggurat flip
+/// and remains selectable via the `boxmuller` compat feature (always
+/// compiled so its statistics stay under test either way).
 pub fn box_muller_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     // Guard against ln(0): gen() yields [0, 1), so flip to (0, 1].
     let u1: f64 = 1.0 - rng.gen::<f64>();
@@ -95,9 +98,9 @@ fn ziggurat_tables() -> &'static ZigguratTables {
 /// `r ≈ 3.654` with Marsaglia's exponential method — the distribution
 /// is exact, not truncated.
 ///
-/// Used by [`standard_normal`] when the `ziggurat` feature is enabled
-/// (see the ROADMAP's "Faster Gaussian noise" item); always compiled so
-/// its statistics stay under test in the default build.
+/// The default sampler behind [`standard_normal`] (see the ROADMAP's
+/// "Faster Gaussian noise" item); the `boxmuller` compat feature swaps
+/// it back out.
 pub fn ziggurat_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     let tables = ziggurat_tables();
     loop {
@@ -505,10 +508,10 @@ mod tests {
         let mut b = StdRng::seed_from_u64(77);
         for _ in 0..64 {
             let via_choke = standard_normal(&mut a);
-            #[cfg(feature = "ziggurat")]
-            let direct = ziggurat_normal(&mut b);
-            #[cfg(not(feature = "ziggurat"))]
+            #[cfg(feature = "boxmuller")]
             let direct = box_muller_normal(&mut b);
+            #[cfg(not(feature = "boxmuller"))]
+            let direct = ziggurat_normal(&mut b);
             assert_eq!(via_choke.to_bits(), direct.to_bits());
         }
     }

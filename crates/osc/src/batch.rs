@@ -239,6 +239,17 @@ impl BatchKernel {
         self.edge_on[edge * self.replicas + replica]
     }
 
+    /// Raises every replica's `P_EN` on every edge — the start-of-run
+    /// control state every lane-range solve begins from (defective
+    /// rings' edges stay dead regardless).
+    pub fn enable_all_edges(&mut self) {
+        for e in 0..self.edge_u.len() {
+            for r in 0..self.replicas {
+                self.set_edge_enabled(e, r, true);
+            }
+        }
+    }
+
     /// Sets the frequency offset of node `i` in `replica` (used for
     /// per-replica process-variation sampling). Defective rings stay 0.
     pub fn set_bias(&mut self, node: usize, replica: usize, delta_omega: f64) {
@@ -629,6 +640,11 @@ mod tests {
         kernel.set_edge_enabled(e12, 0, false);
         assert!(!kernel.edge_enabled(e12, 0));
         assert!(kernel.edge_enabled(e12, 1));
+        // enable_all_edges restores the start-of-run state...
+        kernel.enable_all_edges();
+        assert!(kernel.edge_enabled(e12, 0));
+        // ...and re-gating works on top of it.
+        kernel.set_edge_enabled(e12, 0, false);
 
         let mut y = vec![0.0, 0.0, 1.0, 1.0, 2.5, 2.5]; // both replicas same start
         let mut rngs = vec![StdRng::seed_from_u64(1), StdRng::seed_from_u64(1)];

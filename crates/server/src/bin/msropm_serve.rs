@@ -3,11 +3,17 @@
 //!
 //! ```text
 //! msropm_serve [--addr HOST:PORT] [--frontend threads|reactor]
-//!              [--workers N] [--queue N] [--cache N]
+//!              [--workers N] [--queue N] [--cache N] [--shards auto|N]
 //!              [--max-inflight N] [--max-lanes N] [--max-conns N]
 //!              [--loops N] [--max-wbuf BYTES] [--poll-backend]
 //!              [--port-file PATH]
 //! ```
+//!
+//! `--shards auto` (default) lets each job's solve shard across the
+//! core-count-wide pool when the queue is shallow, narrowing under
+//! backlog; `--shards N` pins every job to N shards (`--shards 1`
+//! disables intra-job parallelism). Reports are bit-identical either
+//! way.
 //!
 //! `--frontend threads` (default) serves each connection with a
 //! reader/writer thread pair; `--frontend reactor` multiplexes every
@@ -24,7 +30,7 @@
 
 use msropm_server::reactor::{ReactorConfig, ReactorServer};
 use msropm_server::wire::WireServer;
-use msropm_server::Frontend;
+use msropm_server::{Frontend, ShardPolicy};
 use std::time::Duration;
 
 fn main() {
@@ -57,6 +63,14 @@ fn main() {
             "--cache" => {
                 config.wire.server.cache_capacity = value("--cache").parse().expect("--cache N")
             }
+            "--shards" => {
+                let v = value("--shards");
+                config.wire.server.shards = if v == "auto" {
+                    ShardPolicy::Auto
+                } else {
+                    ShardPolicy::Fixed(v.parse().expect("--shards auto|N"))
+                }
+            }
             "--max-inflight" => {
                 config.wire.max_inflight_jobs =
                     value("--max-inflight").parse().expect("--max-inflight N")
@@ -77,8 +91,8 @@ fn main() {
                 eprintln!(
                     "unknown argument {other:?}; valid: --addr HOST:PORT, \
                      --frontend threads|reactor, --workers N, --queue N, --cache N, \
-                     --max-inflight N, --max-lanes N, --max-conns N, --loops N, \
-                     --max-wbuf BYTES, --poll-backend, --port-file PATH"
+                     --shards auto|N, --max-inflight N, --max-lanes N, --max-conns N, \
+                     --loops N, --max-wbuf BYTES, --poll-backend, --port-file PATH"
                 );
                 std::process::exit(2);
             }

@@ -42,6 +42,7 @@
 //!     workers: 2,
 //!     queue_capacity: 8,
 //!     cache_capacity: 16,
+//!     ..ServerConfig::default()
 //! });
 //!
 //! // One tenant's operating point: a 4-lane (K, σ) sweep on a 3×3
@@ -74,7 +75,9 @@ pub mod reactor;
 pub(crate) mod session;
 pub mod wire;
 
-use msropm_core::{BatchArena, BatchJob, CacheStats, CancelToken, JobReport, ProblemCache};
+use msropm_core::{
+    num_cores, BatchJob, CacheStats, CancelToken, JobReport, ProblemCache, ShardedArena,
+};
 use msropm_graph::Graph;
 use queue::BoundedQueue;
 use std::collections::VecDeque;
@@ -98,6 +101,35 @@ pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// How wide each job's solve shards across the process-wide
+/// [`msropm_core::pool`] (intra-job lane parallelism). Reports are
+/// **bit-identical** at every width — the policy trades latency against
+/// cross-job throughput, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// Adapt per job from queue depth: an idle server gives the lone
+    /// job every core (lowest latency); a deep backlog narrows each job
+    /// toward one shard so cross-job concurrency carries the
+    /// throughput.
+    #[default]
+    Auto,
+    /// Every job runs exactly this many shards (clamped to its lane
+    /// count). `Fixed(1)` disables intra-job parallelism outright.
+    Fixed(usize),
+}
+
+impl ShardPolicy {
+    /// Resolves the shard width for one job of `lanes` lanes with
+    /// `backlog` jobs waiting behind it.
+    fn width(self, lanes: usize, backlog: usize) -> usize {
+        let want = match self {
+            ShardPolicy::Fixed(n) => n.max(1),
+            ShardPolicy::Auto => (num_cores() / (backlog + 1)).max(1),
+        };
+        want.min(lanes.max(1))
+    }
+}
+
 /// Sizing knobs of a [`JobServer`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
@@ -107,6 +139,8 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Compiled machines the problem cache retains (LRU beyond this).
     pub cache_capacity: usize,
+    /// Intra-job shard width policy (see [`ShardPolicy`]).
+    pub shards: ShardPolicy,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +149,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 64,
             cache_capacity: 32,
+            shards: ShardPolicy::Auto,
         }
     }
 }
@@ -539,10 +574,13 @@ impl Envelope {
 struct Shared {
     queue: BoundedQueue<Envelope>,
     cache: Mutex<ProblemCache>,
+    shard_policy: ShardPolicy,
     jobs_completed: AtomicU64,
     jobs_cancelled: AtomicU64,
     jobs_failed: AtomicU64,
     worker_restarts: AtomicU64,
+    jobs_sharded: AtomicU64,
+    shard_width_max: AtomicU64,
     /// Live worker handles, shared with the supervisor (which reaps
     /// finished ones and pushes their replacements).
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
@@ -574,10 +612,13 @@ impl JobServer {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             cache: Mutex::new(ProblemCache::new(config.cache_capacity)),
+            shard_policy: config.shards,
             jobs_completed: AtomicU64::new(0),
             jobs_cancelled: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             worker_restarts: AtomicU64::new(0),
+            jobs_sharded: AtomicU64::new(0),
+            shard_width_max: AtomicU64::new(0),
             workers: Mutex::new(Vec::new()),
         });
         let handles: Vec<_> = (0..config.workers)
@@ -722,6 +763,18 @@ impl JobServer {
     /// Dead workers the supervisor has respawned since boot.
     pub fn worker_restarts(&self) -> u64 {
         self.shared.worker_restarts.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that ran with more than one shard since boot (intra-job
+    /// parallel solves; see [`ShardPolicy`]).
+    pub fn jobs_sharded(&self) -> u64 {
+        self.shared.jobs_sharded.load(Ordering::Relaxed)
+    }
+
+    /// The widest shard count any job has run with since boot (0 before
+    /// the first pickup).
+    pub fn shard_width_max(&self) -> u64 {
+        self.shared.shard_width_max.load(Ordering::Relaxed)
     }
 
     /// Counts one failed job observed outside the worker loop — the
@@ -911,7 +964,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 fn worker_loop(shared: &Shared) {
-    let mut arena = BatchArena::new();
+    let mut arena = ShardedArena::new();
     while let Some(envelope) = shared.queue.pop() {
         // Cancellation observed at pickup: skip all work. (Stage-boundary
         // checks inside the supervised run below cover mid-run cancels.)
@@ -940,6 +993,18 @@ fn worker_loop(shared: &Shared) {
         // unwind, its hook fires `WorkerDied`, and the supervisor
         // respawns the worker. (Never fires unless a test armed it.)
         faultinject::maybe_kill_worker();
+        // Shard width is decided at pickup from the policy and the
+        // *current* backlog: a queue that piled up while this worker was
+        // busy narrows the next job toward plain cross-job concurrency.
+        let shards = shared
+            .shard_policy
+            .width(envelope.job.lanes.len(), shared.queue.len());
+        if shards > 1 {
+            shared.jobs_sharded.fetch_add(1, Ordering::Relaxed);
+        }
+        shared
+            .shard_width_max
+            .fetch_max(shards as u64, Ordering::Relaxed);
         let started_at = Instant::now();
         // The entire cache-lookup/compile/solve region is supervised:
         // a panicking solve (bad job, solver bug, injected fault)
@@ -972,19 +1037,27 @@ fn worker_loop(shared: &Shared) {
             // Solve outside the cache lock too: workers never serialize
             // on each other's integrations. The abort check combines
             // cancellation with the job's deadline — both land at stage
-            // boundaries only, so completed runs stay bit-identical.
-            envelope.job.run_cancellable_with(&machine, &mut arena, || {
-                envelope.cancel.is_cancelled()
-                    || envelope
-                        .deadline
-                        .is_some_and(|deadline| Instant::now() >= deadline)
-            })
+            // boundaries only (cross-shard joins on the sharded path),
+            // so completed runs stay bit-identical at any width.
+            envelope.job.run_sharded_with(
+                &machine,
+                shards,
+                &mut arena,
+                msropm_core::pool::global(),
+                || {
+                    envelope.cancel.is_cancelled()
+                        || envelope
+                            .deadline
+                            .is_some_and(|deadline| Instant::now() >= deadline)
+                },
+            )
         }));
         let completion = match result {
             Err(payload) => {
-                // The arena may hold a half-written solve; rebuild it so
-                // the next job starts from clean scratch state.
-                arena = BatchArena::new();
+                // The arena may hold a half-written solve (and a shard
+                // panic drops its in-flight arenas); rebuild so the next
+                // job starts from clean scratch state.
+                arena = ShardedArena::new();
                 envelope.status.set(JobState::Failed);
                 shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
                 JobCompletion::Failed {

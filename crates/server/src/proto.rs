@@ -298,6 +298,11 @@ pub struct WireStats {
     pub cache_misses: u64,
     /// Connections currently served.
     pub connections: u64,
+    /// Jobs that ran with more than one shard (intra-job parallel
+    /// solves), since boot.
+    pub jobs_sharded: u64,
+    /// The widest shard count any job has run with, since boot.
+    pub shard_width_max: u64,
     /// Which front end is serving (threads vs reactor).
     pub frontend: FrontendKind,
 }
@@ -852,6 +857,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.u64(s.cache_hits);
             w.u64(s.cache_misses);
             w.u64(s.connections);
+            w.u64(s.jobs_sharded);
+            w.u64(s.shard_width_max);
             w.u8(s.frontend as u8);
             w.0
         }
@@ -923,6 +930,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             cache_hits: r.u64()?,
             cache_misses: r.u64()?,
             connections: r.u64()?,
+            jobs_sharded: r.u64()?,
+            shard_width_max: r.u64()?,
             frontend: FrontendKind::from_u8(r.u8()?)
                 .ok_or(ProtoError::BadValue("frontend kind byte"))?,
         }),
@@ -1284,6 +1293,8 @@ mod tests {
                 cache_hits: 20,
                 cache_misses: 5,
                 connections: 3,
+                jobs_sharded: 6,
+                shard_width_max: 4,
                 frontend: FrontendKind::Reactor,
             }),
             Response::Report(report.clone()),

@@ -996,6 +996,7 @@ mod tests {
                     workers: 1,
                     queue_capacity: 1,
                     cache_capacity: 4,
+                    ..ServerConfig::default()
                 },
                 max_inflight_jobs: 16,
                 max_queued_lanes: 1024,
@@ -1191,6 +1192,7 @@ mod tests {
                     workers: 1,
                     queue_capacity: 8,
                     cache_capacity: 4,
+                    ..ServerConfig::default()
                 },
                 ..WireConfig::default()
             },
@@ -1226,6 +1228,7 @@ mod tests {
                     workers: 1,
                     queue_capacity: 8,
                     cache_capacity: 4,
+                    ..ServerConfig::default()
                 },
                 max_inflight_jobs: 2,
                 max_queued_lanes: 64,

@@ -222,6 +222,8 @@ impl SessionCore {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             connections: self.live_connections() as u64,
+            jobs_sharded: self.jobs.jobs_sharded(),
+            shard_width_max: self.jobs.shard_width_max(),
             frontend: self.frontend,
         }
     }

@@ -428,6 +428,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 8,
                 cache_capacity: 4,
+                ..ServerConfig::default()
             },
             max_inflight_jobs: 1,
             max_queued_lanes: 64,
@@ -474,6 +475,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 8,
                 cache_capacity: 4,
+                ..ServerConfig::default()
             },
             max_inflight_jobs: 10,
             max_queued_lanes: 20,
@@ -499,6 +501,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 8,
                 cache_capacity: 4,
+                ..ServerConfig::default()
             },
             ..WireConfig::default()
         });
@@ -606,6 +609,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 8,
                 cache_capacity: 4,
+                ..ServerConfig::default()
             },
             ..WireConfig::default()
         });
@@ -655,6 +659,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 8,
                 cache_capacity: 4,
+                ..ServerConfig::default()
             },
             ..WireConfig::default()
         });

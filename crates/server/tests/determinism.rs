@@ -1,13 +1,13 @@
 //! Property test of the ISSUE's headline server contract: same job +
-//! seed ⇒ bit-identical ranked report regardless of worker count, for
-//! *arbitrary* mixed batches — random graphs, random lane overrides,
-//! random seeds, hot and cold cache paths alike (companion to the
-//! workspace root's `tests/batch_determinism.rs`, one level up the
-//! stack).
+//! seed ⇒ bit-identical ranked report regardless of worker count *and*
+//! intra-job shard width, for *arbitrary* mixed batches — random
+//! graphs, random lane overrides, random seeds, hot and cold cache
+//! paths alike (companion to the workspace root's
+//! `tests/batch_determinism.rs`, one level up the stack).
 
 use msropm_core::{BatchJob, JobReport, LaneConfig, MsropmConfig, ReinitMode};
 use msropm_graph::{generators, Graph};
-use msropm_server::{JobServer, ServerConfig};
+use msropm_server::{JobServer, ServerConfig, ShardPolicy};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -44,11 +44,16 @@ fn graph_pool() -> Vec<Arc<Graph>> {
     ]
 }
 
-fn run_batch(workers: usize, jobs: &[(Arc<Graph>, BatchJob)]) -> Vec<JobReport> {
+fn run_batch(
+    workers: usize,
+    shards: ShardPolicy,
+    jobs: &[(Arc<Graph>, BatchJob)],
+) -> Vec<JobReport> {
     let server = JobServer::start(ServerConfig {
         workers,
         queue_capacity: 4,
         cache_capacity: 3, // below the pool size: include eviction traffic
+        shards,
     });
     let tickets: Vec<_> = jobs
         .iter()
@@ -60,11 +65,28 @@ fn run_batch(workers: usize, jobs: &[(Arc<Graph>, BatchJob)]) -> Vec<JobReport> 
         .collect()
 }
 
+fn assert_reports_match(one: &[JobReport], other: &[JobReport]) {
+    for (a, b) in one.iter().zip(other) {
+        prop_assert_eq!(a.graph_hash, b.graph_hash);
+        prop_assert_eq!(a.seed, b.seed);
+        prop_assert_eq!(a.ranked.len(), b.ranked.len());
+        for (x, y) in a.ranked.iter().zip(&b.ranked) {
+            prop_assert_eq!(x.lane, y.lane);
+            prop_assert_eq!(x.seed, y.seed);
+            prop_assert_eq!(x.conflicts, y.conflicts);
+            prop_assert_eq!(&x.solution.coloring, &y.solution.coloring);
+            for (p, q) in x.solution.final_phases.iter().zip(&y.solution.final_phases) {
+                prop_assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     #[test]
-    fn worker_count_never_changes_a_report(
+    fn worker_and_shard_counts_never_change_a_report(
         batch in proptest::collection::vec(arb_job(), 1..7)
     ) {
         let pool = graph_pool();
@@ -75,21 +97,17 @@ proptest! {
                 (Arc::clone(&pool[gi % pool.len()]), job)
             })
             .collect();
-        let one = run_batch(1, &jobs);
-        let three = run_batch(3, &jobs);
-        for (a, b) in one.iter().zip(&three) {
-            prop_assert_eq!(a.graph_hash, b.graph_hash);
-            prop_assert_eq!(a.seed, b.seed);
-            prop_assert_eq!(a.ranked.len(), b.ranked.len());
-            for (x, y) in a.ranked.iter().zip(&b.ranked) {
-                prop_assert_eq!(x.lane, y.lane);
-                prop_assert_eq!(x.seed, y.seed);
-                prop_assert_eq!(x.conflicts, y.conflicts);
-                prop_assert_eq!(&x.solution.coloring, &y.solution.coloring);
-                for (p, q) in x.solution.final_phases.iter().zip(&y.solution.final_phases) {
-                    prop_assert_eq!(p.to_bits(), q.to_bits());
-                }
-            }
-        }
+        // The reference: classic serial solves, one worker, no shards.
+        let one = run_batch(1, ShardPolicy::Fixed(1), &jobs);
+        // Worker axis, shard axis, and both together — including Auto,
+        // whose width varies with live queue depth and core count.
+        let three = run_batch(3, ShardPolicy::Fixed(1), &jobs);
+        assert_reports_match(&one, &three);
+        let sharded = run_batch(1, ShardPolicy::Fixed(4), &jobs);
+        assert_reports_match(&one, &sharded);
+        let both = run_batch(3, ShardPolicy::Fixed(4), &jobs);
+        assert_reports_match(&one, &both);
+        let auto = run_batch(2, ShardPolicy::Auto, &jobs);
+        assert_reports_match(&one, &auto);
     }
 }

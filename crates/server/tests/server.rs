@@ -56,6 +56,7 @@ fn run_all(workers: usize, jobs: &[(Arc<Graph>, BatchJob)]) -> Vec<JobReport> {
         workers,
         queue_capacity: 4, // deliberately smaller than the job count: exercises backpressure
         cache_capacity: 8,
+        ..ServerConfig::default()
     });
     let tickets: Vec<_> = jobs
         .iter()
@@ -117,6 +118,7 @@ fn cache_hit_is_bit_identical_to_cache_miss() {
         workers: 2,
         queue_capacity: 8,
         cache_capacity: 4,
+        ..ServerConfig::default()
     });
     let cold = server
         .submit(Arc::clone(&graph), job.clone())
@@ -155,6 +157,7 @@ fn cache_evicts_beyond_cap_and_recompiles_transparently() {
         workers: 1, // sequential: cache traffic is deterministic
         queue_capacity: 8,
         cache_capacity: 2,
+        ..ServerConfig::default()
     });
     let submit_wait = |g: &Arc<Graph>, seed: u64| {
         server
@@ -186,6 +189,7 @@ fn shutdown_completes_accepted_jobs() {
         workers: 2,
         queue_capacity: 16,
         cache_capacity: 2,
+        ..ServerConfig::default()
     });
     let tickets: Vec<_> = (0..6)
         .map(|seed| {
@@ -212,6 +216,7 @@ fn wait_timeout_returns_ticket_for_retry() {
         workers: 1,
         queue_capacity: 4,
         cache_capacity: 2,
+        ..ServerConfig::default()
     });
     let ticket = server
         .submit(Arc::clone(&graph), BatchJob::uniform(fast_config(), 8, 3))

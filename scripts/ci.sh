@@ -2,8 +2,8 @@
 # CI gate for the MSROPM workspace, structured as named stages:
 #
 #   fmt    rustfmt check
-#   lint   clippy over all targets, deny warnings (incl. the ziggurat cfg)
-#   test   full test suite (+ the ziggurat feature's suite)
+#   lint   clippy over all targets, deny warnings (incl. the boxmuller cfg)
+#   test   full test suite (+ the boxmuller compat feature's suite)
 #   build  release build incl. examples
 #   smoke  job-server determinism smoke + wire smoke (real TCP loopback:
 #          boot msropm_serve on an ephemeral port, run solve_remote
@@ -41,9 +41,9 @@ stage_fmt() {
 
 stage_lint() {
     cargo clippy --all-targets -- -D warnings
-    # The ziggurat sampler is cfg'd out of default builds; lint that
-    # code too, with warnings denied just like the default surface.
-    cargo clippy -p msropm-ode --all-targets --features ziggurat -- -D warnings
+    # The Box–Muller compat sampler is cfg'd out of default builds; lint
+    # that code too, with warnings denied just like the default surface.
+    cargo clippy -p msropm-ode --all-targets --features boxmuller -- -D warnings
     # The vendored epoll/poll shim carries the workspace's only unsafe
     # (FFI) code; hold it to the same deny-warnings bar explicitly.
     cargo clippy -p polling --all-targets -- -D warnings
@@ -51,7 +51,7 @@ stage_lint() {
 
 stage_test() {
     cargo test -q
-    cargo test -q -p msropm-ode --features ziggurat
+    cargo test -q -p msropm-ode --features boxmuller
 }
 
 stage_build() {
@@ -60,8 +60,9 @@ stage_build() {
 }
 
 stage_smoke() {
-    # In-process server smoke: mixed batch, 1-vs-4-worker determinism.
-    # `timeout` tears everything down if anything deadlocks.
+    # In-process server smoke: mixed batch, 1-vs-4-worker and
+    # 1-vs-4-shard determinism. `timeout` tears everything down if
+    # anything deadlocks.
     timeout --kill-after=10 120 \
         cargo run --release -p msropm-bench --bin serve_bench -- --smoke
 
@@ -85,7 +86,7 @@ run_wire_smoke() {
     port_file=$(mktemp -t msropm_wire_smoke.XXXXXX)
     ./target/release/msropm_serve \
         --addr 127.0.0.1:0 --frontend "$frontend" --workers 1 \
-        --max-conns 600 --port-file "$port_file" &
+        --shards auto --max-conns 600 --port-file "$port_file" &
     wire_server_pid=$!   # global: finish() reaps it on any exit path
     for _ in $(seq 1 100); do
         [[ -s "$port_file" ]] && break

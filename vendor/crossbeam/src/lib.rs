@@ -1,9 +1,15 @@
-//! Offline stand-in for the `crossbeam` crate (scoped-threads subset).
+//! Offline stand-in for the `crossbeam` crate (scoped-threads +
+//! work-stealing-deque subset).
 //!
-//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn` +
-//! `ScopedJoinHandle::join`; this shim implements that API on top of
-//! `std::thread::scope` (stable since Rust 1.63), so no external crate is
-//! required in the network-isolated build container.
+//! The workspace uses `crossbeam::thread::scope` + `Scope::spawn` +
+//! `ScopedJoinHandle::join` (batch sharding) and the
+//! `deque::{Worker, Stealer, Injector, Steal}` surface (the shard pool
+//! in `msropm-core::pool`); this shim implements both on std alone, so
+//! no external crate is required in the network-isolated build
+//! container. The deque flavor is mutex-backed rather than lock-free —
+//! same API and semantics, traded for `#![forbid(unsafe_code)]`; the
+//! shard pool's tasks are milliseconds long, so queue-op latency is
+//! noise there.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,6 +76,173 @@ pub mod thread {
     }
 }
 
+/// Work-stealing deques (mirrors `crossbeam::deque`).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Outcome of a steal attempt (mirrors `crossbeam::deque::Steal`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and may be retried. The mutex-backed
+        /// shim never loses races, but callers written against the real
+        /// crate match on this arm, so it exists.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                Steal::Empty | Steal::Retry => None,
+            }
+        }
+
+        /// Returns `true` when the source queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    fn lock<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        // A panic while holding one of these locks aborts the pool
+        // anyway; recover the guard so unrelated threads keep going.
+        q.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The owner side of one worker's local queue.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO worker queue (the flavor the shard pool uses:
+        /// oldest task first, so stage tasks retire in dispatch order).
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Enqueues a task on the owner's end.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Dequeues the owner's next task (FIFO).
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.queue).pop_front()
+        }
+
+        /// Returns `true` if the queue currently holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            lock(&self.queue).len()
+        }
+
+        /// Creates a stealer handle onto this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A shareable handle that steals from the far end of a [`Worker`]'s
+    /// queue.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Returns `true` if the queue currently holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+
+    /// A global FIFO injection queue shared by all workers of a pool.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Steals one task.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks into `dest`'s local queue and returns
+        /// one of them (the real crate's rebalancing primitive: moves up
+        /// to half the injector, so one worker does not drain the world).
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = lock(&self.queue);
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            let extra = q.len() / 2;
+            for _ in 0..extra {
+                let Some(t) = q.pop_front() else { break };
+                dest.push(t);
+            }
+            Steal::Success(first)
+        }
+
+        /// Returns `true` if the injector currently holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            lock(&self.queue).len()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::thread;
@@ -112,5 +285,77 @@ mod tests {
             assert!(h.join().is_err());
         })
         .expect("scope itself succeeds");
+    }
+
+    mod deque {
+        use crate::deque::{Injector, Steal, Worker};
+
+        #[test]
+        fn worker_is_fifo_and_stealers_take_the_front() {
+            let w: Worker<i32> = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.len(), 3);
+            assert_eq!(s.steal(), Steal::Success(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(s.clone().steal(), Steal::Success(3));
+            assert!(s.is_empty() && w.is_empty());
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn injector_batch_steal_rebalances() {
+            let inj: Injector<usize> = Injector::new();
+            for i in 0..8 {
+                inj.push(i);
+            }
+            let w = Worker::new_fifo();
+            // Pops task 0 and moves half the remainder (3 of 7) locally.
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+            assert_eq!(w.len(), 3);
+            assert_eq!(inj.len(), 4);
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(inj.steal(), Steal::Success(4));
+            assert!(!inj.is_empty());
+        }
+
+        #[test]
+        fn steal_success_accessor() {
+            assert_eq!(Steal::Success(7).success(), Some(7));
+            assert_eq!(Steal::<i32>::Empty.success(), None);
+            assert!(Steal::<i32>::Empty.is_empty());
+            assert!(!Steal::<i32>::Retry.is_empty());
+        }
+
+        #[test]
+        fn concurrent_stealing_loses_nothing() {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let inj: Injector<usize> = Injector::new();
+            for i in 0..1000 {
+                inj.push(i);
+            }
+            let total = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| {
+                        let local = Worker::new_fifo();
+                        loop {
+                            let task = local
+                                .pop()
+                                .or_else(|| inj.steal_batch_and_pop(&local).success());
+                            match task {
+                                Some(t) => {
+                                    total.fetch_add(t, Ordering::Relaxed);
+                                }
+                                None => break,
+                            }
+                        }
+                    });
+                }
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 999 * 1000 / 2);
+        }
     }
 }
