@@ -41,7 +41,7 @@
 //! Run with: `cargo run --release -p msropm-bench --bin wire_bench`
 
 use msropm_bench::baseline;
-use msropm_client::Client;
+use msropm_client::{Client, SubmitOptions};
 use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
 use msropm_graph::{generators, Graph};
 use msropm_server::proto::{
@@ -240,7 +240,9 @@ fn run_workload(workload: Workload, workers: usize, label: String, opts: RunOpts
             .jobs
             .iter()
             .map(|(g, job)| {
-                client.submit_nowait(g, job).expect("mux submit");
+                client
+                    .submit_with(g, job, &SubmitOptions::new().nowait())
+                    .expect("mux submit");
                 Instant::now()
             })
             .collect();
@@ -252,7 +254,10 @@ fn run_workload(workload: Workload, workers: usize, label: String, opts: RunOpts
             .jobs
             .iter()
             .map(|(g, job)| {
-                let id = client.submit(g, job).expect("submit admitted");
+                let id = client
+                    .submit_with(g, job, &SubmitOptions::new())
+                    .expect("submit admitted")
+                    .expect("blocking submit yields a job id");
                 (id, Instant::now())
             })
             .collect()

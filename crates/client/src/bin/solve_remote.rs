@@ -4,6 +4,9 @@
 //! solve_remote --addr HOST:PORT [--tenant NAME] [--retries N] [--retry-base-ms MS]
 //!              submit --graph SPEC [--replicas N] [--seed S] [--sweep]
 //!              [--deadline-ms MS] [--no-wait]
+//! solve_remote --addr HOST:PORT [--tenant NAME]
+//!              problem --class NAME --input SPEC|FILE [--k K] [--replicas N]
+//!              [--seed S] [--deadline-ms MS] [--no-wait]
 //! solve_remote --addr HOST:PORT [--tenant NAME] status JOB_ID
 //! solve_remote --addr HOST:PORT [--tenant NAME] cancel JOB_ID
 //! solve_remote --addr HOST:PORT [--tenant NAME] stats
@@ -13,18 +16,29 @@
 //! Graph `SPEC`s: `kings:RxC`, `grid:RxC`, `cycle:N`, or a path to a
 //! DIMACS `.col` file.
 //!
+//! `problem` submits a typed [`msropm_problems::ProblemSpec`] through
+//! the `SubmitProblem` wire verb and prints the decoded, domain-ranked
+//! report. Classes `coloring`, `max-cut`, `max-k-cut`, `mis` and
+//! `vertex-cover` take a graph `SPEC` (generator or DIMACS `.col`
+//! file); `number-partition` takes a whitespace-separated weights
+//! file; `cnf-sat` a DIMACS CNF file; `qubo`/`ising` their JSON forms.
+//!
 //! `smoke` runs the CI scenario: submit a long job and a short one,
 //! poll `status`, `cancel` the queued job, verify the long job's report
 //! arrives (with a matching client-side graph hash and conflict
-//! recount) and that **the cancelled job never produces a report**.
+//! recount) and that **the cancelled job never produces a report**;
+//! then submit one instance of every problem class through
+//! `SubmitProblem`, and prove an unsupported spec and an unknown verb
+//! each answer a typed error **without desyncing the connection**.
 //! Without `--addr` it boots an in-process
 //! [`msropm_server::wire::WireServer`] on an ephemeral loopback port
 //! first — the protocol still travels through a real TCP socket.
 
-use msropm_client::{Client, RetryPolicy};
+use msropm_client::{Client, ClientError, RetryPolicy, SubmitOptions};
 use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
 use msropm_graph::{generators, graph_hash, io as graph_io, Graph};
-use msropm_server::proto::verify_lane;
+use msropm_problems::{DecodedSolution, ProblemClass, ProblemSpec};
+use msropm_server::proto::{self, verify_lane, ErrorCode, Request, Response, WireProblemReport};
 use msropm_server::wire::{WireConfig, WireServer};
 use msropm_server::{JobState, ServerConfig};
 use std::time::Duration;
@@ -32,10 +46,14 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: solve_remote --addr HOST:PORT [--tenant NAME] [--retries N] [--retry-base-ms MS] \
-         <submit|status|cancel|stats> ...\n\
+         <submit|problem|status|cancel|stats> ...\n\
          \x20      solve_remote smoke [--addr HOST:PORT] [--idle N]\n\
-         submit: --graph SPEC [--replicas N] [--seed S] [--sweep] [--deadline-ms MS] [--no-wait]\n\
-         smoke:  --idle N holds N extra idle connections open through the scenario\n\
+         submit:  --graph SPEC [--replicas N] [--seed S] [--sweep] [--deadline-ms MS] [--no-wait]\n\
+         problem: --class NAME --input SPEC|FILE [--k K] [--replicas N] [--seed S] \
+         [--deadline-ms MS] [--no-wait]\n\
+         \x20        classes: coloring | max-cut | max-k-cut | mis | vertex-cover | \
+         number-partition | cnf-sat | qubo | ising\n\
+         smoke:   --idle N holds N extra idle connections open through the scenario\n\
          --retries N reconnects with exponential backoff on refused/reset connections\n\
          graph SPECs: kings:RxC | grid:RxC | cycle:N | path/to/file.col"
     );
@@ -70,6 +88,102 @@ fn parse_graph_spec(spec: &str) -> Result<Graph, String> {
 fn fail(e: impl std::fmt::Display) -> ! {
     eprintln!("solve_remote: {e}");
     std::process::exit(1);
+}
+
+/// Builds a typed spec from the CLI's `--class`/`--input`/`--k`
+/// arguments. Graph classes accept generator specs or DIMACS `.col`
+/// files; the other classes read their standard text format from the
+/// input path.
+fn build_problem_spec(class: ProblemClass, input: &str, k: u16) -> Result<ProblemSpec, String> {
+    let spec = match class {
+        ProblemClass::Coloring
+        | ProblemClass::MaxCut
+        | ProblemClass::MaxKCut
+        | ProblemClass::Mis
+        | ProblemClass::VertexCover => {
+            let graph = parse_graph_spec(input)?;
+            let k = if k == 0 { 4 } else { k };
+            match class {
+                ProblemClass::Coloring => ProblemSpec::Coloring { graph, colors: k },
+                ProblemClass::MaxCut => ProblemSpec::MaxCut { graph },
+                ProblemClass::MaxKCut => ProblemSpec::MaxKCut { graph, k },
+                ProblemClass::Mis => ProblemSpec::Mis { graph },
+                ProblemClass::VertexCover => ProblemSpec::VertexCover { graph },
+                _ => unreachable!("matched a graph class"),
+            }
+        }
+        _ => {
+            let text = std::fs::read_to_string(input)
+                .map_err(|e| format!("cannot read {input:?}: {e}"))?;
+            ProblemSpec::from_text(class, &text, k).map_err(|e| e.to_string())?
+        }
+    };
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+/// One-line summary of a decoded solution for terminal output.
+fn describe_solution(sol: &DecodedSolution) -> String {
+    match sol {
+        DecodedSolution::Coloring(c) => format!("coloring of {} vertices", c.len()),
+        DecodedSolution::CutSides(s) => {
+            format!(
+                "cut with {} vertices on side 1",
+                s.iter().filter(|&&b| b).count()
+            )
+        }
+        DecodedSolution::Subset(s) => format!("subset of {} vertices", s.len()),
+        DecodedSolution::Partition(p) => {
+            format!(
+                "partition with {} items on side 1",
+                p.iter().filter(|&&b| b).count()
+            )
+        }
+        DecodedSolution::Assignment(a) => {
+            format!(
+                "assignment with {} of {} vars true",
+                a.iter().filter(|&&b| b).count(),
+                a.len()
+            )
+        }
+        DecodedSolution::Spins(s) => {
+            format!(
+                "{} of {} spins up",
+                s.iter().filter(|&&b| b).count(),
+                s.len()
+            )
+        }
+    }
+}
+
+fn print_problem_report(report: &WireProblemReport) {
+    let r = &report.report;
+    println!(
+        "job {}: class {}, fingerprint {:#018x}, {} lanes, queued {} us, service {} us",
+        report.job_id,
+        r.class,
+        r.problem_fingerprint,
+        r.ranked.len(),
+        report.queued_us,
+        report.service_us
+    );
+    for lane in r.ranked.iter().take(4) {
+        println!(
+            "  lane {:>3} (seed {:#018x}): objective {}, {}, {}",
+            lane.lane,
+            lane.seed,
+            lane.objective,
+            if lane.feasible {
+                "feasible"
+            } else {
+                "infeasible"
+            },
+            describe_solution(&lane.solution)
+        );
+    }
+    if r.ranked.len() > 4 {
+        println!("  ... {} more lanes", r.ranked.len() - 4);
+    }
 }
 
 fn print_report(graph: Option<&Graph>, report: &msropm_server::proto::WireReport) {
@@ -212,8 +326,9 @@ fn main() {
                 BatchJob::uniform(config, replicas, seed)
             };
             let job_id = client
-                .submit_deadline(&graph, &job, deadline_ms)
-                .unwrap_or_else(|e| fail(format!("submit: {e}")));
+                .submit_with(&graph, &job, &SubmitOptions::new().deadline_ms(deadline_ms))
+                .unwrap_or_else(|e| fail(format!("submit: {e}")))
+                .expect("blocking submit yields a job id");
             if deadline_ms > 0 {
                 println!(
                     "submitted job {job_id} ({} lanes, deadline {deadline_ms} ms)",
@@ -227,6 +342,67 @@ fn main() {
                     .wait_report(job_id)
                     .unwrap_or_else(|e| fail(format!("wait: {e}")));
                 print_report(Some(&graph), &report);
+            }
+        }
+        "problem" => {
+            let mut class: Option<String> = None;
+            let mut input: Option<String> = None;
+            let mut k = 0u16;
+            let mut replicas = 8u32;
+            let mut seed = 1u64;
+            let mut wait = true;
+            let mut deadline_ms = 0u64;
+            let mut it = rest.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--class" => class = it.next().cloned(),
+                    "--input" => input = it.next().cloned(),
+                    "--k" => {
+                        k = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--replicas" => {
+                        replicas = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--deadline-ms" => {
+                        deadline_ms = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--no-wait" => wait = false,
+                    _ => usage(),
+                }
+            }
+            let class = class
+                .as_deref()
+                .and_then(ProblemClass::from_name)
+                .unwrap_or_else(|| usage());
+            let input = input.unwrap_or_else(|| usage());
+            let spec = build_problem_spec(class, &input, k).unwrap_or_else(|e| fail(e));
+            let config = MsropmConfig::paper_default();
+            let options = SubmitOptions::new().deadline_ms(deadline_ms);
+            let job_id = client
+                .submit_problem(&spec, &config, replicas, seed, &options)
+                .unwrap_or_else(|e| fail(format!("submit problem: {e}")))
+                .expect("blocking submit yields a job id");
+            println!("submitted {class} job {job_id} ({replicas} replicas)");
+            if wait {
+                let report = client
+                    .wait_problem_report(job_id)
+                    .unwrap_or_else(|e| fail(format!("wait: {e}")));
+                print_problem_report(&report);
             }
         }
         "status" | "cancel" => {
@@ -339,12 +515,15 @@ fn smoke(addr: Option<&str>, idle: usize) {
     let config = MsropmConfig::paper_default();
     let job_a = BatchJob::uniform(config, 12, 1);
     let job_b = BatchJob::uniform(config, 4, 2);
+    let blocking = SubmitOptions::new();
     let a = client
-        .submit(&board, &job_a)
-        .unwrap_or_else(|e| fail(format!("submit A: {e}")));
+        .submit_with(&board, &job_a, &blocking)
+        .unwrap_or_else(|e| fail(format!("submit A: {e}")))
+        .expect("blocking submit yields a job id");
     let b = client
-        .submit(&board, &job_b)
-        .unwrap_or_else(|e| fail(format!("submit B: {e}")));
+        .submit_with(&board, &job_b, &blocking)
+        .unwrap_or_else(|e| fail(format!("submit B: {e}")))
+        .expect("blocking submit yields a job id");
     println!("submitted A={a} (12 lanes), B={b} (4 lanes)");
 
     let state_b = client
@@ -398,9 +577,10 @@ fn smoke(addr: Option<&str>, idle: usize) {
     // one socket before any reply is read, then correlated by job id.
     let mux_jobs = 4;
     let small = generators::kings_graph(5, 5);
+    let nowait = SubmitOptions::new().nowait();
     for i in 0..mux_jobs {
         client
-            .submit_nowait(&small, &BatchJob::uniform(config, 2, 100 + i))
+            .submit_with(&small, &BatchJob::uniform(config, 2, 100 + i), &nowait)
             .unwrap_or_else(|e| fail(format!("mux submit {i}: {e}")));
     }
     let mux_ids: Vec<u64> = (0..mux_jobs)
@@ -417,6 +597,131 @@ fn smoke(addr: Option<&str>, idle: usize) {
         assert_eq!(report.graph_hash, graph_hash(&small), "mux hash mismatch");
     }
     println!("multiplexed {mux_jobs} in-flight submits on one socket");
+
+    // One instance of every problem class through the SubmitProblem
+    // verb: the server compiles, solves, and streams back a decoded,
+    // domain-ranked report.
+    let specs: Vec<ProblemSpec> = {
+        use msropm_problems::{Cnf, Ising, Lit, Qubo};
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::from_dimacs(1), Lit::from_dimacs(2)]);
+        cnf.add_clause(vec![Lit::from_dimacs(-1), Lit::from_dimacs(3)]);
+        cnf.add_clause(vec![Lit::from_dimacs(-2), Lit::from_dimacs(-3)]);
+        vec![
+            ProblemSpec::Coloring {
+                graph: generators::kings_graph(4, 4),
+                colors: 4,
+            },
+            ProblemSpec::MaxCut {
+                graph: generators::cycle_graph(7),
+            },
+            ProblemSpec::MaxKCut {
+                graph: generators::kings_graph(4, 4),
+                k: 4,
+            },
+            ProblemSpec::Mis {
+                graph: generators::cycle_graph(9),
+            },
+            ProblemSpec::VertexCover {
+                graph: generators::kings_graph(3, 3),
+            },
+            ProblemSpec::NumberPartition {
+                weights: vec![3, 1, 4, 1, 5, 9, 2, 6],
+            },
+            ProblemSpec::CnfSat { cnf },
+            ProblemSpec::Qubo(Qubo {
+                n: 4,
+                linear: vec![-1.0, 0.5, -0.5, 0.25],
+                quadratic: vec![(0, 1, 1.0), (1, 2, -1.0), (2, 3, 0.5)],
+            }),
+            ProblemSpec::Ising(Ising {
+                n: 4,
+                h: vec![0.1, -0.2, 0.3, 0.0],
+                j: vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, -1.0)],
+            }),
+        ]
+    };
+    for spec in &specs {
+        let class = spec.class();
+        let id = client
+            .submit_problem(spec, &config, 2, 7, &blocking)
+            .unwrap_or_else(|e| fail(format!("submit {class}: {e}")))
+            .expect("blocking submit yields a job id");
+        let report = client
+            .wait_problem_report(id)
+            .unwrap_or_else(|e| fail(format!("wait {class}: {e}")));
+        assert_eq!(report.report.class, class, "class echoed back");
+        assert_eq!(
+            report.report.ranked.len(),
+            2,
+            "{class}: one entry per replica"
+        );
+        let best = report.report.best().expect("two replicas ranked");
+        println!(
+            "problem {class}: job {id}, best objective {} ({})",
+            best.objective,
+            if best.feasible {
+                "feasible"
+            } else {
+                "infeasible"
+            }
+        );
+    }
+
+    // An unsupported spec must answer a typed, request-scoped error —
+    // and leave the connection fully usable.
+    let bad = ProblemSpec::Coloring {
+        graph: generators::cycle_graph(5),
+        colors: 3, // not a power of two: the compiler rejects it
+    };
+    match client.submit_problem(&bad, &config, 2, 7, &blocking) {
+        Err(ClientError::Server {
+            code: ErrorCode::UnsupportedProblem,
+            ..
+        }) => {}
+        other => fail(format!(
+            "3-color spec should be UnsupportedProblem, got {other:?}"
+        )),
+    }
+    let after_bad = client
+        .submit_with(&small, &BatchJob::uniform(config, 2, 321), &blocking)
+        .unwrap_or_else(|e| fail(format!("submit after unsupported spec: {e}")))
+        .expect("blocking submit yields a job id");
+    client
+        .wait_report(after_bad)
+        .unwrap_or_else(|e| fail(format!("report after unsupported spec: {e}")));
+    println!("unsupported spec answered typed error; connection stayed live");
+
+    // An unknown verb frame must do the same: typed UnsupportedVerb
+    // reply, no desync — the very next frame on the socket is served.
+    {
+        let mut raw = std::net::TcpStream::connect(&addr)
+            .unwrap_or_else(|e| fail(format!("raw connect: {e}")));
+        proto::write_frame(&mut raw, &[0xAB, 0xCD, 0xEF])
+            .unwrap_or_else(|e| fail(format!("raw write: {e}")));
+        let mut reader = std::io::BufReader::new(
+            raw.try_clone()
+                .unwrap_or_else(|e| fail(format!("raw clone: {e}"))),
+        );
+        let reply =
+            proto::read_frame(&mut reader).unwrap_or_else(|e| fail(format!("raw read: {e}")));
+        match proto::decode_response(&reply) {
+            Ok(Response::Error {
+                code: ErrorCode::UnsupportedVerb,
+                ..
+            }) => {}
+            other => fail(format!("unknown verb should be UnsupportedVerb: {other:?}")),
+        }
+        proto::write_frame(&mut raw, &proto::encode_request(&Request::Stats))
+            .unwrap_or_else(|e| fail(format!("stats after bad verb: {e}")));
+        let reply = proto::read_frame(&mut reader)
+            .unwrap_or_else(|e| fail(format!("stats read after bad verb: {e}")));
+        match proto::decode_response(&reply) {
+            Ok(Response::StatsReply(_)) => {}
+            other => fail(format!("stats after bad verb should answer: {other:?}")),
+        }
+        println!("unknown verb answered typed error; connection stayed live");
+    }
 
     let stats = client
         .stats()

@@ -13,16 +13,43 @@
 //! reports later therefore pipelines naturally over one socket:
 //!
 //! ```no_run
-//! use msropm_client::Client;
+//! use msropm_client::{Client, SubmitOptions};
 //! use msropm_core::{BatchJob, MsropmConfig};
 //! use msropm_graph::generators;
 //!
 //! let mut client = Client::connect("127.0.0.1:7227", "acme")?;
 //! let graph = generators::kings_graph(7, 7);
 //! let job = BatchJob::uniform(MsropmConfig::paper_default(), 8, 42);
-//! let job_id = client.submit(&graph, &job)?;
+//! let job_id = client
+//!     .submit_with(&graph, &job, &SubmitOptions::new())?
+//!     .expect("blocking submit yields a job id");
 //! let report = client.wait_report(job_id)?;
 //! println!("best lane: {} conflicts", report.best().unwrap().conflicts);
+//! # Ok::<(), msropm_client::ClientError>(())
+//! ```
+//!
+//! Beyond raw graph jobs, [`Client::submit_problem`] ships a typed
+//! [`ProblemSpec`] — coloring, max-cut, max-k-cut, MIS, vertex cover,
+//! number partitioning, CNF-SAT, QUBO or Ising — which the server
+//! compiles onto the machine and answers with a decoded, domain-ranked
+//! [`WireProblemReport`]:
+//!
+//! ```no_run
+//! use msropm_client::{Client, SubmitOptions};
+//! use msropm_core::MsropmConfig;
+//! use msropm_graph::generators;
+//! use msropm_problems::ProblemSpec;
+//!
+//! let mut client = Client::connect("127.0.0.1:7227", "acme")?;
+//! let spec = ProblemSpec::Mis {
+//!     graph: generators::kings_graph(5, 5),
+//! };
+//! let job_id = client
+//!     .submit_problem(&spec, &MsropmConfig::paper_default(), 4, 42, &SubmitOptions::new())?
+//!     .expect("blocking submit yields a job id");
+//! let report = client.wait_problem_report(job_id)?;
+//! let best = report.best().expect("replicas > 0");
+//! println!("independent set of size {}", best.objective);
 //! # Ok::<(), msropm_client::ClientError>(())
 //! ```
 //!
@@ -34,9 +61,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use msropm_core::BatchJob;
+use msropm_core::{BatchJob, MsropmConfig};
 use msropm_graph::Graph;
-use msropm_server::proto::{self, ErrorCode, ProtoError, Request, Response, WireReport, WireStats};
+use msropm_problems::ProblemSpec;
+use msropm_server::proto::{
+    self, ErrorCode, ProtoError, Request, Response, WireProblemReport, WireReport, WireStats,
+};
 use msropm_server::JobState;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -170,6 +200,70 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// How a submit should behave, for [`Client::submit_with`] and
+/// [`Client::submit_problem`]: an optional server-side deadline,
+/// multiplexed (`nowait`) submission, and a retry policy for the
+/// server's load-shedding `Busy` rejection. One builder replaces the
+/// former `submit` / `submit_deadline` / `submit_nowait` /
+/// `submit_nowait_deadline` quartet.
+///
+/// ```no_run
+/// use msropm_client::{Client, RetryPolicy, SubmitOptions};
+/// # use msropm_core::{BatchJob, MsropmConfig};
+/// # use msropm_graph::generators;
+/// # let mut client = Client::connect("127.0.0.1:7227", "acme")?;
+/// # let graph = generators::kings_graph(5, 5);
+/// # let job = BatchJob::uniform(MsropmConfig::paper_default(), 4, 7);
+/// let options = SubmitOptions::new()
+///     .deadline_ms(5_000)
+///     .retry(RetryPolicy::default());
+/// let job_id = client.submit_with(&graph, &job, &options)?.expect("blocking");
+/// # Ok::<(), msropm_client::ClientError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    deadline_ms: u64,
+    nowait: bool,
+    retry: Option<RetryPolicy>,
+}
+
+impl SubmitOptions {
+    /// Default options: blocking submit, no deadline, no retry.
+    pub fn new() -> SubmitOptions {
+        SubmitOptions::default()
+    }
+
+    /// Server-side deadline: the job must produce its report within
+    /// `ms` milliseconds of admission (queue wait included) or the
+    /// server abandons it at the next stage boundary and streams a
+    /// typed `DeadlineExceeded` failure. `0` means no deadline.
+    pub fn deadline_ms(mut self, ms: u64) -> SubmitOptions {
+        self.deadline_ms = ms;
+        self
+    }
+
+    /// Multiplexed submit: write the frame and return without waiting
+    /// for the reply, so many submits ride one socket back to back.
+    /// Collect replies in submission order with
+    /// [`Client::recv_submitted`].
+    pub fn nowait(mut self) -> SubmitOptions {
+        self.nowait = true;
+        self
+    }
+
+    /// Retry the submit under `policy`'s jittered exponential backoff
+    /// when the server answers with the retryable
+    /// [`ErrorCode::Busy`] rejection (queue full). Transport errors are
+    /// **not** retried — this client is single-connection, so a dead
+    /// socket cannot be resubmitted on; reconnect via
+    /// [`Client::connect_with_retry`] instead. Ignored for `nowait`
+    /// submits (their replies are not observed here).
+    pub fn retry(mut self, policy: RetryPolicy) -> SubmitOptions {
+        self.retry = Some(policy);
+        self
+    }
+}
+
 /// One tenant's blocking connection to a wire server; see the crate
 /// docs.
 pub struct Client {
@@ -177,6 +271,10 @@ pub struct Client {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
     stash: VecDeque<WireReport>,
+    /// Decoded problem reports (for jobs submitted via
+    /// [`Client::submit_problem`]) received while waiting on other
+    /// replies; redeemed by [`Client::wait_problem_report`].
+    problem_stash: VecDeque<WireProblemReport>,
     /// Typed per-job failure frames (`JobFailed`) received while
     /// waiting on other replies, keyed by job id; redeemed as
     /// [`ClientError::Server`] by the report-waiting verbs.
@@ -208,6 +306,7 @@ impl Client {
             stream,
             reader,
             stash: VecDeque::new(),
+            problem_stash: VecDeque::new(),
             failed: HashMap::new(),
             pending_submits: 0,
             collected_submits: VecDeque::new(),
@@ -283,6 +382,7 @@ impl Client {
         loop {
             match self.recv()? {
                 Response::Report(r) => self.stash.push_back(r),
+                Response::ProblemReport(r) => self.problem_stash.push_back(r),
                 Response::JobFailed {
                     job_id,
                     code,
@@ -324,6 +424,119 @@ impl Client {
         Ok(())
     }
 
+    /// The one submit entry point: submits `job` against `graph` under
+    /// [`SubmitOptions`]. Blocking submits return `Ok(Some(job_id))`
+    /// (redeem the report with [`Client::wait_report`]); `nowait`
+    /// submits return `Ok(None)` immediately and their replies are
+    /// collected — in submission order — with
+    /// [`Client::recv_submitted`]. Blocking verbs may be freely
+    /// interleaved with outstanding `nowait` submits: they read past
+    /// the pending replies into an internal queue, never
+    /// mis-correlating them with their own.
+    ///
+    /// # Errors
+    ///
+    /// Blocking: [`ClientError::Server`] carries quota/shutdown
+    /// rejections (`QuotaInFlight`, `QuotaLanes`, `ShuttingDown`, …);
+    /// a `Busy` rejection is retried first when the options carry a
+    /// [`RetryPolicy`]. `nowait`: transport failures only — typed
+    /// rejections surface from [`Client::recv_submitted`].
+    pub fn submit_with(
+        &mut self,
+        graph: &Graph,
+        job: &BatchJob,
+        options: &SubmitOptions,
+    ) -> Result<Option<u64>, ClientError> {
+        let req = Request::Submit {
+            tenant: self.tenant.clone(),
+            graph: graph.clone(),
+            job: job.clone(),
+            deadline_ms: options.deadline_ms,
+        };
+        self.submit_request(req, options)
+    }
+
+    /// Submits a typed [`ProblemSpec`] under the same
+    /// [`SubmitOptions`] as [`Client::submit_with`]. The server
+    /// compiles the spec onto the machine (`replicas` independent
+    /// restart lanes, seeds derived from `seed`), solves it, and
+    /// streams back a decoded, domain-ranked
+    /// [`WireProblemReport`] — redeem it with
+    /// [`Client::wait_problem_report`]. `config` is the base operating
+    /// point; the compiler overrides `num_colors` per problem class.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit_with`], plus
+    /// [`ErrorCode::UnsupportedProblem`] (as [`ClientError::Server`])
+    /// for a spec the server's compiler rejects — request-scoped: the
+    /// connection stays usable.
+    pub fn submit_problem(
+        &mut self,
+        spec: &ProblemSpec,
+        config: &MsropmConfig,
+        replicas: u32,
+        seed: u64,
+        options: &SubmitOptions,
+    ) -> Result<Option<u64>, ClientError> {
+        let req = Request::SubmitProblem {
+            tenant: self.tenant.clone(),
+            spec: spec.clone(),
+            config: *config,
+            replicas,
+            seed,
+            deadline_ms: options.deadline_ms,
+        };
+        self.submit_request(req, options)
+    }
+
+    /// Shared tail of [`Client::submit_with`] /
+    /// [`Client::submit_problem`]: write the frame, then (blocking
+    /// path) collect the reply, retrying `Busy` rejections under the
+    /// options' policy.
+    fn submit_request(
+        &mut self,
+        req: Request,
+        options: &SubmitOptions,
+    ) -> Result<Option<u64>, ClientError> {
+        if options.nowait {
+            self.send(&req)?;
+            self.pending_submits += 1;
+            return Ok(None);
+        }
+        let mut rng = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED)
+            | 1;
+        let mut attempt = 0u32;
+        loop {
+            self.send(&req)?;
+            self.drain_pending_submits()?;
+            let outcome = match self.recv_reply()? {
+                Response::Submitted { job_id } => return Ok(Some(job_id)),
+                Response::Error { code, message } => ClientError::Server { code, message },
+                _ => return Err(ClientError::UnexpectedFrame("submitted")),
+            };
+            match options.retry {
+                Some(policy)
+                    if attempt < policy.max_retries
+                        && matches!(
+                            outcome,
+                            ClientError::Server {
+                                code: ErrorCode::Busy,
+                                ..
+                            }
+                        ) =>
+                {
+                    std::thread::sleep(policy.delay_for(attempt, &mut rng));
+                    attempt += 1;
+                }
+                _ => return Err(outcome),
+            }
+        }
+    }
+
     /// Submits `job` against `graph`; returns the server-assigned job
     /// id. The report streams in later — redeem it with
     /// [`Client::wait_report`].
@@ -332,78 +545,71 @@ impl Client {
     ///
     /// [`ClientError::Server`] carries quota/shutdown rejections
     /// (`QuotaInFlight`, `QuotaLanes`, `ShuttingDown`, …).
+    #[deprecated(since = "0.1.0", note = "use `submit_with` with `SubmitOptions`")]
     pub fn submit(&mut self, graph: &Graph, job: &BatchJob) -> Result<u64, ClientError> {
-        self.submit_deadline(graph, job, 0)
+        Ok(self
+            .submit_with(graph, job, &SubmitOptions::new())?
+            .expect("blocking submit yields a job id"))
     }
 
-    /// [`Client::submit`] with a server-side deadline: the job must
-    /// produce its report within `deadline_ms` of admission (queue wait
-    /// included) or the server abandons it at the next stage boundary
-    /// and streams a typed `DeadlineExceeded` failure — surfaced by
-    /// [`Client::wait_report`] as [`ClientError::Server`]. `0` means no
-    /// deadline.
+    /// [`Client::submit`] with a server-side deadline (see
+    /// [`SubmitOptions::deadline_ms`]; `0` means none).
     ///
     /// # Errors
     ///
     /// Same as [`Client::submit`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `submit_with` with `SubmitOptions::deadline_ms`"
+    )]
     pub fn submit_deadline(
         &mut self,
         graph: &Graph,
         job: &BatchJob,
         deadline_ms: u64,
     ) -> Result<u64, ClientError> {
-        self.send(&Request::Submit {
-            tenant: self.tenant.clone(),
-            graph: graph.clone(),
-            job: job.clone(),
-            deadline_ms,
-        })?;
-        self.drain_pending_submits()?;
-        match self.recv_reply()? {
-            Response::Submitted { job_id } => Ok(job_id),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
-            _ => Err(ClientError::UnexpectedFrame("submitted")),
-        }
+        Ok(self
+            .submit_with(graph, job, &SubmitOptions::new().deadline_ms(deadline_ms))?
+            .expect("blocking submit yields a job id"))
     }
 
-    /// Multiplexed submit: writes the submit frame and returns
-    /// **without waiting for the reply**, so many submits can ride one
-    /// socket back to back (the reactor front end answers them from a
-    /// single event loop). Collect the replies — in submission order,
-    /// which is how the server answers them on one connection — with
-    /// [`Client::recv_submitted`]; reports correlate by job id through
-    /// [`Client::wait_report`] as usual. Blocking verbs may be freely
-    /// interleaved: they read past outstanding submit replies into an
-    /// internal queue, never mis-correlating them with their own.
+    /// Multiplexed submit (see [`SubmitOptions::nowait`]).
     ///
     /// # Errors
     ///
     /// Transport failures only; quota/drain rejections surface from
     /// [`Client::recv_submitted`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `submit_with` with `SubmitOptions::nowait`"
+    )]
     pub fn submit_nowait(&mut self, graph: &Graph, job: &BatchJob) -> Result<(), ClientError> {
-        self.submit_nowait_deadline(graph, job, 0)
+        self.submit_with(graph, job, &SubmitOptions::new().nowait())
+            .map(|_| ())
     }
 
     /// [`Client::submit_nowait`] with a server-side deadline (see
-    /// [`Client::submit_deadline`]; `0` means none).
+    /// [`SubmitOptions::deadline_ms`]; `0` means none).
     ///
     /// # Errors
     ///
     /// Transport failures only.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `submit_with` with `SubmitOptions::nowait` + `deadline_ms`"
+    )]
     pub fn submit_nowait_deadline(
         &mut self,
         graph: &Graph,
         job: &BatchJob,
         deadline_ms: u64,
     ) -> Result<(), ClientError> {
-        self.send(&Request::Submit {
-            tenant: self.tenant.clone(),
-            graph: graph.clone(),
-            job: job.clone(),
-            deadline_ms,
-        })?;
-        self.pending_submits += 1;
-        Ok(())
+        self.submit_with(
+            graph,
+            job,
+            &SubmitOptions::new().nowait().deadline_ms(deadline_ms),
+        )
+        .map(|_| ())
     }
 
     /// Submits written and not yet redeemed via
@@ -532,6 +738,7 @@ impl Client {
             }
             match self.recv()? {
                 Response::Report(r) => self.stash.push_back(r),
+                Response::ProblemReport(r) => self.problem_stash.push_back(r),
                 Response::JobFailed {
                     job_id: failed_id,
                     code,
@@ -545,6 +752,42 @@ impl Client {
                     return Err(ClientError::Server { code, message })
                 }
                 _ => return Err(ClientError::UnexpectedFrame("report")),
+            }
+        }
+    }
+
+    /// Blocks until the decoded problem report of `job_id` — a job
+    /// submitted via [`Client::submit_problem`] — arrives (checking the
+    /// stash first). Raw reports and problem reports for *other* jobs
+    /// that arrive meanwhile stay stashed for their own waits; failure
+    /// semantics match [`Client::wait_report`].
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a typed server error frame.
+    pub fn wait_problem_report(&mut self, job_id: u64) -> Result<WireProblemReport, ClientError> {
+        self.drain_pending_submits()?;
+        loop {
+            if let Some(pos) = self.problem_stash.iter().position(|r| r.job_id == job_id) {
+                return Ok(self.problem_stash.remove(pos).expect("position is valid"));
+            }
+            if let Some(err) = self.take_failed(job_id) {
+                return Err(err);
+            }
+            match self.recv()? {
+                Response::Report(r) => self.stash.push_back(r),
+                Response::ProblemReport(r) => self.problem_stash.push_back(r),
+                Response::JobFailed {
+                    job_id: failed_id,
+                    code,
+                    message,
+                } => {
+                    self.failed.insert(failed_id, (code, message));
+                }
+                Response::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                _ => return Err(ClientError::UnexpectedFrame("problem report")),
             }
         }
     }
@@ -588,6 +831,7 @@ impl Client {
             };
             match proto::decode_response(&payload)? {
                 Response::Report(r) => self.stash.push_back(r),
+                Response::ProblemReport(r) => self.problem_stash.push_back(r),
                 Response::JobFailed {
                     job_id: failed_id,
                     code,

@@ -28,11 +28,17 @@
 //! [`CHAOS`] and holds a [`faultinject::guard`] to disarm on every
 //! exit path (panicking assertions included).
 
-use msropm_client::{Client, ClientError};
+mod common;
+use common::SubmitShorthand;
+
+use msropm_client::{Client, ClientError, SubmitOptions};
 use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
 use msropm_graph::{generators, Graph};
+use msropm_problems::ProblemSpec;
 use msropm_server::faultinject;
-use msropm_server::proto::{encode_response, ErrorCode, FrontendKind, Response, WireReport};
+use msropm_server::proto::{
+    self, encode_response, ErrorCode, FrontendKind, Request, Response, WireReport,
+};
 use msropm_server::reactor::{ReactorConfig, ReactorServer};
 use msropm_server::wire::{WireConfig, WireServer};
 use msropm_server::{Frontend, JobState, ServerConfig, ShardPolicy};
@@ -216,7 +222,7 @@ fn chaos_run(frontend: FrontendKind, workers: usize, shards: usize) -> BTreeMap<
 
     let jobs = mixed_jobs(12);
     for (graph, job) in &jobs {
-        client.submit_nowait(graph, job).expect("mux submit");
+        client.submit_nowait_ok(graph, job).expect("mux submit");
     }
     let ids: Vec<u64> = (0..jobs.len())
         .map(|_| client.recv_submitted().expect("mux reply"))
@@ -239,7 +245,7 @@ fn chaos_run(frontend: FrontendKind, workers: usize, shards: usize) -> BTreeMap<
     let graph = Arc::new(generators::kings_graph(4, 4));
     for s in 0..quota {
         client
-            .submit_nowait(&graph, &BatchJob::uniform(fast_config(), 2, s as u64))
+            .submit_nowait_ok(&graph, &BatchJob::uniform(fast_config(), 2, s as u64))
             .expect("quota submit");
     }
     let refill: Vec<u64> = (0..quota)
@@ -325,7 +331,7 @@ fn panicking_solve_is_a_typed_failure_not_a_dead_server() {
         let (graph, job) = &mixed_jobs(1)[0];
 
         faultinject::arm_panic_in_solve(1);
-        let id = client.submit(graph, job).expect("submit");
+        let id = client.submit_ok(graph, job).expect("submit");
         match client.wait_report_timeout(id, NO_HANG) {
             Err(ClientError::Server { code, message }) => {
                 assert_eq!(code, ErrorCode::Internal, "{frontend:?}");
@@ -340,7 +346,7 @@ fn panicking_solve_is_a_typed_failure_not_a_dead_server() {
 
         // The worker caught the panic in place: the very next job
         // solves normally and the failure is counted.
-        let id2 = client.submit(graph, job).expect("submit after panic");
+        let id2 = client.submit_ok(graph, job).expect("submit after panic");
         client.wait_report(id2).expect("report after panic");
         let stats = client.stats().expect("stats");
         assert!(stats.jobs_failed >= 1, "{frontend:?}: {stats:?}");
@@ -381,7 +387,7 @@ fn shard_panic_is_a_typed_failure_not_a_dead_server() {
         // shard join, the worker's catch_unwind types it, and the
         // worker (arena rebuilt) lives on.
         msropm_core::pool::faultinject::arm_panic_in_shard(1);
-        let id = client.submit(&graph, &job).expect("submit");
+        let id = client.submit_ok(&graph, &job).expect("submit");
         match client.wait_report_timeout(id, NO_HANG) {
             Err(ClientError::Server { code, message }) => {
                 assert_eq!(code, ErrorCode::Internal, "{frontend:?}/{shards}s");
@@ -399,7 +405,7 @@ fn shard_panic_is_a_typed_failure_not_a_dead_server() {
         // arena solves it normally, and a shard panic costs a failure
         // count but never a worker restart.
         let id2 = client
-            .submit(&graph, &job)
+            .submit_ok(&graph, &job)
             .expect("submit after shard panic");
         client.wait_report(id2).expect("report after shard panic");
         let stats = client.stats().expect("stats");
@@ -429,7 +435,7 @@ fn killed_workers_are_respawned_and_throughput_recovers() {
         // failure on its job and cost exactly one respawn.
         for round in 0..3u64 {
             faultinject::arm_kill_worker(1);
-            let id = client.submit(graph, job).expect("submit");
+            let id = client.submit_ok(graph, job).expect("submit");
             match client.wait_report_timeout(id, NO_HANG) {
                 Err(ClientError::Server { code, message }) => {
                     assert_eq!(code, ErrorCode::Internal, "{frontend:?} round {round}");
@@ -460,7 +466,7 @@ fn killed_workers_are_respawned_and_throughput_recovers() {
             std::thread::sleep(Duration::from_millis(10));
         }
         for (graph, job) in &mixed_jobs(6) {
-            let id = client.submit(graph, job).expect("submit after burst");
+            let id = client.submit_ok(graph, job).expect("submit after burst");
             client.wait_report(id).expect("report after burst");
         }
         server.shutdown();
@@ -483,10 +489,10 @@ fn deadlines_expire_in_queue_and_mid_run_with_typed_errors() {
         // deadline is long dead by pickup — the job must be shed
         // without ever running.
         let (og, oj) = long_job(900);
-        let occupier = client.submit(&og, &oj).expect("occupier");
+        let occupier = client.submit_ok(&og, &oj).expect("occupier");
         let (graph, job) = &mixed_jobs(1)[0];
         let doomed = client
-            .submit_deadline(graph, job, 1)
+            .submit_deadline_ok(graph, job, 1)
             .expect("deadline submit");
         match client.wait_report_timeout(doomed, NO_HANG) {
             Err(ClientError::Server { code, .. }) => {
@@ -501,7 +507,9 @@ fn deadlines_expire_in_queue_and_mid_run_with_typed_errors() {
         // runtime starts on an idle worker and is abandoned at a stage
         // boundary.
         let (hg, hj) = long_job(901);
-        let midrun = client.submit_deadline(&hg, &hj, 20).expect("midrun submit");
+        let midrun = client
+            .submit_deadline_ok(&hg, &hj, 20)
+            .expect("midrun submit");
         match client.wait_report_timeout(midrun, NO_HANG) {
             Err(ClientError::Server { code, .. }) => {
                 assert_eq!(code, ErrorCode::DeadlineExceeded, "{frontend:?} midrun")
@@ -511,7 +519,9 @@ fn deadlines_expire_in_queue_and_mid_run_with_typed_errors() {
 
         // deadline_ms = 0 means no deadline — and expiries released
         // their quota (the fresh submits are admitted and complete).
-        let clean = client.submit_deadline(graph, job, 0).expect("no deadline");
+        let clean = client
+            .submit_deadline_ok(graph, job, 0)
+            .expect("no deadline");
         client.wait_report(clean).expect("report");
         let stats = client.stats().expect("stats");
         assert!(stats.jobs_failed >= 2, "{frontend:?}: {stats:?}");
@@ -531,7 +541,7 @@ fn short_writes_dribble_frames_through_intact() {
         let prints = mixed_jobs(4)
             .iter()
             .map(|(g, j)| {
-                let id = client.submit(g, j).expect("submit");
+                let id = client.submit_ok(g, j).expect("submit");
                 report_fingerprint(&client.wait_report(id).expect("report"))
             })
             .collect();
@@ -546,7 +556,7 @@ fn short_writes_dribble_frames_through_intact() {
         let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
         faultinject::arm_short_writes();
         for (i, (g, j)) in mixed_jobs(4).iter().enumerate() {
-            let id = client.submit(g, j).expect("submit");
+            let id = client.submit_ok(g, j).expect("submit");
             let report = client.wait_report(id).expect("report");
             assert_eq!(
                 report_fingerprint(&report),
@@ -555,6 +565,73 @@ fn short_writes_dribble_frames_through_intact() {
             );
         }
         faultinject::disarm_all();
+        server.shutdown();
+    }
+}
+
+/// Request-scoped rejections are not connection faults: a problem the
+/// compiler refuses ([`ErrorCode::UnsupportedProblem`]) and a verb the
+/// decoder has never heard of ([`ErrorCode::UnsupportedVerb`]) must
+/// each answer one typed error frame and leave the connection serving
+/// the very next request — on both front ends.
+#[test]
+fn unsupported_problem_and_unknown_verb_leave_the_connection_alive() {
+    let _serial = chaos_lock();
+    let _faults = faultinject::guard();
+    for frontend in [FrontendKind::Threads, FrontendKind::Reactor] {
+        let server = bind_frontend(frontend, 1, 1);
+        let mut client = Client::connect(server.local_addr(), "chaos").expect("connect");
+        let config = fast_config();
+
+        // A 3-color palette is not a power of two: the session's
+        // compile step must reject it request-scoped.
+        let bad = ProblemSpec::Coloring {
+            graph: generators::cycle_graph(5),
+            colors: 3,
+        };
+        match client.submit_problem(&bad, &config, 2, 1, &SubmitOptions::new()) {
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::UnsupportedProblem, "{frontend:?}")
+            }
+            other => panic!("{frontend:?}: unsupported spec yielded {other:?}"),
+        }
+
+        // Same socket, next requests: a valid problem and a plain job
+        // both serve normally — no desync, no teardown.
+        let good = ProblemSpec::Mis {
+            graph: generators::cycle_graph(9),
+        };
+        let pid = client
+            .submit_problem(&good, &config, 2, 2, &SubmitOptions::new())
+            .unwrap_or_else(|e| panic!("{frontend:?}: problem after rejection: {e}"))
+            .expect("blocking submit yields an id");
+        client
+            .wait_problem_report(pid)
+            .unwrap_or_else(|e| panic!("{frontend:?}: problem report after rejection: {e}"));
+        let (graph, job) = &mixed_jobs(1)[0];
+        let id = client.submit_ok(graph, job).expect("plain submit");
+        client.wait_report(id).expect("plain report");
+
+        // An unknown verb on a raw socket: typed UnsupportedVerb, then
+        // a Stats request on the same socket still answers.
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("raw connect");
+        proto::write_frame(&mut raw, &[0xAB, 0xCD, 0xEF]).expect("raw write");
+        let mut reader = std::io::BufReader::new(raw.try_clone().expect("raw clone"));
+        let reply = proto::read_frame(&mut reader).expect("raw read");
+        match proto::decode_response(&reply) {
+            Ok(Response::Error {
+                code: ErrorCode::UnsupportedVerb,
+                ..
+            }) => {}
+            other => panic!("{frontend:?}: unknown verb yielded {other:?}"),
+        }
+        proto::write_frame(&mut raw, &proto::encode_request(&Request::Stats))
+            .expect("stats after bad verb");
+        let reply = proto::read_frame(&mut reader).expect("stats read after bad verb");
+        match proto::decode_response(&reply) {
+            Ok(Response::StatsReply(_)) => {}
+            other => panic!("{frontend:?}: stats after bad verb yielded {other:?}"),
+        }
         server.shutdown();
     }
 }
@@ -574,7 +651,7 @@ fn severed_write_surfaces_as_transport_error_not_a_hang() {
         faultinject::arm_sever_write(1);
         let t0 = Instant::now();
         let err = client
-            .submit(graph, job)
+            .submit_ok(graph, job)
             .err()
             .or_else(|| {
                 // The submit reply may have raced the arming; the

@@ -1,0 +1,47 @@
+//! Shared test shorthand over the unified [`Client::submit_with`]
+//! entry point, so scenario tests stay terse without reaching for the
+//! deprecated `submit`/`submit_deadline`/`submit_nowait` wrappers.
+
+// Each test binary compiles its own copy; not all of them use every
+// helper.
+#![allow(dead_code)]
+
+use msropm_client::{Client, ClientError, SubmitOptions};
+use msropm_core::BatchJob;
+use msropm_graph::Graph;
+
+pub trait SubmitShorthand {
+    /// Blocking submit with default options; unwraps the job id.
+    fn submit_ok(&mut self, graph: &Graph, job: &BatchJob) -> Result<u64, ClientError>;
+    /// Blocking submit with a server-side deadline; unwraps the job id.
+    fn submit_deadline_ok(
+        &mut self,
+        graph: &Graph,
+        job: &BatchJob,
+        deadline_ms: u64,
+    ) -> Result<u64, ClientError>;
+    /// Multiplexed submit; replies arrive via `recv_submitted`.
+    fn submit_nowait_ok(&mut self, graph: &Graph, job: &BatchJob) -> Result<(), ClientError>;
+}
+
+impl SubmitShorthand for Client {
+    fn submit_ok(&mut self, graph: &Graph, job: &BatchJob) -> Result<u64, ClientError> {
+        self.submit_with(graph, job, &SubmitOptions::new())
+            .map(|id| id.expect("blocking submit yields a job id"))
+    }
+
+    fn submit_deadline_ok(
+        &mut self,
+        graph: &Graph,
+        job: &BatchJob,
+        deadline_ms: u64,
+    ) -> Result<u64, ClientError> {
+        self.submit_with(graph, job, &SubmitOptions::new().deadline_ms(deadline_ms))
+            .map(|id| id.expect("blocking submit yields a job id"))
+    }
+
+    fn submit_nowait_ok(&mut self, graph: &Graph, job: &BatchJob) -> Result<(), ClientError> {
+        self.submit_with(graph, job, &SubmitOptions::new().nowait())
+            .map(|_| ())
+    }
+}

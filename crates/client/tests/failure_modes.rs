@@ -8,6 +8,9 @@
 //! interesting state (waiting on a report), then misbehaves —
 //! truncating a frame header, a frame body, or the connection itself.
 
+mod common;
+use common::SubmitShorthand;
+
 use msropm_client::{is_retryable, Client, ClientError, RetryPolicy};
 use msropm_core::{BatchJob, MsropmConfig};
 use msropm_graph::generators;
@@ -99,7 +102,7 @@ fn server_death_mid_report_is_a_typed_error_blocking_mode() {
     for truncate_at in [0usize, 2, 4, 9] {
         let (addr, server) = scripted_server(move |s| die_mid_report(s, 1, truncate_at));
         let mut client = Client::connect(addr, "t").expect("connect");
-        let id = client.submit(&graph, &job).expect("submit");
+        let id = client.submit_ok(&graph, &job).expect("submit");
         assert_eq!(id, 1);
         let t0 = Instant::now();
         let err = client
@@ -132,7 +135,7 @@ fn server_death_mid_report_is_a_typed_error_multiplexed_mode() {
     let (addr, server) = scripted_server(|s| die_mid_report(s, 3, 9));
     let mut client = Client::connect(addr, "t").expect("connect");
     for _ in 0..3 {
-        client.submit_nowait(&graph, &job).expect("mux submit");
+        client.submit_nowait_ok(&graph, &job).expect("mux submit");
     }
     let ids: Vec<u64> = (0..3)
         .map(|_| client.recv_submitted().expect("mux reply"))
@@ -175,7 +178,7 @@ fn silent_server_trips_the_timeout_not_a_hang() {
         while matches!(reader.read(&mut sink), Ok(n) if n > 0) {}
     });
     let mut client = Client::connect(addr, "t").expect("connect");
-    let id = client.submit(&graph, &job).expect("submit");
+    let id = client.submit_ok(&graph, &job).expect("submit");
     let t0 = Instant::now();
     let got = client
         .wait_report_timeout(id, Duration::from_millis(200))

@@ -16,13 +16,19 @@
 //!    socket) behaves identically on both front ends — it is how the
 //!    workload is driven.
 
-use msropm_client::Client;
+mod common;
+use common::SubmitShorthand;
+
+use msropm_client::{Client, SubmitOptions};
 use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
 use msropm_graph::{generators, Graph};
-use msropm_server::proto::{encode_response, FrontendKind, Response, WireReport};
+use msropm_problems::{Cnf, Lit, ProblemSpec};
+use msropm_server::proto::{
+    encode_response, FrontendKind, Response, WireProblemReport, WireReport,
+};
 use msropm_server::reactor::{ReactorConfig, ReactorServer};
 use msropm_server::wire::{WireConfig, WireServer};
-use msropm_server::{Frontend, JobState, ServerConfig};
+use msropm_server::{Frontend, JobState, ServerConfig, ShardPolicy};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -33,13 +39,13 @@ fn fast_config() -> MsropmConfig {
     }
 }
 
-fn wire_config(workers: usize) -> WireConfig {
+fn wire_config(workers: usize, shards: ShardPolicy) -> WireConfig {
     WireConfig {
         server: ServerConfig {
             workers,
             queue_capacity: 32,
             cache_capacity: 4, // smaller than the graph pool: eviction churn included
-            ..ServerConfig::default()
+            shards,
         },
         max_inflight_jobs: 32,
         max_queued_lanes: 1024,
@@ -50,15 +56,15 @@ fn wire_config(workers: usize) -> WireConfig {
 /// Binds the requested front end on an ephemeral loopback port behind
 /// the shared [`Frontend`] dispatch, so the workload driver is
 /// front-end-agnostic.
-fn bind_frontend(frontend: FrontendKind, workers: usize) -> Frontend {
+fn bind_frontend(frontend: FrontendKind, workers: usize, shards: ShardPolicy) -> Frontend {
     match frontend {
-        FrontendKind::Threads => WireServer::bind("127.0.0.1:0", wire_config(workers))
+        FrontendKind::Threads => WireServer::bind("127.0.0.1:0", wire_config(workers, shards))
             .expect("bind threads")
             .into(),
         FrontendKind::Reactor => ReactorServer::bind(
             "127.0.0.1:0",
             ReactorConfig {
-                wire: wire_config(workers),
+                wire: wire_config(workers, shards),
                 ..ReactorConfig::default()
             },
         )
@@ -109,7 +115,7 @@ type RunFingerprints = Vec<(usize, Vec<u8>)>;
 /// while they are still queued, then collect fingerprints of the
 /// surviving reports and verify the cancelled subset never reports.
 fn run_workload(frontend: FrontendKind, workers: usize, cancel_idx: &[usize]) -> RunFingerprints {
-    let server = bind_frontend(frontend, workers);
+    let server = bind_frontend(frontend, workers, ShardPolicy::Auto);
     assert_eq!(server.kind(), frontend);
     let mut client = Client::connect(server.local_addr(), "parity").expect("connect");
     assert_eq!(client.stats().expect("stats").frontend, frontend);
@@ -120,7 +126,7 @@ fn run_workload(frontend: FrontendKind, workers: usize, cancel_idx: &[usize]) ->
     let occupiers: Vec<u64> = (0..workers)
         .map(|w| {
             client
-                .submit(
+                .submit_ok(
                     &board,
                     &BatchJob::uniform(fast_config(), 16, 7_000 + w as u64),
                 )
@@ -132,7 +138,7 @@ fn run_workload(frontend: FrontendKind, workers: usize, cancel_idx: &[usize]) ->
     // before any reply is read.
     let jobs = mixed_jobs(9);
     for (graph, job) in &jobs {
-        client.submit_nowait(graph, job).expect("mux submit");
+        client.submit_nowait_ok(graph, job).expect("mux submit");
     }
     let ids: Vec<u64> = (0..jobs.len())
         .map(|_| client.recv_submitted().expect("mux reply"))
@@ -179,6 +185,99 @@ fn run_workload(frontend: FrontendKind, workers: usize, cancel_idx: &[usize]) ->
     }
     server.shutdown();
     fingerprints
+}
+
+/// The problem specs driven through every cell of the parity matrix:
+/// five distinct classes, all small enough to keep the 8-run matrix
+/// fast.
+fn problem_specs() -> Vec<ProblemSpec> {
+    let mut cnf = Cnf::new(4);
+    cnf.add_clause(vec![Lit::from_dimacs(1), Lit::from_dimacs(2)]);
+    cnf.add_clause(vec![Lit::from_dimacs(-1), Lit::from_dimacs(3)]);
+    cnf.add_clause(vec![Lit::from_dimacs(-2), Lit::from_dimacs(-3)]);
+    cnf.add_clause(vec![Lit::from_dimacs(-3), Lit::from_dimacs(4)]);
+    vec![
+        ProblemSpec::Mis {
+            graph: generators::cycle_graph(9),
+        },
+        ProblemSpec::VertexCover {
+            graph: generators::kings_graph(3, 3),
+        },
+        ProblemSpec::MaxKCut {
+            graph: generators::kings_graph(4, 4),
+            k: 4,
+        },
+        ProblemSpec::NumberPartition {
+            weights: vec![3, 1, 4, 1, 5, 9, 2, 6],
+        },
+        ProblemSpec::CnfSat { cnf },
+    ]
+}
+
+/// Encodes a problem-report frame minus the volatile fields, for
+/// byte-level comparison across runs.
+fn problem_fingerprint(report: &WireProblemReport) -> Vec<u8> {
+    let mut stripped = report.clone();
+    stripped.job_id = 0;
+    stripped.queued_us = 0;
+    stripped.service_us = 0;
+    encode_response(&Response::ProblemReport(stripped))
+}
+
+/// Submits every problem spec through one server cell of the matrix
+/// and returns the stripped report frames in submission order.
+fn run_problem_workload(
+    frontend: FrontendKind,
+    workers: usize,
+    shards: ShardPolicy,
+) -> Vec<Vec<u8>> {
+    let server = bind_frontend(frontend, workers, shards);
+    let mut client = Client::connect(server.local_addr(), "problem-parity").expect("connect");
+    let config = fast_config();
+    let ids: Vec<u64> = problem_specs()
+        .iter()
+        .map(|spec| {
+            client
+                .submit_problem(spec, &config, 4, 21, &SubmitOptions::new())
+                .expect("submit problem")
+                .expect("blocking submit yields an id")
+        })
+        .collect();
+    let frames = ids
+        .iter()
+        .map(|&id| problem_fingerprint(&client.wait_problem_report(id).expect("problem report")))
+        .collect();
+    server.shutdown();
+    frames
+}
+
+/// The ISSUE acceptance matrix: typed problem reports are
+/// byte-identical across {threads, reactor} × {1, 4 workers} ×
+/// {1, 4 shards} for every problem class on the wire.
+#[test]
+fn problem_reports_are_bit_identical_across_frontends_workers_and_shards() {
+    let mut runs = Vec::new();
+    for frontend in [FrontendKind::Threads, FrontendKind::Reactor] {
+        for workers in [1usize, 4] {
+            for shards in [ShardPolicy::Fixed(1), ShardPolicy::Fixed(4)] {
+                runs.push((
+                    format!("{frontend:?}/{workers}w/{shards:?}"),
+                    run_problem_workload(frontend, workers, shards),
+                ));
+            }
+        }
+    }
+    let (reference_name, reference) = &runs[0];
+    assert_eq!(reference.len(), problem_specs().len());
+    for (name, frames) in &runs[1..] {
+        assert_eq!(frames.len(), reference.len());
+        for (i, (bytes, ref_bytes)) in frames.iter().zip(reference).enumerate() {
+            assert_eq!(
+                bytes, ref_bytes,
+                "problem {i}: report bytes differ between {reference_name} and {name}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -8,6 +8,9 @@
 //! 2. **cancellation semantics**: a cancelled job never streams a
 //!    report, and its quota slot frees for the tenant.
 
+mod common;
+use common::SubmitShorthand;
+
 use msropm_client::{Client, ClientError};
 use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
 use msropm_graph::{generators, graph_hash};
@@ -84,7 +87,7 @@ fn wire_reports_are_bit_identical_across_worker_counts() {
             let jobs = mixed_jobs(9);
             let ids: Vec<u64> = jobs
                 .iter()
-                .map(|(g, job)| client.submit(g, job).expect("submit"))
+                .map(|(g, job)| client.submit_ok(g, job).expect("submit"))
                 .collect();
             let fingerprints = ids
                 .iter()
@@ -109,7 +112,7 @@ fn reports_carry_verifiable_hashes_and_rankings() {
     let mut client = Client::connect(server.local_addr(), "verify").expect("connect");
     let g = generators::kings_graph(5, 5);
     let job = BatchJob::uniform(fast_config(), 8, 3);
-    let id = client.submit(&g, &job).expect("submit");
+    let id = client.submit_ok(&g, &job).expect("submit");
     let report = client.wait_report(id).expect("report");
     assert_eq!(report.graph_hash, graph_hash(&g));
     assert_eq!(report.seed, 3);
@@ -137,10 +140,10 @@ fn blocking_verbs_never_consume_outstanding_mux_replies() {
     let g = generators::kings_graph(5, 5);
     // Two multiplexed submits left outstanding on purpose.
     client
-        .submit_nowait(&g, &BatchJob::uniform(fast_config(), 2, 1))
+        .submit_nowait_ok(&g, &BatchJob::uniform(fast_config(), 2, 1))
         .expect("mux submit A");
     client
-        .submit_nowait(&g, &BatchJob::uniform(fast_config(), 2, 2))
+        .submit_nowait_ok(&g, &BatchJob::uniform(fast_config(), 2, 2))
         .expect("mux submit B");
     // An interleaved blocking verb must read *past* the outstanding
     // submit replies (collecting them), not mistake one for its own.
@@ -150,7 +153,7 @@ fn blocking_verbs_never_consume_outstanding_mux_replies() {
     // A blocking submit returns its OWN job id, not the oldest
     // outstanding one; the server assigns ids in admission order.
     let c = client
-        .submit(&g, &BatchJob::uniform(fast_config(), 2, 3))
+        .submit_ok(&g, &BatchJob::uniform(fast_config(), 2, 3))
         .expect("blocking submit");
     let a = client.recv_submitted().expect("collected reply A");
     let b = client.recv_submitted().expect("collected reply B");
@@ -187,19 +190,19 @@ fn quota_rejection_is_tenant_scoped_through_the_client() {
     let mut greedy = Client::connect(server.local_addr(), "greedy").expect("connect");
     let mut modest = Client::connect(server.local_addr(), "modest").expect("connect");
     let first = greedy
-        .submit(&g, &BatchJob::uniform(fast_config(), 16, 1))
+        .submit_ok(&g, &BatchJob::uniform(fast_config(), 16, 1))
         .expect("first greedy submit admitted");
-    match greedy.submit(&g, &BatchJob::uniform(fast_config(), 2, 2)) {
+    match greedy.submit_ok(&g, &BatchJob::uniform(fast_config(), 2, 2)) {
         Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::QuotaInFlight),
         other => panic!("expected quota rejection, got {other:?}"),
     }
     let other_id = modest
-        .submit(&g, &BatchJob::uniform(fast_config(), 2, 3))
+        .submit_ok(&g, &BatchJob::uniform(fast_config(), 2, 3))
         .expect("other tenant proceeds");
     // Quota frees after completion.
     greedy.wait_report(first).expect("first report");
     greedy
-        .submit(&g, &BatchJob::uniform(fast_config(), 2, 4))
+        .submit_ok(&g, &BatchJob::uniform(fast_config(), 2, 4))
         .expect("slot freed after completion");
     modest.wait_report(other_id).expect("modest report");
     server.shutdown();
@@ -227,12 +230,12 @@ fn cancelled_job_never_streams_a_report_and_frees_quota() {
     // A occupies the worker; B queues and is cancelled; a third submit
     // would exceed max_inflight_jobs = 2 until B's slot frees.
     let a = client
-        .submit(&g, &BatchJob::uniform(fast_config(), 16, 1))
+        .submit_ok(&g, &BatchJob::uniform(fast_config(), 16, 1))
         .expect("submit A");
     let b = client
-        .submit(&g, &BatchJob::uniform(fast_config(), 4, 2))
+        .submit_ok(&g, &BatchJob::uniform(fast_config(), 4, 2))
         .expect("submit B");
-    match client.submit(&g, &BatchJob::uniform(fast_config(), 2, 3)) {
+    match client.submit_ok(&g, &BatchJob::uniform(fast_config(), 2, 3)) {
         Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::QuotaInFlight),
         other => panic!("expected quota rejection, got {other:?}"),
     }
@@ -253,10 +256,43 @@ fn cancelled_job_never_streams_a_report_and_frees_quota() {
         .expect("drain")
         .is_none());
     let c = client
-        .submit(&g, &BatchJob::uniform(fast_config(), 2, 4))
+        .submit_ok(&g, &BatchJob::uniform(fast_config(), 2, 4))
         .expect("slot freed after cancellation");
     client.wait_report(c).expect("C completes");
     let stats = client.stats().expect("stats");
     assert!(stats.jobs_cancelled >= 1);
+    server.shutdown();
+}
+
+/// The pre-`SubmitOptions` submit quartet must stay behaviorally
+/// intact as thin wrappers over `submit_with`.
+#[test]
+#[allow(deprecated)]
+fn deprecated_submit_wrappers_still_work() {
+    let server = server_with(1);
+    let mut client = Client::connect(server.local_addr(), "compat").expect("connect");
+    let g = generators::kings_graph(4, 4);
+
+    let a = client
+        .submit(&g, &BatchJob::uniform(fast_config(), 2, 1))
+        .expect("submit");
+    client.wait_report(a).expect("report A");
+
+    let b = client
+        .submit_deadline(&g, &BatchJob::uniform(fast_config(), 2, 2), 60_000)
+        .expect("submit with deadline");
+    client.wait_report(b).expect("report B");
+
+    client
+        .submit_nowait(&g, &BatchJob::uniform(fast_config(), 2, 3))
+        .expect("nowait submit");
+    client
+        .submit_nowait_deadline(&g, &BatchJob::uniform(fast_config(), 2, 4), 60_000)
+        .expect("nowait submit with deadline");
+    assert_eq!(client.pending_submits(), 2);
+    let c = client.recv_submitted().expect("reply C");
+    let d = client.recv_submitted().expect("reply D");
+    client.wait_report(c).expect("report C");
+    client.wait_report(d).expect("report D");
     server.shutdown();
 }

@@ -9,7 +9,13 @@
 //! single compilation and a job can start integrating immediately on a
 //! hit.
 //!
-//! Keys are `(`[`msropm_graph::io::graph_hash`]`, config fingerprint)`.
+//! Keys are `(`[`msropm_graph::io::graph_hash`]`, config fingerprint,
+//! problem fingerprint)`. The problem fingerprint is `0` for plain
+//! graph-coloring submissions; compiled [`ProblemSpec`] submissions
+//! (see the `msropm-problems` crate) carry their own domain digest so
+//! two different problems that *encode* onto the same graph and config
+//! (e.g. MIS vs max-cut on one topology) occupy distinct slots and the
+//! per-class hit statistics stay meaningful.
 //! Because a 64-bit digest can collide in principle, every hit is
 //! verified structurally against the resident machine's graph **and**
 //! config (an `O(m)` edge compare — noise next to a solve); a verified
@@ -98,7 +104,7 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct ProblemCache {
     capacity: usize,
-    entries: HashMap<(u64, u64), Entry>,
+    entries: HashMap<(u64, u64, u64), Entry>,
     clock: u64,
     stats: CacheStats,
 }
@@ -130,7 +136,25 @@ impl ProblemCache {
     /// when the cache sits behind a mutex; [`ProblemCache::get_or_compile`]
     /// is the single-threaded convenience.
     pub fn lookup(&mut self, graph: &Graph, config: &MsropmConfig) -> Option<Arc<Msropm>> {
-        let key = (graph_hash(graph), config_fingerprint(config));
+        self.lookup_problem(graph, config, 0)
+    }
+
+    /// Like [`ProblemCache::lookup`], but scoped to one compiled
+    /// problem: `problem_fingerprint` is the domain digest of the
+    /// submitted [`ProblemSpec`] (`0` for plain graph submissions), so
+    /// distinct problem classes sharing an encoding graph and config
+    /// never alias each other's slots.
+    pub fn lookup_problem(
+        &mut self,
+        graph: &Graph,
+        config: &MsropmConfig,
+        problem_fingerprint: u64,
+    ) -> Option<Arc<Msropm>> {
+        let key = (
+            graph_hash(graph),
+            config_fingerprint(config),
+            problem_fingerprint,
+        );
         self.clock += 1;
         match self.entries.get_mut(&key) {
             Some(entry)
@@ -163,9 +187,20 @@ impl ProblemCache {
     /// same); on a digest collision the resident entry stays and
     /// `machine` is returned uncached. Evicts LRU beyond capacity.
     pub fn intern(&mut self, machine: Arc<Msropm>) -> Arc<Msropm> {
+        self.intern_problem(machine, 0)
+    }
+
+    /// Like [`ProblemCache::intern`], but under the slot of one
+    /// compiled problem (see [`ProblemCache::lookup_problem`]).
+    pub fn intern_problem(
+        &mut self,
+        machine: Arc<Msropm>,
+        problem_fingerprint: u64,
+    ) -> Arc<Msropm> {
         let key = (
             graph_hash(machine.graph()),
             config_fingerprint(machine.config()),
+            problem_fingerprint,
         );
         self.clock += 1;
         if let Some(entry) = self.entries.get_mut(&key) {
@@ -311,6 +346,28 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1), "{stats:?}");
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn problem_fingerprints_get_distinct_slots() {
+        // Two problems encoding onto the same graph + config (e.g. MIS
+        // vs max-cut) must not alias each other's cache slots, and the
+        // plain graph path (fingerprint 0) is its own slot too.
+        let g = generators::cycle_graph(8);
+        let cfg = fast_config();
+        let mut cache = ProblemCache::new(4);
+        let plain = cache.get_or_compile(&g, &cfg);
+        assert!(cache.lookup_problem(&g, &cfg, 0xfeed).is_none());
+        let a = cache.intern_problem(Arc::new(Msropm::new(&g, cfg)), 0xfeed);
+        let b = cache.intern_problem(Arc::new(Msropm::new(&g, cfg)), 0xbeef);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&plain, &a));
+        assert_eq!(cache.len(), 3);
+        let hit = cache.lookup_problem(&g, &cfg, 0xfeed).expect("resident");
+        assert!(Arc::ptr_eq(&a, &hit));
+        // The plain-key API still resolves to the fingerprint-0 slot.
+        let hit0 = cache.lookup(&g, &cfg).expect("resident");
+        assert!(Arc::ptr_eq(&plain, &hit0));
     }
 
     #[test]

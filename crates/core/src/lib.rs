@@ -66,7 +66,7 @@ pub use cache::{CacheStats, ProblemCache};
 pub use circuit_machine::{CircuitMsropm, CircuitMsropmConfig, CircuitSolution};
 pub use config::{LaneConfig, MsropmConfig, ReinitMode, SweepParam, SweepSpec};
 pub use job::{BatchJob, CancelToken, JobReport, RankedLane};
-pub use machine::{Msropm, MsropmSolution, StageRecord};
+pub use machine::{ArenaRef, Msropm, MsropmSolution, SolveOptions, SolveShardPolicy, StageRecord};
 pub use metrics::{coloring_accuracy, max_cut_accuracy, search_space_label};
 pub use pool::{num_cores, ShardPool};
 pub use portfolio::{LaneOutcome, PortfolioReport, PortfolioRunner, RestartEvent};

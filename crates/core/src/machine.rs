@@ -382,15 +382,8 @@ impl Msropm {
         seeds: &[u64],
         threads: usize,
     ) -> Vec<MsropmSolution> {
-        crate::batch::solve_lanes_sharded(
-            &self.graph,
-            &self.config,
-            &self.network,
-            lanes,
-            seeds,
-            false,
-            threads,
-        )
+        self.solve_lanes(lanes, seeds, SolveOptions::new().threads(threads))
+            .expect("no cancel token => never None")
     }
 
     /// Like [`Msropm::solve_batch_lanes`] with `threads = 1`, but running
@@ -411,15 +404,8 @@ impl Msropm {
         seeds: &[u64],
         arena: &mut crate::batch::BatchArena,
     ) -> Vec<MsropmSolution> {
-        crate::batch::solve_lanes_arena(
-            &self.graph,
-            &self.config,
-            &self.network,
-            lanes,
-            seeds,
-            false,
-            arena,
-        )
+        self.solve_lanes(lanes, seeds, SolveOptions::new().arena(arena))
+            .expect("no cancel token => never None")
     }
 
     /// Like [`Msropm::solve_batch_lanes_arena`], but checking `cancel`
@@ -441,7 +427,11 @@ impl Msropm {
         arena: &mut crate::batch::BatchArena,
         cancel: &crate::job::CancelToken,
     ) -> Option<Vec<MsropmSolution>> {
-        self.solve_batch_lanes_arena_cancellable_with(lanes, seeds, arena, || cancel.is_cancelled())
+        self.solve_lanes(
+            lanes,
+            seeds,
+            SolveOptions::new().arena(arena).cancel(cancel),
+        )
     }
 
     /// Generalized cancellable batch solve: `cancelled` is polled at
@@ -509,15 +499,12 @@ impl Msropm {
         arena: &mut crate::batch::ShardedArena,
         pool: &crate::pool::ShardPool,
     ) -> Vec<MsropmSolution> {
-        self.solve_batch_lanes_arena_sharded_cancellable_with(
+        self.solve_lanes(
             lanes,
             seeds,
-            shards,
-            arena,
-            pool,
-            || false,
+            SolveOptions::new().sharded(shards, arena, pool),
         )
-        .expect("an unfiring hook never cancels")
+        .expect("no cancel token => never None")
     }
 
     /// Sharded counterpart of
@@ -565,6 +552,223 @@ impl Msropm {
                 }
             },
         )
+    }
+
+    /// Unified heterogeneous batch solve: one entry point behind which
+    /// every `solve_batch_lanes*` variant now lives. The execution
+    /// strategy is picked by [`SolveOptions`] — scratch reuse via
+    /// `arena`, cooperative abort via `cancel_token`, and parallelism
+    /// via `shard_policy` — while the result contract stays the same:
+    /// a completed solve is **bit-identical** across every valid
+    /// option combination (tested in `tests/lane_equivalence.rs` and
+    /// below). Returns `None` only when a cancel token fired at a
+    /// stage boundary.
+    ///
+    /// The named legacy entry points ([`Msropm::solve_batch_lanes`],
+    /// [`Msropm::solve_batch_lanes_arena`],
+    /// [`Msropm::solve_batch_lanes_arena_cancellable`],
+    /// [`Msropm::solve_batch_lanes_arena_sharded`]) forward here; the
+    /// `*_with` closure variants remain as the lower-level hooked API
+    /// (deadline policies poll arbitrary closures, not tokens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes.len() != seeds.len()`, a resolved lane
+    /// configuration is invalid, or the options combine strategies that
+    /// do not compose (see [`SolveOptions`]): thread-sharding with an
+    /// arena or cancel token, a [`ShardedArena`] without a shard pool,
+    /// a [`BatchArena`] with one, or `threads == 0` / `shards == 0`.
+    pub fn solve_lanes(
+        &self,
+        lanes: &[LaneConfig],
+        seeds: &[u64],
+        options: SolveOptions<'_>,
+    ) -> Option<Vec<MsropmSolution>> {
+        let SolveOptions {
+            arena,
+            cancel_token,
+            shard_policy,
+        } = options;
+        match shard_policy {
+            SolveShardPolicy::Threads(threads) => {
+                assert!(threads > 0, "threads must be >= 1");
+                if threads > 1 {
+                    assert!(
+                        arena.is_none() && cancel_token.is_none(),
+                        "thread-sharded solves take neither an arena nor a cancel \
+                         token; use SolveShardPolicy::Pool for cancellable parallelism"
+                    );
+                    return Some(crate::batch::solve_lanes_sharded(
+                        &self.graph,
+                        &self.config,
+                        &self.network,
+                        lanes,
+                        seeds,
+                        false,
+                        threads,
+                    ));
+                }
+                let cancelled = || cancel_token.is_some_and(|t| t.is_cancelled());
+                match arena {
+                    None => {
+                        if cancel_token.is_none() {
+                            // Matches the historical `solve_batch_lanes(_, _, 1)`
+                            // path exactly (bit-identical to the arena path).
+                            return Some(crate::batch::solve_lanes_sharded(
+                                &self.graph,
+                                &self.config,
+                                &self.network,
+                                lanes,
+                                seeds,
+                                false,
+                                1,
+                            ));
+                        }
+                        let mut scratch = crate::batch::BatchArena::new();
+                        self.solve_batch_lanes_arena_cancellable_with(
+                            lanes,
+                            seeds,
+                            &mut scratch,
+                            cancelled,
+                        )
+                    }
+                    Some(ArenaRef::Batch(arena)) => self
+                        .solve_batch_lanes_arena_cancellable_with(lanes, seeds, arena, cancelled),
+                    Some(ArenaRef::Sharded(_)) => {
+                        panic!("a ShardedArena requires SolveShardPolicy::Pool")
+                    }
+                }
+            }
+            SolveShardPolicy::Pool { shards, pool } => {
+                let cancelled = || cancel_token.is_some_and(|t| t.is_cancelled());
+                match arena {
+                    None => {
+                        let mut scratch = crate::batch::ShardedArena::new();
+                        self.solve_batch_lanes_arena_sharded_cancellable_with(
+                            lanes,
+                            seeds,
+                            shards,
+                            &mut scratch,
+                            pool,
+                            cancelled,
+                        )
+                    }
+                    Some(ArenaRef::Sharded(arena)) => self
+                        .solve_batch_lanes_arena_sharded_cancellable_with(
+                            lanes, seeds, shards, arena, pool, cancelled,
+                        ),
+                    Some(ArenaRef::Batch(_)) => {
+                        panic!("a BatchArena cannot back a pool-sharded solve; use a ShardedArena")
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A borrowed solver scratch arena for [`Msropm::solve_lanes`]: either
+/// the single-task [`crate::batch::BatchArena`] or the
+/// [`crate::batch::ShardedArena`] that backs pool-sharded solves. The
+/// variant must match the [`SolveShardPolicy`] (`Batch` with
+/// [`SolveShardPolicy::Threads`]`(1)`, `Sharded` with
+/// [`SolveShardPolicy::Pool`]); `solve_lanes` panics on a mismatch
+/// rather than silently copying buffers.
+pub enum ArenaRef<'a> {
+    /// Scratch for a single-task solve.
+    Batch(&'a mut crate::batch::BatchArena),
+    /// Per-shard scratch for a pool-sharded solve.
+    Sharded(&'a mut crate::batch::ShardedArena),
+}
+
+/// How [`Msropm::solve_lanes`] spreads lanes over execution resources.
+/// Every policy yields **bit-identical** completed results; only
+/// wall-clock and allocation behaviour differ.
+pub enum SolveShardPolicy<'a> {
+    /// Shard lanes over `n` ephemeral threads (`1` = solve inline on
+    /// the caller's thread). Thread sharding predates arenas and
+    /// cancellation and composes with neither; pass an arena or cancel
+    /// token only with `Threads(1)` or [`SolveShardPolicy::Pool`].
+    Threads(usize),
+    /// Shard lanes over `shards` work-stealing tasks on a persistent
+    /// [`crate::pool::ShardPool`] — the job-server parallel solve path.
+    Pool {
+        /// Number of lane shards (must be `>= 1`).
+        shards: usize,
+        /// The persistent worker pool to run shard tasks on.
+        pool: &'a crate::pool::ShardPool,
+    },
+}
+
+/// Options for [`Msropm::solve_lanes`], the unified batch entry point.
+/// The default is the simplest strategy: solve inline on the caller's
+/// thread with throwaway scratch and no cancellation — equivalent to
+/// the legacy `solve_batch_lanes(lanes, seeds, 1)`.
+///
+/// ```
+/// use msropm_core::{LaneConfig, Msropm, MsropmConfig, SolveOptions};
+/// use msropm_graph::generators;
+///
+/// let g = generators::cycle_graph(6);
+/// let m = Msropm::new(&g, MsropmConfig { dt: 0.02, ..MsropmConfig::paper_default() });
+/// let lanes = vec![LaneConfig::default(); 2];
+/// let sols = m
+///     .solve_lanes(&lanes, &[1, 2], SolveOptions::new())
+///     .expect("no cancel token => never None");
+/// assert_eq!(sols.len(), 2);
+/// ```
+#[derive(Default)]
+pub struct SolveOptions<'a> {
+    /// Long-lived solver scratch to reuse; `None` allocates throwaway
+    /// scratch for this call.
+    pub arena: Option<ArenaRef<'a>>,
+    /// Cooperative abort token, polled at every non-final stage
+    /// boundary; `None` never cancels.
+    pub cancel_token: Option<&'a crate::job::CancelToken>,
+    /// Execution strategy (defaults to inline single-task).
+    pub shard_policy: SolveShardPolicy<'a>,
+}
+
+impl Default for SolveShardPolicy<'_> {
+    fn default() -> Self {
+        SolveShardPolicy::Threads(1)
+    }
+}
+
+impl<'a> SolveOptions<'a> {
+    /// The default strategy: inline, throwaway scratch, uncancellable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shard lanes over `threads` ephemeral threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.shard_policy = SolveShardPolicy::Threads(threads);
+        self
+    }
+
+    /// Reuse the caller's [`crate::batch::BatchArena`] scratch.
+    pub fn arena(mut self, arena: &'a mut crate::batch::BatchArena) -> Self {
+        self.arena = Some(ArenaRef::Batch(arena));
+        self
+    }
+
+    /// Shard over `shards` tasks on `pool`, reusing `arena` scratch.
+    pub fn sharded(
+        mut self,
+        shards: usize,
+        arena: &'a mut crate::batch::ShardedArena,
+        pool: &'a crate::pool::ShardPool,
+    ) -> Self {
+        self.arena = Some(ArenaRef::Sharded(arena));
+        self.shard_policy = SolveShardPolicy::Pool { shards, pool };
+        self
+    }
+
+    /// Poll `cancel` at stage boundaries; `solve_lanes` returns `None`
+    /// if it fires.
+    pub fn cancel(mut self, cancel: &'a crate::job::CancelToken) -> Self {
+        self.cancel_token = Some(cancel);
+        self
     }
 }
 
@@ -816,5 +1020,90 @@ mod tests {
             m.solve(&mut rng).coloring
         };
         assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn solve_lanes_is_bit_identical_across_strategies() {
+        let g = generators::kings_graph(3, 3);
+        let m = Msropm::new(&g, fast_config());
+        let lanes = vec![LaneConfig::default(); 3];
+        let seeds = [5, 6, 7];
+        let base = m
+            .solve_lanes(&lanes, &seeds, SolveOptions::new())
+            .expect("uncancellable");
+
+        let threaded = m
+            .solve_lanes(&lanes, &seeds, SolveOptions::new().threads(2))
+            .expect("uncancellable");
+        let mut arena = crate::batch::BatchArena::new();
+        let in_arena = m
+            .solve_lanes(&lanes, &seeds, SolveOptions::new().arena(&mut arena))
+            .expect("uncancellable");
+        let token = crate::job::CancelToken::new();
+        let cancellable = m
+            .solve_lanes(
+                &lanes,
+                &seeds,
+                SolveOptions::new().arena(&mut arena).cancel(&token),
+            )
+            .expect("token never fired");
+        let pool = crate::pool::ShardPool::new(2);
+        let mut sharena = crate::batch::ShardedArena::new();
+        let pooled = m
+            .solve_lanes(
+                &lanes,
+                &seeds,
+                SolveOptions::new().sharded(2, &mut sharena, &pool),
+            )
+            .expect("uncancellable");
+
+        for other in [&threaded, &in_arena, &cancellable, &pooled] {
+            assert_eq!(base.len(), other.len());
+            for (a, b) in base.iter().zip(other.iter()) {
+                assert_eq!(a.coloring, b.coloring);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_lanes_cancelled_token_returns_none() {
+        let g = generators::kings_graph(3, 3);
+        let m = Msropm::new(&g, fast_config());
+        let lanes = vec![LaneConfig::default(); 2];
+        let token = crate::job::CancelToken::new();
+        token.cancel();
+        assert!(m
+            .solve_lanes(&lanes, &[1, 2], SolveOptions::new().cancel(&token))
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "neither an arena nor a cancel")]
+    fn solve_lanes_rejects_threads_with_arena() {
+        let g = generators::path_graph(2);
+        let m = Msropm::new(&g, fast_config());
+        let mut arena = crate::batch::BatchArena::new();
+        let _ = m.solve_lanes(
+            &[LaneConfig::default()],
+            &[1],
+            SolveOptions::new().arena(&mut arena).threads(2),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires SolveShardPolicy::Pool")]
+    fn solve_lanes_rejects_sharded_arena_without_pool() {
+        let g = generators::path_graph(2);
+        let m = Msropm::new(&g, fast_config());
+        let mut arena = crate::batch::ShardedArena::new();
+        let _ = m.solve_lanes(
+            &[LaneConfig::default()],
+            &[1],
+            SolveOptions {
+                arena: Some(ArenaRef::Sharded(&mut arena)),
+                cancel_token: None,
+                shard_policy: SolveShardPolicy::Threads(1),
+            },
+        );
     }
 }

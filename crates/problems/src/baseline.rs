@@ -1,0 +1,168 @@
+//! Classical greedy baselines per problem class, table2-style.
+//!
+//! These are the deterministic heuristics the per-class ablation bins
+//! compare machine accuracy against (`bench/src/bin/problems_bench.rs`):
+//! the standard textbook greedy for each class, not tuned — the point is
+//! a stable reference line, not a competitive solver.
+
+use crate::{Ising, Qubo};
+use msropm_graph::{Graph, NodeId};
+
+/// Greedy maximum independent set: repeatedly take the minimum-degree
+/// vertex of the remaining graph (ties toward the lowest index), then
+/// discard its neighbours. Returns sorted member indices.
+pub fn greedy_mis(g: &Graph) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut alive = vec![true; n];
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(NodeId::new(v))).collect();
+    let mut set = Vec::new();
+    loop {
+        let mut pick: Option<(usize, usize)> = None; // (degree, vertex)
+        for v in 0..n {
+            if alive[v] && pick.is_none_or(|(bd, bv)| (degree[v], v) < (bd, bv)) {
+                pick = Some((degree[v], v));
+            }
+        }
+        let Some((_, v)) = pick else { break };
+        set.push(v as u32);
+        alive[v] = false;
+        for (w, _) in g.neighbors(NodeId::new(v)) {
+            if alive[w.index()] {
+                alive[w.index()] = false;
+                for (x, _) in g.neighbors(w) {
+                    degree[x.index()] = degree[x.index()].saturating_sub(1);
+                }
+            }
+        }
+    }
+    set.sort_unstable();
+    set
+}
+
+/// Greedy vertex cover via maximal matching (the classic 2-approximation):
+/// scan edges in id order; whenever both endpoints are uncovered, add both.
+/// Returns sorted member indices.
+pub fn greedy_vertex_cover(g: &Graph) -> Vec<u32> {
+    let mut covered = vec![false; g.num_nodes()];
+    let mut cover = Vec::new();
+    for (_, u, v) in g.edges() {
+        if !covered[u.index()] && !covered[v.index()] {
+            covered[u.index()] = true;
+            covered[v.index()] = true;
+            cover.push(u.index() as u32);
+            cover.push(v.index() as u32);
+        }
+    }
+    cover.sort_unstable();
+    cover
+}
+
+/// Greedy max-k-cut: assign vertices in index order to the class with the
+/// fewest already-assigned neighbours (ties toward the lowest class).
+/// Returns the class per vertex and the number of cut edges.
+pub fn greedy_max_k_cut(g: &Graph, k: usize) -> (Vec<u16>, usize) {
+    let n = g.num_nodes();
+    let mut class = vec![u16::MAX; n];
+    for v in 0..n {
+        let mut counts = vec![0usize; k];
+        for (w, _) in g.neighbors(NodeId::new(v)) {
+            let c = class[w.index()];
+            if c != u16::MAX {
+                counts[c as usize] += 1;
+            }
+        }
+        let best = (0..k).min_by_key(|&c| (counts[c], c)).unwrap_or(0);
+        class[v] = best as u16;
+    }
+    let cut = g
+        .edges()
+        .filter(|&(_, u, v)| class[u.index()] != class[v.index()])
+        .count();
+    (class, cut)
+}
+
+/// Greedy number partitioning (LPT): place items in descending weight
+/// order (ties toward the lower index) onto the lighter side. Returns the
+/// side bits and the final imbalance.
+pub fn greedy_partition(weights: &[u64]) -> (Vec<bool>, u64) {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+    let mut sides = vec![false; weights.len()];
+    let (mut a, mut b) = (0u128, 0u128);
+    for i in order {
+        if a <= b {
+            a += u128::from(weights[i]);
+        } else {
+            sides[i] = true;
+            b += u128::from(weights[i]);
+        }
+    }
+    (sides, a.abs_diff(b) as u64)
+}
+
+/// Greedy QUBO descent from the all-zero state: best-improvement 1-flips
+/// until a local optimum. Returns the state and its energy.
+pub fn greedy_qubo(q: &Qubo) -> (Vec<bool>, f64) {
+    let mut x = vec![false; q.n];
+    let e = crate::descend_qubo(q, &mut x);
+    (x, e)
+}
+
+/// Greedy Ising descent from the all-down state: best-improvement 1-flips
+/// until a local optimum. Returns the spins and their energy.
+pub fn greedy_ising(ising: &Ising) -> (Vec<bool>, f64) {
+    let mut s = vec![false; ising.n];
+    let e = crate::descend_ising(ising, &mut s);
+    (s, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msropm_graph::generators;
+
+    #[test]
+    fn greedy_mis_is_independent_and_maximal() {
+        let g = generators::kings_graph(4, 4);
+        let set = greedy_mis(&g);
+        assert!(crate::is_independent(&g, &set));
+        // Maximal: every non-member has a member neighbour.
+        let mut in_set = vec![false; g.num_nodes()];
+        for &v in &set {
+            in_set[v as usize] = true;
+        }
+        for v in g.nodes() {
+            if !in_set[v.index()] {
+                assert!(
+                    g.neighbors(v).any(|(w, _)| in_set[w.index()]),
+                    "vertex {} could be added",
+                    v.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_cover_covers() {
+        let g = generators::kings_graph(4, 4);
+        let cover = greedy_vertex_cover(&g);
+        assert!(crate::is_cover(&g, &cover));
+    }
+
+    #[test]
+    fn greedy_k_cut_counts_match() {
+        let g = generators::cycle_graph(7);
+        let (class, cut) = greedy_max_k_cut(&g, 2);
+        assert!(class.iter().all(|&c| c < 2));
+        assert_eq!(cut, 6, "C7 greedy 2-cut alternates until the wrap edge");
+    }
+
+    #[test]
+    fn lpt_partitions_perfectly_when_possible() {
+        let (_, imb) = greedy_partition(&[4, 3, 3, 2]);
+        assert_eq!(imb, 0);
+        let (sides, imb) = greedy_partition(&[5, 4, 3]);
+        assert_eq!(imb, 2);
+        assert_eq!(sides.len(), 3);
+    }
+}

@@ -1,0 +1,357 @@
+//! Minimal hand-rolled JSON parser for QUBO/Ising ingestion.
+//!
+//! The workspace builds offline against `vendor/` API-subset shims, so there
+//! is no serde; this module implements the small slice of JSON the
+//! [`crate::ProblemSpec::Qubo`]/[`crate::ProblemSpec::Ising`] input format
+//! needs. It is written to the same bar as `server::proto`'s frame decoder:
+//! **never panics** on arbitrary, truncated or malformed input (proptested in
+//! `tests/parser_fuzz.rs`), bounds recursion depth, and caps value counts
+//! before allocating.
+
+use std::fmt;
+
+/// Maximum nesting depth accepted (arrays/objects). JSON this deep is not a
+/// problem instance; the cap keeps hostile input from overflowing the stack.
+pub const MAX_DEPTH: usize = 64;
+
+/// Maximum number of elements accepted in a single array or object.
+pub const MAX_ELEMS: usize = 1 << 22;
+
+/// Maximum input length in bytes (16 MiB, half the wire frame cap).
+pub const MAX_INPUT_LEN: usize = 16 << 20;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always finite; JSON has no NaN/inf literals).
+    Num(f64),
+    /// A string (escape sequences decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a `usize`, if it is a non-negative integer.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u32::MAX as f64 => {
+                Some(*x as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse failure: a message and the byte offset it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a complete JSON document (one value, optionally surrounded by
+/// whitespace). Never panics; all failure modes are [`JsonError`]s.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    if input.len() > MAX_INPUT_LEN {
+        return Err(JsonError {
+            message: format!("input longer than {MAX_INPUT_LEN} bytes"),
+            offset: 0,
+        });
+    }
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        let end = self.pos + lit.len();
+        if self.bytes.get(self.pos..end) == Some(lit.as_bytes()) {
+            self.pos = end;
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Json::Null),
+            Some(b't') => self.expect_literal("true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            if items.len() > MAX_ELEMS {
+                return Err(self.err("array too long"));
+            }
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            return Err(self.err("expected ',' or ']'"));
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // consume '{'
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            if pairs.len() > MAX_ELEMS {
+                return Err(self.err("object too large"));
+            }
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b'}') {
+                return Ok(Json::Obj(pairs));
+            }
+            return Err(self.err("expected ',' or '}'"));
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // consume '"'
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // Unpaired surrogates map to the replacement char;
+                            // a problem file has no business containing them.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 3; // +1 more below
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is &str, so boundaries are valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.err("invalid utf-8")),
+                    }
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.eat(b'.') {
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::Num(x)),
+            _ => Err(self.err("invalid number")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-2.5e1").unwrap(), Json::Num(-25.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn nested() {
+        let v = parse(r#"{"n": 2, "q": [[0, 1, -1.5]]}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Json::as_usize), Some(2));
+        let q = v.get("q").and_then(Json::as_arr).unwrap();
+        assert_eq!(q[0].as_arr().unwrap()[2].as_f64(), Some(-1.5));
+    }
+
+    #[test]
+    fn malformed() {
+        for bad in [
+            "", "{", "[1,", "nul", "1e", "\"\\x\"", "{1:2}", "[1]]", "1 2",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn depth_capped() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn unicode_and_escapes() {
+        assert_eq!(parse("\"π\"").unwrap(), Json::Str("π".into()));
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Json::Str("A".into()));
+    }
+}

@@ -1,0 +1,128 @@
+//! Ingestion robustness: the standard-format parsers (DIMACS CNF via
+//! [`ProblemSpec::from_text`], QUBO/Ising JSON, weights lists, and the
+//! dependency-free JSON reader underneath) must never panic — not on
+//! arbitrary bytes, not on truncations of valid documents, not on
+//! near-miss inputs drawn from each format's own alphabet. Malformed
+//! input is answered with a typed [`ProblemError`], hostile sizes with
+//! `Unsupported`; a crash here would take down whoever ingests
+//! untrusted files (the CLI) or bytes (the server's compile path).
+
+use msropm_problems::{
+    json, read_ising_json, read_qubo_json, read_weights, ProblemClass, ProblemSpec,
+};
+use proptest::prelude::*;
+
+/// Bytes → text the way every ingestion caller does it (lossy UTF-8),
+/// so the fuzz alphabet covers invalid sequences too.
+fn lossy(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// A valid DIMACS CNF document to truncate and mutate.
+const CNF_DOC: &str = "c tiny instance\np cnf 4 3\n1 -2 0\n2 3 4 0\n-1 -3 0\n";
+
+/// A valid QUBO JSON document to truncate and mutate.
+const QUBO_DOC: &str =
+    r#"{"n": 4, "linear": [-1.0, 0.5, -0.5, 0.25], "quadratic": [[0, 1, 1.0], [1, 2, -1.0]]}"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every class's text reader survives arbitrary bytes.
+    #[test]
+    fn from_text_never_panics_on_arbitrary_bytes(
+        class_idx in 0usize..9,
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+        k in any::<u16>(),
+    ) {
+        let class = ProblemClass::ALL[class_idx];
+        let _ = ProblemSpec::from_text(class, &lossy(&bytes), k);
+    }
+
+    /// The JSON reader and the three format-specific readers survive
+    /// arbitrary bytes.
+    #[test]
+    fn readers_never_panic_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let text = lossy(&bytes);
+        let _ = json::parse(&text);
+        let _ = read_qubo_json(&text);
+        let _ = read_ising_json(&text);
+        let _ = read_weights(&text);
+    }
+
+    /// Truncating a valid CNF document at any byte yields an error or a
+    /// (smaller) valid instance — never a panic.
+    #[test]
+    fn truncated_cnf_never_panics(cut in 0usize..64) {
+        let cut = cut.min(CNF_DOC.len());
+        let _ = ProblemSpec::from_text(ProblemClass::CnfSat, &CNF_DOC[..cut], 0);
+    }
+
+    /// Same for a valid QUBO JSON document (also fed to the Ising
+    /// reader, whose field names then miss).
+    #[test]
+    fn truncated_qubo_json_never_panics(cut in 0usize..96) {
+        let cut = cut.min(QUBO_DOC.len());
+        let text = &QUBO_DOC[..cut];
+        let _ = read_qubo_json(text);
+        let _ = read_ising_json(text);
+    }
+
+    /// Near-miss CNF: tokens drawn from the DIMACS alphabet in random
+    /// order, so headers, clause terminators, and literals appear in
+    /// invalid arrangements.
+    #[test]
+    fn cnf_alphabet_soup_never_panics(
+        picks in proptest::collection::vec(0usize..12, 0..80),
+    ) {
+        const TOKENS: [&str; 12] = [
+            "p", "cnf", "c", "0", "1", "-1", "4", "-4", "99999999999999999999",
+            "\n", " ", "e",
+        ];
+        let text: String = picks.iter().map(|&i| TOKENS[i]).collect();
+        let _ = ProblemSpec::from_text(ProblemClass::CnfSat, &text, 0);
+    }
+
+    /// Near-miss JSON: structural tokens in random arrangements (deep
+    /// nesting, unbalanced brackets, stray commas, huge numbers).
+    #[test]
+    fn json_alphabet_soup_never_panics(
+        picks in proptest::collection::vec(0usize..14, 0..120),
+    ) {
+        const TOKENS: [&str; 14] = [
+            "{", "}", "[", "]", ",", ":", "\"n\"", "\"linear\"", "\"quadratic\"",
+            "4", "-1.5e308", "null", "true", "1e999",
+        ];
+        let text: String = picks.iter().map(|&i| TOKENS[i]).collect();
+        let _ = json::parse(&text);
+        let _ = read_qubo_json(&text);
+        let _ = read_ising_json(&text);
+    }
+
+    /// Weight lists with hostile magnitudes parse or error, never panic
+    /// — and anything over the documented caps is rejected.
+    #[test]
+    fn weights_reader_respects_caps(
+        weights in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let text: String = weights
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        match read_weights(&text) {
+            Ok(parsed) => {
+                prop_assert_eq!(parsed.len(), weights.len());
+                for w in parsed {
+                    prop_assert!(w <= msropm_problems::MAX_WEIGHT);
+                }
+            }
+            Err(_) => {
+                // Rejected: at least one weight must be over the cap.
+                prop_assert!(weights.iter().any(|&w| w > msropm_problems::MAX_WEIGHT));
+            }
+        }
+    }
+}

@@ -489,6 +489,9 @@ impl Reply {
 pub struct PendingJob {
     graph: Arc<Graph>,
     job: BatchJob,
+    /// Domain digest of the compiled problem this job solves (`0` for a
+    /// plain graph submission); scopes the problem-cache slot.
+    problem_fingerprint: u64,
     cancel: CancelToken,
     status: Arc<JobStatusCell>,
     deadline: Option<Instant>,
@@ -511,6 +514,7 @@ impl PendingJob {
         PendingJob {
             graph,
             job,
+            problem_fingerprint: 0,
             cancel,
             status,
             deadline,
@@ -518,10 +522,19 @@ impl PendingJob {
         }
     }
 
+    /// Scopes this job's problem-cache slot to one compiled problem
+    /// (see [`msropm_core::ProblemCache::lookup_problem`]); plain graph
+    /// submissions keep the default `0`.
+    pub fn with_problem_fingerprint(mut self, fingerprint: u64) -> PendingJob {
+        self.problem_fingerprint = fingerprint;
+        self
+    }
+
     fn into_envelope(self) -> Envelope {
         Envelope {
             graph: self.graph,
             job: self.job,
+            problem_fingerprint: self.problem_fingerprint,
             submitted_at: Instant::now(),
             reply: Reply::Hook(self.hook),
             cancel: self.cancel,
@@ -546,6 +559,7 @@ pub enum TrySubmitError {
 struct Envelope {
     graph: Arc<Graph>,
     job: BatchJob,
+    problem_fingerprint: u64,
     submitted_at: Instant,
     reply: Reply,
     cancel: CancelToken,
@@ -560,6 +574,7 @@ impl Envelope {
         PendingJob {
             graph: self.graph,
             job: self.job,
+            problem_fingerprint: self.problem_fingerprint,
             cancel: self.cancel,
             status: self.status,
             deadline: self.deadline,
@@ -688,6 +703,7 @@ impl JobServer {
         let envelope = Envelope {
             graph,
             job,
+            problem_fingerprint: 0,
             submitted_at: Instant::now(),
             deadline: None,
             reply: Reply::Channel(tx),
@@ -1024,7 +1040,11 @@ fn worker_loop(shared: &Shared) {
             // unobservable).
             let machine = {
                 let mut cache = lock_unpoisoned(&shared.cache);
-                cache.lookup(&envelope.graph, &envelope.job.config)
+                cache.lookup_problem(
+                    &envelope.graph,
+                    &envelope.job.config,
+                    envelope.problem_fingerprint,
+                )
             };
             let machine = machine.unwrap_or_else(|| {
                 let compiled = Arc::new(msropm_core::Msropm::new(
@@ -1032,7 +1052,7 @@ fn worker_loop(shared: &Shared) {
                     envelope.job.config,
                 ));
                 let mut cache = lock_unpoisoned(&shared.cache);
-                cache.intern(compiled)
+                cache.intern_problem(compiled, envelope.problem_fingerprint)
             });
             // Solve outside the cache lock too: workers never serialize
             // on each other's integrations. The abort check combines

@@ -29,11 +29,13 @@
 //! | `0x02`| C → S     | `status` — tenant, job id |
 //! | `0x03`| C → S     | `cancel` — tenant, job id |
 //! | `0x04`| C → S     | `stats` |
+//! | `0x05`| C → S     | `submit problem` — tenant, [`msropm_problems::ProblemSpec`], base config, replicas, seed, deadline |
 //! | `0x81`| S → C     | `submitted` — job id |
 //! | `0x82`| S → C     | `status reply` — job id, [`JobState`] |
 //! | `0x83`| S → C     | `cancel reply` — job id, state after the cancel request |
 //! | `0x84`| S → C     | `stats reply` — server counters |
 //! | `0x90`| S → C     | `report` — streamed when a job completes (never for cancelled jobs) |
+//! | `0x92`| S → C     | `problem report` — streamed when a `submit problem` job completes: typed, decoded domain solutions (see [`WireProblemReport`]) |
 //! | `0x91`| S → C     | `job error` — job id + typed [`ErrorCode`] + message, streamed when a job dies without a report (panicking solve, expired deadline, dead worker) |
 //! | `0xE0`| S → C     | `error` — typed [`ErrorCode`] + message (scoped to the *current request*, unlike `0x91`) |
 //!
@@ -59,6 +61,9 @@
 use crate::{JobOutcome, JobState};
 use msropm_core::{BatchJob, LaneConfig, MsropmConfig, ReinitMode};
 use msropm_graph::Graph;
+use msropm_problems::{
+    Cnf, DecodedLane, DecodedSolution, Ising, Lit, ProblemClass, ProblemReport, ProblemSpec, Qubo,
+};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -83,12 +88,14 @@ const T_SUBMIT: u8 = 0x01;
 const T_STATUS: u8 = 0x02;
 const T_CANCEL: u8 = 0x03;
 const T_STATS: u8 = 0x04;
+const T_SUBMIT_PROBLEM: u8 = 0x05;
 const T_SUBMITTED: u8 = 0x81;
 const T_STATUS_REPLY: u8 = 0x82;
 const T_CANCEL_REPLY: u8 = 0x83;
 const T_STATS_REPLY: u8 = 0x84;
 const T_REPORT: u8 = 0x90;
 const T_JOB_ERROR: u8 = 0x91;
+const T_PROBLEM_REPORT: u8 = 0x92;
 const T_ERROR: u8 = 0xE0;
 
 /// Typed error carried by an error frame (`0xE0`).
@@ -123,6 +130,10 @@ pub enum ErrorCode {
     /// The server failed internally executing the job (a panicking
     /// solve or a dead worker); the job is lost but the server lives.
     Internal = 11,
+    /// A `submit problem` carried a spec the server cannot compile
+    /// (invalid palette, instance over caps, …). Request-scoped: the
+    /// connection stays usable.
+    UnsupportedProblem = 12,
 }
 
 impl ErrorCode {
@@ -140,6 +151,7 @@ impl ErrorCode {
             9 => Some(ErrorCode::Draining),
             10 => Some(ErrorCode::DeadlineExceeded),
             11 => Some(ErrorCode::Internal),
+            12 => Some(ErrorCode::UnsupportedProblem),
             _ => None,
         }
     }
@@ -159,6 +171,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Draining => "server is draining; no new submits",
             ErrorCode::DeadlineExceeded => "job deadline exceeded",
             ErrorCode::Internal => "internal server error executing the job",
+            ErrorCode::UnsupportedProblem => "unsupported problem spec",
         };
         f.write_str(s)
     }
@@ -182,6 +195,10 @@ pub enum ProtoError {
     BadValue(&'static str),
     /// The embedded graph was rejected (self-loop, bad endpoint, …).
     Graph(String),
+    /// The embedded problem spec was rejected by
+    /// [`msropm_problems::ProblemSpec::validate`] (over caps, bad
+    /// palette, inconsistent instance, …).
+    Problem(String),
 }
 
 impl fmt::Display for ProtoError {
@@ -196,6 +213,7 @@ impl fmt::Display for ProtoError {
             ProtoError::BadTag(t) => write!(f, "unknown frame type 0x{t:02X}"),
             ProtoError::BadValue(what) => write!(f, "invalid field: {what}"),
             ProtoError::Graph(e) => write!(f, "invalid graph: {e}"),
+            ProtoError::Problem(e) => write!(f, "invalid problem spec: {e}"),
         }
     }
 }
@@ -226,6 +244,25 @@ pub enum Request {
         /// means no deadline. Enforced server-side at worker pickup and
         /// at every stage boundary — an expired job answers with a
         /// `0x91` frame carrying [`ErrorCode::DeadlineExceeded`].
+        deadline_ms: u64,
+    },
+    /// Submit one typed problem instance: the server compiles the spec
+    /// onto the machine (`msropm_problems::ProblemSpec::compile`), runs
+    /// `replicas` uniform lanes, and streams back a decoded
+    /// [`Response::ProblemReport`] instead of a raw coloring report.
+    SubmitProblem {
+        /// Quota-accounting identity of the submitter.
+        tenant: String,
+        /// The typed problem instance.
+        spec: ProblemSpec,
+        /// Base operating point (`num_colors` is overridden per class
+        /// at compile time).
+        config: MsropmConfig,
+        /// Number of uniform replica lanes to run.
+        replicas: u32,
+        /// Job seed (per-lane seeds derive from it).
+        seed: u64,
+        /// Milliseconds from admission to report; `0` means none.
         deadline_ms: u64,
     },
     /// Query one job's [`JobState`].
@@ -376,6 +413,31 @@ impl WireReport {
     }
 }
 
+/// The over-the-wire result of a `submit problem` job: the decoded
+/// [`msropm_problems::ProblemReport`] (typed domain solutions, ranked by
+/// domain objective) plus the job id and server-side timing. Like
+/// [`WireReport`], everything carried is deterministic — objectives
+/// travel as IEEE-754 bits — so any worker count, shard width or front
+/// end emits byte-identical frames for the same submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireProblemReport {
+    /// Server-assigned job id the report answers.
+    pub job_id: u64,
+    /// Time the job waited in the queue, microseconds.
+    pub queued_us: u64,
+    /// Service time (compile + solve + rank + decode), microseconds.
+    pub service_us: u64,
+    /// The decoded domain-level report.
+    pub report: ProblemReport,
+}
+
+impl WireProblemReport {
+    /// The best decoded lane (rank 0), if any.
+    pub fn best(&self) -> Option<&DecodedLane> {
+        self.report.best()
+    }
+}
+
 /// A server-to-client message.
 #[derive(Debug, Clone)]
 pub enum Response {
@@ -404,6 +466,9 @@ pub enum Response {
     StatsReply(WireStats),
     /// A completed job's report, streamed when ready.
     Report(WireReport),
+    /// A completed `submit problem` job's decoded report, streamed when
+    /// ready (in a [`Response::Report`]'s place).
+    ProblemReport(WireProblemReport),
     /// A job died without a report (panicking solve, expired deadline,
     /// dead worker) — streamed in a report's place, so every admitted
     /// job reaches the client as exactly one terminal frame (report or
@@ -710,6 +775,271 @@ fn get_lane(r: &mut ByteReader) -> Result<LaneConfig, ProtoError> {
     Ok(lane)
 }
 
+fn put_quadratic(w: &mut ByteWriter, n: usize, linear: &[f64], quad: &[(u32, u32, f64)]) {
+    w.u32(n as u32);
+    w.u32(linear.len() as u32);
+    for &x in linear {
+        w.f64(x);
+    }
+    w.u32(quad.len() as u32);
+    for &(i, j, v) in quad {
+        w.u32(i);
+        w.u32(j);
+        w.f64(v);
+    }
+}
+
+type Quadratic = (usize, Vec<f64>, Vec<(u32, u32, f64)>);
+
+fn get_quadratic(r: &mut ByteReader) -> Result<Quadratic, ProtoError> {
+    let n = r.u32()? as usize;
+    let num_linear = r.u32()? as usize;
+    // Guard every count against the remaining payload before reserving
+    // (same discipline as `get_graph`).
+    if r.remaining() < num_linear.saturating_mul(8) {
+        return Err(ProtoError::Truncated);
+    }
+    let mut linear = Vec::with_capacity(num_linear);
+    for _ in 0..num_linear {
+        linear.push(r.f64()?);
+    }
+    let num_quad = r.u32()? as usize;
+    if num_quad > msropm_problems::MAX_COUPLINGS {
+        return Err(ProtoError::BadValue("coupling count over cap"));
+    }
+    if r.remaining() < num_quad.saturating_mul(16) {
+        return Err(ProtoError::Truncated);
+    }
+    let mut quad = Vec::with_capacity(num_quad);
+    for _ in 0..num_quad {
+        let i = r.u32()?;
+        let j = r.u32()?;
+        let v = r.f64()?;
+        quad.push((i, j, v));
+    }
+    Ok((n, linear, quad))
+}
+
+fn put_spec(w: &mut ByteWriter, spec: &ProblemSpec) {
+    w.u8(spec.class().tag());
+    match spec {
+        ProblemSpec::Coloring { graph, colors } => {
+            put_graph(w, graph);
+            w.u16(*colors);
+        }
+        ProblemSpec::MaxKCut { graph, k } => {
+            put_graph(w, graph);
+            w.u16(*k);
+        }
+        ProblemSpec::MaxCut { graph }
+        | ProblemSpec::Mis { graph }
+        | ProblemSpec::VertexCover { graph } => put_graph(w, graph),
+        ProblemSpec::NumberPartition { weights } => {
+            w.u32(weights.len() as u32);
+            for &weight in weights {
+                w.u64(weight);
+            }
+        }
+        ProblemSpec::CnfSat { cnf } => {
+            w.u32(cnf.num_vars() as u32);
+            w.u32(cnf.clauses().len() as u32);
+            for clause in cnf.clauses() {
+                w.u32(clause.len() as u32);
+                for lit in clause {
+                    w.u32(lit.code() as u32);
+                }
+            }
+        }
+        ProblemSpec::Qubo(q) => put_quadratic(w, q.n, &q.linear, &q.quadratic),
+        ProblemSpec::Ising(ising) => put_quadratic(w, ising.n, &ising.h, &ising.j),
+    }
+}
+
+/// Decodes a problem spec. Only *structural* caps are enforced here
+/// (allocation guards); domain validation is the server's compile step,
+/// which answers [`ErrorCode::UnsupportedProblem`] without dropping the
+/// connection.
+fn get_spec(r: &mut ByteReader) -> Result<ProblemSpec, ProtoError> {
+    let class = ProblemClass::from_tag(r.u8()?).ok_or(ProtoError::BadValue("problem class tag"))?;
+    Ok(match class {
+        ProblemClass::Coloring => {
+            let graph = get_graph(r)?;
+            let colors = r.u16()?;
+            ProblemSpec::Coloring { graph, colors }
+        }
+        ProblemClass::MaxKCut => {
+            let graph = get_graph(r)?;
+            let k = r.u16()?;
+            ProblemSpec::MaxKCut { graph, k }
+        }
+        ProblemClass::MaxCut => ProblemSpec::MaxCut {
+            graph: get_graph(r)?,
+        },
+        ProblemClass::Mis => ProblemSpec::Mis {
+            graph: get_graph(r)?,
+        },
+        ProblemClass::VertexCover => ProblemSpec::VertexCover {
+            graph: get_graph(r)?,
+        },
+        ProblemClass::NumberPartition => {
+            let n = r.u32()? as usize;
+            if r.remaining() < n.saturating_mul(8) {
+                return Err(ProtoError::Truncated);
+            }
+            let mut weights = Vec::with_capacity(n);
+            for _ in 0..n {
+                weights.push(r.u64()?);
+            }
+            ProblemSpec::NumberPartition { weights }
+        }
+        ProblemClass::CnfSat => {
+            let num_vars = r.u32()? as usize;
+            if num_vars > msropm_problems::MAX_VARIABLES {
+                return Err(ProtoError::BadValue("CNF variable count over cap"));
+            }
+            let num_clauses = r.u32()? as usize;
+            if num_clauses > msropm_problems::MAX_CNF_CLAUSES {
+                return Err(ProtoError::BadValue("CNF clause count over cap"));
+            }
+            // Each clause is at least its 4-byte length field.
+            if r.remaining() < num_clauses.saturating_mul(4) {
+                return Err(ProtoError::Truncated);
+            }
+            let mut cnf = Cnf::new(num_vars);
+            let mut total_lits = 0usize;
+            for _ in 0..num_clauses {
+                let len = r.u32()? as usize;
+                total_lits = total_lits.saturating_add(len);
+                if total_lits > msropm_problems::MAX_CNF_LITERALS {
+                    return Err(ProtoError::BadValue("CNF literal count over cap"));
+                }
+                if r.remaining() < len.saturating_mul(4) {
+                    return Err(ProtoError::Truncated);
+                }
+                let mut clause = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let code = r.u32()? as usize;
+                    // `add_clause` grows `num_vars` to fit any literal;
+                    // reject out-of-range codes instead of letting a
+                    // hostile literal inflate the variable space.
+                    if code / 2 >= num_vars.max(1) {
+                        return Err(ProtoError::BadValue("CNF literal out of range"));
+                    }
+                    clause.push(Lit::from_code(code));
+                }
+                cnf.add_clause(clause);
+            }
+            ProblemSpec::CnfSat { cnf }
+        }
+        ProblemClass::Qubo => {
+            let (n, linear, quadratic) = get_quadratic(r)?;
+            ProblemSpec::Qubo(Qubo {
+                n,
+                linear,
+                quadratic,
+            })
+        }
+        ProblemClass::Ising => {
+            let (n, h, j) = get_quadratic(r)?;
+            ProblemSpec::Ising(Ising { n, h, j })
+        }
+    })
+}
+
+// Decoded-solution payload tags (one per `DecodedSolution` variant).
+const SOL_COLORING: u8 = 1;
+const SOL_CUT_SIDES: u8 = 2;
+const SOL_SUBSET: u8 = 3;
+const SOL_PARTITION: u8 = 4;
+const SOL_ASSIGNMENT: u8 = 5;
+const SOL_SPINS: u8 = 6;
+
+fn put_bools(w: &mut ByteWriter, bits: &[bool]) {
+    w.u32(bits.len() as u32);
+    for &b in bits {
+        w.bool(b);
+    }
+}
+
+fn get_bools(r: &mut ByteReader) -> Result<Vec<bool>, ProtoError> {
+    let n = r.u32()? as usize;
+    if r.remaining() < n {
+        return Err(ProtoError::Truncated);
+    }
+    let mut bits = Vec::with_capacity(n);
+    for _ in 0..n {
+        bits.push(r.bool()?);
+    }
+    Ok(bits)
+}
+
+fn put_solution(w: &mut ByteWriter, s: &DecodedSolution) {
+    match s {
+        DecodedSolution::Coloring(colors) => {
+            w.u8(SOL_COLORING);
+            w.u32(colors.len() as u32);
+            for &c in colors {
+                w.u16(c);
+            }
+        }
+        DecodedSolution::CutSides(sides) => {
+            w.u8(SOL_CUT_SIDES);
+            put_bools(w, sides);
+        }
+        DecodedSolution::Subset(members) => {
+            w.u8(SOL_SUBSET);
+            w.u32(members.len() as u32);
+            for &v in members {
+                w.u32(v);
+            }
+        }
+        DecodedSolution::Partition(sides) => {
+            w.u8(SOL_PARTITION);
+            put_bools(w, sides);
+        }
+        DecodedSolution::Assignment(values) => {
+            w.u8(SOL_ASSIGNMENT);
+            put_bools(w, values);
+        }
+        DecodedSolution::Spins(spins) => {
+            w.u8(SOL_SPINS);
+            put_bools(w, spins);
+        }
+    }
+}
+
+fn get_solution(r: &mut ByteReader) -> Result<DecodedSolution, ProtoError> {
+    match r.u8()? {
+        SOL_COLORING => {
+            let n = r.u32()? as usize;
+            if r.remaining() < n.saturating_mul(2) {
+                return Err(ProtoError::Truncated);
+            }
+            let mut colors = Vec::with_capacity(n);
+            for _ in 0..n {
+                colors.push(r.u16()?);
+            }
+            Ok(DecodedSolution::Coloring(colors))
+        }
+        SOL_CUT_SIDES => Ok(DecodedSolution::CutSides(get_bools(r)?)),
+        SOL_SUBSET => {
+            let n = r.u32()? as usize;
+            if r.remaining() < n.saturating_mul(4) {
+                return Err(ProtoError::Truncated);
+            }
+            let mut members = Vec::with_capacity(n);
+            for _ in 0..n {
+                members.push(r.u32()?);
+            }
+            Ok(DecodedSolution::Subset(members))
+        }
+        SOL_PARTITION => Ok(DecodedSolution::Partition(get_bools(r)?)),
+        SOL_ASSIGNMENT => Ok(DecodedSolution::Assignment(get_bools(r)?)),
+        SOL_SPINS => Ok(DecodedSolution::Spins(get_bools(r)?)),
+        _ => Err(ProtoError::BadValue("decoded solution tag")),
+    }
+}
+
 fn put_state(w: &mut ByteWriter, s: JobState) {
     w.u8(s as u8);
 }
@@ -740,6 +1070,23 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 put_lane(&mut w, lane);
             }
             w.u64(job.seed);
+            w.u64(*deadline_ms);
+            w.0
+        }
+        Request::SubmitProblem {
+            tenant,
+            spec,
+            config,
+            replicas,
+            seed,
+            deadline_ms,
+        } => {
+            let mut w = ByteWriter::new(T_SUBMIT_PROBLEM);
+            w.str16(tenant);
+            put_spec(&mut w, spec);
+            put_config(&mut w, config);
+            w.u32(*replicas);
+            w.u64(*seed);
             w.u64(*deadline_ms);
             w.0
         }
@@ -812,6 +1159,28 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
                 deadline_ms,
             }
         }
+        T_SUBMIT_PROBLEM => {
+            let tenant = get_tenant(&mut r)?;
+            let spec = get_spec(&mut r)?;
+            let config = get_config(&mut r)?;
+            let replicas = r.u32()?;
+            if replicas == 0 {
+                return Err(ProtoError::BadValue("problem with zero replicas"));
+            }
+            if replicas as usize > MAX_JOB_LANES {
+                return Err(ProtoError::BadValue("problem replica count over cap"));
+            }
+            let seed = r.u64()?;
+            let deadline_ms = r.u64()?;
+            Request::SubmitProblem {
+                tenant,
+                spec,
+                config,
+                replicas,
+                seed,
+                deadline_ms,
+            }
+        }
         T_STATUS => Request::Status {
             tenant: get_tenant(&mut r)?,
             job_id: r.u64()?,
@@ -879,6 +1248,25 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 for &c in &lane.coloring {
                     w.u16(c);
                 }
+            }
+            w.0
+        }
+        Response::ProblemReport(rep) => {
+            let mut w = ByteWriter::new(T_PROBLEM_REPORT);
+            w.u64(rep.job_id);
+            w.u64(rep.queued_us);
+            w.u64(rep.service_us);
+            w.u8(rep.report.class.tag());
+            w.u64(rep.report.problem_fingerprint);
+            w.u64(rep.report.graph_hash);
+            w.u64(rep.report.seed);
+            w.u32(rep.report.ranked.len() as u32);
+            for lane in &rep.report.ranked {
+                w.u32(lane.lane);
+                w.u64(lane.seed);
+                w.f64(lane.objective);
+                w.bool(lane.feasible);
+                put_solution(&mut w, &lane.solution);
             }
             w.0
         }
@@ -978,6 +1366,51 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
                 queued_us,
                 service_us,
                 ranked,
+            })
+        }
+        T_PROBLEM_REPORT => {
+            let job_id = r.u64()?;
+            let queued_us = r.u64()?;
+            let service_us = r.u64()?;
+            let class =
+                ProblemClass::from_tag(r.u8()?).ok_or(ProtoError::BadValue("problem class tag"))?;
+            let problem_fingerprint = r.u64()?;
+            let graph_hash = r.u64()?;
+            let seed = r.u64()?;
+            let num_lanes = r.u32()? as usize;
+            if num_lanes > MAX_JOB_LANES {
+                return Err(ProtoError::BadValue("report lane count over cap"));
+            }
+            // Each decoded lane is at least 26 bytes of fixed fields.
+            if r.remaining() < num_lanes.saturating_mul(26) {
+                return Err(ProtoError::Truncated);
+            }
+            let mut ranked = Vec::with_capacity(num_lanes);
+            for _ in 0..num_lanes {
+                let lane = r.u32()?;
+                let lane_seed = r.u64()?;
+                let objective = r.f64()?;
+                let feasible = r.bool()?;
+                let solution = get_solution(&mut r)?;
+                ranked.push(DecodedLane {
+                    lane,
+                    seed: lane_seed,
+                    objective,
+                    feasible,
+                    solution,
+                });
+            }
+            Response::ProblemReport(WireProblemReport {
+                job_id,
+                queued_us,
+                service_us,
+                report: ProblemReport {
+                    class,
+                    problem_fingerprint,
+                    graph_hash,
+                    seed,
+                    ranked,
+                },
             })
         }
         T_JOB_ERROR => {
@@ -1141,7 +1574,7 @@ pub fn is_clean_close(err: &ProtoError) -> bool {
 /// ends use this to keep the reports-streamed counter honest now that
 /// failed jobs also stream a terminal frame.
 pub fn is_report_frame(payload: &[u8]) -> bool {
-    payload.first() == Some(&T_REPORT)
+    matches!(payload.first(), Some(&T_REPORT | &T_PROBLEM_REPORT))
 }
 
 /// Rebuilds a [`msropm_graph::Coloring`] from a wire lane (for clients

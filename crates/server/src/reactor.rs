@@ -50,7 +50,9 @@
 use crate::proto::{
     self, Decoder, ErrorCode, FrontendKind, ProtoError, Request, Response, WireStats,
 };
-use crate::session::{DeliverFn, ParkedSubmit, SessionCore, SubmitDisposition, WireConfig};
+use crate::session::{
+    DeliverFn, ParkedSubmit, ProblemSubmission, SessionCore, SubmitDisposition, WireConfig,
+};
 use crate::{faultinject, lock_unpoisoned};
 use polling::{BackendKind, Event, Poller};
 use std::io::{Read as _, Write as _};
@@ -600,6 +602,24 @@ impl EventLoop {
                 job,
                 deadline_ms,
             }) => self.submit(idx, tenant, graph, job, deadline_ms),
+            Ok(Request::SubmitProblem {
+                tenant,
+                spec,
+                config,
+                replicas,
+                seed,
+                deadline_ms,
+            }) => self.submit_problem(
+                idx,
+                ProblemSubmission {
+                    tenant,
+                    spec,
+                    config,
+                    replicas,
+                    seed,
+                    deadline_ms,
+                },
+            ),
             Ok(req) => {
                 let resp = self
                     .core
@@ -650,10 +670,40 @@ impl EventLoop {
             // the loop *after* the completion is visible in the inbox.
             drop(guard);
         });
-        match self
+        let disposition = self
             .core
-            .submit_nonblocking(tenant, graph, job, deadline_ms, deliver)
-        {
+            .submit_nonblocking(tenant, graph, job, deadline_ms, deliver);
+        self.finish_submit(idx, disposition);
+    }
+
+    /// Nonblocking problem submit: the spec is compiled at admission
+    /// (an unsupported spec answers with a request-scoped error) and
+    /// its report decoded at completion; queue handling is identical to
+    /// a plain [`Self::submit`].
+    fn submit_problem(&mut self, idx: usize, sub: ProblemSubmission) {
+        let Some(conn) = self.conn_mut(idx) else {
+            return;
+        };
+        let generation = conn.generation;
+        let guard = PendingGuard::new(Arc::clone(&self.shared));
+        let shared = Arc::clone(&self.shared);
+        let deliver: DeliverFn = Box::new(move |_core, _job_id, frame| {
+            lock_unpoisoned(&shared.inbox).completions.push(Completion {
+                conn: idx,
+                generation,
+                frame,
+            });
+            drop(guard);
+        });
+        let disposition = self.core.submit_problem_nonblocking(sub, deliver);
+        self.finish_submit(idx, disposition);
+    }
+
+    /// Applies a submit disposition: count an accepted job against the
+    /// connection, park a queue-full admission for retry, and queue the
+    /// reply frame either way.
+    fn finish_submit(&mut self, idx: usize, disposition: SubmitDisposition) {
+        match disposition {
             SubmitDisposition::Reply(resp) => {
                 if matches!(resp, Response::Submitted { .. }) {
                     if let Some(conn) = self.conn_mut(idx) {

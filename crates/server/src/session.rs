@@ -33,13 +33,16 @@
 //! at which point every completion hook has run and every report frame
 //! has been handed to its transport.
 
-use crate::proto::{self, ErrorCode, FrontendKind, Request, Response, WireReport, WireStats};
+use crate::proto::{
+    self, ErrorCode, FrontendKind, Request, Response, WireProblemReport, WireReport, WireStats,
+};
 use crate::{
     lock_unpoisoned, CompletionHook, JobCompletion, JobServer, JobState, JobStatusCell, PendingJob,
     ServerConfig, TrySubmitError,
 };
-use msropm_core::{BatchJob, CancelToken};
+use msropm_core::{BatchJob, CancelToken, MsropmConfig};
 use msropm_graph::Graph;
+use msropm_problems::{Decoder, ProblemSpec};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, Weak};
@@ -126,6 +129,76 @@ pub struct ParkedSubmit {
     pending: PendingJob,
     /// The job id assigned at admission.
     pub job_id: u64,
+}
+
+/// A decoded `submit problem` request, ready for
+/// [`SessionCore::submit_problem_blocking`] /
+/// [`SessionCore::submit_problem_nonblocking`] (the fields of
+/// [`Request::SubmitProblem`], minus the transport's deliver callback).
+pub struct ProblemSubmission {
+    /// Quota-accounting identity of the submitter.
+    pub tenant: String,
+    /// The typed problem instance.
+    pub spec: ProblemSpec,
+    /// Base operating point (`num_colors` overridden per class).
+    pub config: MsropmConfig,
+    /// Number of uniform replica lanes.
+    pub replicas: u32,
+    /// Job seed.
+    pub seed: u64,
+    /// Milliseconds from admission to report; `0` means none.
+    pub deadline_ms: u64,
+}
+
+/// One admission-ready job: the encoding graph, the batch job, and —
+/// for compiled problems — the fingerprint scoping its cache slot plus
+/// the decoder that turns its report into a typed
+/// [`Response::ProblemReport`].
+struct Admission {
+    tenant: String,
+    graph: Graph,
+    job: BatchJob,
+    problem_fingerprint: u64,
+    decoder: Option<Decoder>,
+    deadline_ms: u64,
+}
+
+impl Admission {
+    fn plain(tenant: String, graph: Graph, job: BatchJob, deadline_ms: u64) -> Admission {
+        Admission {
+            tenant,
+            graph,
+            job,
+            problem_fingerprint: 0,
+            decoder: None,
+            deadline_ms,
+        }
+    }
+
+    /// Compiles a problem submission onto the machine. A spec the
+    /// compiler rejects answers with [`ErrorCode::UnsupportedProblem`]
+    /// (request-scoped: the connection stays usable).
+    fn problem(sub: ProblemSubmission) -> Result<Admission, Response> {
+        let compiled = sub
+            .spec
+            .compile(&sub.config, sub.replicas as usize)
+            .map_err(|e| Response::Error {
+                code: ErrorCode::UnsupportedProblem,
+                message: e.to_string(),
+            })?;
+        Ok(Admission {
+            tenant: sub.tenant,
+            graph: compiled.graph,
+            job: BatchJob {
+                config: compiled.config,
+                lanes: compiled.lanes,
+                seed: sub.seed,
+            },
+            problem_fingerprint: compiled.fingerprint,
+            decoder: Some(compiled.decoder),
+            deadline_ms: sub.deadline_ms,
+        })
+    }
 }
 
 /// The shared session state; see the module docs.
@@ -234,7 +307,7 @@ impl SessionCore {
     /// [`SessionCore::submit_nonblocking`].
     pub fn handle_control(&self, req: &Request) -> Option<Response> {
         match req {
-            Request::Submit { .. } => None,
+            Request::Submit { .. } | Request::SubmitProblem { .. } => None,
             Request::Status { tenant, job_id } => {
                 Some(
                     self.job_entry_reply(tenant, *job_id, |entry, job_id| Response::StatusReply {
@@ -291,7 +364,27 @@ impl SessionCore {
         deadline_ms: u64,
         deliver: DeliverFn,
     ) -> Response {
-        let (job_id, pending) = match self.admit(tenant, graph, job, deadline_ms, deliver) {
+        self.enqueue_blocking(Admission::plain(tenant, graph, job, deadline_ms), deliver)
+    }
+
+    /// [`SessionCore::submit_blocking`] for typed problem submissions:
+    /// compiles the spec (an unsupported one answers
+    /// [`ErrorCode::UnsupportedProblem`] without touching quotas), then
+    /// admits the encoded job; its terminal frame is a decoded
+    /// [`Response::ProblemReport`].
+    pub fn submit_problem_blocking(
+        self: &Arc<Self>,
+        sub: ProblemSubmission,
+        deliver: DeliverFn,
+    ) -> Response {
+        match Admission::problem(sub) {
+            Ok(admission) => self.enqueue_blocking(admission, deliver),
+            Err(reject) => reject,
+        }
+    }
+
+    fn enqueue_blocking(self: &Arc<Self>, admission: Admission, deliver: DeliverFn) -> Response {
+        let (job_id, pending) = match self.admit(admission, deliver) {
             Ok(admitted) => admitted,
             Err(reject) => return reject,
         };
@@ -322,7 +415,28 @@ impl SessionCore {
         deadline_ms: u64,
         deliver: DeliverFn,
     ) -> SubmitDisposition {
-        let (job_id, pending) = match self.admit(tenant, graph, job, deadline_ms, deliver) {
+        self.enqueue_nonblocking(Admission::plain(tenant, graph, job, deadline_ms), deliver)
+    }
+
+    /// [`SessionCore::submit_nonblocking`] for typed problem
+    /// submissions; see [`SessionCore::submit_problem_blocking`].
+    pub fn submit_problem_nonblocking(
+        self: &Arc<Self>,
+        sub: ProblemSubmission,
+        deliver: DeliverFn,
+    ) -> SubmitDisposition {
+        match Admission::problem(sub) {
+            Ok(admission) => self.enqueue_nonblocking(admission, deliver),
+            Err(reject) => SubmitDisposition::Reply(reject),
+        }
+    }
+
+    fn enqueue_nonblocking(
+        self: &Arc<Self>,
+        admission: Admission,
+        deliver: DeliverFn,
+    ) -> SubmitDisposition {
+        let (job_id, pending) = match self.admit(admission, deliver) {
             Ok(admitted) => admitted,
             Err(reject) => return SubmitDisposition::Reply(reject),
         };
@@ -364,12 +478,17 @@ impl SessionCore {
     /// admission — queue wait counts against it.
     fn admit(
         self: &Arc<Self>,
-        tenant: String,
-        graph: Graph,
-        job: BatchJob,
-        deadline_ms: u64,
+        admission: Admission,
         deliver: DeliverFn,
     ) -> Result<(u64, PendingJob), Response> {
+        let Admission {
+            tenant,
+            graph,
+            job,
+            problem_fingerprint,
+            decoder,
+            deadline_ms,
+        } = admission;
         if self.is_draining() {
             return Err(Response::Error {
                 code: ErrorCode::Draining,
@@ -422,10 +541,11 @@ impl SessionCore {
             );
             job_id
         };
-        let hook = self.completion_hook(job_id, deliver);
+        let hook = self.completion_hook(job_id, decoder, deliver);
         Ok((
             job_id,
-            PendingJob::new(Arc::new(graph), job, cancel, status, deadline, hook),
+            PendingJob::new(Arc::new(graph), job, cancel, status, deadline, hook)
+                .with_problem_fingerprint(problem_fingerprint),
         ))
     }
 
@@ -441,7 +561,12 @@ impl SessionCore {
     /// self-reference — hooks sit inside queued envelopes, and a strong
     /// one would cycle `SessionCore → JobServer → queue → hook →
     /// SessionCore`.
-    fn completion_hook(self: &Arc<Self>, job_id: u64, deliver: DeliverFn) -> CompletionHook {
+    fn completion_hook(
+        self: &Arc<Self>,
+        job_id: u64,
+        decoder: Option<Decoder>,
+        deliver: DeliverFn,
+    ) -> CompletionHook {
         let weak: Weak<SessionCore> = Arc::downgrade(self);
         CompletionHook::new(move |completion| {
             let Some(core) = weak.upgrade() else {
@@ -457,8 +582,23 @@ impl SessionCore {
             match completion {
                 JobCompletion::Done(outcome) => {
                     core.finalize(job_id);
-                    let report = WireReport::from_outcome(job_id, &outcome);
-                    let frame = proto::encode_response(&Response::Report(report));
+                    // A problem submission decodes the ranked phase
+                    // readout back into its typed domain solution; a
+                    // plain graph submission streams the raw report.
+                    let frame = match &decoder {
+                        Some(decoder) => {
+                            proto::encode_response(&Response::ProblemReport(WireProblemReport {
+                                job_id,
+                                queued_us: outcome.timing.queued.as_micros() as u64,
+                                service_us: outcome.timing.service.as_micros() as u64,
+                                report: decoder.decode_report(&outcome.report),
+                            }))
+                        }
+                        None => {
+                            let report = WireReport::from_outcome(job_id, &outcome);
+                            proto::encode_response(&Response::Report(report))
+                        }
+                    };
                     deliver(&core, job_id, Some(frame));
                 }
                 JobCompletion::Cancelled => {

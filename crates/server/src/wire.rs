@@ -33,7 +33,7 @@
 //! down.
 
 use crate::proto::{self, ErrorCode, FrontendKind, ProtoError, Request, Response, WireStats};
-use crate::session::{DeliverFn, SessionCore};
+use crate::session::{DeliverFn, ProblemSubmission, SessionCore};
 use crate::{faultinject, lock_unpoisoned};
 use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -291,6 +291,36 @@ fn connection_loop(stream: TcpStream, core: &Arc<SessionCore>) {
                     }
                 });
                 let resp = core.submit_blocking(tenant, graph, job, deadline_ms, deliver);
+                send(&tx, &resp);
+            }
+            Ok(Request::SubmitProblem {
+                tenant,
+                spec,
+                config,
+                replicas,
+                seed,
+                deadline_ms,
+            }) => {
+                let tx2 = tx.clone();
+                let deliver: DeliverFn = Box::new(move |core, _job_id, frame| {
+                    if let Some(frame) = frame {
+                        let is_report = proto::is_report_frame(&frame);
+                        if tx2.send(frame).is_ok() && is_report {
+                            core.note_report_streamed();
+                        }
+                    }
+                });
+                let resp = core.submit_problem_blocking(
+                    ProblemSubmission {
+                        tenant,
+                        spec,
+                        config,
+                        replicas,
+                        seed,
+                        deadline_ms,
+                    },
+                    deliver,
+                );
                 send(&tx, &resp);
             }
             Ok(req) => {

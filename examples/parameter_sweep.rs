@@ -17,7 +17,7 @@
 //! cargo run --release --example parameter_sweep [side]
 //! ```
 
-use msropm::core::{Msropm, MsropmConfig, PortfolioRunner, SweepParam, SweepSpec};
+use msropm::core::{Msropm, MsropmConfig, PortfolioRunner, SolveOptions, SweepParam, SweepSpec};
 use msropm::graph::generators::kings_graph_square;
 
 fn main() {
@@ -44,7 +44,9 @@ fn main() {
 
     // --- 1. Plain heterogeneous sweep: one batch, 16 operating points.
     let machine = Msropm::new(&g, base);
-    let solutions = machine.solve_batch_lanes(&lanes, &seeds, 4);
+    let solutions = machine
+        .solve_lanes(&lanes, &seeds, SolveOptions::new().threads(4))
+        .expect("no cancel token => never None");
     println!("independent sweep (accuracy per grid point):");
     println!("         sigma=0.100 sigma=0.167 sigma=0.233 sigma=0.300");
     for row in 0..4 {

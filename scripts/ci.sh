@@ -76,6 +76,64 @@ stage_smoke() {
         --bin msropm_serve --bin solve_remote
     run_wire_smoke "threads" ""
     run_wire_smoke "reactor" "--idle 512"
+
+    # Problem-compiler smoke: one instance of every problem class
+    # through the `problem` CLI verb (SubmitProblem on the wire),
+    # covering the standard-format file ingestion paths too. (The
+    # `smoke` verb above already submits all nine classes in-process
+    # per front end; this exercises the user-facing CLI surface.)
+    run_problem_smoke
+}
+
+# Boots a threads-front-end server and submits one instance of every
+# problem class through `solve_remote problem`, using generator specs
+# for the graph classes and temp files for the text/JSON formats.
+run_problem_smoke() {
+    local port_file addr tmpdir
+    port_file=$(mktemp -t msropm_problem_smoke.XXXXXX)
+    tmpdir=$(mktemp -d -t msropm_problem_inputs.XXXXXX)
+    ./target/release/msropm_serve \
+        --addr 127.0.0.1:0 --frontend threads --workers 2 \
+        --shards auto --port-file "$port_file" &
+    wire_server_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$port_file" ]] && break
+        kill -0 "$wire_server_pid" 2>/dev/null || { echo "msropm_serve died" >&2; return 1; }
+        sleep 0.1
+    done
+    [[ -s "$port_file" ]] || { echo "msropm_serve never published its port" >&2; return 1; }
+    addr=$(<"$port_file")
+    echo "    problem smoke against $addr (every class via SubmitProblem)"
+
+    printf '3 1 4 1 5 9 2 6\n' > "$tmpdir/weights.txt"
+    printf 'p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n' > "$tmpdir/tiny.cnf"
+    printf '{"n": 4, "linear": [-1.0, 0.5, -0.5, 0.25], "quadratic": [[0, 1, 1.0], [1, 2, -1.0]]}\n' \
+        > "$tmpdir/tiny_qubo.json"
+    printf '{"n": 4, "h": [0.1, -0.2, 0.3, 0.0], "j": [[0, 1, 1.0], [1, 2, 1.0], [2, 3, -1.0]]}\n' \
+        > "$tmpdir/tiny_ising.json"
+
+    local class input
+    for spec in \
+        "coloring kings:4x4" \
+        "max-cut cycle:7" \
+        "max-k-cut kings:4x4" \
+        "mis cycle:9" \
+        "vertex-cover kings:3x3" \
+        "number-partition $tmpdir/weights.txt" \
+        "cnf-sat $tmpdir/tiny.cnf" \
+        "qubo $tmpdir/tiny_qubo.json" \
+        "ising $tmpdir/tiny_ising.json"
+    do
+        read -r class input <<< "$spec"
+        timeout --kill-after=10 60 \
+            ./target/release/solve_remote --addr "$addr" \
+            problem --class "$class" --input "$input" --replicas 2 --seed 7
+    done
+
+    kill "$wire_server_pid" 2>/dev/null || true
+    wait "$wire_server_pid" 2>/dev/null || true
+    wire_server_pid=""
+    rm -rf "$port_file" "$tmpdir"
 }
 
 # Boots msropm_serve with the given --frontend on an ephemeral port and
@@ -128,6 +186,12 @@ stage_perf() {
         cargo run --release -p msropm-bench --bin wire_bench -- \
         --out "$(mktemp -t bench_wire_ci.XXXXXX.json)" \
         --baseline BENCH_serve.json
+    # Solution-quality gate: deterministic problem-compiler accuracy
+    # vs the committed per-class baselines.
+    timeout --kill-after=10 600 \
+        cargo run --release -p msropm-bench --bin problems_bench -- \
+        --out "$(mktemp -t bench_problems_ci.XXXXXX.json)" \
+        --baseline BENCH_problems.json
 }
 
 # --- driver ----------------------------------------------------------

@@ -8,6 +8,9 @@
 #                              into the same file: threaded rows, the
 #                              wire_reactor_*/wire_mux_* front-end rows,
 #                              and the idle-connection-scaling row)
+#   BENCH_problems.json     <- problems_bench (per-class solution-quality
+#                              vs greedy baselines; deterministic, so an
+#                              exact accuracy gate rather than a timing one)
 #
 # Run this when a PR intentionally changes performance (or the gate in
 # crates/bench/src/baseline.rs reports a stale baseline) and commit the
@@ -29,6 +32,9 @@ cargo run --release -p msropm-bench --bin serve_bench
 echo "==> wire_bench -> BENCH_serve.json (socket rows merged in)"
 cargo run --release -p msropm-bench --bin wire_bench
 
+echo "==> problems_bench -> BENCH_problems.json (accuracy rows)"
+cargo run --release -p msropm-bench --bin problems_bench
+
 echo
 git --no-pager diff --stat -- 'BENCH_*.json' || true
-echo "Baselines refreshed. Review and commit BENCH_phase_step.json and BENCH_serve.json."
+echo "Baselines refreshed. Review and commit BENCH_phase_step.json, BENCH_serve.json and BENCH_problems.json."
