@@ -21,6 +21,12 @@
 //!   completely idle connections stay attached — the
 //!   idle-connection-scaling row (the threaded front end would burn
 //!   512 threads here; the reactor serves them with none);
+//! - `http_hot` / `http_mixed`: the hot/mixed shapes through the
+//!   HTTP/1.1 + JSON gateway front end — submits pipelined on one
+//!   keep-alive connection, reports collected by polling
+//!   `GET /v1/jobs/{id}` (the gateway has no streaming push, so the
+//!   poll is part of what the row measures). Sweep jobs can't travel
+//!   over `POST /v1/jobs`, so the mixed row rotates graphs only;
 //! - `wire_codec`: pure encode→decode round-trips of representative
 //!   submit/report frames (no socket) — the framing cost in isolation.
 //!
@@ -31,8 +37,9 @@
 //! latency measures the workload shape more than the code.
 //!
 //! Rows are **merged** into `BENCH_serve.json`: when the output file
-//! already exists and parses, its non-`wire*` rows (the in-process
-//! `serve_bench` rows) are preserved and the `wire*` rows replaced —
+//! already exists and parses, its non-`wire*`/`http*` rows (the
+//! in-process `serve_bench` rows) are preserved and this bench's rows
+//! replaced —
 //! so `scripts/refresh_baselines.sh` can regenerate the whole file with
 //! `serve_bench` followed by `wire_bench`. `--baseline PATH` gates the
 //! tracked columns against a committed baseline (>15% regression exits
@@ -41,20 +48,20 @@
 //! Run with: `cargo run --release -p msropm-bench --bin wire_bench`
 
 use msropm_bench::baseline;
+use msropm_client::http::HttpClient;
 use msropm_client::{Client, SubmitOptions};
 use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
 use msropm_graph::{generators, Graph};
+use msropm_problems::json::Json;
 use msropm_server::proto::{
-    decode_request, decode_response, encode_request, encode_response, Request, Response, WireLane,
-    WireReport,
+    decode_request, decode_response, encode_request, encode_response, FrontendKind, Request,
+    Response, WireLane, WireReport,
 };
-use msropm_server::reactor::{ReactorConfig, ReactorServer};
-use msropm_server::wire::{WireConfig, WireServer};
-use msropm_server::{Frontend, ServerConfig};
+use msropm_server::{Frontend, ServerConfig, ShardPolicy};
 use std::fmt::Write as _;
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Gated columns: server-side service time (1-worker rows) and the
 /// codec round-trips. Client-observed wall latency is recorded, not
@@ -143,8 +150,8 @@ impl Row {
 /// How one bench run drives the server.
 #[derive(Clone, Copy)]
 struct RunOpts {
-    /// Serve through the reactor front end instead of the threaded one.
-    reactor: bool,
+    /// Which front end serves the run.
+    frontend: FrontendKind,
     /// Write every submit before reading any reply (multiplexed client
     /// mode) instead of one blocking round-trip per submit.
     mux: bool,
@@ -154,58 +161,48 @@ struct RunOpts {
 
 impl RunOpts {
     const THREADS: RunOpts = RunOpts {
-        reactor: false,
+        frontend: FrontendKind::Threads,
         mux: false,
         idle_conns: 0,
     };
     const REACTOR: RunOpts = RunOpts {
-        reactor: true,
+        frontend: FrontendKind::Reactor,
         mux: false,
         idle_conns: 0,
     };
     const MUX: RunOpts = RunOpts {
-        reactor: true,
+        frontend: FrontendKind::Reactor,
         mux: true,
         idle_conns: 0,
     };
     const IDLE: RunOpts = RunOpts {
-        reactor: true,
+        frontend: FrontendKind::Reactor,
         mux: false,
         idle_conns: 256,
+    };
+    const HTTP: RunOpts = RunOpts {
+        frontend: FrontendKind::Http,
+        mux: false,
+        idle_conns: 0,
     };
 }
 
 /// Binds whichever front end the run options ask for on an ephemeral
-/// loopback port.
+/// loopback port, through the one server-boot API.
 fn bind_frontend(workers: usize, opts: RunOpts) -> Frontend {
-    let wire = WireConfig {
-        server: ServerConfig {
-            workers,
-            queue_capacity: 32,
-            cache_capacity: 16,
-            // The wire suite measures transport, not the solver: pin
-            // one shard so its rows stay comparable to old baselines.
-            shards: msropm_server::ShardPolicy::Fixed(1),
-        },
-        max_inflight_jobs: 512,
-        max_queued_lanes: 1 << 16,
-        max_connections: opts.idle_conns + 8,
-    };
-    if opts.reactor {
-        ReactorServer::bind(
-            "127.0.0.1:0",
-            ReactorConfig {
-                wire,
-                ..ReactorConfig::default()
-            },
-        )
-        .expect("bind reactor")
-        .into()
-    } else {
-        WireServer::bind("127.0.0.1:0", wire)
-            .expect("bind threads")
-            .into()
-    }
+    ServerConfig::builder()
+        .frontend(opts.frontend)
+        .workers(workers)
+        .queue_capacity(32)
+        .cache_capacity(16)
+        // The wire suite measures transport, not the solver: pin one
+        // shard so its rows stay comparable to old baselines.
+        .shards(ShardPolicy::Fixed(1))
+        .max_inflight_jobs(512)
+        .max_queued_lanes(1 << 16)
+        .max_connections(opts.idle_conns + 8)
+        .bind("127.0.0.1:0")
+        .expect("bind frontend")
 }
 
 /// Runs one workload against a fresh front end over loopback TCP.
@@ -285,11 +282,136 @@ fn run_workload(workload: Workload, workers: usize, label: String, opts: RunOpts
     }
 }
 
+/// A `POST /v1/jobs` body stream for the HTTP gateway rows: the same
+/// graph/lane shapes as the wire workloads, pre-rendered to JSON.
+struct HttpWorkload {
+    bodies: Vec<String>,
+    lanes: usize,
+}
+
+fn graph_body(g: &Graph) -> String {
+    let mut edges = String::new();
+    for (i, (_, u, v)) in g.edges().enumerate() {
+        if i > 0 {
+            edges.push(',');
+        }
+        let _ = write!(edges, "[{},{}]", u.index(), v.index());
+    }
+    format!("{{\"nodes\":{},\"edges\":[{edges}]}}", g.num_nodes())
+}
+
+fn http_job_body(graph: &str, replicas: usize, seed: u64) -> String {
+    format!(
+        "{{\"tenant\":\"bench\",\"graph\":{graph},\"replicas\":{replicas},\
+         \"seed\":{seed},\"config\":{{\"dt\":0.02}}}}"
+    )
+}
+
+/// The [`wire_hot`] shape over JSON: repeat topology, uniform lanes.
+fn http_hot(n: usize) -> HttpWorkload {
+    let board = graph_body(&generators::kings_graph(7, 7));
+    HttpWorkload {
+        bodies: (0..n).map(|i| http_job_body(&board, 8, i as u64)).collect(),
+        lanes: n * 8,
+    }
+}
+
+/// The [`wire_mixed`] graph rotation over JSON. Sweep jobs have no
+/// `POST /v1/jobs` encoding, so every job is uniform.
+fn http_mixed(n: usize) -> HttpWorkload {
+    let pool: Vec<String> = [
+        generators::kings_graph(7, 7),
+        generators::kings_graph(5, 5),
+        generators::cycle_graph(48),
+        generators::grid_graph(6, 6),
+        generators::triangular_lattice(5, 5),
+    ]
+    .iter()
+    .map(graph_body)
+    .collect();
+    HttpWorkload {
+        bodies: (0..n)
+            .map(|i| http_job_body(&pool[i % pool.len()], 8, i as u64))
+            .collect(),
+        lanes: n * 8,
+    }
+}
+
+fn jfield<'a>(value: &'a Json, key: &str) -> &'a Json {
+    match value {
+        Json::Obj(fields) => fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing field {key:?}")),
+        _ => panic!("expected a JSON object looking up {key:?}"),
+    }
+}
+
+/// Runs one workload through the HTTP gateway: all submits pipelined on
+/// one keep-alive connection, then each job polled to its report in
+/// submit order. The gateway streams nothing, so the polling round
+/// trips are deliberately inside the measured latency — that *is* the
+/// transport being benchmarked.
+fn run_http_workload(workload: HttpWorkload, workers: usize, label: String) -> Row {
+    let server = bind_frontend(workers, RunOpts::HTTP);
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect http");
+    let n_jobs = workload.bodies.len();
+    let lanes = workload.lanes;
+    let t0 = Instant::now();
+    let submitted: Vec<(u64, Instant)> = workload
+        .bodies
+        .iter()
+        .map(|body| {
+            let (status, reply) = client
+                .request_json("POST", "/v1/jobs", Some(body))
+                .expect("http submit");
+            assert_eq!(status, 202, "submit accepted: {reply:?}");
+            let id = jfield(&reply, "job_id").as_u64().expect("job_id");
+            (id, Instant::now())
+        })
+        .collect();
+    let mut latencies_us = Vec::with_capacity(n_jobs);
+    let mut service_us_total = 0.0f64;
+    for (id, at) in &submitted {
+        loop {
+            let (status, reply) = client
+                .request_json("GET", &format!("/v1/jobs/{id}?tenant=bench"), None)
+                .expect("http status");
+            assert_eq!(status, 200, "status answered: {reply:?}");
+            match jfield(&reply, "state").as_str().expect("state string") {
+                "done" => {
+                    let report = jfield(&reply, "report");
+                    service_us_total +=
+                        jfield(report, "service_us").as_u64().expect("service_us") as f64;
+                    latencies_us.push(at.elapsed().as_secs_f64() * 1e6);
+                    break;
+                }
+                "queued" | "running" => std::thread::sleep(Duration::from_micros(200)),
+                other => panic!("job {id} reached unexpected state {other:?}"),
+            }
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    server.shutdown();
+    latencies_us.sort_by(f64::total_cmp);
+    Row {
+        workload: label,
+        jobs: n_jobs,
+        lanes,
+        idle_conns: 0,
+        wall_s,
+        latencies_us,
+        service_us_total,
+        gate_row: workers == 1,
+    }
+}
+
 /// Slices the flat `{...}` row objects out of a bench JSON document's
 /// `"results"` array, returning every row whose label does **not**
-/// start with `wire` exactly as it appears in the file (rows are flat —
-/// no nested braces — which `baseline::parse_rows` has already
-/// validated by the time this runs).
+/// start with `wire` or `http` (this bench's rows) exactly as it
+/// appears in the file (rows are flat — no nested braces — which
+/// `baseline::parse_rows` has already validated by the time this runs).
 fn non_wire_row_texts(doc: &str) -> Vec<String> {
     let Some(start) = doc.find("\"results\"") else {
         return Vec::new();
@@ -304,7 +426,7 @@ fn non_wire_row_texts(doc: &str) -> Vec<String> {
             break;
         };
         let row = &body[obj_start..=obj_start + obj_len];
-        if !row.contains("\"workload\": \"wire") {
+        if !row.contains("\"workload\": \"wire") && !row.contains("\"workload\": \"http") {
             kept.push(row.to_string());
         }
         body = &body[obj_start + obj_len + 1..];
@@ -459,6 +581,19 @@ fn main() {
             RunOpts::IDLE,
         ),
     ];
+    // The HTTP gateway rows: same shapes, JSON transport, polled
+    // completion. Best-of-2 like every other row.
+    let best_http = |make: &dyn Fn() -> HttpWorkload, label: &str| -> Row {
+        let a = run_http_workload(make(), 1, label.to_string());
+        let b = run_http_workload(make(), 1, label.to_string());
+        if a.service_us_total <= b.service_us_total {
+            a
+        } else {
+            b
+        }
+    };
+    rows.push(best_http(&|| http_hot(hot_jobs), "http_hot"));
+    rows.push(best_http(&|| http_mixed(mixed_jobs), "http_mixed"));
     if workers > 1 {
         rows.push(best(
             &|| wire_hot(hot_jobs),

@@ -39,6 +39,7 @@ use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
 use msropm_graph::{generators, graph_hash, io as graph_io, Graph};
 use msropm_problems::{DecodedSolution, ProblemClass, ProblemSpec};
 use msropm_server::proto::{self, verify_lane, ErrorCode, Request, Response, WireProblemReport};
+use msropm_server::stats::Registry;
 use msropm_server::wire::{WireConfig, WireServer};
 use msropm_server::{JobState, ServerConfig};
 use std::time::Duration;
@@ -422,22 +423,14 @@ fn main() {
             let s = client
                 .stats()
                 .unwrap_or_else(|e| fail(format!("stats: {e}")));
-            println!(
-                "frontend {} | connections {} | completed {} | cancelled {} | failed {} | \
-                 worker restarts {} | backlog {} | cache {}/{} hits | \
-                 sharded {} (max width {})",
-                s.frontend,
-                s.connections,
-                s.jobs_completed,
-                s.jobs_cancelled,
-                s.jobs_failed,
-                s.worker_restarts,
-                s.backlog,
-                s.cache_hits,
-                s.cache_hits + s.cache_misses,
-                s.jobs_sharded,
-                s.shard_width_max
-            );
+            // Render from the shared registry schema: every counter the
+            // server exposes prints, including ones added after this
+            // binary shipped a hand-written format string.
+            let registry = Registry::from_wire(&s);
+            println!("frontend: {}", registry.frontend());
+            for (def, value) in registry.iter() {
+                println!("{}: {}", def.name, value);
+            }
         }
         _ => usage(),
     }

@@ -1,0 +1,293 @@
+//! Minimal blocking client for the server's HTTP/1.1 + JSON gateway
+//! (`msropm_server::http`) — enough surface for tests, benches and
+//! smoke scripts to drive the gateway without an HTTP dependency:
+//! one keep-alive connection, one request/response pair at a time.
+//!
+//! The module also knows how to map the gateway's JSON report
+//! rendering back onto the typed [`ProblemReport`], which is what lets
+//! the cross-transport identity tests compare an HTTP-delivered report
+//! bit-for-bit against the binary wire's.
+
+use msropm_problems::json::{self, Json};
+use msropm_problems::{DecodedLane, DecodedSolution, ProblemClass, ProblemReport};
+use msropm_server::proto::WireProblemReport;
+use std::fmt;
+use std::io::{self, BufRead as _, BufReader, Read as _, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// HTTP-client failures.
+#[derive(Debug)]
+pub enum HttpClientError {
+    /// Transport failure (connect, read, write, premature close).
+    Io(io::Error),
+    /// The server sent a response this minimal client cannot parse, or
+    /// a JSON body that does not match the gateway's schema.
+    Malformed(String),
+}
+
+impl fmt::Display for HttpClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpClientError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpClientError::Malformed(what) => write!(f, "malformed response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpClientError {}
+
+impl From<io::Error> for HttpClientError {
+    fn from(e: io::Error) -> Self {
+        HttpClientError::Io(e)
+    }
+}
+
+fn malformed(what: impl Into<String>) -> HttpClientError {
+    HttpClientError::Malformed(what.into())
+}
+
+/// One keep-alive connection to the HTTP gateway.
+pub struct HttpClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connects to the gateway at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<HttpClient, HttpClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(HttpClient { stream, reader })
+    }
+
+    /// One HTTP/1.1 round-trip: sends `method path` (with an optional
+    /// JSON `body`) and blocks for the response, returning its status
+    /// code and body text. The connection stays usable afterwards
+    /// (keep-alive), including after 4xx/5xx responses.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a response shape this client cannot
+    /// parse (no `content-length`, chunked encoding, …).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), HttpClientError> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: msropm\r\n");
+        if let Some(body) = body {
+            head.push_str(&format!(
+                "content-type: application/json\r\ncontent-length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            self.stream.write_all(body.as_bytes())?;
+        }
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// As [`HttpClient::request`], with the body parsed as JSON.
+    ///
+    /// # Errors
+    ///
+    /// As [`HttpClient::request`], plus a body that is not valid JSON.
+    pub fn request_json(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, Json), HttpClientError> {
+        let (status, text) = self.request(method, path, body)?;
+        let parsed = json::parse(&text)
+            .map_err(|e| malformed(format!("response body is not JSON: {e:?}")))?;
+        Ok((status, parsed))
+    }
+
+    fn read_response(&mut self) -> Result<(u16, String), HttpClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(HttpClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before the status line",
+            )));
+        }
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| malformed(format!("bad status line {line:?}")))?;
+        let mut content_length: Option<usize> = None;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(HttpClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-headers",
+                )));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = Some(
+                        value
+                            .trim()
+                            .parse()
+                            .map_err(|_| malformed(format!("bad content-length {value:?}")))?,
+                    );
+                }
+            }
+        }
+        let len = content_length.ok_or_else(|| malformed("response without content-length"))?;
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map_err(|_| malformed("response body is not UTF-8"))
+            .map(|b| (status, b))
+    }
+}
+
+impl fmt::Debug for HttpClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HttpClient").finish_non_exhaustive()
+    }
+}
+
+fn obj_field<'a>(value: &'a Json, key: &str) -> Result<&'a Json, HttpClientError> {
+    let Json::Obj(fields) = value else {
+        return Err(malformed(format!("expected an object holding {key:?}")));
+    };
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| malformed(format!("missing field {key:?}")))
+}
+
+fn field_u64(value: &Json, key: &str) -> Result<u64, HttpClientError> {
+    obj_field(value, key)?
+        .as_u64()
+        .ok_or_else(|| malformed(format!("field {key:?} is not a u64")))
+}
+
+fn field_f64(value: &Json, key: &str) -> Result<f64, HttpClientError> {
+    match obj_field(value, key)? {
+        Json::Num(n) => Ok(*n),
+        _ => Err(malformed(format!("field {key:?} is not a number"))),
+    }
+}
+
+fn num_items<T>(
+    value: &Json,
+    key: &str,
+    map: impl Fn(f64) -> Option<T>,
+) -> Result<Vec<T>, HttpClientError> {
+    let Json::Arr(items) = obj_field(value, key)? else {
+        return Err(malformed(format!("field {key:?} is not an array")));
+    };
+    items
+        .iter()
+        .map(|item| match item {
+            Json::Num(n) => map(*n).ok_or_else(|| malformed(format!("{key:?} value out of range"))),
+            _ => Err(malformed(format!("{key:?} holds a non-number"))),
+        })
+        .collect()
+}
+
+fn bool_items(value: &Json, key: &str) -> Result<Vec<bool>, HttpClientError> {
+    let Json::Arr(items) = obj_field(value, key)? else {
+        return Err(malformed(format!("field {key:?} is not an array")));
+    };
+    items
+        .iter()
+        .map(|item| {
+            item.as_bool()
+                .ok_or_else(|| malformed(format!("{key:?} holds a non-boolean")))
+        })
+        .collect()
+}
+
+fn solution_from_json(value: &Json) -> Result<DecodedSolution, HttpClientError> {
+    let kind = obj_field(value, "kind")?
+        .as_str()
+        .ok_or_else(|| malformed("solution kind is not a string"))?;
+    Ok(match kind {
+        "coloring" => DecodedSolution::Coloring(num_items(value, "values", |n| {
+            (n >= 0.0 && n <= f64::from(u16::MAX) && n.fract() == 0.0).then_some(n as u16)
+        })?),
+        "cut_sides" => DecodedSolution::CutSides(bool_items(value, "values")?),
+        "subset" => DecodedSolution::Subset(num_items(value, "values", |n| {
+            (n >= 0.0 && n <= f64::from(u32::MAX) && n.fract() == 0.0).then_some(n as u32)
+        })?),
+        "partition" => DecodedSolution::Partition(bool_items(value, "values")?),
+        "assignment" => DecodedSolution::Assignment(bool_items(value, "values")?),
+        "spins" => DecodedSolution::Spins(bool_items(value, "values")?),
+        other => return Err(malformed(format!("unknown solution kind {other:?}"))),
+    })
+}
+
+fn lane_from_json(value: &Json) -> Result<DecodedLane, HttpClientError> {
+    Ok(DecodedLane {
+        lane: u32::try_from(field_u64(value, "lane")?)
+            .map_err(|_| malformed("lane index out of range"))?,
+        seed: field_u64(value, "seed")?,
+        objective: field_f64(value, "objective")?,
+        feasible: obj_field(value, "feasible")?
+            .as_bool()
+            .ok_or_else(|| malformed("feasible is not a boolean"))?,
+        solution: solution_from_json(obj_field(value, "solution")?)?,
+    })
+}
+
+/// Maps the gateway's `problem_report` JSON rendering (the `report`
+/// field of a done `GET /v1/jobs/{id}` body) back onto the typed
+/// [`WireProblemReport`]. Full-width `u64` fields travel as decimal
+/// strings and `f64` objectives as shortest-round-trip numbers, so the
+/// mapping is lossless — a report served over HTTP reconstructs
+/// bit-identically to the same job's binary-wire frame.
+///
+/// # Errors
+///
+/// [`HttpClientError::Malformed`] when the JSON does not match the
+/// gateway's schema.
+pub fn problem_report_from_json(value: &Json) -> Result<WireProblemReport, HttpClientError> {
+    match obj_field(value, "type")?.as_str() {
+        Some("problem_report") => {}
+        other => return Err(malformed(format!("not a problem_report: type {other:?}"))),
+    }
+    let class_name = obj_field(value, "class")?
+        .as_str()
+        .ok_or_else(|| malformed("class is not a string"))?;
+    let class = ProblemClass::from_name(class_name)
+        .ok_or_else(|| malformed(format!("unknown problem class {class_name:?}")))?;
+    let Json::Arr(ranked) = obj_field(value, "ranked")? else {
+        return Err(malformed("ranked is not an array"));
+    };
+    Ok(WireProblemReport {
+        job_id: field_u64(value, "job_id")?,
+        queued_us: field_u64(value, "queued_us")?,
+        service_us: field_u64(value, "service_us")?,
+        report: ProblemReport {
+            class,
+            problem_fingerprint: field_u64(value, "problem_fingerprint")?,
+            graph_hash: field_u64(value, "graph_hash")?,
+            seed: field_u64(value, "seed")?,
+            ranked: ranked
+                .iter()
+                .map(lane_from_json)
+                .collect::<Result<_, _>>()?,
+        },
+    })
+}

@@ -61,6 +61,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod http;
+
 use msropm_core::{BatchJob, MsropmConfig};
 use msropm_graph::Graph;
 use msropm_problems::ProblemSpec;
@@ -200,6 +202,87 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// How a connect should behave, for [`Client::connect_with`]: an
+/// optional per-address connect timeout, Nagle control, a liveness
+/// probe, and a [`RetryPolicy`] for retryable failures. One builder
+/// unifies the former `connect` / `connect_with_retry` split the same
+/// way [`SubmitOptions`] unified the submit quartet (the old names
+/// remain as thin wrappers).
+///
+/// ```no_run
+/// use msropm_client::{Client, ConnectOptions, RetryPolicy};
+/// use std::time::Duration;
+///
+/// let options = ConnectOptions::new()
+///     .connect_timeout(Duration::from_secs(2))
+///     .retry(RetryPolicy::default());
+/// let client = Client::connect_with("127.0.0.1:7227", "acme", &options)?;
+/// # Ok::<(), msropm_client::ClientError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConnectOptions {
+    connect_timeout: Option<Duration>,
+    nodelay: bool,
+    probe: bool,
+    retry: Option<RetryPolicy>,
+}
+
+impl Default for ConnectOptions {
+    fn default() -> Self {
+        ConnectOptions {
+            connect_timeout: None,
+            nodelay: true,
+            probe: false,
+            retry: None,
+        }
+    }
+}
+
+impl ConnectOptions {
+    /// Default options: OS-default connect timeout, `TCP_NODELAY` on,
+    /// no probe, no retry — exactly what [`Client::connect`] does.
+    pub fn new() -> ConnectOptions {
+        ConnectOptions::default()
+    }
+
+    /// Bound each address's TCP connect attempt to `dur` instead of
+    /// the OS default (which can run to minutes against a silently
+    /// dropping host). When the address resolves to several socket
+    /// addresses, each gets its own budget.
+    pub fn connect_timeout(mut self, dur: Duration) -> ConnectOptions {
+        self.connect_timeout = Some(dur);
+        self
+    }
+
+    /// Whether to set `TCP_NODELAY` (default `true`: the protocol is
+    /// request/reply, so Nagle only adds latency).
+    pub fn nodelay(mut self, on: bool) -> ConnectOptions {
+        self.nodelay = on;
+        self
+    }
+
+    /// Probe each connection with a `stats` round-trip before handing
+    /// it out, so a server that accepts the socket and then closes it
+    /// (connection cap, or still booting) fails the connect — where a
+    /// retry policy can act on it — rather than the first real verb.
+    pub fn probe(mut self, on: bool) -> ConnectOptions {
+        self.probe = on;
+        self
+    }
+
+    /// Retry retryable failures ([`is_retryable`] — connection
+    /// failures and the typed `Busy` rejection) up to
+    /// `policy.max_retries` times under jittered exponential backoff.
+    /// Also turns the [`ConnectOptions::probe`] on: an unprobed
+    /// connect cannot distinguish an accept-then-close server from a
+    /// healthy one, which is most of what the retry is for.
+    pub fn retry(mut self, policy: RetryPolicy) -> ConnectOptions {
+        self.retry = Some(policy);
+        self.probe = true;
+        self
+    }
+}
+
 /// How a submit should behave, for [`Client::submit_with`] and
 /// [`Client::submit_problem`]: an optional server-side deadline,
 /// multiplexed (`nowait`) submission, and a retry policy for the
@@ -292,16 +375,106 @@ pub struct Client {
 
 impl Client {
     /// Connects to `addr` and identifies as `tenant` on every request
-    /// (the server's quota-accounting identity).
+    /// (the server's quota-accounting identity). Equivalent to
+    /// [`Client::connect_with`] under default [`ConnectOptions`].
     ///
     /// # Errors
     ///
     /// Transport failures.
     pub fn connect<A: ToSocketAddrs>(addr: A, tenant: &str) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
+        Client::connect_once(addr, tenant, &ConnectOptions::new())
+    }
+
+    /// The one connect entry point: connects to `addr` as `tenant`
+    /// under [`ConnectOptions`] — connect timeout, Nagle control, a
+    /// `stats` liveness probe, and retry with jittered exponential
+    /// backoff on retryable failures.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error once any retries are exhausted, or
+    /// the first non-retryable error immediately.
+    pub fn connect_with<A: ToSocketAddrs + Clone>(
+        addr: A,
+        tenant: &str,
+        options: &ConnectOptions,
+    ) -> Result<Client, ClientError> {
+        let max_retries = options.retry.map_or(0, |policy| policy.max_retries);
+        let mut rng = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED)
+            | 1;
+        let mut attempt = 0u32;
+        loop {
+            match Client::connect_once(addr.clone(), tenant, options) {
+                Ok(client) => return Ok(client),
+                Err(e) if attempt < max_retries && is_retryable(&e) => {
+                    let policy = options.retry.expect("max_retries > 0 implies a policy");
+                    std::thread::sleep(policy.delay_for(attempt, &mut rng));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// [`Client::connect_with`] under a retry policy with the probe on
+    /// — the pre-[`ConnectOptions`] name, kept as a thin wrapper.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::connect_with`].
+    pub fn connect_with_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        tenant: &str,
+        policy: RetryPolicy,
+    ) -> Result<Client, ClientError> {
+        Client::connect_with(addr, tenant, &ConnectOptions::new().retry(policy))
+    }
+
+    /// One connection attempt under `options` (everything but the
+    /// retry loop).
+    fn connect_once<A: ToSocketAddrs>(
+        addr: A,
+        tenant: &str,
+        options: &ConnectOptions,
+    ) -> Result<Client, ClientError> {
+        let stream = match options.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(dur) => {
+                // `connect_timeout` takes a single resolved address;
+                // mirror `TcpStream::connect`'s behavior of trying each
+                // in turn and reporting the last failure.
+                let mut last = None;
+                let mut stream = None;
+                for sock_addr in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sock_addr, dur) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => s,
+                    None => {
+                        return Err(ClientError::Io(last.unwrap_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidInput,
+                                "address resolved to no socket addresses",
+                            )
+                        })))
+                    }
+                }
+            }
+        };
+        if options.nodelay {
+            let _ = stream.set_nodelay(true);
+        }
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client {
+        let mut client = Client {
             tenant: tenant.to_string(),
             stream,
             reader,
@@ -310,47 +483,11 @@ impl Client {
             failed: HashMap::new(),
             pending_submits: 0,
             collected_submits: VecDeque::new(),
-        })
-    }
-
-    /// [`Client::connect`] with reconnect-on-failure semantics: on a
-    /// retryable error ([`is_retryable`] — connection failures and the
-    /// typed `Busy` rejection) the connect is retried up to
-    /// `policy.max_retries` times under jittered exponential backoff.
-    /// Each attempt is probed with a `stats` round-trip, so a server
-    /// that accepts the socket and then closes it (connection cap, or
-    /// still booting) is caught here rather than by the first real
-    /// verb.
-    ///
-    /// # Errors
-    ///
-    /// The final attempt's error once retries are exhausted, or the
-    /// first non-retryable error immediately.
-    pub fn connect_with_retry<A: ToSocketAddrs + Clone>(
-        addr: A,
-        tenant: &str,
-        policy: RetryPolicy,
-    ) -> Result<Client, ClientError> {
-        let mut rng = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_nanos() as u64)
-            .unwrap_or(0x5EED)
-            | 1;
-        let mut attempt = 0u32;
-        loop {
-            let probed = Client::connect(addr.clone(), tenant).and_then(|mut client| {
-                client.stats()?;
-                Ok(client)
-            });
-            match probed {
-                Ok(client) => return Ok(client),
-                Err(e) if attempt < policy.max_retries && is_retryable(&e) => {
-                    std::thread::sleep(policy.delay_for(attempt, &mut rng));
-                    attempt += 1;
-                }
-                Err(e) => return Err(e),
-            }
+        };
+        if options.probe {
+            client.stats()?;
         }
+        Ok(client)
     }
 
     /// The tenant id this connection submits under.
@@ -535,81 +672,6 @@ impl Client {
                 _ => return Err(outcome),
             }
         }
-    }
-
-    /// Submits `job` against `graph`; returns the server-assigned job
-    /// id. The report streams in later — redeem it with
-    /// [`Client::wait_report`].
-    ///
-    /// # Errors
-    ///
-    /// [`ClientError::Server`] carries quota/shutdown rejections
-    /// (`QuotaInFlight`, `QuotaLanes`, `ShuttingDown`, …).
-    #[deprecated(since = "0.1.0", note = "use `submit_with` with `SubmitOptions`")]
-    pub fn submit(&mut self, graph: &Graph, job: &BatchJob) -> Result<u64, ClientError> {
-        Ok(self
-            .submit_with(graph, job, &SubmitOptions::new())?
-            .expect("blocking submit yields a job id"))
-    }
-
-    /// [`Client::submit`] with a server-side deadline (see
-    /// [`SubmitOptions::deadline_ms`]; `0` means none).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Client::submit`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `submit_with` with `SubmitOptions::deadline_ms`"
-    )]
-    pub fn submit_deadline(
-        &mut self,
-        graph: &Graph,
-        job: &BatchJob,
-        deadline_ms: u64,
-    ) -> Result<u64, ClientError> {
-        Ok(self
-            .submit_with(graph, job, &SubmitOptions::new().deadline_ms(deadline_ms))?
-            .expect("blocking submit yields a job id"))
-    }
-
-    /// Multiplexed submit (see [`SubmitOptions::nowait`]).
-    ///
-    /// # Errors
-    ///
-    /// Transport failures only; quota/drain rejections surface from
-    /// [`Client::recv_submitted`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `submit_with` with `SubmitOptions::nowait`"
-    )]
-    pub fn submit_nowait(&mut self, graph: &Graph, job: &BatchJob) -> Result<(), ClientError> {
-        self.submit_with(graph, job, &SubmitOptions::new().nowait())
-            .map(|_| ())
-    }
-
-    /// [`Client::submit_nowait`] with a server-side deadline (see
-    /// [`SubmitOptions::deadline_ms`]; `0` means none).
-    ///
-    /// # Errors
-    ///
-    /// Transport failures only.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `submit_with` with `SubmitOptions::nowait` + `deadline_ms`"
-    )]
-    pub fn submit_nowait_deadline(
-        &mut self,
-        graph: &Graph,
-        job: &BatchJob,
-        deadline_ms: u64,
-    ) -> Result<(), ClientError> {
-        self.submit_with(
-            graph,
-            job,
-            &SubmitOptions::new().nowait().deadline_ms(deadline_ms),
-        )
-        .map(|_| ())
     }
 
     /// Submits written and not yet redeemed via

@@ -93,6 +93,10 @@ fn bind_frontend(frontend: FrontendKind, workers: usize, shards: usize) -> Front
         )
         .expect("bind reactor")
         .into(),
+        // The chaos matrix drives the binary protocol through the
+        // library client; the HTTP gateway has its own fault coverage
+        // in the server crate.
+        FrontendKind::Http => unreachable!("chaos matrix only drives binary front ends"),
     }
 }
 

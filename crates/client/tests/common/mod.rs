@@ -1,6 +1,5 @@
 //! Shared test shorthand over the unified [`Client::submit_with`]
-//! entry point, so scenario tests stay terse without reaching for the
-//! deprecated `submit`/`submit_deadline`/`submit_nowait` wrappers.
+//! entry point, so scenario tests stay terse.
 
 // Each test binary compiles its own copy; not all of them use every
 // helper.

@@ -14,23 +14,26 @@
 //!    report and settles `cancelled` on every front end;
 //! 3. the multiplexed client mode (many in-flight submits on one
 //!    socket) behaves identically on both front ends — it is how the
-//!    workload is driven.
+//!    workload is driven;
+//! 4. **transport-codec parity**: a problem report served over the
+//!    HTTP/JSON gateway reconstructs byte-identically to the binary
+//!    wire's frame for the same job — the JSON codec is lossless.
 
 mod common;
 use common::SubmitShorthand;
 
+use msropm_client::http::{problem_report_from_json, HttpClient};
 use msropm_client::{Client, SubmitOptions};
 use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
-use msropm_graph::{generators, Graph};
+use msropm_graph::{generators, io as graph_io, Graph};
+use msropm_problems::json::Json;
 use msropm_problems::{Cnf, Lit, ProblemSpec};
 use msropm_server::proto::{
     encode_response, FrontendKind, Response, WireProblemReport, WireReport,
 };
-use msropm_server::reactor::{ReactorConfig, ReactorServer};
-use msropm_server::wire::{WireConfig, WireServer};
 use msropm_server::{Frontend, JobState, ServerConfig, ShardPolicy};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn fast_config() -> MsropmConfig {
     MsropmConfig {
@@ -39,38 +42,21 @@ fn fast_config() -> MsropmConfig {
     }
 }
 
-fn wire_config(workers: usize, shards: ShardPolicy) -> WireConfig {
-    WireConfig {
-        server: ServerConfig {
-            workers,
-            queue_capacity: 32,
-            cache_capacity: 4, // smaller than the graph pool: eviction churn included
-            shards,
-        },
-        max_inflight_jobs: 32,
-        max_queued_lanes: 1024,
-        max_connections: 8,
-    }
-}
-
-/// Binds the requested front end on an ephemeral loopback port behind
-/// the shared [`Frontend`] dispatch, so the workload driver is
+/// Binds the requested front end on an ephemeral loopback port through
+/// the one server-boot API, so the workload driver is
 /// front-end-agnostic.
 fn bind_frontend(frontend: FrontendKind, workers: usize, shards: ShardPolicy) -> Frontend {
-    match frontend {
-        FrontendKind::Threads => WireServer::bind("127.0.0.1:0", wire_config(workers, shards))
-            .expect("bind threads")
-            .into(),
-        FrontendKind::Reactor => ReactorServer::bind(
-            "127.0.0.1:0",
-            ReactorConfig {
-                wire: wire_config(workers, shards),
-                ..ReactorConfig::default()
-            },
-        )
-        .expect("bind reactor")
-        .into(),
-    }
+    ServerConfig::builder()
+        .frontend(frontend)
+        .workers(workers)
+        .queue_capacity(32)
+        .cache_capacity(4) // smaller than the graph pool: eviction churn included
+        .shards(shards)
+        .max_inflight_jobs(32)
+        .max_queued_lanes(1024)
+        .max_connections(8)
+        .bind("127.0.0.1:0")
+        .expect("bind frontend")
 }
 
 /// A small mixed workload: repeat + cold topologies, every third job a
@@ -251,19 +237,142 @@ fn run_problem_workload(
     frames
 }
 
+/// Renders a spec in the class's native text format — the inverse of
+/// the gateway's `from_text` ingestion, preserving edge/clause order so
+/// the server-side reconstruction is the identical instance. Returns
+/// the text and the `k` parameter (0 where the class takes none).
+fn problem_input(spec: &ProblemSpec) -> (String, u16) {
+    fn dimacs(graph: &Graph) -> String {
+        let mut buf = Vec::new();
+        graph_io::write_dimacs(graph, &mut buf).expect("write to vec");
+        String::from_utf8(buf).expect("dimacs is ascii")
+    }
+    match spec {
+        ProblemSpec::Mis { graph } | ProblemSpec::VertexCover { graph } => (dimacs(graph), 0),
+        ProblemSpec::MaxKCut { graph, k } => (dimacs(graph), *k),
+        ProblemSpec::NumberPartition { weights } => (
+            weights
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(" "),
+            0,
+        ),
+        ProblemSpec::CnfSat { cnf } => {
+            let mut text = format!("p cnf {} {}\n", cnf.num_vars(), cnf.num_clauses());
+            for clause in cnf.clauses() {
+                for lit in clause {
+                    text.push_str(&format!("{} ", lit.to_dimacs()));
+                }
+                text.push_str("0\n");
+            }
+            (text, 0)
+        }
+        other => unreachable!("problem_specs() does not produce {other:?}"),
+    }
+}
+
+/// Looks a field up in a JSON object (panicking helpers keep the test
+/// terse).
+fn json_field(value: &Json, key: &str) -> Json {
+    let Json::Obj(fields) = value else {
+        panic!("expected object, got {value:?}");
+    };
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| panic!("missing field {key:?} in {value:?}"))
+}
+
+/// Polls `GET /v1/jobs/{id}` until the job is done and returns its
+/// rendered report.
+fn poll_http_report(client: &mut HttpClient, job_id: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = client
+            .request_json(
+                "GET",
+                &format!("/v1/jobs/{job_id}?tenant=problem-parity"),
+                None,
+            )
+            .expect("poll status");
+        assert_eq!(status, 200, "{body:?}");
+        let state = json_field(&body, "state");
+        if state.as_str() == Some("done") {
+            return json_field(&body, "report");
+        }
+        assert!(Instant::now() < deadline, "job {job_id} stuck in {state:?}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The HTTP cell of the parity matrix: every spec rendered to its text
+/// format, submitted as JSON over the gateway, the JSON report mapped
+/// back onto the wire struct, and fingerprinted with the *same*
+/// binary encoder as the other front ends.
+fn run_problem_workload_http(workers: usize, shards: ShardPolicy) -> Vec<Vec<u8>> {
+    let server = bind_frontend(FrontendKind::Http, workers, shards);
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect http");
+    let ids: Vec<u64> = problem_specs()
+        .iter()
+        .map(|spec| {
+            let (input, k) = problem_input(spec);
+            let mut fields = vec![
+                ("tenant".into(), Json::Str("problem-parity".into())),
+                ("class".into(), Json::Str(spec.class().name().into())),
+                ("input".into(), Json::Str(input)),
+                ("replicas".into(), Json::Num(4.0)),
+                ("seed".into(), Json::Num(21.0)),
+                (
+                    "config".into(),
+                    Json::Obj(vec![("dt".into(), Json::Num(0.02))]),
+                ),
+            ];
+            if k != 0 {
+                fields.push(("k".into(), Json::Num(f64::from(k))));
+            }
+            let body = Json::Obj(fields).render();
+            let (status, reply) = client
+                .request_json("POST", "/v1/problems", Some(&body))
+                .expect("submit problem");
+            assert_eq!(status, 202, "{reply:?}");
+            json_field(&reply, "job_id")
+                .as_u64()
+                .expect("job_id is a u64")
+        })
+        .collect();
+    let frames = ids
+        .iter()
+        .map(|&id| {
+            let report = poll_http_report(&mut client, id);
+            let wire = problem_report_from_json(&report).expect("JSON report maps onto the wire");
+            problem_fingerprint(&wire)
+        })
+        .collect();
+    server.shutdown();
+    frames
+}
+
 /// The ISSUE acceptance matrix: typed problem reports are
-/// byte-identical across {threads, reactor} × {1, 4 workers} ×
-/// {1, 4 shards} for every problem class on the wire.
+/// byte-identical across {threads, reactor, http} × {1, 4 workers} ×
+/// {1, 4 shards} for every problem class — including across the
+/// binary-vs-JSON codec boundary.
 #[test]
 fn problem_reports_are_bit_identical_across_frontends_workers_and_shards() {
     let mut runs = Vec::new();
-    for frontend in [FrontendKind::Threads, FrontendKind::Reactor] {
+    for frontend in [
+        FrontendKind::Threads,
+        FrontendKind::Reactor,
+        FrontendKind::Http,
+    ] {
         for workers in [1usize, 4] {
             for shards in [ShardPolicy::Fixed(1), ShardPolicy::Fixed(4)] {
-                runs.push((
-                    format!("{frontend:?}/{workers}w/{shards:?}"),
-                    run_problem_workload(frontend, workers, shards),
-                ));
+                let frames = match frontend {
+                    FrontendKind::Http => run_problem_workload_http(workers, shards),
+                    _ => run_problem_workload(frontend, workers, shards),
+                };
+                runs.push((format!("{frontend:?}/{workers}w/{shards:?}"), frames));
             }
         }
     }

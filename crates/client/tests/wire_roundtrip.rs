@@ -11,7 +11,7 @@
 mod common;
 use common::SubmitShorthand;
 
-use msropm_client::{Client, ClientError};
+use msropm_client::{Client, ClientError, RetryPolicy, SubmitOptions};
 use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
 use msropm_graph::{generators, graph_hash};
 use msropm_server::proto::{encode_response, ErrorCode, Response, WireReport};
@@ -264,30 +264,57 @@ fn cancelled_job_never_streams_a_report_and_frees_quota() {
     server.shutdown();
 }
 
-/// The pre-`SubmitOptions` submit quartet must stay behaviorally
-/// intact as thin wrappers over `submit_with`.
+/// Every [`SubmitOptions`] combination the removed submit quartet used
+/// to spell — plain, deadline, nowait, nowait + deadline — stays
+/// behaviorally intact through the one `submit_with` entry point, and
+/// [`ConnectOptions`] covers both former connect paths.
 #[test]
-#[allow(deprecated)]
-fn deprecated_submit_wrappers_still_work() {
+fn submit_and_connect_options_cover_the_legacy_surface() {
+    use msropm_client::ConnectOptions;
     let server = server_with(1);
-    let mut client = Client::connect(server.local_addr(), "compat").expect("connect");
+    let mut client = Client::connect_with(
+        server.local_addr(),
+        "compat",
+        &ConnectOptions::new()
+            .connect_timeout(Duration::from_secs(5))
+            .retry(RetryPolicy::default()),
+    )
+    .expect("connect with options");
     let g = generators::kings_graph(4, 4);
 
     let a = client
-        .submit(&g, &BatchJob::uniform(fast_config(), 2, 1))
-        .expect("submit");
+        .submit_with(
+            &g,
+            &BatchJob::uniform(fast_config(), 2, 1),
+            &SubmitOptions::new(),
+        )
+        .expect("submit")
+        .expect("blocking submit yields a job id");
     client.wait_report(a).expect("report A");
 
     let b = client
-        .submit_deadline(&g, &BatchJob::uniform(fast_config(), 2, 2), 60_000)
-        .expect("submit with deadline");
+        .submit_with(
+            &g,
+            &BatchJob::uniform(fast_config(), 2, 2),
+            &SubmitOptions::new().deadline_ms(60_000),
+        )
+        .expect("submit with deadline")
+        .expect("blocking submit yields a job id");
     client.wait_report(b).expect("report B");
 
     client
-        .submit_nowait(&g, &BatchJob::uniform(fast_config(), 2, 3))
+        .submit_with(
+            &g,
+            &BatchJob::uniform(fast_config(), 2, 3),
+            &SubmitOptions::new().nowait(),
+        )
         .expect("nowait submit");
     client
-        .submit_nowait_deadline(&g, &BatchJob::uniform(fast_config(), 2, 4), 60_000)
+        .submit_with(
+            &g,
+            &BatchJob::uniform(fast_config(), 2, 4),
+            &SubmitOptions::new().nowait().deadline_ms(60_000),
+        )
         .expect("nowait submit with deadline");
     assert_eq!(client.pending_submits(), 2);
     let c = client.recv_submitted().expect("reply C");

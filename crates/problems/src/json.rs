@@ -1,4 +1,5 @@
-//! Minimal hand-rolled JSON parser for QUBO/Ising ingestion.
+//! Minimal hand-rolled JSON parser/serializer for QUBO/Ising ingestion
+//! and the HTTP gateway's request/response bodies.
 //!
 //! The workspace builds offline against `vendor/` API-subset shims, so there
 //! is no serde; this module implements the small slice of JSON the
@@ -71,6 +72,114 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serializes this value back to JSON text (the inverse of
+    /// [`parse`]). Numbers render via Rust's shortest-round-trip `f64`
+    /// formatting, so `parse(&v.render())` reproduces every numeric bit
+    /// — the HTTP gateway leans on this for semantically identical
+    /// reports across the binary and JSON transports. `u64`-wide fields
+    /// (hashes, seeds) do **not** fit an `f64`; callers carry those as
+    /// decimal strings (see [`Json::u64_str`]).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(x) => {
+                // JSON has no NaN/inf literals; a non-finite value can
+                // only come from a bug, and `null` keeps the output
+                // parseable rather than silently corrupting the stream.
+                if x.is_finite() {
+                    out.push_str(&x.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(key, out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// A `u64` carried losslessly as a decimal string (JSON numbers
+    /// travel through this parser as `f64`, which cannot hold all 64
+    /// bits of a hash or seed).
+    pub fn u64_str(v: u64) -> Json {
+        Json::Str(v.to_string())
+    }
+
+    /// Inverse of [`Json::u64_str`]: decodes a `u64` from a decimal
+    /// string, also accepting a plain number when it is an exact
+    /// integer (small ids and counters).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Str(s) => s.parse().ok(),
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 9_007_199_254_740_992.0 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parse failure: a message and the byte offset it was detected at.
@@ -353,5 +462,35 @@ mod tests {
     fn unicode_and_escapes() {
         assert_eq!(parse("\"π\"").unwrap(), Json::Str("π".into()));
         assert_eq!(parse("\"\\u0041\"").unwrap(), Json::Str("A".into()));
+    }
+
+    #[test]
+    fn render_roundtrips_structures_and_bits() {
+        let v = Json::Obj(vec![
+            ("s".into(), Json::Str("a\"\\\n\u{1}π".into())),
+            (
+                "a".into(),
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Num(-0.125)]),
+            ),
+            ("n".into(), Json::Num(1.0e-17_f64)),
+        ]);
+        assert_eq!(parse(&v.render()).unwrap(), v);
+        // Shortest-round-trip float formatting preserves every bit.
+        for bits in [0x3FF0_0000_0000_0001_u64, 0x0010_0000_0000_0000] {
+            let x = f64::from_bits(bits);
+            let back = parse(&Json::Num(x).render()).unwrap();
+            assert_eq!(back.as_f64().map(f64::to_bits), Some(bits));
+        }
+    }
+
+    #[test]
+    fn u64_carried_as_string_is_lossless() {
+        for v in [0u64, 1 << 53, u64::MAX, 0xdead_beef_dead_beef] {
+            let j = Json::u64_str(v);
+            assert_eq!(parse(&j.render()).unwrap().as_u64(), Some(v));
+        }
+        // Small exact integers also decode from plain numbers.
+        assert_eq!(Json::Num(42.0).as_u64(), Some(42));
+        assert_eq!(Json::Num(0.5).as_u64(), None);
     }
 }

@@ -1,8 +1,8 @@
-//! Standalone wire-server daemon: binds a TCP port and serves the
-//! framed job protocol until killed.
+//! Standalone server daemon: binds a TCP port and serves jobs until
+//! killed, over any of the three front ends.
 //!
 //! ```text
-//! msropm_serve [--addr HOST:PORT] [--frontend threads|reactor]
+//! msropm_serve [--addr HOST:PORT] [--frontend threads|reactor|http]
 //!              [--workers N] [--queue N] [--cache N] [--shards auto|N]
 //!              [--max-inflight N] [--max-lanes N] [--max-conns N]
 //!              [--loops N] [--max-wbuf BYTES] [--poll-backend]
@@ -15,28 +15,29 @@
 //! disables intra-job parallelism). Reports are bit-identical either
 //! way.
 //!
-//! `--frontend threads` (default) serves each connection with a
-//! reader/writer thread pair; `--frontend reactor` multiplexes every
-//! connection over `--loops` nonblocking event loops (epoll, or
-//! `poll(2)` with `--poll-backend`) so thousands of idle connections
-//! cost no threads. Both speak the identical wire protocol against the
-//! same session core. `--max-conns` caps concurrent connections,
-//! `--max-wbuf` caps a reactor connection's buffered unsent bytes
+//! `--frontend threads` (default) serves each binary-protocol
+//! connection with a reader/writer thread pair; `--frontend reactor`
+//! multiplexes the same binary protocol over `--loops` nonblocking
+//! event loops (epoll, or `poll(2)` with `--poll-backend`) so
+//! thousands of idle connections cost no threads; `--frontend http`
+//! serves the HTTP/1.1 + JSON gateway (see the server crate's `http`
+//! module for the endpoint table). All three run the same session
+//! core, so quotas, deadlines, cancellation, and drain behave
+//! identically. `--max-conns` caps concurrent connections,
+//! `--max-wbuf` caps a nonblocking connection's buffered unsent bytes
 //! before a non-reading peer is dropped.
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; the bound address is
 //! printed as `listening on ADDR` (and written to `--port-file` when
-//! given, which is what the CI wire-smoke stage parses).
+//! given, which is what the CI smoke stages parse).
 
-use msropm_server::reactor::{ReactorConfig, ReactorServer};
-use msropm_server::wire::WireServer;
-use msropm_server::{Frontend, ShardPolicy};
+use msropm_server::proto::FrontendKind;
+use msropm_server::{ServerConfig, ShardPolicy};
 use std::time::Duration;
 
 fn main() {
     let mut addr = "127.0.0.1:7227".to_string();
-    let mut config = ReactorConfig::default();
-    let mut reactor = false;
+    let mut builder = ServerConfig::builder();
     let mut port_file: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -44,66 +45,59 @@ fn main() {
             args.next()
                 .unwrap_or_else(|| panic!("{what} requires a value"))
         };
-        match a.as_str() {
-            "--addr" => addr = value("--addr"),
-            "--frontend" => match value("--frontend").as_str() {
-                "threads" => reactor = false,
-                "reactor" => reactor = true,
-                other => {
-                    eprintln!("unknown frontend {other:?}; valid: threads, reactor");
+        builder = match a.as_str() {
+            "--addr" => {
+                addr = value("--addr");
+                builder
+            }
+            "--frontend" => {
+                let v = value("--frontend");
+                let kind = FrontendKind::from_name(&v).unwrap_or_else(|| {
+                    eprintln!("unknown frontend {v:?}; valid: threads, reactor, http");
                     std::process::exit(2);
-                }
-            },
-            "--workers" => {
-                config.wire.server.workers = value("--workers").parse().expect("--workers N")
+                });
+                builder.frontend(kind)
             }
-            "--queue" => {
-                config.wire.server.queue_capacity = value("--queue").parse().expect("--queue N")
-            }
-            "--cache" => {
-                config.wire.server.cache_capacity = value("--cache").parse().expect("--cache N")
-            }
+            "--workers" => builder.workers(value("--workers").parse().expect("--workers N")),
+            "--queue" => builder.queue_capacity(value("--queue").parse().expect("--queue N")),
+            "--cache" => builder.cache_capacity(value("--cache").parse().expect("--cache N")),
             "--shards" => {
                 let v = value("--shards");
-                config.wire.server.shards = if v == "auto" {
+                builder.shards(if v == "auto" {
                     ShardPolicy::Auto
                 } else {
                     ShardPolicy::Fixed(v.parse().expect("--shards auto|N"))
-                }
+                })
             }
-            "--max-inflight" => {
-                config.wire.max_inflight_jobs =
-                    value("--max-inflight").parse().expect("--max-inflight N")
-            }
+            "--max-inflight" => builder
+                .max_inflight_jobs(value("--max-inflight").parse().expect("--max-inflight N")),
             "--max-lanes" => {
-                config.wire.max_queued_lanes = value("--max-lanes").parse().expect("--max-lanes N")
+                builder.max_queued_lanes(value("--max-lanes").parse().expect("--max-lanes N"))
             }
             "--max-conns" => {
-                config.wire.max_connections = value("--max-conns").parse().expect("--max-conns N")
+                builder.max_connections(value("--max-conns").parse().expect("--max-conns N"))
             }
-            "--loops" => config.loops = value("--loops").parse().expect("--loops N"),
+            "--loops" => builder.loops(value("--loops").parse().expect("--loops N")),
             "--max-wbuf" => {
-                config.max_write_buffer = value("--max-wbuf").parse().expect("--max-wbuf BYTES")
+                builder.max_write_buffer(value("--max-wbuf").parse().expect("--max-wbuf BYTES"))
             }
-            "--poll-backend" => config.poll_backend = true,
-            "--port-file" => port_file = Some(value("--port-file")),
+            "--poll-backend" => builder.poll_backend(true),
+            "--port-file" => {
+                port_file = Some(value("--port-file"));
+                builder
+            }
             other => {
                 eprintln!(
                     "unknown argument {other:?}; valid: --addr HOST:PORT, \
-                     --frontend threads|reactor, --workers N, --queue N, --cache N, \
+                     --frontend threads|reactor|http, --workers N, --queue N, --cache N, \
                      --shards auto|N, --max-inflight N, --max-lanes N, --max-conns N, \
                      --loops N, --max-wbuf BYTES, --poll-backend, --port-file PATH"
                 );
                 std::process::exit(2);
             }
-        }
+        };
     }
-    let server: Frontend = if reactor {
-        ReactorServer::bind(&addr, config).map(Frontend::from)
-    } else {
-        WireServer::bind(&addr, config.wire).map(Frontend::from)
-    }
-    .unwrap_or_else(|e| {
+    let server = builder.bind(&addr).unwrap_or_else(|e| {
         eprintln!("failed to bind {addr}: {e}");
         std::process::exit(1);
     });

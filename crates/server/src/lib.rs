@@ -69,10 +69,12 @@
 #![warn(missing_docs)]
 
 pub mod faultinject;
+pub mod http;
 pub mod proto;
 pub mod queue;
 pub mod reactor;
 pub(crate) mod session;
+pub mod stats;
 pub mod wire;
 
 use msropm_core::{
@@ -860,6 +862,8 @@ pub enum Frontend {
     Threads(wire::WireServer),
     /// Nonblocking event-loop front end ([`reactor::ReactorServer`]).
     Reactor(reactor::ReactorServer),
+    /// HTTP/1.1 + JSON gateway front end ([`http::HttpServer`]).
+    Http(http::HttpServer),
 }
 
 impl Frontend {
@@ -868,6 +872,7 @@ impl Frontend {
         match self {
             Frontend::Threads(_) => proto::FrontendKind::Threads,
             Frontend::Reactor(_) => proto::FrontendKind::Reactor,
+            Frontend::Http(_) => proto::FrontendKind::Http,
         }
     }
 
@@ -876,6 +881,7 @@ impl Frontend {
         match self {
             Frontend::Threads(s) => s.local_addr(),
             Frontend::Reactor(s) => s.local_addr(),
+            Frontend::Http(s) => s.local_addr(),
         }
     }
 
@@ -884,14 +890,18 @@ impl Frontend {
         match self {
             Frontend::Threads(s) => s.stats(),
             Frontend::Reactor(s) => s.stats(),
+            Frontend::Http(s) => s.stats(),
         }
     }
 
-    /// Report frames actually handed to a connection writer.
+    /// Report frames actually handed to a connection writer (for the
+    /// HTTP front end: report bodies served to a poll, each counted
+    /// once).
     pub fn reports_streamed(&self) -> u64 {
         match self {
             Frontend::Threads(s) => s.reports_streamed(),
             Frontend::Reactor(s) => s.reports_streamed(),
+            Frontend::Http(s) => s.reports_streamed(),
         }
     }
 
@@ -900,6 +910,7 @@ impl Frontend {
         match self {
             Frontend::Threads(s) => s.shutdown(),
             Frontend::Reactor(s) => s.shutdown(),
+            Frontend::Http(s) => s.shutdown(),
         }
     }
 }
@@ -913,6 +924,155 @@ impl From<wire::WireServer> for Frontend {
 impl From<reactor::ReactorServer> for Frontend {
     fn from(server: reactor::ReactorServer) -> Frontend {
         Frontend::Reactor(server)
+    }
+}
+
+impl From<http::HttpServer> for Frontend {
+    fn from(server: http::HttpServer) -> Frontend {
+        Frontend::Http(server)
+    }
+}
+
+/// One boot path for every front end: a [`ServerConfig::builder`] chain
+/// ending in [`FrontendBuilder::bind`]. The builder exposes the full
+/// superset of front-end knobs (worker pool, quotas, event-loop count,
+/// write-buffer cap); knobs a front end does not use are ignored by it,
+/// so `msropm_serve` parses flags once and a new transport is one
+/// [`proto::FrontendKind`] arm here — not another copy of the boot
+/// sequence.
+///
+/// ```no_run
+/// use msropm_server::{proto::FrontendKind, ServerConfig, ShardPolicy};
+///
+/// let server = ServerConfig::builder()
+///     .frontend(FrontendKind::Http)
+///     .workers(4)
+///     .shards(ShardPolicy::Auto)
+///     .bind("127.0.0.1:0")?;
+/// println!("serving on {}", server.local_addr());
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrontendBuilder {
+    kind: proto::FrontendKind,
+    config: reactor::ReactorConfig,
+}
+
+impl Default for FrontendBuilder {
+    fn default() -> Self {
+        FrontendBuilder {
+            kind: proto::FrontendKind::Threads,
+            config: reactor::ReactorConfig::default(),
+        }
+    }
+}
+
+impl FrontendBuilder {
+    /// Which front end [`FrontendBuilder::bind`] boots (default:
+    /// threads).
+    pub fn frontend(mut self, kind: proto::FrontendKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Worker threads in the backing pool.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.wire.server.workers = workers;
+        self
+    }
+
+    /// Job-queue capacity of the backing pool.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.wire.server.queue_capacity = capacity;
+        self
+    }
+
+    /// Compiled-problem cache slots.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.wire.server.cache_capacity = capacity;
+        self
+    }
+
+    /// Intra-job lane-sharding policy.
+    pub fn shards(mut self, policy: ShardPolicy) -> Self {
+        self.config.wire.server.shards = policy;
+        self
+    }
+
+    /// Per-tenant cap on jobs submitted and not yet terminal.
+    pub fn max_inflight_jobs(mut self, cap: usize) -> Self {
+        self.config.wire.max_inflight_jobs = cap;
+        self
+    }
+
+    /// Per-tenant cap on the summed lane count of non-terminal jobs.
+    pub fn max_queued_lanes(mut self, cap: usize) -> Self {
+        self.config.wire.max_queued_lanes = cap;
+        self
+    }
+
+    /// Cap on concurrently served connections.
+    pub fn max_connections(mut self, cap: usize) -> Self {
+        self.config.wire.max_connections = cap;
+        self
+    }
+
+    /// Event-loop threads (reactor front end only).
+    pub fn loops(mut self, loops: usize) -> Self {
+        self.config.loops = loops;
+        self
+    }
+
+    /// Per-connection cap on buffered unsent bytes (reactor and HTTP
+    /// front ends).
+    pub fn max_write_buffer(mut self, cap: usize) -> Self {
+        self.config.max_write_buffer = cap;
+        self
+    }
+
+    /// Force the portable `poll(2)` backend instead of epoll (reactor
+    /// and HTTP front ends).
+    pub fn poll_backend(mut self, force: bool) -> Self {
+        self.config.poll_backend = force;
+        self
+    }
+
+    /// The full session/transport config the chain has accumulated.
+    pub fn config(&self) -> &reactor::ReactorConfig {
+        &self.config
+    }
+
+    /// Binds `addr` and boots the selected front end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and poller-creation failures.
+    pub fn bind<A: std::net::ToSocketAddrs>(self, addr: A) -> std::io::Result<Frontend> {
+        match self.kind {
+            proto::FrontendKind::Threads => {
+                wire::WireServer::bind(addr, self.config.wire).map(Frontend::from)
+            }
+            proto::FrontendKind::Reactor => {
+                reactor::ReactorServer::bind(addr, self.config).map(Frontend::from)
+            }
+            proto::FrontendKind::Http => http::HttpServer::bind(
+                addr,
+                http::HttpConfig {
+                    wire: self.config.wire,
+                    max_write_buffer: self.config.max_write_buffer,
+                    poll_backend: self.config.poll_backend,
+                },
+            )
+            .map(Frontend::from),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Starts a [`FrontendBuilder`] chain — the one boot API every
+    /// serving binary and test goes through.
+    pub fn builder() -> FrontendBuilder {
+        FrontendBuilder::default()
     }
 }
 

@@ -293,6 +293,9 @@ pub enum FrontendKind {
     /// Nonblocking event-loop front end
     /// ([`crate::reactor::ReactorServer`]).
     Reactor = 1,
+    /// HTTP/1.1 + JSON gateway front end
+    /// ([`crate::http::HttpServer`]).
+    Http = 2,
 }
 
 impl FrontendKind {
@@ -301,6 +304,17 @@ impl FrontendKind {
         match b {
             0 => Some(FrontendKind::Threads),
             1 => Some(FrontendKind::Reactor),
+            2 => Some(FrontendKind::Http),
+            _ => None,
+        }
+    }
+
+    /// Inverse of [`fmt::Display`] (flag parsing).
+    pub fn from_name(name: &str) -> Option<FrontendKind> {
+        match name {
+            "threads" => Some(FrontendKind::Threads),
+            "reactor" => Some(FrontendKind::Reactor),
+            "http" => Some(FrontendKind::Http),
             _ => None,
         }
     }
@@ -311,6 +325,7 @@ impl fmt::Display for FrontendKind {
         f.write_str(match self {
             FrontendKind::Threads => "threads",
             FrontendKind::Reactor => "reactor",
+            FrontendKind::Http => "http",
         })
     }
 }

@@ -36,6 +36,7 @@
 use crate::proto::{
     self, ErrorCode, FrontendKind, Request, Response, WireProblemReport, WireReport, WireStats,
 };
+use crate::stats::Registry as StatsRegistry;
 use crate::{
     lock_unpoisoned, CompletionHook, JobCompletion, JobServer, JobState, JobStatusCell, PendingJob,
     ServerConfig, TrySubmitError,
@@ -282,23 +283,33 @@ impl SessionCore {
         }
     }
 
-    /// The one place [`WireStats`] is assembled from the shared counters
-    /// (serves the `stats` verb and the front ends' `stats()` methods).
-    pub fn wire_stats(&self) -> WireStats {
+    /// The one place the stats counters are snapshotted (in
+    /// [`crate::stats::SCHEMA`] order). Every stats surface — the
+    /// binary `stats` verb, the HTTP gateway's `/v1/stats` and
+    /// `/metrics` — renders from this registry.
+    pub fn stats_registry(&self) -> StatsRegistry {
         let cache = self.jobs.cache_stats();
-        WireStats {
-            jobs_completed: self.jobs.jobs_completed(),
-            jobs_cancelled: self.jobs.jobs_cancelled(),
-            jobs_failed: self.jobs.jobs_failed(),
-            worker_restarts: self.jobs.worker_restarts(),
-            backlog: self.jobs.backlog() as u64,
-            cache_hits: cache.hits,
-            cache_misses: cache.misses,
-            connections: self.live_connections() as u64,
-            jobs_sharded: self.jobs.jobs_sharded(),
-            shard_width_max: self.jobs.shard_width_max(),
-            frontend: self.frontend,
-        }
+        StatsRegistry::new(
+            [
+                self.jobs.jobs_completed(),
+                self.jobs.jobs_cancelled(),
+                self.jobs.jobs_failed(),
+                self.jobs.worker_restarts(),
+                self.jobs.backlog() as u64,
+                cache.hits,
+                cache.misses,
+                self.live_connections() as u64,
+                self.jobs.jobs_sharded(),
+                self.jobs.shard_width_max(),
+            ],
+            self.frontend,
+        )
+    }
+
+    /// [`SessionCore::stats_registry`] projected onto the binary frame's
+    /// struct (the `stats` verb and the front ends' `stats()` methods).
+    pub fn wire_stats(&self) -> WireStats {
+        self.stats_registry().to_wire()
     }
 
     /// Answers the control verbs (`status`/`cancel`/`stats`) — `None`

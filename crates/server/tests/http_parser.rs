@@ -1,0 +1,214 @@
+//! Property tests for the HTTP/1.1 request parser
+//! (`msropm_server::http::HttpParser`): the gateway's byte-level
+//! contract under hostile and fragmented input.
+//!
+//! 1. **Panic freedom**: arbitrary bytes, dribbled in arbitrary chunk
+//!    sizes, never panic the parser — they produce requests or typed
+//!    [`HttpParseError`]s, and a fatal error is sticky (the connection
+//!    is declared desynced once, permanently).
+//! 2. **Segmentation invariance**: a pipelined request stream produces
+//!    the identical request/error sequence whether it arrives in one
+//!    `push` or split at arbitrary byte boundaries — the property that
+//!    makes the parser safe behind a nonblocking socket, where TCP
+//!    framing is adversarially unhelpful.
+//! 3. **Caps**: request-line, header-count and header-byte limits
+//!    reject with the documented statuses, fatally; an oversized
+//!    declared body rejects with 413 *recoverably* (framing resyncs
+//!    past the declared length).
+
+use msropm_server::http::{HttpParseError, HttpParser, HttpRequest};
+use proptest::prelude::*;
+
+/// One parser event: a parsed request or a typed parse error.
+type Event = Result<HttpRequest, HttpParseError>;
+
+/// Drains every currently parseable event. Stops at a fatal error (the
+/// parser is poisoned; the connection would close after responding).
+fn drain(parser: &mut HttpParser, events: &mut Vec<Event>) -> bool {
+    loop {
+        match parser.next_request() {
+            Ok(Some(request)) => events.push(Ok(request)),
+            Ok(None) => return true,
+            Err(e) => {
+                let fatal = e.fatal;
+                events.push(Err(e));
+                if fatal {
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+/// Feeds `stream` split at `cuts` (whole stream when empty) and
+/// collects the full event sequence.
+fn run_segmented(stream: &[u8], cuts: &[usize]) -> Vec<Event> {
+    let mut parser = HttpParser::new();
+    let mut events = Vec::new();
+    let mut at = 0usize;
+    for &cut in cuts {
+        if at >= stream.len() {
+            break;
+        }
+        let end = (at + cut.max(1)).min(stream.len());
+        parser.push(&stream[at..end]);
+        at = end;
+        if !drain(&mut parser, &mut events) {
+            return events;
+        }
+    }
+    parser.push(&stream[at..]);
+    drain(&mut parser, &mut events);
+    events
+}
+
+/// A small grammar of request templates — valid verbs and a couple of
+/// malformed shapes, so streams exercise the error paths too.
+fn render_request(template: u8, body: &[u8]) -> Vec<u8> {
+    match template % 5 {
+        0 => b"GET /v1/stats HTTP/1.1\r\n\r\n".to_vec(),
+        1 => {
+            let mut req = format!(
+                "POST /v1/problems?x=1 HTTP/1.1\r\nx-trace: abc\r\ncontent-length: {}\r\n\r\n",
+                body.len()
+            )
+            .into_bytes();
+            req.extend_from_slice(body);
+            req
+        }
+        2 => b"DELETE /v1/jobs/7?tenant=t HTTP/1.0\r\nconnection: keep-alive\r\n\r\n".to_vec(),
+        3 => {
+            let mut req = format!(
+                "POST /v1/jobs HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+                body.len()
+            )
+            .into_bytes();
+            req.extend_from_slice(body);
+            req
+        }
+        // Malformed: bad version -> 505, fatal, poisons the stream.
+        _ => b"GET / HTTP/3.0\r\n\r\n".to_vec(),
+    }
+}
+
+proptest! {
+    /// Arbitrary bytes in arbitrary chunkings never panic, and once a
+    /// fatal error is reported the parser stays poisoned: every later
+    /// call answers an error, never a request.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+        cuts in proptest::collection::vec(1usize..97, 0..32),
+    ) {
+        let mut parser = HttpParser::new();
+        let mut events = Vec::new();
+        let mut at = 0usize;
+        let mut poisoned = false;
+        for cut in cuts {
+            if at >= bytes.len() {
+                break;
+            }
+            let end = (at + cut).min(bytes.len());
+            parser.push(&bytes[at..end]);
+            at = end;
+            if !drain(&mut parser, &mut events) {
+                poisoned = true;
+                break;
+            }
+        }
+        if !poisoned {
+            parser.push(&bytes[at..]);
+            poisoned = !drain(&mut parser, &mut events);
+        }
+        if poisoned {
+            // Sticky: the poisoned parser never yields another request.
+            for _ in 0..3 {
+                prop_assert!(parser.next_request().is_err());
+            }
+        }
+    }
+
+    /// A pipelined stream of valid-and-malformed requests produces the
+    /// identical event sequence under any segmentation — byte-dribbled
+    /// input parses exactly like a single contiguous read.
+    #[test]
+    fn segmentation_invariant_event_sequence(
+        templates in proptest::collection::vec(any::<u8>(), 1..8),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        cuts in proptest::collection::vec(1usize..33, 0..64),
+    ) {
+        let stream: Vec<u8> = templates
+            .iter()
+            .flat_map(|&t| render_request(t, &body))
+            .collect();
+        let whole = run_segmented(&stream, &[]);
+        let dribbled = run_segmented(&stream, &cuts);
+        prop_assert_eq!(whole, dribbled);
+    }
+}
+
+#[test]
+fn request_line_cap_answers_414_fatally() {
+    let mut parser = HttpParser::new();
+    let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9 << 10));
+    parser.push(long.as_bytes());
+    let err = parser.next_request().expect_err("over the line cap");
+    assert_eq!(err.status, 414);
+    assert!(err.fatal);
+}
+
+#[test]
+fn header_count_cap_answers_431_fatally() {
+    let mut parser = HttpParser::new();
+    let mut req = String::from("GET / HTTP/1.1\r\n");
+    for i in 0..200 {
+        req.push_str(&format!("x-h-{i}: v\r\n"));
+    }
+    req.push_str("\r\n");
+    parser.push(req.as_bytes());
+    let err = parser.next_request().expect_err("over the header cap");
+    assert_eq!(err.status, 431);
+    assert!(err.fatal);
+}
+
+#[test]
+fn header_bytes_cap_answers_431_fatally() {
+    let mut parser = HttpParser::new();
+    let req = format!("GET / HTTP/1.1\r\nx-big: {}\r\n\r\n", "v".repeat(33 << 10));
+    parser.push(req.as_bytes());
+    let err = parser.next_request().expect_err("over the header-byte cap");
+    assert_eq!(err.status, 431);
+    assert!(err.fatal);
+}
+
+#[test]
+fn zero_content_length_parses_an_empty_body() {
+    let mut parser = HttpParser::new();
+    parser
+        .push(b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 0\r\n\r\nGET /v1/stats HTTP/1.1\r\n\r\n");
+    let first = parser.next_request().unwrap().expect("first request");
+    assert_eq!(first.method, "POST");
+    assert!(first.body.is_empty());
+    let second = parser.next_request().unwrap().expect("second request");
+    assert_eq!(second.path, "/v1/stats");
+}
+
+#[test]
+fn oversized_body_rejects_recoverably_and_resyncs() {
+    let mut parser = HttpParser::new();
+    let declared = (32 << 20) + 1usize; // one past MAX_BODY_LEN
+    parser.push(format!("POST /v1/jobs HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n").as_bytes());
+    let err = parser.next_request().expect_err("over the body cap");
+    assert_eq!(err.status, 413);
+    assert!(!err.fatal);
+    // Dribble the rejected body in two installments: discarded, never
+    // surfaced as a request.
+    parser.push(&vec![7u8; declared - 1]);
+    assert!(parser.next_request().unwrap().is_none());
+    parser.push(&[7u8]);
+    assert!(parser.next_request().unwrap().is_none());
+    // The connection resyncs: a pipelined request parses normally.
+    parser.push(b"GET /v1/stats HTTP/1.1\r\n\r\n");
+    let next = parser.next_request().unwrap().expect("resynced request");
+    assert_eq!(next.path, "/v1/stats");
+}

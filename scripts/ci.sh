@@ -7,7 +7,9 @@
 #   build  release build incl. examples
 #   smoke  job-server determinism smoke + wire smoke (real TCP loopback:
 #          boot msropm_serve on an ephemeral port, run solve_remote
-#          submit/status/cancel against it under a hard timeout)
+#          submit/status/cancel against it under a hard timeout) + HTTP
+#          gateway smoke (every problem class as JSON over raw sockets,
+#          plus /v1/stats and /metrics scrapes)
 #   chaos  fault-injection suite (crates/client/tests/chaos.rs): armed
 #          panics, killed workers, deadlines and socket faults against
 #          both front ends, under a hard timeout — fault points are
@@ -83,6 +85,104 @@ stage_smoke() {
     # `smoke` verb above already submits all nine classes in-process
     # per front end; this exercises the user-facing CLI surface.)
     run_problem_smoke
+
+    # HTTP gateway smoke: boot the third front end and drive every
+    # problem class over raw sockets — no client library, just bytes —
+    # then scrape /v1/stats and /metrics.
+    run_http_smoke
+}
+
+# One raw HTTP/1.1 exchange over /dev/tcp: request on fd 9, response on
+# stdout. `connection: close` delimits the response by EOF, so no
+# content-length parsing is needed on the read side; the outer timeout
+# turns a wedged server into a failure instead of a hung CI job.
+http_request() {
+    local addr=$1 method=$2 path=$3 body=${4-}
+    local host=${addr%:*} port=${addr##*:}
+    exec 9<>"/dev/tcp/$host/$port"
+    if [[ -n "$body" ]]; then
+        printf '%s %s HTTP/1.1\r\nhost: ci\r\nconnection: close\r\ncontent-type: application/json\r\ncontent-length: %s\r\n\r\n%s' \
+            "$method" "$path" "${#body}" "$body" >&9
+    else
+        printf '%s %s HTTP/1.1\r\nhost: ci\r\nconnection: close\r\n\r\n' \
+            "$method" "$path" >&9
+    fi
+    timeout --kill-after=5 30 cat <&9
+    exec 9<&- 9>&-
+}
+
+# Boots `msropm_serve --frontend http` and submits one instance of
+# every problem class as JSON over raw sockets, polling each job to a
+# terminal report, then asserts /v1/stats and /metrics expose the
+# registry (including the frontend marker).
+run_http_smoke() {
+    local port_file addr
+    port_file=$(mktemp -t msropm_http_smoke.XXXXXX)
+    ./target/release/msropm_serve \
+        --addr 127.0.0.1:0 --frontend http --workers 2 \
+        --shards auto --port-file "$port_file" &
+    wire_server_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$port_file" ]] && break
+        kill -0 "$wire_server_pid" 2>/dev/null || { echo "msropm_serve died" >&2; return 1; }
+        sleep 0.1
+    done
+    [[ -s "$port_file" ]] || { echo "msropm_serve never published its port" >&2; return 1; }
+    addr=$(<"$port_file")
+    echo "    http smoke against $addr (every class over raw HTTP/1.1)"
+
+    local graph='p edge 4 5\ne 1 2\ne 2 3\ne 3 4\ne 1 4\ne 1 3\n'
+    local cnf='p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n'
+    local weights='3 1 4 1 5 9 2 6\n'
+    local qubo='{\"n\":4,\"linear\":[-1.0,0.5,-0.5,0.25],\"quadratic\":[[0,1,1.0],[1,2,-1.0]]}'
+    local ising='{\"n\":4,\"h\":[0.1,-0.2,0.3,0.0],\"j\":[[0,1,1.0],[1,2,1.0],[2,3,-1.0]]}'
+
+    local class input response job_id status
+    for spec in \
+        "coloring|$graph" \
+        "max-cut|$graph" \
+        "max-k-cut|$graph" \
+        "mis|$graph" \
+        "vertex-cover|$graph" \
+        "number-partition|$weights" \
+        "cnf-sat|$cnf" \
+        "qubo|$qubo" \
+        "ising|$ising"
+    do
+        class=${spec%%|*}
+        input=${spec#*|}
+        response=$(http_request "$addr" POST /v1/problems \
+            "{\"tenant\":\"ci\",\"class\":\"$class\",\"input\":\"$input\",\"replicas\":2,\"seed\":7}")
+        job_id=$(grep -o '"job_id":[0-9]*' <<< "$response" | head -1 | cut -d: -f2)
+        [[ -n "$job_id" ]] || { echo "http submit of $class failed: $response" >&2; return 1; }
+        status=
+        for _ in $(seq 1 150); do
+            status=$(http_request "$addr" GET "/v1/jobs/$job_id?tenant=ci")
+            grep -q '"state":"queued"\|"state":"running"' <<< "$status" || break
+            sleep 0.2
+        done
+        grep -q '"state":"done"' <<< "$status" \
+            || { echo "http job $job_id ($class) never finished: $status" >&2; return 1; }
+        grep -q '"type":"problem_report"' <<< "$status" \
+            || { echo "done answer for $class lacks its report: $status" >&2; return 1; }
+    done
+
+    response=$(http_request "$addr" GET /v1/stats)
+    grep -q '"frontend":"http"' <<< "$response" \
+        || { echo "/v1/stats lacks the frontend marker: $response" >&2; return 1; }
+    grep -q '"jobs_completed":9' <<< "$response" \
+        || { echo "/v1/stats should count 9 completed jobs: $response" >&2; return 1; }
+
+    response=$(http_request "$addr" GET /metrics)
+    grep -q '^msropm_jobs_completed 9' <<< "$response" \
+        || { echo "/metrics lacks msropm_jobs_completed: $response" >&2; return 1; }
+    grep -q '^msropm_frontend{kind="http"} 1' <<< "$response" \
+        || { echo "/metrics lacks the frontend gauge: $response" >&2; return 1; }
+
+    kill "$wire_server_pid" 2>/dev/null || true
+    wait "$wire_server_pid" 2>/dev/null || true
+    wire_server_pid=""
+    rm -f "$port_file"
 }
 
 # Boots a threads-front-end server and submits one instance of every

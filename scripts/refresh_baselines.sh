@@ -4,10 +4,11 @@
 #
 #   BENCH_phase_step.json   <- bench_phase_step (kernel/batch ns/op)
 #   BENCH_serve.json        <- serve_bench (in-process rows), then
-#                              wire_bench (merges its wire_* socket rows
-#                              into the same file: threaded rows, the
-#                              wire_reactor_*/wire_mux_* front-end rows,
-#                              and the idle-connection-scaling row)
+#                              wire_bench (merges its wire_*/http_*
+#                              socket rows into the same file: threaded
+#                              rows, the wire_reactor_*/wire_mux_*
+#                              front-end rows, the idle-connection-
+#                              scaling row, and the HTTP gateway rows)
 #   BENCH_problems.json     <- problems_bench (per-class solution-quality
 #                              vs greedy baselines; deterministic, so an
 #                              exact accuracy gate rather than a timing one)
