@@ -7,6 +7,10 @@
 //! - `kernel_eval`: one RHS evaluation via the compiled
 //!   [`CoupledKernel`] (the acceptance metric is `kernel_speedup =
 //!   naive/kernel` on the 2116-node board);
+//! - `fx_eval`: one RHS evaluation via the fixed-point kernel
+//!   ([`FxBatchKernel`] at one replica): i32 binary-turn phases,
+//!   Q-format weights, table-driven sine (the acceptance metric is
+//!   `fx_speedup = kernel/fx` ≥ 1.3 on the 2116-node board);
 //! - `batch_eval`: one 40-replica SoA RHS sweep ([`BatchKernel`]),
 //!   reported per replica;
 //! - `sweep_eval`: the same 40-replica RHS with **heterogeneous**
@@ -25,6 +29,7 @@
 use msropm_graph::generators;
 use msropm_ode::system::OdeSystem;
 use msropm_osc::batch::{BatchIntegrator, BatchKernel};
+use msropm_osc::fxkernel::{phase_to_turns, FxBatchKernel};
 use msropm_osc::kernel::KernelIntegrator;
 use msropm_osc::PhaseNetwork;
 use rand::rngs::StdRng;
@@ -59,6 +64,10 @@ struct Row {
     naive_eval_ns: f64,
     kernel_eval_ns: f64,
     kernel_speedup: f64,
+    /// One fixed-point RHS evaluation (integer phases, LUT sine).
+    fx_eval_ns: f64,
+    /// Compiled f64 kernel vs fixed-point kernel: `kernel/fx`.
+    fx_speedup: f64,
     batch_eval_ns_per_replica: f64,
     batch_speedup: f64,
     /// Heterogeneous 40-lane (K, σ) sweep RHS, per replica — the
@@ -97,6 +106,21 @@ fn bench_side(side: usize, eval_budget: f64, anneal_budget: f64) -> Row {
             || {
                 kernel.drift_into(std::hint::black_box(&phases), &mut dydt, &mut scratch);
                 std::hint::black_box(&dydt);
+            },
+            3,
+            eval_budget,
+        );
+
+    // --- Fixed-point RHS: same topology, i32 turns + LUT sine. ---
+    let fx = FxBatchKernel::new(&net, 1, 0.01);
+    let phases_q: Vec<i32> = phases.iter().map(|&p| phase_to_turns(p)).collect();
+    let mut dq = vec![0i32; n];
+    let mut scratch_q = Vec::new();
+    let fx_eval_ns = 1e9
+        * time_per_call(
+            || {
+                fx.drift_into(std::hint::black_box(&phases_q), &mut dq, &mut scratch_q);
+                std::hint::black_box(&dq);
             },
             3,
             eval_budget,
@@ -191,6 +215,8 @@ fn bench_side(side: usize, eval_budget: f64, anneal_budget: f64) -> Row {
         naive_eval_ns,
         kernel_eval_ns,
         kernel_speedup: naive_eval_ns / kernel_eval_ns,
+        fx_eval_ns,
+        fx_speedup: kernel_eval_ns / fx_eval_ns,
         batch_eval_ns_per_replica,
         batch_speedup: naive_eval_ns / batch_eval_ns_per_replica,
         sweep_eval_ns_per_replica,
@@ -208,6 +234,7 @@ fn best_of(a: Row, b: Row) -> Row {
     let mut r = Row {
         naive_eval_ns: a.naive_eval_ns.min(b.naive_eval_ns),
         kernel_eval_ns: a.kernel_eval_ns.min(b.kernel_eval_ns),
+        fx_eval_ns: a.fx_eval_ns.min(b.fx_eval_ns),
         batch_eval_ns_per_replica: a.batch_eval_ns_per_replica.min(b.batch_eval_ns_per_replica),
         sweep_eval_ns_per_replica: a.sweep_eval_ns_per_replica.min(b.sweep_eval_ns_per_replica),
         anneal_naive_us: a.anneal_naive_us.min(b.anneal_naive_us),
@@ -218,6 +245,7 @@ fn best_of(a: Row, b: Row) -> Row {
         ..a
     };
     r.kernel_speedup = r.naive_eval_ns / r.kernel_eval_ns;
+    r.fx_speedup = r.kernel_eval_ns / r.fx_eval_ns;
     r.batch_speedup = r.naive_eval_ns / r.batch_eval_ns_per_replica;
     r
 }
@@ -225,9 +253,10 @@ fn best_of(a: Row, b: Row) -> Row {
 /// Tracked ns/op columns for the `--baseline` CI perf gate: the compiled
 /// hot paths. `naive_eval_ns` is the uncompiled reference (tracked too —
 /// it regressing usually means the whole build got slower).
-const TRACKED: [&str; 6] = [
+const TRACKED: [&str; 7] = [
     "naive_eval_ns",
     "kernel_eval_ns",
+    "fx_eval_ns",
     "batch_eval_ns_per_replica",
     "sweep_eval_ns_per_replica",
     "anneal_1ns_kernel_us",
@@ -235,10 +264,12 @@ const TRACKED: [&str; 6] = [
 ];
 
 /// Every timing a row carries, for output validation.
-fn row_timings(r: &Row) -> [(&'static str, f64); 8] {
+fn row_timings(r: &Row) -> [(&'static str, f64); 10] {
     [
         ("naive_eval_ns", r.naive_eval_ns),
         ("kernel_eval_ns", r.kernel_eval_ns),
+        ("fx_eval_ns", r.fx_eval_ns),
+        ("fx_speedup", r.fx_speedup),
         ("batch_eval_ns_per_replica", r.batch_eval_ns_per_replica),
         ("sweep_eval_ns_per_replica", r.sweep_eval_ns_per_replica),
         ("anneal_1ns_naive_us", r.anneal_naive_us),
@@ -281,9 +312,10 @@ fn main() {
             bench_side(side, eval_budget, anneal_budget),
         );
         println!(
-            "kings {:>2}x{:<2} n={:<5} m={:<6} eval naive {:>9.1} ns | kernel {:>9.1} ns ({:>4.2}x) | batch/rep {:>9.1} ns ({:>4.2}x) | sweep/rep {:>9.1} ns | anneal1ns naive {:>8.1} us | kernel {:>8.1} us | batch/rep {:>8.1} us",
+            "kings {:>2}x{:<2} n={:<5} m={:<6} eval naive {:>9.1} ns | kernel {:>9.1} ns ({:>4.2}x) | fx {:>9.1} ns ({:>4.2}x) | batch/rep {:>9.1} ns ({:>4.2}x) | sweep/rep {:>9.1} ns | anneal1ns naive {:>8.1} us | kernel {:>8.1} us | batch/rep {:>8.1} us",
             row.side, row.side, row.nodes, row.edges,
             row.naive_eval_ns, row.kernel_eval_ns, row.kernel_speedup,
+            row.fx_eval_ns, row.fx_speedup,
             row.batch_eval_ns_per_replica, row.batch_speedup,
             row.sweep_eval_ns_per_replica,
             row.anneal_naive_us, row.anneal_kernel_us, row.anneal_batch_us_per_replica,
@@ -327,6 +359,7 @@ fn main() {
             "    {{\"graph\": \"kings_{side}x{side}\", \"nodes\": {nodes}, \"edges\": {edges}, \
              \"naive_eval_ns\": {naive:.2}, \"kernel_eval_ns\": {kern:.2}, \
              \"kernel_speedup\": {speed:.3}, \
+             \"fx_eval_ns\": {fx:.2}, \"fx_speedup\": {fxs:.3}, \
              \"batch_eval_ns_per_replica\": {batch:.2}, \"batch_speedup\": {bspeed:.3}, \
              \"sweep_eval_ns_per_replica\": {sweep:.2}, \
              \"anneal_1ns_naive_us\": {an:.2}, \"anneal_1ns_kernel_us\": {ak:.2}, \
@@ -337,6 +370,8 @@ fn main() {
             naive = r.naive_eval_ns,
             kern = r.kernel_eval_ns,
             speed = r.kernel_speedup,
+            fx = r.fx_eval_ns,
+            fxs = r.fx_speedup,
             batch = r.batch_eval_ns_per_replica,
             bspeed = r.batch_speedup,
             sweep = r.sweep_eval_ns_per_replica,
@@ -349,6 +384,21 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));
     println!("wrote {out_path}");
+
+    // Acceptance floor: the fixed-point RHS must beat the compiled f64
+    // kernel by >= 1.3x on the paper's largest board. Checked whenever
+    // the 46x46 row was measured (i.e. every non-`--quick` run); the
+    // ratio is taken within one process, so machine load cancels out.
+    const FX_SPEEDUP_FLOOR: f64 = 1.3;
+    if let Some(big) = rows.iter().find(|r| r.side == 46) {
+        if big.fx_speedup < FX_SPEEDUP_FLOOR {
+            eprintln!(
+                "bench_phase_step: fx_speedup {:.3} at kings_46x46 is below the {FX_SPEEDUP_FLOOR} floor",
+                big.fx_speedup
+            );
+            std::process::exit(1);
+        }
+    }
 
     // CI perf-regression gate: compare the run just taken against a
     // committed baseline; any tracked column >15% slower exits nonzero.

@@ -29,11 +29,12 @@ fn main() {
             "fig5a: solving {nodes}-node problem ({} iterations)...",
             opts.iters
         );
-        let report = ExperimentRunner::new(MsropmConfig::paper_default())
-            .iterations(opts.iters)
-            .base_seed(opts.seed)
-            .cut_reference(CutReference::Value(bench.best_cut))
-            .run(&bench.graph);
+        let report =
+            ExperimentRunner::new(MsropmConfig::paper_default().with_backend(opts.backend))
+                .iterations(opts.iters)
+                .base_seed(opts.seed)
+                .cut_reference(CutReference::Value(bench.best_cut))
+                .run(&bench.graph);
 
         let acc = report.accuracies();
         println!("\n== {nodes}-node problem: 4-coloring accuracy per iteration ==");

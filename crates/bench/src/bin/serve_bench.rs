@@ -143,6 +143,7 @@ fn run_workload(workload: Workload, workers: usize, shards: usize) -> Row {
         queue_capacity: 32,
         cache_capacity: 16,
         shards: ShardPolicy::Fixed(shards),
+        ..ServerConfig::default()
     });
     let n_jobs = workload.jobs.len();
     let lanes: usize = workload.jobs.iter().map(|(_, j)| j.lanes.len()).sum();
@@ -200,6 +201,7 @@ fn smoke() {
                 queue_capacity: 8,
                 cache_capacity: 4, // smaller than the pool: eviction churn included
                 shards: ShardPolicy::Fixed(shards),
+                ..ServerConfig::default()
             });
             let tickets: Vec<_> = jobs
                 .into_iter()

@@ -1,5 +1,6 @@
 //! Minimal command-line handling shared by the figure/table binaries.
 
+use msropm_core::KernelBackend;
 use std::path::PathBuf;
 
 /// Options common to all harness binaries.
@@ -13,6 +14,8 @@ pub struct Options {
     pub out_dir: PathBuf,
     /// Base RNG seed.
     pub seed: u64,
+    /// Kernel backend the harness solves on (default: f64).
+    pub backend: KernelBackend,
 }
 
 impl Default for Options {
@@ -22,6 +25,7 @@ impl Default for Options {
             iters: 40,
             out_dir: PathBuf::from("paper_results"),
             seed: 0x5EED,
+            backend: KernelBackend::F64,
         }
     }
 }
@@ -29,8 +33,9 @@ impl Default for Options {
 impl Options {
     /// Parses `std::env::args` style arguments (everything after argv\[0\]).
     ///
-    /// Recognized: `--quick`, `--iters N`, `--out DIR`, `--seed S`.
-    /// Unknown arguments cause an error message listing valid flags.
+    /// Recognized: `--quick`, `--iters N`, `--out DIR`, `--seed S`,
+    /// `--backend f64|fixed`. Unknown arguments cause an error message
+    /// listing valid flags.
     ///
     /// # Errors
     ///
@@ -65,9 +70,14 @@ impl Options {
                         .parse()
                         .map_err(|_| format!("invalid --seed value {v:?}"))?;
                 }
+                "--backend" => {
+                    let v = it.next().ok_or("--backend requires a value")?;
+                    opts.backend = KernelBackend::from_name(&v)
+                        .ok_or_else(|| format!("invalid --backend value {v:?}; valid: f64, fixed"))?;
+                }
                 other => {
                     return Err(format!(
-                        "unknown argument {other:?}; valid: --quick --iters N --out DIR --seed S"
+                        "unknown argument {other:?}; valid: --quick --iters N --out DIR --seed S --backend f64|fixed"
                     ))
                 }
             }
@@ -134,6 +144,16 @@ mod tests {
         let o = parse(&["--out", "/tmp/x", "--seed", "99"]).unwrap();
         assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
         assert_eq!(o.seed, 99);
+    }
+
+    #[test]
+    fn backend_flag() {
+        assert_eq!(parse(&[]).unwrap().backend, KernelBackend::F64);
+        assert_eq!(
+            parse(&["--backend", "fixed"]).unwrap().backend,
+            KernelBackend::Fixed
+        );
+        assert!(parse(&["--backend", "q31"]).is_err());
     }
 
     #[test]

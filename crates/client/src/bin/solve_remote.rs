@@ -35,7 +35,7 @@
 //! first — the protocol still travels through a real TCP socket.
 
 use msropm_client::{Client, ClientError, RetryPolicy, SubmitOptions};
-use msropm_core::{BatchJob, MsropmConfig, SweepParam, SweepSpec};
+use msropm_core::{BatchJob, KernelBackend, MsropmConfig, SweepParam, SweepSpec};
 use msropm_graph::{generators, graph_hash, io as graph_io, Graph};
 use msropm_problems::{DecodedSolution, ProblemClass, ProblemSpec};
 use msropm_server::proto::{self, verify_lane, ErrorCode, Request, Response, WireProblemReport};
@@ -49,9 +49,10 @@ fn usage() -> ! {
         "usage: solve_remote --addr HOST:PORT [--tenant NAME] [--retries N] [--retry-base-ms MS] \
          <submit|problem|status|cancel|stats> ...\n\
          \x20      solve_remote smoke [--addr HOST:PORT] [--idle N]\n\
-         submit:  --graph SPEC [--replicas N] [--seed S] [--sweep] [--deadline-ms MS] [--no-wait]\n\
-         problem: --class NAME --input SPEC|FILE [--k K] [--replicas N] [--seed S] \
+         submit:  --graph SPEC [--replicas N] [--seed S] [--sweep] [--backend f64|fixed] \
          [--deadline-ms MS] [--no-wait]\n\
+         problem: --class NAME --input SPEC|FILE [--k K] [--replicas N] [--seed S] \
+         [--backend f64|fixed] [--deadline-ms MS] [--no-wait]\n\
          \x20        classes: coloring | max-cut | max-k-cut | mis | vertex-cover | \
          number-partition | cnf-sat | qubo | ising\n\
          smoke:   --idle N holds N extra idle connections open through the scenario\n\
@@ -288,6 +289,7 @@ fn main() {
             let mut sweep = false;
             let mut wait = true;
             let mut deadline_ms = 0u64;
+            let mut backend: Option<KernelBackend> = None;
             let mut it = rest.iter().skip(1);
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -312,12 +314,22 @@ fn main() {
                     }
                     "--sweep" => sweep = true,
                     "--no-wait" => wait = false,
+                    "--backend" => {
+                        backend = Some(
+                            it.next()
+                                .and_then(|v| KernelBackend::from_name(v))
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
                     _ => usage(),
                 }
             }
             let spec = graph_spec.unwrap_or_else(|| usage());
             let graph = parse_graph_spec(&spec).unwrap_or_else(|e| fail(e));
-            let config = MsropmConfig::paper_default();
+            let mut config = MsropmConfig::paper_default();
+            if let Some(b) = backend {
+                config = config.with_backend(b);
+            }
             let job = if sweep {
                 let grid = SweepSpec::new()
                     .logspace(SweepParam::CouplingStrength, 0.7, 1.4, replicas.max(2) / 2)
@@ -353,6 +365,7 @@ fn main() {
             let mut seed = 1u64;
             let mut wait = true;
             let mut deadline_ms = 0u64;
+            let mut backend: Option<KernelBackend> = None;
             let mut it = rest.iter().skip(1);
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -383,6 +396,13 @@ fn main() {
                             .unwrap_or_else(|| usage())
                     }
                     "--no-wait" => wait = false,
+                    "--backend" => {
+                        backend = Some(
+                            it.next()
+                                .and_then(|v| KernelBackend::from_name(v))
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
                     _ => usage(),
                 }
             }
@@ -392,7 +412,10 @@ fn main() {
                 .unwrap_or_else(|| usage());
             let input = input.unwrap_or_else(|| usage());
             let spec = build_problem_spec(class, &input, k).unwrap_or_else(|e| fail(e));
-            let config = MsropmConfig::paper_default();
+            let mut config = MsropmConfig::paper_default();
+            if let Some(b) = backend {
+                config = config.with_backend(b);
+            }
             let options = SubmitOptions::new().deadline_ms(deadline_ms);
             let job_id = client
                 .submit_problem(&spec, &config, replicas, seed, &options)

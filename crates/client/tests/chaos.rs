@@ -72,6 +72,7 @@ fn wire_config(workers: usize, shards: usize) -> WireConfig {
             queue_capacity: 32,
             cache_capacity: 4,
             shards: ShardPolicy::Fixed(shards),
+            ..ServerConfig::default()
         },
         max_inflight_jobs: 32,
         max_queued_lanes: 4096,

@@ -57,13 +57,16 @@
 //! property-tested in the workspace root's `tests/batch_determinism.rs`
 //! and `tests/lane_equivalence.rs`.
 
-use crate::config::{LaneConfig, MsropmConfig, ReinitMode};
+use crate::config::{KernelBackend, LaneConfig, MsropmConfig, ReinitMode};
 use crate::machine::{MsropmSolution, StageRecord};
 use crate::pool::ShardPool;
 use crate::schedule::{ScheduleSet, Window, WindowKind};
 use msropm_graph::{Color, Coloring, Cut, Graph};
 use msropm_ode::sde::standard_normal;
 use msropm_osc::batch::{BatchIntegrator, BatchKernel};
+use msropm_osc::fxkernel::{
+    self, noise_increment, phase_to_turns, turns_to_phase, FxBatchIntegrator, FxBatchKernel,
+};
 use msropm_osc::lock::{lock_error, phase_to_spin};
 use msropm_osc::shil::{stage_shil_phase, Shil};
 use msropm_osc::PhaseNetwork;
@@ -127,6 +130,10 @@ pub(crate) fn solve_lanes_sharded(
     if seeds.is_empty() {
         return Vec::new();
     }
+    // Check backend agreement across the *whole* batch up front, so a
+    // mixed batch fails identically whether or not the thread chunking
+    // happens to put the odd lane in its own chunk.
+    let _ = batch_backend(config, lanes);
     let threads = threads.min(seeds.len());
     if threads == 1 {
         return solve_lanes_arena(
@@ -167,11 +174,107 @@ pub(crate) fn solve_lanes_sharded(
     .expect("crossbeam scope")
 }
 
+/// The backend-erased compiled kernel of one lane range: either the
+/// IEEE-double SoA kernel or its fixed-point twin. The generic control
+/// plumbing (gating at stage transitions, boundary hooks, lane copies)
+/// goes through this enum's delegating methods; the numeric stage
+/// bodies ([`run_one_stage`]) match once and stay monomorphic, so
+/// neither hot loop pays for the other's existence.
+#[derive(Debug)]
+pub(crate) enum EngineKernel {
+    F64(BatchKernel),
+    Fx(FxBatchKernel),
+}
+
+impl EngineKernel {
+    fn edge_enabled(&self, edge: usize, replica: usize) -> bool {
+        match self {
+            EngineKernel::F64(k) => k.edge_enabled(edge, replica),
+            EngineKernel::Fx(k) => k.edge_enabled(edge, replica),
+        }
+    }
+
+    fn set_edge_enabled(&mut self, edge: usize, replica: usize, on: bool) {
+        match self {
+            EngineKernel::F64(k) => k.set_edge_enabled(edge, replica, on),
+            EngineKernel::Fx(k) => k.set_edge_enabled(edge, replica, on),
+        }
+    }
+
+    fn enable_all_edges(&mut self) {
+        match self {
+            EngineKernel::F64(k) => k.enable_all_edges(),
+            EngineKernel::Fx(k) => k.enable_all_edges(),
+        }
+    }
+
+    fn set_shil_enabled(&mut self, on: bool) {
+        match self {
+            EngineKernel::F64(k) => k.set_shil_enabled(on),
+            EngineKernel::Fx(k) => k.set_shil_enabled(on),
+        }
+    }
+
+    fn set_bias(&mut self, node: usize, replica: usize, delta_omega: f64) {
+        match self {
+            EngineKernel::F64(k) => k.set_bias(node, replica, delta_omega),
+            EngineKernel::Fx(k) => k.set_bias(node, replica, delta_omega),
+        }
+    }
+}
+
+/// The backend-erased mutable phase buffer of one shard: `f64` radians
+/// for the float backend, `i32` binary turns for the fixed-point one.
+/// A batch is single-backend (asserted at prepare time), so the two
+/// variants never mix inside one boundary.
+pub(crate) enum PhasesMut<'a> {
+    F64(&'a mut [f64]),
+    Fx(&'a mut [i32]),
+}
+
+impl PhasesMut<'_> {
+    fn len(&self) -> usize {
+        match self {
+            PhasesMut::F64(p) => p.len(),
+            PhasesMut::Fx(p) => p.len(),
+        }
+    }
+
+    fn copy_within_lane(&mut self, n: usize, rr: usize, src: usize, dst: usize) {
+        match self {
+            PhasesMut::F64(p) => {
+                for i in 0..n {
+                    p[i * rr + dst] = p[i * rr + src];
+                }
+            }
+            PhasesMut::Fx(p) => {
+                for i in 0..n {
+                    p[i * rr + dst] = p[i * rr + src];
+                }
+            }
+        }
+    }
+}
+
+/// Borrows the backend-matching phase buffer for a boundary slice
+/// (taking both buffers keeps the borrow disjoint from the arena's
+/// other fields).
+fn arena_phases<'a>(
+    kernel: &EngineKernel,
+    phases: &'a mut [f64],
+    fx_phases: &'a mut [i32],
+) -> PhasesMut<'a> {
+    match kernel {
+        EngineKernel::F64(_) => PhasesMut::F64(phases),
+        EngineKernel::Fx(_) => PhasesMut::Fx(fx_phases),
+    }
+}
+
 /// One shard's mutable slice of a [`StageBoundary`]: the per-shard
 /// kernel and state vectors, in lane order within the shard.
 pub(crate) struct ShardSlice<'a> {
-    kernel: &'a mut BatchKernel,
-    phases: &'a mut [f64],
+    kernel: &'a mut EngineKernel,
+    phases: PhasesMut<'a>,
     groups: &'a mut [usize],
     stage_records: &'a mut [Vec<StageRecord>],
     replicas: usize,
@@ -183,8 +286,8 @@ impl ShardSlice<'_> {
     fn copy_lane_local(&mut self, graph: &Graph, src: usize, dst: usize) {
         let rr = self.replicas;
         let n = self.phases.len() / rr;
+        self.phases.copy_within_lane(n, rr, src, dst);
         for i in 0..n {
-            self.phases[i * rr + dst] = self.phases[i * rr + src];
             self.groups[i * rr + dst] = self.groups[i * rr + src];
         }
         for e in 0..graph.num_edges() {
@@ -207,8 +310,20 @@ fn copy_lane_across(
 ) {
     let (rs, rd) = (src.replicas, dst.replicas);
     let n = src.phases.len() / rs;
+    match (&src.phases, &mut dst.phases) {
+        (PhasesMut::F64(s), PhasesMut::F64(d)) => {
+            for i in 0..n {
+                d[i * rd + dst_lane] = s[i * rs + src_lane];
+            }
+        }
+        (PhasesMut::Fx(s), PhasesMut::Fx(d)) => {
+            for i in 0..n {
+                d[i * rd + dst_lane] = s[i * rs + src_lane];
+            }
+        }
+        _ => unreachable!("a batch is single-backend; shards cannot mix phase formats"),
+    }
     for i in 0..n {
-        dst.phases[i * rd + dst_lane] = src.phases[i * rs + src_lane];
         dst.groups[i * rd + dst_lane] = src.groups[i * rs + src_lane];
     }
     for e in 0..graph.num_edges() {
@@ -315,9 +430,13 @@ impl StageBoundary<'_> {
 #[derive(Debug, Default)]
 pub struct BatchArena {
     integrator: BatchIntegrator,
+    fx_integrator: FxBatchIntegrator,
     rngs: Vec<StdRng>,
     configs: Vec<MsropmConfig>,
     phases: Vec<f64>,
+    /// Fixed-point twin of `phases` (binary-turn words); only the
+    /// buffer matching the batch's backend is populated by a solve.
+    fx_phases: Vec<i32>,
     groups: Vec<usize>,
     bits: Vec<bool>,
     stage_shils: Vec<Shil>,
@@ -425,11 +544,28 @@ pub(crate) fn solve_lanes_arena(
 /// buffers: the compiled kernel, the (per-solve) stage-record
 /// accumulators and the lockstep timeline.
 struct PreparedRange {
-    kernel: BatchKernel,
+    kernel: EngineKernel,
     stage_records: Vec<Vec<StageRecord>>,
     windows: Vec<Window>,
     k: usize,
     dt: f64,
+}
+
+/// Asserts every lane of a batch resolves to the same [`KernelBackend`]
+/// and returns it. One batch runs one numeric stack: the SoA sweep,
+/// the shared phase buffers and the cross-shard boundary all assume a
+/// single phase format.
+fn batch_backend(base: &MsropmConfig, lanes: &[LaneConfig]) -> KernelBackend {
+    let backend = lanes
+        .first()
+        .map_or(base.backend, |l| l.backend.unwrap_or(base.backend));
+    assert!(
+        lanes
+            .iter()
+            .all(|l| l.backend.unwrap_or(base.backend) == backend),
+        "all lanes in a batch must use the same kernel backend"
+    );
+    backend
 }
 
 /// Shared start-of-run setup for one contiguous lane range: resolves the
@@ -451,11 +587,14 @@ fn prepare_lane_range(
     let n = graph.num_nodes();
     let rr = seeds.len();
     assert_eq!(lanes.len(), rr, "need one lane config per seed");
+    let backend = batch_backend(base_config, lanes);
     let BatchArena {
         integrator: _,
+        fx_integrator: _,
         rngs,
         configs,
         phases,
+        fx_phases,
         groups,
         bits,
         stage_shils: _,
@@ -474,11 +613,13 @@ fn prepare_lane_range(
     let needs_lane_nets = lanes
         .iter()
         .any(|l| l.coupling_strength.is_some() || l.noise.is_some());
-    let mut kernel = if needs_lane_nets {
-        let nets: Vec<PhaseNetwork> = lanes.iter().map(|l| lane_network(network, l)).collect();
-        BatchKernel::from_lanes(&nets)
-    } else {
-        BatchKernel::new(network, rr)
+    let lane_nets: Option<Vec<PhaseNetwork>> =
+        needs_lane_nets.then(|| lanes.iter().map(|l| lane_network(network, l)).collect());
+    let mut kernel = match (backend, &lane_nets) {
+        (KernelBackend::F64, Some(nets)) => EngineKernel::F64(BatchKernel::from_lanes(nets)),
+        (KernelBackend::F64, None) => EngineKernel::F64(BatchKernel::new(network, rr)),
+        (KernelBackend::Fixed, Some(nets)) => EngineKernel::Fx(FxBatchKernel::from_lanes(nets, dt)),
+        (KernelBackend::Fixed, None) => EngineKernel::Fx(FxBatchKernel::new(network, rr, dt)),
     };
     // Start-of-run control state, mirroring `Msropm::solve`: every P_EN
     // high, SHIL off.
@@ -497,11 +638,25 @@ fn prepare_lane_range(
     }
 
     // Startup randomization: i.i.d. uniform phases, per replica in node
-    // order (the order `PhaseNetwork::random_phases` draws).
-    refill(phases, n * rr, 0.0);
-    for (r, rng) in rngs.iter_mut().enumerate() {
-        for i in 0..n {
-            phases[i * rr + r] = rng.gen::<f64>() * TAU;
+    // order (the order `PhaseNetwork::random_phases` draws). Both
+    // backends consume the identical uniform draws; the fixed-point
+    // path quantizes each to the nearest of 2^32 turn counts.
+    match backend {
+        KernelBackend::F64 => {
+            refill(phases, n * rr, 0.0);
+            for (r, rng) in rngs.iter_mut().enumerate() {
+                for i in 0..n {
+                    phases[i * rr + r] = rng.gen::<f64>() * TAU;
+                }
+            }
+        }
+        KernelBackend::Fixed => {
+            refill(fx_phases, n * rr, 0i32);
+            for (r, rng) in rngs.iter_mut().enumerate() {
+                for i in 0..n {
+                    fx_phases[i * rr + r] = phase_to_turns(rng.gen::<f64>() * TAU);
+                }
+            }
         }
     }
 
@@ -526,7 +681,29 @@ fn prepare_lane_range(
 /// schedule windows in that order. This is *the* stage body — the
 /// single-shard loop and every shard task call exactly this function,
 /// so partitioning the lane range cannot change any lane's arithmetic.
+/// One backend match here keeps both numeric bodies fully monomorphic.
 fn run_one_stage(
+    graph: &Graph,
+    stage: usize,
+    stage_windows: &[Window],
+    dt: f64,
+    kernel: &mut EngineKernel,
+    arena: &mut BatchArena,
+    stage_records: &mut [Vec<StageRecord>],
+) {
+    match kernel {
+        EngineKernel::F64(k) => {
+            run_one_stage_f64(graph, stage, stage_windows, dt, k, arena, stage_records)
+        }
+        EngineKernel::Fx(k) => {
+            run_one_stage_fx(graph, stage, stage_windows, dt, k, arena, stage_records)
+        }
+    }
+}
+
+/// The IEEE-double stage body (the reference arithmetic every property
+/// test is anchored to).
+fn run_one_stage_f64(
     graph: &Graph,
     stage: usize,
     stage_windows: &[Window],
@@ -538,9 +715,11 @@ fn run_one_stage(
     let n = graph.num_nodes();
     let BatchArena {
         integrator,
+        fx_integrator: _,
         rngs,
         configs,
         phases,
+        fx_phases: _,
         groups,
         bits,
         stage_shils,
@@ -691,24 +870,220 @@ fn run_one_stage(
     kernel.set_shil_enabled(false);
 }
 
+/// The fixed-point stage body: the same control flow as
+/// [`run_one_stage_f64`] over `i32` binary-turn phases. The drift
+/// windows run on the fx integrator's uniform step grid (every step a
+/// full `dt`, the hardware clock); readout converts each phase word to
+/// radians and reuses the exact `phase_to_spin`/`lock_error` decision
+/// functions, so binarization and quality metrics are defined
+/// identically across backends.
+fn run_one_stage_fx(
+    graph: &Graph,
+    stage: usize,
+    stage_windows: &[Window],
+    dt: f64,
+    kernel: &mut FxBatchKernel,
+    arena: &mut BatchArena,
+    stage_records: &mut [Vec<StageRecord>],
+) {
+    let n = graph.num_nodes();
+    let BatchArena {
+        integrator: _,
+        fx_integrator: integrator,
+        rngs,
+        configs,
+        phases: _,
+        fx_phases: phases,
+        groups,
+        bits,
+        stage_shils,
+        ramped,
+    } = arena;
+    let rr = configs.len();
+    let num_groups = 1usize << (stage - 1);
+    let any_ramped = ramped.iter().any(|&r| r);
+    let [w_init, w_anneal, w_lock] = stage_windows else {
+        panic!("stage {stage} must have exactly three windows");
+    };
+
+    // ---- Randomize window (couplings off, SHIL off) ----
+    debug_assert_eq!(w_init.kind, WindowKind::Randomize);
+    kernel.set_couplings_enabled(false);
+    kernel.set_shil_enabled(false);
+    let any_jitter = configs
+        .iter()
+        .any(|c| matches!(c.reinit, ReinitMode::JitterDrift { .. }));
+    let any_uniform = configs
+        .iter()
+        .any(|c| c.reinit == ReinitMode::UniformRandom);
+    if any_jitter && !any_uniform {
+        // All lanes drift: run the kernel path with each lane's drift
+        // σ (as a quantized gain), then restore the annealing σ.
+        for (r, cfg) in configs.iter().enumerate() {
+            let ReinitMode::JitterDrift { sigma } = cfg.reinit else {
+                unreachable!("all lanes drift here")
+            };
+            kernel.set_lane_noise_amplitude(r, sigma);
+        }
+        integrator.integrate(kernel, phases, w_init.t_start, w_init.t_end(), dt, rngs);
+        for (r, cfg) in configs.iter().enumerate() {
+            kernel.set_lane_noise_amplitude(r, cfg.noise);
+        }
+    } else if any_jitter {
+        // Mixed modes. Couplings and SHIL are off, so lanes are fully
+        // independent: advance jitter lanes by the exact bias + noise
+        // arithmetic of the fx kernel path (one deviate per node per
+        // step, in node order — the solo stream), while uniform lanes
+        // draw nothing until their redraw below.
+        let drift_gains: Vec<i64> = configs
+            .iter()
+            .map(|c| match c.reinit {
+                ReinitMode::JitterDrift { sigma } => fxkernel::noise_gain(sigma, dt),
+                ReinitMode::UniformRandom => 0,
+            })
+            .collect();
+        for _ in 0..kernel.steps_for(w_init.t_start, w_init.t_end()) {
+            for i in 0..n {
+                let row = i * rr;
+                for (r, rng) in rngs.iter_mut().enumerate() {
+                    if matches!(configs[r].reinit, ReinitMode::JitterDrift { .. }) {
+                        let xi = standard_normal(rng);
+                        let gain = if kernel.node_enabled(i) {
+                            drift_gains[r]
+                        } else {
+                            0
+                        };
+                        phases[row + r] = phases[row + r]
+                            .wrapping_add(kernel.bias_step_of(i, r))
+                            .wrapping_add(noise_increment(gain, xi));
+                    }
+                }
+            }
+        }
+    }
+    for (r, rng) in rngs.iter_mut().enumerate() {
+        if configs[r].reinit == ReinitMode::UniformRandom {
+            for i in 0..n {
+                phases[i * rr + r] = phase_to_turns(rng.gen::<f64>() * TAU);
+            }
+        }
+    }
+
+    // ---- Anneal window (couplings on, SHIL off) ----
+    debug_assert_eq!(w_anneal.kind, WindowKind::Anneal);
+    kernel.set_couplings_enabled(true);
+    integrator.integrate(kernel, phases, w_anneal.t_start, w_anneal.t_end(), dt, rngs);
+
+    // ---- Lock window (couplings on, SHIL on) ----
+    debug_assert_eq!(w_lock.kind, WindowKind::Lock);
+    stage_shils.clear();
+    for cfg in configs.iter() {
+        stage_shils.extend(
+            (0..num_groups)
+                .map(|g| Shil::order2(stage_shil_phase(g, num_groups), cfg.shil_strength)),
+        );
+    }
+    let shil_of = |r: usize, g: usize| stage_shils[r * num_groups + g];
+    for i in 0..n {
+        for r in 0..rr {
+            kernel.set_shil(i, r, Some(shil_of(r, groups[i * rr + r])));
+        }
+    }
+    kernel.set_shil_enabled(true);
+    if any_ramped {
+        integrator.integrate_ramped_lanes(
+            kernel,
+            phases,
+            w_lock.t_start,
+            w_lock.t_end(),
+            dt,
+            rngs,
+            |f| f,
+            ramped,
+        );
+    } else {
+        integrator.integrate(kernel, phases, w_lock.t_start, w_lock.t_end(), dt, rngs);
+    }
+
+    // ---- Readout (per replica) ----
+    for i in 0..n {
+        for r in 0..rr {
+            let idx = i * rr + r;
+            bits[idx] = phase_to_spin(turns_to_phase(phases[idx]), &shil_of(r, groups[idx])) == 1;
+        }
+    }
+    for r in 0..rr {
+        let worst_lock = (0..n)
+            .map(|i| {
+                lock_error(
+                    turns_to_phase(phases[i * rr + r]),
+                    &shil_of(r, groups[i * rr + r]),
+                )
+            })
+            .fold(0.0f64, f64::max);
+        let replica_bits: Vec<bool> = (0..n).map(|i| bits[i * rr + r]).collect();
+        let mut cut_value = 0usize;
+        let mut active_edges = 0usize;
+        for (e, u, v) in graph.edges() {
+            if kernel.edge_enabled(e.index(), r) {
+                active_edges += 1;
+                if replica_bits[u.index()] != replica_bits[v.index()] {
+                    cut_value += 1;
+                }
+            }
+        }
+        stage_records[r].push(StageRecord {
+            stage,
+            partition: Cut::new(replica_bits),
+            cut_value,
+            active_edges,
+            max_lock_error: worst_lock,
+        });
+    }
+
+    // ---- Stage transition: latch SHIL_SEL, cut crossing couplings.
+    for idx in 0..n * rr {
+        groups[idx] = groups[idx] * 2 + usize::from(bits[idx]);
+    }
+    for (e, u, v) in graph.edges() {
+        let (u, v) = (u.index() * rr, v.index() * rr);
+        for r in 0..rr {
+            if groups[u + r] != groups[v + r] {
+                kernel.set_edge_enabled(e.index(), r, false);
+            }
+        }
+    }
+    kernel.set_shil_enabled(false);
+}
+
 /// Builds the per-lane solutions from a finished range's final state.
+/// Fixed-point phase words convert to radians in `[0, 2π)` — exactly
+/// invertibly (see [`msropm_osc::fxkernel::phase_to_turns`]), so the
+/// golden-hash tests can recover the raw words from a solution.
 fn assemble_solutions(
     n: usize,
-    phases: &[f64],
-    groups: &[usize],
+    kernel: &EngineKernel,
+    arena: &BatchArena,
     stage_records: Vec<Vec<StageRecord>>,
     total_time_ns: f64,
 ) -> Vec<MsropmSolution> {
     let rr = stage_records.len();
+    let groups = &arena.groups;
     stage_records
         .into_iter()
         .enumerate()
         .map(|(r, stages)| {
             let coloring: Coloring = (0..n).map(|i| Color(groups[i * rr + r] as u16)).collect();
+            let final_phases = (0..n)
+                .map(|i| match kernel {
+                    EngineKernel::F64(_) => arena.phases[i * rr + r],
+                    EngineKernel::Fx(_) => turns_to_phase(arena.fx_phases[i * rr + r]),
+                })
+                .collect();
             MsropmSolution {
                 coloring,
                 stages,
-                final_phases: (0..n).map(|i| phases[i * rr + r]).collect(),
+                final_phases,
                 total_time_ns,
             }
         })
@@ -769,11 +1144,12 @@ where
             &mut stage_records,
         );
         if stage < k {
+            let phases = arena_phases(&kernel, &mut arena.phases, &mut arena.fx_phases);
             let mut boundary = StageBoundary {
                 graph,
                 shards: vec![ShardSlice {
                     kernel: &mut kernel,
-                    phases: arena.phases.as_mut_slice(),
+                    phases,
                     groups: arena.groups.as_mut_slice(),
                     stage_records: stage_records.as_mut_slice(),
                     replicas: rr,
@@ -787,8 +1163,8 @@ where
     let total_time_ns = windows.last().map_or(0.0, Window::t_end);
     Some(assemble_solutions(
         graph.num_nodes(),
-        &arena.phases,
-        &arena.groups,
+        &kernel,
+        arena,
         stage_records,
         total_time_ns,
     ))
@@ -800,7 +1176,7 @@ where
 struct ShardRun {
     graph: Arc<Graph>,
     shard: usize,
-    kernel: BatchKernel,
+    kernel: EngineKernel,
     arena: BatchArena,
     stage_records: Vec<Vec<StageRecord>>,
     windows: Vec<Window>,
@@ -853,9 +1229,14 @@ impl ShardRun {
     }
 
     fn boundary_slice(&mut self) -> ShardSlice<'_> {
+        let phases = arena_phases(
+            &self.kernel,
+            &mut self.arena.phases,
+            &mut self.arena.fx_phases,
+        );
         ShardSlice {
             kernel: &mut self.kernel,
-            phases: self.arena.phases.as_mut_slice(),
+            phases,
             groups: self.arena.groups.as_mut_slice(),
             stage_records: self.stage_records.as_mut_slice(),
             replicas: self.arena.configs.len(),
@@ -866,8 +1247,8 @@ impl ShardRun {
         let total_time_ns = self.windows.last().map_or(0.0, Window::t_end);
         let sols = assemble_solutions(
             self.graph.num_nodes(),
-            &self.arena.phases,
-            &self.arena.groups,
+            &self.kernel,
+            &self.arena,
             self.stage_records,
             total_time_ns,
         );
@@ -972,9 +1353,10 @@ where
             hook,
         );
     }
-    // Lockstep must hold across the *whole* batch, not just within each
-    // shard, so a cross-shard timing mismatch fails exactly like it
-    // does on the single-shard path.
+    // Lockstep (and backend agreement) must hold across the *whole*
+    // batch, not just within each shard, so a cross-shard mismatch
+    // fails exactly like it does on the single-shard path.
+    let _ = batch_backend(base_config, lanes);
     let all_configs: Vec<MsropmConfig> = lanes.iter().map(|l| l.resolve(base_config)).collect();
     let _lockstep = ScheduleSet::from_configs(&all_configs);
     let k = all_configs[0].num_stages();

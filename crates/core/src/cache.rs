@@ -25,7 +25,7 @@
 //! `Msropm::new` is deterministic, and the machine is immutable once
 //! interned.
 
-use crate::config::{MsropmConfig, ReinitMode};
+use crate::config::{KernelBackend, MsropmConfig, ReinitMode};
 use crate::machine::Msropm;
 use msropm_graph::{graph_hash, Graph};
 use std::collections::HashMap;
@@ -61,6 +61,12 @@ fn config_fingerprint(c: &MsropmConfig) -> u64 {
         }
     }
     mix(u64::from(c.shil_ramp));
+    // The numeric backend is part of the problem identity: a machine
+    // compiled for one backend must never serve the other's lookups.
+    mix(match c.backend {
+        KernelBackend::F64 => 1,
+        KernelBackend::Fixed => 2,
+    });
     h
 }
 
@@ -368,6 +374,32 @@ mod tests {
         // The plain-key API still resolves to the fingerprint-0 slot.
         let hit0 = cache.lookup(&g, &cfg).expect("resident");
         assert!(Arc::ptr_eq(&plain, &hit0));
+    }
+
+    #[test]
+    fn backend_never_aliases_a_cache_slot() {
+        // Two configs identical except for the kernel backend must hash
+        // to distinct fingerprints and occupy distinct slots: a machine
+        // compiled for the f64 stack must never be served to a
+        // fixed-point job or vice versa.
+        let cfg_f64 = fast_config();
+        let cfg_fx = fast_config().with_backend(KernelBackend::Fixed);
+        assert_ne!(config_fingerprint(&cfg_f64), config_fingerprint(&cfg_fx));
+
+        let g = generators::kings_graph(3, 3);
+        let mut cache = ProblemCache::new(4);
+        let a = cache.get_or_compile(&g, &cfg_f64);
+        let b = cache.get_or_compile(&g, &cfg_fx);
+        assert!(!Arc::ptr_eq(&a, &b), "cross-backend hit served");
+        assert_eq!(cache.len(), 2, "backends must occupy distinct slots");
+        assert_eq!(cache.stats().misses, 2);
+        // Each backend's lookup resolves to its own machine.
+        let hit_f64 = cache.lookup(&g, &cfg_f64).expect("f64 slot resident");
+        let hit_fx = cache.lookup(&g, &cfg_fx).expect("fixed slot resident");
+        assert!(Arc::ptr_eq(&a, &hit_f64));
+        assert!(Arc::ptr_eq(&b, &hit_fx));
+        assert_eq!(hit_f64.config().backend, KernelBackend::F64);
+        assert_eq!(hit_fx.config().backend, KernelBackend::Fixed);
     }
 
     #[test]

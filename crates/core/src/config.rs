@@ -19,6 +19,60 @@ pub enum ReinitMode {
     },
 }
 
+/// Which numeric stack integrates the phase dynamics.
+///
+/// Both backends implement the same gather → sin → scatter
+/// `drift_into` contract and consume the same per-lane ziggurat
+/// deviate streams, so a lane's seed means the same thing under
+/// either; they differ in arithmetic:
+///
+/// - [`KernelBackend::F64`] runs the IEEE-double kernels
+///   ([`msropm_osc::BatchKernel`]) — the reference-precision path every
+///   property test is anchored to.
+/// - [`KernelBackend::Fixed`] runs the fixed-point kernels
+///   ([`msropm_osc::FxBatchKernel`]): phases as wrapping `i32` binary
+///   turns, rates quantized to per-step turn counts at kernel build,
+///   sine from a quarter-wave integer LUT — the hardware-faithful
+///   ASIC-emulation model and the fastest RHS path (integer lanes
+///   auto-vectorize wider than f64).
+///
+/// The backend is part of the problem identity: it enters the
+/// [`ProblemCache`](crate::ProblemCache) fingerprint, so cached
+/// machines are never shared across backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelBackend {
+    /// IEEE `f64` kernels (reference precision; the default).
+    #[default]
+    F64,
+    /// Q-format integer kernels (binary-turn phases, LUT sine).
+    Fixed,
+}
+
+impl KernelBackend {
+    /// Parses the CLI/wire spelling (`"f64"` or `"fixed"`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "f64" => Some(KernelBackend::F64),
+            "fixed" => Some(KernelBackend::Fixed),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI/wire spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::F64 => "f64",
+            KernelBackend::Fixed => "fixed",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Full configuration of an [`crate::Msropm`] machine.
 ///
 /// Defaults ([`MsropmConfig::paper_default`]) follow the paper's §4.1
@@ -53,6 +107,9 @@ pub struct MsropmConfig {
     /// annealing refinement (beyond-paper knob; the paper's Fig. 3 gates
     /// SHIL hard, which is the default here).
     pub shil_ramp: bool,
+    /// Numeric kernel stack: IEEE `f64` (default) or Q-format fixed
+    /// point (see [`KernelBackend`]).
+    pub backend: KernelBackend,
 }
 
 impl MsropmConfig {
@@ -72,7 +129,14 @@ impl MsropmConfig {
             dt: 0.01,
             reinit: ReinitMode::JitterDrift { sigma: 1.5 },
             shil_ramp: false,
+            backend: KernelBackend::F64,
         }
+    }
+
+    /// Returns a copy with a different kernel backend.
+    pub fn with_backend(mut self, backend: KernelBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Returns a copy with the SHIL-strength ramp enabled/disabled.
@@ -213,6 +277,12 @@ pub struct LaneConfig {
     pub shil_ramp: Option<bool>,
     /// Override of [`MsropmConfig::reinit`].
     pub reinit: Option<ReinitMode>,
+    /// Override of [`MsropmConfig::backend`]. The batch engine runs one
+    /// numeric stack per solve, so every lane of a batch must resolve
+    /// to the **same** backend (mixed batches are rejected at prepare
+    /// time); the override exists so sweep tooling can retarget a whole
+    /// lane set without touching the base config.
+    pub backend: Option<KernelBackend>,
 }
 
 impl LaneConfig {
@@ -246,6 +316,13 @@ impl LaneConfig {
         self
     }
 
+    /// Returns a copy overriding the kernel backend (must agree across
+    /// every lane of a batch).
+    pub fn with_backend(mut self, backend: KernelBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
     /// `true` if this lane overrides nothing (runs the base config).
     pub fn is_default(&self) -> bool {
         *self == LaneConfig::default()
@@ -265,6 +342,7 @@ impl LaneConfig {
             noise: self.noise.unwrap_or(base.noise),
             shil_ramp: self.shil_ramp.unwrap_or(base.shil_ramp),
             reinit: self.reinit.unwrap_or(base.reinit),
+            backend: self.backend.unwrap_or(base.backend),
             ..*base
         };
         cfg.validate();

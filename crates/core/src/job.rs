@@ -95,6 +95,20 @@ impl BatchJob {
         }
     }
 
+    /// Forces every lane of the job onto `backend`: sets the base
+    /// config's backend and clears any per-lane backend pins, so the
+    /// whole batch runs single-backend on `backend` no matter what the
+    /// submitter asked for. This is the server-side override hook
+    /// (`msropm_serve --backend`) — it must run **before** the job's
+    /// config is used as a cache key, since the backend is part of the
+    /// [`crate::cache::ProblemCache`] fingerprint.
+    pub fn force_backend(&mut self, backend: crate::KernelBackend) {
+        self.config.backend = backend;
+        for lane in &mut self.lanes {
+            lane.backend = None;
+        }
+    }
+
     /// Per-lane seeds: the first `lanes.len()` outputs of a SplitMix64
     /// generator seeded with the job seed. Distinct lanes get
     /// well-separated RNG streams even for adjacent job seeds, and the

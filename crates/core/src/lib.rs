@@ -64,7 +64,7 @@ pub mod schedule;
 pub use batch::{BatchArena, ShardedArena};
 pub use cache::{CacheStats, ProblemCache};
 pub use circuit_machine::{CircuitMsropm, CircuitMsropmConfig, CircuitSolution};
-pub use config::{LaneConfig, MsropmConfig, ReinitMode, SweepParam, SweepSpec};
+pub use config::{KernelBackend, LaneConfig, MsropmConfig, ReinitMode, SweepParam, SweepSpec};
 pub use job::{BatchJob, CancelToken, JobReport, RankedLane};
 pub use machine::{ArenaRef, Msropm, MsropmSolution, SolveOptions, SolveShardPolicy, StageRecord};
 pub use metrics::{coloring_accuracy, max_cut_accuracy, search_space_label};

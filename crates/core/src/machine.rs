@@ -157,7 +157,24 @@ impl Msropm {
     }
 
     /// Executes one complete multi-stage run.
+    ///
+    /// With [`KernelBackend::F64`](crate::KernelBackend::F64) this is
+    /// the scalar reference path (and the anchor of the batch engine's
+    /// bit-identity contract). With
+    /// [`KernelBackend::Fixed`](crate::KernelBackend::Fixed) the run
+    /// executes as a one-lane fixed-point batch: one `u64` is drawn
+    /// from `rng` and becomes the lane seed, so repeated solves from
+    /// one RNG still explore independent trajectories and a run is
+    /// reproducible from the RNG state alone.
     pub fn solve<R: Rng + ?Sized>(&mut self, rng: &mut R) -> MsropmSolution {
+        if self.config.backend == crate::KernelBackend::Fixed {
+            let seed = rng.gen::<u64>();
+            let lanes = [crate::LaneConfig::default()];
+            let mut sols = self
+                .solve_lanes(&lanes, &[seed], SolveOptions::new())
+                .expect("no cancel token => never None");
+            return sols.pop().expect("one lane yields one solution");
+        }
         self.solve_observed(rng, |_, _, _| {})
     }
 
@@ -169,11 +186,25 @@ impl Msropm {
     /// integrate thousands of steps) and runs on the machine's reusable
     /// integrator, so the whole multi-stage run performs no per-window
     /// heap allocation beyond the readout records it returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the machine is configured with the fixed-point
+    /// backend: the observer contract hands out per-step `&[f64]`
+    /// radian phases, which only the float kernel produces. Waveform
+    /// dumps of a fixed-point run are not supported; use
+    /// [`Msropm::solve`] (which delegates to the batch engine) for
+    /// its end-of-run readout instead.
     pub fn solve_observed<R, F>(&mut self, rng: &mut R, mut observe: F) -> MsropmSolution
     where
         R: Rng + ?Sized,
         F: FnMut(f64, &Window, &[f64]),
     {
+        assert_eq!(
+            self.config.backend,
+            crate::KernelBackend::F64,
+            "solve_observed streams f64 phase waveforms and only runs on the f64 backend"
+        );
         let n = self.graph.num_nodes();
         let k = self.config.num_stages();
         let dt = self.config.dt;
@@ -588,7 +619,25 @@ impl Msropm {
             arena,
             cancel_token,
             shard_policy,
+            backend,
         } = options;
+        // A backend override is expressed through the lane layer so it
+        // flows unchanged through every execution strategy below.
+        let lanes_overridden: Vec<LaneConfig>;
+        let lanes = match backend {
+            Some(b) if b != self.config.backend => {
+                lanes_overridden = lanes
+                    .iter()
+                    .map(|lane| {
+                        let mut lane = *lane;
+                        lane.backend.get_or_insert(b);
+                        lane
+                    })
+                    .collect();
+                &lanes_overridden[..]
+            }
+            _ => lanes,
+        };
         match shard_policy {
             SolveShardPolicy::Threads(threads) => {
                 assert!(threads > 0, "threads must be >= 1");
@@ -726,6 +775,11 @@ pub struct SolveOptions<'a> {
     pub cancel_token: Option<&'a crate::job::CancelToken>,
     /// Execution strategy (defaults to inline single-task).
     pub shard_policy: SolveShardPolicy<'a>,
+    /// Kernel backend to run the lanes on; `None` keeps the machine
+    /// configuration's backend. Lanes that pin their own
+    /// [`LaneConfig::backend`](crate::LaneConfig) keep it (a batch must
+    /// still end up single-backend).
+    pub backend: Option<crate::KernelBackend>,
 }
 
 impl Default for SolveShardPolicy<'_> {
@@ -768,6 +822,14 @@ impl<'a> SolveOptions<'a> {
     /// if it fires.
     pub fn cancel(mut self, cancel: &'a crate::job::CancelToken) -> Self {
         self.cancel_token = Some(cancel);
+        self
+    }
+
+    /// Run the lanes on `backend`, overriding the machine
+    /// configuration's default (lanes that pin their own backend keep
+    /// it).
+    pub fn backend(mut self, backend: crate::KernelBackend) -> Self {
+        self.backend = Some(backend);
         self
     }
 }
@@ -1103,6 +1165,7 @@ mod tests {
                 arena: Some(ArenaRef::Sharded(&mut arena)),
                 cancel_token: None,
                 shard_policy: SolveShardPolicy::Threads(1),
+                backend: None,
             },
         );
     }

@@ -33,7 +33,7 @@
 //! seeded RNG **per replica**, in the same per-replica order a sequential
 //! run would draw, completing the bit-identity argument.
 
-use crate::fastmath::{sin_fast, sin_slice};
+use crate::fastmath::sin_slice;
 use crate::network::PhaseNetwork;
 use crate::shil::Shil;
 use msropm_ode::sde::fill_normal_batch;
@@ -412,13 +412,22 @@ impl BatchKernel {
             }
         }
         if self.shil_on {
+            // Same three-pass shape as the edges: argument slice, one
+            // vectorized `sin_slice` sweep over contiguous memory, then
+            // apply. Bitwise-identical to the former per-element
+            // `sin_fast` loop; `scratch` regrows at most once to
+            // `max(m, n)·M` lanes.
+            let len = self.num_nodes * rr;
+            scratch.resize(len, 0.0);
+            for (k, slot) in scratch[..len].iter_mut().enumerate() {
+                *slot = self.shil_m[k] * y[k] - self.shil_psi[k];
+            }
+            sin_slice(&mut scratch[..len]);
             for i in 0..self.num_nodes {
                 let row = i * rr;
                 for r in 0..rr {
                     let k = row + r;
-                    let torque = (self.shil_ks[k] * self.shil_scale[r])
-                        * sin_fast(self.shil_m[k] * y[k] - self.shil_psi[k]);
-                    dydt[k] -= torque;
+                    dydt[k] -= (self.shil_ks[k] * self.shil_scale[r]) * scratch[k];
                 }
             }
         }

@@ -160,8 +160,9 @@ impl CoupledKernel {
 
     /// Writes the drift into `dydt` using `scratch` for the edge pass.
     ///
-    /// This is the allocation-free hot path: `scratch` is resized once to
-    /// the active edge count and reused across steps. The arithmetic is
+    /// This is the allocation-free hot path: `scratch` grows once to
+    /// `max(active edges, nodes)` and is reused across steps (the edge
+    /// pass and the SHIL pass each borrow it in turn). The arithmetic is
     /// identical (bitwise) to the [`OdeSystem::eval`] implementation; the
     /// buffer exists so the `sin` pass runs over contiguous memory and
     /// vectorizes.
@@ -187,7 +188,22 @@ impl CoupledKernel {
             dydt[self.edge_u[k] as usize] -= s;
             dydt[self.edge_v[k] as usize] += s;
         }
-        self.shil_pass(y, dydt);
+        // SHIL pass, same three-pass shape as the edges: precompute the
+        // argument slice, one vectorized `sin_slice` sweep, then apply.
+        // Bitwise-identical to the scalar `shil_pass` (`sin_slice`
+        // matches per-element `sin_fast` exactly); `scratch` regrows at
+        // most once to `max(m, n)` and stays allocation-free after.
+        if self.shil_on {
+            let n = self.num_nodes;
+            scratch.resize(n, 0.0);
+            for i in 0..n {
+                scratch[i] = self.shil_m[i] * y[i] - self.shil_psi[i];
+            }
+            sin_slice(&mut scratch[..n]);
+            for i in 0..n {
+                dydt[i] -= (self.shil_ks[i] * self.shil_scale) * scratch[i];
+            }
+        }
     }
 
     /// Adds the dense SHIL torque `−Ks·scale·sin(mθ − ψ)` for every node.

@@ -55,6 +55,11 @@
 //!   one sweep per step with per-replica weight lanes for gating and
 //!   per-replica RNGs for noise — bit-identical to M scalar runs, and the
 //!   unit the experiment runner shards across threads.
+//! - [`fxkernel::FxBatchKernel`] is the fixed-point twin of the batch
+//!   kernel: phases as wrapping `i32` binary turns, every rate quantized
+//!   to per-step turn counts at build time, sine from a quarter-wave
+//!   integer LUT — the hardware-faithful (and fastest) RHS path,
+//!   selected per solve through the core crate's `KernelBackend`.
 //! - [`fastmath::sin_fast`] is the branchless polynomial `sin` those
 //!   kernels vectorize over (< 4e-15 absolute error).
 //!
@@ -77,6 +82,7 @@
 
 pub mod batch;
 pub mod fastmath;
+pub mod fxkernel;
 pub mod kernel;
 pub mod landscape;
 pub mod lock;
@@ -85,6 +91,7 @@ pub mod shil;
 pub mod waveform;
 
 pub use batch::{BatchIntegrator, BatchKernel};
+pub use fxkernel::{FxBatchIntegrator, FxBatchKernel};
 pub use kernel::{CoupledKernel, KernelIntegrator};
 pub use lock::{binarize_phases, nearest_stable_phase, order_parameter, phase_to_spin};
 pub use network::{PhaseNetwork, PhaseNetworkBuilder};

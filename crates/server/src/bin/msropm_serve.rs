@@ -4,9 +4,9 @@
 //! ```text
 //! msropm_serve [--addr HOST:PORT] [--frontend threads|reactor|http]
 //!              [--workers N] [--queue N] [--cache N] [--shards auto|N]
-//!              [--max-inflight N] [--max-lanes N] [--max-conns N]
-//!              [--loops N] [--max-wbuf BYTES] [--poll-backend]
-//!              [--port-file PATH]
+//!              [--backend f64|fixed] [--max-inflight N] [--max-lanes N]
+//!              [--max-conns N] [--loops N] [--max-wbuf BYTES]
+//!              [--poll-backend] [--port-file PATH]
 //! ```
 //!
 //! `--shards auto` (default) lets each job's solve shard across the
@@ -14,6 +14,12 @@
 //! backlog; `--shards N` pins every job to N shards (`--shards 1`
 //! disables intra-job parallelism). Reports are bit-identical either
 //! way.
+//!
+//! `--backend fixed` forces every accepted job onto the fixed-point
+//! phase kernel (see the `osc::fxkernel` module) regardless of what the
+//! submission asked for — one flag pins the whole deployment to the
+//! integer path; `--backend f64` pins the float path. Without the flag
+//! each job's own config picks its backend.
 //!
 //! `--frontend threads` (default) serves each binary-protocol
 //! connection with a reader/writer thread pair; `--frontend reactor`
@@ -31,6 +37,7 @@
 //! printed as `listening on ADDR` (and written to `--port-file` when
 //! given, which is what the CI smoke stages parse).
 
+use msropm_core::KernelBackend;
 use msropm_server::proto::FrontendKind;
 use msropm_server::{ServerConfig, ShardPolicy};
 use std::time::Duration;
@@ -69,6 +76,14 @@ fn main() {
                     ShardPolicy::Fixed(v.parse().expect("--shards auto|N"))
                 })
             }
+            "--backend" => {
+                let v = value("--backend");
+                let backend = KernelBackend::from_name(&v).unwrap_or_else(|| {
+                    eprintln!("unknown backend {v:?}; valid: f64, fixed");
+                    std::process::exit(2);
+                });
+                builder.backend(backend)
+            }
             "--max-inflight" => builder
                 .max_inflight_jobs(value("--max-inflight").parse().expect("--max-inflight N")),
             "--max-lanes" => {
@@ -90,8 +105,9 @@ fn main() {
                 eprintln!(
                     "unknown argument {other:?}; valid: --addr HOST:PORT, \
                      --frontend threads|reactor|http, --workers N, --queue N, --cache N, \
-                     --shards auto|N, --max-inflight N, --max-lanes N, --max-conns N, \
-                     --loops N, --max-wbuf BYTES, --poll-backend, --port-file PATH"
+                     --shards auto|N, --backend f64|fixed, --max-inflight N, \
+                     --max-lanes N, --max-conns N, --loops N, --max-wbuf BYTES, \
+                     --poll-backend, --port-file PATH"
                 );
                 std::process::exit(2);
             }

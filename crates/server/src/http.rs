@@ -737,6 +737,12 @@ fn parse_config(value: &Json) -> Result<MsropmConfig, ApiError> {
                     .ok_or_else(|| bad("shil_ramp must be a boolean"))?;
             }
             "reinit" => c.reinit = parse_reinit(v)?,
+            "backend" => {
+                let name = v.as_str().ok_or_else(|| bad("backend must be a string"))?;
+                c.backend = msropm_core::KernelBackend::from_name(name).ok_or_else(|| {
+                    bad(format!("backend \"{name}\" is not \"f64\" or \"fixed\""))
+                })?;
+            }
             other => return Err(bad(format!("unknown config field \"{other}\""))),
         }
     }
@@ -1861,6 +1867,7 @@ mod tests {
                     queue_capacity: 32,
                     cache_capacity: 4,
                     shards: ShardPolicy::Fixed(1),
+                    ..ServerConfig::default()
                 },
                 max_inflight_jobs: max_inflight,
                 max_queued_lanes: 1024,

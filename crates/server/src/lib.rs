@@ -78,7 +78,8 @@ pub mod stats;
 pub mod wire;
 
 use msropm_core::{
-    num_cores, BatchJob, CacheStats, CancelToken, JobReport, ProblemCache, ShardedArena,
+    num_cores, BatchJob, CacheStats, CancelToken, JobReport, KernelBackend, ProblemCache,
+    ShardedArena,
 };
 use msropm_graph::Graph;
 use queue::BoundedQueue;
@@ -143,6 +144,13 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Intra-job shard width policy (see [`ShardPolicy`]).
     pub shards: ShardPolicy,
+    /// When set, every accepted job is forced onto this kernel backend
+    /// (base config and all lanes — see
+    /// [`msropm_core::BatchJob::force_backend`]) before it reaches the
+    /// problem cache. `None` honours whatever backend each job asks
+    /// for. This is the `msropm_serve --backend` knob: one flag pins
+    /// the whole deployment to e.g. the fixed-point kernel.
+    pub backend: Option<KernelBackend>,
 }
 
 impl Default for ServerConfig {
@@ -152,6 +160,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_capacity: 32,
             shards: ShardPolicy::Auto,
+            backend: None,
         }
     }
 }
@@ -592,6 +601,8 @@ struct Shared {
     queue: BoundedQueue<Envelope>,
     cache: Mutex<ProblemCache>,
     shard_policy: ShardPolicy,
+    /// Deployment-wide kernel-backend override (see [`ServerConfig::backend`]).
+    backend: Option<KernelBackend>,
     jobs_completed: AtomicU64,
     jobs_cancelled: AtomicU64,
     jobs_failed: AtomicU64,
@@ -630,6 +641,7 @@ impl JobServer {
             queue: BoundedQueue::new(config.queue_capacity),
             cache: Mutex::new(ProblemCache::new(config.cache_capacity)),
             shard_policy: config.shards,
+            backend: config.backend,
             jobs_completed: AtomicU64::new(0),
             jobs_cancelled: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
@@ -999,6 +1011,13 @@ impl FrontendBuilder {
         self
     }
 
+    /// Force every job onto one kernel backend (see
+    /// [`ServerConfig::backend`]).
+    pub fn backend(mut self, backend: KernelBackend) -> Self {
+        self.config.wire.server.backend = Some(backend);
+        self
+    }
+
     /// Per-tenant cap on jobs submitted and not yet terminal.
     pub fn max_inflight_jobs(mut self, cap: usize) -> Self {
         self.config.wire.max_inflight_jobs = cap;
@@ -1141,7 +1160,15 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 fn worker_loop(shared: &Shared) {
     let mut arena = ShardedArena::new();
-    while let Some(envelope) = shared.queue.pop() {
+    while let Some(mut envelope) = shared.queue.pop() {
+        // Deployment-wide backend override, applied before the job's
+        // config is used anywhere: the problem-cache key is derived
+        // from the (overridden) config, so an f64 submission against a
+        // `--backend fixed` server resolves to the fixed-point machine,
+        // never a stale float compile.
+        if let Some(backend) = shared.backend {
+            envelope.job.force_backend(backend);
+        }
         // Cancellation observed at pickup: skip all work. (Stage-boundary
         // checks inside the supervised run below cover mid-run cancels.)
         if envelope.cancel.is_cancelled() {

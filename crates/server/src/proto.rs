@@ -59,7 +59,7 @@
 //! worker thread deeper in the stack.
 
 use crate::{JobOutcome, JobState};
-use msropm_core::{BatchJob, LaneConfig, MsropmConfig, ReinitMode};
+use msropm_core::{BatchJob, KernelBackend, LaneConfig, MsropmConfig, ReinitMode};
 use msropm_graph::Graph;
 use msropm_problems::{
     Cnf, DecodedLane, DecodedSolution, Ising, Lit, ProblemClass, ProblemReport, ProblemSpec, Qubo,
@@ -675,6 +675,21 @@ fn get_reinit(r: &mut ByteReader) -> Result<ReinitMode, ProtoError> {
     }
 }
 
+fn put_backend(w: &mut ByteWriter, backend: KernelBackend) {
+    w.u8(match backend {
+        KernelBackend::F64 => 0,
+        KernelBackend::Fixed => 1,
+    });
+}
+
+fn get_backend(r: &mut ByteReader) -> Result<KernelBackend, ProtoError> {
+    match r.u8()? {
+        0 => Ok(KernelBackend::F64),
+        1 => Ok(KernelBackend::Fixed),
+        _ => Err(ProtoError::BadValue("kernel backend tag")),
+    }
+}
+
 fn put_config(w: &mut ByteWriter, c: &MsropmConfig) {
     w.u32(c.num_colors as u32);
     w.f64(c.coupling_strength);
@@ -687,6 +702,7 @@ fn put_config(w: &mut ByteWriter, c: &MsropmConfig) {
     w.f64(c.dt);
     put_reinit(w, c.reinit);
     w.bool(c.shil_ramp);
+    put_backend(w, c.backend);
 }
 
 /// Decodes a config, enforcing the invariants `MsropmConfig::validate`
@@ -710,6 +726,7 @@ fn get_config(r: &mut ByteReader) -> Result<MsropmConfig, ProtoError> {
     }
     let reinit = get_reinit(r)?;
     let shil_ramp = r.bool()?;
+    let backend = get_backend(r)?;
     Ok(MsropmConfig {
         num_colors,
         coupling_strength,
@@ -722,6 +739,7 @@ fn get_config(r: &mut ByteReader) -> Result<MsropmConfig, ProtoError> {
         dt,
         reinit,
         shil_ramp,
+        backend,
     })
 }
 
@@ -730,6 +748,7 @@ const LANE_SHIL: u8 = 1 << 1;
 const LANE_NOISE: u8 = 1 << 2;
 const LANE_RAMP: u8 = 1 << 3;
 const LANE_REINIT: u8 = 1 << 4;
+const LANE_BACKEND: u8 = 1 << 5;
 
 fn put_lane(w: &mut ByteWriter, lane: &LaneConfig) {
     let mut flags = 0u8;
@@ -748,6 +767,9 @@ fn put_lane(w: &mut ByteWriter, lane: &LaneConfig) {
     if lane.reinit.is_some() {
         flags |= LANE_REINIT;
     }
+    if lane.backend.is_some() {
+        flags |= LANE_BACKEND;
+    }
     w.u8(flags);
     if let Some(v) = lane.coupling_strength {
         w.f64(v);
@@ -764,11 +786,16 @@ fn put_lane(w: &mut ByteWriter, lane: &LaneConfig) {
     if let Some(v) = lane.reinit {
         put_reinit(w, v);
     }
+    if let Some(v) = lane.backend {
+        put_backend(w, v);
+    }
 }
 
 fn get_lane(r: &mut ByteReader) -> Result<LaneConfig, ProtoError> {
     let flags = r.u8()?;
-    if flags & !(LANE_COUPLING | LANE_SHIL | LANE_NOISE | LANE_RAMP | LANE_REINIT) != 0 {
+    if flags & !(LANE_COUPLING | LANE_SHIL | LANE_NOISE | LANE_RAMP | LANE_REINIT | LANE_BACKEND)
+        != 0
+    {
         return Err(ProtoError::BadValue("unknown lane override flag"));
     }
     let mut lane = LaneConfig::default();
@@ -786,6 +813,9 @@ fn get_lane(r: &mut ByteReader) -> Result<LaneConfig, ProtoError> {
     }
     if flags & LANE_REINIT != 0 {
         lane.reinit = Some(get_reinit(r)?);
+    }
+    if flags & LANE_BACKEND != 0 {
+        lane.backend = Some(get_backend(r)?);
     }
     Ok(lane)
 }

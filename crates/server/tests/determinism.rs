@@ -54,6 +54,7 @@ fn run_batch(
         queue_capacity: 4,
         cache_capacity: 3, // below the pool size: include eviction traffic
         shards,
+        ..ServerConfig::default()
     });
     let tickets: Vec<_> = jobs
         .iter()

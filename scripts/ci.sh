@@ -90,6 +90,43 @@ stage_smoke() {
     # problem class over raw sockets — no client library, just bytes —
     # then scrape /v1/stats and /metrics.
     run_http_smoke
+
+    # Fixed-point backend smoke: a `--backend fixed` deployment forces
+    # every job onto the integer kernel server-side, and a client-side
+    # `--backend fixed` submission carries the tag over the wire codec.
+    run_fixed_backend_smoke
+}
+
+# Boots msropm_serve with `--backend fixed` (threads front end) and
+# submits through solve_remote: once plain (the server-side override
+# forces the fixed-point kernel), once with the client's own
+# `--backend fixed` flag (the config codec carries the backend tag
+# end-to-end). Both must complete and report.
+run_fixed_backend_smoke() {
+    local port_file addr
+    port_file=$(mktemp -t msropm_fx_smoke.XXXXXX)
+    ./target/release/msropm_serve \
+        --addr 127.0.0.1:0 --frontend threads --workers 1 \
+        --shards auto --backend fixed --port-file "$port_file" &
+    wire_server_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$port_file" ]] && break
+        kill -0 "$wire_server_pid" 2>/dev/null || { echo "msropm_serve died" >&2; return 1; }
+        sleep 0.1
+    done
+    [[ -s "$port_file" ]] || { echo "msropm_serve never published its port" >&2; return 1; }
+    addr=$(<"$port_file")
+    echo "    fixed-backend smoke against $addr (server-forced + client-tagged)"
+    timeout --kill-after=10 60 \
+        ./target/release/solve_remote --addr "$addr" \
+        submit --graph kings:4x4 --replicas 2 --seed 7
+    timeout --kill-after=10 60 \
+        ./target/release/solve_remote --addr "$addr" \
+        submit --graph kings:4x4 --replicas 2 --seed 7 --backend fixed
+    kill "$wire_server_pid" 2>/dev/null || true
+    wait "$wire_server_pid" 2>/dev/null || true
+    wire_server_pid=""
+    rm -f "$port_file"
 }
 
 # One raw HTTP/1.1 exchange over /dev/tcp: request on fd 9, response on
@@ -167,14 +204,29 @@ run_http_smoke() {
             || { echo "done answer for $class lacks its report: $status" >&2; return 1; }
     done
 
+    # One more submission on the fixed-point backend: the JSON config
+    # codec must carry {"backend":"fixed"} end-to-end.
+    response=$(http_request "$addr" POST /v1/problems \
+        "{\"tenant\":\"ci\",\"class\":\"max-cut\",\"input\":\"$graph\",\"replicas\":2,\"seed\":7,\"config\":{\"backend\":\"fixed\"}}")
+    job_id=$(grep -o '"job_id":[0-9]*' <<< "$response" | head -1 | cut -d: -f2)
+    [[ -n "$job_id" ]] || { echo "http submit on fixed backend failed: $response" >&2; return 1; }
+    status=
+    for _ in $(seq 1 150); do
+        status=$(http_request "$addr" GET "/v1/jobs/$job_id?tenant=ci")
+        grep -q '"state":"queued"\|"state":"running"' <<< "$status" || break
+        sleep 0.2
+    done
+    grep -q '"state":"done"' <<< "$status" \
+        || { echo "fixed-backend http job $job_id never finished: $status" >&2; return 1; }
+
     response=$(http_request "$addr" GET /v1/stats)
     grep -q '"frontend":"http"' <<< "$response" \
         || { echo "/v1/stats lacks the frontend marker: $response" >&2; return 1; }
-    grep -q '"jobs_completed":9' <<< "$response" \
-        || { echo "/v1/stats should count 9 completed jobs: $response" >&2; return 1; }
+    grep -q '"jobs_completed":10' <<< "$response" \
+        || { echo "/v1/stats should count 10 completed jobs: $response" >&2; return 1; }
 
     response=$(http_request "$addr" GET /metrics)
-    grep -q '^msropm_jobs_completed 9' <<< "$response" \
+    grep -q '^msropm_jobs_completed 10' <<< "$response" \
         || { echo "/metrics lacks msropm_jobs_completed: $response" >&2; return 1; }
     grep -q '^msropm_frontend{kind="http"} 1' <<< "$response" \
         || { echo "/metrics lacks the frontend gauge: $response" >&2; return 1; }

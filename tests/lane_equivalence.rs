@@ -53,6 +53,7 @@ fn arb_lane() -> impl Strategy<Value = LaneConfig> {
                         1 => Some(ReinitMode::UniformRandom),
                         _ => Some(ReinitMode::JitterDrift { sigma: drift_sigma }),
                     },
+                    backend: None,
                 }
             },
         )
